@@ -1,0 +1,202 @@
+//! Evaluation metrics: Hits@m, mean rank, mean reciprocal rank (the link
+//! prediction conventions the field borrowed), precision/recall/F1 (the
+//! OAEI/conventional convention), and mean±std aggregation across folds.
+
+use crate::simmat::SimilarityMatrix;
+use std::collections::HashSet;
+
+/// Ranking metrics over a test set. `hits[m]` is Hits@m.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankEval {
+    pub hits1: f64,
+    pub hits5: f64,
+    pub hits10: f64,
+    /// Mean rank of the true counterpart (1-based).
+    pub mr: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+}
+
+/// Evaluates a similarity matrix whose row `i` is the i-th test source entity
+/// and whose columns are the candidate targets; `gold[i]` is the column of
+/// the true counterpart of row `i`.
+pub fn rank_eval(sim: &SimilarityMatrix, gold: &[usize]) -> RankEval {
+    assert_eq!(sim.rows(), gold.len(), "one gold target per source row");
+    if gold.is_empty() {
+        return RankEval::default();
+    }
+    let mut hits1 = 0usize;
+    let mut hits5 = 0usize;
+    let mut hits10 = 0usize;
+    let mut mr = 0.0f64;
+    let mut mrr = 0.0f64;
+    for (i, &g) in gold.iter().enumerate() {
+        let rank = sim.rank_of(i, g);
+        if rank <= 1 {
+            hits1 += 1;
+        }
+        if rank <= 5 {
+            hits5 += 1;
+        }
+        if rank <= 10 {
+            hits10 += 1;
+        }
+        mr += rank as f64;
+        mrr += 1.0 / rank as f64;
+    }
+    let n = gold.len() as f64;
+    RankEval {
+        hits1: hits1 as f64 / n,
+        hits5: hits5 as f64 / n,
+        hits10: hits10 as f64 / n,
+        mr: mr / n,
+        mrr: mrr / n,
+    }
+}
+
+/// Precision / recall / F1 of a predicted alignment set against gold pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrfScores {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Computes P/R/F1 for `predicted` pairs against the `gold` set.
+pub fn precision_recall_f1(predicted: &[(u32, u32)], gold: &HashSet<(u32, u32)>) -> PrfScores {
+    if predicted.is_empty() || gold.is_empty() {
+        return PrfScores::default();
+    }
+    let correct = predicted.iter().filter(|p| gold.contains(p)).count() as f64;
+    let precision = correct / predicted.len() as f64;
+    let recall = correct / gold.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    PrfScores { precision, recall, f1 }
+}
+
+/// Mean ± standard deviation over cross-validation folds, formatted like the
+/// paper's tables (`.507± .010`).
+#[derive(Clone, Debug, Default)]
+pub struct MeanStd {
+    values: Vec<f64>,
+}
+
+impl MeanStd {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation (the paper reports spread over exactly
+    /// the five folds).
+    pub fn std(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Paper-style rendering: `.507±.010`.
+    pub fn paper_format(&self) -> String {
+        format!("{:.3}±{:.3}", self.mean(), self.std())
+            .replace("0.", ".")
+    }
+}
+
+impl Extend<f64> for MeanStd {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let sim = SimilarityMatrix::from_raw(2, 3, vec![0.9, 0.1, 0.0, 0.0, 0.1, 0.9]);
+        let e = rank_eval(&sim, &[0, 2]);
+        assert_eq!(e.hits1, 1.0);
+        assert_eq!(e.hits5, 1.0);
+        assert_eq!(e.mr, 1.0);
+        assert_eq!(e.mrr, 1.0);
+    }
+
+    #[test]
+    fn mixed_ranking() {
+        // Row 0 ranks gold at 1; row 1 ranks gold at 3.
+        let sim = SimilarityMatrix::from_raw(2, 3, vec![0.9, 0.1, 0.0, 0.5, 0.4, 0.3]);
+        let e = rank_eval(&sim, &[0, 2]);
+        assert!((e.hits1 - 0.5).abs() < 1e-12);
+        assert!((e.mr - 2.0).abs() < 1e-12);
+        assert!((e.mrr - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(e.hits5, 1.0);
+    }
+
+    #[test]
+    fn empty_test_set() {
+        let sim = SimilarityMatrix::from_raw(0, 0, vec![]);
+        assert_eq!(rank_eval(&sim, &[]), RankEval::default());
+    }
+
+    #[test]
+    fn prf_computation() {
+        let gold: HashSet<(u32, u32)> = [(0, 0), (1, 1), (2, 2), (3, 3)].into();
+        let predicted = vec![(0, 0), (1, 1), (2, 9)];
+        let s = precision_recall_f1(&predicted, &gold);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        let expect_f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((s.f1 - expect_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_empty_inputs() {
+        let gold: HashSet<(u32, u32)> = HashSet::new();
+        assert_eq!(precision_recall_f1(&[], &gold), PrfScores::default());
+    }
+
+    #[test]
+    fn mean_std_aggregation() {
+        let mut ms = MeanStd::new();
+        ms.extend([0.5, 0.51, 0.49, 0.5, 0.5]);
+        assert!((ms.mean() - 0.5).abs() < 1e-12);
+        assert!(ms.std() < 0.01);
+        assert_eq!(ms.len(), 5);
+        let fmt = ms.paper_format();
+        assert!(fmt.starts_with(".500"), "{fmt}");
+        assert!(fmt.contains('±'));
+    }
+
+    #[test]
+    fn single_value_has_zero_std() {
+        let mut ms = MeanStd::new();
+        ms.push(0.7);
+        assert_eq!(ms.std(), 0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Alignment-inference strategies (paper Sect. 2.2.2 and Table 6).
+//!
+//! * [`greedy_match`] — independent nearest-neighbour per source (what every
+//!   surveyed approach uses);
+//! * [`stable_marriage`] — Gale–Shapley: no source/target pair prefers each
+//!   other over their assigned partners;
+//! * [`hungarian`] — Kuhn–Munkres maximum-weight matching, the O(N³)
+//!   collective-search optimum;
+//! * [`greedy_collective`] — the linear-ish heuristic: sort candidate pairs
+//!   by similarity, accept greedily under the 1-to-1 constraint.
+
+use crate::simmat::SimilarityMatrix;
+
+/// Greedy nearest-neighbour: each source independently picks its most
+/// similar target (targets may be reused). Returns `match[i] = j`.
+pub fn greedy_match(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
+    (0..sim.rows()).map(|i| sim.argmax_row(i)).collect()
+}
+
+/// Gale–Shapley stable marriage with sources proposing. All similarities
+/// act as preferences; every source is matched when `rows <= cols`.
+pub fn stable_marriage(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
+    let rows = sim.rows();
+    let cols = sim.cols();
+    // Preference lists: targets sorted by descending similarity per source.
+    let prefs: Vec<Vec<usize>> = (0..rows)
+        .map(|i| {
+            let row = sim.row(i);
+            let mut idx: Vec<usize> = (0..cols).collect();
+            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
+            idx
+        })
+        .collect();
+    let mut next_proposal = vec![0usize; rows];
+    let mut target_of = vec![None::<usize>; rows];
+    let mut source_of = vec![None::<usize>; cols];
+    let mut free: Vec<usize> = (0..rows).collect();
+
+    while let Some(i) = free.pop() {
+        // Source i proposes down its preference list.
+        while next_proposal[i] < cols {
+            let j = prefs[i][next_proposal[i]];
+            next_proposal[i] += 1;
+            match source_of[j] {
+                None => {
+                    source_of[j] = Some(i);
+                    target_of[i] = Some(j);
+                    break;
+                }
+                Some(other) => {
+                    if sim.get(i, j) > sim.get(other, j) {
+                        // j dumps `other` for i.
+                        source_of[j] = Some(i);
+                        target_of[i] = Some(j);
+                        target_of[other] = None;
+                        free.push(other);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    target_of
+}
+
+/// Kuhn–Munkres (Hungarian) maximum-weight matching in O(n³). Pads the
+/// rectangular matrix with zero-weight dummies; returns `match[i] = j` for
+/// real pairs only.
+pub fn hungarian(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
+    let rows = sim.rows();
+    let cols = sim.cols();
+    if rows == 0 || cols == 0 {
+        return vec![None; rows];
+    }
+    let n = rows.max(cols);
+    // Convert to a min-cost problem on an n×n padded matrix.
+    let max_sim = (0..rows)
+        .flat_map(|i| sim.row(i).iter().copied())
+        .fold(f32::NEG_INFINITY, f32::max) as f64;
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            max_sim - sim.get(i, j) as f64
+        } else {
+            max_sim // dummy rows/cols: constant cost, never preferred
+        }
+    };
+
+    // Standard O(n³) Hungarian with potentials (1-based helper arrays).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut result = vec![None; rows];
+    #[allow(clippy::needless_range_loop)] // multi-array indexed math reads clearer
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= rows && j <= cols {
+            result[i - 1] = Some(j - 1);
+        }
+    }
+    result
+}
+
+/// Greedy collective heuristic: consider all pairs in descending similarity,
+/// accept a pair if both sides are still unmatched. Near-optimal in practice
+/// at O(RC log RC).
+pub fn greedy_collective(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
+    let rows = sim.rows();
+    let cols = sim.cols();
+    let mut pairs: Vec<(f32, u32, u32)> = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        let row = sim.row(i);
+        for (j, &s) in row.iter().enumerate() {
+            pairs.push((s, i as u32, j as u32));
+        }
+    }
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    let mut used_src = vec![false; rows];
+    let mut used_dst = vec![false; cols];
+    let mut result = vec![None; rows];
+    for (_, i, j) in pairs {
+        let (i, j) = (i as usize, j as usize);
+        if !used_src[i] && !used_dst[j] {
+            used_src[i] = true;
+            used_dst[j] = true;
+            result[i] = Some(j);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, v: Vec<f32>) -> SimilarityMatrix {
+        SimilarityMatrix::from_raw(rows, cols, v)
+    }
+
+    #[test]
+    fn greedy_allows_conflicts() {
+        let m = mat(2, 2, vec![0.9, 0.1, 0.8, 0.2]);
+        let g = greedy_match(&m);
+        assert_eq!(g, vec![Some(0), Some(0)]); // both pick target 0
+    }
+
+    #[test]
+    fn stable_marriage_resolves_conflicts() {
+        let m = mat(2, 2, vec![0.9, 0.1, 0.8, 0.2]);
+        let sm = stable_marriage(&m);
+        // Source 0 prefers 0 more strongly; source 1 settles for 1.
+        assert_eq!(sm, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn stable_marriage_has_no_blocking_pair() {
+        let m = mat(
+            3,
+            3,
+            vec![0.5, 0.9, 0.1, 0.4, 0.8, 0.3, 0.95, 0.2, 0.6],
+        );
+        let sm = stable_marriage(&m);
+        // Verify stability: no (i, j) both preferring each other over current.
+        let matched: Vec<usize> = sm.iter().map(|x| x.unwrap()).collect();
+        for i in 0..3 {
+            for j in 0..3 {
+                if matched[i] == j {
+                    continue;
+                }
+                let i_prefers_j = m.get(i, j) > m.get(i, matched[i]);
+                let owner = matched.iter().position(|&x| x == j);
+                let j_prefers_i = owner.is_none_or(|o| m.get(i, j) > m.get(o, j));
+                assert!(!(i_prefers_j && j_prefers_i), "blocking pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_finds_max_weight_assignment() {
+        // Greedy (per-row) picks (0→0, 1→0 conflict); optimum pairs 0→1, 1→0.
+        let m = mat(2, 2, vec![0.9, 0.8, 0.9, 0.1]);
+        let h = hungarian(&m);
+        assert_eq!(h, vec![Some(1), Some(0)]); // total 1.7 > alternatives
+    }
+
+    #[test]
+    fn hungarian_identity_on_diagonal_dominant() {
+        let m = mat(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(hungarian(&m), vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn hungarian_handles_rectangular() {
+        let m = mat(2, 3, vec![0.1, 0.9, 0.2, 0.8, 0.7, 0.3]);
+        let h = hungarian(&m);
+        assert_eq!(h, vec![Some(1), Some(0)]);
+        // More sources than targets: one source stays unmatched.
+        let m = mat(3, 2, vec![0.9, 0.1, 0.8, 0.7, 0.85, 0.2]);
+        let h = hungarian(&m);
+        let matched: Vec<_> = h.iter().flatten().collect();
+        assert_eq!(matched.len(), 2);
+        let set: std::collections::HashSet<_> = matched.iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn greedy_collective_respects_one_to_one() {
+        let m = mat(2, 2, vec![0.9, 0.8, 0.85, 0.1]);
+        let gc = greedy_collective(&m);
+        // Highest pair (0,0)=0.9 taken, then (1,?) only 1 left.
+        assert_eq!(gc, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_unambiguous_input() {
+        let m = mat(3, 3, vec![0.9, 0.0, 0.1, 0.0, 0.8, 0.1, 0.1, 0.0, 0.9]);
+        let expect = vec![Some(0), Some(1), Some(2)];
+        assert_eq!(greedy_match(&m), expect);
+        assert_eq!(stable_marriage(&m), expect);
+        assert_eq!(hungarian(&m), expect);
+        assert_eq!(greedy_collective(&m), expect);
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let m = mat(0, 0, vec![]);
+        assert!(greedy_match(&m).is_empty());
+        assert!(stable_marriage(&m).is_empty());
+        assert!(hungarian(&m).is_empty());
+        assert!(greedy_collective(&m).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matching_weight(sim: &SimilarityMatrix, m: &[Option<usize>]) -> f64 {
+        m.iter()
+            .enumerate()
+            .filter_map(|(i, &j)| j.map(|j| sim.get(i, j) as f64))
+            .sum()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Hungarian is optimal: at least the weight of the greedy-collective
+        /// heuristic on square matrices.
+        #[test]
+        fn hungarian_weight_dominates_greedy_collective(
+            values in proptest::collection::vec(0.0f32..1.0, 16)
+        ) {
+            let sim = SimilarityMatrix::from_raw(4, 4, values);
+            let h = hungarian(&sim);
+            let gc = greedy_collective(&sim);
+            prop_assert!(matching_weight(&sim, &h) >= matching_weight(&sim, &gc) - 1e-4);
+        }
+
+        /// Stable marriage never leaves a blocking pair.
+        #[test]
+        fn stable_marriage_has_no_blocking_pair_prop(
+            values in proptest::collection::vec(0.0f32..1.0, 20)
+        ) {
+            let sim = SimilarityMatrix::from_raw(4, 5, values);
+            let sm = stable_marriage(&sim);
+            for i in 0..4 {
+                for j in 0..5 {
+                    let Some(mi) = sm[i] else { continue };
+                    if mi == j {
+                        continue;
+                    }
+                    let i_prefers = sim.get(i, j) > sim.get(i, mi);
+                    let owner = (0..4).find(|&o| sm[o] == Some(j));
+                    let j_prefers = match owner {
+                        None => true,
+                        Some(o) => sim.get(i, j) > sim.get(o, j),
+                    };
+                    prop_assert!(!(i_prefers && j_prefers), "blocking pair ({i},{j})");
+                }
+            }
+        }
+
+        /// Every 1-to-1 strategy returns distinct targets.
+        #[test]
+        fn one_to_one_strategies_have_distinct_targets(
+            values in proptest::collection::vec(0.0f32..1.0, 25)
+        ) {
+            let sim = SimilarityMatrix::from_raw(5, 5, values);
+            for m in [stable_marriage(&sim), hungarian(&sim), greedy_collective(&sim)] {
+                let picked: Vec<usize> = m.iter().flatten().copied().collect();
+                let set: std::collections::HashSet<_> = picked.iter().collect();
+                prop_assert_eq!(set.len(), picked.len());
+            }
+        }
+
+        /// CSLS preserves matrix shape and finiteness.
+        #[test]
+        fn csls_is_shape_preserving(values in proptest::collection::vec(-1.0f32..1.0, 12)) {
+            let sim = SimilarityMatrix::from_raw(3, 4, values);
+            let c = sim.csls(2);
+            prop_assert_eq!(c.rows(), 3);
+            prop_assert_eq!(c.cols(), 4);
+            for i in 0..3 {
+                prop_assert!(c.row(i).iter().all(|x| x.is_finite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Distance metrics, expressed as similarities (higher = more alike) so that
+//! every inference strategy can maximize uniformly.
+
+use openea_math::vecops;
+
+/// The three distance metrics used across the 23 surveyed approaches
+/// (Table 1), as similarity functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Cosine similarity.
+    Cosine,
+    /// Negated Euclidean distance.
+    Euclidean,
+    /// Negated Manhattan distance.
+    Manhattan,
+}
+
+impl Metric {
+    /// Similarity between two vectors; higher means more similar.
+    #[inline]
+    pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::Cosine => vecops::cosine(a, b),
+            Metric::Euclidean => -vecops::euclidean(a, b),
+            Metric::Manhattan => -vecops::manhattan(a, b),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Cosine => "cosine",
+            Metric::Euclidean => "euclidean",
+            Metric::Manhattan => "manhattan",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_maximize_each_metric() {
+        let v = [0.5f32, -1.0, 2.0];
+        let w = [0.4f32, -0.9, 1.5];
+        for m in [Metric::Cosine, Metric::Euclidean, Metric::Manhattan] {
+            assert!(m.similarity(&v, &v) >= m.similarity(&v, &w), "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn euclidean_and_manhattan_are_nonpositive() {
+        let v = [1.0f32, 2.0];
+        let w = [3.0f32, 0.0];
+        assert!(Metric::Euclidean.similarity(&v, &w) < 0.0);
+        assert!(Metric::Manhattan.similarity(&v, &w) < 0.0);
+        assert_eq!(Metric::Euclidean.similarity(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn cosine_ignores_scale() {
+        let v = [1.0f32, 2.0, 3.0];
+        let w = [2.0f32, 4.0, 6.0];
+        assert!((Metric::Cosine.similarity(&v, &w) - 1.0).abs() < 1e-6);
+    }
+}

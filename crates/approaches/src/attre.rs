@@ -1,0 +1,166 @@
+//! AttrE \[77\]: attribute-embedding-driven alignment. Relation triples are
+//! embedded with TransE; literal values are encoded by a *character-level*
+//! compositional encoder shared by both KGs, and each entity is pulled
+//! toward its literal profile. Because the character encoder is the same for
+//! both KGs, the attribute triples unify the two embedding spaces — but only
+//! when the KGs share a surface language (the paper notes the character
+//! encoder "may fail in cross-lingual settings", which this reproduces).
+//! Cosine metric, sharing combination.
+
+use crate::common::{
+    validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
+    RunConfig, UnifiedSpace,
+};
+use openea_align::Metric;
+use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
+use openea_math::negsamp::UniformSampler;
+use openea_math::vecops;
+use openea_models::literal::char_ngram_vector;
+use openea_models::{train_epoch, RelationModel, TransE};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The character-level literal profile of every entity: the normalized sum
+/// of character-n-gram vectors of its attribute values.
+pub fn char_profiles(kg: &KnowledgeGraph, dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; kg.num_entities() * dim];
+    for e in kg.entity_ids() {
+        let row = &mut out[e.idx() * dim..(e.idx() + 1) * dim];
+        for &(_, v) in kg.attrs_of(e) {
+            let cv = char_ngram_vector(kg.literal_value(v), dim);
+            vecops::axpy(1.0, &cv, row);
+        }
+        vecops::normalize(row);
+    }
+    out
+}
+
+/// AttrE.
+pub struct AttrE {
+    /// Strength of the pull toward the literal profile.
+    pub attr_weight: f32,
+}
+
+impl Default for AttrE {
+    fn default() -> Self {
+        Self { attr_weight: 0.5 }
+    }
+}
+
+impl Approach for AttrE {
+    fn name(&self) -> &'static str {
+        "AttrE"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Optional,
+            attr_triples: Req::Optional,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::Optional,
+            word_embeddings: Req::NotApplicable,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
+        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
+        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+
+        // Fixed character-level literal profiles (unified ids).
+        let profiles: Option<Vec<(u32, Vec<f32>)>> = cfg.use_attributes.then(|| {
+            let p1 = char_profiles(&pair.kg1, cfg.dim);
+            let p2 = char_profiles(&pair.kg2, cfg.dim);
+            let mut v = Vec::new();
+            for e in pair.kg1.entity_ids() {
+                let row = &p1[e.idx() * cfg.dim..(e.idx() + 1) * cfg.dim];
+                if row.iter().any(|&x| x != 0.0) {
+                    v.push((space.uid1(e), row.to_vec()));
+                }
+            }
+            for e in pair.kg2.entity_ids() {
+                let row = &p2[e.idx() * cfg.dim..(e.idx() + 1) * cfg.dim];
+                if row.iter().any(|&x| x != 0.0) {
+                    v.push((space.uid2(e), row.to_vec()));
+                }
+            }
+            v
+        });
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+            }
+            if let Some(profiles) = &profiles {
+                // Pull each entity toward its (fixed) literal profile:
+                // the cross-KG unification signal of AttrE.
+                let lr = cfg.lr * self.attr_weight;
+                for (uid, profile) in profiles {
+                    let row = model.entities.row_mut(*uid as usize);
+                    for i in 0..cfg.dim {
+                        row[i] -= 2.0 * lr * (row[i] - profile[i]);
+                    }
+                }
+            }
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.output(&space, &model, cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.output(&space, &model, cfg))
+    }
+}
+
+impl AttrE {
+    fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
+        let (emb1, emb2) = space.extract(model.entities());
+        ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::{EntityId, KgBuilder};
+
+    #[test]
+    fn char_profiles_match_shared_literals() {
+        let mut b1 = KgBuilder::new("a");
+        b1.add_attr_triple("x", "name", "mount everest");
+        b1.add_attr_triple("y", "name", "totally different");
+        let kg1 = b1.build();
+        let mut b2 = KgBuilder::new("b");
+        b2.add_attr_triple("u", "label", "mount everest");
+        let kg2 = b2.build();
+        let dim = 32;
+        let p1 = char_profiles(&kg1, dim);
+        let p2 = char_profiles(&kg2, dim);
+        let x = kg1.entity_by_name("x").unwrap();
+        let y = kg1.entity_by_name("y").unwrap();
+        let u = kg2.entity_by_name("u").unwrap();
+        let row = |p: &[f32], e: EntityId| p[e.idx() * dim..(e.idx() + 1) * dim].to_vec();
+        let sim_xu = vecops::cosine(&row(&p1, x), &row(&p2, u));
+        let sim_yu = vecops::cosine(&row(&p1, y), &row(&p2, u));
+        assert!(sim_xu > 0.99);
+        assert!(sim_yu < sim_xu);
+    }
+
+    #[test]
+    fn entities_without_literals_have_zero_profile() {
+        let mut b = KgBuilder::new("a");
+        b.add_rel_triple("x", "r", "y");
+        let kg = b.build();
+        let p = char_profiles(&kg, 8);
+        assert!(p.iter().all(|&v| v == 0.0));
+    }
+}

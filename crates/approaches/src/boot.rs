@@ -1,0 +1,93 @@
+//! Shared semi-supervised machinery: proposing new aligned pairs from the
+//! current embeddings (self-training), with or without BootEA's conflict
+//! editing.
+
+use crate::common::ApproachOutput;
+use openea_align::greedy_collective;
+use openea_core::EntityId;
+use std::collections::HashSet;
+
+/// Candidates for augmentation: entities not yet in the (augmented) seed set.
+pub fn unaligned_entities(total: usize, taken: &HashSet<EntityId>) -> Vec<EntityId> {
+    (0..total)
+        .map(EntityId::from_idx)
+        .filter(|e| !taken.contains(e))
+        .collect()
+}
+
+/// Proposes new alignment from the current embeddings.
+///
+/// * `editing = false` (IPTransE-style): every source's nearest target above
+///   `threshold` is proposed — conflicts and errors accumulate.
+/// * `editing = true` (BootEA-style): proposals are filtered to a 1-to-1
+///   matching (greedy collective), which is the paper's "heuristic editing
+///   method to remove wrong alignment".
+pub fn propose_alignment(
+    out: &ApproachOutput,
+    cand1: &[EntityId],
+    cand2: &[EntityId],
+    threshold: f32,
+    editing: bool,
+    threads: usize,
+) -> Vec<(EntityId, EntityId)> {
+    if cand1.is_empty() || cand2.is_empty() {
+        return Vec::new();
+    }
+    let sim = out.similarity(cand1, cand2, threads);
+    if editing {
+        greedy_collective(&sim)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, j)| {
+                let j = j?;
+                (sim.get(i, j) >= threshold).then_some((cand1[i], cand2[j]))
+            })
+            .collect()
+    } else {
+        (0..cand1.len())
+            .filter_map(|i| {
+                let j = sim.argmax_row(i)?;
+                (sim.get(i, j) >= threshold).then_some((cand1[i], cand2[j]))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_align::Metric;
+
+    fn out(emb1: Vec<f32>, emb2: Vec<f32>) -> ApproachOutput {
+        ApproachOutput { dim: 2, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+    }
+
+    #[test]
+    fn editing_enforces_one_to_one() {
+        // Both sources point at target 0.
+        let o = out(vec![1.0, 0.0, 0.9, 0.1], vec![1.0, 0.0, 0.0, 1.0]);
+        let c1 = vec![EntityId(0), EntityId(1)];
+        let c2 = vec![EntityId(0), EntityId(1)];
+        let naive = propose_alignment(&o, &c1, &c2, 0.0, false, 1);
+        let targets: Vec<_> = naive.iter().map(|&(_, b)| b).collect();
+        assert_eq!(targets, vec![EntityId(0), EntityId(0)]); // conflict kept
+        let edited = propose_alignment(&o, &c1, &c2, 0.0, true, 1);
+        let tset: HashSet<_> = edited.iter().map(|&(_, b)| b).collect();
+        assert_eq!(tset.len(), edited.len()); // 1-to-1
+    }
+
+    #[test]
+    fn threshold_filters_weak_matches() {
+        let o = out(vec![1.0, 0.0], vec![0.0, 1.0]); // orthogonal: sim 0
+        let c1 = vec![EntityId(0)];
+        let c2 = vec![EntityId(0)];
+        assert!(propose_alignment(&o, &c1, &c2, 0.5, false, 1).is_empty());
+        assert_eq!(propose_alignment(&o, &c1, &c2, -1.0, false, 1).len(), 1);
+    }
+
+    #[test]
+    fn unaligned_excludes_taken() {
+        let taken: HashSet<EntityId> = [EntityId(1)].into();
+        assert_eq!(unaligned_entities(3, &taken), vec![EntityId(0), EntityId(2)]);
+    }
+}

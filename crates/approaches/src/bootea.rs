@@ -1,0 +1,234 @@
+//! BootEA \[73\]: bootstrapping entity alignment. A TransE variant with the
+//! **limit-based loss** and **truncated negative sampling** in a unified
+//! space with **parameter swapping**, plus conflict-edited self-training:
+//! every few epochs the current embeddings propose a 1-to-1 set of likely
+//! alignment, which is fed back as swapped triples and calibration targets.
+//! Cosine metric, semi-supervised.
+
+use crate::boot::{propose_alignment, unaligned_entities};
+use crate::common::{
+    augmentation_quality, calibrate, validation_hits1, Approach, ApproachOutput, Combination,
+    EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
+};
+use openea_align::Metric;
+use openea_core::{EntityId, FoldSplit, KgPair};
+use openea_math::negsamp::{RawTriple, TruncatedSampler, UniformSampler};
+use openea_math::vecops;
+use openea_models::translational::LossKind;
+use openea_models::{train_epoch, RelationModel, TransE};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// BootEA.
+pub struct BootEa {
+    /// Epochs between bootstrapping rounds.
+    pub boot_every: usize,
+    /// Cosine threshold for accepting proposals.
+    pub threshold: f32,
+    /// ε of the truncated sampler (fraction of entities *excluded* from the
+    /// hard-candidate lists).
+    pub epsilon: f64,
+    /// Ablation switch for the Sect. 5.2 study: disable self-training.
+    pub bootstrapping: bool,
+}
+
+impl Default for BootEa {
+    fn default() -> Self {
+        Self { boot_every: 15, threshold: 0.75, epsilon: 0.98, bootstrapping: true }
+    }
+}
+
+impl BootEa {
+    /// Rebuilds the per-entity hard-negative candidate lists from the
+    /// current embeddings (the "truncated ε-sampling" of the paper).
+    fn refresh_sampler(&self, model: &TransE, threads: usize) -> TruncatedSampler {
+        let table = model.entities();
+        let n = table.count();
+        let sigma = TruncatedSampler::truncation_size(n, self.epsilon).min(64);
+        let dim = table.dim();
+        let data = table.data();
+        let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let chunk = n.div_ceil(threads.max(1));
+        crossbeam::thread::scope(|scope| {
+            for (t, out_chunk) in candidates.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    let base = t * chunk;
+                    // Top-σ most-similar entities per entity (excluding self).
+                    let mut heap: Vec<(f32, u32)> = Vec::with_capacity(sigma + 1);
+                    for (local, out) in out_chunk.iter_mut().enumerate() {
+                        let e = base + local;
+                        let ev = &data[e * dim..(e + 1) * dim];
+                        heap.clear();
+                        for o in 0..n {
+                            if o == e {
+                                continue;
+                            }
+                            let s = vecops::cosine(ev, &data[o * dim..(o + 1) * dim]);
+                            if heap.len() < sigma {
+                                heap.push((s, o as u32));
+                                if heap.len() == sigma {
+                                    heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                                }
+                            } else if s > heap[0].0 {
+                                heap[0] = (s, o as u32);
+                                let mut i = 0;
+                                while i + 1 < heap.len() && heap[i].0 > heap[i + 1].0 {
+                                    heap.swap(i, i + 1);
+                                    i += 1;
+                                }
+                            }
+                        }
+                        *out = heap.iter().map(|&(_, o)| o).collect();
+                    }
+                });
+            }
+        })
+        .expect("sampler workers do not panic");
+        TruncatedSampler::new(candidates)
+    }
+
+    fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
+        let (emb1, emb2) = space.extract(model.entities());
+        ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+    }
+}
+
+impl Approach for BootEa {
+    fn name(&self) -> &'static str {
+        "BootEA"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Mandatory,
+            attr_triples: Req::NotApplicable,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::Optional,
+            word_embeddings: Req::NotApplicable,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let space = UnifiedSpace::build(pair, &split.train, Combination::Swapping);
+        let base_triples = space.triples.clone();
+        let mut triples: Vec<RawTriple> = base_triples.clone();
+        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
+        model.loss = LossKind::Limit { lambda_pos: 0.05, lambda_neg: 1.2, mu: 0.2 };
+        let uniform = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut truncated: Option<TruncatedSampler> = None;
+
+        let train_set: HashSet<EntityId> = split.train.iter().map(|&(a, _)| a).collect();
+        let train_set2: HashSet<EntityId> = split.train.iter().map(|&(_, b)| b).collect();
+        let gold: HashSet<(EntityId, EntityId)> = pair
+            .alignment
+            .iter()
+            .copied()
+            .filter(|p| !split.train.contains(p))
+            .collect();
+        let mut proposed: Vec<(EntityId, EntityId)> = Vec::new();
+        let mut augmentation = Vec::new();
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                match &truncated {
+                    Some(s) => {
+                        train_epoch(&mut model, &triples, s, cfg.lr, cfg.negs, &mut rng);
+                    }
+                    None => {
+                        train_epoch(&mut model, &triples, &uniform, cfg.lr, cfg.negs, &mut rng);
+                    }
+                }
+            }
+            // Calibrate the bootstrapped pairs each epoch.
+            let prop_uids: Vec<(u32, u32)> = proposed
+                .iter()
+                .map(|&(a, b)| (space.uid1(a), space.uid2(b)))
+                .collect();
+            calibrate(&mut model.entities, &prop_uids, cfg.lr);
+
+            if self.bootstrapping && (epoch + 1) % self.boot_every == 0 {
+                // Refresh hard negatives from the current space.
+                truncated = Some(self.refresh_sampler(&model, cfg.threads));
+                // Propose a fresh, conflict-edited alignment each round.
+                let out = self.output(&space, &model, cfg);
+                let cand1 = unaligned_entities(pair.kg1.num_entities(), &train_set);
+                let cand2 = unaligned_entities(pair.kg2.num_entities(), &train_set2);
+                proposed = propose_alignment(&out, &cand1, &cand2, self.threshold, true, cfg.threads);
+                augmentation.push(augmentation_quality(&proposed, &gold));
+                // Swap triples for the new proposals on top of the base set.
+                triples = base_triples.clone();
+                triples.extend(space.swap_triples(pair, &proposed));
+            }
+
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.output(&space, &model, cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
+        out.augmentation = augmentation;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_math::negsamp::NegSampler;
+    use openea_math::{EmbeddingTable, Initializer};
+
+    #[test]
+    fn refresh_sampler_builds_topk_lists() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut model = TransE::new(30, 2, 8, 1.0, &mut rng);
+        model.entities = EmbeddingTable::new(30, 8, Initializer::Unit, &mut rng);
+        let b = BootEa::default();
+        let sampler = b.refresh_sampler(&model, 2);
+        // Sampling must produce in-range corruptions.
+        for _ in 0..50 {
+            let (h, _, t) = sampler.corrupt((3, 0, 7), &mut rng);
+            assert!(h < 30 && t < 30);
+        }
+    }
+
+    #[test]
+    fn truncated_candidates_are_similar_entities() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut model = TransE::new(4, 1, 2, 1.0, &mut rng);
+        // Entities 0 and 1 nearly parallel; 2, 3 orthogonal to them.
+        model.entities.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        model.entities.row_mut(1).copy_from_slice(&[0.99, 0.1]);
+        model.entities.row_mut(2).copy_from_slice(&[0.0, 1.0]);
+        model.entities.row_mut(3).copy_from_slice(&[0.0, -1.0]);
+        let b = BootEa { epsilon: 0.75, ..BootEa::default() }; // σ = 1
+        let s = b.refresh_sampler(&model, 1);
+        // The hardest negative for entity 0 must be entity 1.
+        let mut saw_one = false;
+        for _ in 0..100 {
+            let (h, _, _) = s.corrupt((0, 0, 2), &mut rng);
+            if h != 0 {
+                assert_eq!(h, 1);
+                saw_one = true;
+            }
+        }
+        assert!(saw_one);
+    }
+
+    #[test]
+    fn defaults_enable_bootstrapping() {
+        let b = BootEa::default();
+        assert!(b.bootstrapping);
+        assert_eq!(b.name(), "BootEA");
+    }
+}

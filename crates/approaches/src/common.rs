@@ -1,0 +1,731 @@
+//! Shared infrastructure for all approaches: run configuration, the unified
+//! id space with the four combination modes, early stopping on validation
+//! Hits@1, literal feature extraction and output evaluation.
+
+use openea_align::{precision_recall_f1, rank_eval, Metric, PrfScores, RankEval, SimilarityMatrix};
+use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
+use openea_math::negsamp::RawTriple;
+use openea_math::vecops;
+use openea_math::EmbeddingTable;
+use openea_models::literal::{LiteralEncoder, WordVectors};
+use std::collections::{HashMap, HashSet};
+
+/// Requirement level of an input resource (Table 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Req {
+    Mandatory,
+    Optional,
+    NotApplicable,
+    /// Mandatory only for cross-lingual entity alignment.
+    CrossLingualOnly,
+}
+
+impl Req {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Req::Mandatory => "*",
+            Req::Optional => "o",
+            Req::NotApplicable => " ",
+            Req::CrossLingualOnly => "^",
+        }
+    }
+}
+
+/// The required-information matrix of one approach (one column of Table 9).
+#[derive(Clone, Copy, Debug)]
+pub struct Requirements {
+    pub rel_triples: Req,
+    pub attr_triples: Req,
+    pub pre_aligned_entities: Req,
+    pub pre_aligned_properties: Req,
+    pub word_embeddings: Req,
+}
+
+/// Hyper-parameters shared by every run (Table 4 analogue).
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Maximum training epochs (paper: 2000; library default is scaled to
+    /// its smaller datasets).
+    pub max_epochs: usize,
+    /// Early-stopping cadence: validation Hits@1 is checked every this many
+    /// epochs (paper: 10).
+    pub check_every: usize,
+    /// Consecutive non-improving checks tolerated before stopping.
+    pub patience: usize,
+    pub lr: f32,
+    /// Negatives per positive triple.
+    pub negs: usize,
+    /// Margin for ranking losses.
+    pub margin: f32,
+    /// Figure 6 ablation switch: disable attribute embedding.
+    pub use_attributes: bool,
+    /// Table 8 feature study: disable relation triples.
+    pub use_relations: bool,
+    /// Pre-trained (cross-lingual) word vectors for literal encoders.
+    pub word_vectors: WordVectors,
+    /// Worker threads for similarity search.
+    pub threads: usize,
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            max_epochs: 120,
+            check_every: 10,
+            patience: 2,
+            lr: 0.02,
+            negs: 5,
+            margin: 1.0,
+            use_attributes: true,
+            use_relations: true,
+            word_vectors: WordVectors::hash_only(32),
+            threads: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl RunConfig {
+    pub fn literal_encoder(&self) -> LiteralEncoder {
+        LiteralEncoder::new(self.word_vectors.clone())
+    }
+}
+
+/// The result of running an approach: final entity embeddings for both KGs
+/// in a comparable space, plus per-iteration augmentation quality for the
+/// semi-supervised approaches (Figure 7).
+#[derive(Clone, Debug)]
+pub struct ApproachOutput {
+    pub dim: usize,
+    pub metric: Metric,
+    /// Row-major `n1 × dim` embeddings of KG1 entities.
+    pub emb1: Vec<f32>,
+    /// Row-major `n2 × dim` embeddings of KG2 entities.
+    pub emb2: Vec<f32>,
+    /// Precision/recall/F1 of the augmented seed alignment per
+    /// semi-supervised iteration (empty for supervised approaches).
+    pub augmentation: Vec<PrfScores>,
+}
+
+impl ApproachOutput {
+    pub fn vec1(&self, e: EntityId) -> &[f32] {
+        &self.emb1[e.idx() * self.dim..(e.idx() + 1) * self.dim]
+    }
+
+    pub fn vec2(&self, e: EntityId) -> &[f32] {
+        &self.emb2[e.idx() * self.dim..(e.idx() + 1) * self.dim]
+    }
+
+    /// Similarity matrix between the given source and target entities.
+    pub fn similarity(&self, sources: &[EntityId], targets: &[EntityId], threads: usize) -> SimilarityMatrix {
+        let mut src = Vec::with_capacity(sources.len() * self.dim);
+        for &e in sources {
+            src.extend_from_slice(self.vec1(e));
+        }
+        let mut dst = Vec::with_capacity(targets.len() * self.dim);
+        for &e in targets {
+            dst.extend_from_slice(self.vec2(e));
+        }
+        SimilarityMatrix::compute(&src, &dst, self.dim, self.metric, threads)
+    }
+}
+
+/// Evaluates an output on the fold's test pairs with the OpenEA convention:
+/// candidates are the test targets.
+pub fn evaluate_output(out: &ApproachOutput, test: &[AlignedPair], threads: usize) -> RankEval {
+    let sources: Vec<EntityId> = test.iter().map(|&(a, _)| a).collect();
+    let targets: Vec<EntityId> = test.iter().map(|&(_, b)| b).collect();
+    let sim = out.similarity(&sources, &targets, threads);
+    let gold: Vec<usize> = (0..test.len()).collect();
+    rank_eval(&sim, &gold)
+}
+
+/// How the two KGs' parameters are combined (Sect. 2.2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combination {
+    /// Independent ids; the alignment module adds a calibration loss.
+    Calibration,
+    /// Seed pairs share one parameter vector.
+    Sharing,
+    /// Seed entities are swapped in each other's triples (extra triples).
+    Swapping,
+}
+
+/// A unified id space over both KGs of a pair.
+#[derive(Clone, Debug)]
+pub struct UnifiedSpace {
+    pub num_entities: usize,
+    pub num_relations: usize,
+    /// Training triples over unified ids (KG1 + KG2, plus swaps if any).
+    pub triples: Vec<RawTriple>,
+    map1: Vec<u32>,
+    map2: Vec<u32>,
+}
+
+impl UnifiedSpace {
+    /// Builds the space. `seeds` drive sharing/swapping; with
+    /// [`Combination::Calibration`] they are ignored here (the approach adds
+    /// its own loss).
+    pub fn build(pair: &KgPair, seeds: &[AlignedPair], mode: Combination) -> Self {
+        let n1 = pair.kg1.num_entities();
+        let n2 = pair.kg2.num_entities();
+        let r1 = pair.kg1.num_relations();
+        let r2 = pair.kg2.num_relations();
+
+        let map1: Vec<u32> = (0..n1 as u32).collect();
+        let mut map2: Vec<u32> = Vec::with_capacity(n2);
+        let mut num_entities = n1;
+        match mode {
+            Combination::Sharing => {
+                let mut shared: HashMap<EntityId, u32> = HashMap::with_capacity(seeds.len());
+                for &(a, b) in seeds {
+                    shared.insert(b, a.0);
+                }
+                for e in 0..n2 {
+                    match shared.get(&EntityId::from_idx(e)) {
+                        Some(&uid) => map2.push(uid),
+                        None => {
+                            map2.push(num_entities as u32);
+                            num_entities += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                map2.extend((n1 as u32..(n1 + n2) as u32).clone());
+                num_entities = n1 + n2;
+            }
+        }
+
+        let mut triples = Vec::with_capacity(pair.kg1.num_rel_triples() + pair.kg2.num_rel_triples());
+        for t in pair.kg1.rel_triples() {
+            triples.push((map1[t.head.idx()], t.rel.0, map1[t.tail.idx()]));
+        }
+        for t in pair.kg2.rel_triples() {
+            triples.push((map2[t.head.idx()], r1 as u32 + t.rel.0, map2[t.tail.idx()]));
+        }
+
+        let mut space = Self { num_entities, num_relations: r1 + r2, triples, map1, map2 };
+        if mode == Combination::Swapping {
+            let swaps = space.swap_triples(pair, seeds);
+            space.triples.extend(swaps);
+        }
+        space
+    }
+
+    /// Swapped triples for the given aligned pairs (Sect. 2.2.3): for
+    /// `(e1, e2)` and a KG1 triple `(e1, r, x)` emit `(e2, r, x)`, and
+    /// symmetrically for KG2 triples.
+    pub fn swap_triples(&self, pair: &KgPair, pairs: &[AlignedPair]) -> Vec<RawTriple> {
+        let r1 = pair.kg1.num_relations() as u32;
+        let mut out = Vec::new();
+        for &(a, b) in pairs {
+            let ua = self.uid1(a);
+            let ub = self.uid2(b);
+            if ua == ub {
+                continue; // shared parameters: swapping is a no-op
+            }
+            for &(r, t) in pair.kg1.out_edges(a) {
+                out.push((ub, r.0, self.uid1(t)));
+            }
+            for &(r, h) in pair.kg1.in_edges(a) {
+                out.push((self.uid1(h), r.0, ub));
+            }
+            for &(r, t) in pair.kg2.out_edges(b) {
+                out.push((ua, r1 + r.0, self.uid2(t)));
+            }
+            for &(r, h) in pair.kg2.in_edges(b) {
+                out.push((self.uid2(h), r1 + r.0, ua));
+            }
+        }
+        out
+    }
+
+    #[inline]
+    pub fn uid1(&self, e: EntityId) -> u32 {
+        self.map1[e.idx()]
+    }
+
+    #[inline]
+    pub fn uid2(&self, e: EntityId) -> u32 {
+        self.map2[e.idx()]
+    }
+
+    /// Splits a unified embedding table back into per-KG flat buffers.
+    pub fn extract(&self, table: &EmbeddingTable) -> (Vec<f32>, Vec<f32>) {
+        let dim = table.dim();
+        let mut e1 = Vec::with_capacity(self.map1.len() * dim);
+        for &u in &self.map1 {
+            e1.extend_from_slice(table.row(u as usize));
+        }
+        let mut e2 = Vec::with_capacity(self.map2.len() * dim);
+        for &u in &self.map2 {
+            e2.extend_from_slice(table.row(u as usize));
+        }
+        (e1, e2)
+    }
+}
+
+/// Pulls the unified embeddings of aligned pairs together (the calibration
+/// objective `‖e₁ − e₂‖²`, one SGD step per pair).
+pub fn calibrate(table: &mut EmbeddingTable, pairs: &[(u32, u32)], lr: f32) {
+    let dim = table.dim();
+    for &(a, b) in pairs {
+        if a == b {
+            continue;
+        }
+        let (ra, rb) = table.rows_mut2(a as usize, b as usize);
+        for i in 0..dim {
+            let g = 2.0 * (ra[i] - rb[i]) * lr;
+            ra[i] -= g;
+            rb[i] += g;
+        }
+    }
+}
+
+/// Early stopping on validation Hits@1 (paper's termination condition).
+#[derive(Clone, Debug)]
+pub struct EarlyStopper {
+    best: f64,
+    bad_checks: usize,
+    patience: usize,
+}
+
+impl EarlyStopper {
+    pub fn new(patience: usize) -> Self {
+        Self { best: f64::NEG_INFINITY, bad_checks: 0, patience }
+    }
+
+    /// Feeds a new validation score; returns `true` when training should stop.
+    pub fn should_stop(&mut self, score: f64) -> bool {
+        if score > self.best {
+            self.best = score;
+            self.bad_checks = 0;
+            false
+        } else {
+            self.bad_checks += 1;
+            self.bad_checks > self.patience
+        }
+    }
+
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+/// Validation Hits@1 via greedy matching among the validation pairs.
+pub fn validation_hits1(out: &ApproachOutput, valid: &[AlignedPair], threads: usize) -> f64 {
+    if valid.is_empty() {
+        return 0.0;
+    }
+    evaluate_output(out, valid, threads).hits1
+}
+
+/// The concatenated literal text of an entity (attribute values joined), the
+/// raw material for description/name encoders.
+pub fn entity_literal_text(kg: &KnowledgeGraph, e: EntityId) -> String {
+    let mut parts: Vec<&str> = kg.attrs_of(e).iter().map(|&(_, v)| kg.literal_value(v)).collect();
+    parts.sort_unstable();
+    parts.join(" ")
+}
+
+/// A heuristic "name" literal: the value with the most alphabetic
+/// characters (names are wordy; numbers and dates are not).
+pub fn entity_name_literal(kg: &KnowledgeGraph, e: EntityId) -> Option<&str> {
+    kg.attrs_of(e)
+        .iter()
+        .map(|&(_, v)| kg.literal_value(v))
+        .max_by_key(|s| s.chars().filter(|c| c.is_alphabetic()).count())
+}
+
+/// Literal feature vectors for every entity of a KG (unit rows; zero for
+/// entities without literals).
+pub fn literal_features(kg: &KnowledgeGraph, enc: &LiteralEncoder) -> Vec<f32> {
+    let dim = enc.dim();
+    let mut out = vec![0.0f32; kg.num_entities() * dim];
+    for e in kg.entity_ids() {
+        let attrs = kg.attrs_of(e);
+        if attrs.is_empty() {
+            continue;
+        }
+        let row = &mut out[e.idx() * dim..(e.idx() + 1) * dim];
+        for &(_, v) in attrs {
+            let lv = enc.encode(kg.literal_value(v));
+            vecops::axpy(1.0, &lv, row);
+        }
+        vecops::normalize(row);
+    }
+    out
+}
+
+/// Precision/recall/F1 of a set of proposed pairs against the full gold
+/// alignment, for the Figure 7 augmentation curves. Both are given in KG
+/// entity ids.
+pub fn augmentation_quality(proposed: &[(EntityId, EntityId)], gold: &HashSet<(EntityId, EntityId)>) -> PrfScores {
+    let pred: Vec<(u32, u32)> = proposed.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    let gold_raw: HashSet<(u32, u32)> = gold.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    precision_recall_f1(&pred, &gold_raw)
+}
+
+/// The interface of an entity-alignment approach.
+pub trait Approach: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Table 9 column for this approach.
+    fn requirements(&self) -> Requirements;
+
+    /// Trains on `split.train` (+`split.valid` for early stopping) and
+    /// returns alignment-ready embeddings.
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+
+    fn tiny_pair() -> KgPair {
+        let mut b1 = KgBuilder::new("g1");
+        b1.add_rel_triple("a1", "r", "b1");
+        b1.add_rel_triple("b1", "r", "c1");
+        b1.add_attr_triple("a1", "name", "alpha beta");
+        let mut b2 = KgBuilder::new("g2");
+        b2.add_rel_triple("a2", "s", "b2");
+        b2.add_rel_triple("b2", "s", "c2");
+        b2.add_attr_triple("a2", "label", "alpha beta");
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let al = ["a", "b", "c"]
+            .iter()
+            .map(|n| {
+                (
+                    kg1.entity_by_name(&format!("{n}1")).unwrap(),
+                    kg2.entity_by_name(&format!("{n}2")).unwrap(),
+                )
+            })
+            .collect();
+        KgPair::new(kg1, kg2, al)
+    }
+
+    #[test]
+    fn sharing_merges_seed_ids() {
+        let p = tiny_pair();
+        let seeds = vec![p.alignment[0]];
+        let s = UnifiedSpace::build(&p, &seeds, Combination::Sharing);
+        assert_eq!(s.num_entities, 3 + 3 - 1);
+        assert_eq!(s.uid1(seeds[0].0), s.uid2(seeds[0].1));
+        // Non-seed entities stay distinct.
+        assert_ne!(s.uid1(p.alignment[1].0), s.uid2(p.alignment[1].1));
+        assert_eq!(s.num_relations, 2);
+    }
+
+    #[test]
+    fn swapping_adds_extra_triples() {
+        let p = tiny_pair();
+        let seeds = vec![p.alignment[0], p.alignment[1]];
+        let plain = UnifiedSpace::build(&p, &[], Combination::Calibration);
+        let swapped = UnifiedSpace::build(&p, &seeds, Combination::Swapping);
+        assert!(swapped.triples.len() > plain.triples.len());
+        // Every swap references valid unified ids.
+        for &(h, r, t) in &swapped.triples {
+            assert!((h as usize) < swapped.num_entities);
+            assert!((t as usize) < swapped.num_entities);
+            assert!((r as usize) < swapped.num_relations);
+        }
+    }
+
+    #[test]
+    fn extract_roundtrips_embeddings() {
+        let p = tiny_pair();
+        let s = UnifiedSpace::build(&p, &[], Combination::Calibration);
+        let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+        let _ = &mut rng;
+        let mut table = EmbeddingTable::zeros(s.num_entities, 4);
+        for i in 0..s.num_entities {
+            table.row_mut(i).fill(i as f32);
+        }
+        let (e1, e2) = s.extract(&table);
+        assert_eq!(e1.len(), 3 * 4);
+        assert_eq!(e2.len(), 3 * 4);
+        let a1 = p.kg1.entity_by_name("a1").unwrap();
+        assert_eq!(e1[a1.idx() * 4], s.uid1(a1) as f32);
+    }
+
+    #[test]
+    fn calibrate_pulls_rows_together() {
+        let mut table = EmbeddingTable::zeros(2, 2);
+        table.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        table.row_mut(1).copy_from_slice(&[0.0, 1.0]);
+        let d0 = vecops::euclidean(table.row(0), table.row(1));
+        calibrate(&mut table, &[(0, 1)], 0.1);
+        let d1 = vecops::euclidean(table.row(0), table.row(1));
+        assert!(d1 < d0);
+    }
+
+    #[test]
+    fn early_stopper_patience() {
+        let mut es = EarlyStopper::new(1);
+        assert!(!es.should_stop(0.5));
+        assert!(!es.should_stop(0.6)); // improvement
+        assert!(!es.should_stop(0.55)); // first bad check
+        assert!(es.should_stop(0.5)); // second bad check -> stop
+        assert_eq!(es.best(), 0.6);
+    }
+
+    #[test]
+    fn name_literal_prefers_wordy_values() {
+        let mut b = KgBuilder::new("k");
+        b.add_attr_triple("e", "pop", "12345");
+        b.add_attr_triple("e", "name", "long descriptive name");
+        let kg = b.build();
+        let e = kg.entity_by_name("e").unwrap();
+        assert_eq!(entity_name_literal(&kg, e), Some("long descriptive name"));
+    }
+
+    #[test]
+    fn literal_features_are_unit_or_zero() {
+        let p = tiny_pair();
+        let enc = LiteralEncoder::new(WordVectors::hash_only(8));
+        let f = literal_features(&p.kg1, &enc);
+        let a1 = p.kg1.entity_by_name("a1").unwrap();
+        let row = &f[a1.idx() * 8..(a1.idx() + 1) * 8];
+        assert!((vecops::norm2(row) - 1.0).abs() < 1e-4);
+        let b1 = p.kg1.entity_by_name("b1").unwrap(); // no attrs
+        let row = &f[b1.idx() * 8..(b1.idx() + 1) * 8];
+        assert!(row.iter().all(|&x| x == 0.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use openea_core::KgBuilder;
+    use proptest::prelude::*;
+
+    /// Builds a random pair where entity i of KG1 aligns with entity i of KG2.
+    fn random_pair(edges1: &[(u8, u8, u8)], edges2: &[(u8, u8, u8)], n: u8) -> KgPair {
+        let mut b1 = KgBuilder::new("g1");
+        let mut b2 = KgBuilder::new("g2");
+        for i in 0..n {
+            b1.add_entity(&format!("a{i}"));
+            b2.add_entity(&format!("b{i}"));
+        }
+        for &(h, r, t) in edges1 {
+            b1.add_rel_triple(&format!("a{}", h % n), &format!("r{}", r % 4), &format!("a{}", t % n));
+        }
+        for &(h, r, t) in edges2 {
+            b2.add_rel_triple(&format!("b{}", h % n), &format!("s{}", r % 4), &format!("b{}", t % n));
+        }
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let alignment = (0..n)
+            .map(|i| {
+                (
+                    kg1.entity_by_name(&format!("a{i}")).unwrap(),
+                    kg2.entity_by_name(&format!("b{i}")).unwrap(),
+                )
+            })
+            .collect();
+        KgPair::new(kg1, kg2, alignment)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The unified space is well-formed under every combination mode:
+        /// ids in range, seed pairs share ids iff sharing, triples valid.
+        #[test]
+        fn unified_space_invariants(
+            edges1 in proptest::collection::vec((0u8..6, 0u8..4, 0u8..6), 1..24),
+            edges2 in proptest::collection::vec((0u8..6, 0u8..4, 0u8..6), 1..24),
+            num_seeds in 0usize..4,
+        ) {
+            let pair = random_pair(&edges1, &edges2, 6);
+            let seeds: Vec<AlignedPair> = pair.alignment.iter().copied().take(num_seeds).collect();
+            for mode in [Combination::Calibration, Combination::Sharing, Combination::Swapping] {
+                let space = UnifiedSpace::build(&pair, &seeds, mode);
+                // Triples reference valid ids.
+                for &(h, r, t) in &space.triples {
+                    prop_assert!((h as usize) < space.num_entities);
+                    prop_assert!((t as usize) < space.num_entities);
+                    prop_assert!((r as usize) < space.num_relations);
+                }
+                // Entity maps stay in range.
+                for e in pair.kg1.entity_ids() {
+                    prop_assert!((space.uid1(e) as usize) < space.num_entities);
+                }
+                for e in pair.kg2.entity_ids() {
+                    prop_assert!((space.uid2(e) as usize) < space.num_entities);
+                }
+                // Sharing merges exactly the seeds.
+                for &(a, b) in &seeds {
+                    if mode == Combination::Sharing {
+                        prop_assert_eq!(space.uid1(a), space.uid2(b));
+                    } else {
+                        prop_assert_ne!(space.uid1(a), space.uid2(b));
+                    }
+                }
+                // Entity count bookkeeping.
+                let expected = match mode {
+                    Combination::Sharing => {
+                        pair.kg1.num_entities() + pair.kg2.num_entities() - seeds.len()
+                    }
+                    _ => pair.kg1.num_entities() + pair.kg2.num_entities(),
+                };
+                prop_assert_eq!(space.num_entities, expected);
+            }
+        }
+
+        /// extract() inverts the maps: each KG row equals its unified row.
+        #[test]
+        fn extract_is_consistent_with_uids(
+            edges1 in proptest::collection::vec((0u8..5, 0u8..3, 0u8..5), 1..12),
+            num_seeds in 0usize..3,
+        ) {
+            let pair = random_pair(&edges1, &edges1, 5);
+            let seeds: Vec<AlignedPair> = pair.alignment.iter().copied().take(num_seeds).collect();
+            let space = UnifiedSpace::build(&pair, &seeds, Combination::Sharing);
+            let mut table = EmbeddingTable::zeros(space.num_entities, 3);
+            for i in 0..space.num_entities {
+                table.row_mut(i).fill(i as f32);
+            }
+            let (e1, e2) = space.extract(&table);
+            for e in pair.kg1.entity_ids() {
+                prop_assert_eq!(e1[e.idx() * 3], space.uid1(e) as f32);
+            }
+            for e in pair.kg2.entity_ids() {
+                prop_assert_eq!(e2[e.idx() * 3], space.uid2(e) as f32);
+            }
+        }
+    }
+}
+
+impl ApproachOutput {
+    /// Writes the embeddings as TSV (`entity-uri \t v0 \t v1 …`), one file
+    /// section per KG separated by a blank line — a portable analogue of
+    /// OpenEA's saved embedding matrices.
+    pub fn write_tsv(&self, path: impl AsRef<std::path::Path>, pair: &KgPair) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for (kg, emb) in [(&pair.kg1, &self.emb1), (&pair.kg2, &self.emb2)] {
+            for e in kg.entity_ids() {
+                write!(w, "{}", kg.entity_name(e))?;
+                for v in &emb[e.idx() * self.dim..(e.idx() + 1) * self.dim] {
+                    write!(w, "\t{v}")?;
+                }
+                writeln!(w)?;
+            }
+            writeln!(w)?;
+        }
+        w.flush()
+    }
+
+    /// Reads embeddings written by [`ApproachOutput::write_tsv`] back,
+    /// resolving rows against `pair`'s entity names.
+    pub fn read_tsv(
+        path: impl AsRef<std::path::Path>,
+        pair: &KgPair,
+        metric: Metric,
+    ) -> std::io::Result<ApproachOutput> {
+        let text = std::fs::read_to_string(path)?;
+        let mut sections = text.split("\n\n");
+        let parse = |section: &str, kg: &KnowledgeGraph| -> std::io::Result<(usize, Vec<f32>)> {
+            let mut dim = 0usize;
+            let mut emb: Vec<f32> = Vec::new();
+            let mut rows = 0usize;
+            let mut buf: Vec<(EntityId, Vec<f32>)> = Vec::new();
+            for line in section.lines() {
+                if line.is_empty() {
+                    continue;
+                }
+                let mut cols = line.split('\t');
+                let name = cols.next().unwrap_or_default();
+                let e = kg.entity_by_name(name).ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("unknown entity {name}"))
+                })?;
+                let v: Vec<f32> = cols
+                    .map(|c| c.parse::<f32>().map_err(|x| std::io::Error::new(std::io::ErrorKind::InvalidData, x)))
+                    .collect::<Result<_, _>>()?;
+                if dim == 0 {
+                    dim = v.len();
+                } else if dim != v.len() {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "ragged embedding rows"));
+                }
+                buf.push((e, v));
+                rows += 1;
+            }
+            if rows != kg.num_entities() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected {} rows, found {rows}", kg.num_entities()),
+                ));
+            }
+            emb.resize(kg.num_entities() * dim, 0.0);
+            for (e, v) in buf {
+                emb[e.idx() * dim..(e.idx() + 1) * dim].copy_from_slice(&v);
+            }
+            Ok((dim, emb))
+        };
+        let s1 = sections.next().unwrap_or_default();
+        let s2 = sections.next().unwrap_or_default();
+        let (d1, emb1) = parse(s1, &pair.kg1)?;
+        let (d2, emb2) = parse(s2, &pair.kg2)?;
+        if d1 != d2 {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "dimension mismatch between KGs"));
+        }
+        Ok(ApproachOutput { dim: d1, metric, emb1, emb2, augmentation: Vec::new() })
+    }
+}
+
+#[cfg(test)]
+mod tsv_tests {
+    use super::*;
+    use openea_core::KgBuilder;
+
+    #[test]
+    fn embeddings_roundtrip_through_tsv() {
+        let mut b1 = KgBuilder::new("g1");
+        b1.add_rel_triple("a1", "r", "b1");
+        let mut b2 = KgBuilder::new("g2");
+        b2.add_rel_triple("a2", "s", "b2");
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let al = vec![(kg1.entity_by_name("a1").unwrap(), kg2.entity_by_name("a2").unwrap())];
+        let pair = KgPair::new(kg1, kg2, al);
+        let out = ApproachOutput {
+            dim: 3,
+            metric: Metric::Cosine,
+            emb1: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            emb2: vec![0.5, -1.5, 2.5, 7.0, 8.0, 9.0],
+            augmentation: Vec::new(),
+        };
+        let path = std::env::temp_dir().join(format!("openea_emb_{}.tsv", std::process::id()));
+        out.write_tsv(&path, &pair).unwrap();
+        let back = ApproachOutput::read_tsv(&path, &pair, Metric::Cosine).unwrap();
+        assert_eq!(back.dim, 3);
+        assert_eq!(back.emb1, out.emb1);
+        assert_eq!(back.emb2, out.emb2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn read_tsv_rejects_wrong_entities() {
+        let mut b1 = KgBuilder::new("g1");
+        b1.add_entity("a1");
+        let mut b2 = KgBuilder::new("g2");
+        b2.add_entity("a2");
+        let pair = KgPair::new(
+            b1.build(),
+            b2.build(),
+            vec![],
+        );
+        let path = std::env::temp_dir().join(format!("openea_embbad_{}.tsv", std::process::id()));
+        std::fs::write(&path, "nope\t1\t2\n\nmore\t1\t2\n\n").unwrap();
+        assert!(ApproachOutput::read_tsv(&path, &pair, Metric::Cosine).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! IMUSE \[28\]: "unsupervised" entity alignment via a preprocessing step that
+//! collects high-string-similarity entity pairs as (noisy) extra seeds, then
+//! trains a TransE embedding with parameter sharing over the merged seed set
+//! and combines relation and attribute similarity at inference. As the paper
+//! notes, IMUSE still consumes the given seed alignment — its preprocessing
+//! only *augments* it (and the errors it introduces can hurt).
+
+use crate::common::{
+    validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
+    RunConfig, UnifiedSpace,
+};
+use openea_align::{greedy_collective, Metric, SimilarityMatrix};
+use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
+use openea_math::negsamp::UniformSampler;
+use openea_math::vecops;
+use openea_models::{train_epoch, RelationModel, TransE};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Finds candidate pairs by shared literal values, scores them by weighted
+/// overlap, and returns a 1-to-1 set above `threshold`.
+pub fn string_match_seeds(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph, threshold: f32) -> Vec<AlignedPair> {
+    // Inverted index over exact literal values of KG2.
+    let mut index: HashMap<&str, Vec<EntityId>> = HashMap::new();
+    for e in kg2.entity_ids() {
+        for &(_, v) in kg2.attrs_of(e) {
+            index.entry(kg2.literal_value(v)).or_default().push(e);
+        }
+    }
+    // Rarity-weighted overlap: shared rare values are strong evidence.
+    let mut scores: HashMap<(EntityId, EntityId), f32> = HashMap::new();
+    for e1 in kg1.entity_ids() {
+        for &(_, v) in kg1.attrs_of(e1) {
+            if let Some(matches) = index.get(kg1.literal_value(v)) {
+                if matches.len() > 8 {
+                    continue; // too common to be informative
+                }
+                let w = 1.0 / matches.len() as f32;
+                for &e2 in matches {
+                    *scores.entry((e1, e2)).or_insert(0.0) += w;
+                }
+            }
+        }
+    }
+    // Greedy 1-to-1 by descending score.
+    let mut ranked: Vec<((EntityId, EntityId), f32)> = scores.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mut used1 = HashSet::new();
+    let mut used2 = HashSet::new();
+    let mut out = Vec::new();
+    for ((e1, e2), s) in ranked {
+        if s < threshold {
+            break;
+        }
+        if !used1.contains(&e1) && !used2.contains(&e2) {
+            used1.insert(e1);
+            used2.insert(e2);
+            out.push((e1, e2));
+        }
+    }
+    out
+}
+
+/// IMUSE.
+pub struct Imuse {
+    /// Minimum rarity-weighted overlap for a preprocessing seed.
+    pub string_threshold: f32,
+    /// Weight of the relation view in the final combined similarity.
+    pub rel_weight: f32,
+}
+
+impl Default for Imuse {
+    fn default() -> Self {
+        Self { string_threshold: 1.5, rel_weight: 0.6 }
+    }
+}
+
+impl Approach for Imuse {
+    fn name(&self) -> &'static str {
+        "IMUSE"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Optional,
+            attr_triples: Req::Optional,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::Optional,
+            word_embeddings: Req::CrossLingualOnly,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        // Preprocessing: augment the seeds with string matches (may be wrong).
+        let mut seeds = split.train.clone();
+        if cfg.use_attributes {
+            let taken1: HashSet<EntityId> = seeds.iter().map(|&(a, _)| a).collect();
+            let taken2: HashSet<EntityId> = seeds.iter().map(|&(_, b)| b).collect();
+            for (a, b) in string_match_seeds(&pair.kg1, &pair.kg2, self.string_threshold) {
+                if !taken1.contains(&a) && !taken2.contains(&b) {
+                    seeds.push((a, b));
+                }
+            }
+        }
+        let space = UnifiedSpace::build(pair, &seeds, Combination::Sharing);
+        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
+        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+
+        // Attribute view: literal features through the (word-vector) encoder.
+        let enc = cfg.literal_encoder();
+        let attr1 = cfg.use_attributes.then(|| crate::common::literal_features(&pair.kg1, &enc));
+        let attr2 = cfg.use_attributes.then(|| crate::common::literal_features(&pair.kg2, &enc));
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+            } else {
+                // Attribute-only mode still needs *some* embedding: entities
+                // keep their initialization; only the combination matters.
+            }
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.output(&space, &model, attr1.as_deref(), attr2.as_deref(), cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.output(&space, &model, attr1.as_deref(), attr2.as_deref(), cfg))
+    }
+}
+
+impl Imuse {
+    fn output(
+        &self,
+        space: &UnifiedSpace,
+        model: &TransE,
+        attr1: Option<&[f32]>,
+        attr2: Option<&[f32]>,
+        cfg: &RunConfig,
+    ) -> ApproachOutput {
+        let (s1, s2) = space.extract(model.entities());
+        match (attr1, attr2) {
+            (Some(a1), Some(a2)) => {
+                // Weighted concatenation realizes the relation/attribute
+                // similarity merge under cosine.
+                let wr = self.rel_weight;
+                let wa = 1.0 - wr;
+                let enc_dim = a1.len() / (s1.len() / cfg.dim).max(1);
+                let combine = |s: &[f32], a: &[f32]| {
+                    let n = s.len() / cfg.dim;
+                    let mut out = Vec::with_capacity(n * (cfg.dim + enc_dim));
+                    for i in 0..n {
+                        let mut srow = s[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
+                        vecops::normalize(&mut srow);
+                        out.extend(srow.iter().map(|x| x * wr));
+                        out.extend(a[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * wa));
+                    }
+                    out
+                };
+                ApproachOutput {
+                    dim: cfg.dim + enc_dim,
+                    metric: Metric::Cosine,
+                    emb1: combine(&s1, a1),
+                    emb2: combine(&s2, a2),
+                    augmentation: Vec::new(),
+                }
+            }
+            _ => ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1: s1, emb2: s2, augmentation: Vec::new() },
+        }
+    }
+}
+
+/// Greedy-collective match over a similarity matrix, exposed for tests.
+pub fn one_to_one(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
+    greedy_collective(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+
+    #[test]
+    fn string_seeds_find_rare_shared_literals() {
+        let mut b1 = KgBuilder::new("a");
+        b1.add_attr_triple("x", "name", "unique literal alpha");
+        b1.add_attr_triple("x", "pop", "12000");
+        b1.add_attr_triple("y", "name", "another one");
+        let mut b2 = KgBuilder::new("b");
+        b2.add_attr_triple("u", "label", "unique literal alpha");
+        b2.add_attr_triple("u", "population", "12000");
+        b2.add_attr_triple("w", "label", "something else");
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let seeds = string_match_seeds(&kg1, &kg2, 1.5);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(kg1.entity_name(seeds[0].0), "x");
+        assert_eq!(kg2.entity_name(seeds[0].1), "u");
+    }
+
+    #[test]
+    fn common_values_are_ignored() {
+        let mut b1 = KgBuilder::new("a");
+        let mut b2 = KgBuilder::new("b");
+        for i in 0..20 {
+            b1.add_attr_triple(&format!("x{i}"), "type", "city");
+            b2.add_attr_triple(&format!("u{i}"), "kind", "city");
+        }
+        let seeds = string_match_seeds(&b1.build(), &b2.build(), 0.5);
+        assert!(seeds.is_empty(), "shared common value must not create seeds");
+    }
+
+    #[test]
+    fn seeds_are_one_to_one() {
+        let mut b1 = KgBuilder::new("a");
+        b1.add_attr_triple("x", "name", "val shared");
+        b1.add_attr_triple("y", "name", "val shared");
+        b1.add_attr_triple("x", "other", "rare one");
+        let mut b2 = KgBuilder::new("b");
+        b2.add_attr_triple("u", "label", "val shared");
+        b2.add_attr_triple("u", "more", "rare one");
+        let seeds = string_match_seeds(&b1.build(), &b2.build(), 0.4);
+        let mut s1 = HashSet::new();
+        let mut s2 = HashSet::new();
+        for (a, b) in seeds {
+            assert!(s1.insert(a));
+            assert!(s2.insert(b));
+        }
+    }
+}

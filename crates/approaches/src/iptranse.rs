@@ -1,0 +1,247 @@
+//! IPTransE \[93\]: path-based translational embedding in a unified space with
+//! parameter sharing, trained semi-supervised by uncurated self-training.
+//!
+//! The path objective infers that a two-hop path `(r₁, r₂)` between two
+//! entities should compose (by summation) to any direct relation `r₃`
+//! between them: `‖(r₁ + r₂) − r₃‖²` is minimized. Self-training proposes
+//! each source's nearest neighbour above a threshold and *keeps the errors*
+//! (no editing) — reproducing the paper's observation that IPTransE's
+//! augmentation precision degrades over iterations.
+
+use crate::boot::{propose_alignment, unaligned_entities};
+use crate::common::{
+    augmentation_quality, calibrate, validation_hits1, Approach, ApproachOutput, Combination,
+    EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
+};
+use openea_align::Metric;
+use openea_core::{EntityId, FoldSplit, KgPair};
+use openea_math::negsamp::UniformSampler;
+use openea_math::vecops;
+use openea_models::{train_epoch, TransE};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// A mined path instance: relations `r1, r2` composing to direct `r3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathInstance {
+    pub r1: u32,
+    pub r2: u32,
+    pub r3: u32,
+}
+
+/// Mines two-hop relation paths that parallel a direct relation, capped at
+/// `max_instances` (they grow combinatorially).
+pub fn mine_paths(triples: &[(u32, u32, u32)], max_instances: usize) -> Vec<PathInstance> {
+    // direct[(h, t)] -> relations
+    let mut direct: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+    let mut out_edges: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+    for &(h, r, t) in triples {
+        direct.entry((h, t)).or_default().push(r);
+        out_edges.entry(h).or_default().push((r, t));
+    }
+    let mut found = Vec::new();
+    'outer: for &(h, r1, m) in triples {
+        if let Some(nexts) = out_edges.get(&m) {
+            for &(r2, t) in nexts {
+                if t == h {
+                    continue;
+                }
+                if let Some(r3s) = direct.get(&(h, t)) {
+                    for &r3 in r3s {
+                        found.push(PathInstance { r1, r2, r3 });
+                        if found.len() >= max_instances {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+/// IPTransE.
+pub struct IpTransE {
+    /// Epochs between self-training rounds.
+    pub boot_every: usize,
+    /// Cosine threshold for accepting a proposed pair.
+    pub threshold: f32,
+    /// Weight of the path-composition loss.
+    pub path_weight: f32,
+}
+
+impl Default for IpTransE {
+    fn default() -> Self {
+        // The low threshold is faithful: IPTransE accepts nearest neighbours
+        // liberally and has no error-editing mechanism, which is why its
+        // augmentation precision degrades over iterations (Figure 7).
+        Self { boot_every: 20, threshold: 0.35, path_weight: 0.3 }
+    }
+}
+
+impl IpTransE {
+    fn path_step(&self, model: &mut TransE, paths: &[PathInstance], lr: f32) {
+        let dim = model.relations.dim();
+        for p in paths {
+            // u = (r1 + r2) − r3 ; pull each relation along −∇‖u‖².
+            let u: Vec<f32> = (0..dim)
+                .map(|i| {
+                    model.relations.row(p.r1 as usize)[i] + model.relations.row(p.r2 as usize)[i]
+                        - model.relations.row(p.r3 as usize)[i]
+                })
+                .collect();
+            let s = 2.0 * lr * self.path_weight;
+            #[allow(clippy::needless_range_loop)] // multi-array indexed math reads clearer
+            for i in 0..dim {
+                model.relations.row_mut(p.r1 as usize)[i] -= s * u[i];
+                model.relations.row_mut(p.r2 as usize)[i] -= s * u[i];
+                model.relations.row_mut(p.r3 as usize)[i] += s * u[i];
+            }
+        }
+    }
+}
+
+impl Approach for IpTransE {
+    fn name(&self) -> &'static str {
+        "IPTransE"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Mandatory,
+            attr_triples: Req::NotApplicable,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::NotApplicable,
+            word_embeddings: Req::NotApplicable,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
+        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
+        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut paths = mine_paths(&space.triples, 20_000);
+        paths.shuffle(&mut rng);
+        paths.truncate(4_000);
+
+        // Self-training state: cumulative proposals (never revoked).
+        let mut taken1: HashSet<EntityId> = split.train.iter().map(|&(a, _)| a).collect();
+        let mut taken2: HashSet<EntityId> = split.train.iter().map(|&(_, b)| b).collect();
+        let mut proposed: Vec<(EntityId, EntityId)> = Vec::new();
+        let gold: HashSet<(EntityId, EntityId)> = pair
+            .alignment
+            .iter()
+            .copied()
+            .filter(|p| !split.train.contains(p))
+            .collect();
+        let mut augmentation = Vec::new();
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+                self.path_step(&mut model, &paths, cfg.lr);
+            }
+            // Soft alignment for proposed pairs (seed pairs share ids already).
+            let prop_uids: Vec<(u32, u32)> = proposed
+                .iter()
+                .map(|&(a, b)| (space.uid1(a), space.uid2(b)))
+                .collect();
+            calibrate(&mut model.entities, &prop_uids, cfg.lr);
+
+            if (epoch + 1) % self.boot_every == 0 {
+                // Proposals are thresholded on cosine similarity (the
+                // output metric is Euclidean, whose similarities are
+                // negative distances and cannot carry a positive cutoff).
+                let mut out = self.output(&space, &model, cfg);
+                out.metric = openea_align::Metric::Cosine;
+                let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
+                let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
+                let new_pairs = propose_alignment(&out, &cand1, &cand2, self.threshold, false, cfg.threads);
+                for &(a, b) in &new_pairs {
+                    taken1.insert(a);
+                    taken2.insert(b);
+                }
+                proposed.extend(new_pairs);
+                augmentation.push(augmentation_quality(&proposed, &gold));
+            }
+
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.output(&space, &model, cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
+        out.augmentation = augmentation;
+        out
+    }
+}
+
+impl IpTransE {
+    fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
+        let (emb1, emb2) = space.extract(&model.entities);
+        let _ = vecops::norm2(&emb1[..cfg.dim.min(emb1.len())]);
+        ApproachOutput { dim: cfg.dim, metric: Metric::Euclidean, emb1, emb2, augmentation: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mine_paths_finds_triangles() {
+        // h -r0-> m -r1-> t and h -r2-> t.
+        let triples = vec![(0, 0, 1), (1, 1, 2), (0, 2, 2)];
+        let paths = mine_paths(&triples, 100);
+        assert!(paths.contains(&PathInstance { r1: 0, r2: 1, r3: 2 }));
+    }
+
+    #[test]
+    fn mine_paths_ignores_back_edges() {
+        // h -> m -> h has no distinct endpoint.
+        let triples = vec![(0, 0, 1), (1, 1, 0)];
+        assert!(mine_paths(&triples, 100).is_empty());
+    }
+
+    #[test]
+    fn mine_paths_respects_cap() {
+        let mut triples = Vec::new();
+        for i in 0..20u32 {
+            triples.push((0, i, 1));
+            triples.push((1, i, 2));
+            triples.push((0, i, 2));
+        }
+        assert_eq!(mine_paths(&triples, 50).len(), 50);
+    }
+
+    #[test]
+    fn path_step_composes_relations() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut model = TransE::new(3, 3, 8, 1.0, &mut rng);
+        let approach = IpTransE { path_weight: 1.0, ..IpTransE::default() };
+        let p = PathInstance { r1: 0, r2: 1, r3: 2 };
+        let residual = |m: &TransE| {
+            let u: Vec<f32> = (0..8)
+                .map(|i| m.relations.row(0)[i] + m.relations.row(1)[i] - m.relations.row(2)[i])
+                .collect();
+            vecops::norm2_sq(&u)
+        };
+        let before = residual(&model);
+        for _ in 0..30 {
+            approach.path_step(&mut model, &[p], 0.05);
+        }
+        assert!(residual(&model) < before * 0.2);
+    }
+}

@@ -1,0 +1,216 @@
+//! JAPE \[72\]: joint attribute-preserving embedding. TransE in a unified
+//! space (parameter sharing) plus attribute-correlation embedding (AC2Vec):
+//! attributes co-occurring on entities are embedded close, and entities get
+//! an attribute feature that refines the structural similarity. Cosine
+//! metric, supervised.
+//!
+//! Attribute spaces of the two KGs connect only through attributes with
+//! identical names — which rarely happens across heterogeneous schemata, so
+//! the attribute signal is weak, exactly the behaviour Figure 6 reports.
+
+use crate::common::{
+    validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
+    RunConfig, UnifiedSpace,
+};
+use openea_align::Metric;
+use openea_core::{AttributeId, FoldSplit, KgPair, KnowledgeGraph};
+use openea_math::negsamp::UniformSampler;
+use openea_math::vecops;
+use openea_models::{train_epoch, AttrCorrelationModel, TransE};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Unified attribute ids across two KGs: attributes with identical names
+/// share an id. Returns `(maps, count)`.
+pub fn unify_attributes(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph) -> (Vec<u32>, Vec<u32>, usize) {
+    let mut by_name: HashMap<&str, u32> = HashMap::new();
+    let mut next = 0u32;
+    let mut map1 = Vec::with_capacity(kg1.num_attributes());
+    for a in 0..kg1.num_attributes() {
+        let name = kg1.attribute_name(AttributeId::from_idx(a));
+        let id = *by_name.entry(name).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        });
+        map1.push(id);
+    }
+    let mut map2 = Vec::with_capacity(kg2.num_attributes());
+    for a in 0..kg2.num_attributes() {
+        let name = kg2.attribute_name(AttributeId::from_idx(a));
+        let id = *by_name.entry(name).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        });
+        map2.push(id);
+    }
+    (map1, map2, next as usize)
+}
+
+/// Per-entity unified attribute id lists.
+pub fn entity_attr_sets(kg: &KnowledgeGraph, map: &[u32]) -> Vec<Vec<u32>> {
+    kg.entity_ids()
+        .map(|e| {
+            let mut v: Vec<u32> = kg.attrs_of(e).iter().map(|&(a, _)| map[a.idx()]).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect()
+}
+
+/// Per-KG attribute-correlation feature vectors.
+type AttrFeatures = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+
+/// JAPE.
+pub struct Jape {
+    /// Weight of the structural view in the combined embedding.
+    pub structure_weight: f32,
+}
+
+impl Default for Jape {
+    fn default() -> Self {
+        Self { structure_weight: 0.85 }
+    }
+}
+
+impl Approach for Jape {
+    fn name(&self) -> &'static str {
+        "JAPE"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Mandatory,
+            attr_triples: Req::Optional,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::NotApplicable,
+            word_embeddings: Req::NotApplicable,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
+        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
+        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+
+        // Attribute-correlation view.
+        let attr_features = if cfg.use_attributes {
+            let (map1, map2, num_attrs) = unify_attributes(&pair.kg1, &pair.kg2);
+            let sets1 = entity_attr_sets(&pair.kg1, &map1);
+            let sets2 = entity_attr_sets(&pair.kg2, &map2);
+            let mut all_sets = sets1.clone();
+            all_sets.extend(sets2.iter().cloned());
+            let mut ac = AttrCorrelationModel::new(num_attrs.max(2), cfg.dim, &mut rng);
+            ac.train(&all_sets, 4, cfg.lr, &mut rng);
+            let f1: Vec<Vec<f32>> = sets1.iter().map(|s| ac.entity_feature(s)).collect();
+            let f2: Vec<Vec<f32>> = sets2.iter().map(|s| ac.entity_feature(s)).collect();
+            Some((f1, f2))
+        } else {
+            None
+        };
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+            }
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.output(&space, &model, attr_features.as_ref(), cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.output(&space, &model, attr_features.as_ref(), cfg))
+    }
+}
+
+impl Jape {
+    /// Combines the structural embedding with the attribute feature by
+    /// weighted concatenation (cosine over the concat realizes the paper's
+    /// weighted similarity combination).
+    fn output(
+        &self,
+        space: &UnifiedSpace,
+        model: &TransE,
+        attr: Option<&AttrFeatures>,
+        cfg: &RunConfig,
+    ) -> ApproachOutput {
+        let (s1, s2) = space.extract(&model.entities);
+        match attr {
+            None => ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1: s1, emb2: s2, augmentation: Vec::new() },
+            Some((f1, f2)) => {
+                let ws = self.structure_weight;
+                let wa = 1.0 - ws;
+                let dim = cfg.dim * 2;
+                let combine = |s: &[f32], f: &[Vec<f32>]| {
+                    let mut out = Vec::with_capacity(f.len() * dim);
+                    for (i, feat) in f.iter().enumerate() {
+                        let mut srow = s[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
+                        vecops::normalize(&mut srow);
+                        out.extend(srow.iter().map(|x| x * ws));
+                        out.extend(feat.iter().map(|x| x * wa));
+                    }
+                    out
+                };
+                ApproachOutput {
+                    dim,
+                    metric: Metric::Cosine,
+                    emb1: combine(&s1, f1),
+                    emb2: combine(&s2, f2),
+                    augmentation: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+
+    #[test]
+    fn unify_attributes_merges_identical_names() {
+        let mut b1 = KgBuilder::new("a");
+        b1.add_attr_triple("e", "name", "x");
+        b1.add_attr_triple("e", "pop", "1");
+        let mut b2 = KgBuilder::new("b");
+        b2.add_attr_triple("f", "name", "y");
+        b2.add_attr_triple("f", "area", "2");
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let (m1, m2, n) = unify_attributes(&kg1, &kg2);
+        assert_eq!(n, 3); // name shared; pop, area distinct
+        let name1 = kg1.attribute_by_name("name").unwrap();
+        let name2 = kg2.attribute_by_name("name").unwrap();
+        assert_eq!(m1[name1.idx()], m2[name2.idx()]);
+    }
+
+    #[test]
+    fn entity_attr_sets_dedup() {
+        let mut b = KgBuilder::new("a");
+        b.add_attr_triple("e", "name", "x");
+        b.add_attr_triple("e", "name", "y");
+        b.add_attr_triple("e", "pop", "1");
+        let kg = b.build();
+        let (map, _, _) = unify_attributes(&kg, &KgBuilder::new("b").build());
+        let sets = entity_attr_sets(&kg, &map);
+        assert_eq!(sets[0].len(), 2); // name deduped
+    }
+
+    #[test]
+    fn requirements_mark_attributes_optional() {
+        assert_eq!(Jape::default().requirements().attr_triples, Req::Optional);
+    }
+}

@@ -1,0 +1,292 @@
+//! KDCoE \[9\]: co-training of two orthogonal views — relation-triple
+//! embeddings (an MTransE-style transformation) and textual-description
+//! embeddings (a literal encoder over pre-trained cross-lingual word
+//! vectors). Each co-training iteration, each view proposes its most
+//! confident new pairs to augment the other's training seed.
+//!
+//! Entities with thin descriptions cannot be proposed by the description
+//! view, which limits how much co-training helps — the behaviour Figure 7
+//! reports for KDCoE.
+
+use crate::boot::{propose_alignment, unaligned_entities};
+use crate::common::{
+    augmentation_quality, entity_literal_text, validation_hits1, Approach, ApproachOutput,
+    EarlyStopper, Req, Requirements, RunConfig,
+};
+use crate::transformation::kg_triples;
+use openea_align::Metric;
+use openea_core::{EntityId, FoldSplit, KgPair, KnowledgeGraph};
+use openea_math::negsamp::UniformSampler;
+use openea_math::{vecops, Matrix};
+use openea_models::literal::LiteralEncoder;
+use openea_models::{train_epoch, RelationModel, TransE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Description vectors for every entity (unit rows; zero when the entity has
+/// no literals, i.e. "lacks a textual description").
+pub fn description_vectors(kg: &KnowledgeGraph, enc: &LiteralEncoder) -> Vec<f32> {
+    let dim = enc.dim();
+    let mut out = vec![0.0f32; kg.num_entities() * dim];
+    for e in kg.entity_ids() {
+        let text = entity_literal_text(kg, e);
+        if text.is_empty() {
+            continue;
+        }
+        let v = enc.encode(&text);
+        out[e.idx() * dim..(e.idx() + 1) * dim].copy_from_slice(&v);
+    }
+    out
+}
+
+/// KDCoE.
+pub struct KdCoe {
+    /// Epochs between co-training iterations.
+    pub co_every: usize,
+    /// Confidence threshold of the description view.
+    pub desc_threshold: f32,
+    /// Confidence threshold of the relation view.
+    pub rel_threshold: f32,
+    /// Weight of the description view in the final embedding.
+    pub desc_weight: f32,
+}
+
+impl Default for KdCoe {
+    fn default() -> Self {
+        Self { co_every: 15, desc_threshold: 0.9, rel_threshold: 0.85, desc_weight: 0.5 }
+    }
+}
+
+impl Approach for KdCoe {
+    fn name(&self) -> &'static str {
+        "KDCoE"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Optional,
+            attr_triples: Req::Optional,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::Optional,
+            word_embeddings: Req::CrossLingualOnly,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut m1 = TransE::new(pair.kg1.num_entities(), pair.kg1.num_relations().max(1), cfg.dim, cfg.margin, &mut rng);
+        let mut m2 = TransE::new(pair.kg2.num_entities(), pair.kg2.num_relations().max(1), cfg.dim, cfg.margin, &mut rng);
+        let t1 = kg_triples(&pair.kg1);
+        let t2 = kg_triples(&pair.kg2);
+        let s1 = UniformSampler { num_entities: pair.kg1.num_entities().max(1) as u32 };
+        let s2 = UniformSampler { num_entities: pair.kg2.num_entities().max(1) as u32 };
+        let mut map = Matrix::identity(cfg.dim);
+        for v in map.data_mut() {
+            *v += rng.gen_range(-0.02..0.02);
+        }
+
+        // Description view (fixed encodings — the co-trained "other" model).
+        let enc = cfg.literal_encoder();
+        let desc = cfg.use_attributes.then(|| {
+            (description_vectors(&pair.kg1, &enc), description_vectors(&pair.kg2, &enc))
+        });
+
+        let mut seeds = split.train.clone();
+        let mut taken1: HashSet<EntityId> = seeds.iter().map(|&(a, _)| a).collect();
+        let mut taken2: HashSet<EntityId> = seeds.iter().map(|&(_, b)| b).collect();
+        let gold: HashSet<(EntityId, EntityId)> = pair
+            .alignment
+            .iter()
+            .copied()
+            .filter(|p| !split.train.contains(p))
+            .collect();
+        let mut proposed_all: Vec<(EntityId, EntityId)> = Vec::new();
+        let mut augmentation = Vec::new();
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                train_epoch(&mut m1, &t1, &s1, cfg.lr, cfg.negs, &mut rng);
+                train_epoch(&mut m2, &t2, &s2, cfg.lr, cfg.negs, &mut rng);
+            }
+            seed_step(&mut m1, &mut m2, &mut map, &seeds, cfg);
+
+            if (epoch + 1) % self.co_every == 0 {
+                // Description view proposes (only entities with descriptions).
+                let mut new_pairs = Vec::new();
+                if let Some((d1, d2)) = &desc {
+                    let enc_dim = enc.dim();
+                    let desc_out = ApproachOutput {
+                        dim: enc_dim,
+                        metric: Metric::Cosine,
+                        emb1: d1.clone(),
+                        emb2: d2.clone(),
+                        augmentation: Vec::new(),
+                    };
+                    let cand1: Vec<EntityId> = unaligned_entities(pair.kg1.num_entities(), &taken1)
+                        .into_iter()
+                        .filter(|e| d1[e.idx() * enc_dim..(e.idx() + 1) * enc_dim].iter().any(|&x| x != 0.0))
+                        .collect();
+                    let cand2: Vec<EntityId> = unaligned_entities(pair.kg2.num_entities(), &taken2)
+                        .into_iter()
+                        .filter(|e| d2[e.idx() * enc_dim..(e.idx() + 1) * enc_dim].iter().any(|&x| x != 0.0))
+                        .collect();
+                    new_pairs.extend(propose_alignment(&desc_out, &cand1, &cand2, self.desc_threshold, true, cfg.threads));
+                }
+                // Relation view proposes.
+                {
+                    let rel_out = self.relation_output(&m1, &m2, &map, cfg);
+                    let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
+                    let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
+                    new_pairs.extend(propose_alignment(&rel_out, &cand1, &cand2, self.rel_threshold, true, cfg.threads));
+                }
+                for &(a, b) in &new_pairs {
+                    if !taken1.contains(&a) && !taken2.contains(&b) {
+                        taken1.insert(a);
+                        taken2.insert(b);
+                        seeds.push((a, b));
+                        proposed_all.push((a, b));
+                    }
+                }
+                augmentation.push(augmentation_quality(&proposed_all, &gold));
+            }
+
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        let mut out = best.unwrap_or_else(|| self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg));
+        out.augmentation = augmentation;
+        out
+    }
+}
+
+/// Joint SGD on `‖M·e₁ − e₂‖²` (same as the transformation harness, shared
+/// here to avoid a factory indirection for the co-training loop).
+fn seed_step(m1: &mut TransE, m2: &mut TransE, map: &mut Matrix, seeds: &[(EntityId, EntityId)], cfg: &RunConfig) {
+    let dim = cfg.dim;
+    let lr = cfg.lr;
+    let mut me1 = vec![0.0f32; dim];
+    let mut mtu = vec![0.0f32; dim];
+    for &(a, b) in seeds {
+        let e1: Vec<f32> = m1.entities().row(a.idx()).to_vec();
+        map.matvec_into(&e1, &mut me1);
+        let u: Vec<f32> = {
+            let e2 = m2.entities().row(b.idx());
+            me1.iter().zip(e2).map(|(x, y)| x - y).collect()
+        };
+        map.matvec_t_into(&u, &mut mtu);
+        for i in 0..dim {
+            for j in 0..dim {
+                map[(i, j)] -= 2.0 * lr * u[i] * e1[j];
+            }
+        }
+        m1.entities_mut().sgd_row(a.idx(), &mtu, 2.0 * lr);
+        let neg: Vec<f32> = u.iter().map(|x| -x).collect();
+        m2.entities_mut().sgd_row(b.idx(), &neg, 2.0 * lr);
+    }
+}
+
+impl KdCoe {
+    fn relation_output(&self, m1: &TransE, m2: &TransE, map: &Matrix, cfg: &RunConfig) -> ApproachOutput {
+        let mut emb1 = Vec::with_capacity(m1.num_entities() * cfg.dim);
+        let mut buf = vec![0.0f32; cfg.dim];
+        for e in 0..m1.num_entities() {
+            map.matvec_into(m1.entities().row(e), &mut buf);
+            emb1.extend_from_slice(&buf);
+        }
+        ApproachOutput {
+            dim: cfg.dim,
+            metric: Metric::Euclidean,
+            emb1,
+            emb2: m2.entities().data().to_vec(),
+            augmentation: Vec::new(),
+        }
+    }
+
+    fn combined_output(
+        &self,
+        m1: &TransE,
+        m2: &TransE,
+        map: &Matrix,
+        desc: Option<&(Vec<f32>, Vec<f32>)>,
+        enc: &LiteralEncoder,
+        cfg: &RunConfig,
+    ) -> ApproachOutput {
+        let rel = self.relation_output(m1, m2, map, cfg);
+        match desc {
+            None => rel,
+            Some((d1, d2)) => {
+                let enc_dim = enc.dim();
+                let w = self.desc_weight;
+                let combine = |rel: &[f32], d: &[f32], n: usize| {
+                    let mut out = Vec::with_capacity(n * (cfg.dim + enc_dim));
+                    for i in 0..n {
+                        let mut r = rel[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
+                        vecops::normalize(&mut r);
+                        out.extend(r.iter().map(|x| x * (1.0 - w)));
+                        out.extend(d[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * w));
+                    }
+                    out
+                };
+                ApproachOutput {
+                    dim: cfg.dim + enc_dim,
+                    metric: Metric::Euclidean,
+                    emb1: combine(&rel.emb1, d1, m1.num_entities()),
+                    emb2: combine(&rel.emb2, d2, m2.num_entities()),
+                    augmentation: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+    use openea_models::literal::WordVectors;
+
+    #[test]
+    fn description_vectors_zero_without_literals() {
+        let mut b = KgBuilder::new("a");
+        b.add_rel_triple("x", "r", "y");
+        b.add_attr_triple("x", "desc", "a city in the alps");
+        let kg = b.build();
+        let enc = LiteralEncoder::new(WordVectors::hash_only(16));
+        let d = description_vectors(&kg, &enc);
+        let x = kg.entity_by_name("x").unwrap();
+        let y = kg.entity_by_name("y").unwrap();
+        assert!(vecops::norm2(&d[x.idx() * 16..(x.idx() + 1) * 16]) > 0.9);
+        assert!(d[y.idx() * 16..(y.idx() + 1) * 16].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matching_descriptions_align() {
+        let mut b1 = KgBuilder::new("a");
+        b1.add_attr_triple("x", "desc", "the tallest mountain on earth");
+        let mut b2 = KgBuilder::new("b");
+        b2.add_attr_triple("u", "about", "the tallest mountain on earth");
+        b2.add_attr_triple("w", "about", "a small danish village");
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let enc = LiteralEncoder::new(WordVectors::hash_only(32));
+        let d1 = description_vectors(&kg1, &enc);
+        let d2 = description_vectors(&kg2, &enc);
+        let x = kg1.entity_by_name("x").unwrap();
+        let u = kg2.entity_by_name("u").unwrap();
+        let w = kg2.entity_by_name("w").unwrap();
+        let row = |d: &[f32], e: EntityId| d[e.idx() * 32..(e.idx() + 1) * 32].to_vec();
+        assert!(vecops::cosine(&row(&d1, x), &row(&d2, u)) > vecops::cosine(&row(&d1, x), &row(&d2, w)));
+    }
+}

@@ -1,0 +1,163 @@
+//! MTransE \[10\]: triple-based embedding (TransE) per KG plus an embedding-
+//! space transformation learned from the seed alignment. Euclidean metric,
+//! supervised. The first embedding-based entity-alignment approach.
+//!
+//! This module also hosts the Figure-11 harness: MTransE with its TransE
+//! replaced by any other relation model (TransH/R/D, DistMult, HolE, SimplE,
+//! RotatE, ProjE, ConvE).
+
+use crate::common::{Approach, ApproachOutput, Req, Requirements, RunConfig};
+use crate::transformation::{ModelFactory, TransformationHarness};
+use openea_align::Metric;
+use openea_core::{FoldSplit, KgPair};
+use openea_models::{ConvE, DistMult, HolE, ProjE, RotatE, SimplE, TransD, TransE, TransH, TransR};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Which relation model powers the MTransE-style harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelModelKind {
+    TransE,
+    TransH,
+    TransR,
+    TransD,
+    DistMult,
+    HolE,
+    SimplE,
+    RotatE,
+    ProjE,
+    ConvE,
+}
+
+impl RelModelKind {
+    /// The models evaluated in Figure 11 (plus the TransE baseline).
+    pub const FIGURE11: [RelModelKind; 9] = [
+        RelModelKind::TransE,
+        RelModelKind::TransH,
+        RelModelKind::TransR,
+        RelModelKind::TransD,
+        RelModelKind::HolE,
+        RelModelKind::SimplE,
+        RelModelKind::RotatE,
+        RelModelKind::ProjE,
+        RelModelKind::ConvE,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            RelModelKind::TransE => "TransE",
+            RelModelKind::TransH => "TransH",
+            RelModelKind::TransR => "TransR",
+            RelModelKind::TransD => "TransD",
+            RelModelKind::DistMult => "DistMult",
+            RelModelKind::HolE => "HolE",
+            RelModelKind::SimplE => "SimplE",
+            RelModelKind::RotatE => "RotatE",
+            RelModelKind::ProjE => "ProjE",
+            RelModelKind::ConvE => "ConvE",
+        }
+    }
+
+    /// A factory building this model kind.
+    pub fn factory(self) -> Box<ModelFactory> {
+        macro_rules! boxed {
+            ($ctor:expr) => {
+                Box::new(move |n: usize, r: usize, d: usize, seed: u64| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    #[allow(clippy::redundant_closure_call)]
+                    let m: Box<dyn openea_models::RelationModel> = Box::new(($ctor)(n, r, d, &mut rng));
+                    m
+                })
+            };
+        }
+        match self {
+            RelModelKind::TransE => boxed!(|n, r, d, rng: &mut SmallRng| TransE::new(n, r, d, 1.0, rng)),
+            RelModelKind::TransH => boxed!(|n, r, d, rng: &mut SmallRng| TransH::new(n, r, d, 1.0, rng)),
+            RelModelKind::TransR => boxed!(|n, r, d, rng: &mut SmallRng| TransR::new(n, r, d, 1.0, rng)),
+            RelModelKind::TransD => boxed!(|n, r, d, rng: &mut SmallRng| TransD::new(n, r, d, 1.0, rng)),
+            RelModelKind::DistMult => boxed!(|n, r, d, rng: &mut SmallRng| DistMult::new(n, r, d, rng)),
+            RelModelKind::HolE => boxed!(|n, r, d, rng: &mut SmallRng| HolE::new(n, r, d, rng)),
+            RelModelKind::SimplE => boxed!(|n, r, d, rng: &mut SmallRng| SimplE::new(n, r, d / 2, rng)),
+            RelModelKind::RotatE => boxed!(|n, r, d, rng: &mut SmallRng| RotatE::new(n, r, d, 2.0, rng)),
+            RelModelKind::ProjE => boxed!(|n, r, d, rng: &mut SmallRng| ProjE::new(n, r, d, 1.0, rng)),
+            RelModelKind::ConvE => boxed!(|n, r, d, rng: &mut SmallRng| ConvE::new(n, r, d, 1.0, rng)),
+        }
+    }
+}
+
+/// MTransE, parameterized by the relation model (TransE in the paper;
+/// other kinds reproduce Figure 11).
+pub struct MTransE {
+    pub model: RelModelKind,
+    /// Constrain the transformation to a rotation (MTransE's orthogonality
+    /// variant, realized via orthogonal Procrustes projection).
+    pub orthogonal: bool,
+}
+
+impl Default for MTransE {
+    fn default() -> Self {
+        Self { model: RelModelKind::TransE, orthogonal: false }
+    }
+}
+
+impl Approach for MTransE {
+    fn name(&self) -> &'static str {
+        "MTransE"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Mandatory,
+            attr_triples: Req::NotApplicable,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::NotApplicable,
+            word_embeddings: Req::NotApplicable,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let factory = self.model.factory();
+        let h = TransformationHarness {
+            factory: &factory,
+            metric: Metric::Euclidean,
+            cycle_weight: 0.0,
+            orthogonal: self.orthogonal,
+            update_entities: true,
+        };
+        h.run(pair, split, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11_list_contains_nine_models() {
+        assert_eq!(RelModelKind::FIGURE11.len(), 9);
+        let labels: std::collections::HashSet<_> =
+            RelModelKind::FIGURE11.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn factories_build_models_of_right_shape() {
+        for kind in RelModelKind::FIGURE11 {
+            let f = kind.factory();
+            let m = f(10, 3, 16, 1);
+            assert_eq!(m.num_entities(), 10, "{}", kind.label());
+            // Entity dim may exceed the nominal dim (SimplE halves then
+            // doubles; RotatE interleaves), but must be nonzero.
+            assert!(m.dim() >= 8, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn requirements_match_table9() {
+        let m = MTransE::default();
+        let r = m.requirements();
+        assert_eq!(r.rel_triples, Req::Mandatory);
+        assert_eq!(r.attr_triples, Req::NotApplicable);
+        assert_eq!(r.pre_aligned_entities, Req::Mandatory);
+    }
+}

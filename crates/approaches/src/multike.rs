@@ -1,0 +1,162 @@
+//! MultiKE \[90\]: multi-view knowledge-graph embedding. Three views —
+//! **name** (literal encoding of the entity's name), **relation** (TransE in
+//! a unified space with parameter swapping) and **attribute** (literal
+//! profile over all attribute values) — are combined into one discriminative
+//! representation. The multi-view redundancy makes MultiKE fast to converge
+//! and robust to sparse relations (the paper's efficiency/effectiveness
+//! sweet spot). Cosine metric, supervised.
+
+use crate::common::{
+    entity_name_literal, literal_features, validation_hits1, Approach, ApproachOutput,
+    Combination, EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
+};
+use openea_align::Metric;
+use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
+use openea_math::negsamp::UniformSampler;
+use openea_math::vecops;
+use openea_models::literal::LiteralEncoder;
+use openea_models::{train_epoch, RelationModel, TransE};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// MultiKE view weights.
+pub struct MultiKe {
+    pub name_weight: f32,
+    pub relation_weight: f32,
+    pub attr_weight: f32,
+}
+
+impl Default for MultiKe {
+    fn default() -> Self {
+        Self { name_weight: 0.45, relation_weight: 0.35, attr_weight: 0.2 }
+    }
+}
+
+/// Name-view features for one KG.
+fn name_view(kg: &KnowledgeGraph, enc: &LiteralEncoder) -> Vec<f32> {
+    let dim = enc.dim();
+    let mut out = Vec::with_capacity(kg.num_entities() * dim);
+    for e in kg.entity_ids() {
+        match entity_name_literal(kg, e) {
+            Some(name) => out.extend(enc.encode(name)),
+            None => out.extend(std::iter::repeat_n(0.0, dim)),
+        }
+    }
+    out
+}
+
+impl Approach for MultiKe {
+    fn name(&self) -> &'static str {
+        "MultiKE"
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            rel_triples: Req::Optional,
+            attr_triples: Req::Optional,
+            pre_aligned_entities: Req::Mandatory,
+            pre_aligned_properties: Req::NotApplicable,
+            word_embeddings: Req::CrossLingualOnly,
+        }
+    }
+
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let space = UnifiedSpace::build(pair, &split.train, Combination::Swapping);
+        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
+        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+
+        let enc = cfg.literal_encoder();
+        let views = cfg.use_attributes.then(|| {
+            (
+                name_view(&pair.kg1, &enc),
+                name_view(&pair.kg2, &enc),
+                literal_features(&pair.kg1, &enc),
+                literal_features(&pair.kg2, &enc),
+            )
+        });
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+            }
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.combine(&space, &model, views.as_ref(), &enc, cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.combine(&space, &model, views.as_ref(), &enc, cfg))
+    }
+}
+
+impl MultiKe {
+    #[allow(clippy::type_complexity)]
+    fn combine(
+        &self,
+        space: &UnifiedSpace,
+        model: &TransE,
+        views: Option<&(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)>,
+        enc: &LiteralEncoder,
+        cfg: &RunConfig,
+    ) -> ApproachOutput {
+        let (s1, s2) = space.extract(model.entities());
+        let Some((n1, n2, a1, a2)) = views else {
+            return ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1: s1, emb2: s2, augmentation: Vec::new() };
+        };
+        let enc_dim = enc.dim();
+        let (wn, wr, wa) = if cfg.use_relations {
+            (self.name_weight, self.relation_weight, self.attr_weight)
+        } else {
+            // Relation view disabled (Table 8): renormalize the others.
+            let z = self.name_weight + self.attr_weight;
+            (self.name_weight / z, 0.0, self.attr_weight / z)
+        };
+        let combine = |s: &[f32], nv: &[f32], av: &[f32]| {
+            let n = nv.len() / enc_dim;
+            let dim = cfg.dim + 2 * enc_dim;
+            let mut out = Vec::with_capacity(n * dim);
+            for i in 0..n {
+                let mut srow = s[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
+                vecops::normalize(&mut srow);
+                out.extend(srow.iter().map(|x| x * wr));
+                out.extend(nv[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * wn));
+                out.extend(av[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * wa));
+            }
+            out
+        };
+        ApproachOutput {
+            dim: cfg.dim + 2 * enc_dim,
+            metric: Metric::Cosine,
+            emb1: combine(&s1, n1, a1),
+            emb2: combine(&s2, n2, a2),
+            augmentation: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_sum_to_one() {
+        let m = MultiKe::default();
+        assert!((m.name_weight + m.relation_weight + m.attr_weight - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn requirements_match_table9() {
+        let r = MultiKe::default().requirements();
+        assert_eq!(r.rel_triples, Req::Optional);
+        assert_eq!(r.word_embeddings, Req::CrossLingualOnly);
+    }
+}

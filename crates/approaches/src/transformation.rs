@@ -1,0 +1,209 @@
+//! The *embedding-space transformation* interaction mode (MTransE, SEA,
+//! KDCoE's relation view, and the Figure-11 harness for unexplored models):
+//! each KG is embedded in its own space and a linear map `M` is trained so
+//! that `M·e₁ ≈ e₂` on the seed alignment.
+
+use crate::common::{validation_hits1, ApproachOutput, EarlyStopper, RunConfig};
+use openea_align::Metric;
+use openea_core::{AlignedPair, FoldSplit, KgPair};
+use openea_math::negsamp::{RawTriple, UniformSampler};
+use openea_math::{vecops, Matrix};
+use openea_models::{train_epoch, RelationModel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a fresh relation model: `(num_entities, num_relations, dim, seed)`.
+pub type ModelFactory = dyn Fn(usize, usize, usize, u64) -> Box<dyn RelationModel> + Sync;
+
+/// Raw triples of one KG in its own id space.
+pub fn kg_triples(kg: &openea_core::KnowledgeGraph) -> Vec<RawTriple> {
+    kg.rel_triples()
+        .iter()
+        .map(|t| (t.head.0, t.rel.0, t.tail.0))
+        .collect()
+}
+
+/// The transformation harness. `cycle_weight > 0` adds SEA-style cycle
+/// consistency (`M̄·M·e₁ ≈ e₁`) over unlabeled entities, which regularizes
+/// the map using non-seed data (a simple semi-supervised signal).
+pub struct TransformationHarness<'f> {
+    pub factory: &'f ModelFactory,
+    pub metric: Metric,
+    pub cycle_weight: f32,
+    /// Project `M` onto the nearest orthogonal matrix after each epoch —
+    /// MTransE's orthogonality variant, via orthogonal Procrustes machinery.
+    pub orthogonal: bool,
+    /// Whether the seed loss also updates the seed *entity* embeddings (the
+    /// joint objective). Multiplicative models are brittle under these
+    /// direct pulls; map-only training preserves their relational geometry.
+    pub update_entities: bool,
+}
+
+impl TransformationHarness<'_> {
+    pub fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut m1 = (self.factory)(pair.kg1.num_entities(), pair.kg1.num_relations().max(1), cfg.dim, cfg.seed ^ 1);
+        let mut m2 = (self.factory)(pair.kg2.num_entities(), pair.kg2.num_relations().max(1), cfg.dim, cfg.seed ^ 2);
+        let t1 = kg_triples(&pair.kg1);
+        let t2 = kg_triples(&pair.kg2);
+        let s1 = UniformSampler { num_entities: pair.kg1.num_entities().max(1) as u32 };
+        let s2 = UniformSampler { num_entities: pair.kg2.num_entities().max(1) as u32 };
+
+        // The transformation matrix, near-identity at start.
+        let mut map = Matrix::identity(cfg.dim);
+        for v in map.data_mut() {
+            *v += rng.gen_range(-0.02..0.02);
+        }
+        let mut back = Matrix::identity(cfg.dim);
+
+        let mut stopper = EarlyStopper::new(cfg.patience);
+        let mut best: Option<ApproachOutput> = None;
+        for epoch in 0..cfg.max_epochs {
+            if cfg.use_relations {
+                train_epoch(m1.as_mut(), &t1, &s1, cfg.lr, cfg.negs, &mut rng);
+                train_epoch(m2.as_mut(), &t2, &s2, cfg.lr, cfg.negs, &mut rng);
+            }
+            self.seed_step(m1.as_mut(), m2.as_mut(), &mut map, &split.train, cfg);
+            if self.cycle_weight > 0.0 {
+                self.cycle_step(m1.as_mut(), &mut map, &mut back, cfg, &mut rng);
+            }
+            if self.orthogonal {
+                map = openea_math::nearest_orthogonal(&map);
+            }
+
+            if (epoch + 1) % cfg.check_every == 0 {
+                let out = self.output(m1.as_ref(), m2.as_ref(), &map, cfg);
+                let score = validation_hits1(&out, &split.valid, cfg.threads);
+                let improved = score > stopper.best();
+                if improved || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    break;
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.output(m1.as_ref(), m2.as_ref(), &map, cfg))
+    }
+
+    /// Joint SGD on `‖M·e₁ − e₂‖²` for every seed pair.
+    fn seed_step(
+        &self,
+        m1: &mut dyn RelationModel,
+        m2: &mut dyn RelationModel,
+        map: &mut Matrix,
+        seeds: &[AlignedPair],
+        cfg: &RunConfig,
+    ) {
+        let dim = cfg.dim;
+        let lr = cfg.lr;
+        let mut me1 = vec![0.0f32; dim];
+        let mut mtu = vec![0.0f32; dim];
+        for &(a, b) in seeds {
+            let e1: Vec<f32> = m1.entities().row(a.idx()).to_vec();
+            map.matvec_into(&e1, &mut me1);
+            let u: Vec<f32> = {
+                let e2 = m2.entities().row(b.idx());
+                me1.iter().zip(e2).map(|(x, y)| x - y).collect()
+            };
+            // dL/dM = 2·u·e₁ᵀ ; dL/de₁ = 2·Mᵀu ; dL/de₂ = −2u.
+            map.matvec_t_into(&u, &mut mtu);
+            for i in 0..dim {
+                for j in 0..dim {
+                    map[(i, j)] -= 2.0 * lr * u[i] * e1[j];
+                }
+            }
+            if self.update_entities {
+                m1.entities_mut().sgd_row(a.idx(), &mtu, 2.0 * lr);
+                let neg_u: Vec<f32> = u.iter().map(|x| -x).collect();
+                m2.entities_mut().sgd_row(b.idx(), &neg_u, 2.0 * lr);
+            }
+        }
+    }
+
+    /// Cycle consistency on random unlabeled KG1 entities:
+    /// `‖M̄·(M·e₁) − e₁‖²` trains both maps.
+    fn cycle_step(
+        &self,
+        m1: &mut dyn RelationModel,
+        map: &mut Matrix,
+        back: &mut Matrix,
+        cfg: &RunConfig,
+        rng: &mut SmallRng,
+    ) {
+        let dim = cfg.dim;
+        let n = m1.num_entities();
+        if n == 0 {
+            return;
+        }
+        let lr = cfg.lr * self.cycle_weight;
+        let mut fwd = vec![0.0f32; dim];
+        let mut cyc = vec![0.0f32; dim];
+        let mut btu = vec![0.0f32; dim];
+        for _ in 0..(n / 10).max(1) {
+            let e = rng.gen_range(0..n);
+            let e1: Vec<f32> = m1.entities().row(e).to_vec();
+            map.matvec_into(&e1, &mut fwd);
+            back.matvec_into(&fwd, &mut cyc);
+            let u: Vec<f32> = cyc.iter().zip(&e1).map(|(x, y)| x - y).collect();
+            // dL/dback = 2·u·fwdᵀ ; dL/dfwd = 2·backᵀu → dL/dmap = (2·backᵀu)·e₁ᵀ
+            back.matvec_t_into(&u, &mut btu);
+            for i in 0..dim {
+                for j in 0..dim {
+                    back[(i, j)] -= 2.0 * lr * u[i] * fwd[j];
+                    map[(i, j)] -= 2.0 * lr * btu[i] * e1[j];
+                }
+            }
+        }
+    }
+
+    fn output(&self, m1: &dyn RelationModel, m2: &dyn RelationModel, map: &Matrix, cfg: &RunConfig) -> ApproachOutput {
+        let n1 = m1.num_entities();
+        let mut emb1 = Vec::with_capacity(n1 * cfg.dim);
+        let mut buf = vec![0.0f32; cfg.dim];
+        for e in 0..n1 {
+            map.matvec_into(m1.entities().row(e), &mut buf);
+            emb1.extend_from_slice(&buf);
+        }
+        let emb2 = m2.entities().data().to_vec();
+        let _ = vecops::norm2(&buf);
+        ApproachOutput { dim: cfg.dim, metric: self.metric, emb1, emb2, augmentation: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_models::TransE;
+
+    fn transe_factory() -> Box<ModelFactory> {
+        Box::new(|n, r, d, seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Box::new(TransE::new(n, r, d, 1.0, &mut rng))
+        })
+    }
+
+    #[test]
+    fn transformation_maps_seeds_close() {
+        // Two identical small KGs: the transformation should map seed
+        // embeddings close to their counterparts.
+        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::EnFr, 150, false, 77).generate();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let folds = openea_core::k_fold_splits(&pair.alignment, 5, &mut rng);
+        let factory = transe_factory();
+        let h = TransformationHarness { factory: &factory, metric: Metric::Euclidean, cycle_weight: 0.0, orthogonal: false, update_entities: true };
+        let cfg = RunConfig { dim: 16, max_epochs: 30, ..RunConfig::default() };
+        let out = h.run(&pair, &folds[0], &cfg);
+        // Mapped seed pairs are closer than random pairs on average.
+        let mut seed_d = 0.0;
+        let mut rand_d = 0.0;
+        let train = &folds[0].train;
+        for (k, &(a, b)) in train.iter().enumerate() {
+            seed_d += vecops::euclidean(out.vec1(a), out.vec2(b));
+            let (c, d) = train[(k + 1) % train.len()];
+            let _ = c;
+            rand_d += vecops::euclidean(out.vec1(a), out.vec2(d));
+        }
+        assert!(seed_d < rand_d, "seed {seed_d} vs random {rand_d}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Dense 2-D `f32` tensors (matrices). Scalars are `1×1`, row vectors `1×n`.
+
+use rand::Rng;
+
+/// A dense row-major 2-D tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(1, 1, vec![v])
+    }
+
+    pub fn random_uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Xavier/Glorot uniform init.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (rows + cols) as f32).sqrt();
+        Self::random_uniform(rows, cols, scale, rng)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The scalar value of a `1×1` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() requires a scalar tensor");
+        self.data[0]
+    }
+
+    pub fn same_shape(&self, other: &Tensor) -> bool {
+        self.rows == other.rows && self.cols == other.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar tensor")]
+    fn item_on_matrix_panics() {
+        let _ = Tensor::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let t = Tensor::xavier(10, 10, &mut rng);
+        let bound = (6.0 / 20.0f32).sqrt();
+        assert!(t.data.iter().all(|&x| x.abs() <= bound + 1e-6));
+    }
+}

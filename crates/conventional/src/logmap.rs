@@ -1,0 +1,275 @@
+//! A LogMap-style matcher \[34\]: lexical indexation → high-confidence
+//! anchors → structural propagation → 1-to-1 inconsistency repair.
+//!
+//! LogMap's discriminative power comes from meaningful names (URI local
+//! names and labels). We anchor on normalized name-ish literals; when the
+//! target KG's vocabulary is symbolically heterogeneous (numeric property
+//! names, noisy values — the D-W situation), anchors dry up and the system
+//! degrades or outputs nothing, reproducing the paper's observation that
+//! "LogMap fails to output entity alignment on the D-W datasets".
+
+use crate::ConventionalSystem;
+use openea_core::{AlignedPair, EntityId, KgPair, KnowledgeGraph};
+use std::collections::{HashMap, HashSet};
+
+/// LogMap-lite configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LogMapConfig {
+    /// Rounds of structural propagation.
+    pub propagation_rounds: usize,
+    /// Minimum aligned-neighbour votes to accept a propagated pair.
+    pub min_votes: f64,
+    /// If fewer than this fraction of entities obtain an anchor, the system
+    /// declares failure and outputs nothing (LogMap's D-W behaviour).
+    pub min_anchor_fraction: f64,
+}
+
+impl Default for LogMapConfig {
+    fn default() -> Self {
+        Self { propagation_rounds: 3, min_votes: 1.5, min_anchor_fraction: 0.05 }
+    }
+}
+
+/// The LogMap-style system.
+#[derive(Clone, Debug, Default)]
+pub struct LogMap {
+    pub config: LogMapConfig,
+}
+
+impl LogMap {
+    pub fn new(config: LogMapConfig) -> Self {
+        Self { config }
+    }
+}
+
+/// Normalizes a literal for lexical comparison: lowercase alphabetic words,
+/// sorted (order-insensitive). LogMap is *label*-oriented: purely numeric
+/// values and dates are not usable as lexical anchors, so literals without
+/// a real word normalize to `None`.
+fn normalize(literal: &str) -> Option<String> {
+    let mut words: Vec<String> = literal
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.len() >= 2 && w.chars().all(|c| c.is_alphabetic()))
+        .map(|w| w.to_lowercase())
+        .collect();
+    if words.is_empty() {
+        return None;
+    }
+    words.sort();
+    Some(words.join(" "))
+}
+
+/// The lexical keys of an entity: normalized literals plus the URI local
+/// name (LogMap "highly depends on the local names in URIs" — which is why
+/// it fails when they are opaque, as in Wikidata).
+fn lexical_keys(kg: &KnowledgeGraph, e: EntityId) -> Vec<String> {
+    let mut keys: Vec<String> = kg
+        .attrs_of(e)
+        .iter()
+        .filter_map(|&(_, v)| normalize(kg.literal_value(v)))
+        .collect();
+    let uri = kg.entity_name(e);
+    let local = uri.rsplit('/').next().unwrap_or(uri);
+    if let Some(k) = normalize(local) {
+        keys.push(k);
+    }
+    keys
+}
+
+impl ConventionalSystem for LogMap {
+    fn name(&self) -> &'static str {
+        "LogMap"
+    }
+
+    fn align(&self, pair: &KgPair) -> Vec<AlignedPair> {
+        let kg1 = &pair.kg1;
+        let kg2 = &pair.kg2;
+
+        // 1. Lexical indexation of KG2.
+        let mut index: HashMap<String, Vec<EntityId>> = HashMap::new();
+        for e in kg2.entity_ids() {
+            for key in lexical_keys(kg2, e) {
+                index.entry(key).or_default().push(e);
+            }
+        }
+
+        // 2. Anchors: unambiguous exact lexical matches.
+        let mut anchor_votes: HashMap<(EntityId, EntityId), usize> = HashMap::new();
+        for e1 in kg1.entity_ids() {
+            for key in lexical_keys(kg1, e1) {
+                if let Some(matches) = index.get(&key) {
+                    if matches.len() == 1 {
+                        *anchor_votes.entry((e1, matches[0])).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut anchors: Vec<((EntityId, EntityId), usize)> = anchor_votes.into_iter().collect();
+        anchors.sort_by_key(|&(_, votes)| std::cmp::Reverse(votes));
+        let mut matched1: HashMap<EntityId, EntityId> = HashMap::new();
+        let mut used2: HashSet<EntityId> = HashSet::new();
+        for ((e1, e2), _) in anchors {
+            if !matched1.contains_key(&e1) && !used2.contains(&e2) {
+                matched1.insert(e1, e2);
+                used2.insert(e2);
+            }
+        }
+        // LogMap declares failure if the lexical layer produced (almost)
+        // nothing — symbolic heterogeneity defeats it.
+        let anchor_fraction = matched1.len() as f64 / kg1.num_entities().max(1) as f64;
+        if anchor_fraction < self.config.min_anchor_fraction {
+            return Vec::new();
+        }
+
+        // 3. Structural propagation: candidates voted by aligned neighbours.
+        for _ in 0..self.config.propagation_rounds {
+            let mut votes: HashMap<(EntityId, EntityId), f64> = HashMap::new();
+            for e1 in kg1.entity_ids() {
+                if matched1.contains_key(&e1) {
+                    continue;
+                }
+                for n2 in neighbour_candidates(kg1, kg2, e1, &matched1) {
+                    if !used2.contains(&n2) {
+                        *votes.entry((e1, n2)).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+            let mut ranked: Vec<((EntityId, EntityId), f64)> = votes.into_iter().collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let mut added = 0;
+            for ((e1, e2), v) in ranked {
+                if v < self.config.min_votes {
+                    break;
+                }
+                if !matched1.contains_key(&e1) && !used2.contains(&e2) {
+                    matched1.insert(e1, e2);
+                    used2.insert(e2);
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                break;
+            }
+        }
+
+        // 4. Repair: drop pairs whose structural consistency is
+        // contradicted (no shared aligned neighbour AND no lexical tie).
+        let lexical_ok: HashSet<(EntityId, EntityId)> = matched1
+            .iter()
+            .filter(|&(&e1, &e2)| {
+                let k1: HashSet<String> = lexical_keys(kg1, e1).into_iter().collect();
+                lexical_keys(kg2, e2).iter().any(|k| k1.contains(k))
+            })
+            .map(|(&e1, &e2)| (e1, e2))
+            .collect();
+        matched1
+            .iter()
+            .filter(|&(&e1, &e2)| {
+                lexical_ok.contains(&(e1, e2)) || {
+                    // structurally supported: some neighbour aligned to a
+                    // neighbour of the counterpart
+                    let n2: HashSet<EntityId> = kg2.neighbors(e2).into_iter().collect();
+                    kg1.neighbors(e1)
+                        .iter()
+                        .filter_map(|n| matched1.get(n))
+                        .any(|m| n2.contains(m))
+                }
+            })
+            .map(|(&e1, &e2)| (e1, e2))
+            .collect()
+    }
+}
+
+/// KG2 candidates for `e1`: counterparts-of-neighbours' neighbours.
+fn neighbour_candidates(
+    kg1: &KnowledgeGraph,
+    kg2: &KnowledgeGraph,
+    e1: EntityId,
+    matched1: &HashMap<EntityId, EntityId>,
+) -> Vec<EntityId> {
+    let mut out = Vec::new();
+    for n in kg1.neighbors(e1) {
+        if let Some(&m) = matched1.get(&n) {
+            out.extend(kg2.neighbors(m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+
+    #[test]
+    fn normalize_is_order_and_case_insensitive() {
+        assert_eq!(normalize("Mount Everest"), normalize("everest MOUNT"));
+        assert_eq!(normalize("  !!"), None);
+        assert_ne!(normalize("alpha beta"), normalize("alpha gamma"));
+    }
+
+    #[test]
+    fn logmap_aligns_clean_pair() {
+        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 300, false, 9).generate();
+        let lm = LogMap::default();
+        let predicted = lm.align(&pair);
+        assert!(!predicted.is_empty());
+        let gold: HashSet<AlignedPair> = pair.alignment.iter().copied().collect();
+        let correct = predicted.iter().filter(|p| gold.contains(p)).count();
+        let precision = correct as f64 / predicted.len() as f64;
+        assert!(precision > 0.8, "precision {precision}");
+    }
+
+    #[test]
+    fn logmap_fails_without_lexical_anchors() {
+        // All literals disjoint: no anchors → empty output.
+        let mut b1 = KgBuilder::new("a");
+        b1.add_attr_triple("x", "name", "aaa bbb");
+        b1.add_rel_triple("x", "r", "y");
+        let mut b2 = KgBuilder::new("b");
+        b2.add_attr_triple("u", "label", "ccc ddd");
+        b2.add_rel_triple("u", "s", "w");
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let x = kg1.entity_by_name("x").unwrap();
+        let u = kg2.entity_by_name("u").unwrap();
+        let pair = KgPair::new(kg1, kg2, vec![(x, u)]);
+        assert!(LogMap::default().align(&pair).is_empty());
+    }
+
+    #[test]
+    fn propagation_extends_anchors_structurally() {
+        // x/u anchored lexically; y/w only reachable through structure.
+        let mut b1 = KgBuilder::new("a");
+        b1.add_attr_triple("x", "name", "anchor here");
+        b1.add_rel_triple("x", "r", "y");
+        b1.add_rel_triple("x", "r", "z");
+        b1.add_attr_triple("z", "name", "second anchor");
+        let mut b2 = KgBuilder::new("b");
+        b2.add_attr_triple("u", "label", "anchor here");
+        b2.add_rel_triple("u", "s", "w");
+        b2.add_rel_triple("u", "s", "v");
+        b2.add_attr_triple("v", "label", "second anchor");
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let gold = vec![
+            (kg1.entity_by_name("x").unwrap(), kg2.entity_by_name("u").unwrap()),
+            (kg1.entity_by_name("y").unwrap(), kg2.entity_by_name("w").unwrap()),
+            (kg1.entity_by_name("z").unwrap(), kg2.entity_by_name("v").unwrap()),
+        ];
+        let pair = KgPair::new(kg1, kg2, gold.clone());
+        let lm = LogMap::new(LogMapConfig { min_votes: 0.5, min_anchor_fraction: 0.0, ..LogMapConfig::default() });
+        let predicted = lm.align(&pair);
+        assert!(predicted.contains(&gold[0]));
+        assert!(predicted.contains(&gold[2]));
+        // y/w is ambiguous structurally (y vs z candidates for w) but with z
+        // taken by v it can be voted; don't require it strictly but confirm
+        // no wrong pair contradicts the gold 1-to-1.
+        let mut s1 = HashSet::new();
+        let mut s2 = HashSet::new();
+        for (a, b) in &predicted {
+            assert!(s1.insert(*a), "duplicate source");
+            assert!(s2.insert(*b), "duplicate target");
+        }
+    }
+}

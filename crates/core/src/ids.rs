@@ -1,0 +1,144 @@
+//! Strongly-typed identifiers for the symbols of a knowledge graph.
+//!
+//! All identifiers are thin `u32` newtypes: a knowledge graph with more than
+//! four billion entities is far outside the scope of this library (the paper's
+//! largest datasets hold 100K entities), and 4-byte ids keep triple stores and
+//! adjacency lists compact.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index, for direct use as a slice index.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in a `u32`.
+            #[inline]
+            pub fn from_idx(idx: usize) -> Self {
+                Self(u32::try_from(idx).expect("id overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.idx()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an entity within a single [`crate::KnowledgeGraph`].
+    EntityId
+);
+define_id!(
+    /// Identifier of a relation (object property) within a single KG.
+    RelationId
+);
+define_id!(
+    /// Identifier of an attribute (datatype property) within a single KG.
+    AttributeId
+);
+define_id!(
+    /// Identifier of an interned literal value within a single KG.
+    LiteralId
+);
+
+/// A relation triple `(head entity, relation, tail entity)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelTriple {
+    pub head: EntityId,
+    pub rel: RelationId,
+    pub tail: EntityId,
+}
+
+impl RelTriple {
+    #[inline]
+    pub fn new(head: EntityId, rel: RelationId, tail: EntityId) -> Self {
+        Self { head, rel, tail }
+    }
+}
+
+/// An attribute triple `(entity, attribute, literal value)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AttrTriple {
+    pub entity: EntityId,
+    pub attr: AttributeId,
+    pub value: LiteralId,
+}
+
+impl AttrTriple {
+    #[inline]
+    pub fn new(entity: EntityId, attr: AttributeId, value: LiteralId) -> Self {
+        Self { entity, attr, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let e = EntityId::from_idx(42);
+        assert_eq!(e.idx(), 42);
+        assert_eq!(usize::from(e), 42);
+        assert_eq!(format!("{e}"), "42");
+        assert_eq!(format!("{e:?}"), "EntityId(42)");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(RelationId(0) < RelationId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflows u32")]
+    fn from_idx_overflow_panics() {
+        let _ = EntityId::from_idx(usize::MAX);
+    }
+
+    #[test]
+    fn triple_constructors() {
+        let t = RelTriple::new(EntityId(1), RelationId(2), EntityId(3));
+        assert_eq!(t.head, EntityId(1));
+        assert_eq!(t.rel, RelationId(2));
+        assert_eq!(t.tail, EntityId(3));
+        let a = AttrTriple::new(EntityId(1), AttributeId(2), LiteralId(3));
+        assert_eq!(a.entity, EntityId(1));
+        assert_eq!(a.attr, AttributeId(2));
+        assert_eq!(a.value, LiteralId(3));
+    }
+
+    #[test]
+    fn triple_types_stay_small() {
+        // Triples are stored by the million; keep them at 12 bytes.
+        assert_eq!(std::mem::size_of::<RelTriple>(), 12);
+        assert_eq!(std::mem::size_of::<AttrTriple>(), 12);
+    }
+}

@@ -1,0 +1,128 @@
+//! String interning for entity URIs, relation/attribute names and literals.
+//!
+//! A [`Interner`] assigns dense `u32` indices to distinct strings in first-seen
+//! order, so the rest of the library can work with copyable ids while still
+//! being able to recover the original symbol for I/O and for name-based
+//! matching (used by the conventional approaches).
+
+use std::collections::HashMap;
+
+/// A dense string interner. Indices are assigned in first-insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            names: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Interns `name`, returning its index. Existing names keep their index.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.names.len()).expect("interner overflows u32");
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.index.insert(boxed, i);
+        i
+    }
+
+    /// Looks up the index of `name` without inserting.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the string for index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn resolve(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(index, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, &**n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("dbpedia:Mount_Everest");
+        let b = it.intern("wikidata:Q513");
+        let a2 = it.intern("dbpedia:Mount_Everest");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(a), "dbpedia:Mount_Everest");
+        assert_eq!(it.resolve(b), "wikidata:Q513");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut it = Interner::new();
+        assert_eq!(it.get("x"), None);
+        let i = it.intern("x");
+        assert_eq!(it.get("x"), Some(i));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn indices_are_dense_and_in_insertion_order() {
+        let mut it = Interner::new();
+        for (k, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(it.intern(name), k as u32);
+        }
+        let collected: Vec<_> = it.iter().map(|(i, n)| (i, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (0, "a".to_owned()),
+                (1, "b".to_owned()),
+                (2, "c".to_owned()),
+                (3, "d".to_owned())
+            ]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn resolve_roundtrips(names in proptest::collection::vec("[a-z]{1,8}", 0..50)) {
+            let mut it = Interner::new();
+            let ids: Vec<u32> = names.iter().map(|n| it.intern(n)).collect();
+            for (name, id) in names.iter().zip(&ids) {
+                prop_assert_eq!(it.resolve(*id), name.as_str());
+                prop_assert_eq!(it.get(name), Some(*id));
+            }
+            // Interner length equals the number of distinct names.
+            let distinct: std::collections::HashSet<_> = names.iter().collect();
+            prop_assert_eq!(it.len(), distinct.len());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Local and average clustering coefficients (Table 3 of the paper).
+//!
+//! The relation graph is treated as an undirected simple graph: an edge
+//! exists between two entities iff at least one relation triple connects them
+//! in either direction.
+
+use openea_core::{EntityId, KnowledgeGraph};
+use std::collections::HashSet;
+
+/// Local clustering coefficient of one entity: the fraction of pairs of its
+/// (undirected, distinct) neighbours that are themselves connected. Entities
+/// with fewer than two neighbours have coefficient 0.
+pub fn local_clustering_coefficient(kg: &KnowledgeGraph, e: EntityId) -> f64 {
+    let neigh = kg.neighbors(e);
+    let k = neigh.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let set: HashSet<EntityId> = neigh.iter().copied().collect();
+    let mut links = 0usize;
+    for &u in &neigh {
+        // Count u's neighbours that are also neighbours of e. Each triangle
+        // edge is counted from both endpoints, so halve at the end.
+        for v in kg.neighbors(u) {
+            if v != e && set.contains(&v) {
+                links += 1;
+            }
+        }
+    }
+    let links = links / 2;
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Average of the local clustering coefficients over all entities
+/// (Watts–Strogatz definition, as used by the graph-sampling literature the
+/// paper cites).
+pub fn average_clustering_coefficient(kg: &KnowledgeGraph) -> f64 {
+    let n = kg.num_entities();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = kg
+        .entity_ids()
+        .map(|e| local_clustering_coefficient(kg, e))
+        .sum();
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+
+    #[test]
+    fn triangle_has_coefficient_one() {
+        let mut b = KgBuilder::new("tri");
+        b.add_rel_triple("a", "r", "b");
+        b.add_rel_triple("b", "r", "c");
+        b.add_rel_triple("c", "r", "a");
+        let kg = b.build();
+        for e in kg.entity_ids() {
+            assert!((local_clustering_coefficient(&kg, e) - 1.0).abs() < 1e-12);
+        }
+        assert!((average_clustering_coefficient(&kg) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_coefficient_zero() {
+        let mut b = KgBuilder::new("path");
+        b.add_rel_triple("a", "r", "b");
+        b.add_rel_triple("b", "r", "c");
+        let kg = b.build();
+        assert_eq!(average_clustering_coefficient(&kg), 0.0);
+    }
+
+    #[test]
+    fn square_with_one_diagonal() {
+        // a-b-c-d-a plus diagonal a-c.
+        let mut b = KgBuilder::new("sq");
+        for (h, t) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "c")] {
+            b.add_rel_triple(h, "r", t);
+        }
+        let kg = b.build();
+        let get = |n: &str| kg.entity_by_name(n).unwrap();
+        // a has neighbours {b, c, d}; edges among them: b-c, c-d → 2 of 3 pairs.
+        assert!((local_clustering_coefficient(&kg, get("a")) - 2.0 / 3.0).abs() < 1e-12);
+        // b has neighbours {a, c}; a-c connected → 1 of 1.
+        assert!((local_clustering_coefficient(&kg, get("b")) - 1.0).abs() < 1e-12);
+        // d has neighbours {a, c}; connected → 1.
+        assert!((local_clustering_coefficient(&kg, get("d")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_edges_and_direction_do_not_double_count() {
+        // Parallel edges in both directions between the same pair.
+        let mut b = KgBuilder::new("multi");
+        b.add_rel_triple("a", "r1", "b");
+        b.add_rel_triple("b", "r2", "a");
+        b.add_rel_triple("b", "r1", "c");
+        b.add_rel_triple("c", "r2", "a");
+        let kg = b.build();
+        let a = kg.entity_by_name("a").unwrap();
+        assert!((local_clustering_coefficient(&kg, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut b = KgBuilder::new("loop");
+        b.add_rel_triple("a", "r", "a");
+        b.add_rel_triple("a", "r", "b");
+        let kg = b.build();
+        let a = kg.entity_by_name("a").unwrap();
+        assert_eq!(local_clustering_coefficient(&kg, a), 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let kg = KgBuilder::new("e").build();
+        assert_eq!(average_clustering_coefficient(&kg), 0.0);
+    }
+}

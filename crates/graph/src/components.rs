@@ -1,0 +1,78 @@
+//! Connected components of the undirected relation graph.
+
+use openea_core::{EntityId, KnowledgeGraph};
+
+/// Labels every entity with a component id (`0..k`) and returns
+/// `(labels, component_count)`. Isolated entities form singleton components.
+pub fn connected_components(kg: &KnowledgeGraph) -> (Vec<usize>, usize) {
+    let n = kg.num_entities();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        stack.push(EntityId::from_idx(start));
+        while let Some(e) = stack.pop() {
+            for &(_, t) in kg.out_edges(e) {
+                if label[t.idx()] == usize::MAX {
+                    label[t.idx()] = next;
+                    stack.push(t);
+                }
+            }
+            for &(_, h) in kg.in_edges(e) {
+                if label[h.idx()] == usize::MAX {
+                    label[h.idx()] = next;
+                    stack.push(h);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+
+    #[test]
+    fn two_components_plus_isolate() {
+        let mut b = KgBuilder::new("cc");
+        b.add_rel_triple("a", "r", "b");
+        b.add_rel_triple("b", "r", "c");
+        b.add_rel_triple("x", "r", "y");
+        b.add_entity("lonely");
+        let kg = b.build();
+        let (labels, k) = connected_components(&kg);
+        assert_eq!(k, 3);
+        let l = |n: &str| labels[kg.entity_by_name(n).unwrap().idx()];
+        assert_eq!(l("a"), l("b"));
+        assert_eq!(l("b"), l("c"));
+        assert_eq!(l("x"), l("y"));
+        assert_ne!(l("a"), l("x"));
+        assert_ne!(l("a"), l("lonely"));
+        assert_ne!(l("x"), l("lonely"));
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let mut b = KgBuilder::new("dir");
+        b.add_rel_triple("a", "r", "b");
+        b.add_rel_triple("c", "r", "b"); // c->b, still connected to a via b
+        let kg = b.build();
+        let (_, k) = connected_components(&kg);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_components() {
+        let kg = KgBuilder::new("e").build();
+        let (labels, k) = connected_components(&kg);
+        assert!(labels.is_empty());
+        assert_eq!(k, 0);
+    }
+}

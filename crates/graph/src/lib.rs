@@ -1,0 +1,17 @@
+//! # openea-graph
+//!
+//! Graph algorithms over [`openea_core::KnowledgeGraph`]s used by the dataset
+//! sampler (PageRank deletion weights and the Jensen–Shannon quality check of
+//! Algorithm 1), the dataset-quality report of Table 3 (clustering
+//! coefficient) and the path-based approaches (random walks for RSN4EA and
+//! relation paths for IPTransE).
+
+pub mod cluster;
+pub mod components;
+pub mod pagerank;
+pub mod walks;
+
+pub use cluster::{average_clustering_coefficient, local_clustering_coefficient};
+pub use components::connected_components;
+pub use pagerank::{pagerank, PageRankConfig};
+pub use walks::{sample_walks, Walk, WalkConfig};

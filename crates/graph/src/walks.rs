@@ -1,0 +1,205 @@
+//! Random walks over the relation graph, used by RSN4EA to build
+//! entity–relation sequences and by IPTransE to mine relation paths.
+
+use openea_core::{EntityId, KnowledgeGraph, RelationId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One step of a walk: the relation taken, whether it was traversed against
+/// its direction, and the entity reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkStep {
+    pub rel: RelationId,
+    /// `true` if the edge was followed tail→head (an inverse traversal).
+    pub inverse: bool,
+    pub entity: EntityId,
+}
+
+/// A random walk: a start entity followed by `(relation, entity)` steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Walk {
+    pub start: EntityId,
+    pub steps: Vec<WalkStep>,
+}
+
+impl Walk {
+    /// Number of edges traversed.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Configuration for [`sample_walks`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Number of edges per walk (walks may end early at dead ends).
+    pub length: usize,
+    /// Number of walks started from every entity.
+    pub walks_per_entity: usize,
+    /// Whether incoming edges may be traversed (as inverse steps).
+    pub use_inverse: bool,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self { length: 5, walks_per_entity: 3, use_inverse: true }
+    }
+}
+
+/// Samples uniform random walks from every entity of `kg`. Walks shorter than
+/// one step (entities with no usable edges) are skipped.
+pub fn sample_walks<R: Rng>(kg: &KnowledgeGraph, cfg: WalkConfig, rng: &mut R) -> Vec<Walk> {
+    let mut walks = Vec::with_capacity(kg.num_entities() * cfg.walks_per_entity);
+    let mut choices: Vec<WalkStep> = Vec::new();
+    for start in kg.entity_ids() {
+        for _ in 0..cfg.walks_per_entity {
+            let mut cur = start;
+            let mut steps = Vec::with_capacity(cfg.length);
+            for _ in 0..cfg.length {
+                choices.clear();
+                choices.extend(
+                    kg.out_edges(cur)
+                        .iter()
+                        .map(|&(r, t)| WalkStep { rel: r, inverse: false, entity: t }),
+                );
+                if cfg.use_inverse {
+                    choices.extend(
+                        kg.in_edges(cur)
+                            .iter()
+                            .map(|&(r, h)| WalkStep { rel: r, inverse: true, entity: h }),
+                    );
+                }
+                match choices.choose(rng) {
+                    Some(&step) => {
+                        steps.push(step);
+                        cur = step.entity;
+                    }
+                    None => break,
+                }
+            }
+            if !steps.is_empty() {
+                walks.push(Walk { start, steps });
+            }
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_core::KgBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn line() -> KnowledgeGraph {
+        let mut b = KgBuilder::new("line");
+        b.add_rel_triple("a", "r", "b");
+        b.add_rel_triple("b", "r", "c");
+        b.build()
+    }
+
+    #[test]
+    fn walks_follow_existing_edges() {
+        let kg = line();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let walks = sample_walks(&kg, WalkConfig { length: 4, walks_per_entity: 5, use_inverse: true }, &mut rng);
+        assert!(!walks.is_empty());
+        for w in &walks {
+            let mut cur = w.start;
+            for s in &w.steps {
+                let edge_exists = if s.inverse {
+                    kg.in_edges(cur).iter().any(|&(r, h)| r == s.rel && h == s.entity)
+                } else {
+                    kg.out_edges(cur).iter().any(|&(r, t)| r == s.rel && t == s.entity)
+                };
+                assert!(edge_exists, "walk used a non-existent edge");
+                cur = s.entity;
+            }
+        }
+    }
+
+    #[test]
+    fn forward_only_walks_stop_at_sinks() {
+        let kg = line();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let walks = sample_walks(&kg, WalkConfig { length: 10, walks_per_entity: 2, use_inverse: false }, &mut rng);
+        let c = kg.entity_by_name("c").unwrap();
+        // No walk can start at the sink c (it has no outgoing edges).
+        assert!(walks.iter().all(|w| w.start != c));
+        // From a, a forward-only walk traverses at most 2 edges.
+        for w in &walks {
+            assert!(w.len() <= 2);
+            assert!(w.steps.iter().all(|s| !s.inverse));
+        }
+    }
+
+    #[test]
+    fn walk_counts_respect_config() {
+        let kg = line();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = WalkConfig { length: 3, walks_per_entity: 4, use_inverse: true };
+        let walks = sample_walks(&kg, cfg, &mut rng);
+        // With inverse edges every entity has at least one usable edge.
+        assert_eq!(walks.len(), kg.num_entities() * 4);
+    }
+
+    #[test]
+    fn isolated_entities_yield_no_walks() {
+        let mut b = KgBuilder::new("iso");
+        b.add_entity("alone");
+        let kg = b.build();
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(sample_walks(&kg, WalkConfig::default(), &mut rng).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use openea_core::KgBuilder;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every sampled walk is a valid path in the graph, in both modes.
+        #[test]
+        fn walks_are_valid_paths(
+            edges in proptest::collection::vec((0u8..12, 0u8..3, 0u8..12), 1..40),
+            length in 1usize..6,
+            use_inverse in proptest::bool::ANY,
+            seed in 0u64..100,
+        ) {
+            let mut b = KgBuilder::new("w");
+            for &(h, r, t) in &edges {
+                b.add_rel_triple(&format!("e{h}"), &format!("r{r}"), &format!("e{t}"));
+            }
+            let kg = b.build();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let cfg = WalkConfig { length, walks_per_entity: 2, use_inverse };
+            for w in sample_walks(&kg, cfg, &mut rng) {
+                prop_assert!(w.len() <= length);
+                let mut cur = w.start;
+                for s in &w.steps {
+                    let ok = if s.inverse {
+                        kg.in_edges(cur).iter().any(|&(r, h)| r == s.rel && h == s.entity)
+                    } else {
+                        kg.out_edges(cur).iter().any(|&(r, t)| r == s.rel && t == s.entity)
+                    };
+                    prop_assert!(ok);
+                    if !use_inverse {
+                        prop_assert!(!s.inverse);
+                    }
+                    cur = s.entity;
+                }
+            }
+        }
+    }
+}

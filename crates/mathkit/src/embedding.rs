@@ -1,0 +1,180 @@
+//! An embedding table: one dense `f32` vector per symbol, with row views and
+//! the normalization/update helpers used by every embedding model.
+//!
+//! ```
+//! use openea_math::{EmbeddingTable, Initializer};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut table = EmbeddingTable::new(10, 4, Initializer::Unit, &mut rng);
+//! assert_eq!(table.count(), 10);
+//! table.sgd_row(3, &[0.1, 0.0, 0.0, 0.0], 0.5);
+//! table.clip_rows_to_unit_ball();
+//! ```
+
+use crate::init::Initializer;
+use crate::vecops;
+use rand::Rng;
+
+/// `count × dim` embedding parameters, row-major.
+#[derive(Clone, Debug)]
+pub struct EmbeddingTable {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// Creates and initializes a table for `count` symbols.
+    pub fn new<R: Rng>(count: usize, dim: usize, init: Initializer, rng: &mut R) -> Self {
+        let mut data = vec![0.0; count * dim];
+        init.fill(&mut data, count, dim, rng);
+        Self { dim, data }
+    }
+
+    /// Creates an all-zero table (e.g. gradient accumulators).
+    pub fn zeros(count: usize, dim: usize) -> Self {
+        Self { dim, data: vec![0.0; count * dim] }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn count(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Two distinct mutable rows at once (for pairwise updates).
+    ///
+    /// # Panics
+    /// Panics if `i == j`.
+    pub fn rows_mut2(&mut self, i: usize, j: usize) -> (&mut [f32], &mut [f32]) {
+        assert_ne!(i, j, "rows must be distinct");
+        let d = self.dim;
+        if i < j {
+            let (a, b) = self.data.split_at_mut(j * d);
+            (&mut a[i * d..(i + 1) * d], &mut b[..d])
+        } else {
+            let (a, b) = self.data.split_at_mut(i * d);
+            let (x, y) = (&mut b[..d], &mut a[j * d..(j + 1) * d]);
+            (x, y)
+        }
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// L2-normalizes every row (the "constrain entity norms to 1" trick the
+    /// paper applies to many approaches).
+    pub fn normalize_rows(&mut self) {
+        let d = self.dim;
+        for r in self.data.chunks_mut(d) {
+            vecops::normalize(r);
+        }
+    }
+
+    /// Rescales rows whose norm exceeds 1 back onto the unit ball
+    /// (soft constraint used by TransE-style models).
+    pub fn clip_rows_to_unit_ball(&mut self) {
+        let d = self.dim;
+        for r in self.data.chunks_mut(d) {
+            let n = vecops::norm2(r);
+            if n > 1.0 {
+                vecops::scale(r, 1.0 / n);
+            }
+        }
+    }
+
+    /// Plain SGD step on one row: `row -= lr * grad`.
+    #[inline]
+    pub fn sgd_row(&mut self, i: usize, grad: &[f32], lr: f32) {
+        vecops::axpy(-lr, grad, self.row_mut(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn table() -> EmbeddingTable {
+        let mut rng = SmallRng::seed_from_u64(0);
+        EmbeddingTable::new(5, 4, Initializer::Uniform { scale: 1.0 }, &mut rng)
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = table();
+        assert_eq!(t.dim(), 4);
+        assert_eq!(t.count(), 5);
+        assert_eq!(t.row(2).len(), 4);
+    }
+
+    #[test]
+    fn rows_mut2_gives_disjoint_views() {
+        let mut t = table();
+        let before0: Vec<f32> = t.row(0).to_vec();
+        {
+            let (a, b) = t.rows_mut2(3, 0);
+            a.fill(1.0);
+            b.fill(2.0);
+        }
+        assert!(t.row(3).iter().all(|&x| x == 1.0));
+        assert!(t.row(0).iter().all(|&x| x == 2.0));
+        assert_ne!(t.row(0), &before0[..]);
+        // Order of the indices must not matter for which slice maps to which.
+        let (x, _y) = t.rows_mut2(1, 4);
+        x.fill(7.0);
+        assert!(t.row(1).iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rows_mut2_same_index_panics() {
+        let mut t = table();
+        let _ = t.rows_mut2(2, 2);
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_norm() {
+        let mut t = table();
+        t.normalize_rows();
+        for i in 0..t.count() {
+            assert!((vecops::norm2(t.row(i)) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clip_only_affects_long_rows() {
+        let mut t = EmbeddingTable::zeros(2, 2);
+        t.row_mut(0).copy_from_slice(&[3.0, 4.0]); // norm 5
+        t.row_mut(1).copy_from_slice(&[0.3, 0.4]); // norm 0.5
+        t.clip_rows_to_unit_ball();
+        assert!((vecops::norm2(t.row(0)) - 1.0).abs() < 1e-5);
+        assert_eq!(t.row(1), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn sgd_row_moves_against_gradient() {
+        let mut t = EmbeddingTable::zeros(1, 2);
+        t.sgd_row(0, &[1.0, -2.0], 0.1);
+        assert_eq!(t.row(0), &[-0.1, 0.2]);
+    }
+}

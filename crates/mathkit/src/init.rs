@@ -1,0 +1,121 @@
+//! Embedding initialization strategies (paper Figure 4: unit, uniform,
+//! orthogonal, Xavier).
+
+use crate::matrix::Matrix;
+use crate::vecops;
+use rand::Rng;
+
+/// How to fill a fresh embedding table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Initializer {
+    /// Uniform in `[-scale, scale]`.
+    Uniform { scale: f32 },
+    /// Uniform Xavier/Glorot: `scale = sqrt(6 / (fan_in + fan_out))`.
+    Xavier,
+    /// Gaussian-ish uniform init followed by L2 row normalization ("unit").
+    Unit,
+    /// Rows of a random orthonormal matrix (requires `rows <= cols` blocks;
+    /// realized block-wise for tall tables).
+    Orthogonal,
+}
+
+impl Initializer {
+    /// Fills `data` interpreted as `rows × cols` (row-major).
+    pub fn fill<R: Rng>(self, data: &mut [f32], rows: usize, cols: usize, rng: &mut R) {
+        assert_eq!(data.len(), rows * cols);
+        match self {
+            Initializer::Uniform { scale } => {
+                for x in data.iter_mut() {
+                    *x = rng.gen_range(-scale..=scale);
+                }
+            }
+            Initializer::Xavier => {
+                let scale = (6.0 / (rows + cols) as f32).sqrt();
+                for x in data.iter_mut() {
+                    *x = rng.gen_range(-scale..=scale);
+                }
+            }
+            Initializer::Unit => {
+                let scale = (6.0 / (rows + cols) as f32).sqrt().max(1e-3);
+                for x in data.iter_mut() {
+                    *x = rng.gen_range(-scale..=scale);
+                }
+                for r in 0..rows {
+                    vecops::normalize(&mut data[r * cols..(r + 1) * cols]);
+                }
+            }
+            Initializer::Orthogonal => {
+                // Orthonormalize in blocks of `cols` rows; each block is a
+                // random square matrix made orthonormal, so any `cols`
+                // consecutive rows within a block are mutually orthogonal.
+                let mut r = 0;
+                while r < rows {
+                    let block = (rows - r).min(cols);
+                    let mut m = Matrix::random_uniform(block, cols, 1.0, rng);
+                    m.orthonormalize_rows();
+                    data[r * cols..(r + block) * cols].copy_from_slice(m.data());
+                    r += block;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut d = vec![0.0; 200];
+        Initializer::Uniform { scale: 0.1 }.fill(&mut d, 20, 10, &mut rng);
+        assert!(d.iter().all(|&x| x.abs() <= 0.1));
+        assert!(d.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn unit_rows_are_normalized() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut d = vec![0.0; 64];
+        Initializer::Unit.fill(&mut d, 8, 8, &mut rng);
+        for r in 0..8 {
+            let n = vecops::norm2(&d[r * 8..(r + 1) * 8]);
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn orthogonal_block_rows_are_orthonormal() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (rows, cols) = (10, 4);
+        let mut d = vec![0.0; rows * cols];
+        Initializer::Orthogonal.fill(&mut d, rows, cols, &mut rng);
+        // Within the first block of 4 rows, rows are orthonormal.
+        for i in 0..4 {
+            for j in 0..4 {
+                let a = &d[i * cols..(i + 1) * cols];
+                let b = &d[j * cols..(j + 1) * cols];
+                let dot = vecops::dot(a, b);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-4);
+            }
+        }
+        // Every row is unit length, including the trailing partial block.
+        for r in 0..rows {
+            let n = vecops::norm2(&d[r * cols..(r + 1) * cols]);
+            assert!((n - 1.0).abs() < 1e-4, "row {r} has norm {n}");
+        }
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut d = vec![0.0; 50 * 50];
+        Initializer::Xavier.fill(&mut d, 50, 50, &mut rng);
+        let bound = (6.0 / 100.0f32).sqrt();
+        assert!(d.iter().all(|&x| x.abs() <= bound + 1e-6));
+    }
+}

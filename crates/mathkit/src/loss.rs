@@ -1,0 +1,135 @@
+//! The three loss families the paper catalogues for the embedding module
+//! (Sect. 2.2.1): marginal ranking, logistic, and limit-based.
+//!
+//! Each function returns `(loss, d_loss/d_pos_energy, d_loss/d_neg_energy)`
+//! so that models can chain the energy gradients by hand. Energies are
+//! *costs*: lower is more plausible.
+
+use crate::vecops::sigmoid;
+
+/// Marginal ranking loss `max(0, γ + φ(pos) − φ(neg))` (TransE's objective).
+pub fn margin_ranking_loss(pos_energy: f32, neg_energy: f32, margin: f32) -> (f32, f32, f32) {
+    let raw = margin + pos_energy - neg_energy;
+    if raw > 0.0 {
+        (raw, 1.0, -1.0)
+    } else {
+        (0.0, 0.0, 0.0)
+    }
+}
+
+/// Logistic loss `softplus(φ(pos)) + softplus(−φ(neg))` treating low energy
+/// as high plausibility (used by HolE/ComplEx-style models).
+pub fn logistic_loss(pos_energy: f32, neg_energy: f32) -> (f32, f32, f32) {
+    let softplus = |x: f32| {
+        if x > 20.0 {
+            x
+        } else {
+            (1.0 + x.exp()).ln()
+        }
+    };
+    let loss = softplus(pos_energy) + softplus(-neg_energy);
+    (loss, sigmoid(pos_energy), -sigmoid(-neg_energy))
+}
+
+/// Limit-based loss `max(0, φ(pos) − λ₁) + μ·max(0, λ₂ − φ(neg))`
+/// (BootEA's objective [73, 91]): positives are pushed below the absolute
+/// threshold `λ₁` and negatives above `λ₂`, decoupling the two sides.
+pub fn limit_based_loss(
+    pos_energy: f32,
+    neg_energy: f32,
+    lambda_pos: f32,
+    lambda_neg: f32,
+    mu: f32,
+) -> (f32, f32, f32) {
+    let mut loss = 0.0;
+    let mut dpos = 0.0;
+    let mut dneg = 0.0;
+    if pos_energy > lambda_pos {
+        loss += pos_energy - lambda_pos;
+        dpos = 1.0;
+    }
+    if neg_energy < lambda_neg {
+        loss += mu * (lambda_neg - neg_energy);
+        dneg = -mu;
+    }
+    (loss, dpos, dneg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn margin_loss_active_and_inactive() {
+        let (l, dp, dn) = margin_ranking_loss(1.0, 1.5, 1.0);
+        assert!((l - 0.5).abs() < 1e-6);
+        assert_eq!((dp, dn), (1.0, -1.0));
+        let (l, dp, dn) = margin_ranking_loss(0.1, 5.0, 1.0);
+        assert_eq!(l, 0.0);
+        assert_eq!((dp, dn), (0.0, 0.0));
+    }
+
+    #[test]
+    fn logistic_loss_decreases_with_separation() {
+        let (tight, ..) = logistic_loss(1.0, 1.0);
+        let (loose, ..) = logistic_loss(-3.0, 5.0);
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn logistic_loss_stable_for_large_energies() {
+        let (l, dp, dn) = logistic_loss(100.0, -100.0);
+        assert!(l.is_finite());
+        assert!((dp - 1.0).abs() < 1e-5);
+        assert!((dn + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn limit_loss_thresholds() {
+        // Positive below λ₁ and negative above λ₂: no loss.
+        let (l, dp, dn) = limit_based_loss(0.5, 3.0, 1.0, 2.0, 0.2);
+        assert_eq!((l, dp, dn), (0.0, 0.0, 0.0));
+        // Positive too high.
+        let (l, dp, _) = limit_based_loss(1.5, 3.0, 1.0, 2.0, 0.2);
+        assert!((l - 0.5).abs() < 1e-6);
+        assert_eq!(dp, 1.0);
+        // Negative too low, weighted by μ.
+        let (l, _, dn) = limit_based_loss(0.5, 1.0, 1.0, 2.0, 0.2);
+        assert!((l - 0.2).abs() < 1e-6);
+        assert!((dn + 0.2).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn losses_are_nonnegative(p in -10f32..10.0, n in -10f32..10.0) {
+            prop_assert!(margin_ranking_loss(p, n, 1.0).0 >= 0.0);
+            prop_assert!(logistic_loss(p, n).0 >= 0.0);
+            prop_assert!(limit_based_loss(p, n, 1.0, 2.0, 0.5).0 >= 0.0);
+        }
+
+        #[test]
+        fn gradient_signs_push_pos_down_neg_up(p in -5f32..5.0, n in -5f32..5.0) {
+            let (_, dp, dn) = margin_ranking_loss(p, n, 1.0);
+            prop_assert!(dp >= 0.0);
+            prop_assert!(dn <= 0.0);
+            let (_, dp, dn) = logistic_loss(p, n);
+            prop_assert!(dp >= 0.0);
+            prop_assert!(dn <= 0.0);
+            let (_, dp, dn) = limit_based_loss(p, n, 1.0, 2.0, 0.5);
+            prop_assert!(dp >= 0.0);
+            prop_assert!(dn <= 0.0);
+        }
+
+        #[test]
+        fn margin_gradients_match_finite_differences(p in -3f32..3.0, n in -3f32..3.0) {
+            let eps = 1e-3;
+            let (_, dp, _) = margin_ranking_loss(p, n, 1.0);
+            let f = |p: f32| margin_ranking_loss(p, n, 1.0).0;
+            let fd = (f(p + eps) - f(p - eps)) / (2.0 * eps);
+            // Away from the hinge kink, gradients agree.
+            prop_assume!((1.0 + p - n).abs() > 0.01);
+            prop_assert!((dp - fd).abs() < 1e-2);
+        }
+    }
+}

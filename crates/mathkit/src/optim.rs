@@ -1,0 +1,249 @@
+//! Sparse-update optimizers over embedding tables.
+//!
+//! Embedding training touches only a handful of rows per example, so each
+//! optimizer applies updates row-by-row and keeps per-parameter state lazily.
+
+use crate::embedding::EmbeddingTable;
+
+/// A first-order optimizer applying a gradient to one row of a table.
+pub trait Optimizer {
+    /// Applies `grad` to row `row` of `table`.
+    fn step_row(&mut self, table: &mut EmbeddingTable, row: usize, grad: &[f32]);
+
+    /// Applies `grad` to a dense parameter buffer identified by `slot`
+    /// (used for weight matrices; each distinct buffer needs its own slot).
+    fn step_dense(&mut self, params: &mut [f32], slot: usize, grad: &[f32]);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn step_row(&mut self, table: &mut EmbeddingTable, row: usize, grad: &[f32]) {
+        table.sgd_row(row, grad, self.lr);
+    }
+
+    fn step_dense(&mut self, params: &mut [f32], _slot: usize, grad: &[f32]) {
+        for (p, g) in params.iter_mut().zip(grad) {
+            *p -= self.lr * g;
+        }
+    }
+}
+
+/// AdaGrad with lazily-allocated accumulators (the optimizer OpenEA uses for
+/// most approaches).
+#[derive(Clone, Debug)]
+pub struct AdaGrad {
+    pub lr: f32,
+    pub eps: f32,
+    /// Accumulated squared gradients per (table) row, keyed by row start.
+    row_state: Vec<f32>,
+    dense_state: Vec<Vec<f32>>,
+}
+
+impl AdaGrad {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, eps: 1e-8, row_state: Vec::new(), dense_state: Vec::new() }
+    }
+
+    fn ensure_row_state(&mut self, len: usize) {
+        if self.row_state.len() < len {
+            self.row_state.resize(len, 0.0);
+        }
+    }
+
+    fn ensure_dense_state(&mut self, slot: usize, len: usize) {
+        while self.dense_state.len() <= slot {
+            self.dense_state.push(Vec::new());
+        }
+        if self.dense_state[slot].len() < len {
+            self.dense_state[slot].resize(len, 0.0);
+        }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step_row(&mut self, table: &mut EmbeddingTable, row: usize, grad: &[f32]) {
+        let dim = table.dim();
+        let start = row * dim;
+        self.ensure_row_state(table.count() * dim);
+        let r = table.row_mut(row);
+        for i in 0..dim {
+            let g = grad[i];
+            let s = &mut self.row_state[start + i];
+            *s += g * g;
+            r[i] -= self.lr * g / (s.sqrt() + self.eps);
+        }
+    }
+
+    fn step_dense(&mut self, params: &mut [f32], slot: usize, grad: &[f32]) {
+        self.ensure_dense_state(slot, params.len());
+        let state = &mut self.dense_state[slot];
+        for i in 0..params.len() {
+            let g = grad[i];
+            state[i] += g * g;
+            params[i] -= self.lr * g / (state[i].sqrt() + self.eps);
+        }
+    }
+}
+
+/// Adam with lazily-allocated first/second-moment state.
+///
+/// Bias correction uses a per-slot step counter, which for sparse rows means
+/// "number of updates to that row", the standard lazy-Adam behaviour.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    row_m: Vec<f32>,
+    row_v: Vec<f32>,
+    row_t: Vec<u32>,
+    dense: Vec<(Vec<f32>, Vec<f32>, u32)>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            row_m: Vec::new(),
+            row_v: Vec::new(),
+            row_t: Vec::new(),
+            dense: Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u32,
+        m: &mut [f32],
+        v: &mut [f32],
+        params: &mut [f32],
+        grad: &[f32],
+    ) {
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        for i in 0..params.len() {
+            let g = grad[i];
+            m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+            v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_row(&mut self, table: &mut EmbeddingTable, row: usize, grad: &[f32]) {
+        let dim = table.dim();
+        let total = table.count() * dim;
+        if self.row_m.len() < total {
+            self.row_m.resize(total, 0.0);
+            self.row_v.resize(total, 0.0);
+            self.row_t.resize(table.count(), 0);
+        }
+        self.row_t[row] += 1;
+        let t = self.row_t[row];
+        let start = row * dim;
+        Self::apply(
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            t,
+            &mut self.row_m[start..start + dim],
+            &mut self.row_v[start..start + dim],
+            table.row_mut(row),
+            grad,
+        );
+    }
+
+    fn step_dense(&mut self, params: &mut [f32], slot: usize, grad: &[f32]) {
+        while self.dense.len() <= slot {
+            self.dense.push((Vec::new(), Vec::new(), 0));
+        }
+        let (m, v, t) = &mut self.dense[slot];
+        if m.len() < params.len() {
+            m.resize(params.len(), 0.0);
+            v.resize(params.len(), 0.0);
+        }
+        *t += 1;
+        Self::apply(self.lr, self.beta1, self.beta2, self.eps, *t, m, v, params, grad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Initializer;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Minimize f(x) = ||x - target||^2 with each optimizer; all should make
+    /// steady progress on this convex bowl.
+    fn run<O: Optimizer>(mut opt: O, steps: usize) -> f32 {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut table = EmbeddingTable::new(1, 4, Initializer::Uniform { scale: 1.0 }, &mut rng);
+        let target = [0.5, -0.25, 0.75, 0.0];
+        for _ in 0..steps {
+            let grad: Vec<f32> = table.row(0).iter().zip(&target).map(|(x, t)| 2.0 * (x - t)).collect();
+            opt.step_row(&mut table, 0, &grad);
+        }
+        table
+            .row(0)
+            .iter()
+            .zip(&target)
+            .map(|(x, t)| (x - t) * (x - t))
+            .sum()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(run(Sgd { lr: 0.1 }, 200) < 1e-6);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        assert!(run(AdaGrad::new(0.5), 500) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(run(Adam::new(0.05), 500) < 1e-4);
+    }
+
+    #[test]
+    fn dense_steps_update_independent_slots() {
+        let mut opt = AdaGrad::new(0.1);
+        let mut p0 = vec![1.0f32, 1.0];
+        let mut p1 = vec![1.0f32, 1.0];
+        opt.step_dense(&mut p0, 0, &[1.0, 0.0]);
+        opt.step_dense(&mut p1, 1, &[0.0, 1.0]);
+        assert!(p0[0] < 1.0 && p0[1] == 1.0);
+        assert!(p1[1] < 1.0 && p1[0] == 1.0);
+    }
+
+    #[test]
+    fn sparse_rows_have_independent_adam_timesteps() {
+        let mut opt = Adam::new(0.1);
+        let mut table = EmbeddingTable::zeros(2, 2);
+        // Row 0 updated twice, row 1 once; all with the same gradient.
+        opt.step_row(&mut table, 0, &[1.0, 1.0]);
+        opt.step_row(&mut table, 0, &[1.0, 1.0]);
+        opt.step_row(&mut table, 1, &[1.0, 1.0]);
+        // First Adam step is ~lr regardless of row; row 0 advanced further.
+        assert!(table.row(0)[0] < table.row(1)[0]);
+    }
+}

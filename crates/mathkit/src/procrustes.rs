@@ -1,0 +1,201 @@
+//! Orthogonal Procrustes \[64\]: the optimal *rotation* mapping one point
+//! set onto another, `min_M ‖M·X − Y‖_F` subject to `MᵀM = I`. The paper's
+//! future-work section (Sect. 7.2) names it as a building block for
+//! unsupervised cross-lingual alignment; it is also the principled way to
+//! constrain MTransE-style transformation matrices.
+//!
+//! The solution is `M = U·Vᵀ` where `Y·Xᵀ = U·Σ·Vᵀ`; the SVD here is a
+//! two-sided Jacobi iteration, exact enough for the small (`d×d`) matrices
+//! embedding transformations use.
+
+use crate::matrix::Matrix;
+
+/// Jacobi eigendecomposition of a symmetric matrix `A = Q·Λ·Qᵀ`.
+/// Returns `(eigenvalues, Q)` with eigenvectors in `Q`'s columns.
+fn jacobi_eigen(a: &Matrix, sweeps: usize) -> (Vec<f32>, Matrix) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "symmetric matrix required");
+    let mut m = a.clone();
+    let mut q = Matrix::identity(n);
+    for _ in 0..sweeps {
+        let mut off = 0.0f32;
+        for p in 0..n {
+            for r in (p + 1)..n {
+                off += m[(p, r)] * m[(p, r)];
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apq = m[(p, r)];
+                if apq.abs() < 1e-12 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(r, r)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and r of m, and columns of q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, r)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, r)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(r, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(r, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let qkp = q[(k, p)];
+                    let qkq = q[(k, r)];
+                    q[(k, p)] = c * qkp - s * qkq;
+                    q[(k, r)] = s * qkp + c * qkq;
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| m[(i, i)]).collect();
+    (eig, q)
+}
+
+/// The polar-orthogonal factor of a square matrix: the nearest orthogonal
+/// matrix to `a` (the `U·Vᵀ` of its SVD), computed via the eigen
+/// decomposition of `aᵀa`.
+pub fn nearest_orthogonal(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "square matrix required");
+    // aᵀa = V Σ² Vᵀ; a V Σ⁻¹ = U; result = U Vᵀ = a V Σ⁻¹ Vᵀ.
+    let ata = a.transpose().matmul(a);
+    let (eig, v) = jacobi_eigen(&ata, 30);
+    // Σ⁻¹ with degenerate directions clamped.
+    let mut vsinv = Matrix::zeros(n, n);
+    for i in 0..n {
+        let s = eig[i].max(1e-12).sqrt();
+        for r in 0..n {
+            vsinv[(r, i)] = v[(r, i)] / s;
+        }
+    }
+    a.matmul(&vsinv).matmul(&v.transpose())
+}
+
+/// Solves orthogonal Procrustes: the rotation `M` minimizing `‖M·X − Y‖`
+/// over the paired columns of `x` and `y` (`points × dim`, row-major point
+/// lists). Returns a `dim × dim` orthogonal matrix.
+pub fn procrustes(x: &[f32], y: &[f32], dim: usize) -> Matrix {
+    assert_eq!(x.len(), y.len(), "paired point sets");
+    assert_eq!(x.len() % dim, 0);
+    let n = x.len() / dim;
+    // C = Σᵢ yᵢ·xᵢᵀ  (dim × dim cross-covariance); M = polar(C).
+    let mut c = Matrix::zeros(dim, dim);
+    for p in 0..n {
+        let xp = &x[p * dim..(p + 1) * dim];
+        let yp = &y[p * dim..(p + 1) * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                c[(i, j)] += yp[i] * xp[j];
+            }
+        }
+    }
+    nearest_orthogonal(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rotation(dim: usize, rng: &mut SmallRng) -> Matrix {
+        let mut m = Matrix::random_uniform(dim, dim, 1.0, rng);
+        m.orthonormalize_rows();
+        m
+    }
+
+    #[test]
+    fn jacobi_diagonalizes_symmetric_matrices() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let b = Matrix::random_uniform(4, 4, 1.0, &mut rng);
+        let a = b.transpose().matmul(&b); // symmetric PSD
+        let (eig, q) = jacobi_eigen(&a, 30);
+        // A·qᵢ = λᵢ·qᵢ for each eigenpair.
+        for i in 0..4 {
+            let qi: Vec<f32> = (0..4).map(|r| q[(r, i)]).collect();
+            let aqi = a.matvec(&qi);
+            for r in 0..4 {
+                assert!((aqi[r] - eig[i] * qi[r]).abs() < 1e-3, "pair {i}: {aqi:?} vs λ={}", eig[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_orthogonal_is_orthogonal() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = Matrix::random_uniform(5, 5, 2.0, &mut rng);
+        let o = nearest_orthogonal(&a);
+        let ot_o = o.transpose().matmul(&o);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((ot_o[(i, j)] - expect).abs() < 1e-3, "({i},{j}) = {}", ot_o[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn procrustes_recovers_a_rotation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let dim = 6;
+        let rot = random_rotation(dim, &mut rng);
+        // Points y = rot·x (+ tiny noise).
+        let n = 50;
+        let mut x = Vec::with_capacity(n * dim);
+        let mut y = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            let p: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let q = rot.matvec(&p);
+            x.extend(&p);
+            y.extend(q.iter().map(|v| v + rng.gen_range(-0.005f32..0.005)));
+        }
+        let m = procrustes(&x, &y, dim);
+        // M ≈ rot: mapped points land on their targets.
+        let mut err = 0.0f32;
+        for p in 0..n {
+            let mapped = m.matvec(&x[p * dim..(p + 1) * dim]);
+            err += vecops::euclidean(&mapped, &y[p * dim..(p + 1) * dim]);
+        }
+        assert!(err / (n as f32) < 0.05, "mean error {}", err / n as f32);
+    }
+
+    #[test]
+    fn procrustes_beats_identity_on_rotated_data() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dim = 4;
+        let rot = random_rotation(dim, &mut rng);
+        let n = 30;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let p: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            x.extend(&p);
+            y.extend(rot.matvec(&p));
+        }
+        let m = procrustes(&x, &y, dim);
+        let residual = |map: &Matrix| -> f32 {
+            (0..n)
+                .map(|p| {
+                    let mapped = map.matvec(&x[p * dim..(p + 1) * dim]);
+                    vecops::euclidean_sq(&mapped, &y[p * dim..(p + 1) * dim])
+                })
+                .sum()
+        };
+        assert!(residual(&m) < 0.1 * residual(&Matrix::identity(dim)));
+    }
+}

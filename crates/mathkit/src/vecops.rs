@@ -1,0 +1,219 @@
+//! Dense `f32` vector kernels.
+//!
+//! These are the innermost loops of both training (energy gradients) and
+//! inference (similarity search over all candidate entities), so they take
+//! plain slices and avoid allocation.
+
+/// Dot product. Panics in debug builds if lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm2_sq(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f32]) -> f32 {
+    norm2_sq(a).sqrt()
+}
+
+/// Manhattan (L1) norm.
+#[inline]
+pub fn norm1(a: &[f32]) -> f32 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a *= s`.
+#[inline]
+pub fn scale(a: &mut [f32], s: f32) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Normalizes `a` to unit L2 norm in place; leaves zero vectors untouched.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm2(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Manhattan distance.
+#[inline]
+pub fn manhattan(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 if either vector is zero.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm2(a);
+    let nb = norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Elementwise `out = a - b` into a caller-provided buffer.
+#[inline]
+pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Elementwise `out = a + b` into a caller-provided buffer.
+#[inline]
+pub fn add_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// Elementwise Hadamard product `out = a ⊙ b`.
+#[inline]
+pub fn mul_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_kernels() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, -5.0, 6.0];
+        assert_eq!(dot(&a, &b), 4.0 - 10.0 + 18.0);
+        assert_eq!(norm1(&b), 15.0);
+        assert!((norm2(&a) - 14f32.sqrt()).abs() < 1e-6);
+        assert!((euclidean(&a, &b) - ((9.0f32 + 49.0 + 9.0).sqrt())).abs() < 1e-6);
+        assert_eq!(manhattan(&a, &b), 3.0 + 7.0 + 3.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+        scale(&mut y, 2.0);
+        assert_eq!(y, [21.0, 42.0]);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine(&[1.0, 0.0], &[5.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 3.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-2.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_handles_zero() {
+        let mut z = [0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, [0.0, 0.0]);
+        let mut v = [3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm2(&v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn elementwise_buffers() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        let mut out = [0.0; 2];
+        sub_into(&a, &b, &mut out);
+        assert_eq!(out, [-2.0, -3.0]);
+        add_into(&a, &b, &mut out);
+        assert_eq!(out, [4.0, 7.0]);
+        mul_into(&a, &b, &mut out);
+        assert_eq!(out, [3.0, 10.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_is_bounded(a in proptest::collection::vec(-10f32..10.0, 4), b in proptest::collection::vec(-10f32..10.0, 4)) {
+            let c = cosine(&a, &b);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn triangle_inequality_euclidean(
+            a in proptest::collection::vec(-5f32..5.0, 3),
+            b in proptest::collection::vec(-5f32..5.0, 3),
+            c in proptest::collection::vec(-5f32..5.0, 3),
+        ) {
+            prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-4);
+        }
+
+        #[test]
+        fn normalize_gives_unit_norm(mut a in proptest::collection::vec(-10f32..10.0, 5)) {
+            prop_assume!(norm2(&a) > 1e-3);
+            normalize(&mut a);
+            prop_assert!((norm2(&a) - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The translational family: TransE \[5\], TransH \[82\], TransR \[49\] and
+//! TransD \[33\], with hand-derived gradients and the marginal ranking loss.
+//!
+//! Energies use the squared L2 norm (or L1 for TransE when configured);
+//! margins are calibrated to that convention.
+
+use crate::traits::RelationModel;
+use openea_math::loss::margin_ranking_loss;
+use openea_math::negsamp::RawTriple;
+use openea_math::vecops;
+use openea_math::{EmbeddingTable, Initializer, Matrix};
+use rand::Rng;
+
+/// Vector norm used in a TransE energy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Norm {
+    L1,
+    /// Squared Euclidean norm.
+    L2Sq,
+}
+
+/// Pairwise loss driving a TransE step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LossKind {
+    /// `max(0, γ + φ⁺ − φ⁻)`.
+    Margin,
+    /// BootEA's limit-based loss: `max(0, φ⁺ − λ₁) + μ·max(0, λ₂ − φ⁻)`.
+    Limit { lambda_pos: f32, lambda_neg: f32, mu: f32 },
+}
+
+/// TransE: `φ(h, r, t) = ‖h + r − t‖`.
+pub struct TransE {
+    pub entities: EmbeddingTable,
+    pub relations: EmbeddingTable,
+    pub margin: f32,
+    pub norm: Norm,
+    pub loss: LossKind,
+    buf: Vec<f32>,
+}
+
+impl TransE {
+    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+        Self {
+            entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
+            relations: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
+            margin,
+            norm: Norm::L2Sq,
+            loss: LossKind::Margin,
+            buf: vec![0.0; dim],
+        }
+    }
+
+    fn diff(&self, (h, r, t): RawTriple, out: &mut [f32]) {
+        let he = self.entities.row(h as usize);
+        let re = self.relations.row(r as usize);
+        let te = self.entities.row(t as usize);
+        for i in 0..out.len() {
+            out[i] = he[i] + re[i] - te[i];
+        }
+    }
+
+    /// Gradient of the energy w.r.t. the difference vector `d`.
+    fn denergy(&self, d: &[f32], out: &mut [f32]) {
+        match self.norm {
+            Norm::L1 => {
+                for (o, &x) in out.iter_mut().zip(d) {
+                    *o = x.signum();
+                }
+            }
+            Norm::L2Sq => {
+                for (o, &x) in out.iter_mut().zip(d) {
+                    *o = 2.0 * x;
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, grad_d: &[f32], lr: f32) {
+        let dim = self.entities.dim();
+        #[allow(clippy::needless_range_loop)] // multi-array indexed math reads clearer
+        for i in 0..dim {
+            let g = coeff * grad_d[i] * lr;
+            self.entities.row_mut(h as usize)[i] -= g;
+            self.relations.row_mut(r as usize)[i] -= g;
+            self.entities.row_mut(t as usize)[i] += g;
+        }
+    }
+}
+
+impl RelationModel for TransE {
+    fn name(&self) -> &'static str {
+        "TransE"
+    }
+
+    fn energy(&self, triple: RawTriple) -> f32 {
+        let mut d = vec![0.0; self.entities.dim()];
+        self.diff(triple, &mut d);
+        match self.norm {
+            Norm::L1 => vecops::norm1(&d),
+            Norm::L2Sq => vecops::norm2_sq(&d),
+        }
+    }
+
+    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+        let dim = self.entities.dim();
+        let mut dp = vec![0.0; dim];
+        let mut dn = vec![0.0; dim];
+        self.diff(pos, &mut dp);
+        self.diff(neg, &mut dn);
+        let ep = match self.norm {
+            Norm::L1 => vecops::norm1(&dp),
+            Norm::L2Sq => vecops::norm2_sq(&dp),
+        };
+        let en = match self.norm {
+            Norm::L1 => vecops::norm1(&dn),
+            Norm::L2Sq => vecops::norm2_sq(&dn),
+        };
+        let (loss, gp, gn) = match self.loss {
+            LossKind::Margin => margin_ranking_loss(ep, en, self.margin),
+            LossKind::Limit { lambda_pos, lambda_neg, mu } => {
+                openea_math::loss::limit_based_loss(ep, en, lambda_pos, lambda_neg, mu)
+            }
+        };
+        if loss > 0.0 {
+            let mut grad = std::mem::take(&mut self.buf);
+            self.denergy(&dp, &mut grad);
+            self.apply(pos, gp, &grad, lr);
+            self.denergy(&dn, &mut grad);
+            self.apply(neg, gn, &grad, lr);
+            self.buf = grad;
+        }
+        loss
+    }
+
+    fn epoch_hook(&mut self) {
+        // TransE's norm constraint: entities on the unit ball.
+        self.entities.clip_rows_to_unit_ball();
+    }
+
+    fn entities(&self) -> &EmbeddingTable {
+        &self.entities
+    }
+
+    fn entities_mut(&mut self) -> &mut EmbeddingTable {
+        &mut self.entities
+    }
+}
+
+/// TransH: entities are projected onto relation-specific hyperplanes before
+/// translation: `φ = ‖(h − wᵀh·w) + d − (t − wᵀt·w)‖²`.
+pub struct TransH {
+    pub entities: EmbeddingTable,
+    /// Translation vector per relation.
+    pub d_r: EmbeddingTable,
+    /// Unit normal per relation.
+    pub w_r: EmbeddingTable,
+    pub margin: f32,
+}
+
+impl TransH {
+    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+        let mut w_r = EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng);
+        w_r.normalize_rows();
+        Self {
+            entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
+            d_r: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
+            w_r,
+            margin,
+        }
+    }
+
+    /// Residual `u = h⊥ + d − t⊥` for a triple.
+    fn residual(&self, (h, r, t): RawTriple) -> Vec<f32> {
+        let dim = self.entities.dim();
+        let he = self.entities.row(h as usize);
+        let te = self.entities.row(t as usize);
+        let w = self.w_r.row(r as usize);
+        let d = self.d_r.row(r as usize);
+        let wh = vecops::dot(w, he);
+        let wt = vecops::dot(w, te);
+        (0..dim)
+            .map(|i| (he[i] - wh * w[i]) + d[i] - (te[i] - wt * w[i]))
+            .collect()
+    }
+
+    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32) {
+        let dim = self.entities.dim();
+        let w: Vec<f32> = self.w_r.row(r as usize).to_vec();
+        let wu = vecops::dot(&w, u);
+        // z = h − t enters the w-gradient.
+        let z: Vec<f32> = {
+            let he = self.entities.row(h as usize);
+            let te = self.entities.row(t as usize);
+            he.iter().zip(te).map(|(a, b)| a - b).collect()
+        };
+                let wz = vecops::dot(&w, &z);
+        let s = 2.0 * coeff * lr;
+        for i in 0..dim {
+            let g_ent = s * (u[i] - wu * w[i]);
+            self.entities.row_mut(h as usize)[i] -= g_ent;
+            self.entities.row_mut(t as usize)[i] += g_ent;
+            self.d_r.row_mut(r as usize)[i] -= s * u[i];
+            // ∂φ/∂w = −2[(u·w)z + (w·z)u]
+            self.w_r.row_mut(r as usize)[i] -= s * (-(wu * z[i] + wz * u[i]));
+        }
+    }
+}
+
+impl RelationModel for TransH {
+    fn name(&self) -> &'static str {
+        "TransH"
+    }
+
+    fn energy(&self, triple: RawTriple) -> f32 {
+        vecops::norm2_sq(&self.residual(triple))
+    }
+
+    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+        let up = self.residual(pos);
+        let un = self.residual(neg);
+        let (loss, gp, gn) = margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
+        if loss > 0.0 {
+            self.apply(pos, gp, &up, lr);
+            self.apply(neg, gn, &un, lr);
+        }
+        loss
+    }
+
+    fn epoch_hook(&mut self) {
+        self.entities.clip_rows_to_unit_ball();
+        self.w_r.normalize_rows();
+    }
+
+    fn entities(&self) -> &EmbeddingTable {
+        &self.entities
+    }
+
+    fn entities_mut(&mut self) -> &mut EmbeddingTable {
+        &mut self.entities
+    }
+}
+
+/// TransR: a relation-specific linear map into relation space:
+/// `φ = ‖M_r·h + r − M_r·t‖²`.
+pub struct TransR {
+    pub entities: EmbeddingTable,
+    pub relations: EmbeddingTable,
+    /// One `dim×dim` matrix per relation.
+    pub maps: Vec<Matrix>,
+    pub margin: f32,
+}
+
+impl TransR {
+    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+        Self {
+            entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
+            relations: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
+            // Identity-plus-noise init keeps early training stable.
+            maps: (0..num_relations)
+                .map(|_| {
+                    let mut m = Matrix::identity(dim);
+                    for v in m.data_mut() {
+                        *v += rng.gen_range(-0.05..0.05);
+                    }
+                    m
+                })
+                .collect(),
+            margin,
+        }
+    }
+
+    fn residual(&self, (h, r, t): RawTriple) -> Vec<f32> {
+        let m = &self.maps[r as usize];
+        let mh = m.matvec(self.entities.row(h as usize));
+        let mt = m.matvec(self.entities.row(t as usize));
+        let re = self.relations.row(r as usize);
+        mh.iter()
+            .zip(re)
+            .zip(&mt)
+            .map(|((a, b), c)| a + b - c)
+            .collect()
+    }
+
+    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32) {
+        let dim = self.entities.dim();
+        let s = 2.0 * coeff * lr;
+        // dE/dh = Mᵀu, dE/dt = −Mᵀu, dE/dr = u, dE/dM = u (h−t)ᵀ.
+        let mut mtu = vec![0.0; dim];
+        self.maps[r as usize].matvec_t_into(u, &mut mtu);
+        let z: Vec<f32> = {
+            let he = self.entities.row(h as usize);
+            let te = self.entities.row(t as usize);
+            he.iter().zip(te).map(|(a, b)| a - b).collect()
+        };
+        for i in 0..dim {
+            self.entities.row_mut(h as usize)[i] -= s * mtu[i];
+            self.entities.row_mut(t as usize)[i] += s * mtu[i];
+            self.relations.row_mut(r as usize)[i] -= s * u[i];
+        }
+        let m = &mut self.maps[r as usize];
+        for i in 0..dim {
+            for j in 0..dim {
+                m[(i, j)] -= s * u[i] * z[j];
+            }
+        }
+    }
+}
+
+impl RelationModel for TransR {
+    fn name(&self) -> &'static str {
+        "TransR"
+    }
+
+    fn energy(&self, triple: RawTriple) -> f32 {
+        vecops::norm2_sq(&self.residual(triple))
+    }
+
+    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+        let up = self.residual(pos);
+        let un = self.residual(neg);
+        let (loss, gp, gn) = margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
+        if loss > 0.0 {
+            self.apply(pos, gp, &up, lr);
+            self.apply(neg, gn, &un, lr);
+        }
+        loss
+    }
+
+    fn epoch_hook(&mut self) {
+        self.entities.clip_rows_to_unit_ball();
+        self.relations.clip_rows_to_unit_ball();
+    }
+
+    fn entities(&self) -> &EmbeddingTable {
+        &self.entities
+    }
+
+    fn entities_mut(&mut self) -> &mut EmbeddingTable {
+        &mut self.entities
+    }
+}
+
+/// TransD: dynamic per-pair projections
+/// `h⊥ = h + (h_p·h)·r_p`, `φ = ‖h⊥ + r − t⊥‖²`.
+pub struct TransD {
+    pub entities: EmbeddingTable,
+    pub relations: EmbeddingTable,
+    pub ent_proj: EmbeddingTable,
+    pub rel_proj: EmbeddingTable,
+    pub margin: f32,
+}
+
+impl TransD {
+    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+        Self {
+            entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
+            relations: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
+            ent_proj: EmbeddingTable::new(num_entities, dim, Initializer::Uniform { scale: 0.1 }, rng),
+            rel_proj: EmbeddingTable::new(num_relations, dim, Initializer::Uniform { scale: 0.1 }, rng),
+            margin,
+        }
+    }
+
+    fn residual(&self, (h, r, t): RawTriple) -> Vec<f32> {
+        let he = self.entities.row(h as usize);
+        let te = self.entities.row(t as usize);
+        let re = self.relations.row(r as usize);
+        let hp = self.ent_proj.row(h as usize);
+        let tp = self.ent_proj.row(t as usize);
+        let rp = self.rel_proj.row(r as usize);
+        let hph = vecops::dot(hp, he);
+        let tpt = vecops::dot(tp, te);
+        (0..he.len())
+            .map(|i| (he[i] + hph * rp[i]) + re[i] - (te[i] + tpt * rp[i]))
+            .collect()
+    }
+
+    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32) {
+        let dim = self.entities.dim();
+        let s = 2.0 * coeff * lr;
+        let rp: Vec<f32> = self.rel_proj.row(r as usize).to_vec();
+        let urp = vecops::dot(u, &rp);
+        let (hph, tpt, he, te, hp, tp) = {
+            let he = self.entities.row(h as usize).to_vec();
+            let te = self.entities.row(t as usize).to_vec();
+            let hp = self.ent_proj.row(h as usize).to_vec();
+            let tp = self.ent_proj.row(t as usize).to_vec();
+            (vecops::dot(&hp, &he), vecops::dot(&tp, &te), he, te, hp, tp)
+        };
+        for i in 0..dim {
+            // dφ/dh = 2(u + (u·r_p)·h_p); dφ/dt symmetric negative.
+            self.entities.row_mut(h as usize)[i] -= s * (u[i] + urp * hp[i]);
+            self.entities.row_mut(t as usize)[i] += s * (u[i] + urp * tp[i]);
+            self.relations.row_mut(r as usize)[i] -= s * u[i];
+            // dφ/dh_p = 2(u·r_p)·h ; dφ/dt_p = −2(u·r_p)·t
+            self.ent_proj.row_mut(h as usize)[i] -= s * urp * he[i];
+            self.ent_proj.row_mut(t as usize)[i] += s * urp * te[i];
+            // dφ/dr_p = 2((h_p·h) − (t_p·t))·u
+            self.rel_proj.row_mut(r as usize)[i] -= s * (hph - tpt) * u[i];
+        }
+    }
+}
+
+impl RelationModel for TransD {
+    fn name(&self) -> &'static str {
+        "TransD"
+    }
+
+    fn energy(&self, triple: RawTriple) -> f32 {
+        vecops::norm2_sq(&self.residual(triple))
+    }
+
+    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+        let up = self.residual(pos);
+        let un = self.residual(neg);
+        let (loss, gp, gn) = margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
+        if loss > 0.0 {
+            self.apply(pos, gp, &up, lr);
+            self.apply(neg, gn, &un, lr);
+        }
+        loss
+    }
+
+    fn epoch_hook(&mut self) {
+        self.entities.clip_rows_to_unit_ball();
+        self.relations.clip_rows_to_unit_ball();
+    }
+
+    fn entities(&self) -> &EmbeddingTable {
+        &self.entities
+    }
+
+    fn entities_mut(&mut self) -> &mut EmbeddingTable {
+        &mut self.entities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::testkit::assert_model_learns;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn transe_learns_toy_structure() {
+        let m = TransE::new(20, 2, 16, 0.5, &mut rng());
+        assert_model_learns(m, 20, 60, 0.05);
+    }
+
+    #[test]
+    fn transe_l1_learns_too() {
+        let mut m = TransE::new(20, 2, 16, 0.5, &mut rng());
+        m.norm = Norm::L1;
+        assert_model_learns(m, 20, 60, 0.02);
+    }
+
+    #[test]
+    fn transh_learns_toy_structure() {
+        let m = TransH::new(20, 2, 16, 0.5, &mut rng());
+        assert_model_learns(m, 20, 60, 0.05);
+    }
+
+    #[test]
+    fn transr_learns_toy_structure() {
+        let m = TransR::new(20, 2, 16, 0.5, &mut rng());
+        assert_model_learns(m, 20, 80, 0.02);
+    }
+
+    #[test]
+    fn transd_learns_toy_structure() {
+        let m = TransD::new(20, 2, 16, 0.5, &mut rng());
+        assert_model_learns(m, 20, 60, 0.05);
+    }
+
+    #[test]
+    fn transe_energy_zero_for_exact_translation() {
+        let mut m = TransE::new(2, 1, 4, 1.0, &mut rng());
+        m.entities.row_mut(0).copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
+        m.relations.row_mut(0).copy_from_slice(&[0.01, 0.02, 0.03, 0.04]);
+        m.entities.row_mut(1).copy_from_slice(&[0.11, 0.22, 0.33, 0.44]);
+        assert!(m.energy((0, 0, 1)) < 1e-10);
+    }
+
+    #[test]
+    fn transh_projection_is_invariant_along_normal() {
+        // Moving h along w must not change the energy.
+        let mut m = TransH::new(2, 1, 4, 1.0, &mut rng());
+        let e0 = m.energy((0, 0, 1));
+        let w: Vec<f32> = m.w_r.row(0).to_vec();
+        for (x, wi) in m.entities.row_mut(0).iter_mut().zip(&w) {
+            *x += 0.37 * wi;
+        }
+        let e1 = m.energy((0, 0, 1));
+        assert!((e0 - e1).abs() < 1e-4, "{e0} vs {e1}");
+    }
+
+    /// Finite-difference check of one model's step direction: after a step
+    /// on a violated pair, the margin violation must not increase.
+    #[test]
+    fn steps_reduce_violation() {
+        for which in 0..4 {
+            let mut rng = rng();
+            let pos = (0u32, 0u32, 1u32);
+            let neg = (0u32, 0u32, 2u32);
+            let mut before = 0.0;
+            let mut after = 0.0;
+            let mut run = |m: &mut dyn RelationModel| {
+                before = m.energy(pos) - m.energy(neg);
+                for _ in 0..10 {
+                    m.step(pos, neg, 0.05);
+                }
+                after = m.energy(pos) - m.energy(neg);
+            };
+            match which {
+                0 => run(&mut TransE::new(3, 1, 8, 2.0, &mut rng)),
+                1 => run(&mut TransH::new(3, 1, 8, 2.0, &mut rng)),
+                2 => run(&mut TransR::new(3, 1, 8, 2.0, &mut rng)),
+                _ => run(&mut TransD::new(3, 1, 8, 2.0, &mut rng)),
+            }
+            assert!(after < before, "model {which}: {before} -> {after}");
+        }
+    }
+}

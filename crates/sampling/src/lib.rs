@@ -1,0 +1,17 @@
+//! # openea-sampling
+//!
+//! The paper's dataset-construction machinery: **IDS** (iterative
+//! degree-based sampling, Algorithm 1), the two baseline samplers **RAS**
+//! (random alignment sampling) and **PRS** (PageRank-based sampling), and the
+//! dataset-quality report behind Table 3.
+//!
+//! All samplers consume a source [`openea_core::KgPair`] (two KGs plus reference
+//! alignment) and produce a smaller pair with `N` aligned entities per side.
+
+pub mod ids;
+pub mod quality;
+pub mod ras;
+
+pub use ids::{ids_sample, IdsConfig, IdsOutcome};
+pub use quality::{sample_quality, SampleQuality};
+pub use ras::{prs_sample, ras_sample};

@@ -1,0 +1,30 @@
+//! # openea-synth
+//!
+//! Synthetic knowledge-graph *pair* generation, standing in for the paper's
+//! source KGs (DBpedia, Wikidata, YAGO) and their cross-lingual versions.
+//!
+//! The generator first builds a latent **world**: a preferential-attachment
+//! relation graph over world entities plus latent attribute values drawn from
+//! a shared vocabulary. It then **projects** the world twice, with
+//! independently-sampled triple subsets, per-KG schema renamings, per-KG
+//! surface forms for literals (optionally transliterated to model a second
+//! language) and opaque entity URIs. Entities present in both projections
+//! form the reference alignment.
+//!
+//! Because the two KGs share latent structure but differ in schema, surface
+//! forms and coverage, they reproduce the signal/noise characteristics that
+//! the paper's experiments measure: relational evidence for embedding-based
+//! approaches, literal evidence for conventional and attribute-based
+//! approaches, and controllable heterogeneity between the two.
+
+pub mod presets;
+pub mod project;
+pub mod translate;
+pub mod vocab;
+pub mod world;
+
+pub use presets::{DatasetFamily, PresetConfig};
+pub use project::{generate_pair, ProjectionConfig};
+pub use translate::{translate_kg, translate_pair, Translator};
+pub use vocab::{Language, LatentValue, Vocabulary};
+pub use world::{World, WorldConfig};

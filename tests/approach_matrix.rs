@@ -1,0 +1,90 @@
+//! Every registered approach must run end-to-end on every dataset family and
+//! beat random guessing. This is the library's broadest integration net.
+
+use openea::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run_family(family: DatasetFamily, min_hits1: f64) {
+    // Tiny budget: the bar is "clearly better than chance", not paper-level
+    // accuracy (the bench harness runs the full-budget version).
+    let pair = PresetConfig::new(family, 250, false, 300).generate();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    let mut cfg = RunConfig { dim: 16, max_epochs: 40, threads: 2, ..RunConfig::default() };
+    // Cross-lingual families get cross-lingual word vectors, as the paper
+    // gives every literal-using approach pre-trained embeddings [4].
+    if matches!(family, DatasetFamily::EnFr | DatasetFamily::EnDe) {
+        let lang = if family == DatasetFamily::EnFr {
+            openea::synth::Language::L2
+        } else {
+            openea::synth::Language::L3
+        };
+        let tr = Translator::new(lang, 4000, 0.02);
+        cfg.word_vectors = openea::models::literal::WordVectors::cross_lingual(
+            cfg.dim,
+            tr.dictionary_pairs(),
+            0.08,
+        );
+    }
+    let random_level = 1.0 / folds[0].test.len() as f64;
+    for approach in all_approaches() {
+        let out = approach.run(&pair, &folds[0], &cfg);
+        assert_eq!(out.emb1.len(), pair.kg1.num_entities() * out.dim, "{}", approach.name());
+        assert_eq!(out.emb2.len(), pair.kg2.num_entities() * out.dim, "{}", approach.name());
+        assert!(out.emb1.iter().all(|x| x.is_finite()), "{} emb1 finite", approach.name());
+        assert!(out.emb2.iter().all(|x| x.is_finite()), "{} emb2 finite", approach.name());
+        let eval = evaluate_output(&out, &folds[0].test, cfg.threads);
+        assert!(
+            eval.hits1 > (4.0 * random_level).max(min_hits1),
+            "{} on {}: hits@1 {} ≈ random {}",
+            approach.name(),
+            family.label(),
+            eval.hits1,
+            random_level
+        );
+    }
+}
+
+#[test]
+fn all_approaches_beat_random_on_en_fr() {
+    run_family(DatasetFamily::EnFr, 0.025);
+}
+
+#[test]
+fn all_approaches_beat_random_on_d_y() {
+    run_family(DatasetFamily::DY, 0.025);
+}
+
+#[test]
+fn approach_outputs_are_deterministic_per_seed() {
+    let pair = PresetConfig::new(DatasetFamily::EnFr, 200, false, 301).generate();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    let cfg = RunConfig { dim: 16, max_epochs: 20, threads: 2, ..RunConfig::default() };
+    let a = approach_by_name("MTransE").unwrap();
+    let out1 = a.run(&pair, &folds[0], &cfg);
+    let out2 = a.run(&pair, &folds[0], &cfg);
+    assert_eq!(out1.emb1, out2.emb1);
+    assert_eq!(out1.emb2, out2.emb2);
+}
+
+#[test]
+fn literal_heavy_approaches_dominate_d_y() {
+    // The paper's headline family contrast: on D-Y (near-identical
+    // literals), literal-based approaches crush relation-only ones.
+    let pair = PresetConfig::new(DatasetFamily::DY, 300, false, 302).generate();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    let cfg = RunConfig { dim: 16, max_epochs: 40, threads: 2, ..RunConfig::default() };
+    let score = |name: &str| {
+        let out = approach_by_name(name).unwrap().run(&pair, &folds[0], &cfg);
+        evaluate_output(&out, &folds[0].test, 2).hits1
+    };
+    let literal_best = score("IMUSE").max(score("MultiKE"));
+    let relation_best = score("MTransE").max(score("SEA"));
+    assert!(
+        literal_best > relation_best,
+        "literal {literal_best} should beat relation-only {relation_best} on D-Y"
+    );
+}

@@ -1,0 +1,106 @@
+//! Dataset I/O across crates: synthetic pairs survive the OpenEA disk
+//! format with all structure and splits intact.
+
+use openea::core::io;
+use openea::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("openea_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn synthetic_pair_roundtrips() {
+    let pair = PresetConfig::new(DatasetFamily::DW, 200, false, 400).generate();
+    let dir = temp_dir("dw");
+    io::write_pair(&dir, &pair).unwrap();
+    let back = io::read_pair(&dir).unwrap();
+    assert_eq!(back.kg1.num_entities(), pair.kg1.num_entities());
+    assert_eq!(back.kg2.num_entities(), pair.kg2.num_entities());
+    assert_eq!(back.kg1.num_rel_triples(), pair.kg1.num_rel_triples());
+    assert_eq!(back.kg2.num_attr_triples(), pair.kg2.num_attr_triples());
+    assert_eq!(back.num_aligned(), pair.num_aligned());
+    // Alignment maps the same entity names.
+    let names_orig: std::collections::HashSet<(String, String)> =
+        io::alignment_names(&pair, &pair.alignment).into_iter().collect();
+    let names_back: std::collections::HashSet<(String, String)> =
+        io::alignment_names(&back, &back.alignment).into_iter().collect();
+    assert_eq!(names_orig, names_back);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn folds_roundtrip_with_pair() {
+    let pair = PresetConfig::new(DatasetFamily::EnFr, 150, false, 401).generate();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    let dir = temp_dir("folds");
+    io::write_pair(&dir, &pair).unwrap();
+    io::write_folds(&dir, &pair, &folds).unwrap();
+    let back = io::read_pair(&dir).unwrap();
+    let back_folds = io::read_folds(&dir, &back).unwrap();
+    assert_eq!(back_folds.len(), 5);
+    for (orig, read) in folds.iter().zip(&back_folds) {
+        assert_eq!(orig.train.len(), read.train.len());
+        assert_eq!(orig.test.len(), read.test.len());
+        // Name-level equality of the train sets.
+        let orig_names: std::collections::HashSet<_> =
+            io::alignment_names(&pair, &orig.train).into_iter().collect();
+        let read_names: std::collections::HashSet<_> =
+            io::alignment_names(&back, &read.train).into_iter().collect();
+        assert_eq!(orig_names, read_names);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn translated_pair_roundtrips() {
+    let pair = PresetConfig::new(DatasetFamily::EnFr, 150, false, 402).generate();
+    let tr = Translator::new(openea::synth::Language::L2, 4000, 0.05);
+    let translated = openea::synth::translate_pair(&pair, &tr);
+    let dir = temp_dir("translated");
+    io::write_pair(&dir, &translated).unwrap();
+    let back = io::read_pair(&dir).unwrap();
+    assert_eq!(back.num_aligned(), translated.num_aligned());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn arbitrary_small_kgs_roundtrip(
+        triples in proptest::collection::vec((0u32..20, 0u32..4, 0u32..20), 1..60),
+        attrs in proptest::collection::vec((0u32..20, 0u32..4, "[a-z ]{1,12}"), 0..30),
+    ) {
+        let mut b1 = KgBuilder::new("KG1");
+        let mut b2 = KgBuilder::new("KG2");
+        for &(h, r, t) in &triples {
+            b1.add_rel_triple(&format!("a/e{h}"), &format!("a/r{r}"), &format!("a/e{t}"));
+            b2.add_rel_triple(&format!("b/e{h}"), &format!("b/r{r}"), &format!("b/e{t}"));
+        }
+        for (e, a, v) in &attrs {
+            b1.add_attr_triple(&format!("a/e{e}"), &format!("a/p{a}"), v);
+        }
+        let kg1 = b1.build();
+        let kg2 = b2.build();
+        let alignment: Vec<AlignedPair> = kg1
+            .entity_ids()
+            .filter_map(|e| {
+                let name = kg1.entity_name(e).replace("a/", "b/");
+                kg2.entity_by_name(&name).map(|e2| (e, e2))
+            })
+            .collect();
+        let pair = KgPair::new(kg1, kg2, alignment);
+        let dir = temp_dir(&format!("prop{}", triples.len()));
+        io::write_pair(&dir, &pair).unwrap();
+        let back = io::read_pair(&dir).unwrap();
+        prop_assert_eq!(back.kg1.num_rel_triples(), pair.kg1.num_rel_triples());
+        prop_assert_eq!(back.kg1.num_attr_triples(), pair.kg1.num_attr_triples());
+        prop_assert_eq!(back.num_aligned(), pair.num_aligned());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
