@@ -46,7 +46,12 @@ pub struct HubnessProfile {
 pub fn hubness_profile(sim: &SimilarityMatrix) -> HubnessProfile {
     let cols = sim.cols();
     if cols == 0 {
-        return HubnessProfile { zero: 0.0, one: 0.0, two_to_four: 0.0, five_plus: 0.0 };
+        return HubnessProfile {
+            zero: 0.0,
+            one: 0.0,
+            two_to_four: 0.0,
+            five_plus: 0.0,
+        };
     }
     let mut counts = vec![0usize; cols];
     for i in 0..sim.rows() {
@@ -55,7 +60,8 @@ pub fn hubness_profile(sim: &SimilarityMatrix) -> HubnessProfile {
         }
     }
     let n = cols as f64;
-    let frac = |pred: &dyn Fn(usize) -> bool| counts.iter().filter(|&&c| pred(c)).count() as f64 / n;
+    let frac =
+        |pred: &dyn Fn(usize) -> bool| counts.iter().filter(|&&c| pred(c)).count() as f64 / n;
     HubnessProfile {
         zero: frac(&|c| c == 0),
         one: frac(&|c| c == 1),
@@ -69,7 +75,11 @@ pub fn hubness_profile(sim: &SimilarityMatrix) -> HubnessProfile {
 /// it right, and `edges` the bucket boundaries (e.g. `[1, 6, 11, 16]` for the
 /// paper's `[1,6) [6,11) [11,16) [16,∞)`). Returns `(bucket_size, recall)`
 /// per bucket.
-pub fn degree_bucket_recall(degrees: &[usize], correct: &[bool], edges: &[usize]) -> Vec<(usize, f64)> {
+pub fn degree_bucket_recall(
+    degrees: &[usize],
+    correct: &[bool],
+    edges: &[usize],
+) -> Vec<(usize, f64)> {
     assert_eq!(degrees.len(), correct.len());
     assert!(!edges.is_empty());
     let mut sizes = vec![0usize; edges.len()];
@@ -117,7 +127,11 @@ pub fn overlap3(
     }
     let unit = 1.0 / gold.len() as f64;
     for p in gold {
-        let (a, b, c) = (found_a.contains(p), found_b.contains(p), found_c.contains(p));
+        let (a, b, c) = (
+            found_a.contains(p),
+            found_b.contains(p),
+            found_c.contains(p),
+        );
         match (a, b, c) {
             (true, false, false) => out.only_a += unit,
             (false, true, false) => out.only_b += unit,
@@ -167,7 +181,8 @@ mod tests {
 
     #[test]
     fn hubness_ideal_case() {
-        let sim = SimilarityMatrix::from_raw(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        let sim =
+            SimilarityMatrix::from_raw(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
         let h = hubness_profile(&sim);
         assert_eq!(h.one, 1.0);
         assert_eq!(h.zero, 0.0);
@@ -192,7 +207,14 @@ mod tests {
         let b: HashSet<_> = gold[4..8].iter().copied().collect();
         let c: HashSet<_> = gold[5..10].iter().copied().collect();
         let o = overlap3(&gold, &a, &b, &c);
-        let total = o.only_a + o.only_b + o.only_c + o.a_and_b + o.a_and_c + o.b_and_c + o.all_three + o.none;
+        let total = o.only_a
+            + o.only_b
+            + o.only_c
+            + o.a_and_b
+            + o.a_and_c
+            + o.b_and_c
+            + o.all_three
+            + o.none;
         assert!((total - 1.0).abs() < 1e-9);
         assert!((o.all_three - 0.1).abs() < 1e-9); // a∩b∩c = {5}
     }
@@ -214,12 +236,12 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
-    proptest! {
+    props! {
         /// The top-k similarity profile is non-increasing in k.
         #[test]
-        fn similarity_profile_is_monotone(values in proptest::collection::vec(-1.0f32..1.0, 24)) {
+        fn similarity_profile_is_monotone(values in vec_of(-1.0f32..1.0, 24)) {
             let sim = SimilarityMatrix::from_raw(4, 6, values);
             let prof = topk_similarity_profile(&sim, 5);
             for w in prof.windows(2) {
@@ -229,7 +251,7 @@ mod proptests {
 
         /// Hubness fractions always partition the target set.
         #[test]
-        fn hubness_fractions_sum_to_one(values in proptest::collection::vec(-1.0f32..1.0, 30)) {
+        fn hubness_fractions_sum_to_one(values in vec_of(-1.0f32..1.0, 30)) {
             let sim = SimilarityMatrix::from_raw(5, 6, values);
             let h = hubness_profile(&sim);
             let total = h.zero + h.one + h.two_to_four + h.five_plus;
@@ -239,8 +261,8 @@ mod proptests {
         /// Degree buckets partition the test pairs.
         #[test]
         fn degree_buckets_partition(
-            degrees in proptest::collection::vec(0usize..40, 1..60),
-            flips in proptest::collection::vec(proptest::bool::ANY, 60),
+            degrees in vec_of(0usize..40, 1..60),
+            flips in vec_of(any_bool(), 60),
         ) {
             let correct: Vec<bool> = degrees.iter().enumerate().map(|(i, _)| flips[i % flips.len()]).collect();
             let buckets = degree_bucket_recall(&degrees, &correct, &[1, 6, 11, 16]);

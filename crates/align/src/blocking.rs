@@ -9,7 +9,7 @@
 //! across several tables, and only bucket collisions become candidates.
 
 use crate::metric::Metric;
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// Random-hyperplane LSH index over row-major embeddings.
 pub struct LshIndex {
@@ -24,7 +24,13 @@ pub struct LshIndex {
 
 impl LshIndex {
     /// Builds an index over the `targets` embeddings (`n × dim`).
-    pub fn build<R: Rng>(targets: &[f32], dim: usize, bits: usize, tables: usize, rng: &mut R) -> Self {
+    pub fn build<R: Rng>(
+        targets: &[f32],
+        dim: usize,
+        bits: usize,
+        tables: usize,
+        rng: &mut R,
+    ) -> Self {
         assert!(dim > 0 && bits > 0 && bits <= 64 && tables > 0);
         assert_eq!(targets.len() % dim, 0);
         let n = targets.len() / dim;
@@ -114,15 +120,18 @@ pub fn blocked_greedy_match(
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
         matches.push(best.map(|(j, _)| j));
     }
-    BlockedMatch { matches, comparisons }
+    BlockedMatch {
+        matches,
+        comparisons,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::simmat::SimilarityMatrix;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     /// Paired embeddings: target i = source i + small noise.
     fn paired(n: usize, dim: usize, noise: f32, seed: u64) -> (Vec<f32>, Vec<f32>) {

@@ -75,7 +75,11 @@ pub fn precision_recall_f1(predicted: &[(u32, u32)], gold: &HashSet<(u32, u32)>)
     } else {
         0.0
     };
-    PrfScores { precision, recall, f1 }
+    PrfScores {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Mean ± standard deviation over cross-validation folds, formatted like the
@@ -122,8 +126,7 @@ impl MeanStd {
 
     /// Paper-style rendering: `.507±.010`.
     pub fn paper_format(&self) -> String {
-        format!("{:.3}±{:.3}", self.mean(), self.std())
-            .replace("0.", ".")
+        format!("{:.3}±{:.3}", self.mean(), self.std()).replace("0.", ".")
     }
 }
 

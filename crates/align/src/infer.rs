@@ -201,11 +201,7 @@ mod tests {
 
     #[test]
     fn stable_marriage_has_no_blocking_pair() {
-        let m = mat(
-            3,
-            3,
-            vec![0.5, 0.9, 0.1, 0.4, 0.8, 0.3, 0.95, 0.2, 0.6],
-        );
+        let m = mat(3, 3, vec![0.5, 0.9, 0.1, 0.4, 0.8, 0.3, 0.95, 0.2, 0.6]);
         let sm = stable_marriage(&m);
         // Verify stability: no (i, j) both preferring each other over current.
         let matched: Vec<usize> = sm.iter().map(|x| x.unwrap()).collect();
@@ -281,7 +277,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     fn matching_weight(sim: &SimilarityMatrix, m: &[Option<usize>]) -> f64 {
         m.iter()
@@ -290,14 +286,14 @@ mod proptests {
             .sum()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    props! {
+        #![cases = 64]
 
         /// Hungarian is optimal: at least the weight of the greedy-collective
         /// heuristic on square matrices.
         #[test]
         fn hungarian_weight_dominates_greedy_collective(
-            values in proptest::collection::vec(0.0f32..1.0, 16)
+            values in vec_of(0.0f32..1.0, 16)
         ) {
             let sim = SimilarityMatrix::from_raw(4, 4, values);
             let h = hungarian(&sim);
@@ -308,7 +304,7 @@ mod proptests {
         /// Stable marriage never leaves a blocking pair.
         #[test]
         fn stable_marriage_has_no_blocking_pair_prop(
-            values in proptest::collection::vec(0.0f32..1.0, 20)
+            values in vec_of(0.0f32..1.0, 20)
         ) {
             let sim = SimilarityMatrix::from_raw(4, 5, values);
             let sm = stable_marriage(&sim);
@@ -332,7 +328,7 @@ mod proptests {
         /// Every 1-to-1 strategy returns distinct targets.
         #[test]
         fn one_to_one_strategies_have_distinct_targets(
-            values in proptest::collection::vec(0.0f32..1.0, 25)
+            values in vec_of(0.0f32..1.0, 25)
         ) {
             let sim = SimilarityMatrix::from_raw(5, 5, values);
             for m in [stable_marriage(&sim), hungarian(&sim), greedy_collective(&sim)] {
@@ -344,7 +340,7 @@ mod proptests {
 
         /// CSLS preserves matrix shape and finiteness.
         #[test]
-        fn csls_is_shape_preserving(values in proptest::collection::vec(-1.0f32..1.0, 12)) {
+        fn csls_is_shape_preserving(values in vec_of(-1.0f32..1.0, 12)) {
             let sim = SimilarityMatrix::from_raw(3, 4, values);
             let c = sim.csls(2);
             prop_assert_eq!(c.rows(), 3);

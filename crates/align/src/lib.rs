@@ -20,8 +20,11 @@ pub mod metric;
 pub mod simmat;
 pub mod sinkhorn;
 
+pub use analysis::{
+    degree_bucket_recall, hubness_profile, overlap3, topk_similarity_profile, HubnessProfile,
+    OverlapBreakdown,
+};
 pub use blocking::{blocked_greedy_match, BlockedMatch, LshIndex};
-pub use analysis::{degree_bucket_recall, hubness_profile, overlap3, topk_similarity_profile, HubnessProfile, OverlapBreakdown};
 pub use eval::{precision_recall_f1, rank_eval, MeanStd, PrfScores, RankEval};
 pub use infer::{greedy_collective, greedy_match, hungarian, stable_marriage};
 pub use metric::Metric;

@@ -44,7 +44,11 @@ mod tests {
         let v = [0.5f32, -1.0, 2.0];
         let w = [0.4f32, -0.9, 1.5];
         for m in [Metric::Cosine, Metric::Euclidean, Metric::Manhattan] {
-            assert!(m.similarity(&v, &v) >= m.similarity(&v, &w), "{}", m.label());
+            assert!(
+                m.similarity(&v, &v) >= m.similarity(&v, &w),
+                "{}",
+                m.label()
+            );
         }
     }
 

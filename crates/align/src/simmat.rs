@@ -15,6 +15,7 @@
 //! ```
 
 use crate::metric::Metric;
+use openea_runtime::pool::{balanced_chunk_len, parallel_chunks};
 
 /// A dense `sources × targets` similarity matrix.
 #[derive(Clone, Debug)]
@@ -35,27 +36,31 @@ impl SimilarityMatrix {
         let rows = src.len() / dim;
         let cols = dst.len() / dim;
         let mut data = vec![0.0f32; rows * cols];
-        let threads = threads.clamp(1, rows.max(1));
+        if rows == 0 || cols == 0 {
+            return Self { rows, cols, data };
+        }
+        let threads = threads.clamp(1, rows);
 
-        let chunk_rows = rows.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (t, out_chunk) in data.chunks_mut(chunk_rows * cols).enumerate() {
-                let src = &src;
-                let dst = &dst;
-                scope.spawn(move |_| {
-                    let row0 = t * chunk_rows;
-                    for (local, out_row) in out_chunk.chunks_mut(cols).enumerate() {
-                        let i = row0 + local;
-                        let a = &src[i * dim..(i + 1) * dim];
-                        for (j, out) in out_row.iter_mut().enumerate() {
-                            let b = &dst[j * dim..(j + 1) * dim];
-                            *out = metric.similarity(a, b);
-                        }
+        // Chunk at row granularity — several chunks per worker so the pool's
+        // stealing absorbs per-row cost skew. Chunk boundaries (and therefore
+        // results) depend only on `rows`, never on the thread count.
+        let chunk_rows = balanced_chunk_len(rows, threads, 4);
+        parallel_chunks(
+            &mut data,
+            chunk_rows * cols,
+            threads,
+            |chunk_idx, out_chunk| {
+                let row0 = chunk_idx * chunk_rows;
+                for (local, out_row) in out_chunk.chunks_mut(cols).enumerate() {
+                    let i = row0 + local;
+                    let a = &src[i * dim..(i + 1) * dim];
+                    for (j, out) in out_row.iter_mut().enumerate() {
+                        let b = &dst[j * dim..(j + 1) * dim];
+                        *out = metric.similarity(a, b);
                     }
-                });
-            }
-        })
-        .expect("similarity workers do not panic");
+                }
+            },
+        );
 
         Self { rows, cols, data }
     }
@@ -101,9 +106,7 @@ impl SimilarityMatrix {
             return Vec::new();
         }
         let mut idx: Vec<usize> = (0..self.cols).collect();
-        idx.select_nth_unstable_by(k - 1, |&a, &b| {
-            row[b].partial_cmp(&row[a]).expect("finite")
-        });
+        idx.select_nth_unstable_by(k - 1, |&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
         idx.truncate(k);
         idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
         idx.into_iter().map(|j| (j, row[j])).collect()
@@ -114,7 +117,11 @@ impl SimilarityMatrix {
     pub fn rank_of(&self, i: usize, j: usize) -> usize {
         let row = self.row(i);
         let s = row[j];
-        1 + row.iter().enumerate().filter(|&(c, &x)| c != j && x >= s).count()
+        1 + row
+            .iter()
+            .enumerate()
+            .filter(|&(c, &x)| c != j && x >= s)
+            .count()
     }
 
     /// Applies CSLS (Eq. 7): `2·sim(i,j) − ψ_t(i) − ψ_s(j)`, where `ψ_t(i)`
@@ -166,7 +173,11 @@ impl SimilarityMatrix {
                 data.push(2.0 * s - psi_src[i] - psi_dst[j]);
             }
         }
-        SimilarityMatrix { rows: self.rows, cols: self.cols, data }
+        SimilarityMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -202,8 +213,31 @@ mod tests {
         let src: Vec<f32> = (0..40).map(|x| (x as f32).sin()).collect();
         let dst: Vec<f32> = (0..36).map(|x| (x as f32).cos()).collect();
         let a = SimilarityMatrix::compute(&src, &dst, 4, Metric::Cosine, 1);
-        let b = SimilarityMatrix::compute(&src, &dst, 4, Metric::Cosine, 4);
-        assert_eq!(a.data, b.data);
+        for threads in [2, 4, 8] {
+            let b = SimilarityMatrix::compute(&src, &dst, 4, Metric::Cosine, threads);
+            assert_eq!(a.data, b.data, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_matrix() {
+        let some: Vec<f32> = vec![1.0, 0.0, 0.0, 1.0];
+        for threads in [1, 4] {
+            // 0×N: no sources.
+            let m = SimilarityMatrix::compute(&[], &some, 2, Metric::Cosine, threads);
+            assert_eq!((m.rows(), m.cols()), (0, 2));
+            assert!(m.data.is_empty());
+            // N×0: no targets.
+            let m = SimilarityMatrix::compute(&some, &[], 2, Metric::Cosine, threads);
+            assert_eq!((m.rows(), m.cols()), (2, 0));
+            assert!(m.data.is_empty());
+            assert_eq!(m.topk_row(0, 3), vec![]);
+            assert_eq!(m.argmax_row(0), None);
+            // 0×0: nothing at all.
+            let m = SimilarityMatrix::compute(&[], &[], 2, Metric::Cosine, threads);
+            assert_eq!((m.rows(), m.cols()), (0, 0));
+            assert!(m.data.is_empty());
+        }
     }
 
     #[test]
@@ -221,7 +255,10 @@ mod tests {
     fn topk_is_sorted_descending() {
         let m = SimilarityMatrix::from_raw(1, 5, vec![0.1, 0.9, 0.5, 0.7, 0.3]);
         let top = m.topk_row(0, 3);
-        assert_eq!(top.iter().map(|&(j, _)| j).collect::<Vec<_>>(), vec![1, 3, 2]);
+        assert_eq!(
+            top.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+            vec![1, 3, 2]
+        );
         let all = m.topk_row(0, 10);
         assert_eq!(all.len(), 5);
     }

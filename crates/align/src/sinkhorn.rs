@@ -19,7 +19,10 @@ pub struct SinkhornConfig {
 
 impl Default for SinkhornConfig {
     fn default() -> Self {
-        Self { epsilon: 0.05, iterations: 60 }
+        Self {
+            epsilon: 0.05,
+            iterations: 60,
+        }
     }
 }
 
@@ -105,15 +108,22 @@ mod tests {
 
     #[test]
     fn plan_marginals_are_uniform() {
-        let sim = SimilarityMatrix::from_raw(3, 3, vec![0.9, 0.1, 0.0, 0.2, 0.8, 0.1, 0.0, 0.3, 0.7]);
+        let sim =
+            SimilarityMatrix::from_raw(3, 3, vec![0.9, 0.1, 0.0, 0.2, 0.8, 0.1, 0.0, 0.3, 0.7]);
         let plan = sinkhorn_plan(&sim, SinkhornConfig::default());
         for i in 0..3 {
             let row_sum: f32 = (0..3).map(|j| plan[i * 3 + j]).sum();
-            assert!((row_sum - 1.0 / 3.0).abs() < 1e-3, "row {i} sums to {row_sum}");
+            assert!(
+                (row_sum - 1.0 / 3.0).abs() < 1e-3,
+                "row {i} sums to {row_sum}"
+            );
         }
         for j in 0..3 {
             let col_sum: f32 = (0..3).map(|i| plan[i * 3 + j]).sum();
-            assert!((col_sum - 1.0 / 3.0).abs() < 1e-3, "col {j} sums to {col_sum}");
+            assert!(
+                (col_sum - 1.0 / 3.0).abs() < 1e-3,
+                "col {j} sums to {col_sum}"
+            );
         }
     }
 
@@ -165,7 +175,7 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::infer::{greedy_collective, hungarian};
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     fn weight(sim: &SimilarityMatrix, m: &[Option<usize>]) -> f64 {
         m.iter()
@@ -174,12 +184,12 @@ mod proptests {
             .sum()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    props! {
+        #![cases = 32]
 
         /// OT matching is 1-to-1 and its weight is near the optimum.
         #[test]
-        fn sinkhorn_matching_is_near_optimal(values in proptest::collection::vec(0.0f32..1.0, 16)) {
+        fn sinkhorn_matching_is_near_optimal(values in vec_of(0.0f32..1.0, 16)) {
             let sim = SimilarityMatrix::from_raw(4, 4, values);
             let ot = sinkhorn_match(&sim, SinkhornConfig::default());
             let picked: Vec<usize> = ot.iter().flatten().copied().collect();

@@ -1,7 +1,7 @@
 use openea_approaches::*;
 use openea_core::k_fold_splits;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::time::Instant;
 
 fn main() {
@@ -12,7 +12,11 @@ fn main() {
         _ => openea_synth::DatasetFamily::EnFr,
     };
     let pair = openea_synth::PresetConfig::new(fam, 400, false, 7).generate();
-    println!("pair: {} aligned, kg1 {} triples", pair.num_aligned(), pair.kg1.num_rel_triples());
+    println!(
+        "pair: {} aligned, kg1 {} triples",
+        pair.num_aligned(),
+        pair.kg1.num_rel_triples()
+    );
     let mut rng = SmallRng::seed_from_u64(1);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
     let split = &folds[0];
@@ -21,12 +25,23 @@ fn main() {
     // cross-lingual word vectors
     if fam == openea_synth::DatasetFamily::EnFr {
         let tr = openea_synth::Translator::new(openea_synth::Language::L2, 4000, 0.02);
-        cfg.word_vectors = openea_models::literal::WordVectors::cross_lingual(cfg.dim, tr.dictionary_pairs(), 0.08);
+        cfg.word_vectors = openea_models::literal::WordVectors::cross_lingual(
+            cfg.dim,
+            tr.dictionary_pairs(),
+            0.08,
+        );
     }
     for a in all_approaches() {
         let t0 = Instant::now();
         let out = a.run(&pair, split, &cfg);
         let eval = evaluate_output(&out, &split.test, cfg.threads);
-        println!("{:10} hits1={:.3} hits5={:.3} mrr={:.3}  ({:.1}s)", a.name(), eval.hits1, eval.hits5, eval.mrr, t0.elapsed().as_secs_f32());
+        println!(
+            "{:10} hits1={:.3} hits5={:.3} mrr={:.3}  ({:.1}s)",
+            a.name(),
+            eval.hits1,
+            eval.hits5,
+            eval.mrr,
+            t0.elapsed().as_secs_f32()
+        );
     }
 }

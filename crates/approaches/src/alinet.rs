@@ -12,8 +12,8 @@ use crate::gcn::union_edges;
 use openea_align::Metric;
 use openea_autodiff::{Graph, SparseMatrix, Tensor};
 use openea_core::{AlignedPair, FoldSplit, KgPair};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{Rng, SeedableRng};
 
 /// AliNet.
 pub struct AliNet;
@@ -59,7 +59,15 @@ impl AliNetParams {
 
     /// Forward: `H = g ⊙ H₁ + (1 − g) ⊙ H₂` where H₁ aggregates one-hop,
     /// H₂ two-hop, and the gate `g = σ(H₁·W_g)` decides per dimension.
-    fn forward(g: &mut Graph, adj1: usize, adj2: usize, x: openea_autodiff::Var, w1: openea_autodiff::Var, w2: openea_autodiff::Var, wg: openea_autodiff::Var) -> openea_autodiff::Var {
+    fn forward(
+        g: &mut Graph,
+        adj1: usize,
+        adj2: usize,
+        x: openea_autodiff::Var,
+        w1: openea_autodiff::Var,
+        w2: openea_autodiff::Var,
+        wg: openea_autodiff::Var,
+    ) -> openea_autodiff::Var {
         let xw1 = g.matmul(x, w1);
         let h1p = g.spmm(adj1, xw1);
         let h1 = g.tanh(h1p);
@@ -123,7 +131,12 @@ impl AliNetParams {
         let loss = g.mean(hinge);
         let lv = g.value(loss).item();
         g.backward(loss);
-        for (param, var) in [(&mut self.x, x), (&mut self.w1, w1), (&mut self.w2, w2), (&mut self.wg, wg)] {
+        for (param, var) in [
+            (&mut self.x, x),
+            (&mut self.w1, w1),
+            (&mut self.w2, w2),
+            (&mut self.wg, wg),
+        ] {
             let grad = g.grad(var);
             for (p, gg) in param.data.iter_mut().zip(&grad.data) {
                 *p -= lr * gg;
@@ -147,7 +160,13 @@ impl AliNetParams {
         for row in emb1.chunks_mut(dim).chain(emb2.chunks_mut(dim)) {
             openea_math::vecops::normalize(row);
         }
-        ApproachOutput { dim, metric: Metric::Manhattan, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim,
+            metric: Metric::Manhattan,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 }
 
@@ -225,7 +244,7 @@ fn near_identity<R: Rng>(dim: usize, rng: &mut R) -> Tensor {
         t.data[i * dim + i] = 1.0;
     }
     for v in t.data.iter_mut() {
-        *v += rng.gen_range(-0.05..0.05);
+        *v += rng.gen_range(-0.05f32..0.05);
     }
     t
 }
@@ -249,13 +268,25 @@ mod tests {
 
     #[test]
     fn alinet_beats_random_on_small_pair() {
-        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::EnFr, 250, false, 91).generate();
+        let pair =
+            openea_synth::PresetConfig::new(openea_synth::DatasetFamily::EnFr, 250, false, 91)
+                .generate();
         let mut rng = SmallRng::seed_from_u64(0);
         let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
-        let cfg = RunConfig { dim: 16, max_epochs: 40, threads: 2, ..RunConfig::default() };
+        let cfg = RunConfig {
+            dim: 16,
+            max_epochs: 40,
+            threads: 2,
+            ..RunConfig::default()
+        };
         let out = AliNet.run(&pair, &folds[0], &cfg);
         let eval = crate::common::evaluate_output(&out, &folds[0].test, 2);
         let random = 1.0 / folds[0].test.len() as f64;
-        assert!(eval.hits1 > 4.0 * random, "hits1 {} vs random {}", eval.hits1, random);
+        assert!(
+            eval.hits1 > 4.0 * random,
+            "hits1 {} vs random {}",
+            eval.hits1,
+            random
+        );
     }
 }

@@ -17,8 +17,8 @@ use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::literal::char_ngram_vector;
 use openea_models::{train_epoch, RelationModel, TransE};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 /// The character-level literal profile of every entity: the normalized sum
 /// of character-n-gram vectors of its attribute values.
@@ -65,8 +65,16 @@ impl Approach for AttrE {
     fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
-        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
-        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut model = TransE::new(
+            space.num_entities,
+            space.num_relations.max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        let sampler = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
 
         // Fixed character-level literal profiles (unified ids).
         let profiles: Option<Vec<(u32, Vec<f32>)>> = cfg.use_attributes.then(|| {
@@ -92,7 +100,14 @@ impl Approach for AttrE {
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
             if cfg.use_relations {
-                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+                train_epoch(
+                    &mut model,
+                    &space.triples,
+                    &sampler,
+                    cfg.lr,
+                    cfg.negs,
+                    &mut rng,
+                );
             }
             if let Some(profiles) = &profiles {
                 // Pull each entity toward its (fixed) literal profile:
@@ -124,7 +139,13 @@ impl Approach for AttrE {
 impl AttrE {
     fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
         let (emb1, emb2) = space.extract(model.entities());
-        ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim: cfg.dim,
+            metric: Metric::Cosine,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 }
 

@@ -59,7 +59,13 @@ mod tests {
     use openea_align::Metric;
 
     fn out(emb1: Vec<f32>, emb2: Vec<f32>) -> ApproachOutput {
-        ApproachOutput { dim: 2, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim: 2,
+            metric: Metric::Cosine,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 
     #[test]
@@ -88,6 +94,9 @@ mod tests {
     #[test]
     fn unaligned_excludes_taken() {
         let taken: HashSet<EntityId> = [EntityId(1)].into();
-        assert_eq!(unaligned_entities(3, &taken), vec![EntityId(0), EntityId(2)]);
+        assert_eq!(
+            unaligned_entities(3, &taken),
+            vec![EntityId(0), EntityId(2)]
+        );
     }
 }

@@ -16,8 +16,9 @@ use openea_math::negsamp::{RawTriple, TruncatedSampler, UniformSampler};
 use openea_math::vecops;
 use openea_models::translational::LossKind;
 use openea_models::{train_epoch, RelationModel, TransE};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::pool;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashSet;
 
 /// BootEA.
@@ -35,7 +36,12 @@ pub struct BootEa {
 
 impl Default for BootEa {
     fn default() -> Self {
-        Self { boot_every: 15, threshold: 0.75, epsilon: 0.98, bootstrapping: true }
+        Self {
+            boot_every: 15,
+            threshold: 0.75,
+            epsilon: 0.98,
+            bootstrapping: true,
+        }
     }
 }
 
@@ -49,48 +55,49 @@ impl BootEa {
         let dim = table.dim();
         let data = table.data();
         let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let chunk = n.div_ceil(threads.max(1));
-        crossbeam::thread::scope(|scope| {
-            for (t, out_chunk) in candidates.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
-                    let base = t * chunk;
-                    // Top-σ most-similar entities per entity (excluding self).
-                    let mut heap: Vec<(f32, u32)> = Vec::with_capacity(sigma + 1);
-                    for (local, out) in out_chunk.iter_mut().enumerate() {
-                        let e = base + local;
-                        let ev = &data[e * dim..(e + 1) * dim];
-                        heap.clear();
-                        for o in 0..n {
-                            if o == e {
-                                continue;
-                            }
-                            let s = vecops::cosine(ev, &data[o * dim..(o + 1) * dim]);
-                            if heap.len() < sigma {
-                                heap.push((s, o as u32));
-                                if heap.len() == sigma {
-                                    heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-                                }
-                            } else if s > heap[0].0 {
-                                heap[0] = (s, o as u32);
-                                let mut i = 0;
-                                while i + 1 < heap.len() && heap[i].0 > heap[i + 1].0 {
-                                    heap.swap(i, i + 1);
-                                    i += 1;
-                                }
-                            }
-                        }
-                        *out = heap.iter().map(|&(_, o)| o).collect();
+        let chunk = pool::balanced_chunk_len(n, threads.max(1), 4);
+        pool::parallel_chunks(&mut candidates, chunk, threads, |chunk_idx, out_chunk| {
+            let base = chunk_idx * chunk;
+            // Top-σ most-similar entities per entity (excluding self).
+            let mut heap: Vec<(f32, u32)> = Vec::with_capacity(sigma + 1);
+            for (local, out) in out_chunk.iter_mut().enumerate() {
+                let e = base + local;
+                let ev = &data[e * dim..(e + 1) * dim];
+                heap.clear();
+                for o in 0..n {
+                    if o == e {
+                        continue;
                     }
-                });
+                    let s = vecops::cosine(ev, &data[o * dim..(o + 1) * dim]);
+                    if heap.len() < sigma {
+                        heap.push((s, o as u32));
+                        if heap.len() == sigma {
+                            heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                        }
+                    } else if s > heap[0].0 {
+                        heap[0] = (s, o as u32);
+                        let mut i = 0;
+                        while i + 1 < heap.len() && heap[i].0 > heap[i + 1].0 {
+                            heap.swap(i, i + 1);
+                            i += 1;
+                        }
+                    }
+                }
+                *out = heap.iter().map(|&(_, o)| o).collect();
             }
-        })
-        .expect("sampler workers do not panic");
+        });
         TruncatedSampler::new(candidates)
     }
 
     fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
         let (emb1, emb2) = space.extract(model.entities());
-        ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim: cfg.dim,
+            metric: Metric::Cosine,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 }
 
@@ -114,9 +121,21 @@ impl Approach for BootEa {
         let space = UnifiedSpace::build(pair, &split.train, Combination::Swapping);
         let base_triples = space.triples.clone();
         let mut triples: Vec<RawTriple> = base_triples.clone();
-        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
-        model.loss = LossKind::Limit { lambda_pos: 0.05, lambda_neg: 1.2, mu: 0.2 };
-        let uniform = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut model = TransE::new(
+            space.num_entities,
+            space.num_relations.max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        model.loss = LossKind::Limit {
+            lambda_pos: 0.05,
+            lambda_neg: 1.2,
+            mu: 0.2,
+        };
+        let uniform = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
         let mut truncated: Option<TruncatedSampler> = None;
 
         let train_set: HashSet<EntityId> = split.train.iter().map(|&(a, _)| a).collect();
@@ -157,7 +176,8 @@ impl Approach for BootEa {
                 let out = self.output(&space, &model, cfg);
                 let cand1 = unaligned_entities(pair.kg1.num_entities(), &train_set);
                 let cand2 = unaligned_entities(pair.kg2.num_entities(), &train_set2);
-                proposed = propose_alignment(&out, &cand1, &cand2, self.threshold, true, cfg.threads);
+                proposed =
+                    propose_alignment(&out, &cand1, &cand2, self.threshold, true, cfg.threads);
                 augmentation.push(augmentation_quality(&proposed, &gold));
                 // Swap triples for the new proposals on top of the base set.
                 triples = base_triples.clone();
@@ -211,7 +231,10 @@ mod tests {
         model.entities.row_mut(1).copy_from_slice(&[0.99, 0.1]);
         model.entities.row_mut(2).copy_from_slice(&[0.0, 1.0]);
         model.entities.row_mut(3).copy_from_slice(&[0.0, -1.0]);
-        let b = BootEa { epsilon: 0.75, ..BootEa::default() }; // σ = 1
+        let b = BootEa {
+            epsilon: 0.75,
+            ..BootEa::default()
+        }; // σ = 1
         let s = b.refresh_sampler(&model, 1);
         // The hardest negative for entity 0 must be entity 1.
         let mut saw_one = false;

@@ -121,7 +121,12 @@ impl ApproachOutput {
     }
 
     /// Similarity matrix between the given source and target entities.
-    pub fn similarity(&self, sources: &[EntityId], targets: &[EntityId], threads: usize) -> SimilarityMatrix {
+    pub fn similarity(
+        &self,
+        sources: &[EntityId],
+        targets: &[EntityId],
+        threads: usize,
+    ) -> SimilarityMatrix {
         let mut src = Vec::with_capacity(sources.len() * self.dim);
         for &e in sources {
             src.extend_from_slice(self.vec1(e));
@@ -201,7 +206,8 @@ impl UnifiedSpace {
             }
         }
 
-        let mut triples = Vec::with_capacity(pair.kg1.num_rel_triples() + pair.kg2.num_rel_triples());
+        let mut triples =
+            Vec::with_capacity(pair.kg1.num_rel_triples() + pair.kg2.num_rel_triples());
         for t in pair.kg1.rel_triples() {
             triples.push((map1[t.head.idx()], t.rel.0, map1[t.tail.idx()]));
         }
@@ -209,7 +215,13 @@ impl UnifiedSpace {
             triples.push((map2[t.head.idx()], r1 as u32 + t.rel.0, map2[t.tail.idx()]));
         }
 
-        let mut space = Self { num_entities, num_relations: r1 + r2, triples, map1, map2 };
+        let mut space = Self {
+            num_entities,
+            num_relations: r1 + r2,
+            triples,
+            map1,
+            map2,
+        };
         if mode == Combination::Swapping {
             let swaps = space.swap_triples(pair, seeds);
             space.triples.extend(swaps);
@@ -297,7 +309,11 @@ pub struct EarlyStopper {
 
 impl EarlyStopper {
     pub fn new(patience: usize) -> Self {
-        Self { best: f64::NEG_INFINITY, bad_checks: 0, patience }
+        Self {
+            best: f64::NEG_INFINITY,
+            bad_checks: 0,
+            patience,
+        }
     }
 
     /// Feeds a new validation score; returns `true` when training should stop.
@@ -328,7 +344,11 @@ pub fn validation_hits1(out: &ApproachOutput, valid: &[AlignedPair], threads: us
 /// The concatenated literal text of an entity (attribute values joined), the
 /// raw material for description/name encoders.
 pub fn entity_literal_text(kg: &KnowledgeGraph, e: EntityId) -> String {
-    let mut parts: Vec<&str> = kg.attrs_of(e).iter().map(|&(_, v)| kg.literal_value(v)).collect();
+    let mut parts: Vec<&str> = kg
+        .attrs_of(e)
+        .iter()
+        .map(|&(_, v)| kg.literal_value(v))
+        .collect();
     parts.sort_unstable();
     parts.join(" ")
 }
@@ -365,7 +385,10 @@ pub fn literal_features(kg: &KnowledgeGraph, enc: &LiteralEncoder) -> Vec<f32> {
 /// Precision/recall/F1 of a set of proposed pairs against the full gold
 /// alignment, for the Figure 7 augmentation curves. Both are given in KG
 /// entity ids.
-pub fn augmentation_quality(proposed: &[(EntityId, EntityId)], gold: &HashSet<(EntityId, EntityId)>) -> PrfScores {
+pub fn augmentation_quality(
+    proposed: &[(EntityId, EntityId)],
+    gold: &HashSet<(EntityId, EntityId)>,
+) -> PrfScores {
     let pred: Vec<(u32, u32)> = proposed.iter().map(|&(a, b)| (a.0, b.0)).collect();
     let gold_raw: HashSet<(u32, u32)> = gold.iter().map(|&(a, b)| (a.0, b.0)).collect();
     precision_recall_f1(&pred, &gold_raw)
@@ -442,7 +465,7 @@ mod tests {
     fn extract_roundtrips_embeddings() {
         let p = tiny_pair();
         let s = UnifiedSpace::build(&p, &[], Combination::Calibration);
-        let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+        let mut rng = openea_runtime::rng::StepRng::new(1, 1);
         let _ = &mut rng;
         let mut table = EmbeddingTable::zeros(s.num_entities, 4);
         for i in 0..s.num_entities {
@@ -504,7 +527,7 @@ mod tests {
 mod proptests {
     use super::*;
     use openea_core::KgBuilder;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     /// Builds a random pair where entity i of KG1 aligns with entity i of KG2.
     fn random_pair(edges1: &[(u8, u8, u8)], edges2: &[(u8, u8, u8)], n: u8) -> KgPair {
@@ -515,10 +538,18 @@ mod proptests {
             b2.add_entity(&format!("b{i}"));
         }
         for &(h, r, t) in edges1 {
-            b1.add_rel_triple(&format!("a{}", h % n), &format!("r{}", r % 4), &format!("a{}", t % n));
+            b1.add_rel_triple(
+                &format!("a{}", h % n),
+                &format!("r{}", r % 4),
+                &format!("a{}", t % n),
+            );
         }
         for &(h, r, t) in edges2 {
-            b2.add_rel_triple(&format!("b{}", h % n), &format!("s{}", r % 4), &format!("b{}", t % n));
+            b2.add_rel_triple(
+                &format!("b{}", h % n),
+                &format!("s{}", r % 4),
+                &format!("b{}", t % n),
+            );
         }
         let kg1 = b1.build();
         let kg2 = b2.build();
@@ -533,15 +564,15 @@ mod proptests {
         KgPair::new(kg1, kg2, alignment)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    props! {
+        #![cases = 32]
 
         /// The unified space is well-formed under every combination mode:
         /// ids in range, seed pairs share ids iff sharing, triples valid.
         #[test]
         fn unified_space_invariants(
-            edges1 in proptest::collection::vec((0u8..6, 0u8..4, 0u8..6), 1..24),
-            edges2 in proptest::collection::vec((0u8..6, 0u8..4, 0u8..6), 1..24),
+            edges1 in vec_of((0u8..6, 0u8..4, 0u8..6), 1..24),
+            edges2 in vec_of((0u8..6, 0u8..4, 0u8..6), 1..24),
             num_seeds in 0usize..4,
         ) {
             let pair = random_pair(&edges1, &edges2, 6);
@@ -583,7 +614,7 @@ mod proptests {
         /// extract() inverts the maps: each KG row equals its unified row.
         #[test]
         fn extract_is_consistent_with_uids(
-            edges1 in proptest::collection::vec((0u8..5, 0u8..3, 0u8..5), 1..12),
+            edges1 in vec_of((0u8..5, 0u8..3, 0u8..5), 1..12),
             num_seeds in 0usize..3,
         ) {
             let pair = random_pair(&edges1, &edges1, 5);
@@ -608,7 +639,11 @@ impl ApproachOutput {
     /// Writes the embeddings as TSV (`entity-uri \t v0 \t v1 …`), one file
     /// section per KG separated by a blank line — a portable analogue of
     /// OpenEA's saved embedding matrices.
-    pub fn write_tsv(&self, path: impl AsRef<std::path::Path>, pair: &KgPair) -> std::io::Result<()> {
+    pub fn write_tsv(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        pair: &KgPair,
+    ) -> std::io::Result<()> {
         use std::io::Write;
         let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
         for (kg, emb) in [(&pair.kg1, &self.emb1), (&pair.kg2, &self.emb2)] {
@@ -645,15 +680,24 @@ impl ApproachOutput {
                 let mut cols = line.split('\t');
                 let name = cols.next().unwrap_or_default();
                 let e = kg.entity_by_name(name).ok_or_else(|| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("unknown entity {name}"))
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unknown entity {name}"),
+                    )
                 })?;
                 let v: Vec<f32> = cols
-                    .map(|c| c.parse::<f32>().map_err(|x| std::io::Error::new(std::io::ErrorKind::InvalidData, x)))
+                    .map(|c| {
+                        c.parse::<f32>()
+                            .map_err(|x| std::io::Error::new(std::io::ErrorKind::InvalidData, x))
+                    })
                     .collect::<Result<_, _>>()?;
                 if dim == 0 {
                     dim = v.len();
                 } else if dim != v.len() {
-                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "ragged embedding rows"));
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "ragged embedding rows",
+                    ));
                 }
                 buf.push((e, v));
                 rows += 1;
@@ -675,9 +719,18 @@ impl ApproachOutput {
         let (d1, emb1) = parse(s1, &pair.kg1)?;
         let (d2, emb2) = parse(s2, &pair.kg2)?;
         if d1 != d2 {
-            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "dimension mismatch between KGs"));
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "dimension mismatch between KGs",
+            ));
         }
-        Ok(ApproachOutput { dim: d1, metric, emb1, emb2, augmentation: Vec::new() })
+        Ok(ApproachOutput {
+            dim: d1,
+            metric,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        })
     }
 }
 
@@ -694,7 +747,10 @@ mod tsv_tests {
         b2.add_rel_triple("a2", "s", "b2");
         let kg1 = b1.build();
         let kg2 = b2.build();
-        let al = vec![(kg1.entity_by_name("a1").unwrap(), kg2.entity_by_name("a2").unwrap())];
+        let al = vec![(
+            kg1.entity_by_name("a1").unwrap(),
+            kg2.entity_by_name("a2").unwrap(),
+        )];
         let pair = KgPair::new(kg1, kg2, al);
         let out = ApproachOutput {
             dim: 3,
@@ -718,11 +774,7 @@ mod tsv_tests {
         b1.add_entity("a1");
         let mut b2 = KgBuilder::new("g2");
         b2.add_entity("a2");
-        let pair = KgPair::new(
-            b1.build(),
-            b2.build(),
-            vec![],
-        );
+        let pair = KgPair::new(b1.build(), b2.build(), vec![]);
         let path = std::env::temp_dir().join(format!("openea_embbad_{}.tsv", std::process::id()));
         std::fs::write(&path, "nope\t1\t2\n\nmore\t1\t2\n\n").unwrap();
         assert!(ApproachOutput::read_tsv(&path, &pair, Metric::Cosine).is_err());

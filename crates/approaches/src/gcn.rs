@@ -6,7 +6,7 @@ use crate::common::{ApproachOutput, RunConfig};
 use openea_align::Metric;
 use openea_autodiff::{Graph, SparseMatrix, Tensor};
 use openea_core::{AlignedPair, KgPair};
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// Builds the union-graph edge list over `n1 + n2` nodes. `relation_aware`
 /// weights each edge by the inverse frequency of its relation (rare
@@ -97,7 +97,13 @@ impl GcnEncoder {
     /// One full-batch training step on the margin calibration loss:
     /// `mean(relu(‖h₁ − h₂‖₁ − ‖h₁ − h₂ⁿᵉᵍ‖₁ + γ))` over seeds. Returns the
     /// loss value.
-    pub fn step<R: Rng>(&mut self, seeds: &[AlignedPair], margin: f32, lr: f32, rng: &mut R) -> f32 {
+    pub fn step<R: Rng>(
+        &mut self,
+        seeds: &[AlignedPair],
+        margin: f32,
+        lr: f32,
+        rng: &mut R,
+    ) -> f32 {
         if seeds.is_empty() {
             return 0.0;
         }
@@ -186,7 +192,13 @@ impl GcnEncoder {
             openea_math::vecops::normalize(row);
         }
         let _ = cfg;
-        ApproachOutput { dim, metric: Metric::Manhattan, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim,
+            metric: Metric::Manhattan,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 }
 
@@ -196,7 +208,7 @@ fn near_identity<R: Rng>(dim: usize, rng: &mut R) -> Tensor {
         t.data[i * dim + i] = 1.0;
     }
     for v in t.data.iter_mut() {
-        *v += rng.gen_range(-0.05..0.05);
+        *v += rng.gen_range(-0.05f32..0.05);
     }
     t
 }
@@ -259,8 +271,8 @@ fn forward(
 mod tests {
     use super::*;
     use openea_core::KgBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn pair() -> KgPair {
         let mut b1 = KgBuilder::new("a");
@@ -346,8 +358,10 @@ mod tests {
         let out = enc.output(&cfg);
         // A trained seed pair ends up closer (Manhattan) than a cross pair
         // with the far end of the other path.
-        let d_pos = openea_math::vecops::manhattan(out.vec1(p.alignment[0].0), out.vec2(p.alignment[0].1));
-        let d_neg = openea_math::vecops::manhattan(out.vec1(p.alignment[0].0), out.vec2(p.alignment[4].1));
+        let d_pos =
+            openea_math::vecops::manhattan(out.vec1(p.alignment[0].0), out.vec2(p.alignment[0].1));
+        let d_neg =
+            openea_math::vecops::manhattan(out.vec1(p.alignment[0].0), out.vec2(p.alignment[4].1));
         assert!(d_pos < d_neg, "{d_pos} vs {d_neg}");
     }
 

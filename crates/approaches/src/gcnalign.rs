@@ -12,8 +12,8 @@ use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair};
 use openea_math::vecops;
 use openea_models::AttrCorrelationModel;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 /// Per-KG attribute-correlation feature vectors.
 type AttrFeatures = (Vec<Vec<f32>>, Vec<Vec<f32>>);
@@ -26,7 +26,9 @@ pub struct GcnAlign {
 
 impl Default for GcnAlign {
     fn default() -> Self {
-        Self { structure_weight: 0.9 }
+        Self {
+            structure_weight: 0.9,
+        }
     }
 }
 
@@ -99,7 +101,9 @@ impl GcnAlign {
         attr: Option<&AttrFeatures>,
         cfg: &RunConfig,
     ) -> ApproachOutput {
-        let Some((f1, f2)) = attr else { return structure };
+        let Some((f1, f2)) = attr else {
+            return structure;
+        };
         let sdim = structure.dim;
         let adim = cfg.dim;
         let ws = self.structure_weight;

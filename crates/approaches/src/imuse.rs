@@ -14,13 +14,17 @@ use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::{train_epoch, RelationModel, TransE};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::{HashMap, HashSet};
 
 /// Finds candidate pairs by shared literal values, scores them by weighted
 /// overlap, and returns a 1-to-1 set above `threshold`.
-pub fn string_match_seeds(kg1: &KnowledgeGraph, kg2: &KnowledgeGraph, threshold: f32) -> Vec<AlignedPair> {
+pub fn string_match_seeds(
+    kg1: &KnowledgeGraph,
+    kg2: &KnowledgeGraph,
+    threshold: f32,
+) -> Vec<AlignedPair> {
     // Inverted index over exact literal values of KG2.
     let mut index: HashMap<&str, Vec<EntityId>> = HashMap::new();
     for e in kg2.entity_ids() {
@@ -72,7 +76,10 @@ pub struct Imuse {
 
 impl Default for Imuse {
     fn default() -> Self {
-        Self { string_threshold: 1.5, rel_weight: 0.6 }
+        Self {
+            string_threshold: 1.5,
+            rel_weight: 0.6,
+        }
     }
 }
 
@@ -105,19 +112,38 @@ impl Approach for Imuse {
             }
         }
         let space = UnifiedSpace::build(pair, &seeds, Combination::Sharing);
-        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
-        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut model = TransE::new(
+            space.num_entities,
+            space.num_relations.max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        let sampler = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
 
         // Attribute view: literal features through the (word-vector) encoder.
         let enc = cfg.literal_encoder();
-        let attr1 = cfg.use_attributes.then(|| crate::common::literal_features(&pair.kg1, &enc));
-        let attr2 = cfg.use_attributes.then(|| crate::common::literal_features(&pair.kg2, &enc));
+        let attr1 = cfg
+            .use_attributes
+            .then(|| crate::common::literal_features(&pair.kg1, &enc));
+        let attr2 = cfg
+            .use_attributes
+            .then(|| crate::common::literal_features(&pair.kg2, &enc));
 
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
             if cfg.use_relations {
-                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+                train_epoch(
+                    &mut model,
+                    &space.triples,
+                    &sampler,
+                    cfg.lr,
+                    cfg.negs,
+                    &mut rng,
+                );
             } else {
                 // Attribute-only mode still needs *some* embedding: entities
                 // keep their initialization; only the combination matters.
@@ -174,7 +200,13 @@ impl Imuse {
                     augmentation: Vec::new(),
                 }
             }
-            _ => ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1: s1, emb2: s2, augmentation: Vec::new() },
+            _ => ApproachOutput {
+                dim: cfg.dim,
+                metric: Metric::Cosine,
+                emb1: s1,
+                emb2: s2,
+                augmentation: Vec::new(),
+            },
         }
     }
 }
@@ -216,7 +248,10 @@ mod tests {
             b2.add_attr_triple(&format!("u{i}"), "kind", "city");
         }
         let seeds = string_match_seeds(&b1.build(), &b2.build(), 0.5);
-        assert!(seeds.is_empty(), "shared common value must not create seeds");
+        assert!(
+            seeds.is_empty(),
+            "shared common value must not create seeds"
+        );
     }
 
     #[test]

@@ -18,9 +18,9 @@ use openea_core::{EntityId, FoldSplit, KgPair};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::{train_epoch, TransE};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SliceRandom;
+use openea_runtime::rng::SmallRng;
 use std::collections::{HashMap, HashSet};
 
 /// A mined path instance: relations `r1, r2` composing to direct `r3`.
@@ -77,7 +77,11 @@ impl Default for IpTransE {
         // The low threshold is faithful: IPTransE accepts nearest neighbours
         // liberally and has no error-editing mechanism, which is why its
         // augmentation precision degrades over iterations (Figure 7).
-        Self { boot_every: 20, threshold: 0.35, path_weight: 0.3 }
+        Self {
+            boot_every: 20,
+            threshold: 0.35,
+            path_weight: 0.3,
+        }
     }
 }
 
@@ -121,8 +125,16 @@ impl Approach for IpTransE {
     fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
-        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
-        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut model = TransE::new(
+            space.num_entities,
+            space.num_relations.max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        let sampler = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
         let mut paths = mine_paths(&space.triples, 20_000);
         paths.shuffle(&mut rng);
         paths.truncate(4_000);
@@ -143,7 +155,14 @@ impl Approach for IpTransE {
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
             if cfg.use_relations {
-                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+                train_epoch(
+                    &mut model,
+                    &space.triples,
+                    &sampler,
+                    cfg.lr,
+                    cfg.negs,
+                    &mut rng,
+                );
                 self.path_step(&mut model, &paths, cfg.lr);
             }
             // Soft alignment for proposed pairs (seed pairs share ids already).
@@ -161,7 +180,8 @@ impl Approach for IpTransE {
                 out.metric = openea_align::Metric::Cosine;
                 let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
                 let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
-                let new_pairs = propose_alignment(&out, &cand1, &cand2, self.threshold, false, cfg.threads);
+                let new_pairs =
+                    propose_alignment(&out, &cand1, &cand2, self.threshold, false, cfg.threads);
                 for &(a, b) in &new_pairs {
                     taken1.insert(a);
                     taken2.insert(b);
@@ -192,7 +212,13 @@ impl IpTransE {
     fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
         let (emb1, emb2) = space.extract(&model.entities);
         let _ = vecops::norm2(&emb1[..cfg.dim.min(emb1.len())]);
-        ApproachOutput { dim: cfg.dim, metric: Metric::Euclidean, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim: cfg.dim,
+            metric: Metric::Euclidean,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 }
 
@@ -205,7 +231,11 @@ mod tests {
         // h -r0-> m -r1-> t and h -r2-> t.
         let triples = vec![(0, 0, 1), (1, 1, 2), (0, 2, 2)];
         let paths = mine_paths(&triples, 100);
-        assert!(paths.contains(&PathInstance { r1: 0, r2: 1, r3: 2 }));
+        assert!(paths.contains(&PathInstance {
+            r1: 0,
+            r2: 1,
+            r3: 2
+        }));
     }
 
     #[test]
@@ -230,8 +260,15 @@ mod tests {
     fn path_step_composes_relations() {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut model = TransE::new(3, 3, 8, 1.0, &mut rng);
-        let approach = IpTransE { path_weight: 1.0, ..IpTransE::default() };
-        let p = PathInstance { r1: 0, r2: 1, r3: 2 };
+        let approach = IpTransE {
+            path_weight: 1.0,
+            ..IpTransE::default()
+        };
+        let p = PathInstance {
+            r1: 0,
+            r2: 1,
+            r3: 2,
+        };
         let residual = |m: &TransE| {
             let u: Vec<f32> = (0..8)
                 .map(|i| m.relations.row(0)[i] + m.relations.row(1)[i] - m.relations.row(2)[i])

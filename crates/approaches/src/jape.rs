@@ -17,8 +17,8 @@ use openea_core::{AttributeId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::{train_epoch, AttrCorrelationModel, TransE};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashMap;
 
 /// Unified attribute ids across two KGs: attributes with identical names
@@ -72,7 +72,9 @@ pub struct Jape {
 
 impl Default for Jape {
     fn default() -> Self {
-        Self { structure_weight: 0.85 }
+        Self {
+            structure_weight: 0.85,
+        }
     }
 }
 
@@ -94,8 +96,16 @@ impl Approach for Jape {
     fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
-        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
-        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut model = TransE::new(
+            space.num_entities,
+            space.num_relations.max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        let sampler = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
 
         // Attribute-correlation view.
         let attr_features = if cfg.use_attributes {
@@ -117,7 +127,14 @@ impl Approach for Jape {
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
             if cfg.use_relations {
-                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+                train_epoch(
+                    &mut model,
+                    &space.triples,
+                    &sampler,
+                    cfg.lr,
+                    cfg.negs,
+                    &mut rng,
+                );
             }
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.output(&space, &model, attr_features.as_ref(), cfg);
@@ -148,7 +165,13 @@ impl Jape {
     ) -> ApproachOutput {
         let (s1, s2) = space.extract(&model.entities);
         match attr {
-            None => ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1: s1, emb2: s2, augmentation: Vec::new() },
+            None => ApproachOutput {
+                dim: cfg.dim,
+                metric: Metric::Cosine,
+                emb1: s1,
+                emb2: s2,
+                augmentation: Vec::new(),
+            },
             Some((f1, f2)) => {
                 let ws = self.structure_weight;
                 let wa = 1.0 - ws;

@@ -20,8 +20,8 @@ use openea_math::negsamp::UniformSampler;
 use openea_math::{vecops, Matrix};
 use openea_models::literal::LiteralEncoder;
 use openea_models::{train_epoch, RelationModel, TransE};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Description vectors for every entity (unit rows; zero when the entity has
@@ -54,7 +54,12 @@ pub struct KdCoe {
 
 impl Default for KdCoe {
     fn default() -> Self {
-        Self { co_every: 15, desc_threshold: 0.9, rel_threshold: 0.85, desc_weight: 0.5 }
+        Self {
+            co_every: 15,
+            desc_threshold: 0.9,
+            rel_threshold: 0.85,
+            desc_weight: 0.5,
+        }
     }
 }
 
@@ -75,21 +80,40 @@ impl Approach for KdCoe {
 
     fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let mut m1 = TransE::new(pair.kg1.num_entities(), pair.kg1.num_relations().max(1), cfg.dim, cfg.margin, &mut rng);
-        let mut m2 = TransE::new(pair.kg2.num_entities(), pair.kg2.num_relations().max(1), cfg.dim, cfg.margin, &mut rng);
+        let mut m1 = TransE::new(
+            pair.kg1.num_entities(),
+            pair.kg1.num_relations().max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        let mut m2 = TransE::new(
+            pair.kg2.num_entities(),
+            pair.kg2.num_relations().max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
         let t1 = kg_triples(&pair.kg1);
         let t2 = kg_triples(&pair.kg2);
-        let s1 = UniformSampler { num_entities: pair.kg1.num_entities().max(1) as u32 };
-        let s2 = UniformSampler { num_entities: pair.kg2.num_entities().max(1) as u32 };
+        let s1 = UniformSampler {
+            num_entities: pair.kg1.num_entities().max(1) as u32,
+        };
+        let s2 = UniformSampler {
+            num_entities: pair.kg2.num_entities().max(1) as u32,
+        };
         let mut map = Matrix::identity(cfg.dim);
         for v in map.data_mut() {
-            *v += rng.gen_range(-0.02..0.02);
+            *v += rng.gen_range(-0.02f32..0.02);
         }
 
         // Description view (fixed encodings — the co-trained "other" model).
         let enc = cfg.literal_encoder();
         let desc = cfg.use_attributes.then(|| {
-            (description_vectors(&pair.kg1, &enc), description_vectors(&pair.kg2, &enc))
+            (
+                description_vectors(&pair.kg1, &enc),
+                description_vectors(&pair.kg2, &enc),
+            )
         });
 
         let mut seeds = split.train.clone();
@@ -127,20 +151,42 @@ impl Approach for KdCoe {
                     };
                     let cand1: Vec<EntityId> = unaligned_entities(pair.kg1.num_entities(), &taken1)
                         .into_iter()
-                        .filter(|e| d1[e.idx() * enc_dim..(e.idx() + 1) * enc_dim].iter().any(|&x| x != 0.0))
+                        .filter(|e| {
+                            d1[e.idx() * enc_dim..(e.idx() + 1) * enc_dim]
+                                .iter()
+                                .any(|&x| x != 0.0)
+                        })
                         .collect();
                     let cand2: Vec<EntityId> = unaligned_entities(pair.kg2.num_entities(), &taken2)
                         .into_iter()
-                        .filter(|e| d2[e.idx() * enc_dim..(e.idx() + 1) * enc_dim].iter().any(|&x| x != 0.0))
+                        .filter(|e| {
+                            d2[e.idx() * enc_dim..(e.idx() + 1) * enc_dim]
+                                .iter()
+                                .any(|&x| x != 0.0)
+                        })
                         .collect();
-                    new_pairs.extend(propose_alignment(&desc_out, &cand1, &cand2, self.desc_threshold, true, cfg.threads));
+                    new_pairs.extend(propose_alignment(
+                        &desc_out,
+                        &cand1,
+                        &cand2,
+                        self.desc_threshold,
+                        true,
+                        cfg.threads,
+                    ));
                 }
                 // Relation view proposes.
                 {
                     let rel_out = self.relation_output(&m1, &m2, &map, cfg);
                     let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
                     let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
-                    new_pairs.extend(propose_alignment(&rel_out, &cand1, &cand2, self.rel_threshold, true, cfg.threads));
+                    new_pairs.extend(propose_alignment(
+                        &rel_out,
+                        &cand1,
+                        &cand2,
+                        self.rel_threshold,
+                        true,
+                        cfg.threads,
+                    ));
                 }
                 for &(a, b) in &new_pairs {
                     if !taken1.contains(&a) && !taken2.contains(&b) {
@@ -165,7 +211,8 @@ impl Approach for KdCoe {
                 }
             }
         }
-        let mut out = best.unwrap_or_else(|| self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg));
+        let mut out =
+            best.unwrap_or_else(|| self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg));
         out.augmentation = augmentation;
         out
     }
@@ -173,7 +220,13 @@ impl Approach for KdCoe {
 
 /// Joint SGD on `‖M·e₁ − e₂‖²` (same as the transformation harness, shared
 /// here to avoid a factory indirection for the co-training loop).
-fn seed_step(m1: &mut TransE, m2: &mut TransE, map: &mut Matrix, seeds: &[(EntityId, EntityId)], cfg: &RunConfig) {
+fn seed_step(
+    m1: &mut TransE,
+    m2: &mut TransE,
+    map: &mut Matrix,
+    seeds: &[(EntityId, EntityId)],
+    cfg: &RunConfig,
+) {
     let dim = cfg.dim;
     let lr = cfg.lr;
     let mut me1 = vec![0.0f32; dim];
@@ -198,7 +251,13 @@ fn seed_step(m1: &mut TransE, m2: &mut TransE, map: &mut Matrix, seeds: &[(Entit
 }
 
 impl KdCoe {
-    fn relation_output(&self, m1: &TransE, m2: &TransE, map: &Matrix, cfg: &RunConfig) -> ApproachOutput {
+    fn relation_output(
+        &self,
+        m1: &TransE,
+        m2: &TransE,
+        map: &Matrix,
+        cfg: &RunConfig,
+    ) -> ApproachOutput {
         let mut emb1 = Vec::with_capacity(m1.num_entities() * cfg.dim);
         let mut buf = vec![0.0f32; cfg.dim];
         for e in 0..m1.num_entities() {
@@ -268,7 +327,9 @@ mod tests {
         let x = kg.entity_by_name("x").unwrap();
         let y = kg.entity_by_name("y").unwrap();
         assert!(vecops::norm2(&d[x.idx() * 16..(x.idx() + 1) * 16]) > 0.9);
-        assert!(d[y.idx() * 16..(y.idx() + 1) * 16].iter().all(|&v| v == 0.0));
+        assert!(d[y.idx() * 16..(y.idx() + 1) * 16]
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]
@@ -287,6 +348,8 @@ mod tests {
         let u = kg2.entity_by_name("u").unwrap();
         let w = kg2.entity_by_name("w").unwrap();
         let row = |d: &[f32], e: EntityId| d[e.idx() * 32..(e.idx() + 1) * 32].to_vec();
-        assert!(vecops::cosine(&row(&d1, x), &row(&d2, u)) > vecops::cosine(&row(&d1, x), &row(&d2, w)));
+        assert!(
+            vecops::cosine(&row(&d1, x), &row(&d2, u)) > vecops::cosine(&row(&d1, x), &row(&d2, w))
+        );
     }
 }

@@ -11,8 +11,8 @@ use crate::transformation::{ModelFactory, TransformationHarness};
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair};
 use openea_models::{ConvE, DistMult, HolE, ProjE, RotatE, SimplE, TransD, TransE, TransH, TransR};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 /// Which relation model powers the MTransE-style harness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,22 +65,41 @@ impl RelModelKind {
                 Box::new(move |n: usize, r: usize, d: usize, seed: u64| {
                     let mut rng = SmallRng::seed_from_u64(seed);
                     #[allow(clippy::redundant_closure_call)]
-                    let m: Box<dyn openea_models::RelationModel> = Box::new(($ctor)(n, r, d, &mut rng));
+                    let m: Box<dyn openea_models::RelationModel> =
+                        Box::new(($ctor)(n, r, d, &mut rng));
                     m
                 })
             };
         }
         match self {
-            RelModelKind::TransE => boxed!(|n, r, d, rng: &mut SmallRng| TransE::new(n, r, d, 1.0, rng)),
-            RelModelKind::TransH => boxed!(|n, r, d, rng: &mut SmallRng| TransH::new(n, r, d, 1.0, rng)),
-            RelModelKind::TransR => boxed!(|n, r, d, rng: &mut SmallRng| TransR::new(n, r, d, 1.0, rng)),
-            RelModelKind::TransD => boxed!(|n, r, d, rng: &mut SmallRng| TransD::new(n, r, d, 1.0, rng)),
-            RelModelKind::DistMult => boxed!(|n, r, d, rng: &mut SmallRng| DistMult::new(n, r, d, rng)),
+            RelModelKind::TransE => {
+                boxed!(|n, r, d, rng: &mut SmallRng| TransE::new(n, r, d, 1.0, rng))
+            }
+            RelModelKind::TransH => {
+                boxed!(|n, r, d, rng: &mut SmallRng| TransH::new(n, r, d, 1.0, rng))
+            }
+            RelModelKind::TransR => {
+                boxed!(|n, r, d, rng: &mut SmallRng| TransR::new(n, r, d, 1.0, rng))
+            }
+            RelModelKind::TransD => {
+                boxed!(|n, r, d, rng: &mut SmallRng| TransD::new(n, r, d, 1.0, rng))
+            }
+            RelModelKind::DistMult => {
+                boxed!(|n, r, d, rng: &mut SmallRng| DistMult::new(n, r, d, rng))
+            }
             RelModelKind::HolE => boxed!(|n, r, d, rng: &mut SmallRng| HolE::new(n, r, d, rng)),
-            RelModelKind::SimplE => boxed!(|n, r, d, rng: &mut SmallRng| SimplE::new(n, r, d / 2, rng)),
-            RelModelKind::RotatE => boxed!(|n, r, d, rng: &mut SmallRng| RotatE::new(n, r, d, 2.0, rng)),
-            RelModelKind::ProjE => boxed!(|n, r, d, rng: &mut SmallRng| ProjE::new(n, r, d, 1.0, rng)),
-            RelModelKind::ConvE => boxed!(|n, r, d, rng: &mut SmallRng| ConvE::new(n, r, d, 1.0, rng)),
+            RelModelKind::SimplE => {
+                boxed!(|n, r, d, rng: &mut SmallRng| SimplE::new(n, r, d / 2, rng))
+            }
+            RelModelKind::RotatE => {
+                boxed!(|n, r, d, rng: &mut SmallRng| RotatE::new(n, r, d, 2.0, rng))
+            }
+            RelModelKind::ProjE => {
+                boxed!(|n, r, d, rng: &mut SmallRng| ProjE::new(n, r, d, 1.0, rng))
+            }
+            RelModelKind::ConvE => {
+                boxed!(|n, r, d, rng: &mut SmallRng| ConvE::new(n, r, d, 1.0, rng))
+            }
         }
     }
 }
@@ -96,7 +115,10 @@ pub struct MTransE {
 
 impl Default for MTransE {
     fn default() -> Self {
-        Self { model: RelModelKind::TransE, orthogonal: false }
+        Self {
+            model: RelModelKind::TransE,
+            orthogonal: false,
+        }
     }
 }
 

@@ -7,8 +7,8 @@
 //! sweet spot). Cosine metric, supervised.
 
 use crate::common::{
-    entity_name_literal, literal_features, validation_hits1, Approach, ApproachOutput,
-    Combination, EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
+    entity_name_literal, literal_features, validation_hits1, Approach, ApproachOutput, Combination,
+    EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
 };
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
@@ -16,8 +16,8 @@ use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::literal::LiteralEncoder;
 use openea_models::{train_epoch, RelationModel, TransE};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 /// MultiKE view weights.
 pub struct MultiKe {
@@ -28,7 +28,11 @@ pub struct MultiKe {
 
 impl Default for MultiKe {
     fn default() -> Self {
-        Self { name_weight: 0.45, relation_weight: 0.35, attr_weight: 0.2 }
+        Self {
+            name_weight: 0.45,
+            relation_weight: 0.35,
+            attr_weight: 0.2,
+        }
     }
 }
 
@@ -63,8 +67,16 @@ impl Approach for MultiKe {
     fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let space = UnifiedSpace::build(pair, &split.train, Combination::Swapping);
-        let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
-        let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+        let mut model = TransE::new(
+            space.num_entities,
+            space.num_relations.max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        let sampler = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
 
         let enc = cfg.literal_encoder();
         let views = cfg.use_attributes.then(|| {
@@ -80,7 +92,14 @@ impl Approach for MultiKe {
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
             if cfg.use_relations {
-                train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+                train_epoch(
+                    &mut model,
+                    &space.triples,
+                    &sampler,
+                    cfg.lr,
+                    cfg.negs,
+                    &mut rng,
+                );
             }
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.combine(&space, &model, views.as_ref(), &enc, cfg);
@@ -110,7 +129,13 @@ impl MultiKe {
     ) -> ApproachOutput {
         let (s1, s2) = space.extract(model.entities());
         let Some((n1, n2, a1, a2)) = views else {
-            return ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1: s1, emb2: s2, augmentation: Vec::new() };
+            return ApproachOutput {
+                dim: cfg.dim,
+                metric: Metric::Cosine,
+                emb1: s1,
+                emb2: s2,
+                augmentation: Vec::new(),
+            };
         };
         let enc_dim = enc.dim();
         let (wn, wr, wa) = if cfg.use_relations {

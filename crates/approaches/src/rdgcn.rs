@@ -12,8 +12,8 @@ use crate::common::{
 use crate::gcn::GcnEncoder;
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
 use openea_models::literal::LiteralEncoder;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 /// Name-literal features for the union graph (`(n1+n2) × dim`).
 pub fn name_features(pair: &KgPair, enc: &LiteralEncoder) -> Vec<f32> {
@@ -38,7 +38,6 @@ pub struct Rdgcn {
     /// Whether node features stay frozen (the name signal) or fine-tune.
     pub freeze_features: bool,
 }
-
 
 impl Approach for Rdgcn {
     fn name(&self) -> &'static str {
@@ -150,6 +149,9 @@ mod tests {
 
     #[test]
     fn requirements_mark_word_embeddings_mandatory() {
-        assert_eq!(Rdgcn::default().requirements().word_embeddings, Req::Mandatory);
+        assert_eq!(
+            Rdgcn::default().requirements().word_embeddings,
+            Req::Mandatory
+        );
     }
 }

@@ -68,7 +68,10 @@ impl ApproachKind {
     /// Whether the approach reports semi-supervised augmentation curves
     /// (the Figure 7 subjects).
     pub fn is_semi_supervised(self) -> bool {
-        matches!(self, ApproachKind::IPTransE | ApproachKind::KdCoe | ApproachKind::BootEa)
+        matches!(
+            self,
+            ApproachKind::IPTransE | ApproachKind::KdCoe | ApproachKind::BootEa
+        )
     }
 }
 
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn semi_supervised_trio_matches_figure7() {
-        let semi: Vec<_> = ApproachKind::ALL.iter().filter(|k| k.is_semi_supervised()).collect();
+        let semi: Vec<_> = ApproachKind::ALL
+            .iter()
+            .filter(|k| k.is_semi_supervised())
+            .collect();
         assert_eq!(semi.len(), 3);
     }
 

@@ -13,8 +13,8 @@ use openea_align::Metric;
 use openea_autodiff::{Graph, Tensor};
 use openea_core::{FoldSplit, KgPair};
 use openea_math::{EmbeddingTable, Initializer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{Rng, SeedableRng};
 
 /// One training walk: entity ids and the relations between them.
 #[derive(Clone, Debug)]
@@ -39,7 +39,9 @@ fn sample_walks<R: Rng>(
         adj[h as usize].push((r, t));
         adj[t as usize].push((num_relations + r, h));
     }
-    let starts: Vec<u32> = (0..num_entities as u32).filter(|&e| !adj[e as usize].is_empty()).collect();
+    let starts: Vec<u32> = (0..num_entities as u32)
+        .filter(|&e| !adj[e as usize].is_empty())
+        .collect();
     if starts.is_empty() {
         return Vec::new();
     }
@@ -61,7 +63,10 @@ fn sample_walks<R: Rng>(
         if relations.is_empty() {
             continue;
         }
-        walks.push(Walk { entities, relations });
+        walks.push(Walk {
+            entities,
+            relations,
+        });
     }
     walks
 }
@@ -77,7 +82,11 @@ pub struct Rsn4Ea {
 
 impl Default for Rsn4Ea {
     fn default() -> Self {
-        Self { walk_len: 5, walks_per_entity: 3.0, candidates: 12 }
+        Self {
+            walk_len: 5,
+            walks_per_entity: 3.0,
+            candidates: 12,
+        }
     }
 }
 
@@ -111,7 +120,12 @@ impl Approach for Rsn4Ea {
         // Element table: entities then 2·relations (forward + inverse).
         let num_elements = space.num_entities + 2 * space.num_relations;
         let mut params = RsnParams {
-            elements: EmbeddingTable::new(num_elements.max(1), cfg.dim, Initializer::Unit, &mut rng),
+            elements: EmbeddingTable::new(
+                num_elements.max(1),
+                cfg.dim,
+                Initializer::Unit,
+                &mut rng,
+            ),
             wh: Tensor::xavier(cfg.dim, cfg.dim, &mut rng),
             wx: Tensor::xavier(cfg.dim, cfg.dim, &mut rng),
             w1: Tensor::xavier(cfg.dim, cfg.dim, &mut rng),
@@ -167,13 +181,20 @@ impl Rsn4Ea {
         // Local element set: walk entities/relations plus sampled candidates.
         let mut local: Vec<u32> = Vec::new();
         let mut index_of = std::collections::HashMap::new();
-        let local_id = |ids: &mut Vec<u32>, map: &mut std::collections::HashMap<u32, u32>, global: u32| -> u32 {
+        let local_id = |ids: &mut Vec<u32>,
+                        map: &mut std::collections::HashMap<u32, u32>,
+                        global: u32|
+         -> u32 {
             *map.entry(global).or_insert_with(|| {
                 ids.push(global);
                 (ids.len() - 1) as u32
             })
         };
-        let ent_rows: Vec<u32> = walk.entities.iter().map(|&e| local_id(&mut local, &mut index_of, e)).collect();
+        let ent_rows: Vec<u32> = walk
+            .entities
+            .iter()
+            .map(|&e| local_id(&mut local, &mut index_of, e))
+            .collect();
         let rel_rows: Vec<u32> = walk
             .relations
             .iter()
@@ -252,7 +273,9 @@ impl Rsn4Ea {
         // Apply gradients.
         let gemb = g.grad(emb);
         for (local_row, &gid) in local.iter().enumerate() {
-            params.elements.sgd_row(gid as usize, gemb.row(local_row), cfg.lr);
+            params
+                .elements
+                .sgd_row(gid as usize, gemb.row(local_row), cfg.lr);
         }
         for (param, var) in [
             (&mut params.wh, wh),
@@ -271,7 +294,13 @@ impl Rsn4Ea {
         let (emb1, emb2) = space.extract(&params.elements);
         // extract() reads rows 0..n from the element table; entity rows come
         // first, so the relation tail is never touched.
-        ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim: cfg.dim,
+            metric: Metric::Cosine,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 }
 
@@ -289,8 +318,13 @@ mod tests {
             assert_eq!(w.entities.len(), w.relations.len() + 1);
             for (i, &r) in w.relations.iter().enumerate() {
                 let (h, t) = (w.entities[i], w.entities[i + 1]);
-                let forward = triples.iter().any(|&(a, rr, b)| a == h && b == t && rr == r);
-                let inverse = r >= 2 && triples.iter().any(|&(a, rr, b)| a == t && b == h && rr == r - 2);
+                let forward = triples
+                    .iter()
+                    .any(|&(a, rr, b)| a == h && b == t && rr == r);
+                let inverse = r >= 2
+                    && triples
+                        .iter()
+                        .any(|&(a, rr, b)| a == t && b == h && rr == r - 2);
                 assert!(forward || inverse, "invalid hop {h} -{r}-> {t}");
             }
         }

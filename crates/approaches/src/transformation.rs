@@ -9,8 +9,8 @@ use openea_core::{AlignedPair, FoldSplit, KgPair};
 use openea_math::negsamp::{RawTriple, UniformSampler};
 use openea_math::{vecops, Matrix};
 use openea_models::{train_epoch, RelationModel};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{Rng, SeedableRng};
 
 /// Builds a fresh relation model: `(num_entities, num_relations, dim, seed)`.
 pub type ModelFactory = dyn Fn(usize, usize, usize, u64) -> Box<dyn RelationModel> + Sync;
@@ -42,17 +42,31 @@ pub struct TransformationHarness<'f> {
 impl TransformationHarness<'_> {
     pub fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let mut m1 = (self.factory)(pair.kg1.num_entities(), pair.kg1.num_relations().max(1), cfg.dim, cfg.seed ^ 1);
-        let mut m2 = (self.factory)(pair.kg2.num_entities(), pair.kg2.num_relations().max(1), cfg.dim, cfg.seed ^ 2);
+        let mut m1 = (self.factory)(
+            pair.kg1.num_entities(),
+            pair.kg1.num_relations().max(1),
+            cfg.dim,
+            cfg.seed ^ 1,
+        );
+        let mut m2 = (self.factory)(
+            pair.kg2.num_entities(),
+            pair.kg2.num_relations().max(1),
+            cfg.dim,
+            cfg.seed ^ 2,
+        );
         let t1 = kg_triples(&pair.kg1);
         let t2 = kg_triples(&pair.kg2);
-        let s1 = UniformSampler { num_entities: pair.kg1.num_entities().max(1) as u32 };
-        let s2 = UniformSampler { num_entities: pair.kg2.num_entities().max(1) as u32 };
+        let s1 = UniformSampler {
+            num_entities: pair.kg1.num_entities().max(1) as u32,
+        };
+        let s2 = UniformSampler {
+            num_entities: pair.kg2.num_entities().max(1) as u32,
+        };
 
         // The transformation matrix, near-identity at start.
         let mut map = Matrix::identity(cfg.dim);
         for v in map.data_mut() {
-            *v += rng.gen_range(-0.02..0.02);
+            *v += rng.gen_range(-0.02f32..0.02);
         }
         let mut back = Matrix::identity(cfg.dim);
 
@@ -157,7 +171,13 @@ impl TransformationHarness<'_> {
         }
     }
 
-    fn output(&self, m1: &dyn RelationModel, m2: &dyn RelationModel, map: &Matrix, cfg: &RunConfig) -> ApproachOutput {
+    fn output(
+        &self,
+        m1: &dyn RelationModel,
+        m2: &dyn RelationModel,
+        map: &Matrix,
+        cfg: &RunConfig,
+    ) -> ApproachOutput {
         let n1 = m1.num_entities();
         let mut emb1 = Vec::with_capacity(n1 * cfg.dim);
         let mut buf = vec![0.0f32; cfg.dim];
@@ -167,7 +187,13 @@ impl TransformationHarness<'_> {
         }
         let emb2 = m2.entities().data().to_vec();
         let _ = vecops::norm2(&buf);
-        ApproachOutput { dim: cfg.dim, metric: self.metric, emb1, emb2, augmentation: Vec::new() }
+        ApproachOutput {
+            dim: cfg.dim,
+            metric: self.metric,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+        }
     }
 }
 
@@ -187,12 +213,24 @@ mod tests {
     fn transformation_maps_seeds_close() {
         // Two identical small KGs: the transformation should map seed
         // embeddings close to their counterparts.
-        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::EnFr, 150, false, 77).generate();
+        let pair =
+            openea_synth::PresetConfig::new(openea_synth::DatasetFamily::EnFr, 150, false, 77)
+                .generate();
         let mut rng = SmallRng::seed_from_u64(0);
         let folds = openea_core::k_fold_splits(&pair.alignment, 5, &mut rng);
         let factory = transe_factory();
-        let h = TransformationHarness { factory: &factory, metric: Metric::Euclidean, cycle_weight: 0.0, orthogonal: false, update_entities: true };
-        let cfg = RunConfig { dim: 16, max_epochs: 30, ..RunConfig::default() };
+        let h = TransformationHarness {
+            factory: &factory,
+            metric: Metric::Euclidean,
+            cycle_weight: 0.0,
+            orthogonal: false,
+            update_entities: true,
+        };
+        let cfg = RunConfig {
+            dim: 16,
+            max_epochs: 30,
+            ..RunConfig::default()
+        };
         let out = h.run(&pair, &folds[0], &cfg);
         // Mapped seed pairs are closer than random pairs on average.
         let mut seed_d = 0.0;

@@ -15,8 +15,8 @@ use openea_align::Metric;
 use openea_core::{EntityId, KgPair};
 use openea_math::negsamp::UniformSampler;
 use openea_models::{train_epoch, RelationModel, TransE};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashSet;
 
 /// Configuration of the unsupervised pipeline.
@@ -34,7 +34,12 @@ pub struct UnsupervisedConfig {
 
 impl Default for UnsupervisedConfig {
     fn default() -> Self {
-        Self { string_threshold: 1.5, boot_rounds: 4, epochs_per_round: 20, boot_threshold: 0.8 }
+        Self {
+            string_threshold: 1.5,
+            boot_rounds: 4,
+            epochs_per_round: 20,
+            boot_threshold: 0.8,
+        }
     }
 }
 
@@ -48,13 +53,25 @@ pub struct UnsupervisedOutcome {
 }
 
 /// Runs the unsupervised pipeline. The pair's gold alignment is never read.
-pub fn align_unsupervised(pair: &KgPair, ucfg: UnsupervisedConfig, cfg: &RunConfig) -> UnsupervisedOutcome {
+pub fn align_unsupervised(
+    pair: &KgPair,
+    ucfg: UnsupervisedConfig,
+    cfg: &RunConfig,
+) -> UnsupervisedOutcome {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let pseudo_seeds = string_match_seeds(&pair.kg1, &pair.kg2, ucfg.string_threshold);
 
     let space = UnifiedSpace::build(pair, &pseudo_seeds, Combination::Sharing);
-    let mut model = TransE::new(space.num_entities, space.num_relations.max(1), cfg.dim, cfg.margin, &mut rng);
-    let sampler = UniformSampler { num_entities: space.num_entities.max(1) as u32 };
+    let mut model = TransE::new(
+        space.num_entities,
+        space.num_relations.max(1),
+        cfg.dim,
+        cfg.margin,
+        &mut rng,
+    );
+    let sampler = UniformSampler {
+        num_entities: space.num_entities.max(1) as u32,
+    };
 
     let mut taken1: HashSet<EntityId> = pseudo_seeds.iter().map(|&(a, _)| a).collect();
     let mut taken2: HashSet<EntityId> = pseudo_seeds.iter().map(|&(_, b)| b).collect();
@@ -62,7 +79,14 @@ pub fn align_unsupervised(pair: &KgPair, ucfg: UnsupervisedConfig, cfg: &RunConf
 
     for round in 0..=ucfg.boot_rounds {
         for _ in 0..ucfg.epochs_per_round {
-            train_epoch(&mut model, &space.triples, &sampler, cfg.lr, cfg.negs, &mut rng);
+            train_epoch(
+                &mut model,
+                &space.triples,
+                &sampler,
+                cfg.lr,
+                cfg.negs,
+                &mut rng,
+            );
             let uids: Vec<(u32, u32)> = boot_pairs
                 .iter()
                 .map(|&(a, b)| (space.uid1(a), space.uid2(b)))
@@ -75,7 +99,8 @@ pub fn align_unsupervised(pair: &KgPair, ucfg: UnsupervisedConfig, cfg: &RunConf
         let out = extract(&space, &model, cfg);
         let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
         let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
-        let new_pairs = propose_alignment(&out, &cand1, &cand2, ucfg.boot_threshold, true, cfg.threads);
+        let new_pairs =
+            propose_alignment(&out, &cand1, &cand2, ucfg.boot_threshold, true, cfg.threads);
         for &(a, b) in &new_pairs {
             taken1.insert(a);
             taken2.insert(b);
@@ -86,12 +111,22 @@ pub fn align_unsupervised(pair: &KgPair, ucfg: UnsupervisedConfig, cfg: &RunConf
     let output = extract(&space, &model, cfg);
     let mut predicted = pseudo_seeds.clone();
     predicted.extend(boot_pairs);
-    UnsupervisedOutcome { output, pseudo_seeds, predicted }
+    UnsupervisedOutcome {
+        output,
+        pseudo_seeds,
+        predicted,
+    }
 }
 
 fn extract(space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
     let (emb1, emb2) = space.extract(model.entities());
-    ApproachOutput { dim: cfg.dim, metric: Metric::Cosine, emb1, emb2, augmentation: Vec::new() }
+    ApproachOutput {
+        dim: cfg.dim,
+        metric: Metric::Cosine,
+        emb1,
+        emb2,
+        augmentation: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -101,10 +136,18 @@ mod tests {
 
     #[test]
     fn unsupervised_alignment_beats_chance_without_gold_seeds() {
-        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 300, false, 88).generate();
-        let cfg = RunConfig { dim: 16, threads: 2, ..RunConfig::default() };
+        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 300, false, 88)
+            .generate();
+        let cfg = RunConfig {
+            dim: 16,
+            threads: 2,
+            ..RunConfig::default()
+        };
         let outcome = align_unsupervised(&pair, UnsupervisedConfig::default(), &cfg);
-        assert!(!outcome.pseudo_seeds.is_empty(), "literal overlap must yield pseudo-seeds");
+        assert!(
+            !outcome.pseudo_seeds.is_empty(),
+            "literal overlap must yield pseudo-seeds"
+        );
         let gold: HashSet<(u32, u32)> = pair.alignment.iter().map(|&(a, b)| (a.0, b.0)).collect();
         let raw: Vec<(u32, u32)> = outcome.predicted.iter().map(|&(a, b)| (a.0, b.0)).collect();
         let prf = precision_recall_f1(&raw, &gold);
@@ -114,9 +157,18 @@ mod tests {
 
     #[test]
     fn pseudo_seeds_respect_one_to_one() {
-        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 200, false, 89).generate();
-        let cfg = RunConfig { dim: 16, threads: 2, ..RunConfig::default() };
-        let ucfg = UnsupervisedConfig { boot_rounds: 1, epochs_per_round: 5, ..UnsupervisedConfig::default() };
+        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 200, false, 89)
+            .generate();
+        let cfg = RunConfig {
+            dim: 16,
+            threads: 2,
+            ..RunConfig::default()
+        };
+        let ucfg = UnsupervisedConfig {
+            boot_rounds: 1,
+            epochs_per_round: 5,
+            ..UnsupervisedConfig::default()
+        };
         let outcome = align_unsupervised(&pair, ucfg, &cfg);
         let mut s1 = HashSet::new();
         let mut s2 = HashSet::new();

@@ -57,7 +57,14 @@ enum Op {
     /// Mean softmax cross-entropy of logits `[n,c]` against target columns.
     SoftmaxCe(Var, Vec<u32>),
     /// Valid-padding single-channel conv: input `[n, h·w]`, filters `[k, kh·kw]`.
-    Conv2d { input: Var, filters: Var, h: usize, w: usize, kh: usize, kw: usize },
+    Conv2d {
+        input: Var,
+        filters: Var,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+    },
 }
 
 struct Node {
@@ -90,7 +97,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -300,7 +311,15 @@ impl Graph {
     }
 
     /// Single-channel valid convolution (used by ConvE).
-    pub fn conv2d(&mut self, input: Var, filters: Var, h: usize, w: usize, kh: usize, kw: usize) -> Var {
+    pub fn conv2d(
+        &mut self,
+        input: Var,
+        filters: Var,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+    ) -> Var {
         let (ti, tf) = (&self.nodes[input.0].value, &self.nodes[filters.0].value);
         assert_eq!(ti.cols, h * w, "conv input shape");
         assert_eq!(tf.cols, kh * kw, "conv filter shape");
@@ -324,19 +343,35 @@ impl Graph {
                 }
             }
         }
-        self.push(out, Op::Conv2d { input, filters, h, w, kh, kw })
+        self.push(
+            out,
+            Op::Conv2d {
+                input,
+                filters,
+                h,
+                w,
+                kh,
+                kw,
+            },
+        )
     }
 
     /// Runs the reverse pass from scalar node `target`.
     pub fn backward(&mut self, target: Var) {
-        assert_eq!(self.nodes[target.0].value.len(), 1, "backward target must be scalar");
+        assert_eq!(
+            self.nodes[target.0].value.len(),
+            1,
+            "backward target must be scalar"
+        );
         for n in &mut self.nodes {
             n.grad = None;
         }
         self.nodes[target.0].grad = Some(Tensor::scalar(1.0));
 
         for id in (0..=target.0).rev() {
-            let Some(g) = self.nodes[id].grad.clone() else { continue };
+            let Some(g) = self.nodes[id].grad.clone() else {
+                continue;
+            };
             let op = self.nodes[id].op.clone();
             match op {
                 Op::Leaf => {}
@@ -362,11 +397,19 @@ impl Graph {
                 Op::Mul(a, b) => {
                     let ga = {
                         let tb = &self.nodes[b.0].value;
-                        Tensor::from_vec(g.rows, g.cols, g.data.iter().zip(&tb.data).map(|(x, y)| x * y).collect())
+                        Tensor::from_vec(
+                            g.rows,
+                            g.cols,
+                            g.data.iter().zip(&tb.data).map(|(x, y)| x * y).collect(),
+                        )
                     };
                     let gb = {
                         let ta = &self.nodes[a.0].value;
-                        Tensor::from_vec(g.rows, g.cols, g.data.iter().zip(&ta.data).map(|(x, y)| x * y).collect())
+                        Tensor::from_vec(
+                            g.rows,
+                            g.cols,
+                            g.data.iter().zip(&ta.data).map(|(x, y)| x * y).collect(),
+                        )
                     };
                     self.accum(a, &ga);
                     self.accum(b, &gb);
@@ -389,7 +432,8 @@ impl Graph {
                     self.accum(row, &gr);
                 }
                 Op::Scale(a, s) => {
-                    let ga = Tensor::from_vec(g.rows, g.cols, g.data.iter().map(|x| x * s).collect());
+                    let ga =
+                        Tensor::from_vec(g.rows, g.cols, g.data.iter().map(|x| x * s).collect());
                     self.accum(a, &ga);
                 }
                 Op::Matmul(a, b) => {
@@ -446,7 +490,11 @@ impl Graph {
                     let ga = Tensor::from_vec(
                         g.rows,
                         g.cols,
-                        g.data.iter().zip(&y.data).map(|(gv, yv)| gv * yv * (1.0 - yv)).collect(),
+                        g.data
+                            .iter()
+                            .zip(&y.data)
+                            .map(|(gv, yv)| gv * yv * (1.0 - yv))
+                            .collect(),
                     );
                     self.accum(a, &ga);
                 }
@@ -455,7 +503,11 @@ impl Graph {
                     let ga = Tensor::from_vec(
                         g.rows,
                         g.cols,
-                        g.data.iter().zip(&y.data).map(|(gv, yv)| gv * (1.0 - yv * yv)).collect(),
+                        g.data
+                            .iter()
+                            .zip(&y.data)
+                            .map(|(gv, yv)| gv * (1.0 - yv * yv))
+                            .collect(),
                     );
                     self.accum(a, &ga);
                 }
@@ -464,7 +516,11 @@ impl Graph {
                     let ga = Tensor::from_vec(
                         g.rows,
                         g.cols,
-                        g.data.iter().zip(&x.data).map(|(gv, xv)| if *xv > 0.0 { *gv } else { 0.0 }).collect(),
+                        g.data
+                            .iter()
+                            .zip(&x.data)
+                            .map(|(gv, xv)| if *xv > 0.0 { *gv } else { 0.0 })
+                            .collect(),
                     );
                     self.accum(a, &ga);
                 }
@@ -473,7 +529,11 @@ impl Graph {
                     let ga = Tensor::from_vec(
                         g.rows,
                         g.cols,
-                        g.data.iter().zip(&x.data).map(|(gv, xv)| gv * xv.signum()).collect(),
+                        g.data
+                            .iter()
+                            .zip(&x.data)
+                            .map(|(gv, xv)| gv * xv.signum())
+                            .collect(),
                     );
                     self.accum(a, &ga);
                 }
@@ -531,7 +591,14 @@ impl Graph {
                     }
                     self.accum(logits, &gl);
                 }
-                Op::Conv2d { input, filters, h, w, kh, kw } => {
+                Op::Conv2d {
+                    input,
+                    filters,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                } => {
                     let (gi, gf) = {
                         let ti = &self.nodes[input.0].value;
                         let tf = &self.nodes[filters.0].value;
@@ -552,8 +619,10 @@ impl Graph {
                                         }
                                         for fy in 0..kh {
                                             for fx in 0..kw {
-                                                gi.row_mut(n)[(oy + fy) * w + (ox + fx)] += gv * filt[fy * kw + fx];
-                                                gf.row_mut(f)[fy * kw + fx] += gv * img[(oy + fy) * w + (ox + fx)];
+                                                gi.row_mut(n)[(oy + fy) * w + (ox + fx)] +=
+                                                    gv * filt[fy * kw + fx];
+                                                gf.row_mut(f)[fy * kw + fx] +=
+                                                    gv * img[(oy + fy) * w + (ox + fx)];
                                             }
                                         }
                                     }
@@ -585,8 +654,8 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use openea_runtime::rng::SmallRng;
+    use openea_runtime::rng::{Rng, SeedableRng};
 
     /// Finite-difference check: builds the graph twice per perturbed input
     /// via `f`, compares numeric and analytic gradients of the first leaf.
@@ -850,17 +919,17 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    props! {
+        #![cases = 24]
 
         /// A randomly-composed chain of elementwise ops matches finite
         /// differences on every input component.
         #[test]
         fn random_elementwise_chains_differentiate_correctly(
-            x0 in proptest::collection::vec(-1.5f32..1.5, 4),
-            ops in proptest::collection::vec(0u8..4, 1..5),
+            x0 in vec_of(-1.5f32..1.5, 4),
+            ops in vec_of(0u8..4, 1..5),
         ) {
             let build = |g: &mut Graph, x: &Tensor| {
                 let mut v = g.leaf(x.clone());

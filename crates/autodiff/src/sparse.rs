@@ -23,7 +23,10 @@ impl SparseMatrix {
         let mut values: Vec<f32> = Vec::with_capacity(triplets.len());
         let mut prev: Option<(u32, u32)> = None;
         for &(r, c, v) in &triplets {
-            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of range");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet out of range"
+            );
             if prev == Some((r, c)) {
                 *values.last_mut().expect("previous value") += v;
             } else {
@@ -37,7 +40,13 @@ impl SparseMatrix {
         for r in 0..rows {
             row_ptr[r + 1] = row_ptr[r] + counts[r];
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Row-normalized adjacency with self-loops: `D̂^(−1/2)·(A+I)·D̂^(−1/2)`,

@@ -1,6 +1,6 @@
 //! Dense 2-D `f32` tensors (matrices). Scalars are `1×1`, row vectors `1×n`.
 
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// A dense row-major 2-D tensor.
 #[derive(Clone, Debug, PartialEq)]
@@ -12,7 +12,11 @@ pub struct Tensor {
 
 impl Tensor {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
@@ -25,7 +29,9 @@ impl Tensor {
     }
 
     pub fn random_uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
         Self { rows, cols, data }
     }
 
@@ -73,8 +79,8 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     #[test]
     fn construction_and_access() {

@@ -1,78 +1,78 @@
-//! Criterion microbenchmarks for the performance-critical kernels:
-//! similarity search, CSLS, the inference strategies, PageRank, IDS
-//! sampling and a TransE training epoch.
+//! Microbenchmarks for the performance-critical kernels: similarity
+//! search, CSLS, the inference strategies, PageRank, IDS sampling and a
+//! TransE training epoch. Runs on the in-tree timer; filter with
+//! `cargo bench -- <substring>`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use openea::align::{greedy_match, stable_marriage, Metric, SimilarityMatrix};
 use openea::graph::{pagerank, PageRankConfig};
 use openea::math::negsamp::UniformSampler;
 use openea::models::{train_epoch, TransE};
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{Rng, SeedableRng};
+use openea_runtime::testkit::bench::{black_box, Harness};
 
 fn random_embeddings(n: usize, dim: usize, seed: u64) -> Vec<f32> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
-fn bench_similarity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("similarity_matrix");
+fn bench_similarity(h: &mut Harness) {
     for &n in &[200usize, 500] {
         let src = random_embeddings(n, 32, 1);
         let dst = random_embeddings(n, 32, 2);
-        group.bench_with_input(BenchmarkId::new("cosine", n), &n, |b, _| {
-            b.iter(|| SimilarityMatrix::compute(&src, &dst, 32, Metric::Cosine, 4))
+        h.bench(&format!("similarity_matrix/cosine/{n}"), || {
+            SimilarityMatrix::compute(black_box(&src), black_box(&dst), 32, Metric::Cosine, 4)
         });
     }
-    group.finish();
 }
 
-fn bench_csls_and_inference(c: &mut Criterion) {
+fn bench_csls_and_inference(h: &mut Harness) {
     let n = 400;
     let src = random_embeddings(n, 32, 3);
     let dst = random_embeddings(n, 32, 4);
     let sim = SimilarityMatrix::compute(&src, &dst, 32, Metric::Cosine, 4);
-    c.bench_function("csls_k10_400", |b| b.iter(|| sim.csls(10)));
-    c.bench_function("greedy_400", |b| b.iter(|| greedy_match(&sim)));
-    c.bench_function("stable_marriage_400", |b| b.iter(|| stable_marriage(&sim)));
-    c.bench_function("hungarian_200", |b| {
-        let small = SimilarityMatrix::compute(
-            &random_embeddings(200, 16, 5),
-            &random_embeddings(200, 16, 6),
-            16,
-            Metric::Cosine,
-            2,
-        );
-        b.iter(|| hungarian(&small))
-    });
+    h.bench("csls_k10_400", || sim.csls(10));
+    h.bench("greedy_400", || greedy_match(&sim));
+    h.bench("stable_marriage_400", || stable_marriage(&sim));
+    let small = SimilarityMatrix::compute(
+        &random_embeddings(200, 16, 5),
+        &random_embeddings(200, 16, 6),
+        16,
+        Metric::Cosine,
+        2,
+    );
+    h.bench("hungarian_200", || hungarian(&small));
 }
 
-fn bench_graph_algorithms(c: &mut Criterion) {
+fn bench_graph_algorithms(h: &mut Harness) {
     let pair = PresetConfig::new(DatasetFamily::EnFr, 1000, false, 7).generate();
-    c.bench_function("pagerank_1000", |b| {
-        b.iter(|| pagerank(&pair.kg1, PageRankConfig::default()))
+    h.bench("pagerank_1000", || {
+        pagerank(&pair.kg1, PageRankConfig::default())
     });
-    c.bench_function("degree_distribution_1000", |b| {
-        b.iter(|| DegreeDistribution::of(&pair.kg1))
+    h.bench("degree_distribution_1000", || {
+        DegreeDistribution::of(&pair.kg1)
     });
 }
 
-fn bench_ids(c: &mut Criterion) {
+fn bench_ids(h: &mut Harness) {
     let source = PresetConfig::new(DatasetFamily::EnFr, 800, false, 8).generate();
-    c.bench_function("ids_800_to_300", |b| {
-        b.iter(|| {
-            let mut rng = SmallRng::seed_from_u64(0);
-            ids_sample(
-                &source,
-                IdsConfig { target: 300, mu: 20, max_restarts: 0, ..IdsConfig::default() },
-                &mut rng,
-            )
-        })
+    h.bench("ids_800_to_300", || {
+        let mut rng = SmallRng::seed_from_u64(0);
+        ids_sample(
+            &source,
+            IdsConfig {
+                target: 300,
+                mu: 20,
+                max_restarts: 0,
+                ..IdsConfig::default()
+            },
+            &mut rng,
+        )
     });
 }
 
-fn bench_transe_epoch(c: &mut Criterion) {
+fn bench_transe_epoch(h: &mut Harness) {
     let pair = PresetConfig::new(DatasetFamily::EnFr, 800, false, 9).generate();
     let triples: Vec<(u32, u32, u32)> = pair
         .kg1
@@ -80,33 +80,37 @@ fn bench_transe_epoch(c: &mut Criterion) {
         .iter()
         .map(|t| (t.head.0, t.rel.0, t.tail.0))
         .collect();
-    let sampler = UniformSampler { num_entities: pair.kg1.num_entities() as u32 };
-    c.bench_function("transe_epoch_800", |b| {
-        let mut rng = SmallRng::seed_from_u64(1);
-        let mut model = TransE::new(pair.kg1.num_entities(), pair.kg1.num_relations(), 32, 1.0, &mut rng);
-        b.iter(|| train_epoch(&mut model, &triples, &sampler, 0.02, 5, &mut rng))
+    let sampler = UniformSampler {
+        num_entities: pair.kg1.num_entities() as u32,
+    };
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut model = TransE::new(
+        pair.kg1.num_entities(),
+        pair.kg1.num_relations(),
+        32,
+        1.0,
+        &mut rng,
+    );
+    h.bench("transe_epoch_800", || {
+        train_epoch(&mut model, &triples, &sampler, 0.02, 5, &mut rng)
     });
 }
 
-fn bench_synth(c: &mut Criterion) {
-    c.bench_function("generate_pair_500", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            PresetConfig::new(DatasetFamily::DW, 500, false, seed).generate()
-        })
+fn bench_synth(h: &mut Harness) {
+    let mut seed = 0u64;
+    h.bench("generate_pair_500", || {
+        seed += 1;
+        PresetConfig::new(DatasetFamily::DW, 500, false, seed).generate()
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_similarity,
-        bench_csls_and_inference,
-        bench_graph_algorithms,
-        bench_ids,
-        bench_transe_epoch,
-        bench_synth
+fn main() {
+    let mut h = Harness::from_args();
+    bench_similarity(&mut h);
+    bench_csls_and_inference(&mut h);
+    bench_graph_algorithms(&mut h);
+    bench_ids(&mut h);
+    bench_transe_epoch(&mut h);
+    bench_synth(&mut h);
+    h.finish();
 }
-criterion_main!(kernels);

@@ -6,8 +6,8 @@ use crate::HarnessConfig;
 use openea::models::literal::WordVectors;
 use openea::prelude::*;
 use openea::synth::Language;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashMap;
 
 /// A dataset variant in the Table 2/5 grid.
@@ -87,7 +87,12 @@ pub fn build_dataset(key: DatasetKey, cfg: &HarnessConfig) -> Dataset {
     let mut folds = k_fold_splits(&pair.alignment, 5, &mut rng);
     folds.truncate(cfg.scale.folds());
     let word_vectors = family_word_vectors(key.family, 32);
-    Dataset { key, pair, folds, word_vectors }
+    Dataset {
+        key,
+        pair,
+        folds,
+        word_vectors,
+    }
 }
 
 /// Cross-lingual families get dictionary-aligned word vectors (the paper's
@@ -125,9 +130,17 @@ pub fn main_grid(include_large: bool) -> Vec<DatasetKey> {
     let mut keys = Vec::new();
     for family in DatasetFamily::ALL {
         for dense in [false, true] {
-            keys.push(DatasetKey { family, dense, large: false });
+            keys.push(DatasetKey {
+                family,
+                dense,
+                large: false,
+            });
             if include_large {
-                keys.push(DatasetKey { family, dense, large: true });
+                keys.push(DatasetKey {
+                    family,
+                    dense,
+                    large: true,
+                });
             }
         }
     }
@@ -148,9 +161,16 @@ mod tests {
 
     #[test]
     fn cache_returns_same_instance() {
-        let cfg = HarnessConfig { out_dir: None, ..HarnessConfig::default() };
+        let cfg = HarnessConfig {
+            out_dir: None,
+            ..HarnessConfig::default()
+        };
         let mut cache = DatasetCache::new();
-        let key = DatasetKey { family: DatasetFamily::DY, dense: false, large: false };
+        let key = DatasetKey {
+            family: DatasetFamily::DY,
+            dense: false,
+            large: false,
+        };
         let a = cache.get(key, &cfg);
         let b = cache.get(key, &cfg);
         assert!(std::rc::Rc::ptr_eq(&a, &b));
@@ -160,8 +180,15 @@ mod tests {
 
     #[test]
     fn labels_are_readable() {
-        let cfg = HarnessConfig { out_dir: None, ..HarnessConfig::default() };
-        let key = DatasetKey { family: DatasetFamily::EnFr, dense: true, large: false };
+        let cfg = HarnessConfig {
+            out_dir: None,
+            ..HarnessConfig::default()
+        };
+        let key = DatasetKey {
+            family: DatasetFamily::EnFr,
+            dense: true,
+            large: false,
+        };
         assert_eq!(key.label(&cfg), "EN-FR-600 (V2)");
     }
 }
@@ -175,8 +202,14 @@ mod more_tests {
     fn word_vectors_align_cross_lingual_families_only() {
         use openea::synth::{Language, Vocabulary};
         let wv = family_word_vectors(DatasetFamily::EnFr, 16);
-        let l1 = Vocabulary { language: Language::L1, noise: 0.0 };
-        let l2 = Vocabulary { language: Language::L2, noise: 0.0 };
+        let l1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
+        let l2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.0,
+        };
         let w1 = l1.render_token(123);
         let w2 = l2.render_token(123);
         let sim = openea::math::vecops::cosine(&wv.get(&w1), &wv.get(&w2));
@@ -188,8 +221,16 @@ mod more_tests {
 
     #[test]
     fn run_config_carries_scale_epochs() {
-        let cfg = HarnessConfig { out_dir: None, scale: Scale::Small, ..HarnessConfig::default() };
-        let key = DatasetKey { family: DatasetFamily::DY, dense: false, large: false };
+        let cfg = HarnessConfig {
+            out_dir: None,
+            scale: Scale::Small,
+            ..HarnessConfig::default()
+        };
+        let key = DatasetKey {
+            family: DatasetFamily::DY,
+            dense: false,
+            large: false,
+        };
         let d = build_dataset(key, &cfg);
         let rc = run_config(&cfg, &d);
         assert_eq!(rc.max_epochs, Scale::Small.max_epochs());
@@ -198,8 +239,15 @@ mod more_tests {
 
     #[test]
     fn datasets_are_deterministic_per_seed() {
-        let cfg = HarnessConfig { out_dir: None, ..HarnessConfig::default() };
-        let key = DatasetKey { family: DatasetFamily::EnDe, dense: true, large: false };
+        let cfg = HarnessConfig {
+            out_dir: None,
+            ..HarnessConfig::default()
+        };
+        let key = DatasetKey {
+            family: DatasetFamily::EnDe,
+            dense: true,
+            large: false,
+        };
         let a = build_dataset(key, &cfg);
         let b = build_dataset(key, &cfg);
         assert_eq!(a.pair.num_aligned(), b.pair.num_aligned());

@@ -7,11 +7,13 @@ use crate::datasets::{build_dataset, DatasetKey};
 use crate::runner::{run_fold0, CvResult};
 use crate::tables::conventional_input;
 use crate::HarnessConfig;
-use openea::align::{degree_bucket_recall, greedy_match, hubness_profile, overlap3, topk_similarity_profile};
+use openea::align::{
+    degree_bucket_recall, greedy_match, hubness_profile, overlap3, topk_similarity_profile,
+};
 use openea::approaches::mtranse::{MTransE, RelModelKind};
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashSet;
 
 /// Figure 3: degree distributions of the source KG vs the IDS sample vs a
@@ -22,7 +24,15 @@ pub fn fig3(cfg: &HarnessConfig) {
     let source = PresetConfig::new(DatasetFamily::EnFr, target * 8, false, cfg.seed).generate();
     let filtered = source.filter_to_alignment();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let ids = ids_sample(&source, IdsConfig { target, mu: target / 40 + 2, ..IdsConfig::default() }, &mut rng);
+    let ids = ids_sample(
+        &source,
+        IdsConfig {
+            target,
+            mu: target / 40 + 2,
+            ..IdsConfig::default()
+        },
+        &mut rng,
+    );
     let ras = ras_sample(&source, target, &mut rng);
 
     let dists = [
@@ -34,7 +44,12 @@ pub fn fig3(cfg: &HarnessConfig) {
     let mut rows = Vec::new();
     for d in 0..=15usize {
         let row: Vec<f64> = dists.iter().map(|(_, dist)| dist.proportion(d)).collect();
-        println!("{d:>4} {:>8.1}% {:>8.1}% {:>8.1}%", row[0] * 100.0, row[1] * 100.0, row[2] * 100.0);
+        println!(
+            "{d:>4} {:>8.1}% {:>8.1}% {:>8.1}%",
+            row[0] * 100.0,
+            row[1] * 100.0,
+            row[2] * 100.0
+        );
         rows.push((d, row));
     }
     println!(
@@ -49,7 +64,11 @@ pub fn fig3(cfg: &HarnessConfig) {
 /// Figure 5: recall per alignment-degree bucket on EN-FR (V1).
 pub fn fig5(cfg: &HarnessConfig) {
     println!("== Figure 5: recall vs alignment degree (EN-FR, V1) ==");
-    let key = DatasetKey { family: DatasetFamily::EnFr, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::EnFr,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     let edges = [1usize, 6, 11, 16];
     println!(
@@ -64,8 +83,15 @@ pub fn fig5(cfg: &HarnessConfig) {
         let targets: Vec<EntityId> = test.iter().map(|&(_, b)| b).collect();
         let sim = out.similarity(&sources, &targets, rc.threads);
         let matching = greedy_match(&sim);
-        let degrees: Vec<usize> = test.iter().map(|&p| dataset.pair.alignment_degree(p)).collect();
-        let correct: Vec<bool> = matching.iter().enumerate().map(|(i, &m)| m == Some(i)).collect();
+        let degrees: Vec<usize> = test
+            .iter()
+            .map(|&p| dataset.pair.alignment_degree(p))
+            .collect();
+        let correct: Vec<bool> = matching
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| m == Some(i))
+            .collect();
         let buckets = degree_bucket_recall(&degrees, &correct, &edges);
         println!(
             "{:10} {:>9.3} {:>9.3} {:>9.3} {:>9.3}   (n = {:?})",
@@ -84,10 +110,16 @@ pub fn fig5(cfg: &HarnessConfig) {
 /// Figure 6: Hits@1 with vs without attribute embedding, on D-W and D-Y.
 pub fn fig6(cfg: &HarnessConfig) {
     println!("== Figure 6: attribute ablation (Hits@1) ==");
-    let subjects = ["JAPE", "GCNAlign", "KDCoE", "AttrE", "IMUSE", "MultiKE", "RDGCN"];
+    let subjects = [
+        "JAPE", "GCNAlign", "KDCoE", "AttrE", "IMUSE", "MultiKE", "RDGCN",
+    ];
     let mut rows = Vec::new();
     for family in [DatasetFamily::DW, DatasetFamily::DY] {
-        let key = DatasetKey { family, dense: false, large: false };
+        let key = DatasetKey {
+            family,
+            dense: false,
+            large: false,
+        };
         let dataset = build_dataset(key, cfg);
         println!("\n-- {} --", key.label(cfg));
         println!("{:10} {:>10} {:>10}", "Approach", "w/o attr", "w/ attr");
@@ -110,17 +142,37 @@ pub fn fig6(cfg: &HarnessConfig) {
 /// semi-supervised iteration (IPTransE, BootEA, KDCoE) on EN-FR (V1).
 pub fn fig7(cfg: &HarnessConfig) {
     println!("== Figure 7: semi-supervised augmentation quality (EN-FR, V1) ==");
-    let key = DatasetKey { family: DatasetFamily::EnFr, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::EnFr,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     let mut rows = Vec::new();
-    for kind in [ApproachKind::IPTransE, ApproachKind::BootEa, ApproachKind::KdCoe] {
+    for kind in [
+        ApproachKind::IPTransE,
+        ApproachKind::BootEa,
+        ApproachKind::KdCoe,
+    ] {
         let approach = kind.build();
         let (out, _) = run_fold0(approach.as_ref(), &dataset, cfg, |_| {});
         println!("\n{}:", approach.name());
         println!("  iter  precision  recall     f1");
         for (i, prf) in out.augmentation.iter().enumerate() {
-            println!("  {:>4} {:>10.3} {:>7.3} {:>6.3}", i + 1, prf.precision, prf.recall, prf.f1);
-            rows.push((approach.name().to_owned(), i + 1, prf.precision, prf.recall, prf.f1));
+            println!(
+                "  {:>4} {:>10.3} {:>7.3} {:>6.3}",
+                i + 1,
+                prf.precision,
+                prf.recall,
+                prf.f1
+            );
+            rows.push((
+                approach.name().to_owned(),
+                i + 1,
+                prf.precision,
+                prf.recall,
+                prf.f1,
+            ));
         }
     }
     cfg.write_json("fig7", &rows);
@@ -138,7 +190,8 @@ pub fn fig8(cfg: &HarnessConfig, table5_results: Option<&[CvResult]>) {
             &results_owned
         }
     };
-    let mut per_approach: std::collections::BTreeMap<String, Vec<(String, f64)>> = Default::default();
+    let mut per_approach: std::collections::BTreeMap<String, Vec<(String, f64)>> =
+        Default::default();
     for r in results {
         if r.dataset.contains("V1") {
             per_approach
@@ -150,7 +203,11 @@ pub fn fig8(cfg: &HarnessConfig, table5_results: Option<&[CvResult]>) {
     let mut rows = Vec::new();
     for (approach, times) in &per_approach {
         let total: f64 = times.iter().map(|&(_, t)| t).sum();
-        println!("{approach:10} mean {:>8.1}s  {:?}", total / times.len() as f64, times);
+        println!(
+            "{approach:10} mean {:>8.1}s  {:?}",
+            total / times.len() as f64,
+            times
+        );
         rows.push((approach.clone(), times.clone()));
     }
     cfg.write_json("fig8", &rows);
@@ -159,7 +216,11 @@ pub fn fig8(cfg: &HarnessConfig, table5_results: Option<&[CvResult]>) {
 /// Figures 9 and 10: similarity profiles and hubness/isolation on D-Y (V1).
 pub fn fig9_10(cfg: &HarnessConfig) {
     println!("== Figures 9 & 10: geometric analysis (D-Y, V1) ==");
-    let key = DatasetKey { family: DatasetFamily::DY, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::DY,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     println!(
         "{:10} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7}",
@@ -190,7 +251,14 @@ pub fn fig9_10(cfg: &HarnessConfig) {
             hubs.two_to_four * 100.0,
             hubs.five_plus * 100.0
         );
-        rows.push((approach.name().to_owned(), profile, hubs.zero, hubs.one, hubs.two_to_four, hubs.five_plus));
+        rows.push((
+            approach.name().to_owned(),
+            profile,
+            hubs.zero,
+            hubs.one,
+            hubs.two_to_four,
+            hubs.five_plus,
+        ));
     }
     cfg.write_json("fig9_10", &rows);
 }
@@ -208,9 +276,16 @@ pub fn fig11(cfg: &HarnessConfig) {
         print!("{:10}", kind.label());
         let mut row = Vec::new();
         for family in DatasetFamily::ALL {
-            let key = DatasetKey { family, dense: false, large: false };
+            let key = DatasetKey {
+                family,
+                dense: false,
+                large: false,
+            };
             let dataset = build_dataset(key, cfg);
-            let approach = MTransE { model: kind, orthogonal: false };
+            let approach = MTransE {
+                model: kind,
+                orthogonal: false,
+            };
             let (out, rc) = run_fold0(&approach, &dataset, cfg, |rc| {
                 // The deep models pay a large constant per step; keep the
                 // budget bounded at small scales.
@@ -232,9 +307,18 @@ pub fn fig11(cfg: &HarnessConfig) {
 /// approach, LogMap and PARIS on EN-FR (V1).
 pub fn fig12(cfg: &HarnessConfig) {
     println!("== Figure 12: correct-alignment overlap (EN-FR, V1) ==");
-    let key = DatasetKey { family: DatasetFamily::EnFr, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::EnFr,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
-    let gold: Vec<(u32, u32)> = dataset.pair.alignment.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    let gold: Vec<(u32, u32)> = dataset
+        .pair
+        .alignment
+        .iter()
+        .map(|&(a, b)| (a.0, b.0))
+        .collect();
 
     let conv_pair = conventional_input(&dataset.pair, key.family);
     let as_raw = |v: Vec<AlignedPair>| -> HashSet<(u32, u32)> {
@@ -286,7 +370,11 @@ mod tests {
 
     #[test]
     fn fig3_runs_quickly() {
-        let cfg = HarnessConfig { out_dir: None, scale: Scale::Small, ..HarnessConfig::default() };
+        let cfg = HarnessConfig {
+            out_dir: None,
+            scale: Scale::Small,
+            ..HarnessConfig::default()
+        };
         fig3(&cfg);
     }
 }
@@ -300,7 +388,11 @@ pub fn ablation(cfg: &HarnessConfig) {
     use openea::approaches::sea::Sea;
 
     println!("== Ablations (EN-FR, V1, Hits@1) ==");
-    let key = DatasetKey { family: DatasetFamily::EnFr, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::EnFr,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     let eval = |approach: &dyn Approach| {
         let (out, rc) = run_fold0(approach, &dataset, cfg, |_| {});
@@ -309,19 +401,38 @@ pub fn ablation(cfg: &HarnessConfig) {
 
     let mut rows = Vec::new();
     let with_boot = eval(&BootEa::default());
-    let without_boot = eval(&BootEa { bootstrapping: false, ..BootEa::default() });
-    println!("BootEA    with bootstrapping {with_boot:.3}  without {without_boot:.3}  (Δ {:+.3})", with_boot - without_boot);
+    let without_boot = eval(&BootEa {
+        bootstrapping: false,
+        ..BootEa::default()
+    });
+    println!(
+        "BootEA    with bootstrapping {with_boot:.3}  without {without_boot:.3}  (Δ {:+.3})",
+        with_boot - without_boot
+    );
     rows.push(("BootEA bootstrapping".to_owned(), with_boot, without_boot));
 
     let with_path = eval(&IpTransE::default());
-    let without_path = eval(&IpTransE { path_weight: 0.0, ..IpTransE::default() });
-    println!("IPTransE  with path loss     {with_path:.3}  without {without_path:.3}  (Δ {:+.3})", with_path - without_path);
+    let without_path = eval(&IpTransE {
+        path_weight: 0.0,
+        ..IpTransE::default()
+    });
+    println!(
+        "IPTransE  with path loss     {with_path:.3}  without {without_path:.3}  (Δ {:+.3})",
+        with_path - without_path
+    );
     rows.push(("IPTransE path loss".to_owned(), with_path, without_path));
 
     let with_cycle = eval(&Sea::default());
     let without_cycle = eval(&Sea { cycle_weight: 0.0 });
-    println!("SEA       with cycle reg.    {with_cycle:.3}  without {without_cycle:.3}  (Δ {:+.3})", with_cycle - without_cycle);
-    rows.push(("SEA cycle regularizer".to_owned(), with_cycle, without_cycle));
+    println!(
+        "SEA       with cycle reg.    {with_cycle:.3}  without {without_cycle:.3}  (Δ {:+.3})",
+        with_cycle - without_cycle
+    );
+    rows.push((
+        "SEA cycle regularizer".to_owned(),
+        with_cycle,
+        without_cycle,
+    ));
 
     cfg.write_json("ablation", &rows);
 }
@@ -332,15 +443,27 @@ pub fn unsupervised(cfg: &HarnessConfig) {
     use openea::approaches::unsupervised::{align_unsupervised, UnsupervisedConfig};
 
     println!("== Exploratory: unsupervised alignment (no gold seeds) ==");
-    println!("{:12} {:>8} {:>10} {:>8} {:>8}", "Dataset", "pseudo", "precision", "recall", "f1");
+    println!(
+        "{:12} {:>8} {:>10} {:>8} {:>8}",
+        "Dataset", "pseudo", "precision", "recall", "f1"
+    );
     let mut rows = Vec::new();
     for family in DatasetFamily::ALL {
-        let key = DatasetKey { family, dense: false, large: false };
+        let key = DatasetKey {
+            family,
+            dense: false,
+            large: false,
+        };
         let dataset = build_dataset(key, cfg);
         let mut rc = crate::datasets::run_config(cfg, &dataset);
         rc.max_epochs = cfg.scale.max_epochs();
         let outcome = align_unsupervised(&dataset.pair, UnsupervisedConfig::default(), &rc);
-        let gold: HashSet<(u32, u32)> = dataset.pair.alignment.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        let gold: HashSet<(u32, u32)> = dataset
+            .pair
+            .alignment
+            .iter()
+            .map(|&(a, b)| (a.0, b.0))
+            .collect();
         let raw: Vec<(u32, u32)> = outcome.predicted.iter().map(|&(a, b)| (a.0, b.0)).collect();
         let prf = precision_recall_f1(&raw, &gold);
         println!(
@@ -351,7 +474,13 @@ pub fn unsupervised(cfg: &HarnessConfig) {
             prf.recall,
             prf.f1
         );
-        rows.push((family.label(), outcome.pseudo_seeds.len(), prf.precision, prf.recall, prf.f1));
+        rows.push((
+            family.label(),
+            outcome.pseudo_seeds.len(),
+            prf.precision,
+            prf.recall,
+            prf.f1,
+        ));
     }
     cfg.write_json("unsupervised", &rows);
 }
@@ -363,7 +492,11 @@ pub fn blocking(cfg: &HarnessConfig) {
     use openea::align::{blocked_greedy_match, LshIndex};
 
     println!("== Exploratory: LSH blocking (D-Y, V1, MultiKE embeddings) ==");
-    let key = DatasetKey { family: DatasetFamily::DY, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::DY,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     let approach = approach_by_name("MultiKE").unwrap();
     let (out, rc) = run_fold0(approach.as_ref(), &dataset, cfg, |_| {});
@@ -380,11 +513,21 @@ pub fn blocking(cfg: &HarnessConfig) {
     }
     let exact_sim = out.similarity(&sources, &targets, rc.threads);
     let exact = greedy_match(&exact_sim);
-    let exact_hits: f64 = exact.iter().enumerate().filter(|&(i, &m)| m == Some(i)).count() as f64
+    let exact_hits: f64 = exact
+        .iter()
+        .enumerate()
+        .filter(|&(i, &m)| m == Some(i))
+        .count() as f64
         / test.len().max(1) as f64;
     let total = test.len() * test.len();
-    println!("{:>6} {:>7} {:>10} {:>12} {:>10}", "bits", "tables", "Hits@1", "comparisons", "vs exact");
-    println!("{:>6} {:>7} {:>10.3} {:>12} {:>10}", "-", "-", exact_hits, total, "1.00x");
+    println!(
+        "{:>6} {:>7} {:>10} {:>12} {:>10}",
+        "bits", "tables", "Hits@1", "comparisons", "vs exact"
+    );
+    println!(
+        "{:>6} {:>7} {:>10.3} {:>12} {:>10}",
+        "-", "-", exact_hits, total, "1.00x"
+    );
     let mut rows = Vec::new();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // High-dimensional embeddings need short hashes and many tables: the
@@ -427,11 +570,19 @@ pub fn alinet(cfg: &HarnessConfig) {
     println!();
     let mut rows = Vec::new();
     let alinet_box: Box<dyn Approach> = Box::new(AliNet);
-    for approach in [alinet_box, approach_by_name("GCNAlign").unwrap(), approach_by_name("RDGCN").unwrap()] {
+    for approach in [
+        alinet_box,
+        approach_by_name("GCNAlign").unwrap(),
+        approach_by_name("RDGCN").unwrap(),
+    ] {
         print!("{:10}", approach.name());
         let mut row = Vec::new();
         for family in DatasetFamily::ALL {
-            let key = DatasetKey { family, dense: false, large: false };
+            let key = DatasetKey {
+                family,
+                dense: false,
+                large: false,
+            };
             let dataset = build_dataset(key, cfg);
             let (out, rc) = run_fold0(approach.as_ref(), &dataset, cfg, |rc| {
                 rc.use_attributes = false; // structure-only comparison
@@ -451,10 +602,14 @@ pub fn alinet(cfg: &HarnessConfig) {
 /// sweep shows how each learning strategy degrades as seeds get scarce,
 /// the motivation behind semi-supervised and unsupervised alignment.
 pub fn seeds(cfg: &HarnessConfig) {
-    use rand::seq::SliceRandom;
+    use openea_runtime::rng::SliceRandom;
 
     println!("== Exploratory: Hits@1 vs seed fraction (EN-FR, V1) ==");
-    let key = DatasetKey { family: DatasetFamily::EnFr, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::EnFr,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     let fractions = [0.05f64, 0.10, 0.20, 0.30];
     print!("{:10}", "Approach");
@@ -503,10 +658,20 @@ pub fn orthogonal(cfg: &HarnessConfig) {
     println!("{:10} {:>10} {:>12}", "Dataset", "linear", "orthogonal");
     let mut rows = Vec::new();
     for family in DatasetFamily::ALL {
-        let key = DatasetKey { family, dense: false, large: false };
+        let key = DatasetKey {
+            family,
+            dense: false,
+            large: false,
+        };
         let dataset = build_dataset(key, cfg);
-        let linear = MTransE { model: RelModelKind::TransE, orthogonal: false };
-        let ortho = MTransE { model: RelModelKind::TransE, orthogonal: true };
+        let linear = MTransE {
+            model: RelModelKind::TransE,
+            orthogonal: false,
+        };
+        let ortho = MTransE {
+            model: RelModelKind::TransE,
+            orthogonal: true,
+        };
         let (out_l, rc) = run_fold0(&linear, &dataset, cfg, |_| {});
         let (out_o, _) = run_fold0(&ortho, &dataset, cfg, |_| {});
         let hl = evaluate_output(&out_l, &dataset.folds[0].test, rc.threads).hits1;

@@ -15,7 +15,7 @@ pub mod figures;
 pub mod runner;
 pub mod tables;
 
-use serde::Serialize;
+use openea_runtime::json::ToJson;
 use std::path::PathBuf;
 
 /// How big the experiments run.
@@ -88,32 +88,36 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        Self { scale: Scale::Small, seed: 7, out_dir: Some(PathBuf::from("results")), threads: num_threads() }
+        Self {
+            scale: Scale::Small,
+            seed: 7,
+            out_dir: Some(PathBuf::from("results")),
+            threads: num_threads(),
+        }
     }
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
 }
 
 impl HarnessConfig {
     /// Writes a JSON result document for `experiment`.
-    pub fn write_json<T: Serialize>(&self, experiment: &str, value: &T) {
+    pub fn write_json<T: ToJson + ?Sized>(&self, experiment: &str, value: &T) {
         let Some(dir) = &self.out_dir else { return };
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("warn: cannot create {}: {e}", dir.display());
             return;
         }
         let path = dir.join(format!("{experiment}.json"));
-        match serde_json::to_string_pretty(value) {
-            Ok(s) => {
-                if let Err(e) = std::fs::write(&path, s) {
-                    eprintln!("warn: cannot write {}: {e}", path.display());
-                } else {
-                    println!("[saved {}]", path.display());
-                }
-            }
-            Err(e) => eprintln!("warn: cannot serialize {experiment}: {e}"),
+        let s = openea_runtime::json::to_string_pretty(value);
+        if let Err(e) = std::fs::write(&path, s) {
+            eprintln!("warn: cannot write {}: {e}", path.display());
+        } else {
+            println!("[saved {}]", path.display());
         }
     }
 

@@ -40,7 +40,11 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                cfg.out_dir = Some(args.get(i).unwrap_or_else(|| die("--out needs a path")).into());
+                cfg.out_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--out needs a path"))
+                        .into(),
+                );
             }
             "--no-out" => cfg.out_dir = None,
             "--include-large" => include_large = true,
@@ -102,7 +106,10 @@ fn main() {
         }
         other => die(&format!("unknown experiment {other}")),
     }
-    println!("\n[{experiment} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    println!(
+        "\n[{experiment} done in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn print_usage() {

@@ -4,11 +4,11 @@
 use crate::datasets::{run_config, Dataset};
 use crate::HarnessConfig;
 use openea::prelude::*;
-use serde::Serialize;
+use openea_runtime::json::{object, Json, ToJson};
 use std::time::Instant;
 
 /// Cross-validated metrics of one approach on one dataset.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CvResult {
     pub approach: String,
     pub dataset: String,
@@ -28,6 +28,24 @@ impl CvResult {
     /// Paper-style cell: `.507±.010`.
     pub fn cell(mean: f64, std: f64) -> String {
         format!("{mean:.3}±{std:.3}").replace("0.", ".")
+    }
+}
+
+impl ToJson for CvResult {
+    fn to_json(&self) -> Json {
+        object([
+            ("approach", self.approach.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("hits1_mean", self.hits1_mean.to_json()),
+            ("hits1_std", self.hits1_std.to_json()),
+            ("hits5_mean", self.hits5_mean.to_json()),
+            ("hits5_std", self.hits5_std.to_json()),
+            ("mrr_mean", self.mrr_mean.to_json()),
+            ("mrr_std", self.mrr_std.to_json()),
+            ("mr_mean", self.mr_mean.to_json()),
+            ("seconds_per_fold", self.seconds_per_fold.to_json()),
+            ("folds", self.folds.to_json()),
+        ])
     }
 }
 
@@ -93,8 +111,16 @@ mod tests {
 
     #[test]
     fn run_cv_aggregates_all_folds() {
-        let cfg = HarnessConfig { out_dir: None, scale: Scale::Small, ..HarnessConfig::default() };
-        let key = DatasetKey { family: DatasetFamily::DY, dense: false, large: false };
+        let cfg = HarnessConfig {
+            out_dir: None,
+            scale: Scale::Small,
+            ..HarnessConfig::default()
+        };
+        let key = DatasetKey {
+            family: DatasetFamily::DY,
+            dense: false,
+            large: false,
+        };
         let dataset = build_dataset(key, &cfg);
         let approach = approach_by_name("MTransE").unwrap();
         let res = run_cv(approach.as_ref(), &dataset, &cfg, |rc| rc.max_epochs = 10);

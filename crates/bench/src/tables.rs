@@ -9,7 +9,7 @@ use crate::HarnessConfig;
 use openea::align::{greedy_match, stable_marriage};
 use openea::prelude::*;
 use openea::synth::Language;
-use serde::Serialize;
+use openea_runtime::json::{object, Json, ToJson};
 use std::collections::HashSet;
 
 /// Table 2: dataset statistics over the family × V1/V2 grid.
@@ -37,7 +37,13 @@ pub fn table2(cfg: &HarnessConfig, include_large: bool) {
             rows.push((key.label(cfg), s));
         }
     }
-    cfg.write_json("table2", &rows.iter().map(|(l, s)| (l.clone(), s.clone())).collect::<Vec<_>>());
+    cfg.write_json(
+        "table2",
+        &rows
+            .iter()
+            .map(|(l, s)| (l.clone(), s.clone()))
+            .collect::<Vec<_>>(),
+    );
 }
 
 /// Table 3: RAS vs PRS vs IDS sample quality against the source.
@@ -45,8 +51,8 @@ pub fn table3(cfg: &HarnessConfig) {
     println!("== Table 3: sampler comparison (EN-FR) ==");
     let target = cfg.scale.base_entities().min(600);
     let source = PresetConfig::new(DatasetFamily::EnFr, target * 8, false, cfg.seed).generate();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
-    use rand::SeedableRng;
+    let mut rng = openea_runtime::rng::SmallRng::seed_from_u64(cfg.seed);
+    use openea_runtime::rng::SeedableRng;
 
     let filtered = source.filter_to_alignment();
     println!(
@@ -57,14 +63,27 @@ pub fn table3(cfg: &HarnessConfig) {
     for q in [&sq1, &sq2] {
         println!(
             "{:10} {:>4} {:>10} {:>7.2} {:>6} {:>9.1}% {:>13.3}",
-            "(source)", q.kg_name, filtered.num_aligned(), q.avg_degree, "-", q.isolated_fraction * 100.0,
+            "(source)",
+            q.kg_name,
+            filtered.num_aligned(),
+            q.avg_degree,
+            "-",
+            q.isolated_fraction * 100.0,
             q.clustering_coefficient
         );
     }
     let mut rows = Vec::new();
     let ras = ras_sample(&source, target, &mut rng);
     let prs = prs_sample(&source, target, &mut rng);
-    let ids = ids_sample(&source, IdsConfig { target, mu: target / 40 + 2, ..IdsConfig::default() }, &mut rng);
+    let ids = ids_sample(
+        &source,
+        IdsConfig {
+            target,
+            mu: target / 40 + 2,
+            ..IdsConfig::default()
+        },
+        &mut rng,
+    );
     for (name, sample) in [("RAS", &ras), ("PRS", &prs), ("IDS", &ids.pair)] {
         let (q1, q2) = sample_quality(&source, sample);
         for q in [q1, q2] {
@@ -78,7 +97,14 @@ pub fn table3(cfg: &HarnessConfig) {
                 q.isolated_fraction * 100.0,
                 q.clustering_coefficient
             );
-            rows.push((name.to_owned(), q.kg_name.clone(), q.avg_degree, q.js_to_source, q.isolated_fraction, q.clustering_coefficient));
+            rows.push((
+                name.to_owned(),
+                q.kg_name.clone(),
+                q.avg_degree,
+                q.js_to_source,
+                q.isolated_fraction,
+                q.clustering_coefficient,
+            ));
         }
     }
     cfg.write_json("table3", &rows);
@@ -92,7 +118,10 @@ pub fn table5(cfg: &HarnessConfig, include_large: bool) -> Vec<CvResult> {
     for key in main_grid(include_large) {
         let dataset = build_dataset(key, cfg);
         println!("\n-- {} --", key.label(cfg));
-        println!("{:10} {:>12} {:>12} {:>12} {:>9}", "Approach", "Hits@1", "Hits@5", "MRR", "sec/fold");
+        println!(
+            "{:10} {:>12} {:>12} {:>12} {:>9}",
+            "Approach", "Hits@1", "Hits@5", "MRR", "sec/fold"
+        );
         for approach in all_approaches() {
             let r = run_cv(approach.as_ref(), &dataset, cfg, |_| {});
             println!(
@@ -109,7 +138,18 @@ pub fn table5(cfg: &HarnessConfig, include_large: bool) -> Vec<CvResult> {
     cfg.write_json("table5", &results);
     cfg.write_csv(
         "table5",
-        &["dataset", "approach", "hits1_mean", "hits1_std", "hits5_mean", "hits5_std", "mrr_mean", "mrr_std", "mr_mean", "seconds_per_fold"],
+        &[
+            "dataset",
+            "approach",
+            "hits1_mean",
+            "hits1_std",
+            "hits5_mean",
+            "hits5_std",
+            "mrr_mean",
+            "mrr_std",
+            "mr_mean",
+            "seconds_per_fold",
+        ],
         &results
             .iter()
             .map(|r| {
@@ -137,7 +177,10 @@ pub fn table4(cfg: &HarnessConfig) {
     println!("== Table 4: common hyper-parameters ==");
     println!("{:28} {}", "Embedding dimension", 32);
     println!("{:28} {}", "Max. epochs", cfg.scale.max_epochs());
-    println!("{:28} every 10 epochs on validation Hits@1 (patience 2)", "Termination");
+    println!(
+        "{:28} every 10 epochs on validation Hits@1 (patience 2)",
+        "Termination"
+    );
     println!("{:28} {}", "Negatives per positive", 5);
     println!("{:28} {}", "Cross-validation folds", cfg.scale.folds());
     println!("{:28} 20% train / 10% valid / 70% test", "Split");
@@ -146,7 +189,11 @@ pub fn table4(cfg: &HarnessConfig) {
 /// Table 6: Hits@1 under Greedy / Greedy+CSLS / SM / SM+CSLS per approach.
 pub fn table6(cfg: &HarnessConfig) {
     println!("== Table 6: inference strategies (D-Y, V1) ==");
-    let key = DatasetKey { family: DatasetFamily::DY, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::DY,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     println!(
         "{:10} {:>8} {:>10} {:>8} {:>10}",
@@ -161,7 +208,8 @@ pub fn table6(cfg: &HarnessConfig) {
         let sim = out.similarity(&sources, &targets, rc.threads);
         let csls = sim.csls(10);
         let hits1 = |m: &[Option<usize>]| {
-            m.iter().enumerate().filter(|&(i, &x)| x == Some(i)).count() as f64 / m.len().max(1) as f64
+            m.iter().enumerate().filter(|&(i, &x)| x == Some(i)).count() as f64
+                / m.len().max(1) as f64
         };
         let row = (
             approach.name().to_owned(),
@@ -179,13 +227,24 @@ pub fn table6(cfg: &HarnessConfig) {
     cfg.write_json("table6", &rows);
 }
 
-#[derive(Serialize)]
 struct PrfRow {
     dataset: String,
     system: String,
     precision: f64,
     recall: f64,
     f1: f64,
+}
+
+impl ToJson for PrfRow {
+    fn to_json(&self) -> Json {
+        object([
+            ("dataset", self.dataset.to_json()),
+            ("system", self.system.to_json()),
+            ("precision", self.precision.to_json()),
+            ("recall", self.recall.to_json()),
+            ("f1", self.f1.to_json()),
+        ])
+    }
 }
 
 /// The conventional systems run on a (machine-)translated copy for the
@@ -241,7 +300,11 @@ pub fn table7(cfg: &HarnessConfig) {
     let mut rows: Vec<PrfRow> = Vec::new();
     for family in DatasetFamily::ALL {
         for dense in [false, true] {
-            let key = DatasetKey { family, dense, large: false };
+            let key = DatasetKey {
+                family,
+                dense,
+                large: false,
+            };
             let dataset = build_dataset(key, cfg);
             let conv_pair = conventional_input(&dataset.pair, family);
             let logmap = LogMap::default();
@@ -253,14 +316,26 @@ pub fn table7(cfg: &HarnessConfig) {
                 (format!("OpenEA({emb_name})"), emb_pred),
             ] {
                 let prf = prf_of(&predicted, &dataset.pair);
-                let shown = if predicted.is_empty() { "-".to_owned() } else { format!("{:.3}", prf.precision) };
+                let shown = if predicted.is_empty() {
+                    "-".to_owned()
+                } else {
+                    format!("{:.3}", prf.precision)
+                };
                 println!(
                     "{:16} {:10} {:>10} {:>8} {:>8}",
                     key.label(cfg),
                     system,
                     shown,
-                    if predicted.is_empty() { "-".to_owned() } else { format!("{:.3}", prf.recall) },
-                    if predicted.is_empty() { "-".to_owned() } else { format!("{:.3}", prf.f1) },
+                    if predicted.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        format!("{:.3}", prf.recall)
+                    },
+                    if predicted.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        format!("{:.3}", prf.f1)
+                    },
                 );
                 rows.push(PrfRow {
                     dataset: key.label(cfg),
@@ -279,7 +354,11 @@ pub fn table7(cfg: &HarnessConfig) {
 /// triples only.
 pub fn table8(cfg: &HarnessConfig) {
     println!("== Table 8: feature study (EN-FR, V1) ==");
-    let key = DatasetKey { family: DatasetFamily::EnFr, dense: false, large: false };
+    let key = DatasetKey {
+        family: DatasetFamily::EnFr,
+        dense: false,
+        large: false,
+    };
     let dataset = build_dataset(key, cfg);
     let mut rows: Vec<PrfRow> = Vec::new();
 
@@ -317,9 +396,16 @@ pub fn table8(cfg: &HarnessConfig) {
         )
     };
 
-    println!("{:22} {:14} {:>10} {:>8} {:>8}", "System", "Features", "Precision", "Recall", "F1");
+    println!(
+        "{:22} {:14} {:>10} {:>8} {:>8}",
+        "System", "Features", "Precision", "Recall", "F1"
+    );
     for attrs_only in [false, true] {
-        let features = if attrs_only { "attributes only" } else { "relations only" };
+        let features = if attrs_only {
+            "attributes only"
+        } else {
+            "relations only"
+        };
         let stripped = strip(attrs_only);
         for (system, predicted) in [
             ("LogMap", LogMap::default().align(&stripped)),
@@ -327,7 +413,10 @@ pub fn table8(cfg: &HarnessConfig) {
         ] {
             let prf = prf_of(&predicted, &dataset.pair);
             if predicted.is_empty() {
-                println!("{system:22} {features:14} {:>10} {:>8} {:>8}", "-", "-", "-");
+                println!(
+                    "{system:22} {features:14} {:>10} {:>8} {:>8}",
+                    "-", "-", "-"
+                );
             } else {
                 println!(
                     "{system:22} {features:14} {:>10.3} {:>8.3} {:>8.3}",
@@ -401,7 +490,10 @@ pub fn table9(cfg: &HarnessConfig) {
         ));
     }
     // The two conventional systems (fixed metadata from the paper).
-    for (name, row) in [("LogMap", ["o", "*", " ", " ", "^"]), ("PARIS", ["o", "*", " ", " ", "^"])] {
+    for (name, row) in [
+        ("LogMap", ["o", "*", " ", " ", "^"]),
+        ("PARIS", ["o", "*", " ", " ", "^"]),
+    ] {
         println!(
             "{:10} {:>12} {:>12} {:>12} {:>12} {:>12}",
             name, row[0], row[1], row[2], row[3], row[4]
@@ -417,19 +509,36 @@ mod tests {
     use crate::Scale;
 
     fn tiny() -> HarnessConfig {
-        HarnessConfig { out_dir: None, scale: Scale::Small, ..HarnessConfig::default() }
+        HarnessConfig {
+            out_dir: None,
+            scale: Scale::Small,
+            ..HarnessConfig::default()
+        }
     }
 
     #[test]
     fn conventional_input_translates_cross_lingual_only() {
         let cfg = tiny();
-        let key = DatasetKey { family: DatasetFamily::EnFr, dense: false, large: false };
+        let key = DatasetKey {
+            family: DatasetFamily::EnFr,
+            dense: false,
+            large: false,
+        };
         let d = build_dataset(key, &cfg);
         let translated = conventional_input(&d.pair, DatasetFamily::EnFr);
         // Literal overlap with KG1 rises after translation.
         let overlap = |p: &KgPair| {
-            let s1: HashSet<&str> = p.kg1.attr_triples().iter().map(|t| p.kg1.literal_value(t.value)).collect();
-            p.kg2.attr_triples().iter().filter(|t| s1.contains(p.kg2.literal_value(t.value))).count()
+            let s1: HashSet<&str> = p
+                .kg1
+                .attr_triples()
+                .iter()
+                .map(|t| p.kg1.literal_value(t.value))
+                .collect();
+            p.kg2
+                .attr_triples()
+                .iter()
+                .filter(|t| s1.contains(p.kg2.literal_value(t.value)))
+                .count()
         };
         assert!(overlap(&translated) > overlap(&d.pair));
         let same = conventional_input(&d.pair, DatasetFamily::DY);

@@ -26,7 +26,11 @@ pub struct LogMapConfig {
 
 impl Default for LogMapConfig {
     fn default() -> Self {
-        Self { propagation_rounds: 3, min_votes: 1.5, min_anchor_fraction: 0.05 }
+        Self {
+            propagation_rounds: 3,
+            min_votes: 1.5,
+            min_anchor_fraction: 0.05,
+        }
     }
 }
 
@@ -210,7 +214,8 @@ mod tests {
 
     #[test]
     fn logmap_aligns_clean_pair() {
-        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 300, false, 9).generate();
+        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 300, false, 9)
+            .generate();
         let lm = LogMap::default();
         let predicted = lm.align(&pair);
         assert!(!predicted.is_empty());
@@ -253,12 +258,25 @@ mod tests {
         let kg1 = b1.build();
         let kg2 = b2.build();
         let gold = vec![
-            (kg1.entity_by_name("x").unwrap(), kg2.entity_by_name("u").unwrap()),
-            (kg1.entity_by_name("y").unwrap(), kg2.entity_by_name("w").unwrap()),
-            (kg1.entity_by_name("z").unwrap(), kg2.entity_by_name("v").unwrap()),
+            (
+                kg1.entity_by_name("x").unwrap(),
+                kg2.entity_by_name("u").unwrap(),
+            ),
+            (
+                kg1.entity_by_name("y").unwrap(),
+                kg2.entity_by_name("w").unwrap(),
+            ),
+            (
+                kg1.entity_by_name("z").unwrap(),
+                kg2.entity_by_name("v").unwrap(),
+            ),
         ];
         let pair = KgPair::new(kg1, kg2, gold.clone());
-        let lm = LogMap::new(LogMapConfig { min_votes: 0.5, min_anchor_fraction: 0.0, ..LogMapConfig::default() });
+        let lm = LogMap::new(LogMapConfig {
+            min_votes: 0.5,
+            min_anchor_fraction: 0.0,
+            ..LogMapConfig::default()
+        });
         let predicted = lm.align(&pair);
         assert!(predicted.contains(&gold[0]));
         assert!(predicted.contains(&gold[2]));

@@ -37,7 +37,13 @@ pub struct ParisConfig {
 
 impl Default for ParisConfig {
     fn default() -> Self {
-        Self { iterations: 4, threshold: 0.3, max_value_fanout: 8, beam: 8, rel_prior: 0.1 }
+        Self {
+            iterations: 4,
+            threshold: 0.3,
+            max_value_fanout: 8,
+            beam: 8,
+            rel_prior: 0.1,
+        }
     }
 }
 
@@ -60,7 +66,13 @@ fn relation_functionality(kg: &KnowledgeGraph) -> Vec<f64> {
     subjects
         .iter()
         .zip(&counts)
-        .map(|(s, &c)| if c == 0 { 0.0 } else { s.len() as f64 / c as f64 })
+        .map(|(s, &c)| {
+            if c == 0 {
+                0.0
+            } else {
+                s.len() as f64 / c as f64
+            }
+        })
         .collect()
 }
 
@@ -76,7 +88,13 @@ fn attribute_functionality(kg: &KnowledgeGraph) -> Vec<f64> {
     subjects
         .iter()
         .zip(&counts)
-        .map(|(s, &c)| if c == 0 { 0.0 } else { s.len() as f64 / c as f64 })
+        .map(|(s, &c)| {
+            if c == 0 {
+                0.0
+            } else {
+                s.len() as f64 / c as f64
+            }
+        })
         .collect()
 }
 
@@ -96,12 +114,17 @@ impl Paris {
         // Inverted index over KG2 literal values.
         let mut index: HashMap<&str, Vec<(EntityId, AttributeId)>> = HashMap::new();
         for t in kg2.attr_triples() {
-            index.entry(kg2.literal_value(t.value)).or_default().push((t.entity, t.attr));
+            index
+                .entry(kg2.literal_value(t.value))
+                .or_default()
+                .push((t.entity, t.attr));
         }
         // Accumulate 1 − Π(1 − fun₁·fun₂) per candidate pair.
         let mut neg_log: HashMap<(EntityId, EntityId), f64> = HashMap::new();
         for t in kg1.attr_triples() {
-            let Some(matches) = index.get(kg1.literal_value(t.value)) else { continue };
+            let Some(matches) = index.get(kg1.literal_value(t.value)) else {
+                continue;
+            };
             if matches.len() > self.config.max_value_fanout {
                 continue;
             }
@@ -125,7 +148,11 @@ impl Paris {
     /// Relation-pair support under the current equivalences:
     /// `P(r₁ ≈ r₂) ≈ overlap / min usage`, a symmetric stand-in for the
     /// paper's two subsumption scores.
-    fn relation_alignment(&self, pair: &KgPair, equiv: &Equiv) -> HashMap<(RelationId, RelationId), f64> {
+    fn relation_alignment(
+        &self,
+        pair: &KgPair,
+        equiv: &Equiv,
+    ) -> HashMap<(RelationId, RelationId), f64> {
         let kg2 = &pair.kg2;
         // Index KG2 edges by (head, tail) for lookup under equivalence.
         let mut edges2: HashMap<(EntityId, EntityId), Vec<RelationId>> = HashMap::new();
@@ -136,7 +163,9 @@ impl Paris {
         let mut usage1: HashMap<RelationId, f64> = HashMap::new();
         for t in pair.kg1.rel_triples() {
             *usage1.entry(t.rel).or_insert(0.0) += 1.0;
-            let (Some(hs), Some(ts)) = (equiv.get(&t.head), equiv.get(&t.tail)) else { continue };
+            let (Some(hs), Some(ts)) = (equiv.get(&t.head), equiv.get(&t.tail)) else {
+                continue;
+            };
             for &(h2, ph) in hs {
                 for &(t2, pt) in ts {
                     if let Some(rels) = edges2.get(&(h2, t2)) {
@@ -204,7 +233,10 @@ impl Paris {
                 let Some(xs) = equiv.get(&x) else { continue };
                 for &(y, pxy) in xs {
                     for &(r2, c) in out_index2.get(&y).map(|v| v.as_slice()).unwrap_or(&[]) {
-                        let pr = rel_align.get(&(r1, r2)).copied().unwrap_or(self.config.rel_prior);
+                        let pr = rel_align
+                            .get(&(r1, r2))
+                            .copied()
+                            .unwrap_or(self.config.rel_prior);
                         add(e1, c, pr * fun1[r1.idx()] * fun2[r2.idx()] * pxy);
                     }
                 }
@@ -308,7 +340,8 @@ mod tests {
 
     #[test]
     fn paris_aligns_on_clean_synthetic_pair() {
-        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 300, false, 5).generate();
+        let pair = openea_synth::PresetConfig::new(openea_synth::DatasetFamily::DY, 300, false, 5)
+            .generate();
         let paris = Paris::default();
         let predicted = paris.align(&pair);
         let gold = gold_set(&pair);
@@ -348,14 +381,26 @@ mod tests {
         let kg1 = b1.build();
         let kg2 = b2.build();
         let gold = vec![
-            (kg1.entity_by_name("e1").unwrap(), kg2.entity_by_name("u1").unwrap()),
-            (kg1.entity_by_name("e2").unwrap(), kg2.entity_by_name("u2").unwrap()),
+            (
+                kg1.entity_by_name("e1").unwrap(),
+                kg2.entity_by_name("u1").unwrap(),
+            ),
+            (
+                kg1.entity_by_name("e2").unwrap(),
+                kg2.entity_by_name("u2").unwrap(),
+            ),
         ];
         let pair = KgPair::new(kg1, kg2, gold.clone());
-        let paris = Paris::new(ParisConfig { threshold: 0.2, ..ParisConfig::default() });
+        let paris = Paris::new(ParisConfig {
+            threshold: 0.2,
+            ..ParisConfig::default()
+        });
         let predicted = paris.align(&pair);
         assert!(predicted.contains(&gold[0]), "anchor pair found");
-        assert!(predicted.contains(&gold[1]), "relational pair inferred: {predicted:?}");
+        assert!(
+            predicted.contains(&gold[1]),
+            "relational pair inferred: {predicted:?}"
+        );
     }
 }
 
@@ -363,17 +408,17 @@ mod tests {
 mod proptests {
     use super::*;
     use openea_core::KgBuilder;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
+    props! {
+        #![cases = 16]
 
         /// PARIS output is always a valid 1-to-1 alignment within range.
         #[test]
         fn paris_output_is_one_to_one(
-            attrs1 in proptest::collection::vec((0u8..12, 0u8..3, 0u8..20), 1..40),
-            attrs2 in proptest::collection::vec((0u8..12, 0u8..3, 0u8..20), 1..40),
-            rels in proptest::collection::vec((0u8..12, 0u8..2, 0u8..12), 0..20),
+            attrs1 in vec_of((0u8..12, 0u8..3, 0u8..20), 1..40),
+            attrs2 in vec_of((0u8..12, 0u8..3, 0u8..20), 1..40),
+            rels in vec_of((0u8..12, 0u8..2, 0u8..12), 0..20),
         ) {
             let mut b1 = KgBuilder::new("a");
             let mut b2 = KgBuilder::new("b");

@@ -10,16 +10,28 @@ pub enum Error {
     /// An underlying filesystem error, annotated with the path involved.
     Io { path: PathBuf, source: io::Error },
     /// A line in a triple/link file did not have the expected column count.
-    Malformed { path: PathBuf, line: usize, expected_cols: usize },
+    Malformed {
+        path: PathBuf,
+        line: usize,
+        expected_cols: usize,
+    },
     /// A link file referenced an entity absent from the corresponding KG.
-    UnknownEntity { path: PathBuf, line: usize, name: String },
+    UnknownEntity {
+        path: PathBuf,
+        line: usize,
+        name: String,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Io { path, source } => write!(f, "i/o error on {}: {source}", path.display()),
-            Error::Malformed { path, line, expected_cols } => write!(
+            Error::Malformed {
+                path,
+                line,
+                expected_cols,
+            } => write!(
                 f,
                 "{}:{line}: expected {expected_cols} tab-separated columns",
                 path.display()
@@ -42,7 +54,10 @@ impl std::error::Error for Error {
 
 impl Error {
     pub(crate) fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
-        Error::Io { path: path.into(), source }
+        Error::Io {
+            path: path.into(),
+            source,
+        }
     }
 }
 
@@ -54,9 +69,20 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = Error::Malformed { path: "x/rel_triples_1".into(), line: 3, expected_cols: 3 };
-        assert_eq!(e.to_string(), "x/rel_triples_1:3: expected 3 tab-separated columns");
-        let e = Error::UnknownEntity { path: "x/ent_links".into(), line: 9, name: "foo".into() };
+        let e = Error::Malformed {
+            path: "x/rel_triples_1".into(),
+            line: 3,
+            expected_cols: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "x/rel_triples_1:3: expected 3 tab-separated columns"
+        );
+        let e = Error::UnknownEntity {
+            path: "x/ent_links".into(),
+            line: 9,
+            name: "foo".into(),
+        };
         assert!(e.to_string().contains("unknown entity"));
         let e = Error::io("y", io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert!(e.to_string().contains("i/o error on y"));

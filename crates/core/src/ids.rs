@@ -94,7 +94,11 @@ pub struct AttrTriple {
 impl AttrTriple {
     #[inline]
     pub fn new(entity: EntityId, attr: AttributeId, value: LiteralId) -> Self {
-        Self { entity, attr, value }
+        Self {
+            entity,
+            attr,
+            value,
+        }
     }
 }
 

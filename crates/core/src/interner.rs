@@ -69,7 +69,7 @@ impl Interner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     #[test]
     fn intern_is_idempotent() {
@@ -111,9 +111,9 @@ mod tests {
         );
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn resolve_roundtrips(names in proptest::collection::vec("[a-z]{1,8}", 0..50)) {
+        fn resolve_roundtrips(names in vec_of(string_of("abcdefghijklmnopqrstuvwxyz", 1..=8), 0..50)) {
             let mut it = Interner::new();
             let ids: Vec<u32> = names.iter().map(|n| it.intern(n)).collect();
             for (name, id) in names.iter().zip(&ids) {

@@ -31,7 +31,11 @@ fn read_triple_file(path: &Path, mut add: impl FnMut(&str, &str, &str)) -> Resul
         match (cols.next(), cols.next(), cols.next()) {
             (Some(a), Some(b), Some(c)) => add(a, b, c),
             _ => {
-                return Err(Error::Malformed { path: path.into(), line: lineno + 1, expected_cols: 3 })
+                return Err(Error::Malformed {
+                    path: path.into(),
+                    line: lineno + 1,
+                    expected_cols: 3,
+                })
             }
         }
     }
@@ -51,7 +55,11 @@ fn read_links(path: &Path) -> Result<Vec<(String, String)>> {
         match (cols.next(), cols.next()) {
             (Some(a), Some(b)) => out.push((a.to_owned(), b.to_owned())),
             _ => {
-                return Err(Error::Malformed { path: path.into(), line: lineno + 1, expected_cols: 2 })
+                return Err(Error::Malformed {
+                    path: path.into(),
+                    line: lineno + 1,
+                    expected_cols: 2,
+                })
             }
         }
     }
@@ -129,7 +137,10 @@ pub fn read_folds(dir: impl AsRef<Path>, pair: &KgPair) -> Result<Vec<FoldSplit>
             break;
         }
         let mut parts = [Vec::new(), Vec::new(), Vec::new()];
-        for (slot, file) in ["train_links", "valid_links", "test_links"].iter().enumerate() {
+        for (slot, file) in ["train_links", "valid_links", "test_links"]
+            .iter()
+            .enumerate()
+        {
             let path = fold_dir.join(file);
             let links = read_links(&path)?;
             parts[slot] = resolve_links(&path, &links, &pair.kg1, &pair.kg2)?;
@@ -232,8 +243,8 @@ mod tests {
     use super::*;
     use crate::kg::KgBuilder;
     use crate::pair::k_fold_splits;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn sample_pair() -> KgPair {
         let mut b1 = KgBuilder::new("KG1");
@@ -247,9 +258,18 @@ mod tests {
         let kg1 = b1.build();
         let kg2 = b2.build();
         let alignment = vec![
-            (kg1.entity_by_name("x/a").unwrap(), kg2.entity_by_name("y/a").unwrap()),
-            (kg1.entity_by_name("x/b").unwrap(), kg2.entity_by_name("y/b").unwrap()),
-            (kg1.entity_by_name("x/c").unwrap(), kg2.entity_by_name("y/c").unwrap()),
+            (
+                kg1.entity_by_name("x/a").unwrap(),
+                kg2.entity_by_name("y/a").unwrap(),
+            ),
+            (
+                kg1.entity_by_name("x/b").unwrap(),
+                kg2.entity_by_name("y/b").unwrap(),
+            ),
+            (
+                kg1.entity_by_name("x/c").unwrap(),
+                kg2.entity_by_name("y/c").unwrap(),
+            ),
         ];
         KgPair::new(kg1, kg2, alignment)
     }

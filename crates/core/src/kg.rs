@@ -171,7 +171,10 @@ impl KnowledgeGraph {
     /// survive iff their entity is kept. Relations, attributes and literals
     /// that no longer occur are dropped. Returns the new graph plus the
     /// old-entity-id → new-entity-id map (`None` for removed entities).
-    pub fn induced_subgraph(&self, keep: &HashSet<EntityId>) -> (KnowledgeGraph, Vec<Option<EntityId>>) {
+    pub fn induced_subgraph(
+        &self,
+        keep: &HashSet<EntityId>,
+    ) -> (KnowledgeGraph, Vec<Option<EntityId>>) {
         let mut builder = KgBuilder::new(&self.name);
         // Keep entity ordering stable so repeated sampling is deterministic.
         let mut map: Vec<Option<EntityId>> = vec![None; self.num_entities()];
@@ -356,7 +359,10 @@ mod tests {
         n.sort();
         assert_eq!(
             n,
-            vec![kg.entity_by_name("b").unwrap(), kg.entity_by_name("c").unwrap()]
+            vec![
+                kg.entity_by_name("b").unwrap(),
+                kg.entity_by_name("c").unwrap()
+            ]
         );
     }
 

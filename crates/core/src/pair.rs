@@ -3,8 +3,8 @@
 
 use crate::ids::EntityId;
 use crate::kg::KnowledgeGraph;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use openea_runtime::rng::Rng;
+use openea_runtime::rng::SliceRandom;
 use std::collections::HashSet;
 
 /// A pair of aligned entities `(e1 ∈ KG1, e2 ∈ KG2)`.
@@ -29,12 +29,22 @@ impl KgPair {
         let mut seen1 = HashSet::with_capacity(alignment.len());
         let mut seen2 = HashSet::with_capacity(alignment.len());
         for &(e1, e2) in &alignment {
-            assert!(e1.idx() < kg1.num_entities(), "aligned entity {e1:?} out of range in KG1");
-            assert!(e2.idx() < kg2.num_entities(), "aligned entity {e2:?} out of range in KG2");
+            assert!(
+                e1.idx() < kg1.num_entities(),
+                "aligned entity {e1:?} out of range in KG1"
+            );
+            assert!(
+                e2.idx() < kg2.num_entities(),
+                "aligned entity {e2:?} out of range in KG2"
+            );
             assert!(seen1.insert(e1), "entity {e1:?} aligned twice in KG1");
             assert!(seen2.insert(e2), "entity {e2:?} aligned twice in KG2");
         }
-        Self { kg1, kg2, alignment }
+        Self {
+            kg1,
+            kg2,
+            alignment,
+        }
     }
 
     pub fn num_aligned(&self) -> usize {
@@ -102,7 +112,11 @@ pub fn k_fold_splits<R: Rng>(alignment: &[AlignedPair], k: usize, rng: &mut R) -
         let lo = n * i / k;
         let hi = n * (i + 1) / k;
         let train = shuffled[lo..hi].to_vec();
-        let rest: Vec<AlignedPair> = shuffled[..lo].iter().chain(&shuffled[hi..]).copied().collect();
+        let rest: Vec<AlignedPair> = shuffled[..lo]
+            .iter()
+            .chain(&shuffled[hi..])
+            .copied()
+            .collect();
         // Validation takes 1/8 of the remainder (10% of the total at k = 5).
         let v = rest.len() / 8;
         let valid = rest[..v].to_vec();
@@ -116,8 +130,8 @@ pub fn k_fold_splits<R: Rng>(alignment: &[AlignedPair], k: usize, rng: &mut R) -
 mod tests {
     use super::*;
     use crate::kg::KgBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn pair() -> KgPair {
         let mut b1 = KgBuilder::new("g1");
@@ -199,14 +213,15 @@ mod tests {
     fn alignment_degree_sums_both_sides() {
         let p = pair();
         let (a1, a2) = p.alignment[0];
-        assert_eq!(p.alignment_degree((a1, a2)), p.kg1.degree(a1) + p.kg2.degree(a2));
+        assert_eq!(
+            p.alignment_degree((a1, a2)),
+            p.kg1.degree(a1) + p.kg2.degree(a2)
+        );
     }
 
     #[test]
     fn five_fold_split_proportions() {
-        let alignment: Vec<AlignedPair> = (0..1000)
-            .map(|i| (EntityId(i), EntityId(i)))
-            .collect();
+        let alignment: Vec<AlignedPair> = (0..1000).map(|i| (EntityId(i), EntityId(i))).collect();
         let mut rng = SmallRng::seed_from_u64(7);
         let folds = k_fold_splits(&alignment, 5, &mut rng);
         assert_eq!(folds.len(), 5);

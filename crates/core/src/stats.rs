@@ -3,7 +3,7 @@
 //! sampling-quality metrics of Table 3.
 
 use crate::kg::KnowledgeGraph;
-use serde::Serialize;
+use openea_runtime::json::{object, Json, ToJson};
 
 /// An empirical distribution over entity degrees: `p[d]` is the proportion of
 /// entities with relational degree `d`.
@@ -76,7 +76,7 @@ impl DegreeDistribution {
 }
 
 /// Summary counts for one KG of a dataset, as reported in Table 2.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct KgStats {
     pub name: String,
     pub entities: usize,
@@ -100,8 +100,27 @@ impl KgStats {
             rel_triples: kg.num_rel_triples(),
             attr_triples: kg.num_attr_triples(),
             avg_degree: kg.avg_degree(),
-            isolated_fraction: if n == 0 { 0.0 } else { kg.num_isolated() as f64 / n as f64 },
+            isolated_fraction: if n == 0 {
+                0.0
+            } else {
+                kg.num_isolated() as f64 / n as f64
+            },
         }
+    }
+}
+
+impl ToJson for KgStats {
+    fn to_json(&self) -> Json {
+        object([
+            ("name", self.name.to_json()),
+            ("entities", self.entities.to_json()),
+            ("relations", self.relations.to_json()),
+            ("attributes", self.attributes.to_json()),
+            ("rel_triples", self.rel_triples.to_json()),
+            ("attr_triples", self.attr_triples.to_json()),
+            ("avg_degree", self.avg_degree.to_json()),
+            ("isolated_fraction", self.isolated_fraction.to_json()),
+        ])
     }
 }
 
@@ -109,7 +128,7 @@ impl KgStats {
 mod tests {
     use super::*;
     use crate::kg::KgBuilder;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     fn chain(n: usize) -> KnowledgeGraph {
         let mut b = KgBuilder::new("chain");
@@ -165,9 +184,9 @@ mod tests {
         assert!((s.isolated_fraction - 1.0 / 3.0).abs() < 1e-12);
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn distribution_sums_to_one(degrees in proptest::collection::vec(0usize..40, 1..200)) {
+        fn distribution_sums_to_one(degrees in vec_of(0usize..40, 1..200)) {
             let d = DegreeDistribution::from_degrees(&degrees);
             let total: f64 = d.proportions().iter().sum();
             prop_assert!((total - 1.0).abs() < 1e-9);
@@ -175,8 +194,8 @@ mod tests {
 
         #[test]
         fn js_divergence_bounds(
-            a in proptest::collection::vec(0usize..30, 1..100),
-            b in proptest::collection::vec(0usize..30, 1..100),
+            a in vec_of(0usize..30, 1..100),
+            b in vec_of(0usize..30, 1..100),
         ) {
             let da = DegreeDistribution::from_degrees(&a);
             let db = DegreeDistribution::from_degrees(&b);

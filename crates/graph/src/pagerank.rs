@@ -20,7 +20,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        Self { damping: 0.85, max_iters: 50, tol: 1e-9 }
+        Self {
+            damping: 0.85,
+            max_iters: 50,
+            tol: 1e-9,
+        }
     }
 }
 
@@ -34,7 +38,9 @@ pub fn pagerank(kg: &KnowledgeGraph, cfg: PageRankConfig) -> Vec<f64> {
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
     let mut next = vec![0.0; n];
-    let out_deg: Vec<usize> = (0..n).map(|i| kg.out_edges(EntityId::from_idx(i)).len()).collect();
+    let out_deg: Vec<usize> = (0..n)
+        .map(|i| kg.out_edges(EntityId::from_idx(i)).len())
+        .collect();
 
     for _ in 0..cfg.max_iters {
         // Mass from dangling nodes (no outgoing edges) spreads uniformly.
@@ -63,7 +69,7 @@ pub fn pagerank(kg: &KnowledgeGraph, cfg: PageRankConfig) -> Vec<f64> {
 mod tests {
     use super::*;
     use openea_core::KgBuilder;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     fn star(n: usize) -> KnowledgeGraph {
         // spokes -> hub
@@ -127,9 +133,9 @@ mod tests {
         assert!(pr[bb.idx()] > pr[a.idx()]);
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn random_graphs_conserve_mass(edges in proptest::collection::vec((0u32..30, 0u32..30), 1..120)) {
+        fn random_graphs_conserve_mass(edges in vec_of((0u32..30, 0u32..30), 1..120)) {
             let mut b = KgBuilder::new("rand");
             for (h, t) in &edges {
                 b.add_rel_triple(&format!("e{h}"), "r", &format!("e{t}"));

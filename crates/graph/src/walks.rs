@@ -2,8 +2,8 @@
 //! entity–relation sequences and by IPTransE to mine relation paths.
 
 use openea_core::{EntityId, KnowledgeGraph, RelationId};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use openea_runtime::rng::Rng;
+use openea_runtime::rng::SliceRandom;
 
 /// One step of a walk: the relation taken, whether it was traversed against
 /// its direction, and the entity reached.
@@ -46,7 +46,11 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        Self { length: 5, walks_per_entity: 3, use_inverse: true }
+        Self {
+            length: 5,
+            walks_per_entity: 3,
+            use_inverse: true,
+        }
     }
 }
 
@@ -61,17 +65,17 @@ pub fn sample_walks<R: Rng>(kg: &KnowledgeGraph, cfg: WalkConfig, rng: &mut R) -
             let mut steps = Vec::with_capacity(cfg.length);
             for _ in 0..cfg.length {
                 choices.clear();
-                choices.extend(
-                    kg.out_edges(cur)
-                        .iter()
-                        .map(|&(r, t)| WalkStep { rel: r, inverse: false, entity: t }),
-                );
+                choices.extend(kg.out_edges(cur).iter().map(|&(r, t)| WalkStep {
+                    rel: r,
+                    inverse: false,
+                    entity: t,
+                }));
                 if cfg.use_inverse {
-                    choices.extend(
-                        kg.in_edges(cur)
-                            .iter()
-                            .map(|&(r, h)| WalkStep { rel: r, inverse: true, entity: h }),
-                    );
+                    choices.extend(kg.in_edges(cur).iter().map(|&(r, h)| WalkStep {
+                        rel: r,
+                        inverse: true,
+                        entity: h,
+                    }));
                 }
                 match choices.choose(rng) {
                     Some(&step) => {
@@ -93,8 +97,8 @@ pub fn sample_walks<R: Rng>(kg: &KnowledgeGraph, cfg: WalkConfig, rng: &mut R) -
 mod tests {
     use super::*;
     use openea_core::KgBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn line() -> KnowledgeGraph {
         let mut b = KgBuilder::new("line");
@@ -107,15 +111,27 @@ mod tests {
     fn walks_follow_existing_edges() {
         let kg = line();
         let mut rng = SmallRng::seed_from_u64(1);
-        let walks = sample_walks(&kg, WalkConfig { length: 4, walks_per_entity: 5, use_inverse: true }, &mut rng);
+        let walks = sample_walks(
+            &kg,
+            WalkConfig {
+                length: 4,
+                walks_per_entity: 5,
+                use_inverse: true,
+            },
+            &mut rng,
+        );
         assert!(!walks.is_empty());
         for w in &walks {
             let mut cur = w.start;
             for s in &w.steps {
                 let edge_exists = if s.inverse {
-                    kg.in_edges(cur).iter().any(|&(r, h)| r == s.rel && h == s.entity)
+                    kg.in_edges(cur)
+                        .iter()
+                        .any(|&(r, h)| r == s.rel && h == s.entity)
                 } else {
-                    kg.out_edges(cur).iter().any(|&(r, t)| r == s.rel && t == s.entity)
+                    kg.out_edges(cur)
+                        .iter()
+                        .any(|&(r, t)| r == s.rel && t == s.entity)
                 };
                 assert!(edge_exists, "walk used a non-existent edge");
                 cur = s.entity;
@@ -127,7 +143,15 @@ mod tests {
     fn forward_only_walks_stop_at_sinks() {
         let kg = line();
         let mut rng = SmallRng::seed_from_u64(2);
-        let walks = sample_walks(&kg, WalkConfig { length: 10, walks_per_entity: 2, use_inverse: false }, &mut rng);
+        let walks = sample_walks(
+            &kg,
+            WalkConfig {
+                length: 10,
+                walks_per_entity: 2,
+                use_inverse: false,
+            },
+            &mut rng,
+        );
         let c = kg.entity_by_name("c").unwrap();
         // No walk can start at the sink c (it has no outgoing edges).
         assert!(walks.iter().all(|w| w.start != c));
@@ -142,7 +166,11 @@ mod tests {
     fn walk_counts_respect_config() {
         let kg = line();
         let mut rng = SmallRng::seed_from_u64(3);
-        let cfg = WalkConfig { length: 3, walks_per_entity: 4, use_inverse: true };
+        let cfg = WalkConfig {
+            length: 3,
+            walks_per_entity: 4,
+            use_inverse: true,
+        };
         let walks = sample_walks(&kg, cfg, &mut rng);
         // With inverse edges every entity has at least one usable edge.
         assert_eq!(walks.len(), kg.num_entities() * 4);
@@ -162,19 +190,19 @@ mod tests {
 mod proptests {
     use super::*;
     use openea_core::KgBuilder;
-    use proptest::prelude::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
+    use openea_runtime::testkit::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
+    props! {
+        #![cases = 16]
 
         /// Every sampled walk is a valid path in the graph, in both modes.
         #[test]
         fn walks_are_valid_paths(
-            edges in proptest::collection::vec((0u8..12, 0u8..3, 0u8..12), 1..40),
+            edges in vec_of((0u8..12, 0u8..3, 0u8..12), 1..40),
             length in 1usize..6,
-            use_inverse in proptest::bool::ANY,
+            use_inverse in any_bool(),
             seed in 0u64..100,
         ) {
             let mut b = KgBuilder::new("w");

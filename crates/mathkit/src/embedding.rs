@@ -3,8 +3,8 @@
 //!
 //! ```
 //! use openea_math::{EmbeddingTable, Initializer};
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use openea_runtime::rng::SmallRng;
+//! use openea_runtime::rng::SeedableRng;
 //!
 //! let mut rng = SmallRng::seed_from_u64(0);
 //! let mut table = EmbeddingTable::new(10, 4, Initializer::Unit, &mut rng);
@@ -15,7 +15,7 @@
 
 use crate::init::Initializer;
 use crate::vecops;
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// `count × dim` embedding parameters, row-major.
 #[derive(Clone, Debug)]
@@ -34,7 +34,10 @@ impl EmbeddingTable {
 
     /// Creates an all-zero table (e.g. gradient accumulators).
     pub fn zeros(count: usize, dim: usize) -> Self {
-        Self { dim, data: vec![0.0; count * dim] }
+        Self {
+            dim,
+            data: vec![0.0; count * dim],
+        }
     }
 
     pub fn dim(&self) -> usize {
@@ -111,8 +114,8 @@ impl EmbeddingTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn table() -> EmbeddingTable {
         let mut rng = SmallRng::seed_from_u64(0);

@@ -3,7 +3,7 @@
 
 use crate::matrix::Matrix;
 use crate::vecops;
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// How to fill a fresh embedding table.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,8 +64,8 @@ impl Initializer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     #[test]
     fn uniform_respects_bounds() {

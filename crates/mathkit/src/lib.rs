@@ -23,6 +23,6 @@ pub use embedding::EmbeddingTable;
 pub use init::Initializer;
 pub use loss::{limit_based_loss, logistic_loss, margin_ranking_loss};
 pub use matrix::Matrix;
-pub use procrustes::{nearest_orthogonal, procrustes};
 pub use negsamp::{NegSampler, TruncatedSampler, UniformSampler};
 pub use optim::{AdaGrad, Adam, Optimizer, Sgd};
+pub use procrustes::{nearest_orthogonal, procrustes};

@@ -58,7 +58,7 @@ pub fn limit_based_loss(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     #[test]
     fn margin_loss_active_and_inactive() {
@@ -100,7 +100,7 @@ mod tests {
         assert!((dn + 0.2).abs() < 1e-6);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn losses_are_nonnegative(p in -10f32..10.0, n in -10f32..10.0) {
             prop_assert!(margin_ranking_loss(p, n, 1.0).0 >= 0.0);

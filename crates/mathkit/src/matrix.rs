@@ -2,7 +2,7 @@
 //! SEA), relation-specific projections (TransR) and GCN weights.
 
 use crate::vecops;
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// Row-major dense `f32` matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix (square).
@@ -38,7 +42,9 @@ impl Matrix {
 
     /// Uniform random matrix in `[-scale, scale]`.
     pub fn random_uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
         Self { rows, cols, data }
     }
 
@@ -173,8 +179,8 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     #[test]
     fn identity_matvec_is_noop() {

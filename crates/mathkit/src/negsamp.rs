@@ -3,7 +3,7 @@
 //! corruptions to the σ nearest neighbours of the replaced entity so that
 //! negatives stay hard.
 
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// A raw relation triple over dense `u32` ids (head, relation, tail).
 pub type RawTriple = (u32, u32, u32);
@@ -48,7 +48,10 @@ impl TruncatedSampler {
     /// must equal the entity count.
     pub fn new(candidates: Vec<Vec<u32>>) -> Self {
         let num_entities = u32::try_from(candidates.len()).expect("entity count overflows u32");
-        Self { candidates, num_entities }
+        Self {
+            candidates,
+            num_entities,
+        }
     }
 
     /// The truncation size used by BootEA: `⌈(1 − ε) · n⌉` candidates out of
@@ -83,8 +86,8 @@ impl NegSampler for TruncatedSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     #[test]
     fn uniform_changes_exactly_one_side() {

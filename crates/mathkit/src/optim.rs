@@ -46,7 +46,12 @@ pub struct AdaGrad {
 
 impl AdaGrad {
     pub fn new(lr: f32) -> Self {
-        Self { lr, eps: 1e-8, row_state: Vec::new(), dense_state: Vec::new() }
+        Self {
+            lr,
+            eps: 1e-8,
+            row_state: Vec::new(),
+            dense_state: Vec::new(),
+        }
     }
 
     fn ensure_row_state(&mut self, len: usize) {
@@ -180,7 +185,9 @@ impl Optimizer for Adam {
             v.resize(params.len(), 0.0);
         }
         *t += 1;
-        Self::apply(self.lr, self.beta1, self.beta2, self.eps, *t, m, v, params, grad);
+        Self::apply(
+            self.lr, self.beta1, self.beta2, self.eps, *t, m, v, params, grad,
+        );
     }
 }
 
@@ -188,8 +195,8 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::init::Initializer;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     /// Minimize f(x) = ||x - target||^2 with each optimizer; all should make
     /// steady progress on this convex bowl.
@@ -198,7 +205,12 @@ mod tests {
         let mut table = EmbeddingTable::new(1, 4, Initializer::Uniform { scale: 1.0 }, &mut rng);
         let target = [0.5, -0.25, 0.75, 0.0];
         for _ in 0..steps {
-            let grad: Vec<f32> = table.row(0).iter().zip(&target).map(|(x, t)| 2.0 * (x - t)).collect();
+            let grad: Vec<f32> = table
+                .row(0)
+                .iter()
+                .zip(&target)
+                .map(|(x, t)| 2.0 * (x - t))
+                .collect();
             opt.step_row(&mut table, 0, &grad);
         }
         table

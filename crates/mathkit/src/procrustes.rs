@@ -110,8 +110,8 @@ pub fn procrustes(x: &[f32], y: &[f32], dim: usize) -> Matrix {
 mod tests {
     use super::*;
     use crate::vecops;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use openea_runtime::rng::SmallRng;
+    use openea_runtime::rng::{Rng, SeedableRng};
 
     fn random_rotation(dim: usize, rng: &mut SmallRng) -> Matrix {
         let mut m = Matrix::random_uniform(dim, dim, 1.0, rng);
@@ -130,7 +130,11 @@ mod tests {
             let qi: Vec<f32> = (0..4).map(|r| q[(r, i)]).collect();
             let aqi = a.matvec(&qi);
             for r in 0..4 {
-                assert!((aqi[r] - eig[i] * qi[r]).abs() < 1e-3, "pair {i}: {aqi:?} vs λ={}", eig[i]);
+                assert!(
+                    (aqi[r] - eig[i] * qi[r]).abs() < 1e-3,
+                    "pair {i}: {aqi:?} vs λ={}",
+                    eig[i]
+                );
             }
         }
     }
@@ -144,7 +148,11 @@ mod tests {
         for i in 0..5 {
             for j in 0..5 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((ot_o[(i, j)] - expect).abs() < 1e-3, "({i},{j}) = {}", ot_o[(i, j)]);
+                assert!(
+                    (ot_o[(i, j)] - expect).abs() < 1e-3,
+                    "({i},{j}) = {}",
+                    ot_o[(i, j)]
+                );
             }
         }
     }

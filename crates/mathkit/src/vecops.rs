@@ -130,7 +130,7 @@ pub fn sigmoid(x: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use openea_runtime::testkit::prelude::*;
 
     #[test]
     fn basic_kernels() {
@@ -193,24 +193,24 @@ mod tests {
         assert_eq!(out, [3.0, 10.0]);
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn cosine_is_bounded(a in proptest::collection::vec(-10f32..10.0, 4), b in proptest::collection::vec(-10f32..10.0, 4)) {
+        fn cosine_is_bounded(a in vec_of(-10f32..10.0, 4), b in vec_of(-10f32..10.0, 4)) {
             let c = cosine(&a, &b);
             prop_assert!((-1.0..=1.0).contains(&c));
         }
 
         #[test]
         fn triangle_inequality_euclidean(
-            a in proptest::collection::vec(-5f32..5.0, 3),
-            b in proptest::collection::vec(-5f32..5.0, 3),
-            c in proptest::collection::vec(-5f32..5.0, 3),
+            a in vec_of(-5f32..5.0, 3),
+            b in vec_of(-5f32..5.0, 3),
+            c in vec_of(-5f32..5.0, 3),
         ) {
             prop_assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-4);
         }
 
         #[test]
-        fn normalize_gives_unit_norm(mut a in proptest::collection::vec(-10f32..10.0, 5)) {
+        fn normalize_gives_unit_norm(mut a in vec_of(-10f32..10.0, 5)) {
             prop_assume!(norm2(&a) > 1e-3);
             normalize(&mut a);
             prop_assert!((norm2(&a) - 1.0).abs() < 1e-4);

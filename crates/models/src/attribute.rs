@@ -11,7 +11,7 @@
 
 use openea_math::vecops::{self, sigmoid};
 use openea_math::{EmbeddingTable, Initializer};
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// Skip-gram over attribute co-occurrence.
 pub struct AttrCorrelationModel {
@@ -20,12 +20,17 @@ pub struct AttrCorrelationModel {
 
 impl AttrCorrelationModel {
     pub fn new<R: Rng>(num_attrs: usize, dim: usize, rng: &mut R) -> Self {
-        Self { attrs: EmbeddingTable::new(num_attrs, dim, Initializer::Unit, rng) }
+        Self {
+            attrs: EmbeddingTable::new(num_attrs, dim, Initializer::Unit, rng),
+        }
     }
 
     /// Probability that two attributes are correlated (Eq. 4).
     pub fn correlation(&self, a1: u32, a2: u32) -> f32 {
-        sigmoid(vecops::dot(self.attrs.row(a1 as usize), self.attrs.row(a2 as usize)))
+        sigmoid(vecops::dot(
+            self.attrs.row(a1 as usize),
+            self.attrs.row(a2 as usize),
+        ))
     }
 
     /// One positive/negative update: raise `σ(a₁·a₂)`, lower `σ(a₁·a_neg)`.
@@ -98,8 +103,8 @@ impl AttrCorrelationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     /// Two clusters of attributes: {0,1,2} co-occur, {3,4,5} co-occur.
     fn clustered_entities() -> Vec<Vec<u32>> {

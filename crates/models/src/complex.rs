@@ -5,7 +5,7 @@ use crate::traits::RelationModel;
 use openea_math::loss::logistic_loss;
 use openea_math::negsamp::RawTriple;
 use openea_math::{EmbeddingTable, Initializer};
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// ComplEx: complex-valued bilinear scoring
 /// `score = Re(Σⱼ hⱼ·rⱼ·conj(tⱼ))`. Rows interleave (re, im); `dim` is the
@@ -111,7 +111,9 @@ impl TuckEr {
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
             relations: EmbeddingTable::new(num_relations, dr, Initializer::Unit, rng),
-            core: (0..dim * dr * dim).map(|_| rng.gen_range(-scale..=scale)).collect(),
+            core: (0..dim * dr * dim)
+                .map(|_| rng.gen_range(-scale..=scale))
+                .collect(),
             d: dim,
             dr,
         }
@@ -210,8 +212,8 @@ impl RelationModel for TuckEr {
 mod tests {
     use super::*;
     use crate::traits::testkit::assert_model_learns;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(77)
@@ -242,9 +244,17 @@ mod tests {
         // Check ∂score/∂h numerically against the closed form in apply().
         let base: Vec<f32> = m.entities.row(0).to_vec();
         for i in 0..6 {
-            let mut mp = ComplEx { entities: m.entities.clone(), relations: m.relations.clone(), half: 3 };
+            let mut mp = ComplEx {
+                entities: m.entities.clone(),
+                relations: m.relations.clone(),
+                half: 3,
+            };
             mp.entities.row_mut(0)[i] = base[i] + eps;
-            let mut mm = ComplEx { entities: m.entities.clone(), relations: m.relations.clone(), half: 3 };
+            let mut mm = ComplEx {
+                entities: m.entities.clone(),
+                relations: m.relations.clone(),
+                half: 3,
+            };
             mm.entities.row_mut(0)[i] = base[i] - eps;
             let numeric = (mp.score(triple) - mm.score(triple)) / (2.0 * eps);
             let j = i / 2;
@@ -252,8 +262,15 @@ mod tests {
             let te = m.entities.row(1);
             let (c, d) = (re[2 * j], re[2 * j + 1]);
             let (e, f) = (te[2 * j], te[2 * j + 1]);
-            let analytic = if i % 2 == 0 { c * e + d * f } else { -d * e + c * f };
-            assert!((numeric - analytic).abs() < 1e-2, "i={i}: {numeric} vs {analytic}");
+            let analytic = if i % 2 == 0 {
+                c * e + d * f
+            } else {
+                -d * e + c * f
+            };
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "i={i}: {numeric} vs {analytic}"
+            );
         }
     }
 

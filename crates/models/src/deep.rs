@@ -10,7 +10,7 @@ use crate::traits::RelationModel;
 use openea_autodiff::{Graph, Tensor, Var};
 use openea_math::negsamp::RawTriple;
 use openea_math::{EmbeddingTable, Initializer};
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// ProjE: combination `e = tanh(dₑ⊙h + dᵣ⊙r + b)`, score `= e·t`.
 pub struct ProjE {
@@ -24,7 +24,13 @@ pub struct ProjE {
 }
 
 impl ProjE {
-    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+        rng: &mut R,
+    ) -> Self {
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
             relations: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
@@ -41,7 +47,14 @@ impl ProjE {
 
     /// Builds the score node for a triple on `g`; returns
     /// `(score, h_var, r_var, t_var)`.
-    fn score_node(&self, g: &mut Graph, de: Var, dr: Var, b: Var, triple: RawTriple) -> (Var, Var, Var, Var) {
+    fn score_node(
+        &self,
+        g: &mut Graph,
+        de: Var,
+        dr: Var,
+        b: Var,
+        triple: RawTriple,
+    ) -> (Var, Var, Var, Var) {
         let (h, r, t) = triple;
         let hv = g.leaf(self.row(&self.entities, h));
         let rv = g.leaf(self.row(&self.relations, r));
@@ -95,7 +108,11 @@ impl RelationModel for ProjE {
                 (tn, (neg.2, 0)),
             ] {
                 let grad = g.grad(var);
-                let table = if which == 0 { &mut self.entities } else { &mut self.relations };
+                let table = if which == 0 {
+                    &mut self.entities
+                } else {
+                    &mut self.relations
+                };
                 table.sgd_row(table_row as usize, grad.row(0), lr);
             }
             for (param, var) in [(&mut self.de, de), (&mut self.dr, dr), (&mut self.bias, b)] {
@@ -140,8 +157,17 @@ pub struct ConvE {
 impl ConvE {
     /// `dim` must be expressible as `ih·iw` with the stacked image
     /// `2·ih × iw`; we use `iw = 4`, so `dim` must be a multiple of 4.
-    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
-        assert!(dim.is_multiple_of(4) && dim >= 8, "ConvE needs dim ≡ 0 (mod 4), ≥ 8");
+    pub fn new<R: Rng>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            dim.is_multiple_of(4) && dim >= 8,
+            "ConvE needs dim ≡ 0 (mod 4), ≥ 8"
+        );
         let iw = 4;
         let ih = dim / iw;
         let (img_h, img_w) = (2 * ih, iw);
@@ -161,12 +187,30 @@ impl ConvE {
         }
     }
 
-    fn score_node(&self, g: &mut Graph, filt: Var, w: Var, triple: RawTriple) -> (Var, Var, Var, Var) {
+    fn score_node(
+        &self,
+        g: &mut Graph,
+        filt: Var,
+        w: Var,
+        triple: RawTriple,
+    ) -> (Var, Var, Var, Var) {
         let (h, r, t) = triple;
         let dim = self.entities.dim();
-        let hv = g.leaf(Tensor::from_vec(1, dim, self.entities.row(h as usize).to_vec()));
-        let rv = g.leaf(Tensor::from_vec(1, dim, self.relations.row(r as usize).to_vec()));
-        let tv = g.leaf(Tensor::from_vec(1, dim, self.entities.row(t as usize).to_vec()));
+        let hv = g.leaf(Tensor::from_vec(
+            1,
+            dim,
+            self.entities.row(h as usize).to_vec(),
+        ));
+        let rv = g.leaf(Tensor::from_vec(
+            1,
+            dim,
+            self.relations.row(r as usize).to_vec(),
+        ));
+        let tv = g.leaf(Tensor::from_vec(
+            1,
+            dim,
+            self.entities.row(t as usize).to_vec(),
+        ));
         let img = g.concat_cols(hv, rv); // [1, 2·dim] ≙ [2·ih, iw] image
         let conv = g.conv2d(img, filt, self.img_h, self.img_w, self.kh, self.kw);
         let act = g.relu(conv);
@@ -213,7 +257,11 @@ impl RelationModel for ConvE {
                 (tn, neg.2, false),
             ] {
                 let grad = g.grad(var);
-                let table = if is_rel { &mut self.relations } else { &mut self.entities };
+                let table = if is_rel {
+                    &mut self.relations
+                } else {
+                    &mut self.entities
+                };
                 table.sgd_row(row as usize, grad.row(0), lr);
             }
             for (param, var) in [(&mut self.filters, f), (&mut self.w, w)] {
@@ -243,8 +291,8 @@ impl RelationModel for ConvE {
 mod tests {
     use super::*;
     use crate::traits::testkit::assert_model_learns;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(55)

@@ -80,15 +80,15 @@ mod tests {
     use crate::traits::train_epoch;
     use crate::TransE;
     use openea_math::negsamp::UniformSampler;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn trained_model(n: u32) -> (TransE, Vec<RawTriple>) {
         let mut rng = SmallRng::seed_from_u64(5);
         let triples = toy_triples(n);
         let mut model = TransE::new(n as usize, 2, 16, 0.5, &mut rng);
         let sampler = UniformSampler { num_entities: n };
-        for _ in 0..80 {
+        for _ in 0..120 {
             train_epoch(&mut model, &triples, &sampler, 0.05, 2, &mut rng);
         }
         (model, triples)

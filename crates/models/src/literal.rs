@@ -71,7 +71,10 @@ impl WordVectors {
     /// Empty table: every word resolves through the hash fallback, which
     /// makes identical strings (monolingual pairs) match exactly.
     pub fn hash_only(dim: usize) -> Self {
-        Self { dim, map: HashMap::new() }
+        Self {
+            dim,
+            map: HashMap::new(),
+        }
     }
 
     /// Builds a cross-lingual table from a bilingual dictionary of
@@ -124,7 +127,10 @@ pub struct LiteralEncoder {
 
 impl LiteralEncoder {
     pub fn new(words: WordVectors) -> Self {
-        Self { words, char_weight: 0.25 }
+        Self {
+            words,
+            char_weight: 0.25,
+        }
     }
 
     pub fn dim(&self) -> usize {

@@ -10,7 +10,7 @@ use openea_math::loss::{logistic_loss, margin_ranking_loss};
 use openea_math::negsamp::RawTriple;
 use openea_math::vecops;
 use openea_math::{EmbeddingTable, Initializer};
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// DistMult: `score = Σᵢ hᵢ·rᵢ·tᵢ`, energy = −score.
 pub struct DistMult {
@@ -256,11 +256,24 @@ pub struct RotatE {
 
 impl RotatE {
     /// `dim` must be even (complex pairs).
-    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+        rng: &mut R,
+    ) -> Self {
         assert!(dim.is_multiple_of(2), "RotatE needs an even dimension");
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
-            phases: EmbeddingTable::new(num_relations, dim / 2, Initializer::Uniform { scale: std::f32::consts::PI }, rng),
+            phases: EmbeddingTable::new(
+                num_relations,
+                dim / 2,
+                Initializer::Uniform {
+                    scale: std::f32::consts::PI,
+                },
+                rng,
+            ),
             margin,
             half: dim / 2,
         }
@@ -318,7 +331,8 @@ impl RelationModel for RotatE {
     fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
         let up = self.residual(pos);
         let un = self.residual(neg);
-        let (loss, gp, gn) = margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
+        let (loss, gp, gn) =
+            margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
             self.apply(pos, gp, &up, lr);
             self.apply(neg, gn, &un, lr);
@@ -343,8 +357,8 @@ impl RelationModel for RotatE {
 mod tests {
     use super::*;
     use crate::traits::testkit::assert_model_learns;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(1234)
@@ -362,7 +376,7 @@ mod tests {
 
     #[test]
     fn simple_learns_toy_structure() {
-        assert_model_learns(SimplE::new(20, 2, 8, &mut rng()), 20, 80, 0.05);
+        assert_model_learns(SimplE::new(20, 2, 8, &mut rng()), 20, 120, 0.08);
     }
 
     #[test]
@@ -411,13 +425,22 @@ mod tests {
         let triple = (0u32, 0u32, 1u32);
         let base: Vec<f32> = m.entities.row(0).to_vec();
         for i in 0..6 {
-            let mut mp = DistMult { entities: m.entities.clone(), relations: m.relations.clone() };
+            let mut mp = DistMult {
+                entities: m.entities.clone(),
+                relations: m.relations.clone(),
+            };
             mp.entities.row_mut(0)[i] = base[i] + eps;
-            let mut mm = DistMult { entities: m.entities.clone(), relations: m.relations.clone() };
+            let mut mm = DistMult {
+                entities: m.entities.clone(),
+                relations: m.relations.clone(),
+            };
             mm.entities.row_mut(0)[i] = base[i] - eps;
             let numeric = (mp.score(triple) - mm.score(triple)) / (2.0 * eps);
             let analytic = m.relations.row(0)[i] * m.entities.row(1)[i];
-            assert!((numeric - analytic).abs() < 1e-2, "i={i}: {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "i={i}: {numeric} vs {analytic}"
+            );
         }
     }
 

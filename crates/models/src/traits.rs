@@ -3,8 +3,8 @@
 
 use openea_math::negsamp::{NegSampler, RawTriple};
 use openea_math::EmbeddingTable;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use openea_runtime::rng::Rng;
+use openea_runtime::rng::SliceRandom;
 
 /// A relation-embedding model trainable on `(h, r, t)` triples.
 ///
@@ -73,7 +73,14 @@ pub fn train_epoch<M: RelationModel + ?Sized, S: NegSampler, R: Rng>(
         }
     }
     model.epoch_hook();
-    EpochStats { mean_loss: if pairs == 0 { 0.0 } else { (total / pairs as f64) as f32 }, pairs }
+    EpochStats {
+        mean_loss: if pairs == 0 {
+            0.0
+        } else {
+            (total / pairs as f64) as f32
+        },
+        pairs,
+    }
 }
 
 #[cfg(test)]
@@ -84,8 +91,8 @@ pub(crate) mod testkit {
 
     use super::*;
     use openea_math::negsamp::UniformSampler;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     /// A small multi-relational world: two relation types over 20 entities
     /// with systematic structure (r0: i -> i+1 ring; r1: i -> 2i mod n).
@@ -121,7 +128,9 @@ pub(crate) mod testkit {
         let sample: Vec<_> = triples.iter().step_by(3).collect();
         for &&(h, r, t) in &sample {
             let true_e = model.energy((h, r, t));
-            let better = (0..n).filter(|&c| c != t && model.energy((h, r, c)) < true_e).count();
+            let better = (0..n)
+                .filter(|&c| c != t && model.energy((h, r, c)) < true_e)
+                .count();
             if better < 3 {
                 good += 1;
             }

@@ -9,7 +9,7 @@ use openea_math::loss::margin_ranking_loss;
 use openea_math::negsamp::RawTriple;
 use openea_math::vecops;
 use openea_math::{EmbeddingTable, Initializer, Matrix};
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// Vector norm used in a TransE energy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,7 +25,11 @@ pub enum LossKind {
     /// `max(0, γ + φ⁺ − φ⁻)`.
     Margin,
     /// BootEA's limit-based loss: `max(0, φ⁺ − λ₁) + μ·max(0, λ₂ − φ⁻)`.
-    Limit { lambda_pos: f32, lambda_neg: f32, mu: f32 },
+    Limit {
+        lambda_pos: f32,
+        lambda_neg: f32,
+        mu: f32,
+    },
 }
 
 /// TransE: `φ(h, r, t) = ‖h + r − t‖`.
@@ -39,7 +43,13 @@ pub struct TransE {
 }
 
 impl TransE {
-    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+        rng: &mut R,
+    ) -> Self {
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
             relations: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
@@ -117,9 +127,11 @@ impl RelationModel for TransE {
         };
         let (loss, gp, gn) = match self.loss {
             LossKind::Margin => margin_ranking_loss(ep, en, self.margin),
-            LossKind::Limit { lambda_pos, lambda_neg, mu } => {
-                openea_math::loss::limit_based_loss(ep, en, lambda_pos, lambda_neg, mu)
-            }
+            LossKind::Limit {
+                lambda_pos,
+                lambda_neg,
+                mu,
+            } => openea_math::loss::limit_based_loss(ep, en, lambda_pos, lambda_neg, mu),
         };
         if loss > 0.0 {
             let mut grad = std::mem::take(&mut self.buf);
@@ -158,7 +170,13 @@ pub struct TransH {
 }
 
 impl TransH {
-    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+        rng: &mut R,
+    ) -> Self {
         let mut w_r = EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng);
         w_r.normalize_rows();
         Self {
@@ -193,7 +211,7 @@ impl TransH {
             let te = self.entities.row(t as usize);
             he.iter().zip(te).map(|(a, b)| a - b).collect()
         };
-                let wz = vecops::dot(&w, &z);
+        let wz = vecops::dot(&w, &z);
         let s = 2.0 * coeff * lr;
         for i in 0..dim {
             let g_ent = s * (u[i] - wu * w[i]);
@@ -218,7 +236,8 @@ impl RelationModel for TransH {
     fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
         let up = self.residual(pos);
         let un = self.residual(neg);
-        let (loss, gp, gn) = margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
+        let (loss, gp, gn) =
+            margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
             self.apply(pos, gp, &up, lr);
             self.apply(neg, gn, &un, lr);
@@ -251,7 +270,13 @@ pub struct TransR {
 }
 
 impl TransR {
-    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+        rng: &mut R,
+    ) -> Self {
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
             relations: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
@@ -260,7 +285,7 @@ impl TransR {
                 .map(|_| {
                     let mut m = Matrix::identity(dim);
                     for v in m.data_mut() {
-                        *v += rng.gen_range(-0.05..0.05);
+                        *v += rng.gen_range(-0.05f32..0.05);
                     }
                     m
                 })
@@ -318,7 +343,8 @@ impl RelationModel for TransR {
     fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
         let up = self.residual(pos);
         let un = self.residual(neg);
-        let (loss, gp, gn) = margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
+        let (loss, gp, gn) =
+            margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
             self.apply(pos, gp, &up, lr);
             self.apply(neg, gn, &un, lr);
@@ -351,12 +377,28 @@ pub struct TransD {
 }
 
 impl TransD {
-    pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, margin: f32, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        num_entities: usize,
+        num_relations: usize,
+        dim: usize,
+        margin: f32,
+        rng: &mut R,
+    ) -> Self {
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
             relations: EmbeddingTable::new(num_relations, dim, Initializer::Unit, rng),
-            ent_proj: EmbeddingTable::new(num_entities, dim, Initializer::Uniform { scale: 0.1 }, rng),
-            rel_proj: EmbeddingTable::new(num_relations, dim, Initializer::Uniform { scale: 0.1 }, rng),
+            ent_proj: EmbeddingTable::new(
+                num_entities,
+                dim,
+                Initializer::Uniform { scale: 0.1 },
+                rng,
+            ),
+            rel_proj: EmbeddingTable::new(
+                num_relations,
+                dim,
+                Initializer::Uniform { scale: 0.1 },
+                rng,
+            ),
             margin,
         }
     }
@@ -413,7 +455,8 @@ impl RelationModel for TransD {
     fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
         let up = self.residual(pos);
         let un = self.residual(neg);
-        let (loss, gp, gn) = margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
+        let (loss, gp, gn) =
+            margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
             self.apply(pos, gp, &up, lr);
             self.apply(neg, gn, &un, lr);
@@ -439,8 +482,8 @@ impl RelationModel for TransD {
 mod tests {
     use super::*;
     use crate::traits::testkit::assert_model_learns;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(99)
@@ -481,8 +524,12 @@ mod tests {
     fn transe_energy_zero_for_exact_translation() {
         let mut m = TransE::new(2, 1, 4, 1.0, &mut rng());
         m.entities.row_mut(0).copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
-        m.relations.row_mut(0).copy_from_slice(&[0.01, 0.02, 0.03, 0.04]);
-        m.entities.row_mut(1).copy_from_slice(&[0.11, 0.22, 0.33, 0.44]);
+        m.relations
+            .row_mut(0)
+            .copy_from_slice(&[0.01, 0.02, 0.03, 0.04]);
+        m.entities
+            .row_mut(1)
+            .copy_from_slice(&[0.11, 0.22, 0.33, 0.44]);
         assert!(m.energy((0, 0, 1)) < 1e-10);
     }
 

@@ -21,8 +21,8 @@
 
 use openea::core::io;
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
@@ -60,7 +60,9 @@ fn parse_opts(args: Vec<String>) -> Opts {
             opts.insert(key, "true".to_owned());
             i += 1;
         } else {
-            let value = args.get(i + 1).unwrap_or_else(|| die(&format!("--{key} needs a value")));
+            let value = args
+                .get(i + 1)
+                .unwrap_or_else(|| die(&format!("--{key} needs a value")));
             opts.insert(key, value.clone());
             i += 2;
         }
@@ -69,7 +71,9 @@ fn parse_opts(args: Vec<String>) -> Opts {
 }
 
 fn get<'a>(opts: &'a Opts, key: &str) -> &'a str {
-    opts.get(key).map(|s| s.as_str()).unwrap_or_else(|| die(&format!("missing --{key}")))
+    opts.get(key)
+        .map(|s| s.as_str())
+        .unwrap_or_else(|| die(&format!("missing --{key}")))
 }
 
 fn get_or<'a>(opts: &'a Opts, key: &str, default: &'a str) -> &'a str {
@@ -88,10 +92,14 @@ fn parse_family(s: &str) -> DatasetFamily {
 
 fn generate(opts: &Opts) {
     let family = parse_family(get(opts, "family"));
-    let entities: usize = get(opts, "entities").parse().unwrap_or_else(|_| die("--entities must be a number"));
+    let entities: usize = get(opts, "entities")
+        .parse()
+        .unwrap_or_else(|_| die("--entities must be a number"));
     let out = PathBuf::from(get(opts, "out"));
     let dense = opts.contains_key("dense");
-    let seed: u64 = get_or(opts, "seed", "7").parse().unwrap_or_else(|_| die("--seed must be a number"));
+    let seed: u64 = get_or(opts, "seed", "7")
+        .parse()
+        .unwrap_or_else(|_| die("--seed must be a number"));
 
     let pair = PresetConfig::new(family, entities, dense, seed).generate();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -110,10 +118,14 @@ fn generate(opts: &Opts) {
 
 fn sample(opts: &Opts) {
     let source_dir = get(opts, "source");
-    let target: usize = get(opts, "target").parse().unwrap_or_else(|_| die("--target must be a number"));
+    let target: usize = get(opts, "target")
+        .parse()
+        .unwrap_or_else(|_| die("--target must be a number"));
     let out = PathBuf::from(get(opts, "out"));
     let sampler = get_or(opts, "sampler", "ids");
-    let seed: u64 = get_or(opts, "seed", "7").parse().unwrap_or_else(|_| die("--seed must be a number"));
+    let seed: u64 = get_or(opts, "seed", "7")
+        .parse()
+        .unwrap_or_else(|_| die("--seed must be a number"));
 
     let source = io::read_pair(source_dir).unwrap_or_else(|e| die(&e.to_string()));
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -121,7 +133,11 @@ fn sample(opts: &Opts) {
         "ids" => {
             let outcome = ids_sample(
                 &source,
-                IdsConfig { target, mu: (target / 40).max(4), ..IdsConfig::default() },
+                IdsConfig {
+                    target,
+                    mu: (target / 40).max(4),
+                    ..IdsConfig::default()
+                },
                 &mut rng,
             );
             println!(
@@ -148,7 +164,11 @@ fn sample(opts: &Opts) {
     let folds = k_fold_splits(&sampled.alignment, 5, &mut rng);
     io::write_pair(&out, &sampled).unwrap_or_else(|e| die(&e.to_string()));
     io::write_folds(&out, &sampled, &folds).unwrap_or_else(|e| die(&e.to_string()));
-    println!("wrote {} aligned entities to {}", sampled.num_aligned(), out.display());
+    println!(
+        "wrote {} aligned entities to {}",
+        sampled.num_aligned(),
+        out.display()
+    );
 }
 
 fn stats(opts: &Opts) {
@@ -161,7 +181,12 @@ fn stats(opts: &Opts) {
         let s = KgStats::of(kg);
         println!(
             "{:>6} {:>7} {:>7} {:>9} {:>9} {:>7.2} {:>9.1}%",
-            s.name, s.relations, s.attributes, s.rel_triples, s.attr_triples, s.avg_degree,
+            s.name,
+            s.relations,
+            s.attributes,
+            s.rel_triples,
+            s.attr_triples,
+            s.avg_degree,
             s.isolated_fraction * 100.0
         );
     }
@@ -174,10 +199,16 @@ fn run(opts: &Opts) {
     let approach = approach_by_name(name).unwrap_or_else(|| {
         die(&format!(
             "unknown approach {name}; available: {}",
-            all_approaches().iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+            all_approaches()
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join(", ")
         ))
     });
-    let fold: usize = get_or(opts, "fold", "0").parse().unwrap_or_else(|_| die("--fold must be a number"));
+    let fold: usize = get_or(opts, "fold", "0")
+        .parse()
+        .unwrap_or_else(|_| die("--fold must be a number"));
     let pair = io::read_pair(dir).unwrap_or_else(|e| die(&e.to_string()));
     let mut folds = io::read_folds(dir, &pair).unwrap_or_else(|e| die(&e.to_string()));
     if folds.is_empty() {
@@ -185,16 +216,24 @@ fn run(opts: &Opts) {
         let mut rng = SmallRng::seed_from_u64(7);
         folds = k_fold_splits(&pair.alignment, 5, &mut rng);
     }
-    let split = folds.get(fold).unwrap_or_else(|| die("--fold out of range"));
+    let split = folds
+        .get(fold)
+        .unwrap_or_else(|| die("--fold out of range"));
 
     let mut cfg = RunConfig::default();
     if let Some(e) = opts.get("epochs") {
-        cfg.max_epochs = e.parse().unwrap_or_else(|_| die("--epochs must be a number"));
+        cfg.max_epochs = e
+            .parse()
+            .unwrap_or_else(|_| die("--epochs must be a number"));
     }
     if let Some(d) = opts.get("dim") {
         cfg.dim = d.parse().unwrap_or_else(|_| die("--dim must be a number"));
     }
-    println!("training {} on fold {fold} ({} seeds)...", approach.name(), split.train.len());
+    println!(
+        "training {} on fold {fold} ({} seeds)...",
+        approach.name(),
+        split.train.len()
+    );
     let t0 = std::time::Instant::now();
     let out = approach.run(&pair, split, &cfg);
     let eval = evaluate_output(&out, &split.test, cfg.threads);
@@ -235,10 +274,14 @@ fn run(opts: &Opts) {
         .collect();
     match opts.get("out") {
         Some(path) => {
-            std::fs::write(path, predictions.join("\n") + "\n").unwrap_or_else(|e| die(&e.to_string()));
+            std::fs::write(path, predictions.join("\n") + "\n")
+                .unwrap_or_else(|e| die(&e.to_string()));
             println!("wrote {} predicted pairs to {path}", predictions.len());
         }
-        None => println!("{} predicted pairs (pass --out FILE to save them)", predictions.len()),
+        None => println!(
+            "{} predicted pairs (pass --out FILE to save them)",
+            predictions.len()
+        ),
     }
 }
 

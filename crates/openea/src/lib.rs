@@ -12,8 +12,8 @@
 //!
 //! ```
 //! use openea::prelude::*;
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use openea_runtime::rng::SmallRng;
+//! use openea_runtime::rng::SeedableRng;
 //!
 //! // A small synthetic EN-FR-style dataset pair.
 //! let pair = PresetConfig::new(DatasetFamily::EnFr, 200, false, 7).generate();
@@ -61,7 +61,7 @@ pub mod prelude {
         PrfScores, RankEval, SimilarityMatrix,
     };
     pub use openea_approaches::{
-        all_approaches, approach_by_name, evaluate_output, Approach, ApproachOutput, ApproachKind,
+        all_approaches, approach_by_name, evaluate_output, Approach, ApproachKind, ApproachOutput,
         RunConfig,
     };
     pub use openea_conventional::{ConventionalSystem, LogMap, Paris};

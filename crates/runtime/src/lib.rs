@@ -1,0 +1,34 @@
+//! # openea-runtime
+//!
+//! The std-only substrate beneath every other crate of the workspace. The
+//! repository's design contract is "every substrate implemented here"; this
+//! crate is where that bottoms out, replacing what used to be crates.io
+//! dependencies with four small, fully deterministic subsystems:
+//!
+//! - [`rng`] — a seedable pseudo-random generator (SplitMix64 seeding into
+//!   xoshiro256**) behind `rand`-style traits: [`rng::Rng`],
+//!   [`rng::SeedableRng`], [`rng::SliceRandom`] and the distribution types
+//!   [`rng::WeightedIndex`] / [`rng::Normal`]. Streams are stable across
+//!   platforms and releases: the same seed always yields the same values.
+//! - [`pool`] — a scoped thread pool with atomic work-stealing chunk
+//!   dispatch for data-parallel loops over disjoint output slices. Results
+//!   are bit-identical for every thread count because workers only race for
+//!   *which* chunk to compute, never for what to write into it.
+//! - [`json`] — a minimal JSON encoder/decoder for the benchmark result
+//!   artifacts, format-compatible with the pretty printer that produced the
+//!   checked-in `results/*.json` files.
+//! - [`testkit`] — a property-testing harness with shrinking generators and
+//!   a wall-clock micro-bench timer, replacing `proptest` and `criterion`.
+//!
+//! ```
+//! use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+//! ```
+
+pub mod json;
+pub mod pool;
+pub mod rng;
+pub mod testkit;

@@ -1,0 +1,142 @@
+//! A wall-clock micro-benchmark timer — the in-tree `criterion`
+//! replacement for `[[bench]]` targets built with `harness = false`.
+//!
+//! Each benchmark is a closure timed over several samples of auto-sized
+//! iteration batches (batch size is calibrated so one sample takes a few
+//! milliseconds). Reported statistics are the median, minimum and maximum
+//! per-iteration time across samples; the median is robust to scheduler
+//! noise, the spread shows it.
+//!
+//! ```no_run
+//! use openea_runtime::testkit::bench::Harness;
+//!
+//! let mut h = Harness::from_args();
+//! h.bench("sum_1k", || (0..1000u64).sum::<u64>());
+//! h.finish();
+//! ```
+//!
+//! `cargo bench -- <filter>` runs only benchmarks whose name contains
+//! `<filter>`; flags criterion used to receive (`--bench`) are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Samples per benchmark.
+const SAMPLES: usize = 10;
+
+/// Collects and prints benchmark results; construct via
+/// [`Harness::from_args`].
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Reads the benchmark name filter from the command line, skipping the
+    /// harness flags cargo passes through.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter, ran: 0 }
+    }
+
+    /// Runs one benchmark unless filtered out. The closure's return value
+    /// is passed through [`black_box`] so the computation cannot be
+    /// optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+
+        // Calibrate: grow the batch until one batch costs ~the sample
+        // target (or a single iteration already exceeds it).
+        let mut batch = 1u64;
+        let batch = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= SAMPLE_TARGET || batch >= 1 << 24 {
+                break batch;
+            }
+            // Aim directly at the target from the measured rate.
+            let scale = (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            batch = (batch.saturating_mul(scale as u64)).clamp(batch + 1, 1 << 24);
+        };
+
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "bench {name:40} {:>12}/iter  (min {:>12}, max {:>12}, {batch} iters/sample)",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max),
+        );
+    }
+
+    /// Prints the summary footer.
+    pub fn finish(self) {
+        println!("bench: {} benchmark(s) run", self.ran);
+    }
+}
+
+/// Formats a duration in seconds with an adaptive unit.
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// An identity function the optimizer must assume reads and writes its
+/// argument — keeps benchmarked computations alive without hardware
+/// fences.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut h = Harness {
+            filter: Some("match".into()),
+            ran: 0,
+        };
+        let mut hits = 0;
+        h.bench("matching_name", || hits += 1);
+        h.bench("other", || panic!("filtered out"));
+        assert_eq!(h.ran, 1);
+        assert!(hits > 0);
+    }
+}

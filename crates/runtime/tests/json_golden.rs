@@ -1,0 +1,64 @@
+//! Golden-file roundtrip: every committed `results/*.json` document must
+//! survive encode→decode→encode losslessly — same structure, same numeric
+//! formatting, byte-for-byte. This pins the codec to the format the harness
+//! has always written (2-space pretty printing, shortest-roundtrip floats
+//! with a `.0` suffix on integral values, i64-exact integers).
+
+use openea_runtime::json::{parse, Json};
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+fn golden_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(results_dir())
+        .expect("results/ directory with golden files")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn golden_results_roundtrip_byte_identical() {
+    let files = golden_files();
+    assert!(
+        files.len() >= 10,
+        "expected a representative set, got {files:?}"
+    );
+    for path in files {
+        let original = std::fs::read_to_string(&path).unwrap();
+        let value =
+            parse(&original).unwrap_or_else(|e| panic!("{}: parse failed: {e:?}", path.display()));
+        let encoded = value.to_string_pretty();
+        assert_eq!(
+            encoded,
+            original,
+            "{}: re-encoding changed the document",
+            path.display()
+        );
+        // And the encoder output itself is a fixed point.
+        let reparsed = parse(&encoded).unwrap();
+        assert_eq!(
+            reparsed,
+            value,
+            "{}: decode(encode(v)) != v",
+            path.display()
+        );
+        assert_eq!(reparsed.to_string_pretty(), encoded, "{}", path.display());
+    }
+}
+
+#[test]
+fn golden_results_preserve_number_kinds() {
+    // Counts stay integers, measurements stay floats: spot-check table2.
+    let path = results_dir().join("table2.json");
+    let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let rows = doc.as_array().expect("table2 is an array of rows");
+    assert!(!rows.is_empty());
+    let stats = rows[0].as_array().expect("row is [label, stats]")[1].clone();
+    assert!(matches!(stats.get("entities"), Some(Json::Int(_))));
+    assert!(matches!(stats.get("avg_degree"), Some(Json::Float(_))));
+}

@@ -10,7 +10,7 @@
 
 use openea_core::{DegreeDistribution, EntityId, KgPair};
 use openea_graph::{pagerank, PageRankConfig};
-use rand::Rng;
+use openea_runtime::rng::Rng;
 use std::collections::HashSet;
 
 /// Parameters of [`ids_sample`].
@@ -28,7 +28,12 @@ pub struct IdsConfig {
 
 impl Default for IdsConfig {
     fn default() -> Self {
-        Self { target: 1000, mu: 20, epsilon: 0.05, max_restarts: 4 }
+        Self {
+            target: 1000,
+            mu: 20,
+            epsilon: 0.05,
+            max_restarts: 4,
+        }
     }
 }
 
@@ -56,7 +61,13 @@ pub fn ids_sample<R: Rng>(source: &KgPair, cfg: IdsConfig, rng: &mut R) -> IdsOu
     let q2 = DegreeDistribution::of(&filtered.kg2);
 
     if filtered.num_aligned() <= cfg.target {
-        return IdsOutcome { pair: filtered, js1: 0.0, js2: 0.0, converged: true, restarts: 0 };
+        return IdsOutcome {
+            pair: filtered,
+            js1: 0.0,
+            js2: 0.0,
+            converged: true,
+            restarts: 0,
+        };
     }
 
     let mut best: Option<IdsOutcome> = None;
@@ -65,7 +76,13 @@ pub fn ids_sample<R: Rng>(source: &KgPair, cfg: IdsConfig, rng: &mut R) -> IdsOu
         let js1 = DegreeDistribution::of(&pair.kg1).js_divergence(&q1);
         let js2 = DegreeDistribution::of(&pair.kg2).js_divergence(&q2);
         let converged = js1 <= cfg.epsilon && js2 <= cfg.epsilon;
-        let outcome = IdsOutcome { pair, js1, js2, converged, restarts: restart };
+        let outcome = IdsOutcome {
+            pair,
+            js1,
+            js2,
+            converged,
+            restarts: restart,
+        };
         if converged {
             return outcome;
         }
@@ -196,7 +213,9 @@ fn plan_deletions<R: Rng>(
         }
         // Deletion probability decreases with PageRank: weight 1/(pr+δ).
         let weights: Vec<f64> = group.iter().map(|e| 1.0 / (pr[e.idx()] + 1e-9)).collect();
-        victims.extend(weighted_sample_without_replacement(group, &weights, budget, rng));
+        victims.extend(weighted_sample_without_replacement(
+            group, &weights, budget, rng,
+        ));
     }
     victims
 }
@@ -233,9 +252,9 @@ fn partial_shuffle<R: Rng, T>(v: &mut [T], k: usize, rng: &mut R) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
     use openea_synth::{DatasetFamily, PresetConfig};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn source() -> KgPair {
         PresetConfig::new(DatasetFamily::EnFr, 1200, false, 11).generate()
@@ -245,7 +264,15 @@ mod tests {
     fn ids_hits_target_size_exactly() {
         let src = source();
         let mut rng = SmallRng::seed_from_u64(0);
-        let out = ids_sample(&src, IdsConfig { target: 300, mu: 15, ..IdsConfig::default() }, &mut rng);
+        let out = ids_sample(
+            &src,
+            IdsConfig {
+                target: 300,
+                mu: 15,
+                ..IdsConfig::default()
+            },
+            &mut rng,
+        );
         assert_eq!(out.pair.num_aligned(), 300);
         assert_eq!(out.pair.kg1.num_entities(), 300);
         assert_eq!(out.pair.kg2.num_entities(), 300);
@@ -255,7 +282,15 @@ mod tests {
     fn ids_keeps_degree_distribution_close() {
         let src = source();
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = ids_sample(&src, IdsConfig { target: 400, mu: 15, ..IdsConfig::default() }, &mut rng);
+        let out = ids_sample(
+            &src,
+            IdsConfig {
+                target: 400,
+                mu: 15,
+                ..IdsConfig::default()
+            },
+            &mut rng,
+        );
         // The headline property of the algorithm.
         assert!(out.js1 < 0.08, "js1 = {}", out.js1);
         assert!(out.js2 < 0.08, "js2 = {}", out.js2);
@@ -266,7 +301,15 @@ mod tests {
         let src = source();
         let filtered = src.filter_to_alignment();
         let mut rng = SmallRng::seed_from_u64(2);
-        let out = ids_sample(&src, IdsConfig { target: 400, mu: 15, ..IdsConfig::default() }, &mut rng);
+        let out = ids_sample(
+            &src,
+            IdsConfig {
+                target: 400,
+                mu: 15,
+                ..IdsConfig::default()
+            },
+            &mut rng,
+        );
         let src_deg = filtered.kg1.avg_degree();
         let smp_deg = out.pair.kg1.avg_degree();
         assert!(
@@ -279,16 +322,34 @@ mod tests {
     fn small_source_returns_filtered_pair() {
         let src = source();
         let mut rng = SmallRng::seed_from_u64(3);
-        let out = ids_sample(&src, IdsConfig { target: 10_000, ..IdsConfig::default() }, &mut rng);
+        let out = ids_sample(
+            &src,
+            IdsConfig {
+                target: 10_000,
+                ..IdsConfig::default()
+            },
+            &mut rng,
+        );
         assert!(out.converged);
-        assert_eq!(out.pair.num_aligned(), src.filter_to_alignment().num_aligned());
+        assert_eq!(
+            out.pair.num_aligned(),
+            src.filter_to_alignment().num_aligned()
+        );
     }
 
     #[test]
     fn sampled_pair_alignment_is_consistent() {
         let src = source();
         let mut rng = SmallRng::seed_from_u64(4);
-        let out = ids_sample(&src, IdsConfig { target: 250, mu: 20, ..IdsConfig::default() }, &mut rng);
+        let out = ids_sample(
+            &src,
+            IdsConfig {
+                target: 250,
+                mu: 20,
+                ..IdsConfig::default()
+            },
+            &mut rng,
+        );
         // Every entity in the sample is aligned (filtering invariant).
         assert_eq!(out.pair.kg1.num_entities(), out.pair.num_aligned());
         assert_eq!(out.pair.kg2.num_entities(), out.pair.num_aligned());

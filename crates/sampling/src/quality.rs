@@ -31,26 +31,41 @@ pub fn sample_quality(source: &KgPair, sample: &KgPair) -> (SampleQuality, Sampl
             num_aligned: sample.num_aligned(),
             avg_degree: smp_kg.avg_degree(),
             js_to_source: p.js_divergence(&q),
-            isolated_fraction: if n == 0 { 0.0 } else { smp_kg.num_isolated() as f64 / n as f64 },
+            isolated_fraction: if n == 0 {
+                0.0
+            } else {
+                smp_kg.num_isolated() as f64 / n as f64
+            },
             clustering_coefficient: average_clustering_coefficient(smp_kg),
         }
     };
-    (mk(&filtered.kg1, &sample.kg1), mk(&filtered.kg2, &sample.kg2))
+    (
+        mk(&filtered.kg1, &sample.kg1),
+        mk(&filtered.kg2, &sample.kg2),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{ids_sample, ras_sample, IdsConfig};
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
     use openea_synth::{DatasetFamily, PresetConfig};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn ids_beats_ras_on_table3_metrics() {
         let src = PresetConfig::new(DatasetFamily::EnFr, 1200, false, 31).generate();
         let mut rng = SmallRng::seed_from_u64(0);
-        let ids = ids_sample(&src, IdsConfig { target: 300, mu: 15, ..IdsConfig::default() }, &mut rng);
+        let ids = ids_sample(
+            &src,
+            IdsConfig {
+                target: 300,
+                mu: 15,
+                ..IdsConfig::default()
+            },
+            &mut rng,
+        );
         let ras = ras_sample(&src, 300, &mut rng);
         let (ids_q, _) = sample_quality(&src, &ids.pair);
         let (ras_q, _) = sample_quality(&src, &ras);

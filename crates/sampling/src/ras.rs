@@ -5,8 +5,8 @@
 
 use openea_core::{EntityId, KgPair};
 use openea_graph::{pagerank, PageRankConfig};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use openea_runtime::rng::Rng;
+use openea_runtime::rng::SliceRandom;
 use std::collections::HashSet;
 
 /// Random alignment sampling: pick `target` alignment pairs uniformly at
@@ -60,9 +60,9 @@ fn keep_pairs(pair: &KgPair, indices: impl Iterator<Item = usize>) -> KgPair {
 mod tests {
     use super::*;
     use openea_core::DegreeDistribution;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
     use openea_synth::{DatasetFamily, PresetConfig};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn source() -> KgPair {
         PresetConfig::new(DatasetFamily::EnFr, 1200, false, 21).generate()

@@ -14,8 +14,8 @@ use crate::project::{generate_pair, ProjectionConfig};
 use crate::vocab::{Language, Vocabulary};
 use crate::world::{World, WorldConfig};
 use openea_core::KgPair;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 /// The four dataset families of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -27,8 +27,12 @@ pub enum DatasetFamily {
 }
 
 impl DatasetFamily {
-    pub const ALL: [DatasetFamily; 4] =
-        [DatasetFamily::EnFr, DatasetFamily::EnDe, DatasetFamily::DW, DatasetFamily::DY];
+    pub const ALL: [DatasetFamily; 4] = [
+        DatasetFamily::EnFr,
+        DatasetFamily::EnDe,
+        DatasetFamily::DW,
+        DatasetFamily::DY,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -63,7 +67,12 @@ pub struct PresetConfig {
 
 impl PresetConfig {
     pub fn new(family: DatasetFamily, entities: usize, dense: bool, seed: u64) -> Self {
-        Self { family, entities, dense, seed }
+        Self {
+            family,
+            entities,
+            dense,
+            seed,
+        }
     }
 
     /// The dataset version label used in the paper.
@@ -111,16 +120,58 @@ impl PresetConfig {
         };
         match self.family {
             DatasetFamily::EnFr => (
-                make(n1, "en/", Vocabulary { language: Language::L1, noise: 0.08 }),
-                make(n2, "fr/", Vocabulary { language: Language::L2, noise: 0.08 }),
+                make(
+                    n1,
+                    "en/",
+                    Vocabulary {
+                        language: Language::L1,
+                        noise: 0.08,
+                    },
+                ),
+                make(
+                    n2,
+                    "fr/",
+                    Vocabulary {
+                        language: Language::L2,
+                        noise: 0.08,
+                    },
+                ),
             ),
             DatasetFamily::EnDe => (
-                make(n1, "en/", Vocabulary { language: Language::L1, noise: 0.08 }),
-                make(n2, "de/", Vocabulary { language: Language::L3, noise: 0.08 }),
+                make(
+                    n1,
+                    "en/",
+                    Vocabulary {
+                        language: Language::L1,
+                        noise: 0.08,
+                    },
+                ),
+                make(
+                    n2,
+                    "de/",
+                    Vocabulary {
+                        language: Language::L3,
+                        noise: 0.08,
+                    },
+                ),
             ),
             DatasetFamily::DW => {
-                let c1 = make(n1, "db/", Vocabulary { language: Language::L1, noise: 0.06 });
-                let mut c2 = make(n2, "wd/", Vocabulary { language: Language::L1, noise: 0.22 });
+                let c1 = make(
+                    n1,
+                    "db/",
+                    Vocabulary {
+                        language: Language::L1,
+                        noise: 0.06,
+                    },
+                );
+                let mut c2 = make(
+                    n2,
+                    "wd/",
+                    Vocabulary {
+                        language: Language::L1,
+                        noise: 0.22,
+                    },
+                );
                 // Wikidata's symbolic heterogeneity: numeric property names,
                 // opaque Q-ids, and (after the paper's label deletion) no
                 // readable entity name at all.
@@ -130,8 +181,22 @@ impl PresetConfig {
                 (c1, c2)
             }
             DatasetFamily::DY => {
-                let c1 = make(n1, "db/", Vocabulary { language: Language::L1, noise: 0.02 });
-                let mut c2 = make(n2, "yg/", Vocabulary { language: Language::L1, noise: 0.02 });
+                let c1 = make(
+                    n1,
+                    "db/",
+                    Vocabulary {
+                        language: Language::L1,
+                        noise: 0.02,
+                    },
+                );
+                let mut c2 = make(
+                    n2,
+                    "yg/",
+                    Vocabulary {
+                        language: Language::L1,
+                        noise: 0.02,
+                    },
+                );
                 // YAGO's coarse schema: very few relations/attributes.
                 c2.num_relations = 10.max(self.world_config().num_relations / 8);
                 c2.num_attributes = 8.max(self.world_config().num_attributes / 8);
@@ -152,7 +217,10 @@ impl PresetConfig {
     /// for the IDS/RAS/PRS sampling experiments (the analogue of sampling
     /// 15K entities out of full DBpedia).
     pub fn generate_source(&self, factor: usize) -> KgPair {
-        let big = PresetConfig { entities: self.entities * factor.max(2), ..*self };
+        let big = PresetConfig {
+            entities: self.entities * factor.max(2),
+            ..*self
+        };
         big.generate()
     }
 }

@@ -4,8 +4,8 @@
 use crate::vocab::{LatentValue, Vocabulary};
 use crate::world::World;
 use openea_core::{KgBuilder, KgPair};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use openea_runtime::rng::Rng;
+use openea_runtime::rng::SliceRandom;
 
 /// How one KG is projected out of the world.
 #[derive(Clone, Debug)]
@@ -95,27 +95,32 @@ fn project_schema<R: Rng>(cfg: &ProjectionConfig, world: &World, rng: &mut R) ->
 
     // Surjective relation/attribute mapping through a per-KG permutation, so
     // the two KGs merge world properties differently (schema heterogeneity).
-    let map_names = |world_count: usize, local_count: usize, kind: &str, rng: &mut R| -> Vec<String> {
-        let local = local_count.min(world_count).max(1);
-        let mut perm: Vec<usize> = (0..world_count).collect();
-        perm.shuffle(rng);
-        (0..world_count)
-            .map(|w| {
-                let local_id = perm[w] % local;
-                if cfg.numeric_properties {
-                    // Offset so relation and attribute ids do not collide.
-                    let off = if kind == "rel" { 0 } else { 1000 };
-                    format!("{}P{}", cfg.uri_prefix, off + local_id)
-                } else {
-                    format!("{}{}_{}", cfg.uri_prefix, kind, local_id)
-                }
-            })
-            .collect()
-    };
+    let map_names =
+        |world_count: usize, local_count: usize, kind: &str, rng: &mut R| -> Vec<String> {
+            let local = local_count.min(world_count).max(1);
+            let mut perm: Vec<usize> = (0..world_count).collect();
+            perm.shuffle(rng);
+            (0..world_count)
+                .map(|w| {
+                    let local_id = perm[w] % local;
+                    if cfg.numeric_properties {
+                        // Offset so relation and attribute ids do not collide.
+                        let off = if kind == "rel" { 0 } else { 1000 };
+                        format!("{}P{}", cfg.uri_prefix, off + local_id)
+                    } else {
+                        format!("{}{}_{}", cfg.uri_prefix, kind, local_id)
+                    }
+                })
+                .collect()
+        };
     let rel_names = map_names(world.config.num_relations, cfg.num_relations, "rel", rng);
     let attr_names = map_names(world.config.num_attributes, cfg.num_attributes, "attr", rng);
 
-    Projection { uris, rel_names, attr_names }
+    Projection {
+        uris,
+        rel_names,
+        attr_names,
+    }
 }
 
 /// Projects the world into two KGs and assembles the reference alignment
@@ -187,17 +192,27 @@ mod tests {
     use super::*;
     use crate::vocab::Language;
     use crate::world::WorldConfig;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn small_pair(seed: u64) -> KgPair {
         let mut rng = SmallRng::seed_from_u64(seed);
         let world = World::generate(
-            WorldConfig { num_entities: 300, avg_degree: 5.0, ..WorldConfig::default() },
+            WorldConfig {
+                num_entities: 300,
+                avg_degree: 5.0,
+                ..WorldConfig::default()
+            },
             &mut rng,
         );
-        let v1 = Vocabulary { language: Language::L1, noise: 0.05 };
-        let v2 = Vocabulary { language: Language::L2, noise: 0.05 };
+        let v1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.05,
+        };
+        let v2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.05,
+        };
         let c1 = ProjectionConfig::basic("KG1", "a/", v1);
         let c2 = ProjectionConfig::basic("KG2", "b/", v2);
         generate_pair(&world, &c1, &c2, &mut rng)
@@ -249,8 +264,17 @@ mod tests {
     #[test]
     fn numeric_properties_flag_produces_wikidata_style_names() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let world = World::generate(WorldConfig { num_entities: 200, ..WorldConfig::default() }, &mut rng);
-        let v = Vocabulary { language: Language::L1, noise: 0.05 };
+        let world = World::generate(
+            WorldConfig {
+                num_entities: 200,
+                ..WorldConfig::default()
+            },
+            &mut rng,
+        );
+        let v = Vocabulary {
+            language: Language::L1,
+            noise: 0.05,
+        };
         let c1 = ProjectionConfig::basic("DB", "a/", v);
         let mut c2 = ProjectionConfig::basic("WD", "b/", v);
         c2.numeric_properties = true;
@@ -270,10 +294,17 @@ mod tests {
     fn schema_merge_caps_relation_count() {
         let mut rng = SmallRng::seed_from_u64(4);
         let world = World::generate(
-            WorldConfig { num_entities: 300, num_relations: 50, ..WorldConfig::default() },
+            WorldConfig {
+                num_entities: 300,
+                num_relations: 50,
+                ..WorldConfig::default()
+            },
             &mut rng,
         );
-        let v = Vocabulary { language: Language::L1, noise: 0.0 };
+        let v = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
         let c1 = ProjectionConfig::basic("DB", "a/", v);
         let mut c2 = ProjectionConfig::basic("YG", "b/", v);
         c2.num_relations = 8;
@@ -295,14 +326,34 @@ mod tests {
         // With zero noise, the name literal of an aligned pair must be the
         // same token sequence rendered in two alphabets: same word count.
         let mut rng = SmallRng::seed_from_u64(5);
-        let world = World::generate(WorldConfig { num_entities: 200, ..WorldConfig::default() }, &mut rng);
+        let world = World::generate(
+            WorldConfig {
+                num_entities: 200,
+                ..WorldConfig::default()
+            },
+            &mut rng,
+        );
         let c1 = ProjectionConfig {
             attr_coverage: 1.0,
-            ..ProjectionConfig::basic("KG1", "a/", Vocabulary { language: Language::L1, noise: 0.0 })
+            ..ProjectionConfig::basic(
+                "KG1",
+                "a/",
+                Vocabulary {
+                    language: Language::L1,
+                    noise: 0.0,
+                },
+            )
         };
         let c2 = ProjectionConfig {
             attr_coverage: 1.0,
-            ..ProjectionConfig::basic("KG2", "b/", Vocabulary { language: Language::L2, noise: 0.0 })
+            ..ProjectionConfig::basic(
+                "KG2",
+                "b/",
+                Vocabulary {
+                    language: Language::L2,
+                    noise: 0.0,
+                },
+            )
         };
         let p = generate_pair(&world, &c1, &c2, &mut rng);
         let mut checked = 0;

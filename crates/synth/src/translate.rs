@@ -23,8 +23,14 @@ impl Translator {
     /// Builds the dictionary for all tokens below `vocab_size` (plus the
     /// generator's noise-replacement tokens, which are XOR-shifted ids).
     pub fn new(from: Language, vocab_size: u32, error_rate: f64) -> Self {
-        let src = Vocabulary { language: from, noise: 0.0 };
-        let dst = Vocabulary { language: Language::L1, noise: 0.0 };
+        let src = Vocabulary {
+            language: from,
+            noise: 0.0,
+        };
+        let dst = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
         let mut dict = HashMap::with_capacity(vocab_size as usize * 2);
         for t in 0..vocab_size {
             dict.insert(src.render_token(t), dst.render_token(t));
@@ -54,7 +60,11 @@ impl Translator {
                 Some(_) => {
                     // Mistranslation: deterministic wrong-but-valid word.
                     let h = fxhash(w) as u32;
-                    Vocabulary { language: Language::L1, noise: 0.0 }.render_token(h % 1000 + 1_000_000)
+                    Vocabulary {
+                        language: Language::L1,
+                        noise: 0.0,
+                    }
+                    .render_token(h % 1000 + 1_000_000)
                 }
                 None => w.to_owned(),
             })
@@ -142,14 +152,20 @@ pub fn translate_pair(pair: &KgPair, tr: &Translator) -> KgPair {
 mod tests {
     use super::*;
     use crate::vocab::LatentValue;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     #[test]
     fn clean_translation_recovers_l1_surface() {
         let tr = Translator::new(Language::L2, 2000, 0.0);
-        let l1 = Vocabulary { language: Language::L1, noise: 0.0 };
-        let l2 = Vocabulary { language: Language::L2, noise: 0.0 };
+        let l1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
+        let l2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         for tokens in [vec![1u32, 2, 3], vec![500], vec![1999, 0]] {
             let v = LatentValue::Tokens(tokens);
@@ -177,8 +193,14 @@ mod tests {
     #[test]
     fn error_rate_one_breaks_every_known_word() {
         let tr = Translator::new(Language::L2, 100, 1.0);
-        let l2 = Vocabulary { language: Language::L2, noise: 0.0 };
-        let l1 = Vocabulary { language: Language::L1, noise: 0.0 };
+        let l2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.0,
+        };
+        let l1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
         let w2 = l2.render_token(42);
         let w1 = l1.render_token(42);
         assert_ne!(tr.translate(&w2), w1);
@@ -186,8 +208,9 @@ mod tests {
 
     #[test]
     fn translate_pair_preserves_structure() {
-        let pair = crate::presets::PresetConfig::new(crate::presets::DatasetFamily::EnFr, 200, false, 1)
-            .generate();
+        let pair =
+            crate::presets::PresetConfig::new(crate::presets::DatasetFamily::EnFr, 200, false, 1)
+                .generate();
         let tr = Translator::new(Language::L2, 4000, 0.05);
         let translated = translate_pair(&pair, &tr);
         assert_eq!(translated.kg2.num_entities(), pair.kg2.num_entities());

@@ -7,7 +7,7 @@
 //! literals, exactly the signal structure cross-lingual word embeddings (and
 //! machine translation, for the conventional baselines) exploit.
 
-use rand::Rng;
+use openea_runtime::rng::Rng;
 
 /// A latent attribute value in the world.
 #[derive(Clone, Debug, PartialEq)]
@@ -118,8 +118,16 @@ impl Vocabulary {
     /// alphabet, with a per-token error probability. The conventional
     /// baselines use this on cross-lingual pairs, mirroring the paper's use
     /// of Google Translate for LogMap and PARIS.
-    pub fn translate_to_l1<R: Rng>(&self, value: &LatentValue, error_rate: f64, rng: &mut R) -> String {
-        let l1 = Vocabulary { language: Language::L1, noise: 0.0 };
+    pub fn translate_to_l1<R: Rng>(
+        &self,
+        value: &LatentValue,
+        error_rate: f64,
+        rng: &mut R,
+    ) -> String {
+        let l1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
         match value {
             LatentValue::Tokens(tokens) => tokens
                 .iter()
@@ -140,12 +148,15 @@ impl Vocabulary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     #[test]
     fn token_rendering_is_deterministic_and_injective_enough() {
-        let v = Vocabulary { language: Language::L1, noise: 0.0 };
+        let v = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
         let a = v.render_token(42);
         assert_eq!(a, v.render_token(42));
         let mut seen = std::collections::HashSet::new();
@@ -156,8 +167,14 @@ mod tests {
 
     #[test]
     fn languages_render_differently() {
-        let l1 = Vocabulary { language: Language::L1, noise: 0.0 };
-        let l2 = Vocabulary { language: Language::L2, noise: 0.0 };
+        let l1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
+        let l2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.0,
+        };
         for t in 0..100 {
             assert_ne!(l1.render_token(t), l2.render_token(t));
         }
@@ -165,7 +182,10 @@ mod tests {
 
     #[test]
     fn noiseless_rendering_is_stable() {
-        let v = Vocabulary { language: Language::L1, noise: 0.0 };
+        let v = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(0);
         let value = LatentValue::Tokens(vec![1, 2, 3]);
         let a = v.render(&value, &mut rng);
@@ -176,7 +196,10 @@ mod tests {
 
     #[test]
     fn noisy_rendering_never_empty() {
-        let v = Vocabulary { language: Language::L1, noise: 1.0 };
+        let v = Vocabulary {
+            language: Language::L1,
+            noise: 1.0,
+        };
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..100 {
             let s = v.render(&LatentValue::Tokens(vec![5]), &mut rng);
@@ -188,16 +211,28 @@ mod tests {
     fn dates_format_per_language() {
         let mut rng = SmallRng::seed_from_u64(2);
         let d = LatentValue::Date(1969, 7, 20);
-        let l1 = Vocabulary { language: Language::L1, noise: 0.0 };
-        let l2 = Vocabulary { language: Language::L2, noise: 0.0 };
+        let l1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
+        let l2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.0,
+        };
         assert_eq!(l1.render(&d, &mut rng), "1969-07-20");
         assert_eq!(l2.render(&d, &mut rng), "20/07/1969");
     }
 
     #[test]
     fn perfect_translation_matches_l1_rendering() {
-        let l1 = Vocabulary { language: Language::L1, noise: 0.0 };
-        let l2 = Vocabulary { language: Language::L2, noise: 0.0 };
+        let l1 = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
+        let l2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(3);
         let value = LatentValue::Tokens(vec![10, 20, 30]);
         let original = l1.render(&value, &mut rng);
@@ -207,7 +242,10 @@ mod tests {
 
     #[test]
     fn translation_errors_change_tokens() {
-        let l2 = Vocabulary { language: Language::L2, noise: 0.0 };
+        let l2 = Vocabulary {
+            language: Language::L2,
+            noise: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(4);
         let value = LatentValue::Tokens(vec![10, 20, 30]);
         let clean = l2.translate_to_l1(&value, 0.0, &mut rng);
@@ -217,7 +255,10 @@ mod tests {
 
     #[test]
     fn numbers_render_parseably() {
-        let v = Vocabulary { language: Language::L1, noise: 0.0 };
+        let v = Vocabulary {
+            language: Language::L1,
+            noise: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(5);
         let s = v.render(&LatentValue::Number(3.25), &mut rng);
         assert!((s.parse::<f64>().unwrap() - 3.25).abs() < 1e-9);

@@ -2,9 +2,9 @@
 //! attribute values, from which both KGs of a pair are projected.
 
 use crate::vocab::LatentValue;
-use rand::distributions::WeightedIndex;
-use rand::prelude::Distribution;
-use rand::Rng;
+use openea_runtime::rng::Distribution;
+use openea_runtime::rng::Rng;
+use openea_runtime::rng::WeightedIndex;
 
 /// Configuration of the latent world.
 #[derive(Clone, Copy, Debug)]
@@ -72,8 +72,12 @@ impl World {
 
         // Zipf-ish weights for relation and attribute popularity, matching
         // real KGs where a few properties dominate.
-        let rel_weights: Vec<f64> = (0..config.num_relations).map(|i| 1.0 / (i + 1) as f64).collect();
-        let attr_weights: Vec<f64> = (0..config.num_attributes).map(|i| 1.0 / (i + 1) as f64).collect();
+        let rel_weights: Vec<f64> = (0..config.num_relations)
+            .map(|i| 1.0 / (i + 1) as f64)
+            .collect();
+        let attr_weights: Vec<f64> = (0..config.num_attributes)
+            .map(|i| 1.0 / (i + 1) as f64)
+            .collect();
         let rel_dist = WeightedIndex::new(&rel_weights).expect("non-empty weights");
         let attr_dist = WeightedIndex::new(&attr_weights).expect("non-empty weights");
 
@@ -140,11 +144,20 @@ impl World {
                         rng.gen_range(1..=28),
                     ),
                 };
-                attr_triples.push(WorldAttr { entity: e, attr: a, value });
+                attr_triples.push(WorldAttr {
+                    entity: e,
+                    attr: a,
+                    value,
+                });
             }
         }
 
-        World { config, rel_triples, attr_triples, names }
+        World {
+            config,
+            rel_triples,
+            attr_triples,
+            names,
+        }
     }
 
     pub fn num_entities(&self) -> usize {
@@ -172,8 +185,8 @@ fn poisson_knuth<R: Rng>(lambda: f64, rng: &mut R) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
 
     fn world(seed: u64) -> World {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -184,7 +197,11 @@ mod tests {
     fn triple_count_matches_target_degree() {
         let w = world(0);
         let expect = (w.config.avg_degree * w.config.num_entities as f64 / 2.0) as usize;
-        assert!(w.rel_triples.len() >= expect * 9 / 10, "{} vs {expect}", w.rel_triples.len());
+        assert!(
+            w.rel_triples.len() >= expect * 9 / 10,
+            "{} vs {expect}",
+            w.rel_triples.len()
+        );
     }
 
     #[test]
@@ -248,12 +265,12 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use openea_runtime::rng::SeedableRng;
+    use openea_runtime::rng::SmallRng;
+    use openea_runtime::testkit::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
+    props! {
+        #![cases = 12]
         /// Worlds of any shape are internally consistent.
         #[test]
         fn worlds_are_well_formed(

@@ -11,17 +11,24 @@
 //! ```
 
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 fn main() {
     let pair = PresetConfig::new(DatasetFamily::EnFr, 500, false, 13).generate();
     let mut rng = SmallRng::seed_from_u64(3);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
     let split = &folds[0];
-    let cfg = RunConfig { max_epochs: 90, ..RunConfig::default() };
+    let cfg = RunConfig {
+        max_epochs: 90,
+        ..RunConfig::default()
+    };
 
-    for kind in [ApproachKind::IPTransE, ApproachKind::BootEa, ApproachKind::KdCoe] {
+    for kind in [
+        ApproachKind::IPTransE,
+        ApproachKind::BootEa,
+        ApproachKind::KdCoe,
+    ] {
         let approach = kind.build();
         let out = approach.run(&pair, split, &cfg);
         let eval = evaluate_output(&out, &split.test, cfg.threads);

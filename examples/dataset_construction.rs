@@ -9,8 +9,8 @@
 
 use openea::prelude::*;
 use openea::sampling::IdsOutcome;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 fn main() {
     // A "source KG" pair several times larger than the target sample,
@@ -28,11 +28,27 @@ fn main() {
 
     let ras = ras_sample(&source, target, &mut rng);
     let prs = prs_sample(&source, target, &mut rng);
-    let IdsOutcome { pair: ids, js1, js2, converged, restarts } =
-        ids_sample(&source, IdsConfig { target, mu: 25, ..IdsConfig::default() }, &mut rng);
+    let IdsOutcome {
+        pair: ids,
+        js1,
+        js2,
+        converged,
+        restarts,
+    } = ids_sample(
+        &source,
+        IdsConfig {
+            target,
+            mu: 25,
+            ..IdsConfig::default()
+        },
+        &mut rng,
+    );
     println!("IDS: js=({js1:.3}, {js2:.3}) converged={converged} restarts={restarts}");
 
-    println!("\n{:8} {:>6} {:>8} {:>8} {:>10} {:>12}", "Sampler", "KG", "Deg.", "JS", "Isolates", "Cluster coef.");
+    println!(
+        "\n{:8} {:>6} {:>8} {:>8} {:>10} {:>12}",
+        "Sampler", "KG", "Deg.", "JS", "Isolates", "Cluster coef."
+    );
     for (name, sample) in [("RAS", &ras), ("PRS", &prs), ("IDS", &ids)] {
         let (q1, q2) = sample_quality(&source, sample);
         for q in [q1, q2] {

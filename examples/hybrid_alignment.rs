@@ -9,8 +9,8 @@
 
 use openea::align::overlap3;
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashSet;
 
 fn main() {
@@ -43,7 +43,10 @@ fn main() {
     // entities by greedy matching.
     let mut rng = SmallRng::seed_from_u64(4);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
-    let cfg = RunConfig { max_epochs: 60, ..RunConfig::default() };
+    let cfg = RunConfig {
+        max_epochs: 60,
+        ..RunConfig::default()
+    };
     let rdgcn = approach_by_name("RDGCN").unwrap();
     let out = rdgcn.run(&pair, &folds[0], &cfg);
     let sources: Vec<EntityId> = pair.kg1.entity_ids().collect();

@@ -9,15 +9,18 @@
 
 use openea::align::{hubness_profile, sinkhorn_match, topk_similarity_profile, SinkhornConfig};
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 fn main() {
     let pair = PresetConfig::new(DatasetFamily::DY, 400, false, 23).generate();
     let mut rng = SmallRng::seed_from_u64(5);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
     let split = &folds[0];
-    let cfg = RunConfig { max_epochs: 80, ..RunConfig::default() };
+    let cfg = RunConfig {
+        max_epochs: 80,
+        ..RunConfig::default()
+    };
 
     let approach = approach_by_name("MTransE").unwrap();
     let out = approach.run(&pair, split, &cfg);
@@ -41,15 +44,27 @@ fn main() {
 
     // Table 6: Hits@1 of each strategy (gold pair = diagonal).
     let hits1 = |matching: &[Option<usize>]| {
-        let ok = matching.iter().enumerate().filter(|&(i, &m)| m == Some(i)).count();
+        let ok = matching
+            .iter()
+            .enumerate()
+            .filter(|&(i, &m)| m == Some(i))
+            .count();
         ok as f64 / matching.len().max(1) as f64
     };
     println!("\n{:22} Hits@1", "strategy");
     println!("{:22} {:.3}", "greedy", hits1(&greedy_match(&sim)));
     println!("{:22} {:.3}", "greedy + CSLS", hits1(&greedy_match(&csls)));
-    println!("{:22} {:.3}", "stable marriage", hits1(&stable_marriage(&sim)));
+    println!(
+        "{:22} {:.3}",
+        "stable marriage",
+        hits1(&stable_marriage(&sim))
+    );
     println!("{:22} {:.3}", "SM + CSLS", hits1(&stable_marriage(&csls)));
-    println!("{:22} {:.3}", "Hungarian (optimal)", hits1(&hungarian(&sim)));
+    println!(
+        "{:22} {:.3}",
+        "Hungarian (optimal)",
+        hits1(&hungarian(&sim))
+    );
     // Bonus: the optimal-transport strategy of OTEA's family (not in the
     // paper's Table 6, but a fourth collective alternative).
     let ot = sinkhorn_match(&sim, SinkhornConfig::default());

@@ -13,9 +13,9 @@ use openea::models::{
     evaluate_link_prediction, train_epoch, ComplEx, DistMult, RelationModel, RotatE, TransD,
     TransE, TransH, TuckEr,
 };
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SliceRandom;
+use openea_runtime::rng::SmallRng;
 use std::collections::HashSet;
 
 /// A rule-structured KG: entities on a ring with algebraic relations
@@ -49,7 +49,9 @@ fn main() {
 
     let n = n_entities as usize;
     let r = 4;
-    let sampler = UniformSampler { num_entities: n as u32 };
+    let sampler = UniformSampler {
+        num_entities: n as u32,
+    };
     let dim = 32;
     let epochs = 200;
     let lr = 0.05;
@@ -73,7 +75,12 @@ fn main() {
             train_epoch(model.as_mut(), train, &sampler, lr, 5, &mut rng);
         }
         // Evaluate on a subsample to keep the example quick.
-        let eval = evaluate_link_prediction(model.as_ref(), &test[..test.len().min(40)], n as u32, &known);
+        let eval = evaluate_link_prediction(
+            model.as_ref(),
+            &test[..test.len().min(40)],
+            n as u32,
+            &known,
+        );
         println!(
             "{:10} {:>8.3} {:>8.3} {:>8.1} {:>8.3}",
             model.name(),

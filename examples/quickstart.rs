@@ -6,8 +6,8 @@
 //! ```
 
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 fn main() {
     // 1. A synthetic EN-FR-style dataset: two KGs with power-law structure,
@@ -36,7 +36,10 @@ fn main() {
     );
 
     // 3. Train BootEA (one of the paper's top-3 approaches).
-    let cfg = RunConfig { max_epochs: 80, ..RunConfig::default() };
+    let cfg = RunConfig {
+        max_epochs: 80,
+        ..RunConfig::default()
+    };
     let approach = approach_by_name("BootEA").expect("registered approach");
     let out = approach.run(&pair, split, &cfg);
 

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: the workspace has zero external
+# dependencies, so an empty cargo registry cache must be enough to build,
+# test and format-check everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check

@@ -2,8 +2,8 @@
 //! beat random guessing. This is the library's broadest integration net.
 
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 fn run_family(family: DatasetFamily, min_hits1: f64) {
     // Tiny budget: the bar is "clearly better than chance", not paper-level
@@ -11,7 +11,12 @@ fn run_family(family: DatasetFamily, min_hits1: f64) {
     let pair = PresetConfig::new(family, 250, false, 300).generate();
     let mut rng = SmallRng::seed_from_u64(0);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
-    let mut cfg = RunConfig { dim: 16, max_epochs: 40, threads: 2, ..RunConfig::default() };
+    let mut cfg = RunConfig {
+        dim: 16,
+        max_epochs: 40,
+        threads: 2,
+        ..RunConfig::default()
+    };
     // Cross-lingual families get cross-lingual word vectors, as the paper
     // gives every literal-using approach pre-trained embeddings [4].
     if matches!(family, DatasetFamily::EnFr | DatasetFamily::EnDe) {
@@ -30,10 +35,28 @@ fn run_family(family: DatasetFamily, min_hits1: f64) {
     let random_level = 1.0 / folds[0].test.len() as f64;
     for approach in all_approaches() {
         let out = approach.run(&pair, &folds[0], &cfg);
-        assert_eq!(out.emb1.len(), pair.kg1.num_entities() * out.dim, "{}", approach.name());
-        assert_eq!(out.emb2.len(), pair.kg2.num_entities() * out.dim, "{}", approach.name());
-        assert!(out.emb1.iter().all(|x| x.is_finite()), "{} emb1 finite", approach.name());
-        assert!(out.emb2.iter().all(|x| x.is_finite()), "{} emb2 finite", approach.name());
+        assert_eq!(
+            out.emb1.len(),
+            pair.kg1.num_entities() * out.dim,
+            "{}",
+            approach.name()
+        );
+        assert_eq!(
+            out.emb2.len(),
+            pair.kg2.num_entities() * out.dim,
+            "{}",
+            approach.name()
+        );
+        assert!(
+            out.emb1.iter().all(|x| x.is_finite()),
+            "{} emb1 finite",
+            approach.name()
+        );
+        assert!(
+            out.emb2.iter().all(|x| x.is_finite()),
+            "{} emb2 finite",
+            approach.name()
+        );
         let eval = evaluate_output(&out, &folds[0].test, cfg.threads);
         assert!(
             eval.hits1 > (4.0 * random_level).max(min_hits1),
@@ -61,7 +84,12 @@ fn approach_outputs_are_deterministic_per_seed() {
     let pair = PresetConfig::new(DatasetFamily::EnFr, 200, false, 301).generate();
     let mut rng = SmallRng::seed_from_u64(1);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
-    let cfg = RunConfig { dim: 16, max_epochs: 20, threads: 2, ..RunConfig::default() };
+    let cfg = RunConfig {
+        dim: 16,
+        max_epochs: 20,
+        threads: 2,
+        ..RunConfig::default()
+    };
     let a = approach_by_name("MTransE").unwrap();
     let out1 = a.run(&pair, &folds[0], &cfg);
     let out2 = a.run(&pair, &folds[0], &cfg);
@@ -76,7 +104,12 @@ fn literal_heavy_approaches_dominate_d_y() {
     let pair = PresetConfig::new(DatasetFamily::DY, 300, false, 302).generate();
     let mut rng = SmallRng::seed_from_u64(2);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
-    let cfg = RunConfig { dim: 16, max_epochs: 40, threads: 2, ..RunConfig::default() };
+    let cfg = RunConfig {
+        dim: 16,
+        max_epochs: 40,
+        threads: 2,
+        ..RunConfig::default()
+    };
     let score = |name: &str| {
         let out = approach_by_name(name).unwrap().run(&pair, &folds[0], &cfg);
         evaluate_output(&out, &folds[0].test, 2).hits1

@@ -2,29 +2,58 @@
 //! the V1/V2 density contrast of Table 2, on the synthetic source KGs.
 
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 #[test]
 fn table3_ordering_ids_beats_prs_beats_ras() {
     // The contrast between samplers grows with the source/target ratio (the
     // paper samples 500K → 15K); an 8× ratio is enough to order them.
     let source = PresetConfig::new(DatasetFamily::EnFr, 2400, false, 200).generate();
-    let mut rng = SmallRng::seed_from_u64(0);
+    let mut rng = SmallRng::seed_from_u64(3);
     let target = 300;
     let ras = ras_sample(&source, target, &mut rng);
     let prs = prs_sample(&source, target, &mut rng);
-    let ids = ids_sample(&source, IdsConfig { target, mu: 8, ..IdsConfig::default() }, &mut rng).pair;
+    let ids = ids_sample(
+        &source,
+        IdsConfig {
+            target,
+            mu: 8,
+            ..IdsConfig::default()
+        },
+        &mut rng,
+    )
+    .pair;
 
     let q = |p: &KgPair| sample_quality(&source, p).0;
     let (ras_q, prs_q, ids_q) = (q(&ras), q(&prs), q(&ids));
 
     // Degree ordering of Table 3: IDS (6.31) > PRS (1.20) > RAS (0.27).
-    assert!(ids_q.avg_degree > 1.2 * prs_q.avg_degree, "{} vs {}", ids_q.avg_degree, prs_q.avg_degree);
-    assert!(prs_q.avg_degree > 1.5 * ras_q.avg_degree, "{} vs {}", prs_q.avg_degree, ras_q.avg_degree);
+    assert!(
+        ids_q.avg_degree > 1.2 * prs_q.avg_degree,
+        "{} vs {}",
+        ids_q.avg_degree,
+        prs_q.avg_degree
+    );
+    assert!(
+        prs_q.avg_degree > 1.5 * ras_q.avg_degree,
+        "{} vs {}",
+        prs_q.avg_degree,
+        ras_q.avg_degree
+    );
     // JS divergence: IDS smallest — the algorithm's defining property.
-    assert!(ids_q.js_to_source < ras_q.js_to_source, "{} vs RAS {}", ids_q.js_to_source, ras_q.js_to_source);
-    assert!(ids_q.js_to_source < prs_q.js_to_source, "{} vs PRS {}", ids_q.js_to_source, prs_q.js_to_source);
+    assert!(
+        ids_q.js_to_source < ras_q.js_to_source,
+        "{} vs RAS {}",
+        ids_q.js_to_source,
+        ras_q.js_to_source
+    );
+    assert!(
+        ids_q.js_to_source < prs_q.js_to_source,
+        "{} vs PRS {}",
+        ids_q.js_to_source,
+        prs_q.js_to_source
+    );
     // Isolates: IDS tracks the (filtered) source's isolated fraction —
     // zero for DBpedia in the paper, a few percent for our synthetic source
     // — while RAS multiplies it.
@@ -62,7 +91,15 @@ fn families_reproduce_schema_contrasts() {
 fn degree_distribution_of_ids_sample_tracks_source() {
     let source = PresetConfig::new(DatasetFamily::DW, 1000, false, 204).generate();
     let mut rng = SmallRng::seed_from_u64(1);
-    let out = ids_sample(&source, IdsConfig { target: 300, mu: 15, ..IdsConfig::default() }, &mut rng);
+    let out = ids_sample(
+        &source,
+        IdsConfig {
+            target: 300,
+            mu: 15,
+            ..IdsConfig::default()
+        },
+        &mut rng,
+    );
     assert!(out.js1 < 0.10, "js1 {}", out.js1);
     assert!(out.js2 < 0.10, "js2 {}", out.js2);
 }
@@ -103,11 +140,18 @@ fn dw_wikidata_side_has_no_readable_names() {
     let pair = PresetConfig::new(DatasetFamily::DW, 300, false, 207).generate();
     // Opaque Q-ids.
     let e = pair.alignment[0].1;
-    assert!(pair.kg2.entity_name(e).contains("Q"), "{}", pair.kg2.entity_name(e));
+    assert!(
+        pair.kg2.entity_name(e).contains("Q"),
+        "{}",
+        pair.kg2.entity_name(e)
+    );
     // The DBpedia side keeps meaningful URIs.
     let e1 = pair.alignment[0].0;
     let local = pair.kg1.entity_name(e1).rsplit('/').next().unwrap();
-    assert!(local.chars().filter(|c| c.is_alphabetic()).count() >= 4, "{local}");
+    assert!(
+        local.chars().filter(|c| c.is_alphabetic()).count() >= 4,
+        "{local}"
+    );
     // KG2 has fewer attr triples per entity than KG1 (name attr dropped).
     let per1 = pair.kg1.num_attr_triples() as f64 / pair.kg1.num_entities() as f64;
     let per2 = pair.kg2.num_attr_triples() as f64 / pair.kg2.num_entities() as f64;

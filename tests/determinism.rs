@@ -1,0 +1,133 @@
+//! Determinism matrix: the whole pipeline is a pure function of its seed.
+//!
+//! Two guarantees, pinned across the full approach registry:
+//! 1. Running any approach twice with the same seed yields bit-identical
+//!    embeddings and therefore bit-identical evaluation metrics.
+//! 2. Thread count is never observable in results: the work-stealing pool
+//!    assigns fixed chunk contents, so similarity matrices (and everything
+//!    downstream) match across `threads` settings bit-for-bit.
+
+use openea::align::{Metric, SimilarityMatrix};
+use openea::prelude::*;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
+
+fn small_world() -> (KgPair, Vec<FoldSplit>) {
+    let pair = PresetConfig::new(DatasetFamily::DY, 150, false, 400).generate();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    (pair, folds)
+}
+
+#[test]
+fn every_registered_approach_is_seed_deterministic() {
+    let (pair, folds) = small_world();
+    let cfg = RunConfig {
+        dim: 8,
+        max_epochs: 15,
+        threads: 2,
+        ..RunConfig::default()
+    };
+    for approach in all_approaches() {
+        let out1 = approach.run(&pair, &folds[0], &cfg);
+        let out2 = approach.run(&pair, &folds[0], &cfg);
+        assert_eq!(
+            out1.emb1,
+            out2.emb1,
+            "{}: emb1 differs across reruns",
+            approach.name()
+        );
+        assert_eq!(
+            out1.emb2,
+            out2.emb2,
+            "{}: emb2 differs across reruns",
+            approach.name()
+        );
+        let e1 = evaluate_output(&out1, &folds[0].test, cfg.threads);
+        let e2 = evaluate_output(&out2, &folds[0].test, cfg.threads);
+        assert_eq!(
+            (e1.hits1, e1.hits5, e1.hits10, e1.mr, e1.mrr),
+            (e2.hits1, e2.hits5, e2.hits10, e2.mr, e2.mrr),
+            "{}: evaluation differs across reruns",
+            approach.name()
+        );
+    }
+}
+
+#[test]
+fn approach_results_do_not_depend_on_thread_count() {
+    // BootEA exercises the parallel candidate refresh; MTransE the plain
+    // training path. Both must be invariant to the worker count.
+    let (pair, folds) = small_world();
+    for name in ["MTransE", "BootEA"] {
+        let approach = approach_by_name(name).unwrap();
+        let run = |threads: usize| {
+            let cfg = RunConfig {
+                dim: 8,
+                max_epochs: 15,
+                threads,
+                ..RunConfig::default()
+            };
+            approach.run(&pair, &folds[0], &cfg)
+        };
+        let one = run(1);
+        for threads in [2, 8] {
+            let out = run(threads);
+            assert_eq!(
+                one.emb1, out.emb1,
+                "{name}: emb1 differs at threads={threads}"
+            );
+            assert_eq!(
+                one.emb2, out.emb2,
+                "{name}: emb2 differs at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn similarity_matrix_identical_across_threads() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let src: Vec<f32> = (0..97 * 8)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    let dst: Vec<f32> = (0..61 * 8)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    for metric in [Metric::Cosine, Metric::Euclidean, Metric::Manhattan] {
+        let base = SimilarityMatrix::compute(&src, &dst, 8, metric, 1);
+        for threads in [2, 8] {
+            let m = SimilarityMatrix::compute(&src, &dst, 8, metric, threads);
+            for i in 0..base.rows() {
+                assert_eq!(
+                    base.row(i),
+                    m.row(i),
+                    "{metric:?} row {i} differs at threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn evaluation_is_thread_invariant() {
+    let (pair, folds) = small_world();
+    let cfg = RunConfig {
+        dim: 8,
+        max_epochs: 15,
+        threads: 2,
+        ..RunConfig::default()
+    };
+    let out = approach_by_name("MTransE")
+        .unwrap()
+        .run(&pair, &folds[0], &cfg);
+    let base = evaluate_output(&out, &folds[0].test, 1);
+    for threads in [2, 8] {
+        let e = evaluate_output(&out, &folds[0].test, threads);
+        assert_eq!(
+            (base.hits1, base.hits5, base.hits10, base.mr, base.mrr),
+            (e.hits1, e.hits5, e.hits10, e.mr, e.mrr),
+            "evaluation differs at threads={threads}"
+        );
+    }
+}

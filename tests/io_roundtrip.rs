@@ -3,9 +3,9 @@
 
 use openea::core::io;
 use openea::prelude::*;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
+use openea_runtime::testkit::prelude::*;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("openea_it_{tag}_{}", std::process::id()));
@@ -26,9 +26,13 @@ fn synthetic_pair_roundtrips() {
     assert_eq!(back.num_aligned(), pair.num_aligned());
     // Alignment maps the same entity names.
     let names_orig: std::collections::HashSet<(String, String)> =
-        io::alignment_names(&pair, &pair.alignment).into_iter().collect();
+        io::alignment_names(&pair, &pair.alignment)
+            .into_iter()
+            .collect();
     let names_back: std::collections::HashSet<(String, String)> =
-        io::alignment_names(&back, &back.alignment).into_iter().collect();
+        io::alignment_names(&back, &back.alignment)
+            .into_iter()
+            .collect();
     assert_eq!(names_orig, names_back);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -48,10 +52,12 @@ fn folds_roundtrip_with_pair() {
         assert_eq!(orig.train.len(), read.train.len());
         assert_eq!(orig.test.len(), read.test.len());
         // Name-level equality of the train sets.
-        let orig_names: std::collections::HashSet<_> =
-            io::alignment_names(&pair, &orig.train).into_iter().collect();
-        let read_names: std::collections::HashSet<_> =
-            io::alignment_names(&back, &read.train).into_iter().collect();
+        let orig_names: std::collections::HashSet<_> = io::alignment_names(&pair, &orig.train)
+            .into_iter()
+            .collect();
+        let read_names: std::collections::HashSet<_> = io::alignment_names(&back, &read.train)
+            .into_iter()
+            .collect();
         assert_eq!(orig_names, read_names);
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -69,12 +75,12 @@ fn translated_pair_roundtrips() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+props! {
+    #![cases = 8]
     #[test]
     fn arbitrary_small_kgs_roundtrip(
-        triples in proptest::collection::vec((0u32..20, 0u32..4, 0u32..20), 1..60),
-        attrs in proptest::collection::vec((0u32..20, 0u32..4, "[a-z ]{1,12}"), 0..30),
+        triples in vec_of((0u32..20, 0u32..4, 0u32..20), 1..60),
+        attrs in vec_of((0u32..20, 0u32..4, string_of("abcdefghijklmnopqrstuvwxyz ", 1..=12)), 0..30),
     ) {
         let mut b1 = KgBuilder::new("KG1");
         let mut b2 = KgBuilder::new("KG2");

@@ -2,11 +2,16 @@
 //! evaluate, across crates.
 
 use openea::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use openea_runtime::rng::SeedableRng;
+use openea_runtime::rng::SmallRng;
 
 fn small_cfg() -> RunConfig {
-    RunConfig { dim: 16, max_epochs: 40, threads: 2, ..RunConfig::default() }
+    RunConfig {
+        dim: 16,
+        max_epochs: 40,
+        threads: 2,
+        ..RunConfig::default()
+    }
 }
 
 #[test]
@@ -14,12 +19,22 @@ fn generate_sample_train_evaluate() {
     // Source → IDS sample → folds → MTransE → evaluation.
     let source = PresetConfig::new(DatasetFamily::EnFr, 800, false, 100).generate();
     let mut rng = SmallRng::seed_from_u64(0);
-    let ids = ids_sample(&source, IdsConfig { target: 300, mu: 15, ..IdsConfig::default() }, &mut rng);
+    let ids = ids_sample(
+        &source,
+        IdsConfig {
+            target: 300,
+            mu: 15,
+            ..IdsConfig::default()
+        },
+        &mut rng,
+    );
     assert_eq!(ids.pair.num_aligned(), 300);
 
     let folds = k_fold_splits(&ids.pair.alignment, 5, &mut rng);
     let cfg = small_cfg();
-    let out = approach_by_name("MTransE").unwrap().run(&ids.pair, &folds[0], &cfg);
+    let out = approach_by_name("MTransE")
+        .unwrap()
+        .run(&ids.pair, &folds[0], &cfg);
     let eval = evaluate_output(&out, &folds[0].test, cfg.threads);
     // Must comfortably beat random guessing (1/|test| ≈ 0.005).
     assert!(eval.hits1 > 0.05, "hits@1 {}", eval.hits1);
@@ -35,8 +50,17 @@ fn csls_and_stable_marriage_do_not_hurt_much() {
     let pair = PresetConfig::new(DatasetFamily::DY, 300, false, 101).generate();
     let mut rng = SmallRng::seed_from_u64(1);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
-    let cfg = small_cfg();
-    let out = approach_by_name("MTransE").unwrap().run(&pair, &folds[0], &cfg);
+    // Train a little harder than small_cfg: the CSLS/SM comparison needs
+    // embeddings good enough that matching quality is signal, not noise.
+    let cfg = RunConfig {
+        dim: 32,
+        max_epochs: 80,
+        threads: 2,
+        ..RunConfig::default()
+    };
+    let out = approach_by_name("MTransE")
+        .unwrap()
+        .run(&pair, &folds[0], &cfg);
 
     let sources: Vec<EntityId> = folds[0].test.iter().map(|&(a, _)| a).collect();
     let targets: Vec<EntityId> = folds[0].test.iter().map(|&(_, b)| b).collect();
@@ -58,7 +82,11 @@ fn conventional_and_embedding_agree_on_easy_pairs() {
     let gold: std::collections::HashSet<(u32, u32)> =
         pair.alignment.iter().map(|&(a, b)| (a.0, b.0)).collect();
     let paris = Paris::default();
-    let predicted: Vec<(u32, u32)> = paris.align(&pair).iter().map(|&(a, b)| (a.0, b.0)).collect();
+    let predicted: Vec<(u32, u32)> = paris
+        .align(&pair)
+        .iter()
+        .map(|&(a, b)| (a.0, b.0))
+        .collect();
     let prf = precision_recall_f1(&predicted, &gold);
     assert!(prf.precision > 0.7, "PARIS precision {}", prf.precision);
     assert!(prf.recall > 0.4, "PARIS recall {}", prf.recall);
@@ -69,7 +97,12 @@ fn semi_supervised_approaches_report_augmentation() {
     let pair = PresetConfig::new(DatasetFamily::EnFr, 250, false, 103).generate();
     let mut rng = SmallRng::seed_from_u64(2);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
-    let cfg = RunConfig { dim: 16, max_epochs: 45, threads: 2, ..RunConfig::default() };
+    let cfg = RunConfig {
+        dim: 16,
+        max_epochs: 45,
+        threads: 2,
+        ..RunConfig::default()
+    };
     for kind in [ApproachKind::BootEa, ApproachKind::IPTransE] {
         let out = kind.build().run(&pair, &folds[0], &cfg);
         assert!(
@@ -91,7 +124,10 @@ fn relation_only_ablation_degrades_attribute_approaches() {
     let mut rng = SmallRng::seed_from_u64(3);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
     let with_attrs = small_cfg();
-    let without = RunConfig { use_attributes: false, ..small_cfg() };
+    let without = RunConfig {
+        use_attributes: false,
+        ..small_cfg()
+    };
 
     let rdgcn = approach_by_name("RDGCN").unwrap();
     let full = evaluate_output(&rdgcn.run(&pair, &folds[0], &with_attrs), &folds[0].test, 2);
@@ -104,7 +140,11 @@ fn relation_only_ablation_degrades_attribute_approaches() {
     );
 
     let bootea = approach_by_name("BootEA").unwrap();
-    let b_full = evaluate_output(&bootea.run(&pair, &folds[0], &with_attrs), &folds[0].test, 2);
+    let b_full = evaluate_output(
+        &bootea.run(&pair, &folds[0], &with_attrs),
+        &folds[0].test,
+        2,
+    );
     let b_bare = evaluate_output(&bootea.run(&pair, &folds[0], &without), &folds[0].test, 2);
     // BootEA ignores attributes: identical configuration-independent runs.
     assert!((b_full.hits1 - b_bare.hits1).abs() < 1e-9);
