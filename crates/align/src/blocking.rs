@@ -9,7 +9,10 @@
 //! across several tables, and only bucket collisions become candidates.
 
 use crate::metric::Metric;
+use crate::simmat::DEFAULT_TILE;
+use crate::topk::score_desc;
 use openea_runtime::rng::Rng;
+use std::cmp::Ordering;
 
 /// Random-hyperplane LSH index over row-major embeddings.
 pub struct LshIndex {
@@ -96,6 +99,11 @@ pub struct BlockedMatch {
 }
 
 /// Greedy nearest-neighbour search restricted to LSH candidates.
+///
+/// Candidates are gathered into contiguous tiles and scored with the same
+/// block kernels as the dense matrix (bit-identical scores); score ties
+/// resolve toward the candidate appearing first in the (deterministic)
+/// bucket-union order.
 pub fn blocked_greedy_match(
     sources: &[f32],
     targets: &[f32],
@@ -104,20 +112,51 @@ pub fn blocked_greedy_match(
     index: &LshIndex,
 ) -> BlockedMatch {
     assert_eq!(sources.len() % dim, 0);
+    assert_eq!(targets.len() % dim, 0);
     let n = sources.len() / dim;
+    let src_norms = metric.row_norms(sources, dim);
+    let dst_norms = metric.row_norms(targets, dim);
     let mut matches = Vec::with_capacity(n);
     let mut comparisons = 0usize;
+    // Gather buffers, reused across queries.
+    let mut tile = vec![0.0f32; DEFAULT_TILE * dim];
+    let mut tile_norms = vec![0.0f32; DEFAULT_TILE];
+    let mut scores = vec![0.0f32; DEFAULT_TILE];
     for i in 0..n {
         let q = &sources[i * dim..(i + 1) * dim];
+        let q_norm = src_norms.get(i).copied().unwrap_or(0.0);
         let cands = index.candidates(q);
         comparisons += cands.len();
-        let best = cands
-            .into_iter()
-            .map(|j| {
-                let t = &targets[j as usize * dim..(j as usize + 1) * dim];
-                (j, metric.similarity(q, t))
-            })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let mut best: Option<(u32, f32)> = None;
+        for batch in cands.chunks(DEFAULT_TILE) {
+            for (slot, &j) in batch.iter().enumerate() {
+                let j = j as usize;
+                tile[slot * dim..(slot + 1) * dim]
+                    .copy_from_slice(&targets[j * dim..(j + 1) * dim]);
+                if !dst_norms.is_empty() {
+                    tile_norms[slot] = dst_norms[j];
+                }
+            }
+            let out = &mut scores[..batch.len()];
+            metric.similarity_block(
+                q,
+                q_norm,
+                &tile[..batch.len() * dim],
+                if dst_norms.is_empty() {
+                    &[]
+                } else {
+                    &tile_norms[..batch.len()]
+                },
+                dim,
+                out,
+            );
+            for (slot, &s) in out.iter().enumerate() {
+                match best {
+                    Some((_, bs)) if score_desc(s, bs) != Ordering::Less => {}
+                    _ => best = Some((batch[slot], s)),
+                }
+            }
+        }
         matches.push(best.map(|(j, _)| j));
     }
     BlockedMatch {

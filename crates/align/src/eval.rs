@@ -2,7 +2,9 @@
 //! prediction conventions the field borrowed), precision/recall/F1 (the
 //! OAEI/conventional convention), and mean±std aggregation across folds.
 
-use crate::simmat::SimilarityMatrix;
+use crate::metric::Metric;
+use crate::simmat::{SimilarityMatrix, DEFAULT_TILE};
+use openea_runtime::pool::{balanced_chunk_len, parallel_chunks};
 use std::collections::HashSet;
 
 /// Ranking metrics over a test set. `hits[m]` is Hits@m.
@@ -32,6 +34,103 @@ pub fn rank_eval(sim: &SimilarityMatrix, gold: &[usize]) -> RankEval {
     let mut mrr = 0.0f64;
     for (i, &g) in gold.iter().enumerate() {
         let rank = sim.rank_of(i, g);
+        if rank <= 1 {
+            hits1 += 1;
+        }
+        if rank <= 5 {
+            hits5 += 1;
+        }
+        if rank <= 10 {
+            hits10 += 1;
+        }
+        mr += rank as f64;
+        mrr += 1.0 / rank as f64;
+    }
+    let n = gold.len() as f64;
+    RankEval {
+        hits1: hits1 as f64 / n,
+        hits5: hits5 as f64 / n,
+        hits10: hits10 as f64 / n,
+        mr: mr / n,
+        mrr: mrr / n,
+    }
+}
+
+/// Streaming [`rank_eval`]: computes the same ranking metrics directly from
+/// the embeddings without materializing the `rows × cols` similarity matrix.
+///
+/// Each row's gold score is computed once, then the row's similarities are
+/// streamed tile by tile and only the count of targets scoring at least the
+/// gold score is kept — O(tile) transient memory per worker. Scores come
+/// from the same block kernels as [`SimilarityMatrix::compute`], so the
+/// result equals `rank_eval(&SimilarityMatrix::compute(..), gold)` exactly.
+pub fn rank_eval_streaming(
+    src: &[f32],
+    dst: &[f32],
+    dim: usize,
+    metric: Metric,
+    gold: &[usize],
+    threads: usize,
+) -> RankEval {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(src.len() % dim, 0);
+    assert_eq!(dst.len() % dim, 0);
+    let rows = src.len() / dim;
+    let cols = dst.len() / dim;
+    assert_eq!(rows, gold.len(), "one gold target per source row");
+    if gold.is_empty() {
+        return RankEval::default();
+    }
+    let src_norms = metric.row_norms(src, dim);
+    let dst_norms = metric.row_norms(dst, dim);
+    let mut ranks = vec![0usize; rows];
+    let threads = threads.clamp(1, rows);
+    let chunk_rows = balanced_chunk_len(rows, threads, 4);
+    parallel_chunks(&mut ranks, chunk_rows, threads, |chunk_idx, out| {
+        let row0 = chunk_idx * chunk_rows;
+        let mut scores = vec![0.0f32; DEFAULT_TILE.min(cols)];
+        for (local, out_rank) in out.iter_mut().enumerate() {
+            let i = row0 + local;
+            let g = gold[i];
+            assert!(g < cols, "gold target {g} out of range for row {i}");
+            let a = &src[i * dim..(i + 1) * dim];
+            let a_norm = src_norms.get(i).copied().unwrap_or(0.0);
+            let s = metric.similarity(a, &dst[g * dim..(g + 1) * dim]);
+            // Ties count pessimistically (>=), matching `rank_of`.
+            let mut ahead = 0usize;
+            let mut j0 = 0;
+            while j0 < cols {
+                let j1 = (j0 + DEFAULT_TILE).min(cols);
+                let block = &mut scores[..j1 - j0];
+                metric.similarity_block(
+                    a,
+                    a_norm,
+                    &dst[j0 * dim..j1 * dim],
+                    if dst_norms.is_empty() {
+                        &[]
+                    } else {
+                        &dst_norms[j0..j1]
+                    },
+                    dim,
+                    block,
+                );
+                for (off, &x) in block.iter().enumerate() {
+                    if x >= s && j0 + off != g {
+                        ahead += 1;
+                    }
+                }
+                j0 = j1;
+            }
+            *out_rank = 1 + ahead;
+        }
+    });
+
+    let mut hits1 = 0usize;
+    let mut hits5 = 0usize;
+    let mut hits10 = 0usize;
+    let mut mr = 0.0f64;
+    let mut mrr = 0.0f64;
+    for &rank in &ranks {
         if rank <= 1 {
             hits1 += 1;
         }
@@ -165,6 +264,32 @@ mod tests {
     fn empty_test_set() {
         let sim = SimilarityMatrix::from_raw(0, 0, vec![]);
         assert_eq!(rank_eval(&sim, &[]), RankEval::default());
+    }
+
+    #[test]
+    fn streaming_rank_eval_equals_matrix_rank_eval() {
+        use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let dim = 5;
+        let src: Vec<f32> = (0..23 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let dst: Vec<f32> = (0..31 * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let gold: Vec<usize> = (0..23).map(|_| rng.gen_range(0..31u32) as usize).collect();
+        for metric in Metric::ALL {
+            let sim = SimilarityMatrix::compute(&src, &dst, dim, metric, 2);
+            let dense = rank_eval(&sim, &gold);
+            for threads in [1, 2, 8] {
+                let streamed = rank_eval_streaming(&src, &dst, dim, metric, &gold, threads);
+                assert_eq!(dense, streamed, "{} threads={threads}", metric.label());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_rank_eval_empty_test_set() {
+        assert_eq!(
+            rank_eval_streaming(&[], &[1.0, 0.0], 2, Metric::Cosine, &[], 4),
+            RankEval::default()
+        );
     }
 
     #[test]

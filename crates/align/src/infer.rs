@@ -10,6 +10,7 @@
 //!   by similarity, accept greedily under the 1-to-1 constraint.
 
 use crate::simmat::SimilarityMatrix;
+use crate::topk::TopKMatrix;
 
 /// Greedy nearest-neighbour: each source independently picks its most
 /// similar target (targets may be reused). Returns `match[i] = j`.
@@ -17,17 +18,29 @@ pub fn greedy_match(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
     (0..sim.rows()).map(|i| sim.argmax_row(i)).collect()
 }
 
+/// [`greedy_match`] over streamed top-k lists — never needs the full matrix.
+/// Identical to the dense result (both resolve ties toward the lowest
+/// target index).
+pub fn greedy_match_topk(topk: &TopKMatrix) -> Vec<Option<usize>> {
+    (0..topk.rows())
+        .map(|i| topk.best(i).map(|(j, _)| j))
+        .collect()
+}
+
 /// Gale–Shapley stable marriage with sources proposing. All similarities
-/// act as preferences; every source is matched when `rows <= cols`.
+/// act as preferences; every source is matched when `rows <= cols`. Equal
+/// preferences resolve toward the lower target index, and a target keeps its
+/// current partner unless the new proposal is strictly better.
 pub fn stable_marriage(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
     let rows = sim.rows();
     let cols = sim.cols();
-    // Preference lists: targets sorted by descending similarity per source.
+    // Preference lists: targets sorted by descending similarity per source,
+    // ties toward the lower index (the kernel layer's shared tie rule).
     let prefs: Vec<Vec<usize>> = (0..rows)
         .map(|i| {
             let row = sim.row(i);
             let mut idx: Vec<usize> = (0..cols).collect();
-            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
+            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite").then(a.cmp(&b)));
             idx
         })
         .collect();
@@ -51,6 +64,48 @@ pub fn stable_marriage(sim: &SimilarityMatrix) -> Vec<Option<usize>> {
                     if sim.get(i, j) > sim.get(other, j) {
                         // j dumps `other` for i.
                         source_of[j] = Some(i);
+                        target_of[i] = Some(j);
+                        target_of[other] = None;
+                        free.push(other);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    target_of
+}
+
+/// [`stable_marriage`] over streamed top-k preference lists: each source only
+/// proposes to its `k` best targets (a source whose list runs dry stays
+/// unmatched). Rows of a [`TopKMatrix`] are already sorted under the shared
+/// tie rule, so with `k ≥ cols` this reproduces the dense result exactly;
+/// truncated lists give the usual blocking-approximate variant at
+/// O(rows·k) memory.
+pub fn stable_marriage_topk(topk: &TopKMatrix) -> Vec<Option<usize>> {
+    let rows = topk.rows();
+    let cols = topk.cols();
+    let mut next_proposal = vec![0usize; rows];
+    let mut target_of = vec![None::<usize>; rows];
+    // Per target: the currently engaged source and its similarity.
+    let mut source_of = vec![None::<(usize, f32)>; cols];
+    let mut free: Vec<usize> = (0..rows).collect();
+
+    while let Some(i) = free.pop() {
+        let row = topk.row(i);
+        while next_proposal[i] < row.len() {
+            let (j, s) = row[next_proposal[i]];
+            let j = j as usize;
+            next_proposal[i] += 1;
+            match source_of[j] {
+                None => {
+                    source_of[j] = Some((i, s));
+                    target_of[i] = Some(j);
+                    break;
+                }
+                Some((other, other_s)) => {
+                    if s > other_s {
+                        source_of[j] = Some((i, s));
                         target_of[i] = Some(j);
                         target_of[other] = None;
                         free.push(other);
@@ -271,6 +326,36 @@ mod tests {
         assert!(stable_marriage(&m).is_empty());
         assert!(hungarian(&m).is_empty());
         assert!(greedy_collective(&m).is_empty());
+        let t = TopKMatrix::from_matrix(&m, 3);
+        assert!(greedy_match_topk(&t).is_empty());
+        assert!(stable_marriage_topk(&t).is_empty());
+    }
+
+    #[test]
+    fn topk_greedy_equals_dense_greedy() {
+        let m = mat(
+            3,
+            4,
+            vec![0.1, 0.9, 0.9, 0.2, 0.5, 0.5, 0.5, 0.5, 0.0, 0.1, 0.2, 0.3],
+        );
+        let t = TopKMatrix::from_matrix(&m, 1);
+        assert_eq!(greedy_match_topk(&t), greedy_match(&m));
+    }
+
+    #[test]
+    fn topk_stable_marriage_with_full_k_equals_dense() {
+        let m = mat(3, 3, vec![0.5, 0.9, 0.1, 0.4, 0.8, 0.3, 0.95, 0.2, 0.6]);
+        let t = TopKMatrix::from_matrix(&m, 3);
+        assert_eq!(stable_marriage_topk(&t), stable_marriage(&m));
+    }
+
+    #[test]
+    fn topk_stable_marriage_truncated_list_leaves_source_unmatched() {
+        // Both sources only want target 0; with k=1 the loser has nowhere
+        // else to propose.
+        let m = mat(2, 2, vec![0.9, 0.1, 0.8, 0.2]);
+        let t = TopKMatrix::from_matrix(&m, 1);
+        assert_eq!(stable_marriage_topk(&t), vec![Some(0), None]);
     }
 }
 

@@ -19,14 +19,21 @@ pub mod infer;
 pub mod metric;
 pub mod simmat;
 pub mod sinkhorn;
+pub mod topk;
 
 pub use analysis::{
     degree_bucket_recall, hubness_profile, overlap3, topk_similarity_profile, HubnessProfile,
     OverlapBreakdown,
 };
 pub use blocking::{blocked_greedy_match, BlockedMatch, LshIndex};
-pub use eval::{precision_recall_f1, rank_eval, MeanStd, PrfScores, RankEval};
-pub use infer::{greedy_collective, greedy_match, hungarian, stable_marriage};
+pub use eval::{precision_recall_f1, rank_eval, rank_eval_streaming, MeanStd, PrfScores, RankEval};
+pub use infer::{
+    greedy_collective, greedy_match, greedy_match_topk, hungarian, stable_marriage,
+    stable_marriage_topk,
+};
 pub use metric::Metric;
-pub use simmat::SimilarityMatrix;
-pub use sinkhorn::{sinkhorn_match, sinkhorn_plan, SinkhornConfig};
+pub use simmat::{SimilarityMatrix, DEFAULT_TILE};
+pub use sinkhorn::{
+    sinkhorn_match, sinkhorn_match_topk, sinkhorn_plan, sinkhorn_plan_topk, SinkhornConfig,
+};
+pub use topk::{csls_topk, TopKMatrix};

@@ -3,12 +3,17 @@
 
 use openea_math::vecops;
 
-/// The three distance metrics used across the 23 surveyed approaches
-/// (Table 1), as similarity functions.
+/// The distance metrics used across the 23 surveyed approaches (Table 1),
+/// as similarity functions, plus the raw inner product (the un-normalized
+/// score several neural approaches rank by).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Metric {
-    /// Cosine similarity.
+    /// Cosine similarity. Defined as 0 when either vector is zero (a zero
+    /// embedding has no direction; returning NaN here would silently poison
+    /// Hits@k downstream).
     Cosine,
+    /// Raw inner product (dot product).
+    Inner,
     /// Negated Euclidean distance.
     Euclidean,
     /// Negated Manhattan distance.
@@ -16,19 +21,92 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// Every metric, in a fixed order — for test matrices and benches.
+    pub const ALL: [Metric; 4] = [
+        Metric::Cosine,
+        Metric::Inner,
+        Metric::Euclidean,
+        Metric::Manhattan,
+    ];
+
     /// Similarity between two vectors; higher means more similar.
     #[inline]
     pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
         match self {
             Metric::Cosine => vecops::cosine(a, b),
+            Metric::Inner => vecops::dot(a, b),
             Metric::Euclidean => -vecops::euclidean(a, b),
             Metric::Manhattan => -vecops::manhattan(a, b),
+        }
+    }
+
+    /// Whether the tiled kernels need precomputed row norms for this metric.
+    #[inline]
+    pub fn needs_norms(self) -> bool {
+        matches!(self, Metric::Cosine)
+    }
+
+    /// Per-row L2 norms of a row-major `n × dim` buffer when this metric
+    /// needs them ([`Metric::needs_norms`]); empty otherwise.
+    pub fn row_norms(self, data: &[f32], dim: usize) -> Vec<f32> {
+        if self.needs_norms() {
+            vecops::row_norms(data, dim)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Similarities of one source row `a` against a contiguous row-major
+    /// `tile` of target rows, written to `out` (one value per tile row).
+    ///
+    /// `a_norm`/`tile_norms` are the precomputed norms from
+    /// [`Metric::row_norms`] and are only read for norm-using metrics. Each
+    /// output is bit-identical to [`Metric::similarity`] on the same pair —
+    /// the per-pair accumulation order never changes.
+    #[inline]
+    pub fn similarity_block(
+        self,
+        a: &[f32],
+        a_norm: f32,
+        tile: &[f32],
+        tile_norms: &[f32],
+        dim: usize,
+        out: &mut [f32],
+    ) {
+        match self {
+            Metric::Cosine => vecops::cosine_block(a, a_norm, tile, tile_norms, dim, out),
+            Metric::Inner => vecops::inner_block(a, tile, dim, out),
+            Metric::Euclidean => vecops::neg_euclidean_block(a, tile, dim, out),
+            Metric::Manhattan => vecops::neg_manhattan_block(a, tile, dim, out),
+        }
+    }
+
+    /// [`Metric::similarity_block`] over a *dimension-major* tile produced
+    /// by [`vecops::transpose_tile`] — the hot-loop variant: the caller
+    /// transposes each tile once per chunk and every source row then runs a
+    /// contiguous SIMD sweep over independent columns. Output bits are
+    /// identical to the row-major path.
+    #[inline]
+    pub fn similarity_block_t(
+        self,
+        a: &[f32],
+        a_norm: f32,
+        tile_t: &[f32],
+        tile_norms: &[f32],
+        out: &mut [f32],
+    ) {
+        match self {
+            Metric::Cosine => vecops::cosine_block_t(a, a_norm, tile_t, tile_norms, out),
+            Metric::Inner => vecops::inner_block_t(a, tile_t, out),
+            Metric::Euclidean => vecops::neg_euclidean_block_t(a, tile_t, out),
+            Metric::Manhattan => vecops::neg_manhattan_block_t(a, tile_t, out),
         }
     }
 
     pub fn label(self) -> &'static str {
         match self {
             Metric::Cosine => "cosine",
+            Metric::Inner => "inner",
             Metric::Euclidean => "euclidean",
             Metric::Manhattan => "manhattan",
         }
@@ -66,5 +144,65 @@ mod tests {
         let v = [1.0f32, 2.0, 3.0];
         let w = [2.0f32, 4.0, 6.0];
         assert!((Metric::Cosine.similarity(&v, &w) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inner_is_the_raw_dot_product() {
+        let v = [1.0f32, 2.0, 3.0];
+        let w = [2.0f32, -1.0, 0.5];
+        assert_eq!(Metric::Inner.similarity(&v, &w), 2.0 - 2.0 + 1.5);
+    }
+
+    /// Regression: cosine on a zero vector is 0.0, never NaN — a NaN here
+    /// would propagate through the similarity matrix into Hits@k.
+    #[test]
+    fn cosine_of_zero_vector_is_zero_not_nan() {
+        let zero = [0.0f32, 0.0, 0.0];
+        let v = [1.0f32, -2.0, 0.5];
+        assert_eq!(Metric::Cosine.similarity(&zero, &v), 0.0);
+        assert_eq!(Metric::Cosine.similarity(&v, &zero), 0.0);
+        assert_eq!(Metric::Cosine.similarity(&zero, &zero), 0.0);
+        // And the block kernel agrees.
+        let norms = Metric::Cosine.row_norms(&zero, 3);
+        let mut out = [f32::NAN];
+        Metric::Cosine.similarity_block(&v, vecops::norm2(&v), &zero, &norms, 3, &mut out);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn all_lists_every_metric_once() {
+        assert_eq!(Metric::ALL.len(), 4);
+        for (i, a) in Metric::ALL.iter().enumerate() {
+            for b in &Metric::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn block_dispatch_matches_similarity() {
+        let a = [0.3f32, -0.7, 1.1, 0.0];
+        let tile: Vec<f32> = (0..3 * 4).map(|x| ((x * 7 % 5) as f32) - 2.0).collect();
+        for m in Metric::ALL {
+            let tile_norms = m.row_norms(&tile, 4);
+            let a_norm = if m.needs_norms() {
+                vecops::norm2(&a)
+            } else {
+                0.0
+            };
+            let mut out = [0.0f32; 3];
+            m.similarity_block(&a, a_norm, &tile, &tile_norms, 4, &mut out);
+            for (j, b) in tile.chunks_exact(4).enumerate() {
+                assert_eq!(out[j], m.similarity(&a, b), "{} col {j}", m.label());
+            }
+            // The transposed dispatch produces the same bits.
+            let mut tile_t = Vec::new();
+            vecops::transpose_tile(&tile, 4, &mut tile_t);
+            let mut out_t = [0.0f32; 3];
+            m.similarity_block_t(&a, a_norm, &tile_t, &tile_norms, &mut out_t);
+            for j in 0..3 {
+                assert_eq!(out_t[j].to_bits(), out[j].to_bits(), "{}", m.label());
+            }
+        }
     }
 }

@@ -2,7 +2,10 @@
 //!
 //! Computing all pairwise similarities is the dominant inference cost (the
 //! paper reports ~8 minutes on a 100K dataset with 10 processes), so the
-//! matrix is built in parallel with scoped threads.
+//! matrix is built by cache-tiled block kernels dispatched in parallel over
+//! scoped threads. See the "Kernel layer" section of DESIGN.md for the
+//! tiling scheme and determinism contract; [`crate::topk`] holds the
+//! streaming path that avoids materializing the matrix at all.
 //!
 //! ```
 //! use openea_align::{Metric, SimilarityMatrix};
@@ -15,7 +18,15 @@
 //! ```
 
 use crate::metric::Metric;
+use crate::topk::{push_topk, score_desc, TopKMatrix};
+use openea_math::vecops;
 use openea_runtime::pool::{balanced_chunk_len, parallel_chunks};
+
+/// Default column-tile width for the block kernels. 64 targets × 64 dims of
+/// `f32` is 16 KB — the tile stays resident in L1 while a source row streams
+/// against it. Results are tile-size invariant (`tests/kernel_equivalence.rs`
+/// pins this), so the constant only tunes cache behavior.
+pub const DEFAULT_TILE: usize = 64;
 
 /// A dense `sources × targets` similarity matrix.
 #[derive(Clone, Debug)]
@@ -28,8 +39,88 @@ pub struct SimilarityMatrix {
 impl SimilarityMatrix {
     /// Computes all pairwise similarities between `src` (row-major
     /// `rows × dim`) and `dst` (`cols × dim`) under `metric`, using up to
-    /// `threads` worker threads.
+    /// `threads` worker threads and the default tile size.
     pub fn compute(src: &[f32], dst: &[f32], dim: usize, metric: Metric, threads: usize) -> Self {
+        Self::compute_tiled(src, dst, dim, metric, threads, DEFAULT_TILE)
+    }
+
+    /// [`SimilarityMatrix::compute`] with an explicit column-tile size.
+    ///
+    /// Each output element is a pure function of its `(i, j)` pair — the
+    /// per-pair accumulation order inside the block kernels matches
+    /// [`Metric::similarity`] exactly — so results are bit-identical across
+    /// tile sizes and thread counts.
+    pub fn compute_tiled(
+        src: &[f32],
+        dst: &[f32],
+        dim: usize,
+        metric: Metric,
+        threads: usize,
+        tile: usize,
+    ) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(tile > 0, "tile must be positive");
+        assert_eq!(src.len() % dim, 0);
+        assert_eq!(dst.len() % dim, 0);
+        let rows = src.len() / dim;
+        let cols = dst.len() / dim;
+        let mut data = vec![0.0f32; rows * cols];
+        if rows == 0 || cols == 0 {
+            return Self { rows, cols, data };
+        }
+        let threads = threads.clamp(1, rows);
+        let src_norms = metric.row_norms(src, dim);
+        let dst_norms = metric.row_norms(dst, dim);
+
+        // Chunk at row granularity — several chunks per worker so the pool's
+        // stealing absorbs per-row cost skew. Chunk boundaries (and therefore
+        // results) depend only on `rows`, never on the thread count. Within a
+        // chunk the column tile is the outer loop: one tile of targets stays
+        // hot in cache while every row of the chunk streams against it.
+        let chunk_rows = balanced_chunk_len(rows, threads, 4);
+        parallel_chunks(
+            &mut data,
+            chunk_rows * cols,
+            threads,
+            |chunk_idx, out_chunk| {
+                let row0 = chunk_idx * chunk_rows;
+                let chunk_len = out_chunk.len() / cols;
+                let mut tile_t = Vec::new();
+                let mut j0 = 0;
+                while j0 < cols {
+                    let j1 = (j0 + tile).min(cols);
+                    // Transposed once per tile, amortized over the chunk's
+                    // rows: the block kernel then sweeps contiguous lanes.
+                    vecops::transpose_tile(&dst[j0 * dim..j1 * dim], dim, &mut tile_t);
+                    let tn: &[f32] = if dst_norms.is_empty() {
+                        &[]
+                    } else {
+                        &dst_norms[j0..j1]
+                    };
+                    for local in 0..chunk_len {
+                        let i = row0 + local;
+                        let a = &src[i * dim..(i + 1) * dim];
+                        let a_norm = src_norms.get(i).copied().unwrap_or(0.0);
+                        let out = &mut out_chunk[local * cols + j0..local * cols + j1];
+                        metric.similarity_block_t(a, a_norm, &tile_t, tn, out);
+                    }
+                    j0 = j1;
+                }
+            },
+        );
+
+        Self { rows, cols, data }
+    }
+
+    /// Reference kernel: the straightforward per-pair loop the tiled path
+    /// must match bit for bit. Kept for the equivalence suite and benches.
+    pub fn compute_naive(
+        src: &[f32],
+        dst: &[f32],
+        dim: usize,
+        metric: Metric,
+        threads: usize,
+    ) -> Self {
         assert!(dim > 0, "dim must be positive");
         assert_eq!(src.len() % dim, 0);
         assert_eq!(dst.len() % dim, 0);
@@ -40,10 +131,6 @@ impl SimilarityMatrix {
             return Self { rows, cols, data };
         }
         let threads = threads.clamp(1, rows);
-
-        // Chunk at row granularity — several chunks per worker so the pool's
-        // stealing absorbs per-row cost skew. Chunk boundaries (and therefore
-        // results) depend only on `rows`, never on the thread count.
         let chunk_rows = balanced_chunk_len(rows, threads, 4);
         parallel_chunks(
             &mut data,
@@ -89,27 +176,32 @@ impl SimilarityMatrix {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Index of the most similar target for source `i`.
+    /// Index of the most similar target for source `i` — the lowest such
+    /// index when several targets tie, matching the top-k tie rule.
     pub fn argmax_row(&self, i: usize) -> Option<usize> {
         let row = self.row(i);
-        row.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("similarities are finite"))
-            .map(|(j, _)| j)
+        let mut best: Option<(usize, f32)> = None;
+        for (j, &s) in row.iter().enumerate() {
+            match best {
+                Some((_, bs)) if score_desc(s, bs) != std::cmp::Ordering::Less => {}
+                _ => best = Some((j, s)),
+            }
+        }
+        best.map(|(j, _)| j)
     }
 
-    /// The `k` most similar targets for source `i`, most similar first.
+    /// The `k` most similar targets for source `i`, most similar first; ties
+    /// break toward the lowest target index (a stable argsort prefix).
     pub fn topk_row(&self, i: usize, k: usize) -> Vec<(usize, f32)> {
         let row = self.row(i);
         let k = k.min(self.cols);
-        if k == 0 {
-            return Vec::new();
+        let mut acc: Vec<(u32, f32)> = Vec::with_capacity(k);
+        if k > 0 {
+            for (j, &s) in row.iter().enumerate() {
+                push_topk(&mut acc, k, j as u32, s);
+            }
         }
-        let mut idx: Vec<usize> = (0..self.cols).collect();
-        idx.select_nth_unstable_by(k - 1, |&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
-        idx.truncate(k);
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
-        idx.into_iter().map(|j| (j, row[j])).collect()
+        acc.into_iter().map(|(j, s)| (j as usize, s)).collect()
     }
 
     /// The rank (1-based) of target `j` among all targets for source `i`,
@@ -128,42 +220,15 @@ impl SimilarityMatrix {
     /// is the mean similarity of source `i` to its `k` nearest targets and
     /// `ψ_s(j)` symmetrically. Hubs (targets near everything) get globally
     /// penalized; isolated targets get boosted.
+    ///
+    /// The ψ means are built from the same top-k selection as the streaming
+    /// [`crate::topk::csls_topk`] (same candidates, same summation order), so
+    /// the two paths agree bitwise when the streaming path keeps every
+    /// column.
     pub fn csls(&self, k: usize) -> SimilarityMatrix {
         let k = k.max(1);
-        let psi_src: Vec<f32> = (0..self.rows)
-            .map(|i| {
-                let top = self.topk_row(i, k);
-                top.iter().map(|&(_, s)| s).sum::<f32>() / top.len().max(1) as f32
-            })
-            .collect();
-        let mut psi_dst = vec![Vec::with_capacity(k + 1); self.cols];
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for (j, &s) in row.iter().enumerate() {
-                // Maintain the top-k incoming similarities per target.
-                let v = &mut psi_dst[j];
-                if v.len() < k {
-                    v.push(s);
-                    if v.len() == k {
-                        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                    }
-                } else if s > v[0] {
-                    v[0] = s;
-                    let mut m = 0;
-                    while m + 1 < v.len() && v[m] > v[m + 1] {
-                        v.swap(m, m + 1);
-                        m += 1;
-                    }
-                }
-            }
-        }
-        let psi_dst: Vec<f32> = psi_dst
-            .into_iter()
-            .map(|v| {
-                let n = v.len().max(1) as f32;
-                v.iter().sum::<f32>() / n
-            })
-            .collect();
+        let psi_src = TopKMatrix::from_matrix(self, k).neighborhood_means(k);
+        let psi_dst = TopKMatrix::from_matrix_cols(self, k).neighborhood_means(k);
 
         let mut data = Vec::with_capacity(self.rows * self.cols);
         #[allow(clippy::needless_range_loop)] // multi-array indexed math reads clearer
@@ -195,15 +260,28 @@ mod tests {
     #[test]
     fn compute_matches_direct_metric() {
         let (src, dst) = embeddings();
-        for metric in [Metric::Cosine, Metric::Euclidean, Metric::Manhattan] {
+        for metric in Metric::ALL {
             let m = SimilarityMatrix::compute(&src, &dst, 2, metric, 2);
             assert_eq!(m.rows(), 3);
             assert_eq!(m.cols(), 3);
             for i in 0..3 {
                 for j in 0..3 {
                     let expect = metric.similarity(&src[i * 2..i * 2 + 2], &dst[j * 2..j * 2 + 2]);
-                    assert!((m.get(i, j) - expect).abs() < 1e-6);
+                    assert_eq!(m.get(i, j), expect, "{} ({i},{j})", metric.label());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_equals_naive_bitwise() {
+        let src: Vec<f32> = (0..40).map(|x| (x as f32).sin()).collect();
+        let dst: Vec<f32> = (0..36).map(|x| (x as f32).cos()).collect();
+        for metric in Metric::ALL {
+            let naive = SimilarityMatrix::compute_naive(&src, &dst, 4, metric, 1);
+            for tile in [1, 3, 64] {
+                let tiled = SimilarityMatrix::compute_tiled(&src, &dst, 4, metric, 2, tile);
+                assert_eq!(naive.data, tiled.data, "{} tile={tile}", metric.label());
             }
         }
     }
@@ -252,6 +330,12 @@ mod tests {
     }
 
     #[test]
+    fn argmax_ties_break_toward_lowest_index() {
+        let m = SimilarityMatrix::from_raw(1, 4, vec![0.3, 0.9, 0.9, 0.1]);
+        assert_eq!(m.argmax_row(0), Some(1));
+    }
+
+    #[test]
     fn topk_is_sorted_descending() {
         let m = SimilarityMatrix::from_raw(1, 5, vec![0.1, 0.9, 0.5, 0.7, 0.3]);
         let top = m.topk_row(0, 3);
@@ -261,6 +345,16 @@ mod tests {
         );
         let all = m.topk_row(0, 10);
         assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn topk_ties_are_stable() {
+        let m = SimilarityMatrix::from_raw(1, 5, vec![0.5, 0.9, 0.5, 0.9, 0.5]);
+        let top = m.topk_row(0, 4);
+        assert_eq!(
+            top.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+            vec![1, 3, 0, 2]
+        );
     }
 
     #[test]

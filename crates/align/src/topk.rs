@@ -1,0 +1,409 @@
+//! Streaming top-k similarity search — the O(n·k) companion to the dense
+//! [`SimilarityMatrix`](crate::simmat::SimilarityMatrix).
+//!
+//! Hits@k evaluation, CSLS neighborhood means, greedy/stable-marriage
+//! inference and BootEA's candidate refresh only ever need the `k` best
+//! targets per source, yet the dense path materializes all `n × m` scores
+//! (354 MB of `f32` at 9600×9600 — and quadratically worse on the
+//! 100K-analog grid). [`TopKMatrix`] runs the same tiled block kernels but
+//! folds each tile of scores straight into a per-row top-k accumulator, so
+//! memory is O(rows × k) regardless of the target count.
+//!
+//! ## Determinism contract
+//!
+//! * Scores are bit-identical to the dense kernels (same per-pair
+//!   accumulation order; the tile size only changes the loop structure).
+//! * Each row is sorted by descending score; **ties break toward the lowest
+//!   target index** — exactly a stable argsort of the full row. NaN scores
+//!   (impossible for the built-in metrics, which define cosine of a zero
+//!   vector as 0) order after every finite score instead of poisoning a
+//!   comparison.
+//! * Results are invariant to thread count and tile size; the
+//!   kernel-equivalence suite and `tests/determinism.rs` pin both.
+
+use crate::metric::Metric;
+use crate::simmat::{SimilarityMatrix, DEFAULT_TILE};
+use openea_math::vecops;
+use openea_runtime::pool::{balanced_chunk_len, parallel_chunks};
+use std::cmp::Ordering;
+
+/// Descending score order with NaN sorted last — the one comparator every
+/// kernel, accumulator and test shares.
+#[inline]
+pub(crate) fn score_desc(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        _ => b.partial_cmp(&a).expect("both finite"),
+    }
+}
+
+/// Pushes `(idx, score)` into `acc`, keeping at most `k` entries sorted by
+/// descending score with ties toward the lower index. Callers feed indices
+/// in ascending order, so inserting *after* equal scores preserves the
+/// lowest-index-wins rule.
+#[inline]
+pub(crate) fn push_topk(acc: &mut Vec<(u32, f32)>, k: usize, idx: u32, score: f32) {
+    debug_assert!(acc.last().is_none_or(|&(i, _)| i < idx), "indices ascend");
+    if acc.len() == k {
+        match acc.last() {
+            Some(&(_, worst)) if score_desc(worst, score) == Ordering::Greater => {
+                acc.pop();
+            }
+            _ => return,
+        }
+    }
+    let pos = acc.partition_point(|&(_, s)| score_desc(s, score) != Ordering::Greater);
+    acc.insert(pos, (idx, score));
+}
+
+/// The `k` most similar targets of every source row, most similar first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKMatrix {
+    rows: usize,
+    cols: usize,
+    /// Entries kept per row: `min(requested k, cols)`.
+    k: usize,
+    /// Row-major `rows × k` `(target index, score)` pairs.
+    entries: Vec<(u32, f32)>,
+}
+
+impl TopKMatrix {
+    /// Streams the `src × dst` similarities under `metric` tile by tile and
+    /// keeps the `k` best targets per source row, never materializing the
+    /// full matrix. Scores are bit-identical to
+    /// [`SimilarityMatrix::compute`].
+    pub fn compute(
+        src: &[f32],
+        dst: &[f32],
+        dim: usize,
+        metric: Metric,
+        k: usize,
+        threads: usize,
+    ) -> Self {
+        Self::compute_tiled(src, dst, dim, metric, k, threads, DEFAULT_TILE)
+    }
+
+    /// [`TopKMatrix::compute`] with an explicit tile size (results are
+    /// tile-size invariant; the size only tunes cache behavior).
+    pub fn compute_tiled(
+        src: &[f32],
+        dst: &[f32],
+        dim: usize,
+        metric: Metric,
+        k: usize,
+        threads: usize,
+        tile: usize,
+    ) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert!(tile > 0, "tile must be positive");
+        assert_eq!(src.len() % dim, 0);
+        assert_eq!(dst.len() % dim, 0);
+        let rows = src.len() / dim;
+        let cols = dst.len() / dim;
+        let k = k.min(cols);
+        if rows == 0 || k == 0 {
+            return Self {
+                rows,
+                cols,
+                k,
+                entries: Vec::new(),
+            };
+        }
+        let src_norms = metric.row_norms(src, dim);
+        let dst_norms = metric.row_norms(dst, dim);
+        let mut entries = vec![(0u32, 0.0f32); rows * k];
+        let threads = threads.clamp(1, rows);
+        let chunk_rows = balanced_chunk_len(rows, threads, 4);
+        parallel_chunks(&mut entries, chunk_rows * k, threads, |chunk_idx, out| {
+            let row0 = chunk_idx * chunk_rows;
+            let chunk_len = out.len() / k;
+            let mut scores = vec![0.0f32; tile.min(cols)];
+            let mut tile_t = Vec::new();
+            // Tile-outer / row-inner so the transpose is amortized over the
+            // chunk's rows. Each row's accumulator still sees target indices
+            // in ascending order (tiles advance left to right), which is what
+            // `push_topk`'s tie rule relies on.
+            let mut accs: Vec<Vec<(u32, f32)>> = vec![Vec::with_capacity(k); chunk_len];
+            let mut j0 = 0;
+            while j0 < cols {
+                let j1 = (j0 + tile).min(cols);
+                vecops::transpose_tile(&dst[j0 * dim..j1 * dim], dim, &mut tile_t);
+                let tn: &[f32] = if dst_norms.is_empty() {
+                    &[]
+                } else {
+                    &dst_norms[j0..j1]
+                };
+                for (local, acc) in accs.iter_mut().enumerate() {
+                    let i = row0 + local;
+                    let a = &src[i * dim..(i + 1) * dim];
+                    let a_norm = src_norms.get(i).copied().unwrap_or(0.0);
+                    let block = &mut scores[..j1 - j0];
+                    metric.similarity_block_t(a, a_norm, &tile_t, tn, block);
+                    for (off, &s) in block.iter().enumerate() {
+                        push_topk(acc, k, (j0 + off) as u32, s);
+                    }
+                }
+                j0 = j1;
+            }
+            for (out_row, acc) in out.chunks_mut(k).zip(&accs) {
+                out_row.copy_from_slice(acc);
+            }
+        });
+        Self {
+            rows,
+            cols,
+            k,
+            entries,
+        }
+    }
+
+    /// Top-k of every *row* of an already-materialized matrix — same
+    /// selection and tie rule as the streaming path.
+    pub fn from_matrix(sim: &SimilarityMatrix, k: usize) -> Self {
+        let (rows, cols) = (sim.rows(), sim.cols());
+        let k = k.min(cols);
+        let mut entries = Vec::with_capacity(rows * k);
+        let mut acc: Vec<(u32, f32)> = Vec::with_capacity(k);
+        for i in 0..rows {
+            acc.clear();
+            for (j, &s) in sim.row(i).iter().enumerate() {
+                push_topk(&mut acc, k, j as u32, s);
+            }
+            entries.extend_from_slice(&acc);
+        }
+        Self {
+            rows,
+            cols,
+            k,
+            entries,
+        }
+    }
+
+    /// Top-k of every *column* of an already-materialized matrix: row `j` of
+    /// the result lists the `k` sources most similar to target `j`.
+    pub fn from_matrix_cols(sim: &SimilarityMatrix, k: usize) -> Self {
+        let (rows, cols) = (sim.rows(), sim.cols());
+        let k = k.min(rows);
+        let mut accs: Vec<Vec<(u32, f32)>> = vec![Vec::with_capacity(k); cols];
+        if k > 0 {
+            for i in 0..rows {
+                for (j, &s) in sim.row(i).iter().enumerate() {
+                    push_topk(&mut accs[j], k, i as u32, s);
+                }
+            }
+        }
+        let mut entries = Vec::with_capacity(cols * k);
+        for acc in &accs {
+            entries.extend_from_slice(acc);
+        }
+        Self {
+            rows: cols,
+            cols: rows,
+            k,
+            entries,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The total number of candidate targets (not the kept count).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entries kept per row (`min(requested k, cols)`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The kept `(target, score)` pairs of source `i`, most similar first.
+    pub fn row(&self, i: usize) -> &[(u32, f32)] {
+        &self.entries[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The best target of source `i` (lowest index on ties), if any.
+    pub fn best(&self, i: usize) -> Option<(usize, f32)> {
+        if self.k == 0 {
+            return None;
+        }
+        let (j, s) = self.row(i)[0];
+        Some((j as usize, s))
+    }
+
+    /// CSLS neighborhood means: per row, the mean of its `min(k, kept)` best
+    /// scores (ψ of Eq. 7). Rows with no entries get 0.
+    pub fn neighborhood_means(&self, k: usize) -> Vec<f32> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let take = k.min(row.len());
+                let sum: f32 = row[..take].iter().map(|&(_, s)| s).sum();
+                sum / take.max(1) as f32
+            })
+            .collect()
+    }
+
+    /// Applies the CSLS rescaling (Eq. 7) to every kept entry:
+    /// `2·s − psi_src[i] − psi_dst[j]`, re-sorting each row under the same
+    /// descending-score, lowest-index-wins order.
+    pub fn rescaled(&self, psi_src: &[f32], psi_dst: &[f32]) -> TopKMatrix {
+        assert_eq!(psi_src.len(), self.rows);
+        assert_eq!(psi_dst.len(), self.cols);
+        let mut entries = self.entries.clone();
+        for (i, row) in entries
+            .chunks_mut(self.k.max(1))
+            .take(self.rows)
+            .enumerate()
+        {
+            for e in row.iter_mut() {
+                e.1 = 2.0 * e.1 - psi_src[i] - psi_dst[e.0 as usize];
+            }
+            row.sort_by(|a, b| score_desc(a.1, b.1).then(a.0.cmp(&b.0)));
+        }
+        TopKMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            k: self.k,
+            entries,
+        }
+    }
+}
+
+/// Streaming CSLS: computes the forward top-`keep` lists, both ψ
+/// neighborhood-mean vectors (via a backward top-k pass over `dst × src`)
+/// and returns the rescaled, re-ranked lists — all without materializing
+/// the `n × m` matrix.
+///
+/// With `keep ≥ cols` this is exactly
+/// [`SimilarityMatrix::csls`](crate::simmat::SimilarityMatrix::csls)
+/// restricted to per-row argsorts (bit-identical scores); smaller `keep`
+/// trades exactness at the re-ranking boundary for O(rows·keep) memory.
+pub fn csls_topk(
+    src: &[f32],
+    dst: &[f32],
+    dim: usize,
+    metric: Metric,
+    k: usize,
+    keep: usize,
+    threads: usize,
+) -> TopKMatrix {
+    let k = k.max(1);
+    let fwd = TopKMatrix::compute(src, dst, dim, metric, keep.max(k), threads);
+    let bwd = TopKMatrix::compute(dst, src, dim, metric, k, threads);
+    let psi_src = fwd.neighborhood_means(k);
+    let psi_dst = bwd.neighborhood_means(k);
+    fwd.rescaled(&psi_src, &psi_dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embeddings(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn matches_full_matrix_argsort() {
+        let src = embeddings(9, 4, 1);
+        let dst = embeddings(13, 4, 2);
+        for metric in Metric::ALL {
+            let sim = SimilarityMatrix::compute(&src, &dst, 4, metric, 1);
+            let topk = TopKMatrix::compute(&src, &dst, 4, metric, 5, 1);
+            for i in 0..9 {
+                let row = sim.row(i);
+                let mut idx: Vec<u32> = (0..13u32).collect();
+                idx.sort_by(|&a, &b| score_desc(row[a as usize], row[b as usize]).then(a.cmp(&b)));
+                let expect: Vec<(u32, f32)> =
+                    idx[..5].iter().map(|&j| (j, row[j as usize])).collect();
+                assert_eq!(topk.row(i), &expect[..], "{} row {i}", metric.label());
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_lowest_index() {
+        // Columns 1 and 3 tie for best; 0 and 4 tie for third.
+        let sim = SimilarityMatrix::from_raw(1, 5, vec![0.2, 0.9, 0.1, 0.9, 0.2]);
+        let t = TopKMatrix::from_matrix(&sim, 3);
+        assert_eq!(t.row(0), &[(1, 0.9), (3, 0.9), (0, 0.2)]);
+    }
+
+    #[test]
+    fn k_zero_and_empty_inputs() {
+        let src = embeddings(3, 2, 3);
+        let t = TopKMatrix::compute(&src, &src, 2, Metric::Cosine, 0, 2);
+        assert_eq!((t.rows(), t.cols(), t.k()), (3, 3, 0));
+        assert_eq!(t.row(0), &[]);
+        assert_eq!(t.best(0), None);
+        let t = TopKMatrix::compute(&[], &src, 2, Metric::Cosine, 4, 2);
+        assert_eq!((t.rows(), t.k()), (0, 3.min(4)));
+        let t = TopKMatrix::compute(&src, &[], 2, Metric::Cosine, 4, 2);
+        assert_eq!((t.rows(), t.cols(), t.k()), (3, 0, 0));
+        assert_eq!(t.best(1), None);
+    }
+
+    #[test]
+    fn k_larger_than_cols_keeps_every_target() {
+        let src = embeddings(4, 3, 4);
+        let dst = embeddings(6, 3, 5);
+        let t = TopKMatrix::compute(&src, &dst, 3, Metric::Euclidean, 100, 1);
+        assert_eq!(t.k(), 6);
+        for i in 0..4 {
+            let mut seen: Vec<u32> = t.row(i).iter().map(|&(j, _)| j).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn column_topk_transposes_row_topk() {
+        let src = embeddings(7, 3, 6);
+        let dst = embeddings(5, 3, 7);
+        let sim = SimilarityMatrix::compute(&src, &dst, 3, Metric::Cosine, 1);
+        let cols = TopKMatrix::from_matrix_cols(&sim, 3);
+        // Row j of the column top-k == streaming top-k of dst row j vs src.
+        let back = TopKMatrix::compute(&dst, &src, 3, Metric::Cosine, 3, 1);
+        assert_eq!(cols, back);
+    }
+
+    #[test]
+    fn csls_topk_with_full_keep_matches_dense_csls() {
+        let src = embeddings(8, 4, 8);
+        let dst = embeddings(6, 4, 9);
+        for metric in Metric::ALL {
+            let sim = SimilarityMatrix::compute(&src, &dst, 4, metric, 2);
+            let dense = sim.csls(3);
+            let streamed = csls_topk(&src, &dst, 4, metric, 3, 6, 2);
+            for i in 0..8 {
+                let row = dense.row(i);
+                let mut idx: Vec<u32> = (0..6u32).collect();
+                idx.sort_by(|&a, &b| score_desc(row[a as usize], row[b as usize]).then(a.cmp(&b)));
+                for (rank, &j) in idx.iter().enumerate() {
+                    let (tj, ts) = streamed.row(i)[rank];
+                    assert_eq!(tj, j, "{} row {i} rank {rank}", metric.label());
+                    assert_eq!(
+                        ts,
+                        row[j as usize],
+                        "{} row {i} rank {rank}",
+                        metric.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_scores_sort_last_without_panicking() {
+        let sim = SimilarityMatrix::from_raw(1, 4, vec![0.5, f32::NAN, 0.7, f32::NAN]);
+        let t = TopKMatrix::from_matrix(&sim, 4);
+        let idx: Vec<u32> = t.row(0).iter().map(|&(j, _)| j).collect();
+        assert_eq!(idx, vec![2, 0, 1, 3]);
+    }
+}

@@ -33,8 +33,8 @@ pub fn propose_alignment(
     if cand1.is_empty() || cand2.is_empty() {
         return Vec::new();
     }
-    let sim = out.similarity(cand1, cand2, threads);
     if editing {
+        let sim = out.similarity(cand1, cand2, threads);
         greedy_collective(&sim)
             .into_iter()
             .enumerate()
@@ -44,10 +44,13 @@ pub fn propose_alignment(
             })
             .collect()
     } else {
+        // Per-source nearest neighbour only needs k = 1: stream it instead
+        // of materializing the |cand1| × |cand2| matrix.
+        let topk = out.topk(cand1, cand2, 1, threads);
         (0..cand1.len())
             .filter_map(|i| {
-                let j = sim.argmax_row(i)?;
-                (sim.get(i, j) >= threshold).then_some((cand1[i], cand2[j]))
+                let (j, s) = topk.best(i)?;
+                (s >= threshold).then_some((cand1[i], cand2[j]))
             })
             .collect()
     }

@@ -10,13 +10,11 @@ use crate::common::{
     augmentation_quality, calibrate, validation_hits1, Approach, ApproachOutput, Combination,
     EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
 };
-use openea_align::Metric;
+use openea_align::{Metric, TopKMatrix};
 use openea_core::{EntityId, FoldSplit, KgPair};
 use openea_math::negsamp::{RawTriple, TruncatedSampler, UniformSampler};
-use openea_math::vecops;
 use openea_models::translational::LossKind;
 use openea_models::{train_epoch, RelationModel, TransE};
-use openea_runtime::pool;
 use openea_runtime::rng::SeedableRng;
 use openea_runtime::rng::SmallRng;
 use std::collections::HashSet;
@@ -47,45 +45,28 @@ impl Default for BootEa {
 
 impl BootEa {
     /// Rebuilds the per-entity hard-negative candidate lists from the
-    /// current embeddings (the "truncated ε-sampling" of the paper).
+    /// current embeddings (the "truncated ε-sampling" of the paper): the
+    /// σ most cosine-similar entities per entity, excluding self, via the
+    /// streaming top-k kernel (k = σ+1 so the self hit can be dropped).
     fn refresh_sampler(&self, model: &TransE, threads: usize) -> TruncatedSampler {
         let table = model.entities();
         let n = table.count();
         let sigma = TruncatedSampler::truncation_size(n, self.epsilon).min(64);
-        let dim = table.dim();
+        if n == 0 || sigma == 0 {
+            return TruncatedSampler::new(vec![Vec::new(); n]);
+        }
         let data = table.data();
-        let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let chunk = pool::balanced_chunk_len(n, threads.max(1), 4);
-        pool::parallel_chunks(&mut candidates, chunk, threads, |chunk_idx, out_chunk| {
-            let base = chunk_idx * chunk;
-            // Top-σ most-similar entities per entity (excluding self).
-            let mut heap: Vec<(f32, u32)> = Vec::with_capacity(sigma + 1);
-            for (local, out) in out_chunk.iter_mut().enumerate() {
-                let e = base + local;
-                let ev = &data[e * dim..(e + 1) * dim];
-                heap.clear();
-                for o in 0..n {
-                    if o == e {
-                        continue;
-                    }
-                    let s = vecops::cosine(ev, &data[o * dim..(o + 1) * dim]);
-                    if heap.len() < sigma {
-                        heap.push((s, o as u32));
-                        if heap.len() == sigma {
-                            heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-                        }
-                    } else if s > heap[0].0 {
-                        heap[0] = (s, o as u32);
-                        let mut i = 0;
-                        while i + 1 < heap.len() && heap[i].0 > heap[i + 1].0 {
-                            heap.swap(i, i + 1);
-                            i += 1;
-                        }
-                    }
-                }
-                *out = heap.iter().map(|&(_, o)| o).collect();
-            }
-        });
+        let topk = TopKMatrix::compute(data, data, table.dim(), Metric::Cosine, sigma + 1, threads);
+        let candidates: Vec<Vec<u32>> = (0..n)
+            .map(|e| {
+                topk.row(e)
+                    .iter()
+                    .filter(|&&(o, _)| o as usize != e)
+                    .take(sigma)
+                    .map(|&(o, _)| o)
+                    .collect()
+            })
+            .collect();
         TruncatedSampler::new(candidates)
     }
 

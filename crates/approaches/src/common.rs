@@ -2,7 +2,10 @@
 //! id space with the four combination modes, early stopping on validation
 //! Hits@1, literal feature extraction and output evaluation.
 
-use openea_align::{precision_recall_f1, rank_eval, Metric, PrfScores, RankEval, SimilarityMatrix};
+use openea_align::{
+    precision_recall_f1, rank_eval_streaming, Metric, PrfScores, RankEval, SimilarityMatrix,
+    TopKMatrix,
+};
 use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::RawTriple;
 use openea_math::vecops;
@@ -120,13 +123,9 @@ impl ApproachOutput {
         &self.emb2[e.idx() * self.dim..(e.idx() + 1) * self.dim]
     }
 
-    /// Similarity matrix between the given source and target entities.
-    pub fn similarity(
-        &self,
-        sources: &[EntityId],
-        targets: &[EntityId],
-        threads: usize,
-    ) -> SimilarityMatrix {
+    /// Gathers the given entities' embeddings into contiguous row-major
+    /// buffers (sources from KG1, targets from KG2) for the kernel layer.
+    pub fn gather(&self, sources: &[EntityId], targets: &[EntityId]) -> (Vec<f32>, Vec<f32>) {
         let mut src = Vec::with_capacity(sources.len() * self.dim);
         for &e in sources {
             src.extend_from_slice(self.vec1(e));
@@ -135,18 +134,44 @@ impl ApproachOutput {
         for &e in targets {
             dst.extend_from_slice(self.vec2(e));
         }
+        (src, dst)
+    }
+
+    /// Similarity matrix between the given source and target entities.
+    pub fn similarity(
+        &self,
+        sources: &[EntityId],
+        targets: &[EntityId],
+        threads: usize,
+    ) -> SimilarityMatrix {
+        let (src, dst) = self.gather(sources, targets);
         SimilarityMatrix::compute(&src, &dst, self.dim, self.metric, threads)
+    }
+
+    /// Streaming top-`k` targets per source among the given entities —
+    /// O(sources·k) memory, same scores and tie rule as
+    /// [`ApproachOutput::similarity`].
+    pub fn topk(
+        &self,
+        sources: &[EntityId],
+        targets: &[EntityId],
+        k: usize,
+        threads: usize,
+    ) -> TopKMatrix {
+        let (src, dst) = self.gather(sources, targets);
+        TopKMatrix::compute(&src, &dst, self.dim, self.metric, k, threads)
     }
 }
 
 /// Evaluates an output on the fold's test pairs with the OpenEA convention:
-/// candidates are the test targets.
+/// candidates are the test targets. Ranks are streamed through the kernel
+/// layer, so the `test × test` similarity matrix is never materialized.
 pub fn evaluate_output(out: &ApproachOutput, test: &[AlignedPair], threads: usize) -> RankEval {
     let sources: Vec<EntityId> = test.iter().map(|&(a, _)| a).collect();
     let targets: Vec<EntityId> = test.iter().map(|&(_, b)| b).collect();
-    let sim = out.similarity(&sources, &targets, threads);
+    let (src, dst) = out.gather(&sources, &targets);
     let gold: Vec<usize> = (0..test.len()).collect();
-    rank_eval(&sim, &gold)
+    rank_eval_streaming(&src, &dst, out.dim, out.metric, &gold, threads)
 }
 
 /// How the two KGs' parameters are combined (Sect. 2.2.3).

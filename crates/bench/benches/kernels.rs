@@ -3,7 +3,10 @@
 //! TransE training epoch. Runs on the in-tree timer; filter with
 //! `cargo bench -- <substring>`.
 
-use openea::align::{greedy_match, stable_marriage, Metric, SimilarityMatrix};
+use openea::align::{
+    csls_topk, greedy_match, greedy_match_topk, stable_marriage, Metric, SimilarityMatrix,
+    TopKMatrix,
+};
 use openea::graph::{pagerank, PageRankConfig};
 use openea::math::negsamp::UniformSampler;
 use openea::models::{train_epoch, TransE};
@@ -33,7 +36,23 @@ fn bench_csls_and_inference(h: &mut Harness) {
     let dst = random_embeddings(n, 32, 4);
     let sim = SimilarityMatrix::compute(&src, &dst, 32, Metric::Cosine, 4);
     h.bench("csls_k10_400", || sim.csls(10));
+    h.bench("csls_topk_k10_400", || {
+        csls_topk(
+            black_box(&src),
+            black_box(&dst),
+            32,
+            Metric::Cosine,
+            10,
+            10,
+            4,
+        )
+    });
+    h.bench("topk_matrix_k10_400", || {
+        TopKMatrix::compute(black_box(&src), black_box(&dst), 32, Metric::Cosine, 10, 4)
+    });
     h.bench("greedy_400", || greedy_match(&sim));
+    let topk = TopKMatrix::compute(&src, &dst, 32, Metric::Cosine, 10, 4);
+    h.bench("greedy_topk_400", || greedy_match_topk(&topk));
     h.bench("stable_marriage_400", || stable_marriage(&sim));
     let small = SimilarityMatrix::compute(
         &random_embeddings(200, 16, 5),

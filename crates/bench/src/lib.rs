@@ -12,6 +12,7 @@
 
 pub mod datasets;
 pub mod figures;
+pub mod kernels;
 pub mod runner;
 pub mod tables;
 

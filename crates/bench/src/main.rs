@@ -2,15 +2,16 @@
 //!
 //! ```text
 //! openea-bench <experiment> [--scale small|medium|large] [--seed N]
-//!              [--out DIR] [--include-large]
+//!              [--out DIR] [--include-large] [--smoke]
 //!
 //! experiments:
 //!   table2 table3 table4 table5 table6 table7 table8 table9
 //!   fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablation
+//!   kernels    (similarity-kernel micro-bench; --smoke = CI gate)
 //!   all        (everything; fig8 reuses table5's timings)
 //! ```
 
-use openea_bench::{figures, tables, HarnessConfig, Scale};
+use openea_bench::{figures, kernels, tables, HarnessConfig, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +22,7 @@ fn main() {
     let experiment = args[0].clone();
     let mut cfg = HarnessConfig::default();
     let mut include_large = false;
+    let mut smoke = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,6 +50,7 @@ fn main() {
             }
             "--no-out" => cfg.out_dir = None,
             "--include-large" => include_large = true,
+            "--smoke" => smoke = true,
             other => die(&format!("unknown option {other}")),
         }
         i += 1;
@@ -83,6 +86,7 @@ fn main() {
         "alinet" => figures::alinet(&cfg),
         "seeds" => figures::seeds(&cfg),
         "orthogonal" => figures::orthogonal(&cfg),
+        "kernels" => kernels::kernels(&cfg, smoke),
         "all" => {
             tables::table2(&cfg, include_large);
             tables::table3(&cfg);
@@ -116,9 +120,9 @@ fn print_usage() {
     println!(
         "openea-bench — regenerate the OpenEA paper's tables and figures\n\n\
          usage: openea-bench <experiment> [--scale small|medium|large] [--seed N]\n\
-                [--out DIR | --no-out] [--include-large]\n\n\
+                [--out DIR | --no-out] [--include-large] [--smoke]\n\n\
          experiments: table2 table3 table4 table5 table6 table7 table8 table9\n\
-                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal all"
+                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels all"
     );
 }
 

@@ -86,6 +86,267 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
 }
 
+// ------------------------------------------------------------ block kernels
+//
+// One source row against a contiguous row-major tile of target rows. These
+// are the building blocks of the cache-tiled similarity kernels: the caller
+// keeps a small target tile hot in cache and streams source rows past it,
+// and (for cosine) hoists the per-row norms out of the O(rows × cols) loop.
+//
+// Contract: each output element is bit-identical to the corresponding
+// scalar kernel above (`dot`, `cosine`, `euclidean`, `manhattan`) — the
+// per-pair accumulation order never changes, only the loop structure around
+// it. The kernel-equivalence test suite pins this down.
+
+/// Per-row L2 norms of a row-major `n × dim` buffer.
+pub fn row_norms(data: &[f32], dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "dim must be positive");
+    debug_assert_eq!(data.len() % dim, 0);
+    data.chunks_exact(dim).map(norm2).collect()
+}
+
+/// Four dot products of `a` against four tile rows at once. Each column's
+/// accumulator is folded in the same sequential `d` order as [`dot`] (bit
+/// identity per pair); the four independent chains exist purely to break the
+/// add-latency dependency that bounds a single serial accumulator.
+#[inline]
+fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    // Re-slice to a common length so the indexed loop compiles without
+    // per-element bounds checks.
+    let n = a.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (d, &x) in a.iter().enumerate() {
+        s0 += x * b0[d];
+        s1 += x * b1[d];
+        s2 += x * b2[d];
+        s3 += x * b3[d];
+    }
+    [s0, s1, s2, s3]
+}
+
+/// Splits a `4 × dim` chunk into its four rows.
+#[inline]
+fn quad_rows(quad: &[f32], dim: usize) -> (&[f32], &[f32], &[f32], &[f32]) {
+    let (b0, rest) = quad.split_at(dim);
+    let (b1, rest) = rest.split_at(dim);
+    let (b2, b3) = rest.split_at(dim);
+    (b0, b1, b2, b3)
+}
+
+/// `out[j] = dot(a, tile_j)` for each `dim`-sized row `tile_j` of `tile`.
+#[inline]
+pub fn inner_block(a: &[f32], tile: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), dim);
+    debug_assert_eq!(tile.len(), out.len() * dim);
+    let mut quads = tile.chunks_exact(4 * dim);
+    let mut j = 0;
+    for quad in &mut quads {
+        let (b0, b1, b2, b3) = quad_rows(quad, dim);
+        out[j..j + 4].copy_from_slice(&dot4(a, b0, b1, b2, b3));
+        j += 4;
+    }
+    for b in quads.remainder().chunks_exact(dim) {
+        out[j] = dot(a, b);
+        j += 1;
+    }
+}
+
+/// `out[j] = cosine(a, tile_j)` with precomputed norms (`na = norm2(a)`,
+/// `tile_norms[j] = norm2(tile_j)`); 0 when either vector is zero, exactly
+/// like [`cosine`].
+#[inline]
+pub fn cosine_block(
+    a: &[f32],
+    na: f32,
+    tile: &[f32],
+    tile_norms: &[f32],
+    dim: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), dim);
+    debug_assert_eq!(tile.len(), out.len() * dim);
+    debug_assert_eq!(tile_norms.len(), out.len());
+    if na == 0.0 {
+        out.fill(0.0);
+        return;
+    }
+    let finish = |s: f32, nb: f32| {
+        if nb == 0.0 {
+            0.0
+        } else {
+            (s / (na * nb)).clamp(-1.0, 1.0)
+        }
+    };
+    let mut quads = tile.chunks_exact(4 * dim);
+    let mut j = 0;
+    for quad in &mut quads {
+        let (b0, b1, b2, b3) = quad_rows(quad, dim);
+        let s = dot4(a, b0, b1, b2, b3);
+        for (o, &si) in s.iter().enumerate() {
+            out[j + o] = finish(si, tile_norms[j + o]);
+        }
+        j += 4;
+    }
+    for b in quads.remainder().chunks_exact(dim) {
+        out[j] = finish(dot(a, b), tile_norms[j]);
+        j += 1;
+    }
+}
+
+/// `out[j] = -euclidean(a, tile_j)` (negated distance = similarity).
+#[inline]
+pub fn neg_euclidean_block(a: &[f32], tile: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), dim);
+    debug_assert_eq!(tile.len(), out.len() * dim);
+    let mut quads = tile.chunks_exact(4 * dim);
+    let mut j = 0;
+    for quad in &mut quads {
+        let (b0, b1, b2, b3) = quad_rows(quad, dim);
+        // Same 4-independent-accumulator shape as `dot4`; per-column fold
+        // order matches `euclidean_sq` exactly.
+        let n = a.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (d, &x) in a.iter().enumerate() {
+            s0 += (x - b0[d]) * (x - b0[d]);
+            s1 += (x - b1[d]) * (x - b1[d]);
+            s2 += (x - b2[d]) * (x - b2[d]);
+            s3 += (x - b3[d]) * (x - b3[d]);
+        }
+        for (o, s) in [s0, s1, s2, s3].into_iter().enumerate() {
+            out[j + o] = -s.sqrt();
+        }
+        j += 4;
+    }
+    for b in quads.remainder().chunks_exact(dim) {
+        out[j] = -euclidean(a, b);
+        j += 1;
+    }
+}
+
+/// `out[j] = -manhattan(a, tile_j)` (negated distance = similarity).
+#[inline]
+pub fn neg_manhattan_block(a: &[f32], tile: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), dim);
+    debug_assert_eq!(tile.len(), out.len() * dim);
+    let mut quads = tile.chunks_exact(4 * dim);
+    let mut j = 0;
+    for quad in &mut quads {
+        let (b0, b1, b2, b3) = quad_rows(quad, dim);
+        let n = a.len();
+        let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (d, &x) in a.iter().enumerate() {
+            s0 += (x - b0[d]).abs();
+            s1 += (x - b1[d]).abs();
+            s2 += (x - b2[d]).abs();
+            s3 += (x - b3[d]).abs();
+        }
+        for (o, s) in [s0, s1, s2, s3].into_iter().enumerate() {
+            out[j + o] = -s;
+        }
+        j += 4;
+    }
+    for b in quads.remainder().chunks_exact(dim) {
+        out[j] = -manhattan(a, b);
+        j += 1;
+    }
+}
+
+// ------------------------------------------- transposed-tile block kernels
+//
+// Same contract as the row-major block kernels (each output element
+// bit-identical to the scalar kernel; per-pair fold order sequential in the
+// embedding dimension) but over a tile stored dimension-major:
+// `tile_t[d * cols + j] = tile[j * dim + d]`. With `d` as the outer loop the
+// inner sweep updates independent per-column accumulators from contiguous
+// memory — straight-line SIMD with no reassociation. The caller transposes
+// each tile once and amortizes it over every source row in its chunk.
+
+/// Transposes a row-major `rows × dim` tile into `out` (dimension-major:
+/// `out[d * rows + j] = tile[j * dim + d]`), reusing `out`'s allocation.
+pub fn transpose_tile(tile: &[f32], dim: usize, out: &mut Vec<f32>) {
+    debug_assert_eq!(tile.len() % dim, 0);
+    let rows = tile.len() / dim;
+    out.clear();
+    out.resize(tile.len(), 0.0);
+    for (j, b) in tile.chunks_exact(dim).enumerate() {
+        for (d, &v) in b.iter().enumerate() {
+            out[d * rows + j] = v;
+        }
+    }
+}
+
+/// `out[j] = dot(a, tile_j)` over a dimension-major tile: each column's
+/// accumulator folds in the same sequential `d` order as [`dot`].
+#[inline]
+pub fn inner_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
+    let cols = out.len();
+    debug_assert_eq!(tile_t.len(), a.len() * cols);
+    out.fill(0.0);
+    for (d, &x) in a.iter().enumerate() {
+        let lane = &tile_t[d * cols..(d + 1) * cols];
+        for (o, &b) in out.iter_mut().zip(lane) {
+            *o += x * b;
+        }
+    }
+}
+
+/// `out[j] = cosine(a, tile_j)` over a dimension-major tile with precomputed
+/// norms; 0 when either vector is zero, exactly like [`cosine`].
+#[inline]
+pub fn cosine_block_t(a: &[f32], na: f32, tile_t: &[f32], tile_norms: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(tile_norms.len(), out.len());
+    if na == 0.0 {
+        out.fill(0.0);
+        return;
+    }
+    inner_block_t(a, tile_t, out);
+    for (o, &nb) in out.iter_mut().zip(tile_norms) {
+        *o = if nb == 0.0 {
+            0.0
+        } else {
+            (*o / (na * nb)).clamp(-1.0, 1.0)
+        };
+    }
+}
+
+/// `out[j] = -euclidean(a, tile_j)` over a dimension-major tile.
+#[inline]
+pub fn neg_euclidean_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
+    let cols = out.len();
+    debug_assert_eq!(tile_t.len(), a.len() * cols);
+    out.fill(0.0);
+    for (d, &x) in a.iter().enumerate() {
+        let lane = &tile_t[d * cols..(d + 1) * cols];
+        for (o, &b) in out.iter_mut().zip(lane) {
+            let t = x - b;
+            *o += t * t;
+        }
+    }
+    for o in out.iter_mut() {
+        *o = -o.sqrt();
+    }
+}
+
+/// `out[j] = -manhattan(a, tile_j)` over a dimension-major tile.
+#[inline]
+pub fn neg_manhattan_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
+    let cols = out.len();
+    debug_assert_eq!(tile_t.len(), a.len() * cols);
+    out.fill(0.0);
+    for (d, &x) in a.iter().enumerate() {
+        let lane = &tile_t[d * cols..(d + 1) * cols];
+        for (o, &b) in out.iter_mut().zip(lane) {
+            *o += (x - b).abs();
+        }
+    }
+    for o in out.iter_mut() {
+        *o = -*o;
+    }
+}
+
 /// Elementwise `out = a - b` into a caller-provided buffer.
 #[inline]
 pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
@@ -191,6 +452,102 @@ mod tests {
         assert_eq!(out, [4.0, 7.0]);
         mul_into(&a, &b, &mut out);
         assert_eq!(out, [3.0, 10.0]);
+    }
+
+    #[test]
+    fn block_kernels_match_scalar_kernels() {
+        // 6 rows: one full quad plus a 2-row remainder, covering both paths.
+        let dim = 3;
+        let a = [0.5f32, -1.0, 2.0];
+        let tile: Vec<f32> = (0..6 * dim).map(|x| (x as f32).sin()).collect();
+        let norms = row_norms(&tile, dim);
+        let mut out = [0.0f32; 6];
+        inner_block(&a, &tile, dim, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], dot(&a, b));
+        }
+        cosine_block(&a, norm2(&a), &tile, &norms, dim, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], cosine(&a, b));
+        }
+        neg_euclidean_block(&a, &tile, dim, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], -euclidean(&a, b));
+        }
+        neg_manhattan_block(&a, &tile, dim, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], -manhattan(&a, b));
+        }
+    }
+
+    #[test]
+    fn transposed_block_kernels_match_scalar_kernels() {
+        // 6 rows at dim 3: transposed layout, both full lanes and edges.
+        let dim = 3;
+        let a = [0.5f32, -1.0, 2.0];
+        let tile: Vec<f32> = (0..6 * dim).map(|x| (x as f32).sin()).collect();
+        let norms = row_norms(&tile, dim);
+        let mut tile_t = Vec::new();
+        transpose_tile(&tile, dim, &mut tile_t);
+        assert_eq!(tile_t[0 * 6 + 2], tile[2 * dim]); // spot-check layout
+        let mut out = [0.0f32; 6];
+        inner_block_t(&a, &tile_t, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], dot(&a, b));
+        }
+        cosine_block_t(&a, norm2(&a), &tile_t, &norms, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], cosine(&a, b));
+        }
+        neg_euclidean_block_t(&a, &tile_t, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], -euclidean(&a, b));
+        }
+        neg_manhattan_block_t(&a, &tile_t, &mut out);
+        for (j, b) in tile.chunks_exact(dim).enumerate() {
+            assert_eq!(out[j], -manhattan(&a, b));
+        }
+    }
+
+    #[test]
+    fn cosine_block_t_handles_zero_vectors() {
+        let dim = 2;
+        let zero = [0.0f32, 0.0];
+        let tile = [1.0f32, 2.0, 0.0, 0.0];
+        let norms = row_norms(&tile, dim);
+        let mut tile_t = Vec::new();
+        transpose_tile(&tile, dim, &mut tile_t);
+        let mut out = [9.0f32; 2];
+        cosine_block_t(&zero, norm2(&zero), &tile_t, &norms, &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+        let a = [1.0f32, 1.0];
+        cosine_block_t(&a, norm2(&a), &tile_t, &norms, &mut out);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[0], cosine(&a, &tile[..2]));
+    }
+
+    #[test]
+    fn cosine_block_handles_zero_vectors() {
+        let dim = 2;
+        let zero = [0.0f32, 0.0];
+        let tile = [1.0f32, 2.0, 0.0, 0.0];
+        let norms = row_norms(&tile, dim);
+        let mut out = [9.0f32; 2];
+        // Zero query: every output is 0, matching `cosine`.
+        cosine_block(&zero, norm2(&zero), &tile, &norms, dim, &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+        // Zero tile row: that column is 0.
+        let a = [1.0f32, 1.0];
+        cosine_block(&a, norm2(&a), &tile, &norms, dim, &mut out);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[0], cosine(&a, &tile[..2]));
+    }
+
+    #[test]
+    fn row_norms_per_row() {
+        let data = [3.0f32, 4.0, 0.0, 0.0];
+        assert_eq!(row_norms(&data, 2), vec![5.0, 0.0]);
+        assert_eq!(row_norms(&[], 2), Vec::<f32>::new());
     }
 
     props! {

@@ -8,3 +8,8 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
+
+# Kernel smoke gate: proves the tiled/top-k kernels bit-identical to the
+# naive reference on a fixed seed (exits non-zero on divergence), then runs
+# one tiny timing grid. Budget: well under 30 s.
+cargo run --release --offline -p openea-bench -- kernels --smoke --no-out

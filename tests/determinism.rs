@@ -7,7 +7,7 @@
 //!    assigns fixed chunk contents, so similarity matrices (and everything
 //!    downstream) match across `threads` settings bit-for-bit.
 
-use openea::align::{Metric, SimilarityMatrix};
+use openea::align::{csls_topk, rank_eval_streaming, Metric, SimilarityMatrix, TopKMatrix};
 use openea::prelude::*;
 use openea_runtime::rng::SeedableRng;
 use openea_runtime::rng::SmallRng;
@@ -105,6 +105,83 @@ fn similarity_matrix_identical_across_threads() {
                     "{metric:?} row {i} differs at threads={threads}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn tiled_kernels_identical_across_tiles_and_threads() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let src: Vec<f32> = (0..83 * 6)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    let dst: Vec<f32> = (0..59 * 6)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    for metric in Metric::ALL {
+        let base = SimilarityMatrix::compute_tiled(&src, &dst, 6, metric, 1, 64);
+        for tile in [1, 7, 64] {
+            for threads in [1, 2, 8] {
+                let m = SimilarityMatrix::compute_tiled(&src, &dst, 6, metric, threads, tile);
+                for i in 0..base.rows() {
+                    assert_eq!(
+                        base.row(i),
+                        m.row(i),
+                        "{metric:?} row {i} differs at tile={tile} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_topk_identical_across_tiles_and_threads() {
+    let mut rng = SmallRng::seed_from_u64(22);
+    let src: Vec<f32> = (0..71 * 5)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    let dst: Vec<f32> = (0..47 * 5)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    for metric in Metric::ALL {
+        let base = TopKMatrix::compute_tiled(&src, &dst, 5, metric, 10, 1, 64);
+        for tile in [1, 7, 64] {
+            for threads in [1, 2, 8] {
+                let t = TopKMatrix::compute_tiled(&src, &dst, 5, metric, 10, threads, tile);
+                assert_eq!(
+                    base, t,
+                    "{metric:?} topk differs at tile={tile} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_csls_and_rank_eval_are_thread_invariant() {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let src: Vec<f32> = (0..31 * 4)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    let dst: Vec<f32> = (0..29 * 4)
+        .map(|_| openea_runtime::rng::Rng::gen::<f32>(&mut rng))
+        .collect();
+    let gold: Vec<usize> = (0..31).map(|i| i % 29).collect();
+    for metric in Metric::ALL {
+        let csls_base = csls_topk(&src, &dst, 4, metric, 3, 8, 1);
+        let eval_base = rank_eval_streaming(&src, &dst, 4, metric, &gold, 1);
+        for threads in [2, 8] {
+            assert_eq!(
+                csls_base,
+                csls_topk(&src, &dst, 4, metric, 3, 8, threads),
+                "{metric:?} csls_topk differs at threads={threads}"
+            );
+            assert_eq!(
+                eval_base,
+                rank_eval_streaming(&src, &dst, 4, metric, &gold, threads),
+                "{metric:?} rank_eval_streaming differs at threads={threads}"
+            );
         }
     }
 }

@@ -1,0 +1,222 @@
+//! Kernel-equivalence suite: the cache-tiled block kernels and the streaming
+//! top-k path must be *bit-identical* to the naive reference kernels for all
+//! four metrics, across random shapes (including 0×N and N×0), tile sizes
+//! {1, 7, 64} and thread counts {1, 2, 8}. This is the contract that lets
+//! every consumer (eval, CSLS, inference, bootstrapping) switch to the fast
+//! paths without changing a single reported number.
+
+use openea::align::{csls_topk, Metric, SimilarityMatrix, TopKMatrix};
+use openea_runtime::testkit::prelude::*;
+
+const TILES: [usize; 3] = [1, 7, 64];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// The kernel layer's shared order: descending score, ties toward the
+/// lowest index (exactly a stable argsort of the row).
+fn stable_argsort(row: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite").then(a.cmp(&b)));
+    idx
+}
+
+fn assert_topk_matches_argsort(
+    sim: &SimilarityMatrix,
+    topk: &TopKMatrix,
+    k: usize,
+    ctx: &str,
+) -> PropResult {
+    prop_assert_eq!(topk.k(), k.min(sim.cols()), "{}", ctx);
+    for i in 0..sim.rows() {
+        let row = sim.row(i);
+        let order = stable_argsort(row);
+        let kept = topk.row(i);
+        for (rank, &j) in order.iter().take(topk.k()).enumerate() {
+            let (tj, ts) = kept[rank];
+            prop_assert_eq!(tj as usize, j, "{} row {} rank {}", ctx, i, rank);
+            prop_assert_eq!(
+                ts.to_bits(),
+                row[j].to_bits(),
+                "{} row {} rank {}",
+                ctx,
+                i,
+                rank
+            );
+        }
+    }
+    Ok(())
+}
+
+props! {
+    #![cases = 64]
+
+    /// Tiled kernels are bit-identical to the naive reference for every
+    /// metric × tile × thread combination on random shapes.
+    #[test]
+    fn tiled_matches_naive_bitwise(
+        rows in 0usize..11,
+        cols in 0usize..13,
+        dim_m1 in 0usize..9,
+        values in vec_of(-2.0f32..2.0, 300)
+    ) {
+        let dim = dim_m1 + 1;
+        prop_assume!((rows + cols) * dim <= values.len());
+        let src = &values[..rows * dim];
+        let dst = &values[rows * dim..(rows + cols) * dim];
+        for metric in Metric::ALL {
+            let naive = SimilarityMatrix::compute_naive(src, dst, dim, metric, 1);
+            for tile in TILES {
+                for threads in THREADS {
+                    let tiled =
+                        SimilarityMatrix::compute_tiled(src, dst, dim, metric, threads, tile);
+                    prop_assert_eq!(tiled.rows(), rows);
+                    prop_assert_eq!(tiled.cols(), cols);
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            prop_assert_eq!(
+                                naive.get(i, j).to_bits(),
+                                tiled.get(i, j).to_bits(),
+                                "{} tile={} threads={} ({},{})",
+                                metric.label(), tile, threads, i, j
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Streaming top-k equals the stable full-matrix argsort prefix — same
+    /// targets, same bits — for every metric × tile × thread combination,
+    /// including k = 0 and k ≥ cols.
+    #[test]
+    fn topk_matches_full_argsort(
+        rows in 0usize..9,
+        cols in 0usize..11,
+        dim_m1 in 0usize..7,
+        k in 0usize..14,
+        values in vec_of(-2.0f32..2.0, 200)
+    ) {
+        let dim = dim_m1 + 1;
+        prop_assume!((rows + cols) * dim <= values.len());
+        let src = &values[..rows * dim];
+        let dst = &values[rows * dim..(rows + cols) * dim];
+        for metric in Metric::ALL {
+            let naive = SimilarityMatrix::compute_naive(src, dst, dim, metric, 1);
+            for tile in TILES {
+                for threads in THREADS {
+                    let topk =
+                        TopKMatrix::compute_tiled(src, dst, dim, metric, k, threads, tile);
+                    let ctx = format!(
+                        "{} tile={tile} threads={threads} k={k}", metric.label()
+                    );
+                    assert_topk_matches_argsort(&naive, &topk, k, &ctx)?;
+                }
+            }
+        }
+    }
+
+    /// Tie stress: scores drawn from three discrete values force massive
+    /// ties; selection must stay the stable lowest-index-wins argsort.
+    #[test]
+    fn topk_breaks_ties_toward_lowest_index(
+        levels in vec_of(0u8..3, 72),
+        k in 1usize..10
+    ) {
+        let data: Vec<f32> = levels.iter().map(|&v| v as f32 * 0.5).collect();
+        let sim = SimilarityMatrix::from_raw(8, 9, data);
+        let topk = TopKMatrix::from_matrix(&sim, k);
+        assert_topk_matches_argsort(&sim, &topk, k, "from_matrix ties")?;
+        for i in 0..8 {
+            // Explicitly: equal scores appear in ascending index order.
+            let kept = topk.row(i);
+            for w in kept.windows(2) {
+                let ((j0, s0), (j1, s1)) = (w[0], w[1]);
+                prop_assert!(s0 >= s1);
+                if s0 == s1 {
+                    prop_assert!(j0 < j1, "tie order broken: {} before {}", j0, j1);
+                }
+            }
+        }
+    }
+
+    /// Streaming CSLS with a full keep-width is bit-identical to dense CSLS
+    /// re-ranked by the stable argsort.
+    #[test]
+    fn csls_on_topk_equals_csls_on_full(
+        rows in 1usize..8,
+        cols in 1usize..9,
+        dim_m1 in 0usize..5,
+        k_csls in 1usize..6,
+        values in vec_of(-1.0f32..1.0, 100)
+    ) {
+        let dim = dim_m1 + 1;
+        prop_assume!((rows + cols) * dim <= values.len());
+        let src = &values[..rows * dim];
+        let dst = &values[rows * dim..(rows + cols) * dim];
+        for metric in Metric::ALL {
+            let sim = SimilarityMatrix::compute(src, dst, dim, metric, 2);
+            let dense = sim.csls(k_csls);
+            for threads in THREADS {
+                let streamed = csls_topk(src, dst, dim, metric, k_csls, cols, threads);
+                prop_assert_eq!(streamed.k(), cols);
+                for i in 0..rows {
+                    let row = dense.row(i);
+                    let order = stable_argsort(row);
+                    for (rank, &j) in order.iter().enumerate() {
+                        let (tj, ts) = streamed.row(i)[rank];
+                        prop_assert_eq!(
+                            tj as usize, j,
+                            "{} threads={} row {} rank {}",
+                            metric.label(), threads, i, rank
+                        );
+                        prop_assert_eq!(
+                            ts.to_bits(), row[j].to_bits(),
+                            "{} threads={} row {} rank {}",
+                            metric.label(), threads, i, rank
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_shapes_are_handled_at_every_tile_and_thread_count() {
+    let some = [1.0f32, 0.5, -0.25, 2.0];
+    for metric in Metric::ALL {
+        for tile in TILES {
+            for threads in THREADS {
+                // 0×N.
+                let m = SimilarityMatrix::compute_tiled(&[], &some, 2, metric, threads, tile);
+                assert_eq!((m.rows(), m.cols()), (0, 2));
+                let t = TopKMatrix::compute_tiled(&[], &some, 2, metric, 3, threads, tile);
+                assert_eq!((t.rows(), t.cols(), t.k()), (0, 2, 2));
+                // N×0.
+                let m = SimilarityMatrix::compute_tiled(&some, &[], 2, metric, threads, tile);
+                assert_eq!((m.rows(), m.cols()), (2, 0));
+                let t = TopKMatrix::compute_tiled(&some, &[], 2, metric, 3, threads, tile);
+                assert_eq!((t.rows(), t.cols(), t.k()), (2, 0, 0));
+                assert_eq!(t.row(0), &[]);
+                assert_eq!(t.best(1), None);
+                // 0×0.
+                let m = SimilarityMatrix::compute_tiled(&[], &[], 2, metric, threads, tile);
+                assert_eq!((m.rows(), m.cols()), (0, 0));
+            }
+        }
+    }
+}
+
+#[test]
+fn known_answer_cosine_tiled_and_topk() {
+    // Unit axes: cosine similarities are exactly 1/0/-1 — easy to pin.
+    let src = [1.0f32, 0.0, 0.0, 1.0]; // e0, e1
+    let dst = [1.0f32, 0.0, 0.0, 1.0, -1.0, 0.0]; // e0, e1, -e0
+    let m = SimilarityMatrix::compute_tiled(&src, &dst, 2, Metric::Cosine, 2, 2);
+    assert_eq!(m.row(0), &[1.0, 0.0, -1.0]);
+    assert_eq!(m.row(1), &[0.0, 1.0, 0.0]);
+    let t = TopKMatrix::compute(&src, &dst, 2, Metric::Cosine, 2, 1);
+    assert_eq!(t.row(0), &[(0, 1.0), (1, 0.0)]);
+    // Row 1 ties targets 0 and 2 at score 0 — lowest index wins.
+    assert_eq!(t.row(1), &[(1, 1.0), (0, 0.0)]);
+}
