@@ -7,6 +7,7 @@
 
 use crate::common::{
     validation_hits1, Approach, ApproachOutput, EarlyStopper, Req, Requirements, RunConfig,
+    TrainTrace,
 };
 use crate::gcn::union_edges;
 use openea_align::Metric;
@@ -166,6 +167,7 @@ impl AliNetParams {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }

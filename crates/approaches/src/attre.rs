@@ -8,17 +8,17 @@
 //! Cosine metric, sharing combination.
 
 use crate::common::{
-    validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
-    RunConfig, UnifiedSpace,
+    train_epoch_batched, validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper,
+    EpochStats, Req, Requirements, RunConfig, TraceRecorder, TrainTrace, UnifiedSpace,
 };
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::literal::char_ngram_vector;
-use openea_models::{train_epoch, RelationModel, TransE};
-use openea_runtime::rng::SeedableRng;
+use openea_models::{RelationModel, TransE};
 use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{RngCore, SeedableRng};
 
 /// The character-level literal profile of every entity: the normalized sum
 /// of character-n-gram vectors of its attribute values.
@@ -96,19 +96,18 @@ impl Approach for AttrE {
             v
         });
 
+        let opts = cfg.train_options(space.triples.len());
+        let mut rec = TraceRecorder::new(self.name());
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                train_epoch(
-                    &mut model,
-                    &space.triples,
-                    &sampler,
-                    cfg.lr,
-                    cfg.negs,
-                    &mut rng,
-                );
-            }
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
+                    .expect("valid train options")
+            } else {
+                EpochStats::default()
+            };
             if let Some(profiles) = &profiles {
                 // Pull each entity toward its (fixed) literal profile:
                 // the cross-KG unification signal of AttrE.
@@ -120,19 +119,24 @@ impl Approach for AttrE {
                     }
                 }
             }
+            rec.end_epoch(epoch, stats);
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.output(&space, &model, cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
         }
-        best.unwrap_or_else(|| self.output(&space, &model, cfg))
+        let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
+        out.trace = rec.finish();
+        out
     }
 }
 
@@ -145,6 +149,7 @@ impl AttrE {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }

@@ -59,6 +59,7 @@ pub fn propose_alignment(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::TrainTrace;
     use openea_align::Metric;
 
     fn out(emb1: Vec<f32>, emb2: Vec<f32>) -> ApproachOutput {
@@ -68,6 +69,7 @@ mod tests {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 

@@ -7,16 +7,17 @@
 
 use crate::boot::{propose_alignment, unaligned_entities};
 use crate::common::{
-    augmentation_quality, calibrate, validation_hits1, Approach, ApproachOutput, Combination,
-    EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
+    augmentation_quality, calibrate, train_epoch_batched, validation_hits1, Approach,
+    ApproachOutput, Combination, EarlyStopper, EpochStats, Req, Requirements, RunConfig,
+    TraceRecorder, TrainTrace, UnifiedSpace,
 };
 use openea_align::{Metric, TopKMatrix};
 use openea_core::{EntityId, FoldSplit, KgPair};
 use openea_math::negsamp::{RawTriple, TruncatedSampler, UniformSampler};
 use openea_models::translational::LossKind;
-use openea_models::{train_epoch, RelationModel, TransE};
-use openea_runtime::rng::SeedableRng;
+use openea_models::{RelationModel, TransE};
 use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::HashSet;
 
 /// BootEA.
@@ -78,6 +79,7 @@ impl BootEa {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }
@@ -130,19 +132,22 @@ impl Approach for BootEa {
         let mut proposed: Vec<(EntityId, EntityId)> = Vec::new();
         let mut augmentation = Vec::new();
 
+        let opts = cfg.train_options(base_triples.len());
+        let mut rec = TraceRecorder::new(self.name());
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                let seed = rng.next_u64();
                 match &truncated {
-                    Some(s) => {
-                        train_epoch(&mut model, &triples, s, cfg.lr, cfg.negs, &mut rng);
-                    }
-                    None => {
-                        train_epoch(&mut model, &triples, &uniform, cfg.lr, cfg.negs, &mut rng);
-                    }
+                    Some(s) => train_epoch_batched(&mut model, &triples, s, &opts, seed),
+                    None => train_epoch_batched(&mut model, &triples, &uniform, &opts, seed),
                 }
-            }
+                .expect("valid train options")
+            } else {
+                EpochStats::default()
+            };
             // Calibrate the bootstrapped pairs each epoch.
             let prop_uids: Vec<(u32, u32)> = proposed
                 .iter()
@@ -164,21 +169,25 @@ impl Approach for BootEa {
                 triples = base_triples.clone();
                 triples.extend(space.swap_triples(pair, &proposed));
             }
+            rec.end_epoch(epoch, stats);
 
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.output(&space, &model, cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
         }
         let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
         out.augmentation = augmentation;
+        out.trace = rec.finish();
         out
     }
 }

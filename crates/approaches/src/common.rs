@@ -11,6 +11,10 @@ use openea_math::negsamp::RawTriple;
 use openea_math::vecops;
 use openea_math::EmbeddingTable;
 use openea_models::literal::{LiteralEncoder, WordVectors};
+pub use openea_models::trainer::{
+    train_epoch_batched, EpochTrace, StopReason, TraceRecorder, TrainOptions, TrainTrace,
+};
+pub use openea_models::traits::EpochStats;
 use std::collections::{HashMap, HashSet};
 
 /// Requirement level of an input resource (Table 9).
@@ -68,7 +72,14 @@ pub struct RunConfig {
     pub use_relations: bool,
     /// Pre-trained (cross-lingual) word vectors for literal encoders.
     pub word_vectors: WordVectors,
-    /// Worker threads for similarity search.
+    /// Cap on positives per mini-batch of the training engine. The
+    /// effective size is `triples / batches_per_epoch` (OpenEA's fixed
+    /// batch *count*), clamped to this — small KGs keep near-serial SGD
+    /// dynamics, large ones get batches worth parallelizing.
+    pub batch_size: usize,
+    /// Mini-batches per epoch the effective batch size aims for.
+    pub batches_per_epoch: usize,
+    /// Worker threads for similarity search and batched training.
     pub threads: usize,
     pub seed: u64,
 }
@@ -86,6 +97,8 @@ impl Default for RunConfig {
             use_attributes: true,
             use_relations: true,
             word_vectors: WordVectors::hash_only(32),
+            batch_size: 4096,
+            batches_per_epoch: 30,
             threads: 4,
             seed: 42,
         }
@@ -95,6 +108,19 @@ impl Default for RunConfig {
 impl RunConfig {
     pub fn literal_encoder(&self) -> LiteralEncoder {
         LiteralEncoder::new(self.word_vectors.clone())
+    }
+
+    /// The batched-trainer options implied by this configuration for a KG
+    /// (or unified space) with `n_triples` positive triples.
+    pub fn train_options(&self, n_triples: usize) -> TrainOptions {
+        let aimed = n_triples.div_ceil(self.batches_per_epoch.max(1));
+        TrainOptions {
+            lr: self.lr,
+            negs_per_pos: self.negs,
+            batch_size: aimed.clamp(1, self.batch_size.max(1)),
+            threads: self.threads,
+            ..TrainOptions::default()
+        }
     }
 }
 
@@ -112,6 +138,10 @@ pub struct ApproachOutput {
     /// Precision/recall/F1 of the augmented seed alignment per
     /// semi-supervised iteration (empty for supervised approaches).
     pub augmentation: Vec<PrfScores>,
+    /// Per-epoch telemetry of the (primary) relation-model training loop.
+    /// Default (empty) for approaches that do not train through the batched
+    /// engine.
+    pub trace: TrainTrace,
 }
 
 impl ApproachOutput {
@@ -755,6 +785,7 @@ impl ApproachOutput {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         })
     }
 }
@@ -783,6 +814,7 @@ mod tsv_tests {
             emb1: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
             emb2: vec![0.5, -1.5, 2.5, 7.0, 8.0, 9.0],
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         };
         let path = std::env::temp_dir().join(format!("openea_emb_{}.tsv", std::process::id()));
         out.write_tsv(&path, &pair).unwrap();

@@ -2,7 +2,7 @@
 //! GCN over the disjoint union of both KGs, trained full-batch with a
 //! margin-based Manhattan calibration loss on the seed alignment.
 
-use crate::common::{ApproachOutput, RunConfig};
+use crate::common::{ApproachOutput, RunConfig, TrainTrace};
 use openea_align::Metric;
 use openea_autodiff::{Graph, SparseMatrix, Tensor};
 use openea_core::{AlignedPair, KgPair};
@@ -198,6 +198,7 @@ impl GcnEncoder {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }

@@ -5,6 +5,7 @@
 
 use crate::common::{
     validation_hits1, Approach, ApproachOutput, EarlyStopper, Req, Requirements, RunConfig,
+    TrainTrace,
 };
 use crate::gcn::GcnEncoder;
 use crate::jape::{entity_attr_sets, unify_attributes};
@@ -124,6 +125,7 @@ impl GcnAlign {
             emb1: combine(&structure.emb1, f1),
             emb2: combine(&structure.emb2, f2),
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }

@@ -6,16 +6,16 @@
 //! only *augments* it (and the errors it introduces can hurt).
 
 use crate::common::{
-    validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
-    RunConfig, UnifiedSpace,
+    train_epoch_batched, validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper,
+    EpochStats, Req, Requirements, RunConfig, TraceRecorder, TrainTrace, UnifiedSpace,
 };
 use openea_align::{greedy_collective, Metric, SimilarityMatrix};
 use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
-use openea_models::{train_epoch, RelationModel, TransE};
-use openea_runtime::rng::SeedableRng;
+use openea_models::{RelationModel, TransE};
 use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// Finds candidate pairs by shared literal values, scores them by weighted
@@ -132,35 +132,40 @@ impl Approach for Imuse {
             .use_attributes
             .then(|| crate::common::literal_features(&pair.kg2, &enc));
 
+        let opts = cfg.train_options(space.triples.len());
+        let mut rec = TraceRecorder::new(self.name());
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                train_epoch(
-                    &mut model,
-                    &space.triples,
-                    &sampler,
-                    cfg.lr,
-                    cfg.negs,
-                    &mut rng,
-                );
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
+                    .expect("valid train options")
             } else {
                 // Attribute-only mode still needs *some* embedding: entities
                 // keep their initialization; only the combination matters.
-            }
+                EpochStats::default()
+            };
+            rec.end_epoch(epoch, stats);
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.output(&space, &model, attr1.as_deref(), attr2.as_deref(), cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
         }
-        best.unwrap_or_else(|| self.output(&space, &model, attr1.as_deref(), attr2.as_deref(), cfg))
+        let mut out = best.unwrap_or_else(|| {
+            self.output(&space, &model, attr1.as_deref(), attr2.as_deref(), cfg)
+        });
+        out.trace = rec.finish();
+        out
     }
 }
 
@@ -198,6 +203,7 @@ impl Imuse {
                     emb1: combine(&s1, a1),
                     emb2: combine(&s2, a2),
                     augmentation: Vec::new(),
+                    trace: TrainTrace::default(),
                 }
             }
             _ => ApproachOutput {
@@ -206,6 +212,7 @@ impl Imuse {
                 emb1: s1,
                 emb2: s2,
                 augmentation: Vec::new(),
+                trace: TrainTrace::default(),
             },
         }
     }

@@ -10,17 +10,18 @@
 
 use crate::boot::{propose_alignment, unaligned_entities};
 use crate::common::{
-    augmentation_quality, calibrate, validation_hits1, Approach, ApproachOutput, Combination,
-    EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
+    augmentation_quality, calibrate, train_epoch_batched, validation_hits1, Approach,
+    ApproachOutput, Combination, EarlyStopper, EpochStats, Req, Requirements, RunConfig,
+    TraceRecorder, TrainTrace, UnifiedSpace,
 };
 use openea_align::Metric;
 use openea_core::{EntityId, FoldSplit, KgPair};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
-use openea_models::{train_epoch, TransE};
-use openea_runtime::rng::SeedableRng;
+use openea_models::TransE;
 use openea_runtime::rng::SliceRandom;
 use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// A mined path instance: relations `r1, r2` composing to direct `r3`.
@@ -151,20 +152,26 @@ impl Approach for IpTransE {
             .collect();
         let mut augmentation = Vec::new();
 
+        let opts = cfg.train_options(space.triples.len());
+        let mut rec = TraceRecorder::new(self.name());
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                train_epoch(
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                let stats = train_epoch_batched(
                     &mut model,
                     &space.triples,
                     &sampler,
-                    cfg.lr,
-                    cfg.negs,
-                    &mut rng,
-                );
+                    &opts,
+                    rng.next_u64(),
+                )
+                .expect("valid train options");
                 self.path_step(&mut model, &paths, cfg.lr);
-            }
+                stats
+            } else {
+                EpochStats::default()
+            };
             // Soft alignment for proposed pairs (seed pairs share ids already).
             let prop_uids: Vec<(u32, u32)> = proposed
                 .iter()
@@ -189,21 +196,25 @@ impl Approach for IpTransE {
                 proposed.extend(new_pairs);
                 augmentation.push(augmentation_quality(&proposed, &gold));
             }
+            rec.end_epoch(epoch, stats);
 
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.output(&space, &model, cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
         }
         let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
         out.augmentation = augmentation;
+        out.trace = rec.finish();
         out
     }
 }
@@ -218,6 +229,7 @@ impl IpTransE {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }

@@ -9,16 +9,16 @@
 //! the attribute signal is weak, exactly the behaviour Figure 6 reports.
 
 use crate::common::{
-    validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
-    RunConfig, UnifiedSpace,
+    train_epoch_batched, validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper,
+    EpochStats, Req, Requirements, RunConfig, TraceRecorder, TrainTrace, UnifiedSpace,
 };
 use openea_align::Metric;
 use openea_core::{AttributeId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
-use openea_models::{train_epoch, AttrCorrelationModel, TransE};
-use openea_runtime::rng::SeedableRng;
+use openea_models::{AttrCorrelationModel, TransE};
 use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::HashMap;
 
 /// Unified attribute ids across two KGs: attributes with identical names
@@ -123,32 +123,37 @@ impl Approach for Jape {
             None
         };
 
+        let opts = cfg.train_options(space.triples.len());
+        let mut rec = TraceRecorder::new(self.name());
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                train_epoch(
-                    &mut model,
-                    &space.triples,
-                    &sampler,
-                    cfg.lr,
-                    cfg.negs,
-                    &mut rng,
-                );
-            }
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
+                    .expect("valid train options")
+            } else {
+                EpochStats::default()
+            };
+            rec.end_epoch(epoch, stats);
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.output(&space, &model, attr_features.as_ref(), cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
         }
-        best.unwrap_or_else(|| self.output(&space, &model, attr_features.as_ref(), cfg))
+        let mut out =
+            best.unwrap_or_else(|| self.output(&space, &model, attr_features.as_ref(), cfg));
+        out.trace = rec.finish();
+        out
     }
 }
 
@@ -171,6 +176,7 @@ impl Jape {
                 emb1: s1,
                 emb2: s2,
                 augmentation: Vec::new(),
+                trace: TrainTrace::default(),
             },
             Some((f1, f2)) => {
                 let ws = self.structure_weight;
@@ -192,6 +198,7 @@ impl Jape {
                     emb1: combine(&s1, f1),
                     emb2: combine(&s2, f2),
                     augmentation: Vec::new(),
+                    trace: TrainTrace::default(),
                 }
             }
         }

@@ -10,8 +10,9 @@
 
 use crate::boot::{propose_alignment, unaligned_entities};
 use crate::common::{
-    augmentation_quality, entity_literal_text, validation_hits1, Approach, ApproachOutput,
-    EarlyStopper, Req, Requirements, RunConfig,
+    augmentation_quality, entity_literal_text, train_epoch_batched, validation_hits1, Approach,
+    ApproachOutput, EarlyStopper, EpochStats, Req, Requirements, RunConfig, TraceRecorder,
+    TrainTrace,
 };
 use crate::transformation::kg_triples;
 use openea_align::Metric;
@@ -19,9 +20,9 @@ use openea_core::{EntityId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
 use openea_math::{vecops, Matrix};
 use openea_models::literal::LiteralEncoder;
-use openea_models::{train_epoch, RelationModel, TransE};
+use openea_models::{RelationModel, TransE};
 use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{Rng, SeedableRng};
+use openea_runtime::rng::{Rng, RngCore, SeedableRng};
 use std::collections::HashSet;
 
 /// Description vectors for every entity (unit rows; zero when the entity has
@@ -128,13 +129,22 @@ impl Approach for KdCoe {
         let mut proposed_all: Vec<(EntityId, EntityId)> = Vec::new();
         let mut augmentation = Vec::new();
 
+        let opts1 = cfg.train_options(t1.len());
+        let opts2 = cfg.train_options(t2.len());
+        let mut rec = TraceRecorder::new(self.name());
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                train_epoch(&mut m1, &t1, &s1, cfg.lr, cfg.negs, &mut rng);
-                train_epoch(&mut m2, &t2, &s2, cfg.lr, cfg.negs, &mut rng);
-            }
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                let a = train_epoch_batched(&mut m1, &t1, &s1, &opts1, rng.next_u64())
+                    .expect("valid train options");
+                let b = train_epoch_batched(&mut m2, &t2, &s2, &opts2, rng.next_u64())
+                    .expect("valid train options");
+                EpochStats::merged(&[a, b])
+            } else {
+                EpochStats::default()
+            };
             seed_step(&mut m1, &mut m2, &mut map, &seeds, cfg);
 
             if (epoch + 1) % self.co_every == 0 {
@@ -148,6 +158,7 @@ impl Approach for KdCoe {
                         emb1: d1.clone(),
                         emb2: d2.clone(),
                         augmentation: Vec::new(),
+                        trace: TrainTrace::default(),
                     };
                     let cand1: Vec<EntityId> = unaligned_entities(pair.kg1.num_entities(), &taken1)
                         .into_iter()
@@ -198,15 +209,18 @@ impl Approach for KdCoe {
                 }
                 augmentation.push(augmentation_quality(&proposed_all, &gold));
             }
+            rec.end_epoch(epoch, stats);
 
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
@@ -214,6 +228,7 @@ impl Approach for KdCoe {
         let mut out =
             best.unwrap_or_else(|| self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg));
         out.augmentation = augmentation;
+        out.trace = rec.finish();
         out
     }
 }
@@ -270,6 +285,7 @@ impl KdCoe {
             emb1,
             emb2: m2.entities().data().to_vec(),
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 
@@ -304,6 +320,7 @@ impl KdCoe {
                     emb1: combine(&rel.emb1, d1, m1.num_entities()),
                     emb2: combine(&rel.emb2, d2, m2.num_entities()),
                     augmentation: Vec::new(),
+                    trace: TrainTrace::default(),
                 }
             }
         }

@@ -41,6 +41,7 @@ pub mod transformation;
 pub mod unsupervised;
 
 pub use common::{
-    evaluate_output, Approach, ApproachOutput, Req, Requirements, RunConfig, UnifiedSpace,
+    evaluate_output, Approach, ApproachOutput, Req, Requirements, RunConfig, StopReason,
+    TrainTrace, UnifiedSpace,
 };
 pub use registry::{all_approaches, approach_by_name, ApproachKind};

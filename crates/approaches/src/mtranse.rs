@@ -141,6 +141,7 @@ impl Approach for MTransE {
         let factory = self.model.factory();
         let h = TransformationHarness {
             factory: &factory,
+            label: self.name(),
             metric: Metric::Euclidean,
             cycle_weight: 0.0,
             orthogonal: self.orthogonal,

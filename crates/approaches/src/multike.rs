@@ -7,17 +7,18 @@
 //! sweet spot). Cosine metric, supervised.
 
 use crate::common::{
-    entity_name_literal, literal_features, validation_hits1, Approach, ApproachOutput, Combination,
-    EarlyStopper, Req, Requirements, RunConfig, UnifiedSpace,
+    entity_name_literal, literal_features, train_epoch_batched, validation_hits1, Approach,
+    ApproachOutput, Combination, EarlyStopper, EpochStats, Req, Requirements, RunConfig,
+    TraceRecorder, TrainTrace, UnifiedSpace,
 };
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::literal::LiteralEncoder;
-use openea_models::{train_epoch, RelationModel, TransE};
-use openea_runtime::rng::SeedableRng;
+use openea_models::{RelationModel, TransE};
 use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{RngCore, SeedableRng};
 
 /// MultiKE view weights.
 pub struct MultiKe {
@@ -88,32 +89,37 @@ impl Approach for MultiKe {
             )
         });
 
+        let opts = cfg.train_options(space.triples.len());
+        let mut rec = TraceRecorder::new(self.name());
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                train_epoch(
-                    &mut model,
-                    &space.triples,
-                    &sampler,
-                    cfg.lr,
-                    cfg.negs,
-                    &mut rng,
-                );
-            }
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
+                    .expect("valid train options")
+            } else {
+                EpochStats::default()
+            };
+            rec.end_epoch(epoch, stats);
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.combine(&space, &model, views.as_ref(), &enc, cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
         }
-        best.unwrap_or_else(|| self.combine(&space, &model, views.as_ref(), &enc, cfg))
+        let mut out =
+            best.unwrap_or_else(|| self.combine(&space, &model, views.as_ref(), &enc, cfg));
+        out.trace = rec.finish();
+        out
     }
 }
 
@@ -135,6 +141,7 @@ impl MultiKe {
                 emb1: s1,
                 emb2: s2,
                 augmentation: Vec::new(),
+                trace: TrainTrace::default(),
             };
         };
         let enc_dim = enc.dim();
@@ -164,6 +171,7 @@ impl MultiKe {
             emb1: combine(&s1, n1, a1),
             emb2: combine(&s2, n2, a2),
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }

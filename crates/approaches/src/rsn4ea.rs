@@ -7,7 +7,7 @@
 
 use crate::common::{
     validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
-    RunConfig, UnifiedSpace,
+    RunConfig, TrainTrace, UnifiedSpace,
 };
 use openea_align::Metric;
 use openea_autodiff::{Graph, Tensor};
@@ -300,6 +300,7 @@ impl Rsn4Ea {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }

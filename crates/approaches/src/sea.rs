@@ -41,6 +41,7 @@ impl Approach for Sea {
         let factory = RelModelKind::TransE.factory();
         let h = TransformationHarness {
             factory: &factory,
+            label: self.name(),
             metric: Metric::Cosine,
             cycle_weight: self.cycle_weight,
             orthogonal: false,

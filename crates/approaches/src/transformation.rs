@@ -3,14 +3,17 @@
 //! each KG is embedded in its own space and a linear map `M` is trained so
 //! that `M·e₁ ≈ e₂` on the seed alignment.
 
-use crate::common::{validation_hits1, ApproachOutput, EarlyStopper, RunConfig};
+use crate::common::{
+    train_epoch_batched, validation_hits1, ApproachOutput, EarlyStopper, EpochStats, RunConfig,
+    TraceRecorder, TrainTrace,
+};
 use openea_align::Metric;
 use openea_core::{AlignedPair, FoldSplit, KgPair};
 use openea_math::negsamp::{RawTriple, UniformSampler};
 use openea_math::{vecops, Matrix};
-use openea_models::{train_epoch, RelationModel};
+use openea_models::RelationModel;
 use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{Rng, SeedableRng};
+use openea_runtime::rng::{Rng, RngCore, SeedableRng};
 
 /// Builds a fresh relation model: `(num_entities, num_relations, dim, seed)`.
 pub type ModelFactory = dyn Fn(usize, usize, usize, u64) -> Box<dyn RelationModel> + Sync;
@@ -28,6 +31,8 @@ pub fn kg_triples(kg: &openea_core::KnowledgeGraph) -> Vec<RawTriple> {
 /// the map using non-seed data (a simple semi-supervised signal).
 pub struct TransformationHarness<'f> {
     pub factory: &'f ModelFactory,
+    /// Label stamped on the emitted `TrainTrace` (the approach's name).
+    pub label: &'static str,
     pub metric: Metric,
     pub cycle_weight: f32,
     /// Project `M` onto the nearest orthogonal matrix after each epoch —
@@ -70,13 +75,22 @@ impl TransformationHarness<'_> {
         }
         let mut back = Matrix::identity(cfg.dim);
 
+        let opts1 = cfg.train_options(t1.len());
+        let opts2 = cfg.train_options(t2.len());
+        let mut rec = TraceRecorder::new(self.label);
         let mut stopper = EarlyStopper::new(cfg.patience);
         let mut best: Option<ApproachOutput> = None;
         for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                train_epoch(m1.as_mut(), &t1, &s1, cfg.lr, cfg.negs, &mut rng);
-                train_epoch(m2.as_mut(), &t2, &s2, cfg.lr, cfg.negs, &mut rng);
-            }
+            rec.begin_epoch();
+            let stats = if cfg.use_relations {
+                let a = train_epoch_batched(m1.as_mut(), &t1, &s1, &opts1, rng.next_u64())
+                    .expect("valid train options");
+                let b = train_epoch_batched(m2.as_mut(), &t2, &s2, &opts2, rng.next_u64())
+                    .expect("valid train options");
+                EpochStats::merged(&[a, b])
+            } else {
+                EpochStats::default()
+            };
             self.seed_step(m1.as_mut(), m2.as_mut(), &mut map, &split.train, cfg);
             if self.cycle_weight > 0.0 {
                 self.cycle_step(m1.as_mut(), &mut map, &mut back, cfg, &mut rng);
@@ -84,20 +98,25 @@ impl TransformationHarness<'_> {
             if self.orthogonal {
                 map = openea_math::nearest_orthogonal(&map);
             }
+            rec.end_epoch(epoch, stats);
 
             if (epoch + 1) % cfg.check_every == 0 {
                 let out = self.output(m1.as_ref(), m2.as_ref(), &map, cfg);
                 let score = validation_hits1(&out, &split.valid, cfg.threads);
+                rec.record_validation(score);
                 let improved = score > stopper.best();
                 if improved || best.is_none() {
                     best = Some(out);
                 }
                 if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
                     break;
                 }
             }
         }
-        best.unwrap_or_else(|| self.output(m1.as_ref(), m2.as_ref(), &map, cfg))
+        let mut out = best.unwrap_or_else(|| self.output(m1.as_ref(), m2.as_ref(), &map, cfg));
+        out.trace = rec.finish();
+        out
     }
 
     /// Joint SGD on `‖M·e₁ − e₂‖²` for every seed pair.
@@ -193,6 +212,7 @@ impl TransformationHarness<'_> {
             emb1,
             emb2,
             augmentation: Vec::new(),
+            trace: TrainTrace::default(),
         }
     }
 }
@@ -221,6 +241,7 @@ mod tests {
         let factory = transe_factory();
         let h = TransformationHarness {
             factory: &factory,
+            label: "test",
             metric: Metric::Euclidean,
             cycle_weight: 0.0,
             orthogonal: false,

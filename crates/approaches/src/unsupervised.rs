@@ -9,14 +9,17 @@
 //! self-training grows the alignment — zero gold seeds consumed.
 
 use crate::boot::{propose_alignment, unaligned_entities};
-use crate::common::{calibrate, ApproachOutput, Combination, RunConfig, UnifiedSpace};
+use crate::common::{
+    calibrate, train_epoch_batched, ApproachOutput, Combination, RunConfig, TraceRecorder,
+    TrainTrace, UnifiedSpace,
+};
 use crate::imuse::string_match_seeds;
 use openea_align::Metric;
 use openea_core::{EntityId, KgPair};
 use openea_math::negsamp::UniformSampler;
-use openea_models::{train_epoch, RelationModel, TransE};
-use openea_runtime::rng::SeedableRng;
+use openea_models::{RelationModel, TransE};
 use openea_runtime::rng::SmallRng;
+use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::HashSet;
 
 /// Configuration of the unsupervised pipeline.
@@ -77,21 +80,22 @@ pub fn align_unsupervised(
     let mut taken2: HashSet<EntityId> = pseudo_seeds.iter().map(|&(_, b)| b).collect();
     let mut boot_pairs: Vec<(EntityId, EntityId)> = Vec::new();
 
+    let opts = cfg.train_options(space.triples.len());
+    let mut rec = TraceRecorder::new("unsupervised");
+    let mut epoch = 0;
     for round in 0..=ucfg.boot_rounds {
         for _ in 0..ucfg.epochs_per_round {
-            train_epoch(
-                &mut model,
-                &space.triples,
-                &sampler,
-                cfg.lr,
-                cfg.negs,
-                &mut rng,
-            );
+            rec.begin_epoch();
+            let stats =
+                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
+                    .expect("valid train options");
             let uids: Vec<(u32, u32)> = boot_pairs
                 .iter()
                 .map(|&(a, b)| (space.uid1(a), space.uid2(b)))
                 .collect();
             calibrate(&mut model.entities, &uids, cfg.lr);
+            rec.end_epoch(epoch, stats);
+            epoch += 1;
         }
         if round == ucfg.boot_rounds {
             break;
@@ -108,7 +112,8 @@ pub fn align_unsupervised(
         boot_pairs.extend(new_pairs);
     }
 
-    let output = extract(&space, &model, cfg);
+    let mut output = extract(&space, &model, cfg);
+    output.trace = rec.finish();
     let mut predicted = pseudo_seeds.clone();
     predicted.extend(boot_pairs);
     UnsupervisedOutcome {
@@ -126,6 +131,7 @@ fn extract(space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOut
         emb1,
         emb2,
         augmentation: Vec::new(),
+        trace: TrainTrace::default(),
     }
 }
 

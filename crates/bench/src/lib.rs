@@ -15,6 +15,7 @@ pub mod figures;
 pub mod kernels;
 pub mod runner;
 pub mod tables;
+pub mod training;
 
 use openea_runtime::json::ToJson;
 use std::path::PathBuf;

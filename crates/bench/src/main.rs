@@ -8,10 +8,11 @@
 //!   table2 table3 table4 table5 table6 table7 table8 table9
 //!   fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablation
 //!   kernels    (similarity-kernel micro-bench; --smoke = CI gate)
+//!   training   (mini-batch trainer micro-bench; --smoke = CI gate)
 //!   all        (everything; fig8 reuses table5's timings)
 //! ```
 
-use openea_bench::{figures, kernels, tables, HarnessConfig, Scale};
+use openea_bench::{figures, kernels, tables, training, HarnessConfig, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +88,7 @@ fn main() {
         "seeds" => figures::seeds(&cfg),
         "orthogonal" => figures::orthogonal(&cfg),
         "kernels" => kernels::kernels(&cfg, smoke),
+        "training" => training::training(&cfg, smoke),
         "all" => {
             tables::table2(&cfg, include_large);
             tables::table3(&cfg);
@@ -122,7 +124,7 @@ fn print_usage() {
          usage: openea-bench <experiment> [--scale small|medium|large] [--seed N]\n\
                 [--out DIR | --no-out] [--include-large] [--smoke]\n\n\
          experiments: table2 table3 table4 table5 table6 table7 table8 table9\n\
-                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels all"
+                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels\n                      training all"
     );
 }
 

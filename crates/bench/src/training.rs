@@ -1,0 +1,357 @@
+//! `openea-bench training` — self-validating micro-benchmark of the
+//! deterministic mini-batch training engine.
+//!
+//! Every run first proves the determinism contract on a fixed seed before
+//! timing anything: for each migrated model, (a) the batched engine at
+//! batch size 1 / 1 thread is bit-identical to the serial reference
+//! `train_epoch_serial`, and (b) the batched results at 1, 2 and 8 threads
+//! are bit-identical to each other. Divergence exits non-zero — throughput
+//! numbers are only meaningful if the parallel path computes the same
+//! parameters.
+//!
+//! The timing grid reports training pairs/sec of the serial reference vs
+//! the batched engine per thread count. Thread scaling only materializes on
+//! multi-core hosts; the JSON records `threads_available` so a ~1x result
+//! on a single-core CI container is readable as a hardware limit, not an
+//! engine regression. `--smoke` runs the gate plus one tiny grid and writes
+//! no JSON.
+
+use crate::HarnessConfig;
+use openea::math::negsamp::{RawTriple, UniformSampler};
+use openea::models::{
+    train_epoch_batched, train_epoch_serial, DistMult, HolE, RelationModel, RotatE, TraceRecorder,
+    TrainOptions, TransE, TransH, TransR,
+};
+use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+use std::time::Instant;
+
+const GATE_ENTITIES: u32 = 120;
+const GATE_RELATIONS: u32 = 6;
+const GATE_DIM: usize = 16;
+
+fn random_triples(n_ent: u32, n_rel: u32, n: usize, rng: &mut SmallRng) -> Vec<RawTriple> {
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..n_ent),
+                rng.gen_range(0..n_rel),
+                rng.gen_range(0..n_ent),
+            )
+        })
+        .collect()
+}
+
+type ModelFactory = (&'static str, fn(u64) -> Box<dyn RelationModel>);
+
+/// Every model on the gradient pathway, built at the gate's fixed shape.
+fn gate_models() -> Vec<ModelFactory> {
+    fn build<M: RelationModel + 'static>(
+        f: impl Fn(usize, usize, usize, &mut SmallRng) -> M,
+        seed: u64,
+    ) -> Box<dyn RelationModel> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Box::new(f(
+            GATE_ENTITIES as usize,
+            GATE_RELATIONS as usize,
+            GATE_DIM,
+            &mut rng,
+        ))
+    }
+    vec![
+        ("TransE", |s| {
+            build(|n, r, d, g| TransE::new(n, r, d, 1.0, g), s)
+        }),
+        ("TransH", |s| {
+            build(|n, r, d, g| TransH::new(n, r, d, 1.0, g), s)
+        }),
+        ("TransR", |s| {
+            build(|n, r, d, g| TransR::new(n, r, d, 1.0, g), s)
+        }),
+        ("DistMult", |s| build(DistMult::new, s)),
+        ("HolE", |s| build(HolE::new, s)),
+        ("RotatE", |s| {
+            build(|n, r, d, g| RotatE::new(n, r, d, 1.0, g), s)
+        }),
+    ]
+}
+
+/// Bit-level fingerprint of a trained model: the full entity table plus
+/// probe energies (which fold the relation-side parameters in).
+fn fingerprint(model: &dyn RelationModel, probes: &[RawTriple]) -> Vec<u32> {
+    let mut bits: Vec<u32> = model
+        .entities()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    bits.extend(probes.iter().map(|&t| model.energy(t).to_bits()));
+    bits
+}
+
+/// Asserts the determinism contract on a fixed seed. Returns the number of
+/// (model, comparison) combinations checked.
+fn check_equivalence(seed: u64) -> Result<usize, String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let triples = random_triples(GATE_ENTITIES, GATE_RELATIONS, 300, &mut rng);
+    let probes = &triples[..16];
+    let sampler = UniformSampler {
+        num_entities: GATE_ENTITIES,
+    };
+    let mut checked = 0usize;
+    for (name, make) in gate_models() {
+        if !make(seed).supports_gradients() {
+            return Err(format!("{name}: expected the gradient pathway"));
+        }
+        // (a) serial reference == batched at batch_size 1, 1 thread.
+        let mut serial = make(seed);
+        let mut batched = make(seed);
+        let bs1 = TrainOptions {
+            lr: 0.02,
+            negs_per_pos: 2,
+            batch_size: 1,
+            threads: 1,
+            min_pairs_per_thread: 1,
+        };
+        for epoch in 0..2u64 {
+            train_epoch_serial(serial.as_mut(), &triples, &sampler, 0.02, 2, seed + epoch)
+                .expect("valid options");
+            train_epoch_batched(batched.as_mut(), &triples, &sampler, &bs1, seed + epoch)
+                .expect("valid options");
+        }
+        if fingerprint(serial.as_ref(), probes) != fingerprint(batched.as_ref(), probes) {
+            return Err(format!(
+                "{name}: batched (batch_size 1, 1 thread) diverges from the serial reference"
+            ));
+        }
+        checked += 1;
+        // (b) thread count is unobservable at a real batch size.
+        let mut reference: Option<Vec<u32>> = None;
+        for threads in [1usize, 2, 8] {
+            let mut model = make(seed ^ 0x7472);
+            let opts = TrainOptions {
+                lr: 0.02,
+                negs_per_pos: 2,
+                batch_size: 64,
+                threads,
+                min_pairs_per_thread: 1,
+            };
+            for epoch in 0..2u64 {
+                train_epoch_batched(model.as_mut(), &triples, &sampler, &opts, seed + epoch)
+                    .expect("valid options");
+            }
+            let fp = fingerprint(model.as_ref(), probes);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) if *r != fp => {
+                    return Err(format!("{name}: {threads} threads diverge from 1 thread"));
+                }
+                Some(_) => checked += 1,
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Seconds per epoch: one warm-up/calibration epoch decides how many timed
+/// repetitions fit a sensible budget, then the fastest is reported.
+fn time_s(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let first = t0.elapsed().as_secs_f64();
+    let reps = if first >= 0.5 {
+        1
+    } else {
+        ((0.25 / first.max(1e-6)) as usize).clamp(1, 5)
+    };
+    let mut best = first;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One timing config of the grid.
+struct Entry {
+    model: &'static str,
+    triples: usize,
+    dim: usize,
+    threads: usize,
+    serial_pps: f64,
+    batched_pps: f64,
+}
+
+impl ToJson for Entry {
+    fn to_json(&self) -> Json {
+        object([
+            ("model", self.model.to_json()),
+            ("triples", self.triples.to_json()),
+            ("dim", self.dim.to_json()),
+            ("threads", self.threads.to_json()),
+            ("serial_pairs_per_sec", self.serial_pps.to_json()),
+            ("batched_pairs_per_sec", self.batched_pps.to_json()),
+            ("speedup", (self.batched_pps / self.serial_pps).to_json()),
+        ])
+    }
+}
+
+/// Timing model builders at bench shape (heavier than the gate's).
+fn bench_model(name: &str, n_ent: usize, dim: usize, seed: u64) -> Box<dyn RelationModel> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match name {
+        "TransE" => Box::new(TransE::new(n_ent, 16, dim, 1.0, &mut rng)),
+        "HolE" => Box::new(HolE::new(n_ent, 16, dim, &mut rng)),
+        other => unreachable!("unknown bench model {other}"),
+    }
+}
+
+pub fn training(cfg: &HarnessConfig, smoke: bool) {
+    print!("equivalence gate (seed {}): ", cfg.seed);
+    match check_equivalence(cfg.seed) {
+        Ok(n) => println!("{n} model/thread combinations bit-identical"),
+        Err(msg) => {
+            eprintln!("FAILED — batched trainer diverges: {msg}");
+            std::process::exit(1);
+        }
+    }
+
+    let (models, n_triples, dim, thread_counts): (&[&str], usize, usize, &[usize]) = if smoke {
+        (&["TransE"], 2_000, 32, &[1, 2])
+    } else {
+        (&["TransE", "HolE"], 12_000, 64, &[1, 2, 8])
+    };
+    const NEGS: usize = 5;
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x7261696e);
+    let n_ent = 1_000;
+    let triples = random_triples(n_ent as u32, 16, n_triples, &mut rng);
+    let sampler = UniformSampler {
+        num_entities: n_ent as u32,
+    };
+    let pairs = n_triples * NEGS;
+
+    let mut entries: Vec<Entry> = Vec::new();
+    println!("one epoch, negs_per_pos={NEGS}, batch_size=4096 (throughput is best-of-reps)");
+    println!(
+        "{:>8} {:>8} {:>5} {:>8} {:>14} {:>14} {:>8}",
+        "model", "triples", "dim", "threads", "serial_pps", "batched_pps", "speedup"
+    );
+    for &name in models {
+        let serial_s = time_s(|| {
+            let mut m = bench_model(name, n_ent, dim, cfg.seed);
+            train_epoch_serial(m.as_mut(), &triples, &sampler, 0.02, NEGS, cfg.seed)
+                .expect("valid options");
+            std::hint::black_box(&m);
+        });
+        let serial_pps = pairs as f64 / serial_s;
+        for &threads in thread_counts {
+            let opts = TrainOptions {
+                lr: 0.02,
+                negs_per_pos: NEGS,
+                batch_size: 4096,
+                threads,
+                ..TrainOptions::default()
+            };
+            let batched_s = time_s(|| {
+                let mut m = bench_model(name, n_ent, dim, cfg.seed);
+                train_epoch_batched(m.as_mut(), &triples, &sampler, &opts, cfg.seed)
+                    .expect("valid options");
+                std::hint::black_box(&m);
+            });
+            let batched_pps = pairs as f64 / batched_s;
+            println!(
+                "{name:>8} {n_triples:>8} {dim:>5} {threads:>8} {serial_pps:>14.0} {batched_pps:>14.0} {:>7.2}x",
+                batched_pps / serial_pps
+            );
+            entries.push(Entry {
+                model: name,
+                triples: n_triples,
+                dim,
+                threads,
+                serial_pps,
+                batched_pps,
+            });
+        }
+    }
+
+    if smoke {
+        println!("[training smoke OK]");
+        return;
+    }
+
+    // An example telemetry trace, so the JSON documents the schema that
+    // `ApproachOutput::trace` carries.
+    let mut rec = TraceRecorder::new("bench:TransE");
+    let mut m = bench_model("TransE", n_ent, dim, cfg.seed);
+    let opts = TrainOptions {
+        negs_per_pos: NEGS,
+        batch_size: 4096,
+        ..TrainOptions::default()
+    };
+    for epoch in 0..3u64 {
+        rec.begin_epoch();
+        let stats = train_epoch_batched(m.as_mut(), &triples, &sampler, &opts, cfg.seed + epoch)
+            .expect("valid options");
+        rec.end_epoch(epoch as usize, stats);
+    }
+    let trace = rec.finish();
+
+    let doc = object([
+        ("experiment", "training".to_json()),
+        ("seed", (cfg.seed as i64).to_json()),
+        (
+            "threads_available",
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+                .to_json(),
+        ),
+        (
+            "equivalence",
+            "batched bs=1 bit-identical to serial; threads {1,2,8} bit-identical".to_json(),
+        ),
+        ("entries", entries.to_json()),
+        ("example_trace", trace.to_json()),
+    ]);
+    cfg.write_json("BENCH_training", &doc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalence_gate_passes_on_default_seed() {
+        assert!(check_equivalence(7).unwrap() >= gate_models().len() * 3);
+    }
+
+    #[test]
+    fn entry_serializes_speedup() {
+        let e = Entry {
+            model: "TransE",
+            triples: 2_000,
+            dim: 32,
+            threads: 2,
+            serial_pps: 50_000.0,
+            batched_pps: 100_000.0,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("model").and_then(Json::as_str), Some("TransE"));
+        assert_eq!(j.get("speedup").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn fingerprint_covers_relation_parameters() {
+        // Two models that differ only in relation embeddings must
+        // fingerprint differently (via the probe energies).
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = TransE::new(10, 2, 4, 1.0, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = TransE::new(10, 2, 4, 1.0, &mut rng);
+        b.relations.row_mut(0)[0] += 0.5;
+        let probes = [(0u32, 0u32, 1u32), (2, 1, 3)];
+        assert_ne!(fingerprint(&a, &probes), fingerprint(&b, &probes));
+    }
+}

@@ -211,7 +211,7 @@ impl RelationModel for TuckEr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::testkit::assert_model_learns;
+    use crate::testkit::assert_model_learns;
     use openea_runtime::rng::SeedableRng;
     use openea_runtime::rng::SmallRng;
 

@@ -20,6 +20,8 @@ pub mod deep;
 pub mod linkpred;
 pub mod literal;
 pub mod semantic;
+pub mod testkit;
+pub mod trainer;
 pub mod traits;
 pub mod translational;
 
@@ -29,5 +31,9 @@ pub use deep::{ConvE, ProjE};
 pub use linkpred::{evaluate_link_prediction, LinkPredEval};
 pub use literal::{char_ngram_vector, LiteralEncoder, WordVectors};
 pub use semantic::{DistMult, HolE, RotatE, SimplE};
+pub use trainer::{
+    train_epoch_batched, train_epoch_serial, EpochTrace, Gradients, StopReason, TraceRecorder,
+    TrainError, TrainOptions, TrainTrace,
+};
 pub use traits::{train_epoch, EpochStats, RelationModel};
 pub use translational::{TransD, TransE, TransH, TransR};

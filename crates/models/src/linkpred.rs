@@ -76,7 +76,7 @@ pub fn evaluate_link_prediction<M: RelationModel + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::testkit::toy_triples;
+    use crate::testkit::toy_triples;
     use crate::traits::train_epoch;
     use crate::TransE;
     use openea_math::negsamp::UniformSampler;

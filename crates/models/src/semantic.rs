@@ -4,7 +4,15 @@
 //! DistMult/HolE/SimplE score plausibility multiplicatively and train with
 //! the logistic loss; RotatE rotates in complex space and trains with the
 //! marginal ranking loss, as in its paper.
+//!
+//! All four implement the pure gradient pathway
+//! ([`RelationModel::pair_gradients`]): both the positive and the negative
+//! pair's deltas are computed against the same pre-update parameters (the
+//! historical in-place `step` let the negative update observe the positive
+//! one), which is what lets the batched trainer evaluate pairs in parallel
+//! deterministically.
 
+use crate::trainer::{add_delta, Gradients};
 use crate::traits::RelationModel;
 use openea_math::loss::{logistic_loss, margin_ranking_loss};
 use openea_math::negsamp::RawTriple;
@@ -19,6 +27,9 @@ pub struct DistMult {
 }
 
 impl DistMult {
+    const ENT: u16 = 0;
+    const REL: u16 = 1;
+
     pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, rng: &mut R) -> Self {
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
@@ -33,18 +44,25 @@ impl DistMult {
         he.iter().zip(re).zip(te).map(|((a, b), c)| a * b * c).sum()
     }
 
-    /// Applies `d(−score)/dθ · coeff · lr` to all three operands.
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, lr: f32) {
+    /// Records `−d(−score)/dθ · coeff · lr` for all three operands.
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, lr: f32, out: &mut Gradients) {
         let dim = self.entities.dim();
-        let he: Vec<f32> = self.entities.row(h as usize).to_vec();
-        let re: Vec<f32> = self.relations.row(r as usize).to_vec();
-        let te: Vec<f32> = self.entities.row(t as usize).to_vec();
+        let he = self.entities.row(h as usize);
+        let re = self.relations.row(r as usize);
+        let te = self.entities.row(t as usize);
         let s = coeff * lr;
+        // energy = −score, so d(energy)/dh = −r⊙t, etc.
+        let gh = out.push(Self::ENT, h as usize, dim);
         for i in 0..dim {
-            // energy = −score, so d(energy)/dh = −r⊙t, etc.
-            self.entities.row_mut(h as usize)[i] += s * re[i] * te[i];
-            self.relations.row_mut(r as usize)[i] += s * he[i] * te[i];
-            self.entities.row_mut(t as usize)[i] += s * he[i] * re[i];
+            gh[i] = s * re[i] * te[i];
+        }
+        let gr = out.push(Self::REL, r as usize, dim);
+        for i in 0..dim {
+            gr[i] = s * he[i] * te[i];
+        }
+        let gt = out.push(Self::ENT, t as usize, dim);
+        for i in 0..dim {
+            gt[i] = s * he[i] * re[i];
         }
     }
 }
@@ -58,11 +76,32 @@ impl RelationModel for DistMult {
         -self.score(t)
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let (loss, gp, gn) = logistic_loss(self.energy(pos), self.energy(neg));
-        self.apply(pos, gp, lr);
-        self.apply(neg, gn, lr);
-        loss
+        self.emit(pos, gp, lr, out);
+        self.emit(neg, gn, lr, out);
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = if table == Self::ENT {
+                self.entities.row_mut(row)
+            } else {
+                self.relations.row_mut(row)
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -86,6 +125,9 @@ pub struct HolE {
 }
 
 impl HolE {
+    const ENT: u16 = 0;
+    const REL: u16 = 1;
+
     pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, rng: &mut R) -> Self {
         Self {
             entities: EmbeddingTable::new(num_entities, dim, Initializer::Unit, rng),
@@ -109,7 +151,7 @@ impl HolE {
         s
     }
 
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, lr: f32) {
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, lr: f32, out: &mut Gradients) {
         let d = self.entities.dim();
         let he: Vec<f32> = self.entities.row(h as usize).to_vec();
         let re: Vec<f32> = self.relations.row(r as usize).to_vec();
@@ -117,18 +159,29 @@ impl HolE {
         let s = coeff * lr;
         // energy = −score; d(score)/dhᵢ = Σₖ rₖ·t₍ᵢ₊ₖ₎; d/dtⱼ = Σₖ rₖ·h₍ⱼ₋ₖ₎;
         // d/drₖ = (h ⋆ t)ₖ.
-        for i in 0..d {
+        let ghs = out.push(Self::ENT, h as usize, d);
+        for (i, o) in ghs.iter_mut().enumerate() {
             let mut gh = 0.0;
-            let mut gt = 0.0;
-            let mut gr = 0.0;
             for k in 0..d {
                 gh += re[k] * te[(i + k) % d];
+            }
+            *o = s * gh;
+        }
+        let gts = out.push(Self::ENT, t as usize, d);
+        for (i, o) in gts.iter_mut().enumerate() {
+            let mut gt = 0.0;
+            for k in 0..d {
                 gt += re[k] * he[(i + d - k % d) % d];
+            }
+            *o = s * gt;
+        }
+        let grs = out.push(Self::REL, r as usize, d);
+        for (i, o) in grs.iter_mut().enumerate() {
+            let mut gr = 0.0;
+            for k in 0..d {
                 gr += he[k] * te[(k + i) % d];
             }
-            self.entities.row_mut(h as usize)[i] += s * gh;
-            self.entities.row_mut(t as usize)[i] += s * gt;
-            self.relations.row_mut(r as usize)[i] += s * gr;
+            *o = s * gr;
         }
     }
 }
@@ -142,11 +195,32 @@ impl RelationModel for HolE {
         -self.score(t)
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let (loss, gp, gn) = logistic_loss(self.energy(pos), self.energy(neg));
-        self.apply(pos, gp, lr);
-        self.apply(neg, gn, lr);
-        loss
+        self.emit(pos, gp, lr, out);
+        self.emit(neg, gn, lr, out);
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = if table == Self::ENT {
+                self.entities.row_mut(row)
+            } else {
+                self.relations.row_mut(row)
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -173,6 +247,9 @@ pub struct SimplE {
 }
 
 impl SimplE {
+    const ENT: u16 = 0;
+    const REL: u16 = 1;
+
     pub fn new<R: Rng>(num_entities: usize, num_relations: usize, dim: usize, rng: &mut R) -> Self {
         Self {
             entities: EmbeddingTable::new(num_entities, 2 * dim, Initializer::Unit, rng),
@@ -195,21 +272,28 @@ impl SimplE {
         0.5 * (fwd + bwd)
     }
 
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, lr: f32) {
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, lr: f32, out: &mut Gradients) {
         let d = self.half;
-        let he: Vec<f32> = self.entities.row(h as usize).to_vec();
-        let re: Vec<f32> = self.relations.row(r as usize).to_vec();
-        let te: Vec<f32> = self.entities.row(t as usize).to_vec();
+        let he = self.entities.row(h as usize).to_vec();
+        let re = self.relations.row(r as usize).to_vec();
+        let te = self.entities.row(t as usize).to_vec();
         let s = 0.5 * coeff * lr;
+        // Each row's full 2·dim delta: the head half carries the forward
+        // term ⟨h_H, r, t_T⟩, the tail half the backward ⟨t_H, r⁻¹, h_T⟩.
+        let gh = out.push(Self::ENT, h as usize, 2 * d);
         for i in 0..d {
-            // Forward term ⟨h_H, r, t_T⟩.
-            self.entities.row_mut(h as usize)[i] += s * re[i] * te[d + i];
-            self.relations.row_mut(r as usize)[i] += s * he[i] * te[d + i];
-            self.entities.row_mut(t as usize)[d + i] += s * he[i] * re[i];
-            // Backward term ⟨t_H, r⁻¹, h_T⟩.
-            self.entities.row_mut(t as usize)[i] += s * re[d + i] * he[d + i];
-            self.relations.row_mut(r as usize)[d + i] += s * te[i] * he[d + i];
-            self.entities.row_mut(h as usize)[d + i] += s * te[i] * re[d + i];
+            gh[i] = s * re[i] * te[d + i];
+            gh[d + i] = s * te[i] * re[d + i];
+        }
+        let gr = out.push(Self::REL, r as usize, 2 * d);
+        for i in 0..d {
+            gr[i] = s * he[i] * te[d + i];
+            gr[d + i] = s * te[i] * he[d + i];
+        }
+        let gt = out.push(Self::ENT, t as usize, 2 * d);
+        for i in 0..d {
+            gt[i] = s * re[d + i] * he[d + i];
+            gt[d + i] = s * he[i] * re[i];
         }
     }
 }
@@ -223,11 +307,32 @@ impl RelationModel for SimplE {
         -self.score(t)
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let (loss, gp, gn) = logistic_loss(self.energy(pos), self.energy(neg));
-        self.apply(pos, gp, lr);
-        self.apply(neg, gn, lr);
-        loss
+        self.emit(pos, gp, lr, out);
+        self.emit(neg, gn, lr, out);
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = if table == Self::ENT {
+                self.entities.row_mut(row)
+            } else {
+                self.relations.row_mut(row)
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -255,6 +360,9 @@ pub struct RotatE {
 }
 
 impl RotatE {
+    const ENT: u16 = 0;
+    const PHASE: u16 = 1;
+
     /// `dim` must be even (complex pairs).
     pub fn new<R: Rng>(
         num_entities: usize,
@@ -295,26 +403,33 @@ impl RotatE {
         u
     }
 
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32) {
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32, out: &mut Gradients) {
         let s2 = 2.0 * coeff * lr;
-        let th: Vec<f32> = self.phases.row(r as usize).to_vec();
-        let he: Vec<f32> = self.entities.row(h as usize).to_vec();
+        let th = self.phases.row(r as usize).to_vec();
+        let he = self.entities.row(h as usize).to_vec();
+        let gh = out.push(Self::ENT, h as usize, 2 * self.half);
         for j in 0..self.half {
             let (c, s) = (th[j].cos(), th[j].sin());
             let (ur, ui) = (u[2 * j], u[2 * j + 1]);
             // dφ/dh = 2·conj(r)∘u : (ur + i·ui)(c − i·s)
-            let ghr = ur * c + ui * s;
-            let ghi = -ur * s + ui * c;
-            self.entities.row_mut(h as usize)[2 * j] -= s2 * ghr;
-            self.entities.row_mut(h as usize)[2 * j + 1] -= s2 * ghi;
-            // dφ/dt = −2u
-            self.entities.row_mut(t as usize)[2 * j] += s2 * ur;
-            self.entities.row_mut(t as usize)[2 * j + 1] += s2 * ui;
+            gh[2 * j] = -(s2 * (ur * c + ui * s));
+            gh[2 * j + 1] = -(s2 * (-ur * s + ui * c));
+        }
+        // dφ/dt = −2u
+        let gt = out.push(Self::ENT, t as usize, 2 * self.half);
+        for j in 0..self.half {
+            gt[2 * j] = s2 * u[2 * j];
+            gt[2 * j + 1] = s2 * u[2 * j + 1];
+        }
+        let gp = out.push(Self::PHASE, r as usize, self.half);
+        for j in 0..self.half {
+            let (c, s) = (th[j].cos(), th[j].sin());
+            let (ur, ui) = (u[2 * j], u[2 * j + 1]);
             // p = h∘r; dφ/dθ = 2·Re(conj(u)·i·p) = 2(−ur·p_im + ui·p_re)
             let (a, b) = (he[2 * j], he[2 * j + 1]);
             let pr = a * c - b * s;
             let pi = a * s + b * c;
-            self.phases.row_mut(r as usize)[j] -= s2 * (-ur * pi + ui * pr);
+            gp[j] = -(s2 * (-ur * pi + ui * pr));
         }
     }
 }
@@ -328,16 +443,37 @@ impl RelationModel for RotatE {
         vecops::norm2_sq(&self.residual(t))
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let up = self.residual(pos);
         let un = self.residual(neg);
         let (loss, gp, gn) =
             margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
-            self.apply(pos, gp, &up, lr);
-            self.apply(neg, gn, &un, lr);
+            self.emit(pos, gp, &up, lr, out);
+            self.emit(neg, gn, &un, lr, out);
         }
-        loss
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = if table == Self::ENT {
+                self.entities.row_mut(row)
+            } else {
+                self.phases.row_mut(row)
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -356,7 +492,7 @@ impl RelationModel for RotatE {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::testkit::assert_model_learns;
+    use crate::testkit::assert_model_learns;
     use openea_runtime::rng::SeedableRng;
     use openea_runtime::rng::SmallRng;
 

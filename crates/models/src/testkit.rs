@@ -1,0 +1,114 @@
+//! Shared model-test fixtures: a tiny deterministic triple world on which
+//! every [`RelationModel`] must (a) reduce loss and (b) rank true tails
+//! above corrupted ones after training.
+//!
+//! Training runs through the batched engine ([`train_epoch_batched`]) with
+//! two worker threads and per-epoch seeds split from one base seed via
+//! [`split_seed`] — so every model unit test doubles as a smoke test of the
+//! deterministic parallel pathway.
+
+use crate::trainer::{train_epoch_batched, TrainOptions};
+use crate::traits::RelationModel;
+use openea_math::negsamp::{RawTriple, UniformSampler};
+use openea_runtime::rng::split_seed;
+
+/// Base seed of all testkit training runs; epoch `e` trains on
+/// `split_seed(TEST_SEED, e)`.
+pub const TEST_SEED: u64 = 7;
+
+/// A small multi-relational world: two relation types over `n` entities
+/// with systematic structure (r0: i -> i+1 ring; r1: i -> 2i mod n — which
+/// includes the self-loop (0, 1, 0), keeping aliased-row gradient handling
+/// honest).
+pub fn toy_triples(n: u32) -> Vec<RawTriple> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push((i, 0, (i + 1) % n));
+        t.push((i, 1, (2 * i) % n));
+    }
+    t
+}
+
+/// Trains `model` on [`toy_triples`] and asserts that (1) mean loss
+/// decreases and (2) the model ranks the true tail of held-in triples in
+/// the top 3 among all entities for most triples.
+pub fn assert_model_learns<M: RelationModel>(mut model: M, n: u32, epochs: usize, lr: f32) {
+    let triples = toy_triples(n);
+    let sampler = UniformSampler { num_entities: n };
+    let opts = TrainOptions {
+        lr,
+        negs_per_pos: 2,
+        batch_size: 16,
+        threads: 2,
+        min_pairs_per_thread: 1,
+    };
+    let epoch = |model: &mut M, e: usize| {
+        train_epoch_batched(
+            model,
+            &triples,
+            &sampler,
+            &opts,
+            split_seed(TEST_SEED, e as u64),
+        )
+        .expect("valid options")
+        .mean_loss
+    };
+    let first = epoch(&mut model, 0);
+    let mut last = first;
+    for e in 1..epochs {
+        last = epoch(&mut model, e);
+    }
+    assert!(
+        last < first * 0.8 || last < 1e-3,
+        "{}: loss did not decrease ({first} -> {last})",
+        model.name()
+    );
+
+    // Ranking check on a sample of triples.
+    let mut good = 0;
+    let sample: Vec<_> = triples.iter().step_by(3).collect();
+    for &&(h, r, t) in &sample {
+        let true_e = model.energy((h, r, t));
+        let better = (0..n)
+            .filter(|&c| c != t && model.energy((h, r, c)) < true_e)
+            .count();
+        if better < 3 {
+            good += 1;
+        }
+    }
+    assert!(
+        good * 2 > sample.len(),
+        "{}: only {good}/{} triples ranked well",
+        model.name(),
+        sample.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openea_runtime::rng::{RngCore, SmallRng};
+
+    #[test]
+    fn toy_triples_are_well_formed() {
+        let t = toy_triples(10);
+        assert_eq!(t.len(), 20);
+        assert!(t.iter().all(|&(h, r, tl)| h < 10 && tl < 10 && r < 2));
+        assert!(t.contains(&(0, 1, 0)), "self-loop fixture must stay");
+    }
+
+    #[test]
+    fn per_epoch_seeds_are_distinct_streams() {
+        // The testkit's epoch seeds must neither repeat nor collide with
+        // the base seed's own stream.
+        use openea_runtime::rng::SeedableRng;
+        let first = |seed: u64| SmallRng::seed_from_u64(seed).next_u64();
+        let words: Vec<u64> = (0..8u64).map(|e| first(split_seed(TEST_SEED, e))).collect();
+        for i in 0..words.len() {
+            for j in i + 1..words.len() {
+                assert_ne!(words[i], words[j]);
+            }
+        }
+        assert!(!words.contains(&first(TEST_SEED)));
+    }
+}

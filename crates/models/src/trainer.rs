@@ -1,0 +1,656 @@
+//! Deterministic mini-batch training engine with per-epoch telemetry.
+//!
+//! One epoch is a pure function of `(model, triples, sampler, options,
+//! seed)` — never of the thread count. The construction:
+//!
+//! 1. The epoch's triple order is shuffled with the reserved RNG stream
+//!    `u64::MAX` of the epoch seed ([`SmallRng::stream`]).
+//! 2. The shuffled positives are expanded to `triples × negs_per_pos`
+//!    training *pairs* (triple-major, corruption-index-minor) and sharded
+//!    into fixed `batch_size` mini-batches. Batch `b` draws its negatives
+//!    sequentially, in pair order, from stream `b`.
+//! 3. Per-pair gradients are computed concurrently on the scoped pool
+//!    against the batch-start parameters ([`RelationModel::pair_gradients`]
+//!    is read-only), then applied in fixed pair order
+//!    ([`RelationModel::apply_gradients`]). Work is chunked, but chunk
+//!    boundaries only decide *who computes*, never the apply order — so the
+//!    result is bit-identical at 1, 2 or 8 threads.
+//!
+//! [`train_epoch_serial`] is the kept reference: per-pair RNG streams and
+//! one compute→apply cycle per pair. At `batch_size == 1` the batched
+//! engine's stream indices coincide with the serial ones and the two paths
+//! produce bit-identical parameters.
+//!
+//! Models that do not implement the gradient pathway fall back to
+//! [`RelationModel::step`] inside the same stream discipline: batch size
+//! then only controls RNG stream boundaries and the epoch stays serial (and
+//! trivially thread-invariant).
+
+use crate::traits::{EpochStats, RelationModel};
+use openea_math::negsamp::{draw_negatives, NegSampler, RawTriple};
+use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::pool::{balanced_chunk_len, parallel_chunks};
+use openea_runtime::rng::{SliceRandom, SmallRng};
+use std::time::Instant;
+
+/// Reserved RNG stream index for the epoch's triple shuffle; mini-batch `b`
+/// uses stream `b`, so batches can never collide with the shuffle.
+pub const SHUFFLE_STREAM: u64 = u64::MAX;
+
+/// Accumulated additive parameter deltas for one positive/negative pair.
+///
+/// A flat arena: models record `(table, row)`-addressed delta slices in the
+/// order their old in-place updates wrote memory, and
+/// [`RelationModel::apply_gradients`] replays them in exactly that order.
+/// Entries are deliberately *not* coalesced per row — on aliased rows (e.g.
+/// a self-loop triple, head == tail) the per-location addition sequence is
+/// part of the bit-determinism contract.
+#[derive(Clone, Debug, Default)]
+pub struct Gradients {
+    refs: Vec<GradRef>,
+    data: Vec<f32>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct GradRef {
+    table: u16,
+    row: u32,
+    start: u32,
+    len: u32,
+}
+
+impl Gradients {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all recorded entries but keeps the allocations (the trainer
+    /// reuses one arena per pair slot across batches).
+    pub fn clear(&mut self) {
+        self.refs.clear();
+        self.data.clear();
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Appends a zero-filled delta slice for `len` consecutive parameters
+    /// of `row` in `table` and returns it for the model to fill in. Table
+    /// ids are model-private constants (entity table, relation table, …).
+    pub fn push(&mut self, table: u16, row: usize, len: usize) -> &mut [f32] {
+        let start = self.data.len();
+        self.data.resize(start + len, 0.0);
+        self.refs.push(GradRef {
+            table,
+            row: u32::try_from(row).expect("row id overflows u32"),
+            start: u32::try_from(start).expect("gradient arena overflows u32"),
+            len: u32::try_from(len).expect("delta length overflows u32"),
+        });
+        &mut self.data[start..]
+    }
+
+    /// Entries as `(table, row, delta)` in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, usize, &[f32])> + '_ {
+        self.refs.iter().map(move |r| {
+            let start = r.start as usize;
+            (
+                r.table,
+                r.row as usize,
+                &self.data[start..start + r.len as usize],
+            )
+        })
+    }
+}
+
+/// Adds `delta` onto `dst` element-wise — the one primitive every model's
+/// `apply_gradients` reduces to.
+#[inline]
+pub fn add_delta(dst: &mut [f32], delta: &[f32]) {
+    for (d, &v) in dst.iter_mut().zip(delta) {
+        *d += v;
+    }
+}
+
+/// Options of the batched training engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainOptions {
+    pub lr: f32,
+    /// Corruptions per positive triple; must be >= 1.
+    pub negs_per_pos: usize,
+    /// Pairs per mini-batch; must be >= 1. Affects results (gradients are
+    /// computed against batch-start parameters) but not thread-sensitivity.
+    pub batch_size: usize,
+    /// Worker threads for the gradient computation. Never observable in the
+    /// trained parameters.
+    pub threads: usize,
+    /// Parallelism gate: a batch only fans out when every worker would get
+    /// at least this many pairs — below that, scoped-thread spawn overhead
+    /// dominates the gradient math. Tests set 1 to force the parallel path
+    /// on tiny batches.
+    pub min_pairs_per_thread: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            lr: 0.02,
+            negs_per_pos: 5,
+            batch_size: 256,
+            threads: 1,
+            min_pairs_per_thread: 128,
+        }
+    }
+}
+
+/// Rejected training configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// `negs_per_pos == 0`: every positive would train on nothing.
+    ZeroNegatives,
+    /// `batch_size == 0`: the epoch could never make progress.
+    ZeroBatchSize,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::ZeroNegatives => {
+                write!(f, "negs_per_pos must be >= 1 (0 would train on nothing)")
+            }
+            TrainError::ZeroBatchSize => write!(f, "batch_size must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+fn epoch_order(n_triples: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n_triples).collect();
+    order.shuffle(&mut SmallRng::stream(seed, SHUFFLE_STREAM));
+    order
+}
+
+fn finish_epoch<M: RelationModel + ?Sized>(model: &mut M, total: f64, pairs: usize) -> EpochStats {
+    model.epoch_hook();
+    EpochStats {
+        mean_loss: if pairs == 0 {
+            0.0
+        } else {
+            (total / pairs as f64) as f32
+        },
+        pairs,
+    }
+}
+
+/// The serial reference: one compute→apply cycle per pair, negatives drawn
+/// from per-pair RNG streams (pair `p` uses stream `p` of `seed`). The
+/// batched engine at `batch_size == 1` is bit-identical to this.
+pub fn train_epoch_serial<M, S>(
+    model: &mut M,
+    triples: &[RawTriple],
+    sampler: &S,
+    lr: f32,
+    negs_per_pos: usize,
+    seed: u64,
+) -> Result<EpochStats, TrainError>
+where
+    M: RelationModel + ?Sized,
+    S: NegSampler,
+{
+    if negs_per_pos == 0 {
+        return Err(TrainError::ZeroNegatives);
+    }
+    let order = epoch_order(triples.len(), seed);
+    let n_pairs = triples.len() * negs_per_pos;
+    let use_grads = model.supports_gradients();
+    let mut grads = Gradients::new();
+    let mut total = 0.0f64;
+    for p in 0..n_pairs {
+        let pos = triples[order[p / negs_per_pos]];
+        let mut rng = SmallRng::stream(seed, p as u64);
+        let neg = sampler.corrupt(pos, &mut rng);
+        let loss = if use_grads {
+            grads.clear();
+            let loss = model
+                .pair_gradients(pos, neg, lr, &mut grads)
+                .expect("supports_gradients implies pair_gradients");
+            model.apply_gradients(&grads);
+            loss
+        } else {
+            model.step(pos, neg, lr)
+        };
+        total += loss as f64;
+    }
+    Ok(finish_epoch(model, total, n_pairs))
+}
+
+/// One pair's workspace: inputs, loss and recorded deltas. Reused across
+/// batches so the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
+struct PairSlot {
+    pos: RawTriple,
+    neg: RawTriple,
+    loss: f32,
+    grads: Gradients,
+}
+
+fn effective_threads(pairs: usize, opts: &TrainOptions) -> usize {
+    let cap = (pairs / opts.min_pairs_per_thread.max(1)).max(1);
+    opts.threads.clamp(1, cap)
+}
+
+/// One epoch of the batched, thread-parallel engine (see module docs for
+/// the determinism construction). Bit-identical across `opts.threads` for
+/// models on the gradient pathway; models without it fall back to
+/// [`RelationModel::step`] under the same RNG stream discipline.
+pub fn train_epoch_batched<M, S>(
+    model: &mut M,
+    triples: &[RawTriple],
+    sampler: &S,
+    opts: &TrainOptions,
+    seed: u64,
+) -> Result<EpochStats, TrainError>
+where
+    M: RelationModel + ?Sized,
+    S: NegSampler,
+{
+    if opts.negs_per_pos == 0 {
+        return Err(TrainError::ZeroNegatives);
+    }
+    if opts.batch_size == 0 {
+        return Err(TrainError::ZeroBatchSize);
+    }
+    let order = epoch_order(triples.len(), seed);
+    let n_pairs = triples.len() * opts.negs_per_pos;
+    let use_grads = model.supports_gradients();
+    let mut slots: Vec<PairSlot> = Vec::new();
+    let mut negs: Vec<RawTriple> = Vec::new();
+    let mut total = 0.0f64;
+    let mut start = 0usize;
+    let mut batch = 0u64;
+    while start < n_pairs {
+        let end = (start + opts.batch_size).min(n_pairs);
+        let len = end - start;
+        let positives = (start..end).map(|p| triples[order[p / opts.negs_per_pos]]);
+        negs.clear();
+        draw_negatives(
+            sampler,
+            positives.clone(),
+            &mut SmallRng::stream(seed, batch),
+            &mut negs,
+        );
+        if use_grads {
+            if slots.len() < len {
+                slots.resize_with(len, PairSlot::default);
+            }
+            for (slot, (pos, &neg)) in slots.iter_mut().zip(positives.zip(negs.iter())) {
+                slot.pos = pos;
+                slot.neg = neg;
+            }
+            let threads = effective_threads(len, opts);
+            let chunk_len = balanced_chunk_len(len, threads, 2);
+            let shared: &M = model;
+            parallel_chunks(&mut slots[..len], chunk_len, threads, |_, chunk| {
+                for slot in chunk {
+                    slot.grads.clear();
+                    slot.loss = shared
+                        .pair_gradients(slot.pos, slot.neg, opts.lr, &mut slot.grads)
+                        .expect("supports_gradients implies pair_gradients");
+                }
+            });
+            // The serial apply sweep, in fixed pair order: this is what
+            // makes chunk boundaries (and so the thread count) unobservable.
+            for slot in &slots[..len] {
+                model.apply_gradients(&slot.grads);
+                total += slot.loss as f64;
+            }
+        } else {
+            for (pos, &neg) in positives.zip(negs.iter()) {
+                total += model.step(pos, neg, opts.lr) as f64;
+            }
+        }
+        start = end;
+        batch += 1;
+    }
+    Ok(finish_epoch(model, total, n_pairs))
+}
+
+/// Why a recorded training run ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopReason {
+    /// No trace was recorded (approaches without an epoch-telemetry loop).
+    #[default]
+    NotRecorded,
+    /// The configured epoch budget ran out.
+    MaxEpochs,
+    /// Validation stopped improving at this (0-based) epoch.
+    EarlyStopped { epoch: usize },
+}
+
+impl ToJson for StopReason {
+    fn to_json(&self) -> Json {
+        match *self {
+            StopReason::NotRecorded => object([("kind", "not_recorded".to_json())]),
+            StopReason::MaxEpochs => object([("kind", "max_epochs".to_json())]),
+            StopReason::EarlyStopped { epoch } => object([
+                ("kind", "early_stopped".to_json()),
+                ("epoch", epoch.to_json()),
+            ]),
+        }
+    }
+}
+
+/// Telemetry of one epoch: training loss, throughput and (at checkpoint
+/// epochs) validation quality.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochTrace {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    pub mean_loss: f32,
+    /// Positive/negative pairs trained this epoch.
+    pub pairs: usize,
+    /// Wall-clock seconds spent in the epoch (training + any per-epoch
+    /// bookkeeping between `begin_epoch` and `end_epoch`).
+    pub wall_s: f64,
+    /// Validation Hits@1, when this epoch was a checkpoint.
+    pub val_hits1: Option<f64>,
+}
+
+impl EpochTrace {
+    pub fn pairs_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.pairs as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+impl ToJson for EpochTrace {
+    fn to_json(&self) -> Json {
+        object([
+            ("epoch", self.epoch.to_json()),
+            ("mean_loss", self.mean_loss.to_json()),
+            ("pairs", self.pairs.to_json()),
+            ("wall_s", self.wall_s.to_json()),
+            ("pairs_per_sec", self.pairs_per_sec().to_json()),
+            ("val_hits1", self.val_hits1.to_json()),
+        ])
+    }
+}
+
+/// Telemetry of a full training run, surfaced in `ApproachOutput` and
+/// serialized by `openea-bench` into `results/`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrainTrace {
+    /// What was trained (approach or model label).
+    pub label: String,
+    pub epochs: Vec<EpochTrace>,
+    pub stop: StopReason,
+    /// Wall-clock seconds of the whole recorded loop.
+    pub total_wall_s: f64,
+}
+
+impl TrainTrace {
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.mean_loss)
+    }
+}
+
+impl ToJson for TrainTrace {
+    fn to_json(&self) -> Json {
+        object([
+            ("label", self.label.to_json()),
+            ("stop", self.stop.to_json()),
+            ("total_wall_s", self.total_wall_s.to_json()),
+            ("epochs", self.epochs.to_json()),
+        ])
+    }
+}
+
+/// Incremental [`TrainTrace`] builder for driver epoch loops:
+/// `begin_epoch` / `end_epoch` bracket each epoch, `record_validation`
+/// attaches a checkpoint score to the epoch just ended, `early_stop` marks
+/// the stop reason, and `finish` stamps the total wall time (defaulting the
+/// reason to [`StopReason::MaxEpochs`]).
+pub struct TraceRecorder {
+    trace: TrainTrace,
+    run_start: Instant,
+    epoch_start: Instant,
+}
+
+impl TraceRecorder {
+    pub fn new(label: impl Into<String>) -> Self {
+        let now = Instant::now();
+        Self {
+            trace: TrainTrace {
+                label: label.into(),
+                ..TrainTrace::default()
+            },
+            run_start: now,
+            epoch_start: now,
+        }
+    }
+
+    /// (Re)starts the epoch timer; call at the top of each epoch.
+    pub fn begin_epoch(&mut self) {
+        self.epoch_start = Instant::now();
+    }
+
+    /// Closes the current epoch with its training stats.
+    pub fn end_epoch(&mut self, epoch: usize, stats: EpochStats) {
+        self.trace.epochs.push(EpochTrace {
+            epoch,
+            mean_loss: stats.mean_loss,
+            pairs: stats.pairs,
+            wall_s: self.epoch_start.elapsed().as_secs_f64(),
+            val_hits1: None,
+        });
+    }
+
+    /// Attaches a validation Hits@1 to the most recently ended epoch.
+    pub fn record_validation(&mut self, hits1: f64) {
+        if let Some(e) = self.trace.epochs.last_mut() {
+            e.val_hits1 = Some(hits1);
+        }
+    }
+
+    /// Marks the run as early-stopped at `epoch`.
+    pub fn early_stop(&mut self, epoch: usize) {
+        self.trace.stop = StopReason::EarlyStopped { epoch };
+    }
+
+    pub fn finish(mut self) -> TrainTrace {
+        if self.trace.stop == StopReason::NotRecorded {
+            self.trace.stop = StopReason::MaxEpochs;
+        }
+        self.trace.total_wall_s = self.run_start.elapsed().as_secs_f64();
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::toy_triples;
+    use crate::TransE;
+    use openea_math::negsamp::UniformSampler;
+    use openea_runtime::rng::{SeedableRng, SmallRng};
+
+    fn model(seed: u64) -> TransE {
+        TransE::new(20, 2, 8, 1.0, &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn gradients_arena_records_in_order_and_reuses() {
+        let mut g = Gradients::new();
+        assert!(g.is_empty());
+        g.push(0, 3, 2).copy_from_slice(&[1.0, 2.0]);
+        g.push(1, 7, 1)[0] = -4.0;
+        g.push(0, 3, 2).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(g.len(), 3);
+        let entries: Vec<(u16, usize, Vec<f32>)> =
+            g.iter().map(|(t, r, d)| (t, r, d.to_vec())).collect();
+        assert_eq!(
+            entries,
+            vec![
+                (0, 3, vec![1.0, 2.0]),
+                (1, 7, vec![-4.0]),
+                (0, 3, vec![5.0, 6.0]),
+            ]
+        );
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_negatives_and_zero_batch_are_errors() {
+        let sampler = UniformSampler { num_entities: 20 };
+        let triples = toy_triples(20);
+        assert_eq!(
+            train_epoch_serial(&mut model(0), &triples, &sampler, 0.01, 0, 5),
+            Err(TrainError::ZeroNegatives)
+        );
+        let opts = TrainOptions {
+            negs_per_pos: 0,
+            ..TrainOptions::default()
+        };
+        assert_eq!(
+            train_epoch_batched(&mut model(0), &triples, &sampler, &opts, 5),
+            Err(TrainError::ZeroNegatives)
+        );
+        let opts = TrainOptions {
+            batch_size: 0,
+            ..TrainOptions::default()
+        };
+        assert_eq!(
+            train_epoch_batched(&mut model(0), &triples, &sampler, &opts, 5),
+            Err(TrainError::ZeroBatchSize)
+        );
+        assert!(TrainError::ZeroNegatives
+            .to_string()
+            .contains("negs_per_pos"));
+    }
+
+    #[test]
+    fn empty_triples_yield_default_stats_on_both_paths() {
+        let sampler = UniformSampler { num_entities: 20 };
+        let serial = train_epoch_serial(&mut model(1), &[], &sampler, 0.01, 2, 5).unwrap();
+        let batched =
+            train_epoch_batched(&mut model(1), &[], &sampler, &TrainOptions::default(), 5).unwrap();
+        assert_eq!(serial, EpochStats::default());
+        assert_eq!(batched, EpochStats::default());
+    }
+
+    #[test]
+    fn batch_size_one_matches_serial_reference_bitwise() {
+        let sampler = UniformSampler { num_entities: 20 };
+        let triples = toy_triples(20);
+        let (mut a, mut b) = (model(2), model(2));
+        let opts = TrainOptions {
+            lr: 0.05,
+            negs_per_pos: 2,
+            batch_size: 1,
+            threads: 1,
+            min_pairs_per_thread: 1,
+        };
+        for epoch in 0..3u64 {
+            let sa = train_epoch_serial(&mut a, &triples, &sampler, 0.05, 2, epoch).unwrap();
+            let sb = train_epoch_batched(&mut b, &triples, &sampler, &opts, epoch).unwrap();
+            assert_eq!(sa, sb);
+        }
+        assert_eq!(a.entities().data(), b.entities().data());
+    }
+
+    #[test]
+    fn effective_threads_gates_small_batches() {
+        let opts = TrainOptions {
+            threads: 8,
+            min_pairs_per_thread: 128,
+            ..TrainOptions::default()
+        };
+        assert_eq!(effective_threads(64, &opts), 1);
+        assert_eq!(effective_threads(256, &opts), 2);
+        assert_eq!(effective_threads(4096, &opts), 8);
+        let force = TrainOptions {
+            threads: 8,
+            min_pairs_per_thread: 1,
+            ..TrainOptions::default()
+        };
+        assert_eq!(effective_threads(7, &force), 7);
+    }
+
+    #[test]
+    fn trace_recorder_builds_schema() {
+        let mut rec = TraceRecorder::new("TransE");
+        rec.begin_epoch();
+        rec.end_epoch(
+            0,
+            EpochStats {
+                mean_loss: 1.5,
+                pairs: 80,
+            },
+        );
+        rec.record_validation(0.25);
+        rec.begin_epoch();
+        rec.end_epoch(
+            1,
+            EpochStats {
+                mean_loss: 1.0,
+                pairs: 80,
+            },
+        );
+        rec.early_stop(1);
+        let trace = rec.finish();
+        assert_eq!(trace.label, "TransE");
+        assert_eq!(trace.epochs.len(), 2);
+        assert_eq!(trace.epochs[0].val_hits1, Some(0.25));
+        assert_eq!(trace.epochs[1].val_hits1, None);
+        assert_eq!(trace.stop, StopReason::EarlyStopped { epoch: 1 });
+        assert_eq!(trace.final_loss(), Some(1.0));
+        assert!(trace.total_wall_s >= 0.0);
+
+        let j = trace.to_json();
+        assert_eq!(j.get("label").and_then(Json::as_str), Some("TransE"));
+        let stop = j.get("stop").unwrap();
+        assert_eq!(
+            stop.get("kind").and_then(Json::as_str),
+            Some("early_stopped")
+        );
+        assert_eq!(stop.get("epoch").and_then(Json::as_f64), Some(1.0));
+        let epochs = j.get("epochs").and_then(Json::as_array).unwrap();
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(
+            epochs[0].get("val_hits1").and_then(Json::as_f64),
+            Some(0.25)
+        );
+        assert_eq!(epochs[1].get("val_hits1"), Some(&Json::Null));
+        assert!(epochs[0]
+            .get("pairs_per_sec")
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn finish_defaults_to_max_epochs() {
+        let mut rec = TraceRecorder::new("x");
+        rec.begin_epoch();
+        rec.end_epoch(0, EpochStats::default());
+        assert_eq!(rec.finish().stop, StopReason::MaxEpochs);
+        assert_eq!(
+            TrainTrace::default()
+                .stop
+                .to_json()
+                .get("kind")
+                .and_then(Json::as_str),
+            Some("not_recorded")
+        );
+    }
+}

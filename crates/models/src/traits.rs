@@ -1,6 +1,18 @@
 //! The shared interface of relation-embedding models and the generic
 //! epoch-based training loop.
+//!
+//! Two training pathways exist:
+//!
+//! * [`RelationModel::step`] — the original serial primitive: one SGD update
+//!   per positive/negative pair, mutating parameters in place.
+//! * [`RelationModel::pair_gradients`] + [`RelationModel::apply_gradients`]
+//!   — the batched pathway: a *pure* gradient computation against the
+//!   current parameters, recorded into a [`Gradients`] arena and applied
+//!   separately. Migrated models implement this pair and inherit `step` as a
+//!   derived default; unmigrated models keep their `step` override and the
+//!   batched trainer (see [`crate::trainer`]) falls back to it.
 
+use crate::trainer::Gradients;
 use openea_math::negsamp::{NegSampler, RawTriple};
 use openea_math::EmbeddingTable;
 use openea_runtime::rng::Rng;
@@ -9,11 +21,13 @@ use openea_runtime::rng::SliceRandom;
 /// A relation-embedding model trainable on `(h, r, t)` triples.
 ///
 /// Models own their parameters and update them with hand-derived (or taped)
-/// gradients in [`RelationModel::step`]. The entity representation used for
-/// alignment is always a row of [`RelationModel::entities`], which lets the
-/// interaction modes (calibration, sharing, swapping, transformation) operate
-/// uniformly across models.
-pub trait RelationModel {
+/// gradients. The entity representation used for alignment is always a row
+/// of [`RelationModel::entities`], which lets the interaction modes
+/// (calibration, sharing, swapping, transformation) operate uniformly across
+/// models. The `Send + Sync` bound is what allows the batched trainer to
+/// share `&self` across scoped worker threads; every model is plain owned
+/// data, so the bound costs nothing.
+pub trait RelationModel: Send + Sync {
     /// Human-readable model name (e.g. `"TransE"`).
     fn name(&self) -> &'static str;
 
@@ -21,7 +35,61 @@ pub trait RelationModel {
     fn energy(&self, t: RawTriple) -> f32;
 
     /// One SGD update on a positive/negative pair; returns the pair loss.
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32;
+    ///
+    /// Models on the gradient pathway inherit this default (compute deltas,
+    /// then apply them); models not yet migrated override it directly.
+    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+        let mut grads = Gradients::new();
+        let loss = self
+            .pair_gradients(pos, neg, lr, &mut grads)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}: model implements neither `step` nor `pair_gradients`",
+                    self.name()
+                )
+            });
+        self.apply_gradients(&grads);
+        loss
+    }
+
+    /// Pure gradient computation for one positive/negative pair: records the
+    /// additive parameter deltas into `out` — reading only the *current*
+    /// parameters, mutating nothing — and returns the pair loss. Returns
+    /// `None` (the default) for models not yet migrated, which train through
+    /// their `step` override instead.
+    ///
+    /// This is the primitive the batched trainer parallelises: because the
+    /// computation is read-only, many pairs are evaluated concurrently
+    /// against the same batch-start parameters, and applying the recorded
+    /// deltas in fixed pair order makes the result bit-identical across
+    /// thread counts.
+    fn pair_gradients(
+        &self,
+        _pos: RawTriple,
+        _neg: RawTriple,
+        _lr: f32,
+        _out: &mut Gradients,
+    ) -> Option<f32> {
+        None
+    }
+
+    /// Applies deltas recorded by [`RelationModel::pair_gradients`], entry
+    /// by entry in recording order. The order is part of the determinism
+    /// contract: floating-point accumulation onto aliased rows (e.g. a
+    /// self-loop triple where head == tail) must not be reordered.
+    fn apply_gradients(&mut self, _grads: &Gradients) {
+        panic!(
+            "{}: `apply_gradients` called but the gradient pathway is not implemented",
+            self.name()
+        );
+    }
+
+    /// Whether the gradient pathway ([`RelationModel::pair_gradients`] /
+    /// [`RelationModel::apply_gradients`]) is implemented. The batched
+    /// trainer checks this once per epoch to pick the parallel path.
+    fn supports_gradients(&self) -> bool {
+        false
+    }
 
     /// Per-epoch maintenance (norm constraints etc.). Default: none.
     fn epoch_hook(&mut self) {}
@@ -43,15 +111,40 @@ pub trait RelationModel {
 }
 
 /// Statistics of one training epoch.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EpochStats {
     pub mean_loss: f32,
     pub pairs: usize,
 }
 
+impl EpochStats {
+    /// Pair-weighted combination of several stats — used when one logical
+    /// epoch trains more than one model (e.g. KDCoE's two per-KG models).
+    pub fn merged(parts: &[EpochStats]) -> EpochStats {
+        let pairs: usize = parts.iter().map(|s| s.pairs).sum();
+        if pairs == 0 {
+            return EpochStats::default();
+        }
+        let total: f64 = parts
+            .iter()
+            .map(|s| s.mean_loss as f64 * s.pairs as f64)
+            .sum();
+        EpochStats {
+            mean_loss: (total / pairs as f64) as f32,
+            pairs,
+        }
+    }
+}
+
 /// Runs one epoch of pairwise training: shuffles `triples`, draws
 /// `negs_per_pos` corruptions per positive from `sampler`, and applies
 /// [`RelationModel::step`] for each pair.
+///
+/// This is the legacy convenience entry point driven by a caller-owned
+/// generator; the deterministic mini-batch engine lives in
+/// [`crate::trainer`]. Panics if `negs_per_pos == 0` — training on zero
+/// negatives would silently be a no-op per positive (historically the value
+/// was clamped to 1, masking caller bugs).
 pub fn train_epoch<M: RelationModel + ?Sized, S: NegSampler, R: Rng>(
     model: &mut M,
     triples: &[RawTriple],
@@ -60,13 +153,17 @@ pub fn train_epoch<M: RelationModel + ?Sized, S: NegSampler, R: Rng>(
     negs_per_pos: usize,
     rng: &mut R,
 ) -> EpochStats {
+    assert!(
+        negs_per_pos > 0,
+        "train_epoch: negs_per_pos must be >= 1 (0 would train on nothing)"
+    );
     let mut order: Vec<usize> = (0..triples.len()).collect();
     order.shuffle(rng);
     let mut total = 0.0f64;
     let mut pairs = 0usize;
     for &i in &order {
         let pos = triples[i];
-        for _ in 0..negs_per_pos.max(1) {
+        for _ in 0..negs_per_pos {
             let neg = sampler.corrupt(pos, rng);
             total += model.step(pos, neg, lr) as f64;
             pairs += 1;
@@ -84,69 +181,48 @@ pub fn train_epoch<M: RelationModel + ?Sized, S: NegSampler, R: Rng>(
 }
 
 #[cfg(test)]
-pub(crate) mod testkit {
-    //! Shared test fixtures: a tiny deterministic triple set on which every
-    //! model must (a) reduce loss and (b) rank true tails above corrupted
-    //! ones after training.
-
+mod tests {
     use super::*;
+    use crate::testkit::toy_triples;
+    use crate::TransE;
     use openea_math::negsamp::UniformSampler;
-    use openea_runtime::rng::SeedableRng;
-    use openea_runtime::rng::SmallRng;
+    use openea_runtime::rng::{SeedableRng, SmallRng};
 
-    /// A small multi-relational world: two relation types over 20 entities
-    /// with systematic structure (r0: i -> i+1 ring; r1: i -> 2i mod n).
-    pub fn toy_triples(n: u32) -> Vec<RawTriple> {
-        let mut t = Vec::new();
-        for i in 0..n {
-            t.push((i, 0, (i + 1) % n));
-            t.push((i, 1, (2 * i) % n));
-        }
-        t
-    }
-
-    /// Trains `model` and asserts that (1) mean loss decreases and (2) the
-    /// model ranks the true tail of held-in triples in the top 3 among all
-    /// entities for most triples.
-    pub fn assert_model_learns<M: RelationModel>(mut model: M, n: u32, epochs: usize, lr: f32) {
-        let triples = toy_triples(n);
-        let sampler = UniformSampler { num_entities: n };
-        let mut rng = SmallRng::seed_from_u64(7);
-        let first = train_epoch(&mut model, &triples, &sampler, lr, 2, &mut rng).mean_loss;
-        let mut last = first;
-        for _ in 1..epochs {
-            last = train_epoch(&mut model, &triples, &sampler, lr, 2, &mut rng).mean_loss;
-        }
-        assert!(
-            last < first * 0.8 || last < 1e-3,
-            "{}: loss did not decrease ({first} -> {last})",
-            model.name()
-        );
-
-        // Ranking check on a sample of triples.
-        let mut good = 0;
-        let sample: Vec<_> = triples.iter().step_by(3).collect();
-        for &&(h, r, t) in &sample {
-            let true_e = model.energy((h, r, t));
-            let better = (0..n)
-                .filter(|&c| c != t && model.energy((h, r, c)) < true_e)
-                .count();
-            if better < 3 {
-                good += 1;
-            }
-        }
-        assert!(
-            good * 2 > sample.len(),
-            "{}: only {good}/{} triples ranked well",
-            model.name(),
-            sample.len()
-        );
+    #[test]
+    #[should_panic(expected = "negs_per_pos must be >= 1")]
+    fn train_epoch_rejects_zero_negatives() {
+        // Regression: this used to be silently clamped to 1 corruption per
+        // positive, masking caller bugs.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut model = TransE::new(10, 2, 4, 1.0, &mut rng);
+        let sampler = UniformSampler { num_entities: 10 };
+        train_epoch(&mut model, &toy_triples(10), &sampler, 0.01, 0, &mut rng);
     }
 
     #[test]
-    fn toy_triples_are_well_formed() {
-        let t = toy_triples(10);
-        assert_eq!(t.len(), 20);
-        assert!(t.iter().all(|&(h, r, tl)| h < 10 && tl < 10 && r < 2));
+    fn train_epoch_on_empty_triples_reports_zero_stats() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut model = TransE::new(10, 2, 4, 1.0, &mut rng);
+        let sampler = UniformSampler { num_entities: 10 };
+        let stats = train_epoch(&mut model, &[], &sampler, 0.01, 2, &mut rng);
+        assert_eq!(stats, EpochStats::default());
+        assert_eq!(stats.pairs, 0);
+        assert_eq!(stats.mean_loss, 0.0);
+    }
+
+    #[test]
+    fn merged_stats_are_pair_weighted() {
+        let a = EpochStats {
+            mean_loss: 2.0,
+            pairs: 10,
+        };
+        let b = EpochStats {
+            mean_loss: 8.0,
+            pairs: 30,
+        };
+        let m = EpochStats::merged(&[a, b]);
+        assert_eq!(m.pairs, 40);
+        assert!((m.mean_loss - 6.5).abs() < 1e-6);
+        assert_eq!(EpochStats::merged(&[]), EpochStats::default());
     }
 }

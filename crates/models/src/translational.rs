@@ -2,8 +2,15 @@
 //! TransD \[33\], with hand-derived gradients and the marginal ranking loss.
 //!
 //! Energies use the squared L2 norm (or L1 for TransE when configured);
-//! margins are calibrated to that convention.
+//! margins are calibrated to that convention. All four models implement the
+//! pure gradient pathway ([`RelationModel::pair_gradients`]): deltas are
+//! recorded against the current parameters in the same per-location order
+//! the historical in-place updates used, so the derived `step` (and the
+//! batched trainer built on it) reproduces the original arithmetic exactly
+//! for the positive pair, and both pairs now read consistent pre-update
+//! state.
 
+use crate::trainer::{add_delta, Gradients};
 use crate::traits::RelationModel;
 use openea_math::loss::margin_ranking_loss;
 use openea_math::negsamp::RawTriple;
@@ -39,10 +46,12 @@ pub struct TransE {
     pub margin: f32,
     pub norm: Norm,
     pub loss: LossKind,
-    buf: Vec<f32>,
 }
 
 impl TransE {
+    const ENT: u16 = 0;
+    const REL: u16 = 1;
+
     pub fn new<R: Rng>(
         num_entities: usize,
         num_relations: usize,
@@ -56,7 +65,6 @@ impl TransE {
             margin,
             norm: Norm::L2Sq,
             loss: LossKind::Margin,
-            buf: vec![0.0; dim],
         }
     }
 
@@ -85,14 +93,22 @@ impl TransE {
         }
     }
 
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, grad_d: &[f32], lr: f32) {
+    /// Records one triple's deltas: `h -= g`, `r -= g`, `t += g` with
+    /// `g = coeff·∂φ/∂d·lr`, in that entry order (head entry before tail so
+    /// self-loops replay the historical per-location sequence).
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, grad_d: &[f32], lr: f32, out: &mut Gradients) {
         let dim = self.entities.dim();
-        #[allow(clippy::needless_range_loop)] // multi-array indexed math reads clearer
-        for i in 0..dim {
-            let g = coeff * grad_d[i] * lr;
-            self.entities.row_mut(h as usize)[i] -= g;
-            self.relations.row_mut(r as usize)[i] -= g;
-            self.entities.row_mut(t as usize)[i] += g;
+        let gh = out.push(Self::ENT, h as usize, dim);
+        for (o, &g) in gh.iter_mut().zip(grad_d) {
+            *o = -(coeff * g * lr);
+        }
+        let gr = out.push(Self::REL, r as usize, dim);
+        for (o, &g) in gr.iter_mut().zip(grad_d) {
+            *o = -(coeff * g * lr);
+        }
+        let gt = out.push(Self::ENT, t as usize, dim);
+        for (o, &g) in gt.iter_mut().zip(grad_d) {
+            *o = coeff * g * lr;
         }
     }
 }
@@ -111,37 +127,59 @@ impl RelationModel for TransE {
         }
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let dim = self.entities.dim();
         let mut dp = vec![0.0; dim];
         let mut dn = vec![0.0; dim];
         self.diff(pos, &mut dp);
         self.diff(neg, &mut dn);
-        let ep = match self.norm {
-            Norm::L1 => vecops::norm1(&dp),
-            Norm::L2Sq => vecops::norm2_sq(&dp),
-        };
-        let en = match self.norm {
-            Norm::L1 => vecops::norm1(&dn),
-            Norm::L2Sq => vecops::norm2_sq(&dn),
+        let norm_of = |d: &[f32]| match self.norm {
+            Norm::L1 => vecops::norm1(d),
+            Norm::L2Sq => vecops::norm2_sq(d),
         };
         let (loss, gp, gn) = match self.loss {
-            LossKind::Margin => margin_ranking_loss(ep, en, self.margin),
+            LossKind::Margin => margin_ranking_loss(norm_of(&dp), norm_of(&dn), self.margin),
             LossKind::Limit {
                 lambda_pos,
                 lambda_neg,
                 mu,
-            } => openea_math::loss::limit_based_loss(ep, en, lambda_pos, lambda_neg, mu),
+            } => openea_math::loss::limit_based_loss(
+                norm_of(&dp),
+                norm_of(&dn),
+                lambda_pos,
+                lambda_neg,
+                mu,
+            ),
         };
         if loss > 0.0 {
-            let mut grad = std::mem::take(&mut self.buf);
+            let mut grad = vec![0.0; dim];
             self.denergy(&dp, &mut grad);
-            self.apply(pos, gp, &grad, lr);
+            self.emit(pos, gp, &grad, lr, out);
             self.denergy(&dn, &mut grad);
-            self.apply(neg, gn, &grad, lr);
-            self.buf = grad;
+            self.emit(neg, gn, &grad, lr, out);
         }
-        loss
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = if table == Self::ENT {
+                self.entities.row_mut(row)
+            } else {
+                self.relations.row_mut(row)
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -170,6 +208,10 @@ pub struct TransH {
 }
 
 impl TransH {
+    const ENT: u16 = 0;
+    const D: u16 = 1;
+    const W: u16 = 2;
+
     pub fn new<R: Rng>(
         num_entities: usize,
         num_relations: usize,
@@ -201,25 +243,36 @@ impl TransH {
             .collect()
     }
 
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32) {
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32, out: &mut Gradients) {
         let dim = self.entities.dim();
-        let w: Vec<f32> = self.w_r.row(r as usize).to_vec();
-        let wu = vecops::dot(&w, u);
+        let w = self.w_r.row(r as usize);
+        let he = self.entities.row(h as usize);
+        let te = self.entities.row(t as usize);
+        let wu = vecops::dot(w, u);
         // z = h − t enters the w-gradient.
-        let z: Vec<f32> = {
-            let he = self.entities.row(h as usize);
-            let te = self.entities.row(t as usize);
-            he.iter().zip(te).map(|(a, b)| a - b).collect()
-        };
-        let wz = vecops::dot(&w, &z);
+        let wz = he
+            .iter()
+            .zip(te)
+            .zip(w)
+            .map(|((a, b), wi)| (a - b) * wi)
+            .sum::<f32>();
         let s = 2.0 * coeff * lr;
+        let gh = out.push(Self::ENT, h as usize, dim);
         for i in 0..dim {
-            let g_ent = s * (u[i] - wu * w[i]);
-            self.entities.row_mut(h as usize)[i] -= g_ent;
-            self.entities.row_mut(t as usize)[i] += g_ent;
-            self.d_r.row_mut(r as usize)[i] -= s * u[i];
-            // ∂φ/∂w = −2[(u·w)z + (w·z)u]
-            self.w_r.row_mut(r as usize)[i] -= s * (-(wu * z[i] + wz * u[i]));
+            gh[i] = -(s * (u[i] - wu * w[i]));
+        }
+        let gt = out.push(Self::ENT, t as usize, dim);
+        for i in 0..dim {
+            gt[i] = s * (u[i] - wu * w[i]);
+        }
+        let gd = out.push(Self::D, r as usize, dim);
+        for i in 0..dim {
+            gd[i] = -(s * u[i]);
+        }
+        // ∂φ/∂w = −2[(u·w)z + (w·z)u]
+        let gw = out.push(Self::W, r as usize, dim);
+        for i in 0..dim {
+            gw[i] = s * (wu * (he[i] - te[i]) + wz * u[i]);
         }
     }
 }
@@ -233,16 +286,37 @@ impl RelationModel for TransH {
         vecops::norm2_sq(&self.residual(triple))
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let up = self.residual(pos);
         let un = self.residual(neg);
         let (loss, gp, gn) =
             margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
-            self.apply(pos, gp, &up, lr);
-            self.apply(neg, gn, &un, lr);
+            self.emit(pos, gp, &up, lr, out);
+            self.emit(neg, gn, &un, lr, out);
         }
-        loss
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = match table {
+                Self::ENT => self.entities.row_mut(row),
+                Self::D => self.d_r.row_mut(row),
+                _ => self.w_r.row_mut(row),
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -270,6 +344,10 @@ pub struct TransR {
 }
 
 impl TransR {
+    const ENT: u16 = 0;
+    const REL: u16 = 1;
+    const MAP: u16 = 2;
+
     pub fn new<R: Rng>(
         num_entities: usize,
         num_relations: usize,
@@ -306,26 +384,30 @@ impl TransR {
             .collect()
     }
 
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32) {
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32, out: &mut Gradients) {
         let dim = self.entities.dim();
         let s = 2.0 * coeff * lr;
         // dE/dh = Mᵀu, dE/dt = −Mᵀu, dE/dr = u, dE/dM = u (h−t)ᵀ.
         let mut mtu = vec![0.0; dim];
         self.maps[r as usize].matvec_t_into(u, &mut mtu);
-        let z: Vec<f32> = {
-            let he = self.entities.row(h as usize);
-            let te = self.entities.row(t as usize);
-            he.iter().zip(te).map(|(a, b)| a - b).collect()
-        };
+        let he = self.entities.row(h as usize);
+        let te = self.entities.row(t as usize);
+        let gh = out.push(Self::ENT, h as usize, dim);
         for i in 0..dim {
-            self.entities.row_mut(h as usize)[i] -= s * mtu[i];
-            self.entities.row_mut(t as usize)[i] += s * mtu[i];
-            self.relations.row_mut(r as usize)[i] -= s * u[i];
+            gh[i] = -(s * mtu[i]);
         }
-        let m = &mut self.maps[r as usize];
+        let gt = out.push(Self::ENT, t as usize, dim);
+        for i in 0..dim {
+            gt[i] = s * mtu[i];
+        }
+        let gr = out.push(Self::REL, r as usize, dim);
+        for i in 0..dim {
+            gr[i] = -(s * u[i]);
+        }
+        let gm = out.push(Self::MAP, r as usize, dim * dim);
         for i in 0..dim {
             for j in 0..dim {
-                m[(i, j)] -= s * u[i] * z[j];
+                gm[i * dim + j] = -(s * u[i] * (he[j] - te[j]));
             }
         }
     }
@@ -340,16 +422,37 @@ impl RelationModel for TransR {
         vecops::norm2_sq(&self.residual(triple))
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let up = self.residual(pos);
         let un = self.residual(neg);
         let (loss, gp, gn) =
             margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
-            self.apply(pos, gp, &up, lr);
-            self.apply(neg, gn, &un, lr);
+            self.emit(pos, gp, &up, lr, out);
+            self.emit(neg, gn, &un, lr, out);
         }
-        loss
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = match table {
+                Self::ENT => self.entities.row_mut(row),
+                Self::REL => self.relations.row_mut(row),
+                _ => self.maps[row].data_mut(),
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -377,6 +480,11 @@ pub struct TransD {
 }
 
 impl TransD {
+    const ENT: u16 = 0;
+    const REL: u16 = 1;
+    const EPROJ: u16 = 2;
+    const RPROJ: u16 = 3;
+
     pub fn new<R: Rng>(
         num_entities: usize,
         num_relations: usize,
@@ -417,28 +525,43 @@ impl TransD {
             .collect()
     }
 
-    fn apply(&mut self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32) {
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, u: &[f32], lr: f32, out: &mut Gradients) {
         let dim = self.entities.dim();
         let s = 2.0 * coeff * lr;
-        let rp: Vec<f32> = self.rel_proj.row(r as usize).to_vec();
-        let urp = vecops::dot(u, &rp);
-        let (hph, tpt, he, te, hp, tp) = {
-            let he = self.entities.row(h as usize).to_vec();
-            let te = self.entities.row(t as usize).to_vec();
-            let hp = self.ent_proj.row(h as usize).to_vec();
-            let tp = self.ent_proj.row(t as usize).to_vec();
-            (vecops::dot(&hp, &he), vecops::dot(&tp, &te), he, te, hp, tp)
-        };
+        let he = self.entities.row(h as usize);
+        let te = self.entities.row(t as usize);
+        let hp = self.ent_proj.row(h as usize);
+        let tp = self.ent_proj.row(t as usize);
+        let rp = self.rel_proj.row(r as usize);
+        let urp = vecops::dot(u, rp);
+        let hph = vecops::dot(hp, he);
+        let tpt = vecops::dot(tp, te);
+        // dφ/dh = 2(u + (u·r_p)·h_p); dφ/dt symmetric negative.
+        let gh = out.push(Self::ENT, h as usize, dim);
         for i in 0..dim {
-            // dφ/dh = 2(u + (u·r_p)·h_p); dφ/dt symmetric negative.
-            self.entities.row_mut(h as usize)[i] -= s * (u[i] + urp * hp[i]);
-            self.entities.row_mut(t as usize)[i] += s * (u[i] + urp * tp[i]);
-            self.relations.row_mut(r as usize)[i] -= s * u[i];
-            // dφ/dh_p = 2(u·r_p)·h ; dφ/dt_p = −2(u·r_p)·t
-            self.ent_proj.row_mut(h as usize)[i] -= s * urp * he[i];
-            self.ent_proj.row_mut(t as usize)[i] += s * urp * te[i];
-            // dφ/dr_p = 2((h_p·h) − (t_p·t))·u
-            self.rel_proj.row_mut(r as usize)[i] -= s * (hph - tpt) * u[i];
+            gh[i] = -(s * (u[i] + urp * hp[i]));
+        }
+        let gt = out.push(Self::ENT, t as usize, dim);
+        for i in 0..dim {
+            gt[i] = s * (u[i] + urp * tp[i]);
+        }
+        let gr = out.push(Self::REL, r as usize, dim);
+        for i in 0..dim {
+            gr[i] = -(s * u[i]);
+        }
+        // dφ/dh_p = 2(u·r_p)·h ; dφ/dt_p = −2(u·r_p)·t
+        let ghp = out.push(Self::EPROJ, h as usize, dim);
+        for i in 0..dim {
+            ghp[i] = -(s * urp * he[i]);
+        }
+        let gtp = out.push(Self::EPROJ, t as usize, dim);
+        for i in 0..dim {
+            gtp[i] = s * urp * te[i];
+        }
+        // dφ/dr_p = 2((h_p·h) − (t_p·t))·u
+        let grp = out.push(Self::RPROJ, r as usize, dim);
+        for i in 0..dim {
+            grp[i] = -(s * (hph - tpt) * u[i]);
         }
     }
 }
@@ -452,16 +575,38 @@ impl RelationModel for TransD {
         vecops::norm2_sq(&self.residual(triple))
     }
 
-    fn step(&mut self, pos: RawTriple, neg: RawTriple, lr: f32) -> f32 {
+    fn supports_gradients(&self) -> bool {
+        true
+    }
+
+    fn pair_gradients(
+        &self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        out: &mut Gradients,
+    ) -> Option<f32> {
         let up = self.residual(pos);
         let un = self.residual(neg);
         let (loss, gp, gn) =
             margin_ranking_loss(vecops::norm2_sq(&up), vecops::norm2_sq(&un), self.margin);
         if loss > 0.0 {
-            self.apply(pos, gp, &up, lr);
-            self.apply(neg, gn, &un, lr);
+            self.emit(pos, gp, &up, lr, out);
+            self.emit(neg, gn, &un, lr, out);
         }
-        loss
+        Some(loss)
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        for (table, row, delta) in grads.iter() {
+            let dst = match table {
+                Self::ENT => self.entities.row_mut(row),
+                Self::REL => self.relations.row_mut(row),
+                Self::EPROJ => self.ent_proj.row_mut(row),
+                _ => self.rel_proj.row_mut(row),
+            };
+            add_delta(dst, delta);
+        }
     }
 
     fn epoch_hook(&mut self) {
@@ -481,7 +626,7 @@ impl RelationModel for TransD {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::testkit::assert_model_learns;
+    use crate::testkit::assert_model_learns;
     use openea_runtime::rng::SeedableRng;
     use openea_runtime::rng::SmallRng;
 
@@ -570,6 +715,33 @@ mod tests {
                 _ => run(&mut TransD::new(3, 1, 8, 2.0, &mut rng)),
             }
             assert!(after < before, "model {which}: {before} -> {after}");
+        }
+    }
+
+    /// The derived `step` (pair_gradients → apply_gradients) must leave a
+    /// self-loop triple's aliased head/tail row finite and updated once per
+    /// recorded entry — the ordered, uncoalesced arena is what guarantees
+    /// this matches the historical in-place write sequence.
+    #[test]
+    fn self_loop_pair_keeps_parameters_finite() {
+        for which in 0..4 {
+            let mut rng = rng();
+            let mut run = |m: &mut dyn RelationModel| {
+                for _ in 0..5 {
+                    m.step((0, 0, 0), (0, 0, 2), 0.1);
+                }
+                assert!(
+                    m.entities().data().iter().all(|v| v.is_finite()),
+                    "{}: non-finite after self-loop steps",
+                    m.name()
+                );
+            };
+            match which {
+                0 => run(&mut TransE::new(3, 1, 8, 2.0, &mut rng)),
+                1 => run(&mut TransH::new(3, 1, 8, 2.0, &mut rng)),
+                2 => run(&mut TransR::new(3, 1, 8, 2.0, &mut rng)),
+                _ => run(&mut TransD::new(3, 1, 8, 2.0, &mut rng)),
+            }
         }
     }
 }

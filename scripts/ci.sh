@@ -13,3 +13,8 @@ cargo fmt --check
 # naive reference on a fixed seed (exits non-zero on divergence), then runs
 # one tiny timing grid. Budget: well under 30 s.
 cargo run --release --offline -p openea-bench -- kernels --smoke --no-out
+
+# Training smoke gate: proves the batched trainer bit-identical to the serial
+# reference (batch size 1) and across thread counts {1,2,8} for every model
+# on the gradient pathway, then times one tiny grid. Budget: a few seconds.
+cargo run --release --offline -p openea-bench -- training --smoke --no-out

@@ -1,0 +1,146 @@
+//! Convergence regression suite: every registered approach must reach its
+//! per-approach Hits@1 floor on a fixed small synthetic pair with a fixed
+//! seed and budget. Unlike the beat-random integration net, these floors are
+//! calibrated to each approach's actual converged accuracy (with head-room),
+//! so a training-engine regression that quietly halves an approach's quality
+//! fails here even when the result is still "better than chance".
+//!
+//! The suite also pins the telemetry contract: approaches driven by the
+//! mini-batch engine must surface a populated `TrainTrace` (per-epoch loss
+//! and throughput, validation checkpoints, a stop reason), while drivers
+//! outside the engine (the GNN family) keep the default empty trace.
+
+use openea::approaches::{StopReason, TrainTrace};
+use openea::prelude::*;
+use openea_runtime::rng::{SeedableRng, SmallRng};
+
+/// Per-approach Hits@1 floors, calibrated at roughly 80% of the observed
+/// score on this exact (pair, split, config, seed) so genuine regressions
+/// trip the wire while seed-level jitter does not.
+const FLOORS: [(&str, f64); 12] = [
+    ("MTransE", 0.07),
+    ("IPTransE", 0.09),
+    ("JAPE", 0.075),
+    ("KDCoE", 0.16),
+    ("BootEA", 0.06),
+    ("GCNAlign", 0.08),
+    ("AttrE", 0.08),
+    ("IMUSE", 0.32),
+    ("SEA", 0.025),
+    ("RSN4EA", 0.12),
+    ("MultiKE", 0.35),
+    ("RDGCN", 0.19),
+];
+
+/// Approaches whose epoch loop runs on the batched training engine and must
+/// therefore emit a populated trace.
+const ENGINE_DRIVEN: [&str; 9] = [
+    "MTransE", "IPTransE", "JAPE", "KDCoE", "BootEA", "AttrE", "IMUSE", "SEA", "MultiKE",
+];
+
+fn fixture() -> (KgPair, Vec<FoldSplit>, RunConfig) {
+    let pair = PresetConfig::new(DatasetFamily::EnFr, 250, false, 300).generate();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    let mut cfg = RunConfig {
+        dim: 16,
+        max_epochs: 40,
+        threads: 2,
+        ..RunConfig::default()
+    };
+    let tr = Translator::new(openea::synth::Language::L2, 4000, 0.02);
+    cfg.word_vectors =
+        openea::models::literal::WordVectors::cross_lingual(cfg.dim, tr.dictionary_pairs(), 0.08);
+    (pair, folds, cfg)
+}
+
+fn assert_engine_trace(name: &str, trace: &TrainTrace, cfg: &RunConfig) {
+    assert!(
+        !trace.epochs.is_empty(),
+        "{name}: engine-driven approach must record per-epoch telemetry"
+    );
+    assert!(
+        trace.epochs.len() <= cfg.max_epochs,
+        "{name}: trace cannot exceed the epoch budget"
+    );
+    assert!(
+        trace.total_wall_s > 0.0,
+        "{name}: wall time must be stamped"
+    );
+    assert_ne!(
+        trace.stop,
+        StopReason::NotRecorded,
+        "{name}: finish() must resolve the stop reason"
+    );
+    for e in &trace.epochs {
+        assert!(e.pairs > 0, "{name}: relations are on, epochs train pairs");
+        assert!(e.mean_loss.is_finite(), "{name}: loss must stay finite");
+        assert!(
+            e.pairs_per_sec() > 0.0,
+            "{name}: throughput must be positive"
+        );
+    }
+    assert!(
+        trace.epochs.iter().any(|e| e.val_hits1.is_some()),
+        "{name}: validation checkpoints must land in the trace"
+    );
+    if let StopReason::EarlyStopped { epoch } = trace.stop {
+        assert_eq!(
+            epoch + 1,
+            trace.epochs.len(),
+            "{name}: early stop must truncate the trace at the stopping epoch"
+        );
+    }
+}
+
+#[test]
+fn every_approach_clears_its_convergence_floor() {
+    let (pair, folds, cfg) = fixture();
+    let mut floors: std::collections::HashMap<&str, f64> = FLOORS.into_iter().collect();
+    for approach in all_approaches() {
+        let name = approach.name();
+        let floor = floors
+            .remove(name)
+            .unwrap_or_else(|| panic!("{name}: missing a floor entry — add it to FLOORS"));
+        let out = approach.run(&pair, &folds[0], &cfg);
+        let eval = evaluate_output(&out, &folds[0].test, cfg.threads);
+        println!("{name:>10}: hits@1 {:.3} (floor {floor:.2})", eval.hits1);
+        assert!(
+            eval.hits1 >= floor,
+            "{name}: hits@1 {:.3} fell below its convergence floor {floor:.2}",
+            eval.hits1
+        );
+        if ENGINE_DRIVEN.contains(&name) {
+            assert_engine_trace(name, &out.trace, &cfg);
+            assert_eq!(out.trace.label, name, "{name}: trace label");
+        } else {
+            assert_eq!(
+                out.trace,
+                TrainTrace::default(),
+                "{name}: non-engine drivers keep the default trace"
+            );
+        }
+    }
+    assert!(
+        floors.is_empty(),
+        "floors without a registered approach: {:?}",
+        floors.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn trace_loss_trends_downward_for_the_reference_approach() {
+    // MTransE is the suite's reference translational approach: over the
+    // budget its mean epoch loss must drop substantially from the first
+    // epoch — the telemetry is only useful if it reflects real optimization.
+    let (pair, folds, cfg) = fixture();
+    let out = approach_by_name("MTransE")
+        .unwrap()
+        .run(&pair, &folds[0], &cfg);
+    let first = out.trace.epochs.first().expect("non-empty").mean_loss;
+    let last = out.trace.epochs.last().expect("non-empty").mean_loss;
+    assert!(
+        last < first * 0.8,
+        "mean loss should fall by >20% over training: first {first}, last {last}"
+    );
+}

@@ -1,0 +1,196 @@
+//! Trainer-equivalence suite: the batched mini-batch engine must be
+//! *bit-identical* across thread counts {1, 2, 8} at every batch size
+//! {1, 7, 64}, and — at batch size 1 on one thread — bit-identical to the
+//! kept serial reference `train_epoch_serial`, for every model on the
+//! gradient pathway. This is the contract that lets every approach driver
+//! use the parallel engine without changing a single reported number.
+
+use openea::math::negsamp::{RawTriple, UniformSampler};
+use openea::models::{
+    train_epoch_batched, train_epoch_serial, DistMult, HolE, RelationModel, RotatE, SimplE,
+    TrainOptions, TransD, TransE, TransH, TransR,
+};
+use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+
+const BATCH_SIZES: [usize; 3] = [1, 7, 64];
+const THREADS: [usize; 3] = [1, 2, 8];
+const SEED: u64 = 11;
+const ENTITIES: u32 = 60;
+const RELATIONS: u32 = 4;
+const DIM: usize = 8;
+const EPOCHS: u64 = 2;
+
+fn triples(n: usize, rng: &mut SmallRng) -> Vec<RawTriple> {
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..ENTITIES),
+                rng.gen_range(0..RELATIONS),
+                rng.gen_range(0..ENTITIES),
+            )
+        })
+        .collect()
+}
+
+/// Bit-level fingerprint: full entity table plus probe energies (which fold
+/// relation-side parameters — hyperplanes, projections, phases — in).
+fn fingerprint(model: &dyn RelationModel, probes: &[RawTriple]) -> Vec<u32> {
+    let mut bits: Vec<u32> = model
+        .entities()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    bits.extend(probes.iter().map(|&t| model.energy(t).to_bits()));
+    bits
+}
+
+fn opts(batch_size: usize, threads: usize) -> TrainOptions {
+    TrainOptions {
+        lr: 0.05,
+        negs_per_pos: 2,
+        batch_size,
+        threads,
+        // Never let the thread clamp collapse the grid on small inputs:
+        // the *requested* thread count must be unobservable, not avoided.
+        min_pairs_per_thread: 1,
+    }
+}
+
+fn check_model(name: &str, make: impl Fn() -> Box<dyn RelationModel>) {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let tr = triples(120, &mut rng);
+    let probes = &tr[..12];
+    let sampler = UniformSampler {
+        num_entities: ENTITIES,
+    };
+    assert!(
+        make().supports_gradients(),
+        "{name}: must be on the gradient pathway"
+    );
+
+    // Serial reference, trained once.
+    let mut serial = make();
+    for e in 0..EPOCHS {
+        train_epoch_serial(serial.as_mut(), &tr, &sampler, 0.05, 2, SEED + e).expect("valid");
+    }
+    let serial_fp = fingerprint(serial.as_ref(), probes);
+
+    for bs in BATCH_SIZES {
+        let mut reference: Option<Vec<u32>> = None;
+        for t in THREADS {
+            let mut model = make();
+            let o = opts(bs, t);
+            for e in 0..EPOCHS {
+                train_epoch_batched(model.as_mut(), &tr, &sampler, &o, SEED + e).expect("valid");
+            }
+            let fp = fingerprint(model.as_ref(), probes);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(
+                    *r, fp,
+                    "{name}: batch_size {bs}, {t} threads diverges from 1 thread"
+                ),
+            }
+        }
+        if bs == 1 {
+            assert_eq!(
+                serial_fp,
+                reference.expect("set above"),
+                "{name}: batch_size 1 must reproduce the serial reference bitwise"
+            );
+        }
+    }
+}
+
+macro_rules! equivalence_tests {
+    ($($test:ident, $name:literal, $make:expr;)*) => {$(
+        #[test]
+        fn $test() {
+            #[allow(clippy::redundant_closure)]
+            check_model($name, || {
+                let mut rng = SmallRng::seed_from_u64(SEED ^ 0x6d6f64);
+                let b: Box<dyn RelationModel> = Box::new($make(&mut rng));
+                b
+            });
+        }
+    )*};
+}
+
+equivalence_tests! {
+    transe_bit_identical, "TransE",
+        |r: &mut SmallRng| TransE::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, r);
+    transh_bit_identical, "TransH",
+        |r: &mut SmallRng| TransH::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, r);
+    transr_bit_identical, "TransR",
+        |r: &mut SmallRng| TransR::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, r);
+    transd_bit_identical, "TransD",
+        |r: &mut SmallRng| TransD::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, r);
+    distmult_bit_identical, "DistMult",
+        |r: &mut SmallRng| DistMult::new(ENTITIES as usize, RELATIONS as usize, DIM, r);
+    hole_bit_identical, "HolE",
+        |r: &mut SmallRng| HolE::new(ENTITIES as usize, RELATIONS as usize, DIM, r);
+    simple_bit_identical, "SimplE",
+        |r: &mut SmallRng| SimplE::new(ENTITIES as usize, RELATIONS as usize, DIM, r);
+    rotate_bit_identical, "RotatE",
+        |r: &mut SmallRng| RotatE::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, r);
+}
+
+#[test]
+fn empty_triples_match_serial_at_every_config() {
+    // Zero triples still runs the model's epoch hook (e.g. entity
+    // renormalization), so the contract is "identical to the serial
+    // reference", not "parameters untouched".
+    let sampler = UniformSampler {
+        num_entities: ENTITIES,
+    };
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut serial = TransE::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, &mut rng);
+    train_epoch_serial(&mut serial, &[], &sampler, 0.05, 2, SEED).expect("valid");
+    let serial_bits: Vec<u32> = serial
+        .entities()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    for bs in BATCH_SIZES {
+        for t in THREADS {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            let mut model = TransE::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, &mut rng);
+            let stats =
+                train_epoch_batched(&mut model, &[], &sampler, &opts(bs, t), SEED).expect("valid");
+            assert_eq!(stats.pairs, 0);
+            assert_eq!(stats.mean_loss, 0.0);
+            let bits: Vec<u32> = model
+                .entities()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(serial_bits, bits, "bs {bs}, {t} threads");
+        }
+    }
+}
+
+#[test]
+fn single_triple_is_thread_invariant() {
+    let tr = [(3u32, 1u32, 7u32)];
+    let sampler = UniformSampler {
+        num_entities: ENTITIES,
+    };
+    for bs in BATCH_SIZES {
+        let mut reference: Option<Vec<u32>> = None;
+        for t in THREADS {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            let mut model = TransE::new(ENTITIES as usize, RELATIONS as usize, DIM, 1.0, &mut rng);
+            let stats =
+                train_epoch_batched(&mut model, &tr, &sampler, &opts(bs, t), SEED).expect("valid");
+            assert_eq!(stats.pairs, 2, "one positive x negs_per_pos");
+            let fp = fingerprint(&model, &tr);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(*r, fp, "bs {bs}, {t} threads"),
+            }
+        }
+    }
+}
