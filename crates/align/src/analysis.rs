@@ -156,7 +156,7 @@ mod tests {
         let prof = topk_similarity_profile(&sim, 3);
         assert_eq!(prof.len(), 3);
         assert!(prof[0] >= prof[1] && prof[1] >= prof[2]);
-        assert!((prof[0] - (0.9 + 0.8) as f64 / 2.0).abs() < 1e-6);
+        assert!((prof[0] - (0.9 + 0.8) / 2.0).abs() < 1e-6);
     }
 
     #[test]

@@ -254,7 +254,7 @@ mod tests {
             SimilarityMatrix::from_raw(3, 3, vec![0.9, 0.1, 0.0, 0.2, 0.8, 0.1, 0.0, 0.3, 0.7]);
         let topk = TopKMatrix::from_matrix(&sim, 3);
         let plan = sinkhorn_plan_topk(&topk, SinkhornConfig::default());
-        let mut col_sums = vec![0.0f32; 3];
+        let mut col_sums = [0.0f32; 3];
         for (i, row) in plan.iter().enumerate() {
             let row_sum: f32 = row.iter().map(|&(_, m)| m).sum();
             assert!(

@@ -20,8 +20,10 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(1);
     let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
     let split = &folds[0];
-    let mut cfg = RunConfig::default();
-    cfg.max_epochs = 60;
+    let mut cfg = RunConfig {
+        max_epochs: 60,
+        ..RunConfig::default()
+    };
     // cross-lingual word vectors
     if fam == openea_synth::DatasetFamily::EnFr {
         let tr = openea_synth::Translator::new(openea_synth::Language::L2, 4000, 0.02);

@@ -5,16 +5,13 @@
 //! which makes the encoder robust to the neighborhood heterogeneity between
 //! two KGs (counterpart entities rarely have identical one-hop contexts).
 
-use crate::common::{
-    validation_hits1, Approach, ApproachOutput, EarlyStopper, Req, Requirements, RunConfig,
-    TrainTrace,
-};
-use crate::gcn::union_edges;
-use openea_align::Metric;
+use crate::common::{Approach, ApproachOutput, Requirements, RunConfig, TrainError};
+use crate::engine::{run_driver, RunContext};
+use crate::gcn::{split_normalized, union_edges, GnnHooks, GnnModel};
 use openea_autodiff::{Graph, SparseMatrix, Tensor};
 use openea_core::{AlignedPair, FoldSplit, KgPair};
+use openea_runtime::rng::Rng;
 use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{Rng, SeedableRng};
 
 /// AliNet.
 pub struct AliNet;
@@ -154,21 +151,17 @@ impl AliNetParams {
         let w2 = g.leaf(self.w2.clone());
         let wg = g.leaf(self.wg.clone());
         let h = Self::forward(g, self.adj1, self.adj2, x, w1, w2, wg);
-        let hv = g.value(h);
-        let dim = hv.cols;
-        let mut emb1 = hv.data[..self.n1 * dim].to_vec();
-        let mut emb2 = hv.data[self.n1 * dim..].to_vec();
-        for row in emb1.chunks_mut(dim).chain(emb2.chunks_mut(dim)) {
-            openea_math::vecops::normalize(row);
-        }
-        ApproachOutput {
-            dim,
-            metric: Metric::Manhattan,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        split_normalized(g.value(h), self.n1)
+    }
+}
+
+impl GnnModel for AliNetParams {
+    fn step(&mut self, seeds: &[AlignedPair], margin: f32, lr: f32, rng: &mut SmallRng) -> f32 {
+        AliNetParams::step(self, seeds, margin, lr, rng)
+    }
+
+    fn output(&mut self, cfg: &RunConfig) -> ApproachOutput {
+        AliNetParams::output(self, cfg)
     }
 }
 
@@ -203,40 +196,30 @@ impl Approach for AliNet {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::NotApplicable,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::NotApplicable,
-            word_embeddings: Req::NotApplicable,
-        }
+        Requirements::RELATION_BASED
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
+        cfg.validate()?;
+        let mut rng = ctx.driver_rng();
         let mut params = AliNetParams::new(pair, cfg.dim, &mut rng);
         if !cfg.use_relations {
-            return params.output(cfg);
+            return Ok(params.output(cfg));
         }
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            for _ in 0..8 {
-                params.step(&split.train, cfg.margin, cfg.lr * 5.0, &mut rng);
-            }
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = params.output(cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    break;
-                }
-            }
-        }
-        best.unwrap_or_else(|| params.output(cfg))
+        let mut hooks = GnnHooks {
+            cfg,
+            seeds: &split.train,
+            model: params,
+            rng,
+            finish: None,
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
     }
 }
 
@@ -255,6 +238,7 @@ fn near_identity<R: Rng>(dim: usize, rng: &mut R) -> Tensor {
 mod tests {
     use super::*;
     use openea_core::k_fold_splits;
+    use openea_runtime::rng::SeedableRng;
 
     #[test]
     fn two_hop_edges_skip_self_and_cap() {

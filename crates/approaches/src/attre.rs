@@ -8,17 +8,15 @@
 //! Cosine metric, sharing combination.
 
 use crate::common::{
-    train_epoch_batched, validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper,
-    EpochStats, Req, Requirements, RunConfig, TraceRecorder, TrainTrace, UnifiedSpace,
+    Approach, ApproachOutput, Combination, EpochStats, Req, Requirements, RunConfig, TrainError,
+    UnifiedSpace, UnifiedTransE,
 };
+use crate::engine::{run_driver, EpochHooks, RunContext};
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
-use openea_math::negsamp::UniformSampler;
 use openea_math::vecops;
 use openea_models::literal::char_ngram_vector;
 use openea_models::{RelationModel, TransE};
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{RngCore, SeedableRng};
 
 /// The character-level literal profile of every entity: the normalized sum
 /// of character-n-gram vectors of its attribute values.
@@ -53,28 +51,18 @@ impl Approach for AttrE {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Optional,
-            attr_triples: Req::Optional,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::Optional,
-            word_embeddings: Req::NotApplicable,
-        }
+        use Req::*;
+        Requirements::of(Optional, Optional, Mandatory, Optional, NotApplicable)
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
         let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
-        let mut model = TransE::new(
-            space.num_entities,
-            space.num_relations.max(1),
-            cfg.dim,
-            cfg.margin,
-            &mut rng,
-        );
-        let sampler = UniformSampler {
-            num_entities: space.num_entities.max(1) as u32,
-        };
 
         // Fixed character-level literal profiles (unified ids).
         let profiles: Option<Vec<(u32, Vec<f32>)>> = cfg.use_attributes.then(|| {
@@ -96,61 +84,52 @@ impl Approach for AttrE {
             v
         });
 
-        let opts = cfg.train_options(space.triples.len());
-        let mut rec = TraceRecorder::new(self.name());
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
-                    .expect("valid train options")
-            } else {
-                EpochStats::default()
-            };
-            if let Some(profiles) = &profiles {
-                // Pull each entity toward its (fixed) literal profile:
-                // the cross-KG unification signal of AttrE.
-                let lr = cfg.lr * self.attr_weight;
-                for (uid, profile) in profiles {
-                    let row = model.entities.row_mut(*uid as usize);
-                    for i in 0..cfg.dim {
-                        row[i] -= 2.0 * lr * (row[i] - profile[i]);
-                    }
-                }
-            }
-            rec.end_epoch(epoch, stats);
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.output(&space, &model, cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
+        let mut hooks = Hooks {
+            approach: self,
+            cfg,
+            base: UnifiedTransE::new(space, cfg, ctx.driver_rng()),
+            profiles,
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
+    }
+}
+
+struct Hooks<'a> {
+    approach: &'a AttrE,
+    cfg: &'a RunConfig,
+    base: UnifiedTransE,
+    profiles: Option<Vec<(u32, Vec<f32>)>>,
+}
+
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        self.base.train_epoch(self.cfg)
+    }
+
+    fn after_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) {
+        if let Some(profiles) = &self.profiles {
+            // Pull each entity toward its (fixed) literal profile: the
+            // cross-KG unification signal of AttrE.
+            let lr = self.cfg.lr * self.approach.attr_weight;
+            for (uid, profile) in profiles {
+                let row = self.base.model.entities.row_mut(*uid as usize);
+                for i in 0..self.cfg.dim {
+                    row[i] -= 2.0 * lr * (row[i] - profile[i]);
                 }
             }
         }
-        let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
-        out.trace = rec.finish();
-        out
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach
+            .output(&self.base.space, &self.base.model, self.cfg)
     }
 }
 
 impl AttrE {
     fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
         let (emb1, emb2) = space.extract(model.entities());
-        ApproachOutput {
-            dim: cfg.dim,
-            metric: Metric::Cosine,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        ApproachOutput::new(cfg.dim, Metric::Cosine, emb1, emb2)
     }
 }
 

@@ -59,18 +59,10 @@ pub fn propose_alignment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::TrainTrace;
     use openea_align::Metric;
 
     fn out(emb1: Vec<f32>, emb2: Vec<f32>) -> ApproachOutput {
-        ApproachOutput {
-            dim: 2,
-            metric: Metric::Cosine,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        ApproachOutput::new(2, Metric::Cosine, emb1, emb2)
     }
 
     #[test]

@@ -7,17 +7,16 @@
 
 use crate::boot::{propose_alignment, unaligned_entities};
 use crate::common::{
-    augmentation_quality, calibrate, train_epoch_batched, validation_hits1, Approach,
-    ApproachOutput, Combination, EarlyStopper, EpochStats, Req, Requirements, RunConfig,
-    TraceRecorder, TrainTrace, UnifiedSpace,
+    augmentation_quality, calibrate, train_epoch_batched, Approach, ApproachOutput, Combination,
+    EpochStats, Req, Requirements, RunConfig, TrainError, TrainOptions, UnifiedSpace,
 };
-use openea_align::{Metric, TopKMatrix};
+use crate::engine::{run_driver, EpochHooks, RunContext};
+use openea_align::{Metric, PrfScores, TopKMatrix};
 use openea_core::{EntityId, FoldSplit, KgPair};
 use openea_math::negsamp::{RawTriple, TruncatedSampler, UniformSampler};
 use openea_models::translational::LossKind;
 use openea_models::{RelationModel, TransE};
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{RngCore, SeedableRng};
+use openea_runtime::rng::{RngCore, SmallRng};
 use std::collections::HashSet;
 
 /// BootEA.
@@ -73,14 +72,7 @@ impl BootEa {
 
     fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
         let (emb1, emb2) = space.extract(model.entities());
-        ApproachOutput {
-            dim: cfg.dim,
-            metric: Metric::Cosine,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        ApproachOutput::new(cfg.dim, Metric::Cosine, emb1, emb2)
     }
 }
 
@@ -90,20 +82,20 @@ impl Approach for BootEa {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::NotApplicable,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::Optional,
-            word_embeddings: Req::NotApplicable,
-        }
+        use Req::*;
+        Requirements::of(Mandatory, NotApplicable, Mandatory, Optional, NotApplicable)
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
+        let mut rng = ctx.driver_rng();
         let space = UnifiedSpace::build(pair, &split.train, Combination::Swapping);
         let base_triples = space.triples.clone();
-        let mut triples: Vec<RawTriple> = base_triples.clone();
         let mut model = TransE::new(
             space.num_entities,
             space.num_relations.max(1),
@@ -116,79 +108,118 @@ impl Approach for BootEa {
             lambda_neg: 1.2,
             mu: 0.2,
         };
-        let uniform = UniformSampler {
-            num_entities: space.num_entities.max(1) as u32,
-        };
-        let mut truncated: Option<TruncatedSampler> = None;
-
-        let train_set: HashSet<EntityId> = split.train.iter().map(|&(a, _)| a).collect();
-        let train_set2: HashSet<EntityId> = split.train.iter().map(|&(_, b)| b).collect();
         let gold: HashSet<(EntityId, EntityId)> = pair
             .alignment
             .iter()
             .copied()
             .filter(|p| !split.train.contains(p))
             .collect();
-        let mut proposed: Vec<(EntityId, EntityId)> = Vec::new();
-        let mut augmentation = Vec::new();
 
         let opts = cfg.train_options(base_triples.len());
-        let mut rec = TraceRecorder::new(self.name());
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                let seed = rng.next_u64();
-                match &truncated {
-                    Some(s) => train_epoch_batched(&mut model, &triples, s, &opts, seed),
-                    None => train_epoch_batched(&mut model, &triples, &uniform, &opts, seed),
-                }
-                .expect("valid train options")
-            } else {
-                EpochStats::default()
-            };
-            // Calibrate the bootstrapped pairs each epoch.
-            let prop_uids: Vec<(u32, u32)> = proposed
-                .iter()
-                .map(|&(a, b)| (space.uid1(a), space.uid2(b)))
-                .collect();
-            calibrate(&mut model.entities, &prop_uids, cfg.lr);
+        let uniform = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
+        let mut hooks = Hooks {
+            approach: self,
+            pair,
+            cfg,
+            space,
+            model,
+            uniform,
+            truncated: None,
+            triples: base_triples.clone(),
+            base_triples,
+            train_set: split.train.iter().map(|&(a, _)| a).collect(),
+            train_set2: split.train.iter().map(|&(_, b)| b).collect(),
+            gold,
+            proposed: Vec::new(),
+            augmentation: Vec::new(),
+            opts,
+            rng,
+        };
+        let mut out = run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)?;
+        out.augmentation = hooks.augmentation;
+        Ok(out)
+    }
+}
 
-            if self.bootstrapping && (epoch + 1) % self.boot_every == 0 {
-                // Refresh hard negatives from the current space.
-                truncated = Some(self.refresh_sampler(&model, cfg.threads));
-                // Propose a fresh, conflict-edited alignment each round.
-                let out = self.output(&space, &model, cfg);
-                let cand1 = unaligned_entities(pair.kg1.num_entities(), &train_set);
-                let cand2 = unaligned_entities(pair.kg2.num_entities(), &train_set2);
-                proposed =
-                    propose_alignment(&out, &cand1, &cand2, self.threshold, true, cfg.threads);
-                augmentation.push(augmentation_quality(&proposed, &gold));
-                // Swap triples for the new proposals on top of the base set.
-                triples = base_triples.clone();
-                triples.extend(space.swap_triples(pair, &proposed));
-            }
-            rec.end_epoch(epoch, stats);
+/// Engine hooks: limit-loss TransE over the (possibly swapped) triples with
+/// truncated negatives once bootstrapping starts, per-epoch calibration of
+/// the proposed pairs, and a conflict-edited self-training round every
+/// `boot_every` epochs.
+struct Hooks<'a> {
+    approach: &'a BootEa,
+    pair: &'a KgPair,
+    cfg: &'a RunConfig,
+    space: UnifiedSpace,
+    model: TransE,
+    uniform: UniformSampler,
+    truncated: Option<TruncatedSampler>,
+    triples: Vec<RawTriple>,
+    base_triples: Vec<RawTriple>,
+    train_set: HashSet<EntityId>,
+    train_set2: HashSet<EntityId>,
+    gold: HashSet<(EntityId, EntityId)>,
+    proposed: Vec<(EntityId, EntityId)>,
+    augmentation: Vec<PrfScores>,
+    opts: TrainOptions,
+    rng: SmallRng,
+}
 
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.output(&space, &model, cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
-                }
-            }
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        if !self.cfg.use_relations {
+            return EpochStats::default();
         }
-        let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
-        out.augmentation = augmentation;
-        out.trace = rec.finish();
-        out
+        let seed = self.rng.next_u64();
+        match &self.truncated {
+            Some(s) => train_epoch_batched(&mut self.model, &self.triples, s, &self.opts, seed),
+            None => train_epoch_batched(
+                &mut self.model,
+                &self.triples,
+                &self.uniform,
+                &self.opts,
+                seed,
+            ),
+        }
+        .expect("valid train options")
+    }
+
+    fn after_epoch(&mut self, epoch: usize, _ctx: &RunContext<'_>) {
+        // Calibrate the bootstrapped pairs each epoch.
+        let prop_uids: Vec<(u32, u32)> = self
+            .proposed
+            .iter()
+            .map(|&(a, b)| (self.space.uid1(a), self.space.uid2(b)))
+            .collect();
+        calibrate(&mut self.model.entities, &prop_uids, self.cfg.lr);
+
+        if self.approach.bootstrapping && (epoch + 1).is_multiple_of(self.approach.boot_every) {
+            // Refresh hard negatives from the current space.
+            self.truncated = Some(self.approach.refresh_sampler(&self.model, self.cfg.threads));
+            // Propose a fresh, conflict-edited alignment each round.
+            let out = self.approach.output(&self.space, &self.model, self.cfg);
+            let cand1 = unaligned_entities(self.pair.kg1.num_entities(), &self.train_set);
+            let cand2 = unaligned_entities(self.pair.kg2.num_entities(), &self.train_set2);
+            self.proposed = propose_alignment(
+                &out,
+                &cand1,
+                &cand2,
+                self.approach.threshold,
+                true,
+                self.cfg.threads,
+            );
+            self.augmentation
+                .push(augmentation_quality(&self.proposed, &self.gold));
+            // Swap triples for the new proposals on top of the base set.
+            self.triples = self.base_triples.clone();
+            self.triples
+                .extend(self.space.swap_triples(self.pair, &self.proposed));
+        }
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach.output(&self.space, &self.model, self.cfg)
     }
 }
 
@@ -197,6 +228,7 @@ mod tests {
     use super::*;
     use openea_math::negsamp::NegSampler;
     use openea_math::{EmbeddingTable, Initializer};
+    use openea_runtime::rng::SeedableRng;
 
     #[test]
     fn refresh_sampler_builds_topk_lists() {

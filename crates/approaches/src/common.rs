@@ -7,13 +7,17 @@ use openea_align::{
     TopKMatrix,
 };
 use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
-use openea_math::negsamp::RawTriple;
+use openea_math::negsamp::{RawTriple, UniformSampler};
 use openea_math::vecops;
 use openea_math::EmbeddingTable;
 use openea_models::literal::{LiteralEncoder, WordVectors};
 pub use openea_models::trainer::{
-    train_epoch_batched, EpochTrace, StopReason, TraceRecorder, TrainOptions, TrainTrace,
+    train_epoch_batched, EpochTrace, StopReason, TraceRecorder, TrainError, TrainOptions,
+    TrainTrace,
 };
+use openea_runtime::rng::{RngCore, SmallRng};
+
+use crate::engine::RunContext;
 pub use openea_models::traits::EpochStats;
 use std::collections::{HashMap, HashSet};
 
@@ -46,6 +50,51 @@ pub struct Requirements {
     pub pre_aligned_entities: Req,
     pub pre_aligned_properties: Req,
     pub word_embeddings: Req,
+}
+
+impl Default for Requirements {
+    /// Everything optional — the neutral column for internal harnesses that
+    /// are not one of the Table 9 approaches.
+    fn default() -> Self {
+        use Req::Optional;
+        Self::of(Optional, Optional, Optional, Optional, Optional)
+    }
+}
+
+impl Requirements {
+    /// Positional Table 9 column: relation triples, attribute triples,
+    /// pre-aligned entities, pre-aligned properties, word embeddings.
+    pub const fn of(rel: Req, attr: Req, ents: Req, props: Req, words: Req) -> Self {
+        Self {
+            rel_triples: rel,
+            attr_triples: attr,
+            pre_aligned_entities: ents,
+            pre_aligned_properties: props,
+            word_embeddings: words,
+        }
+    }
+
+    /// Table 9 column shared by the purely structural approaches: relation
+    /// triples and seed entity pairs, nothing else. Rows that differ in one
+    /// cell derive from this with struct-update syntax.
+    pub const RELATION_BASED: Self = Self::of(
+        Req::Mandatory,
+        Req::NotApplicable,
+        Req::Mandatory,
+        Req::NotApplicable,
+        Req::NotApplicable,
+    );
+
+    /// Table 9 column shared by the literal-augmented approaches: structure
+    /// optional, seed entities mandatory, word embeddings useful only when
+    /// the KGs cross a language boundary.
+    pub const LITERAL_AUGMENTED: Self = Self::of(
+        Req::Optional,
+        Req::Optional,
+        Req::Mandatory,
+        Req::Optional,
+        Req::CrossLingualOnly,
+    );
 }
 
 /// Hyper-parameters shared by every run (Table 4 analogue).
@@ -106,6 +155,22 @@ impl Default for RunConfig {
 }
 
 impl RunConfig {
+    /// Rejects configurations the driver engine cannot run: a zero
+    /// `check_every` would divide by zero in the validation cadence, and a
+    /// zero `dim` or `max_epochs` could never produce trained embeddings.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        if self.check_every == 0 {
+            return Err(TrainError::ZeroCheckEvery);
+        }
+        if self.dim == 0 {
+            return Err(TrainError::ZeroDim);
+        }
+        if self.max_epochs == 0 {
+            return Err(TrainError::ZeroMaxEpochs);
+        }
+        Ok(())
+    }
+
     pub fn literal_encoder(&self) -> LiteralEncoder {
         LiteralEncoder::new(self.word_vectors.clone())
     }
@@ -145,6 +210,44 @@ pub struct ApproachOutput {
 }
 
 impl ApproachOutput {
+    /// An output with no augmentation history and an empty trace (the engine
+    /// attaches the trace after training).
+    pub fn new(dim: usize, metric: Metric, emb1: Vec<f32>, emb2: Vec<f32>) -> Self {
+        Self {
+            dim,
+            metric,
+            emb1,
+            emb2,
+            augmentation: Vec::new(),
+            trace: TrainTrace::default(),
+        }
+    }
+
+    /// FNV-1a hash over the exact bit patterns of both embedding matrices
+    /// (plus `dim` and the metric tag). Two outputs hash equal iff they are
+    /// bit-identical — the regression oracle for the driver-engine golden
+    /// tests and the cross-thread determinism contract.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.dim as u64).to_le_bytes());
+        eat(&[self.metric as u8]);
+        for emb in [&self.emb1, &self.emb2] {
+            eat(&(emb.len() as u64).to_le_bytes());
+            for v in emb {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     pub fn vec1(&self, e: EntityId) -> &[f32] {
         &self.emb1[e.idx() * self.dim..(e.idx() + 1) * self.dim]
     }
@@ -437,6 +540,31 @@ pub fn literal_features(kg: &KnowledgeGraph, enc: &LiteralEncoder) -> Vec<f32> {
     out
 }
 
+/// Weighted concatenation of a structural embedding with auxiliary feature
+/// views — the inference-time combination JAPE, GCNAlign, IMUSE, KDCoE and
+/// MultiKE share. Each `dim`-wide structural row is L2-normalized then
+/// scaled by `w`; each `(features, feature_dim, weight)` view appends its
+/// matching row scaled raw (literal features are already unit rows).
+pub(crate) fn weighted_concat(
+    structure: &[f32],
+    dim: usize,
+    w: f32,
+    views: &[(&[f32], usize, f32)],
+) -> Vec<f32> {
+    let n = structure.len() / dim.max(1);
+    let out_dim = dim + views.iter().map(|&(_, d, _)| d).sum::<usize>();
+    let mut out = Vec::with_capacity(n * out_dim);
+    for i in 0..n {
+        let mut srow = structure[i * dim..(i + 1) * dim].to_vec();
+        vecops::normalize(&mut srow);
+        out.extend(srow.iter().map(|x| x * w));
+        for &(f, fd, fw) in views {
+            out.extend(f[i * fd..(i + 1) * fd].iter().map(|x| x * fw));
+        }
+    }
+    out
+}
+
 /// Precision/recall/F1 of a set of proposed pairs against the full gold
 /// alignment, for the Figure 7 augmentation curves. Both are given in KG
 /// entity ids.
@@ -449,16 +577,96 @@ pub fn augmentation_quality(
     precision_recall_f1(&pred, &gold_raw)
 }
 
+/// Shared driver state for approaches whose epoch is one batched TransE
+/// pass over a unified space (JAPE, IMUSE, IPTransE, AttrE, MultiKE): the
+/// space, the model initialized from the driver RNG, the uniform negative
+/// sampler and the per-epoch seed draws, in exactly the historical order.
+pub(crate) struct UnifiedTransE {
+    pub space: UnifiedSpace,
+    pub model: openea_models::TransE,
+    pub sampler: UniformSampler,
+    pub opts: TrainOptions,
+    pub rng: SmallRng,
+}
+
+impl UnifiedTransE {
+    pub fn new(space: UnifiedSpace, cfg: &RunConfig, mut rng: SmallRng) -> Self {
+        let model = openea_models::TransE::new(
+            space.num_entities,
+            space.num_relations.max(1),
+            cfg.dim,
+            cfg.margin,
+            &mut rng,
+        );
+        let sampler = UniformSampler {
+            num_entities: space.num_entities.max(1) as u32,
+        };
+        let opts = cfg.train_options(space.triples.len());
+        Self {
+            space,
+            model,
+            sampler,
+            opts,
+            rng,
+        }
+    }
+
+    /// One guarded batched epoch; a no-op under `use_relations == false`.
+    pub fn train_epoch(&mut self, cfg: &RunConfig) -> EpochStats {
+        if !cfg.use_relations {
+            return EpochStats::default();
+        }
+        train_epoch_batched(
+            &mut self.model,
+            &self.space.triples,
+            &self.sampler,
+            &self.opts,
+            self.rng.next_u64(),
+        )
+        .expect("valid train options")
+    }
+}
+
 /// The interface of an entity-alignment approach.
+///
+/// Implementors provide [`Approach::try_run`]; the provided `run` /
+/// `run_with` wrappers build a default [`RunContext`] and surface invalid
+/// configurations as panics for callers that predate the fallible API.
 pub trait Approach: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Table 9 column for this approach.
     fn requirements(&self) -> Requirements;
 
-    /// Trains on `split.train` (+`split.valid` for early stopping) and
-    /// returns alignment-ready embeddings.
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput;
+    /// Trains on `split.train` (+`split.valid` for early stopping) under
+    /// the given run context and returns alignment-ready embeddings, or the
+    /// configuration error that prevented the run from starting.
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError>;
+
+    /// Infallible convenience wrapper over [`Approach::try_run`] with a
+    /// default context (no budget, no telemetry sink).
+    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+        self.run_with(pair, split, cfg, &RunContext::new(cfg))
+    }
+
+    /// Like [`Approach::run`] but under a caller-provided context carrying
+    /// a wall/epoch budget and telemetry sink.
+    fn run_with(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> ApproachOutput {
+        self.try_run(pair, split, cfg, ctx)
+            .unwrap_or_else(|e| panic!("{}: invalid run config: {e}", self.name()))
+    }
 }
 
 #[cfg(test)]
@@ -779,14 +987,7 @@ impl ApproachOutput {
                 "dimension mismatch between KGs",
             ));
         }
-        Ok(ApproachOutput {
-            dim: d1,
-            metric,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        })
+        Ok(ApproachOutput::new(d1, metric, emb1, emb2))
     }
 }
 
@@ -808,14 +1009,12 @@ mod tsv_tests {
             kg2.entity_by_name("a2").unwrap(),
         )];
         let pair = KgPair::new(kg1, kg2, al);
-        let out = ApproachOutput {
-            dim: 3,
-            metric: Metric::Cosine,
-            emb1: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-            emb2: vec![0.5, -1.5, 2.5, 7.0, 8.0, 9.0],
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        };
+        let out = ApproachOutput::new(
+            3,
+            Metric::Cosine,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![0.5, -1.5, 2.5, 7.0, 8.0, 9.0],
+        );
         let path = std::env::temp_dir().join(format!("openea_emb_{}.tsv", std::process::id()));
         out.write_tsv(&path, &pair).unwrap();
         let back = ApproachOutput::read_tsv(&path, &pair, Metric::Cosine).unwrap();

@@ -1,0 +1,221 @@
+//! The driver engine: one hook-based epoch loop shared by every approach.
+//!
+//! Each approach driver used to hand-copy ~50 lines of scaffolding — epoch
+//! iteration, validation cadence, early stopping, best-checkpoint retention
+//! and trace recording. [`run_driver`] owns that loop once; drivers express
+//! only their differences through [`EpochHooks`]: per-epoch training,
+//! bootstrapping / co-training / calibration between epochs, and checkpoint
+//! extraction.
+//!
+//! Determinism contract: the engine adds no randomness of its own. All RNG
+//! flows through the hooks from streams the driver derives from
+//! [`RunContext::seed`], and the loop structure (before-epoch → train →
+//! after-epoch bookkeeping → validation every `check_every` epochs)
+//! reproduces the historical hand-written drivers exactly, so a migrated
+//! driver is bit-identical by construction — pinned by the golden-hash
+//! suite in `tests/approach_matrix.rs` across thread counts {1, 2, 8}.
+//! Deadline checks consult the wall clock but only decide *whether* the
+//! next epoch starts, never how an epoch trains, so an unbudgeted run is
+//! unaffected by timing noise.
+
+use crate::common::{
+    validation_hits1, ApproachOutput, EarlyStopper, EpochStats, RunConfig, TraceRecorder,
+};
+use openea_core::AlignedPair;
+use openea_models::trainer::{EpochTrace, StopReason, TrainError};
+use openea_runtime::rng::{SeedableRng, SmallRng};
+use std::time::{Duration, Instant};
+
+/// Wall-clock / epoch ceiling for a driver run. The default imposes none.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Hard wall-clock ceiling on the whole epoch loop; once exceeded the
+    /// engine stops gracefully before the next epoch.
+    pub max_wall: Option<Duration>,
+    /// Cap on trained epochs, tightening `RunConfig::max_epochs`.
+    pub max_epochs: Option<usize>,
+}
+
+impl Budget {
+    /// No limits.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A wall-clock-only budget of `secs` seconds.
+    pub fn wall_secs(secs: f64) -> Self {
+        Self {
+            max_wall: Some(Duration::from_secs_f64(secs)),
+            max_epochs: None,
+        }
+    }
+
+    /// An epoch-count-only budget.
+    pub fn epochs(n: usize) -> Self {
+        Self {
+            max_wall: None,
+            max_epochs: Some(n),
+        }
+    }
+
+    /// Whether the budget is spent `elapsed` into a run with `epochs_done`
+    /// completed epochs.
+    fn exhausted(&self, elapsed: Duration, epochs_done: usize) -> bool {
+        self.max_wall.is_some_and(|w| elapsed >= w)
+            || self.max_epochs.is_some_and(|m| epochs_done >= m)
+    }
+}
+
+/// Live telemetry receiver: the engine reports every ended epoch (with its
+/// validation score attached when the epoch was a checkpoint) and the final
+/// stop reason. Implementations must be cheap — they run inside the loop.
+pub trait TelemetrySink: Sync {
+    fn on_epoch(&self, _label: &str, _epoch: &EpochTrace) {}
+    fn on_stop(&self, _label: &str, _stop: &StopReason) {}
+}
+
+/// Everything a driver run needs beyond the hyper-parameters: the run seed
+/// (root of every reserved RNG stream), the worker thread count, an
+/// optional wall/epoch [`Budget`], the validation pairs the engine
+/// checkpoints on, and an optional [`TelemetrySink`].
+#[derive(Clone, Copy)]
+pub struct RunContext<'a> {
+    /// Run seed; every driver RNG stream derives from it.
+    pub seed: u64,
+    /// Worker threads for training and similarity search.
+    pub threads: usize,
+    pub budget: Budget,
+    /// Validation pairs for the checkpoint cadence. `None` disables
+    /// validation and early stopping entirely (the unsupervised pipeline);
+    /// supervised drivers install `split.valid` via [`RunContext::for_valid`].
+    pub valid: Option<&'a [AlignedPair]>,
+    pub sink: Option<&'a dyn TelemetrySink>,
+}
+
+impl<'a> RunContext<'a> {
+    /// A default context mirroring the configuration: no budget, no
+    /// validation override, no sink.
+    pub fn new(cfg: &RunConfig) -> Self {
+        Self {
+            seed: cfg.seed,
+            threads: cfg.threads,
+            budget: Budget::none(),
+            valid: None,
+            sink: None,
+        }
+    }
+
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    pub fn with_sink(mut self, sink: &'a dyn TelemetrySink) -> RunContext<'a> {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The same context with validation checkpoints driven by `valid`.
+    pub fn for_valid(mut self, valid: &'a [AlignedPair]) -> RunContext<'a> {
+        self.valid = Some(valid);
+        self
+    }
+
+    /// The driver's own RNG (model init, shuffles, per-epoch train seeds) —
+    /// seeded from the run seed exactly as the historical drivers did.
+    pub fn driver_rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed)
+    }
+
+    /// Reserved stream `idx` of the run seed's stream registry, decorrelated
+    /// from the driver RNG and from other streams.
+    pub fn stream(&self, idx: u64) -> SmallRng {
+        SmallRng::stream(self.seed, idx)
+    }
+
+    /// Salted seed for an auxiliary sub-model (KDCoE's second KG model, the
+    /// transformation harness factories).
+    pub fn model_seed(&self, salt: u64) -> u64 {
+        self.seed ^ salt
+    }
+}
+
+/// The per-approach hooks the engine drives. Only `train_epoch` and
+/// `checkpoint` carry real work for most drivers; `before_epoch` /
+/// `after_epoch` host the semi-supervised extras (sampler refresh,
+/// bootstrapping, iterative augmentation, co-training, soft calibration) at
+/// exactly the loop positions the historical drivers used.
+pub trait EpochHooks {
+    /// Runs before an epoch's training step.
+    fn before_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) {}
+
+    /// Trains one epoch and reports its loss/throughput stats.
+    fn train_epoch(&mut self, epoch: usize, ctx: &RunContext<'_>) -> EpochStats;
+
+    /// Runs after training but before the epoch closes (bootstrapping,
+    /// augmentation, attribute pulls — their wall time bills to the epoch).
+    fn after_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) {}
+
+    /// Extracts the current alignment-ready output; called at validation
+    /// checkpoints and once more for the final result when no checkpoint
+    /// was retained.
+    fn checkpoint(&mut self, ctx: &RunContext<'_>) -> ApproachOutput;
+}
+
+/// Runs the shared driver loop: epoch iteration under the context's budget,
+/// validation every `cfg.check_every` epochs with best-checkpoint retention
+/// and early stopping, and trace recording. Returns the best validated
+/// output (falling back to a final checkpoint when validation never ran)
+/// with its [`crate::common::TrainTrace`] attached, or the configuration
+/// error that prevented the run from starting.
+pub fn run_driver<H: EpochHooks>(
+    label: &str,
+    hooks: &mut H,
+    ctx: &RunContext<'_>,
+    cfg: &RunConfig,
+) -> Result<ApproachOutput, TrainError> {
+    cfg.validate()?;
+    let start = Instant::now();
+    let mut rec = TraceRecorder::new(label);
+    let mut stopper = EarlyStopper::new(cfg.patience);
+    let mut best: Option<ApproachOutput> = None;
+    for epoch in 0..cfg.max_epochs {
+        if ctx.budget.exhausted(start.elapsed(), epoch) {
+            rec.deadline_stop(epoch);
+            break;
+        }
+        rec.begin_epoch();
+        hooks.before_epoch(epoch, ctx);
+        let stats = hooks.train_epoch(epoch, ctx);
+        hooks.after_epoch(epoch, ctx);
+        rec.end_epoch(epoch, stats);
+
+        let mut stop = false;
+        if let Some(valid) = ctx.valid {
+            if (epoch + 1).is_multiple_of(cfg.check_every) {
+                let out = hooks.checkpoint(ctx);
+                let score = validation_hits1(&out, valid, ctx.threads);
+                rec.record_validation(score);
+                if score > stopper.best() || best.is_none() {
+                    best = Some(out);
+                }
+                if stopper.should_stop(score) {
+                    rec.early_stop(epoch);
+                    stop = true;
+                }
+            }
+        }
+        if let (Some(sink), Some(e)) = (ctx.sink, rec.last()) {
+            sink.on_epoch(label, e);
+        }
+        if stop {
+            break;
+        }
+    }
+    let mut out = best.unwrap_or_else(|| hooks.checkpoint(ctx));
+    out.trace = rec.finish();
+    if let Some(sink) = ctx.sink {
+        sink.on_stop(label, &out.trace.stop);
+    }
+    Ok(out)
+}

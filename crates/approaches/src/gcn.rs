@@ -2,11 +2,12 @@
 //! GCN over the disjoint union of both KGs, trained full-batch with a
 //! margin-based Manhattan calibration loss on the seed alignment.
 
-use crate::common::{ApproachOutput, RunConfig, TrainTrace};
+use crate::common::{ApproachOutput, EpochStats, RunConfig};
+use crate::engine::{EpochHooks, RunContext};
 use openea_align::Metric;
 use openea_autodiff::{Graph, SparseMatrix, Tensor};
 use openea_core::{AlignedPair, KgPair};
-use openea_runtime::rng::Rng;
+use openea_runtime::rng::{Rng, SmallRng};
 
 /// Builds the union-graph edge list over `n1 + n2` nodes. `relation_aware`
 /// weights each edge by the inverse frequency of its relation (rare
@@ -174,7 +175,7 @@ impl GcnEncoder {
     }
 
     /// The current node embeddings, split per KG.
-    pub fn output(&mut self, cfg: &RunConfig) -> ApproachOutput {
+    pub fn output(&mut self, _cfg: &RunConfig) -> ApproachOutput {
         self.graph.reset();
         let g = &mut self.graph;
         let x = g.leaf(self.x.clone());
@@ -182,23 +183,74 @@ impl GcnEncoder {
         let w2 = g.leaf(self.w2.clone());
         let wg = self.wg.as_ref().map(|t| g.leaf(t.clone()));
         let h = forward(g, self.adj, x, w1, w2, wg);
-        let hv = g.value(h);
-        let dim = hv.cols;
-        let mut emb1 = hv.data[..self.n1 * dim].to_vec();
-        let mut emb2 = hv.data[self.n1 * dim..].to_vec();
-        // L2-normalize rows: Manhattan comparisons then measure direction,
-        // not magnitude (GCN outputs have uninformative norms).
-        for row in emb1.chunks_mut(dim).chain(emb2.chunks_mut(dim)) {
-            openea_math::vecops::normalize(row);
+        split_normalized(g.value(h), self.n1)
+    }
+}
+
+/// Splits union-graph node embeddings per KG and L2-normalizes every row:
+/// Manhattan comparisons then measure direction, not magnitude (GNN outputs
+/// have uninformative norms).
+pub(crate) fn split_normalized(hv: &Tensor, n1: usize) -> ApproachOutput {
+    let dim = hv.cols;
+    let mut emb1 = hv.data[..n1 * dim].to_vec();
+    let mut emb2 = hv.data[n1 * dim..].to_vec();
+    for row in emb1.chunks_mut(dim).chain(emb2.chunks_mut(dim)) {
+        openea_math::vecops::normalize(row);
+    }
+    ApproachOutput::new(dim, Metric::Manhattan, emb1, emb2)
+}
+
+/// A GNN encoder the shared [`GnnHooks`] can drive: full-batch calibration
+/// steps on the seed alignment plus an inference-time output.
+pub(crate) trait GnnModel {
+    fn step(&mut self, seeds: &[AlignedPair], margin: f32, lr: f32, rng: &mut SmallRng) -> f32;
+    fn output(&mut self, cfg: &RunConfig) -> ApproachOutput;
+}
+
+impl GnnModel for GcnEncoder {
+    fn step(&mut self, seeds: &[AlignedPair], margin: f32, lr: f32, rng: &mut SmallRng) -> f32 {
+        GcnEncoder::step(self, seeds, margin, lr, rng)
+    }
+
+    fn output(&mut self, cfg: &RunConfig) -> ApproachOutput {
+        GcnEncoder::output(self, cfg)
+    }
+}
+
+/// Engine hooks shared by the GNN family (GCNAlign, RDGCN, AliNet). GNN
+/// training is full-batch: each epoch tick runs several steps at a higher
+/// learning rate than the sparse SGD approaches. `finish` optionally
+/// post-processes every checkpoint (GCNAlign's attribute-view combination).
+pub(crate) struct GnnHooks<'a, M: GnnModel> {
+    pub cfg: &'a RunConfig,
+    pub seeds: &'a [AlignedPair],
+    pub model: M,
+    pub rng: SmallRng,
+    pub finish: Option<Box<dyn Fn(ApproachOutput) -> ApproachOutput + 'a>>,
+}
+
+impl<M: GnnModel> EpochHooks for GnnHooks<'_, M> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        let mut loss = 0.0f64;
+        for _ in 0..8 {
+            loss += self.model.step(
+                self.seeds,
+                self.cfg.margin,
+                self.cfg.lr * 5.0,
+                &mut self.rng,
+            ) as f64;
         }
-        let _ = cfg;
-        ApproachOutput {
-            dim,
-            metric: Metric::Manhattan,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
+        EpochStats {
+            mean_loss: (loss / 8.0) as f32,
+            pairs: self.seeds.len() * 8,
+        }
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        let out = self.model.output(self.cfg);
+        match &self.finish {
+            Some(f) => f(out),
+            None => out,
         }
     }
 }

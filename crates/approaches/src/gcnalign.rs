@@ -4,20 +4,17 @@
 //! attribute-correlation view combined at inference. Supervised.
 
 use crate::common::{
-    validation_hits1, Approach, ApproachOutput, EarlyStopper, Req, Requirements, RunConfig,
-    TrainTrace,
+    weighted_concat, Approach, ApproachOutput, Req, Requirements, RunConfig, TrainError,
 };
-use crate::gcn::GcnEncoder;
+use crate::engine::{run_driver, RunContext};
+use crate::gcn::{GcnEncoder, GnnHooks};
 use crate::jape::{entity_attr_sets, unify_attributes};
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair};
-use openea_math::vecops;
 use openea_models::AttrCorrelationModel;
-use openea_runtime::rng::SeedableRng;
-use openea_runtime::rng::SmallRng;
 
-/// Per-KG attribute-correlation feature vectors.
-type AttrFeatures = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+/// Per-KG attribute-correlation feature vectors (row-major, `dim` wide).
+type AttrFeatures = (Vec<f32>, Vec<f32>);
 
 /// GCNAlign.
 pub struct GcnAlign {
@@ -39,17 +36,19 @@ impl Approach for GcnAlign {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::Optional,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::NotApplicable,
-            word_embeddings: Req::NotApplicable,
-        }
+        use Req::*;
+        Requirements::of(Mandatory, Optional, Mandatory, NotApplicable, NotApplicable)
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
+        cfg.validate()?;
+        let mut rng = ctx.driver_rng();
         let mut enc = GcnEncoder::new(pair, None, cfg.dim, false, false, true, &mut rng);
 
         // Attribute view (shared with JAPE's AC2Vec machinery).
@@ -61,37 +60,26 @@ impl Approach for GcnAlign {
             all.extend(sets2.iter().cloned());
             let mut ac = AttrCorrelationModel::new(num_attrs.max(2), cfg.dim, &mut rng);
             ac.train(&all, 4, cfg.lr, &mut rng);
-            let f1: Vec<Vec<f32>> = sets1.iter().map(|s| ac.entity_feature(s)).collect();
-            let f2: Vec<Vec<f32>> = sets2.iter().map(|s| ac.entity_feature(s)).collect();
+            let f1: Vec<f32> = sets1.iter().flat_map(|s| ac.entity_feature(s)).collect();
+            let f2: Vec<f32> = sets2.iter().flat_map(|s| ac.entity_feature(s)).collect();
             (f1, f2)
         });
 
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
         if !cfg.use_relations {
             // Without relation triples a GCN has no graph: fall back to the
             // (untrained) features — the degenerate case of Table 8.
-            return self.combine(enc.output(cfg), attr_features.as_ref(), cfg);
+            return Ok(self.combine(enc.output(cfg), attr_features.as_ref(), cfg));
         }
-        for epoch in 0..cfg.max_epochs {
-            // GCN training is full-batch: several steps per "epoch" tick,
-            // with a higher learning rate than the sparse SGD approaches.
-            for _ in 0..8 {
-                enc.step(&split.train, cfg.margin, cfg.lr * 5.0, &mut rng);
-            }
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.combine(enc.output(cfg), attr_features.as_ref(), cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    break;
-                }
-            }
-        }
-        best.unwrap_or_else(|| self.combine(enc.output(cfg), attr_features.as_ref(), cfg))
+        let mut hooks = GnnHooks {
+            cfg,
+            seeds: &split.train,
+            model: enc,
+            rng,
+            finish: Some(Box::new(move |out| {
+                self.combine(out, attr_features.as_ref(), cfg)
+            })),
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
     }
 }
 
@@ -106,27 +94,13 @@ impl GcnAlign {
             return structure;
         };
         let sdim = structure.dim;
-        let adim = cfg.dim;
-        let ws = self.structure_weight;
-        let wa = 1.0 - ws;
-        let combine = |s: &[f32], f: &[Vec<f32>]| {
-            let mut out = Vec::with_capacity(f.len() * (sdim + adim));
-            for (i, feat) in f.iter().enumerate() {
-                let mut srow = s[i * sdim..(i + 1) * sdim].to_vec();
-                vecops::normalize(&mut srow);
-                out.extend(srow.iter().map(|x| x * ws));
-                out.extend(feat.iter().map(|x| x * wa));
-            }
-            out
-        };
-        ApproachOutput {
-            dim: sdim + adim,
-            metric: Metric::Manhattan,
-            emb1: combine(&structure.emb1, f1),
-            emb2: combine(&structure.emb2, f2),
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        let (ws, wa) = (self.structure_weight, 1.0 - self.structure_weight);
+        ApproachOutput::new(
+            sdim + cfg.dim,
+            Metric::Manhattan,
+            weighted_concat(&structure.emb1, sdim, ws, &[(f1, cfg.dim, wa)]),
+            weighted_concat(&structure.emb2, sdim, ws, &[(f2, cfg.dim, wa)]),
+        )
     }
 }
 

@@ -6,16 +6,13 @@
 //! only *augments* it (and the errors it introduces can hurt).
 
 use crate::common::{
-    train_epoch_batched, validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper,
-    EpochStats, Req, Requirements, RunConfig, TraceRecorder, TrainTrace, UnifiedSpace,
+    weighted_concat, Approach, ApproachOutput, Combination, EpochStats, Requirements, RunConfig,
+    TrainError, UnifiedSpace, UnifiedTransE,
 };
+use crate::engine::{run_driver, EpochHooks, RunContext};
 use openea_align::{greedy_collective, Metric, SimilarityMatrix};
 use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
-use openea_math::negsamp::UniformSampler;
-use openea_math::vecops;
 use openea_models::{RelationModel, TransE};
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// Finds candidate pairs by shared literal values, scores them by weighted
@@ -89,17 +86,16 @@ impl Approach for Imuse {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Optional,
-            attr_triples: Req::Optional,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::Optional,
-            word_embeddings: Req::CrossLingualOnly,
-        }
+        Requirements::LITERAL_AUGMENTED
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
         // Preprocessing: augment the seeds with string matches (may be wrong).
         let mut seeds = split.train.clone();
         if cfg.use_attributes {
@@ -112,16 +108,7 @@ impl Approach for Imuse {
             }
         }
         let space = UnifiedSpace::build(pair, &seeds, Combination::Sharing);
-        let mut model = TransE::new(
-            space.num_entities,
-            space.num_relations.max(1),
-            cfg.dim,
-            cfg.margin,
-            &mut rng,
-        );
-        let sampler = UniformSampler {
-            num_entities: space.num_entities.max(1) as u32,
-        };
+        let base = UnifiedTransE::new(space, cfg, ctx.driver_rng());
 
         // Attribute view: literal features through the (word-vector) encoder.
         let enc = cfg.literal_encoder();
@@ -132,40 +119,40 @@ impl Approach for Imuse {
             .use_attributes
             .then(|| crate::common::literal_features(&pair.kg2, &enc));
 
-        let opts = cfg.train_options(space.triples.len());
-        let mut rec = TraceRecorder::new(self.name());
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
-                    .expect("valid train options")
-            } else {
-                // Attribute-only mode still needs *some* embedding: entities
-                // keep their initialization; only the combination matters.
-                EpochStats::default()
-            };
-            rec.end_epoch(epoch, stats);
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.output(&space, &model, attr1.as_deref(), attr2.as_deref(), cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
-                }
-            }
-        }
-        let mut out = best.unwrap_or_else(|| {
-            self.output(&space, &model, attr1.as_deref(), attr2.as_deref(), cfg)
-        });
-        out.trace = rec.finish();
-        out
+        let mut hooks = Hooks {
+            approach: self,
+            cfg,
+            base,
+            attr1,
+            attr2,
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
+    }
+}
+
+struct Hooks<'a> {
+    approach: &'a Imuse,
+    cfg: &'a RunConfig,
+    base: UnifiedTransE,
+    attr1: Option<Vec<f32>>,
+    attr2: Option<Vec<f32>>,
+}
+
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        // Attribute-only mode still needs *some* embedding: entities keep
+        // their initialization; only the combination matters.
+        self.base.train_epoch(self.cfg)
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach.output(
+            &self.base.space,
+            &self.base.model,
+            self.attr1.as_deref(),
+            self.attr2.as_deref(),
+            self.cfg,
+        )
     }
 }
 
@@ -180,40 +167,19 @@ impl Imuse {
     ) -> ApproachOutput {
         let (s1, s2) = space.extract(model.entities());
         match (attr1, attr2) {
+            // Weighted concatenation realizes the relation/attribute
+            // similarity merge under cosine.
             (Some(a1), Some(a2)) => {
-                // Weighted concatenation realizes the relation/attribute
-                // similarity merge under cosine.
-                let wr = self.rel_weight;
-                let wa = 1.0 - wr;
+                let (wr, wa) = (self.rel_weight, 1.0 - self.rel_weight);
                 let enc_dim = a1.len() / (s1.len() / cfg.dim).max(1);
-                let combine = |s: &[f32], a: &[f32]| {
-                    let n = s.len() / cfg.dim;
-                    let mut out = Vec::with_capacity(n * (cfg.dim + enc_dim));
-                    for i in 0..n {
-                        let mut srow = s[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
-                        vecops::normalize(&mut srow);
-                        out.extend(srow.iter().map(|x| x * wr));
-                        out.extend(a[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * wa));
-                    }
-                    out
-                };
-                ApproachOutput {
-                    dim: cfg.dim + enc_dim,
-                    metric: Metric::Cosine,
-                    emb1: combine(&s1, a1),
-                    emb2: combine(&s2, a2),
-                    augmentation: Vec::new(),
-                    trace: TrainTrace::default(),
-                }
+                ApproachOutput::new(
+                    cfg.dim + enc_dim,
+                    Metric::Cosine,
+                    weighted_concat(&s1, cfg.dim, wr, &[(a1, enc_dim, wa)]),
+                    weighted_concat(&s2, cfg.dim, wr, &[(a2, enc_dim, wa)]),
+                )
             }
-            _ => ApproachOutput {
-                dim: cfg.dim,
-                metric: Metric::Cosine,
-                emb1: s1,
-                emb2: s2,
-                augmentation: Vec::new(),
-                trace: TrainTrace::default(),
-            },
+            _ => ApproachOutput::new(cfg.dim, Metric::Cosine, s1, s2),
         }
     }
 }

@@ -10,18 +10,14 @@
 
 use crate::boot::{propose_alignment, unaligned_entities};
 use crate::common::{
-    augmentation_quality, calibrate, train_epoch_batched, validation_hits1, Approach,
-    ApproachOutput, Combination, EarlyStopper, EpochStats, Req, Requirements, RunConfig,
-    TraceRecorder, TrainTrace, UnifiedSpace,
+    augmentation_quality, calibrate, Approach, ApproachOutput, Combination, EpochStats,
+    Requirements, RunConfig, TrainError, UnifiedSpace, UnifiedTransE,
 };
-use openea_align::Metric;
+use crate::engine::{run_driver, EpochHooks, RunContext};
+use openea_align::{Metric, PrfScores};
 use openea_core::{EntityId, FoldSplit, KgPair};
-use openea_math::negsamp::UniformSampler;
-use openea_math::vecops;
 use openea_models::TransE;
 use openea_runtime::rng::SliceRandom;
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// A mined path instance: relations `r1, r2` composing to direct `r3`.
@@ -114,129 +110,128 @@ impl Approach for IpTransE {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::NotApplicable,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::NotApplicable,
-            word_embeddings: Req::NotApplicable,
-        }
+        Requirements::RELATION_BASED
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
         let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
-        let mut model = TransE::new(
-            space.num_entities,
-            space.num_relations.max(1),
-            cfg.dim,
-            cfg.margin,
-            &mut rng,
-        );
-        let sampler = UniformSampler {
-            num_entities: space.num_entities.max(1) as u32,
-        };
-        let mut paths = mine_paths(&space.triples, 20_000);
-        paths.shuffle(&mut rng);
+        let mut base = UnifiedTransE::new(space, cfg, ctx.driver_rng());
+        let mut paths = mine_paths(&base.space.triples, 20_000);
+        paths.shuffle(&mut base.rng);
         paths.truncate(4_000);
 
-        // Self-training state: cumulative proposals (never revoked).
-        let mut taken1: HashSet<EntityId> = split.train.iter().map(|&(a, _)| a).collect();
-        let mut taken2: HashSet<EntityId> = split.train.iter().map(|&(_, b)| b).collect();
-        let mut proposed: Vec<(EntityId, EntityId)> = Vec::new();
         let gold: HashSet<(EntityId, EntityId)> = pair
             .alignment
             .iter()
             .copied()
             .filter(|p| !split.train.contains(p))
             .collect();
-        let mut augmentation = Vec::new();
+        let mut hooks = Hooks {
+            approach: self,
+            pair,
+            cfg,
+            base,
+            paths,
+            // Self-training state: cumulative proposals (never revoked).
+            taken1: split.train.iter().map(|&(a, _)| a).collect(),
+            taken2: split.train.iter().map(|&(_, b)| b).collect(),
+            proposed: Vec::new(),
+            gold,
+            augmentation: Vec::new(),
+        };
+        let mut out = run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)?;
+        out.augmentation = hooks.augmentation;
+        Ok(out)
+    }
+}
 
-        let opts = cfg.train_options(space.triples.len());
-        let mut rec = TraceRecorder::new(self.name());
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                let stats = train_epoch_batched(
-                    &mut model,
-                    &space.triples,
-                    &sampler,
-                    &opts,
-                    rng.next_u64(),
-                )
-                .expect("valid train options");
-                self.path_step(&mut model, &paths, cfg.lr);
-                stats
-            } else {
-                EpochStats::default()
-            };
-            // Soft alignment for proposed pairs (seed pairs share ids already).
-            let prop_uids: Vec<(u32, u32)> = proposed
-                .iter()
-                .map(|&(a, b)| (space.uid1(a), space.uid2(b)))
-                .collect();
-            calibrate(&mut model.entities, &prop_uids, cfg.lr);
+/// Engine hooks: translational training plus the path objective per epoch,
+/// then soft calibration of proposed pairs and (every `boot_every` epochs)
+/// a new self-training round.
+struct Hooks<'a> {
+    approach: &'a IpTransE,
+    pair: &'a KgPair,
+    cfg: &'a RunConfig,
+    base: UnifiedTransE,
+    paths: Vec<PathInstance>,
+    taken1: HashSet<EntityId>,
+    taken2: HashSet<EntityId>,
+    proposed: Vec<(EntityId, EntityId)>,
+    gold: HashSet<(EntityId, EntityId)>,
+    augmentation: Vec<PrfScores>,
+}
 
-            if (epoch + 1) % self.boot_every == 0 {
-                // Proposals are thresholded on cosine similarity (the
-                // output metric is Euclidean, whose similarities are
-                // negative distances and cannot carry a positive cutoff).
-                let mut out = self.output(&space, &model, cfg);
-                out.metric = openea_align::Metric::Cosine;
-                let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
-                let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
-                let new_pairs =
-                    propose_alignment(&out, &cand1, &cand2, self.threshold, false, cfg.threads);
-                for &(a, b) in &new_pairs {
-                    taken1.insert(a);
-                    taken2.insert(b);
-                }
-                proposed.extend(new_pairs);
-                augmentation.push(augmentation_quality(&proposed, &gold));
-            }
-            rec.end_epoch(epoch, stats);
-
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.output(&space, &model, cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
-                }
-            }
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        let stats = self.base.train_epoch(self.cfg);
+        if self.cfg.use_relations {
+            self.approach
+                .path_step(&mut self.base.model, &self.paths, self.cfg.lr);
         }
-        let mut out = best.unwrap_or_else(|| self.output(&space, &model, cfg));
-        out.augmentation = augmentation;
-        out.trace = rec.finish();
-        out
+        stats
+    }
+
+    fn after_epoch(&mut self, epoch: usize, _ctx: &RunContext<'_>) {
+        // Soft alignment for proposed pairs (seed pairs share ids already).
+        let prop_uids: Vec<(u32, u32)> = self
+            .proposed
+            .iter()
+            .map(|&(a, b)| (self.base.space.uid1(a), self.base.space.uid2(b)))
+            .collect();
+        calibrate(&mut self.base.model.entities, &prop_uids, self.cfg.lr);
+
+        if (epoch + 1).is_multiple_of(self.approach.boot_every) {
+            // Proposals are thresholded on cosine similarity (the output
+            // metric is Euclidean, whose similarities are negative
+            // distances and cannot carry a positive cutoff).
+            let mut out = self
+                .approach
+                .output(&self.base.space, &self.base.model, self.cfg);
+            out.metric = openea_align::Metric::Cosine;
+            let cand1 = unaligned_entities(self.pair.kg1.num_entities(), &self.taken1);
+            let cand2 = unaligned_entities(self.pair.kg2.num_entities(), &self.taken2);
+            let new_pairs = propose_alignment(
+                &out,
+                &cand1,
+                &cand2,
+                self.approach.threshold,
+                false,
+                self.cfg.threads,
+            );
+            for &(a, b) in &new_pairs {
+                self.taken1.insert(a);
+                self.taken2.insert(b);
+            }
+            self.proposed.extend(new_pairs);
+            self.augmentation
+                .push(augmentation_quality(&self.proposed, &self.gold));
+        }
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach
+            .output(&self.base.space, &self.base.model, self.cfg)
     }
 }
 
 impl IpTransE {
     fn output(&self, space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
         let (emb1, emb2) = space.extract(&model.entities);
-        let _ = vecops::norm2(&emb1[..cfg.dim.min(emb1.len())]);
-        ApproachOutput {
-            dim: cfg.dim,
-            metric: Metric::Euclidean,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        ApproachOutput::new(cfg.dim, Metric::Euclidean, emb1, emb2)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openea_math::vecops;
+    use openea_runtime::rng::{SeedableRng, SmallRng};
 
     #[test]
     fn mine_paths_finds_triangles() {

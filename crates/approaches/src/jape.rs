@@ -9,16 +9,13 @@
 //! the attribute signal is weak, exactly the behaviour Figure 6 reports.
 
 use crate::common::{
-    train_epoch_batched, validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper,
-    EpochStats, Req, Requirements, RunConfig, TraceRecorder, TrainTrace, UnifiedSpace,
+    weighted_concat, Approach, ApproachOutput, Combination, EpochStats, Req, Requirements,
+    RunConfig, TrainError, UnifiedSpace, UnifiedTransE,
 };
+use crate::engine::{run_driver, EpochHooks, RunContext};
 use openea_align::Metric;
 use openea_core::{AttributeId, FoldSplit, KgPair, KnowledgeGraph};
-use openea_math::negsamp::UniformSampler;
-use openea_math::vecops;
 use openea_models::{AttrCorrelationModel, TransE};
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::HashMap;
 
 /// Unified attribute ids across two KGs: attributes with identical names
@@ -61,8 +58,8 @@ pub fn entity_attr_sets(kg: &KnowledgeGraph, map: &[u32]) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Per-KG attribute-correlation feature vectors.
-type AttrFeatures = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+/// Per-KG attribute-correlation feature vectors (row-major, `dim` wide).
+type AttrFeatures = (Vec<f32>, Vec<f32>);
 
 /// JAPE.
 pub struct Jape {
@@ -84,76 +81,66 @@ impl Approach for Jape {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::Optional,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::NotApplicable,
-            word_embeddings: Req::NotApplicable,
-        }
+        use Req::*;
+        Requirements::of(Mandatory, Optional, Mandatory, NotApplicable, NotApplicable)
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
         let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
-        let mut model = TransE::new(
-            space.num_entities,
-            space.num_relations.max(1),
-            cfg.dim,
-            cfg.margin,
-            &mut rng,
-        );
-        let sampler = UniformSampler {
-            num_entities: space.num_entities.max(1) as u32,
-        };
+        let mut base = UnifiedTransE::new(space, cfg, ctx.driver_rng());
 
-        // Attribute-correlation view.
+        // Attribute-correlation view (drawing from the driver RNG after
+        // model init, as the pre-engine driver did).
         let attr_features = if cfg.use_attributes {
             let (map1, map2, num_attrs) = unify_attributes(&pair.kg1, &pair.kg2);
             let sets1 = entity_attr_sets(&pair.kg1, &map1);
             let sets2 = entity_attr_sets(&pair.kg2, &map2);
             let mut all_sets = sets1.clone();
             all_sets.extend(sets2.iter().cloned());
-            let mut ac = AttrCorrelationModel::new(num_attrs.max(2), cfg.dim, &mut rng);
-            ac.train(&all_sets, 4, cfg.lr, &mut rng);
-            let f1: Vec<Vec<f32>> = sets1.iter().map(|s| ac.entity_feature(s)).collect();
-            let f2: Vec<Vec<f32>> = sets2.iter().map(|s| ac.entity_feature(s)).collect();
+            let mut ac = AttrCorrelationModel::new(num_attrs.max(2), cfg.dim, &mut base.rng);
+            ac.train(&all_sets, 4, cfg.lr, &mut base.rng);
+            let f1: Vec<f32> = sets1.iter().flat_map(|s| ac.entity_feature(s)).collect();
+            let f2: Vec<f32> = sets2.iter().flat_map(|s| ac.entity_feature(s)).collect();
             Some((f1, f2))
         } else {
             None
         };
 
-        let opts = cfg.train_options(space.triples.len());
-        let mut rec = TraceRecorder::new(self.name());
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
-                    .expect("valid train options")
-            } else {
-                EpochStats::default()
-            };
-            rec.end_epoch(epoch, stats);
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.output(&space, &model, attr_features.as_ref(), cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
-                }
-            }
-        }
-        let mut out =
-            best.unwrap_or_else(|| self.output(&space, &model, attr_features.as_ref(), cfg));
-        out.trace = rec.finish();
-        out
+        let mut hooks = Hooks {
+            approach: self,
+            cfg,
+            base,
+            attr_features,
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
+    }
+}
+
+struct Hooks<'a> {
+    approach: &'a Jape,
+    cfg: &'a RunConfig,
+    base: UnifiedTransE,
+    attr_features: Option<AttrFeatures>,
+}
+
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        self.base.train_epoch(self.cfg)
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach.output(
+            &self.base.space,
+            &self.base.model,
+            self.attr_features.as_ref(),
+            self.cfg,
+        )
     }
 }
 
@@ -170,36 +157,15 @@ impl Jape {
     ) -> ApproachOutput {
         let (s1, s2) = space.extract(&model.entities);
         match attr {
-            None => ApproachOutput {
-                dim: cfg.dim,
-                metric: Metric::Cosine,
-                emb1: s1,
-                emb2: s2,
-                augmentation: Vec::new(),
-                trace: TrainTrace::default(),
-            },
+            None => ApproachOutput::new(cfg.dim, Metric::Cosine, s1, s2),
             Some((f1, f2)) => {
-                let ws = self.structure_weight;
-                let wa = 1.0 - ws;
-                let dim = cfg.dim * 2;
-                let combine = |s: &[f32], f: &[Vec<f32>]| {
-                    let mut out = Vec::with_capacity(f.len() * dim);
-                    for (i, feat) in f.iter().enumerate() {
-                        let mut srow = s[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
-                        vecops::normalize(&mut srow);
-                        out.extend(srow.iter().map(|x| x * ws));
-                        out.extend(feat.iter().map(|x| x * wa));
-                    }
-                    out
-                };
-                ApproachOutput {
-                    dim,
-                    metric: Metric::Cosine,
-                    emb1: combine(&s1, f1),
-                    emb2: combine(&s2, f2),
-                    augmentation: Vec::new(),
-                    trace: TrainTrace::default(),
-                }
+                let (ws, wa) = (self.structure_weight, 1.0 - self.structure_weight);
+                ApproachOutput::new(
+                    cfg.dim * 2,
+                    Metric::Cosine,
+                    weighted_concat(&s1, cfg.dim, ws, &[(f1, cfg.dim, wa)]),
+                    weighted_concat(&s2, cfg.dim, ws, &[(f2, cfg.dim, wa)]),
+                )
             }
         }
     }

@@ -10,19 +10,18 @@
 
 use crate::boot::{propose_alignment, unaligned_entities};
 use crate::common::{
-    augmentation_quality, entity_literal_text, train_epoch_batched, validation_hits1, Approach,
-    ApproachOutput, EarlyStopper, EpochStats, Req, Requirements, RunConfig, TraceRecorder,
-    TrainTrace,
+    augmentation_quality, entity_literal_text, train_epoch_batched, weighted_concat, Approach,
+    ApproachOutput, EpochStats, Requirements, RunConfig, TrainError, TrainOptions,
 };
-use crate::transformation::kg_triples;
-use openea_align::Metric;
-use openea_core::{EntityId, FoldSplit, KgPair, KnowledgeGraph};
+use crate::engine::{run_driver, EpochHooks, RunContext};
+use crate::transformation::{kg_triples, mapped_output, seed_step};
+use openea_align::{Metric, PrfScores};
+use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_math::negsamp::UniformSampler;
-use openea_math::{vecops, Matrix};
+use openea_math::Matrix;
 use openea_models::literal::LiteralEncoder;
-use openea_models::{RelationModel, TransE};
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{Rng, RngCore, SeedableRng};
+use openea_models::TransE;
+use openea_runtime::rng::{Rng, RngCore, SmallRng};
 use std::collections::HashSet;
 
 /// Description vectors for every entity (unit rows; zero when the entity has
@@ -70,25 +69,25 @@ impl Approach for KdCoe {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Optional,
-            attr_triples: Req::Optional,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::Optional,
-            word_embeddings: Req::CrossLingualOnly,
-        }
+        Requirements::LITERAL_AUGMENTED
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let mut m1 = TransE::new(
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
+        let mut rng = ctx.driver_rng();
+        let m1 = TransE::new(
             pair.kg1.num_entities(),
             pair.kg1.num_relations().max(1),
             cfg.dim,
             cfg.margin,
             &mut rng,
         );
-        let mut m2 = TransE::new(
+        let m2 = TransE::new(
             pair.kg2.num_entities(),
             pair.kg2.num_relations().max(1),
             cfg.dim,
@@ -97,12 +96,6 @@ impl Approach for KdCoe {
         );
         let t1 = kg_triples(&pair.kg1);
         let t2 = kg_triples(&pair.kg2);
-        let s1 = UniformSampler {
-            num_entities: pair.kg1.num_entities().max(1) as u32,
-        };
-        let s2 = UniformSampler {
-            num_entities: pair.kg2.num_entities().max(1) as u32,
-        };
         let mut map = Matrix::identity(cfg.dim);
         for v in map.data_mut() {
             *v += rng.gen_range(-0.02f32..0.02);
@@ -117,178 +110,178 @@ impl Approach for KdCoe {
             )
         });
 
-        let mut seeds = split.train.clone();
-        let mut taken1: HashSet<EntityId> = seeds.iter().map(|&(a, _)| a).collect();
-        let mut taken2: HashSet<EntityId> = seeds.iter().map(|&(_, b)| b).collect();
+        let seeds = split.train.clone();
         let gold: HashSet<(EntityId, EntityId)> = pair
             .alignment
             .iter()
             .copied()
             .filter(|p| !split.train.contains(p))
             .collect();
-        let mut proposed_all: Vec<(EntityId, EntityId)> = Vec::new();
-        let mut augmentation = Vec::new();
 
         let opts1 = cfg.train_options(t1.len());
         let opts2 = cfg.train_options(t2.len());
-        let mut rec = TraceRecorder::new(self.name());
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                let a = train_epoch_batched(&mut m1, &t1, &s1, &opts1, rng.next_u64())
-                    .expect("valid train options");
-                let b = train_epoch_batched(&mut m2, &t2, &s2, &opts2, rng.next_u64())
-                    .expect("valid train options");
-                EpochStats::merged(&[a, b])
-            } else {
-                EpochStats::default()
-            };
-            seed_step(&mut m1, &mut m2, &mut map, &seeds, cfg);
-
-            if (epoch + 1) % self.co_every == 0 {
-                // Description view proposes (only entities with descriptions).
-                let mut new_pairs = Vec::new();
-                if let Some((d1, d2)) = &desc {
-                    let enc_dim = enc.dim();
-                    let desc_out = ApproachOutput {
-                        dim: enc_dim,
-                        metric: Metric::Cosine,
-                        emb1: d1.clone(),
-                        emb2: d2.clone(),
-                        augmentation: Vec::new(),
-                        trace: TrainTrace::default(),
-                    };
-                    let cand1: Vec<EntityId> = unaligned_entities(pair.kg1.num_entities(), &taken1)
-                        .into_iter()
-                        .filter(|e| {
-                            d1[e.idx() * enc_dim..(e.idx() + 1) * enc_dim]
-                                .iter()
-                                .any(|&x| x != 0.0)
-                        })
-                        .collect();
-                    let cand2: Vec<EntityId> = unaligned_entities(pair.kg2.num_entities(), &taken2)
-                        .into_iter()
-                        .filter(|e| {
-                            d2[e.idx() * enc_dim..(e.idx() + 1) * enc_dim]
-                                .iter()
-                                .any(|&x| x != 0.0)
-                        })
-                        .collect();
-                    new_pairs.extend(propose_alignment(
-                        &desc_out,
-                        &cand1,
-                        &cand2,
-                        self.desc_threshold,
-                        true,
-                        cfg.threads,
-                    ));
-                }
-                // Relation view proposes.
-                {
-                    let rel_out = self.relation_output(&m1, &m2, &map, cfg);
-                    let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
-                    let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
-                    new_pairs.extend(propose_alignment(
-                        &rel_out,
-                        &cand1,
-                        &cand2,
-                        self.rel_threshold,
-                        true,
-                        cfg.threads,
-                    ));
-                }
-                for &(a, b) in &new_pairs {
-                    if !taken1.contains(&a) && !taken2.contains(&b) {
-                        taken1.insert(a);
-                        taken2.insert(b);
-                        seeds.push((a, b));
-                        proposed_all.push((a, b));
-                    }
-                }
-                augmentation.push(augmentation_quality(&proposed_all, &gold));
-            }
-            rec.end_epoch(epoch, stats);
-
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
-                }
-            }
-        }
-        let mut out =
-            best.unwrap_or_else(|| self.combined_output(&m1, &m2, &map, desc.as_ref(), &enc, cfg));
-        out.augmentation = augmentation;
-        out.trace = rec.finish();
-        out
+        let mut hooks = Hooks {
+            approach: self,
+            pair,
+            cfg,
+            m1,
+            m2,
+            map,
+            t1,
+            t2,
+            s1: UniformSampler {
+                num_entities: pair.kg1.num_entities().max(1) as u32,
+            },
+            s2: UniformSampler {
+                num_entities: pair.kg2.num_entities().max(1) as u32,
+            },
+            enc,
+            desc,
+            taken1: seeds.iter().map(|&(a, _)| a).collect(),
+            taken2: seeds.iter().map(|&(_, b)| b).collect(),
+            seeds,
+            gold,
+            proposed_all: Vec::new(),
+            augmentation: Vec::new(),
+            opts1,
+            opts2,
+            rng,
+        };
+        let mut out = run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)?;
+        out.augmentation = hooks.augmentation;
+        Ok(out)
     }
 }
 
-/// Joint SGD on `‖M·e₁ − e₂‖²` (same as the transformation harness, shared
-/// here to avoid a factory indirection for the co-training loop).
-fn seed_step(
-    m1: &mut TransE,
-    m2: &mut TransE,
-    map: &mut Matrix,
-    seeds: &[(EntityId, EntityId)],
-    cfg: &RunConfig,
-) {
-    let dim = cfg.dim;
-    let lr = cfg.lr;
-    let mut me1 = vec![0.0f32; dim];
-    let mut mtu = vec![0.0f32; dim];
-    for &(a, b) in seeds {
-        let e1: Vec<f32> = m1.entities().row(a.idx()).to_vec();
-        map.matvec_into(&e1, &mut me1);
-        let u: Vec<f32> = {
-            let e2 = m2.entities().row(b.idx());
-            me1.iter().zip(e2).map(|(x, y)| x - y).collect()
-        };
-        map.matvec_t_into(&u, &mut mtu);
-        for i in 0..dim {
-            for j in 0..dim {
-                map[(i, j)] -= 2.0 * lr * u[i] * e1[j];
-            }
+/// Engine hooks: per-KG TransE epochs plus the joint transformation step,
+/// then (every `co_every` epochs) a co-training round where the description
+/// and relation views each propose confident new seeds for the other.
+struct Hooks<'a> {
+    approach: &'a KdCoe,
+    pair: &'a KgPair,
+    cfg: &'a RunConfig,
+    m1: TransE,
+    m2: TransE,
+    map: Matrix,
+    t1: Vec<(u32, u32, u32)>,
+    t2: Vec<(u32, u32, u32)>,
+    s1: UniformSampler,
+    s2: UniformSampler,
+    enc: LiteralEncoder,
+    desc: Option<(Vec<f32>, Vec<f32>)>,
+    taken1: HashSet<EntityId>,
+    taken2: HashSet<EntityId>,
+    seeds: Vec<AlignedPair>,
+    gold: HashSet<(EntityId, EntityId)>,
+    proposed_all: Vec<(EntityId, EntityId)>,
+    augmentation: Vec<PrfScores>,
+    opts1: TrainOptions,
+    opts2: TrainOptions,
+    rng: SmallRng,
+}
+
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        if !self.cfg.use_relations {
+            return EpochStats::default();
         }
-        m1.entities_mut().sgd_row(a.idx(), &mtu, 2.0 * lr);
-        let neg: Vec<f32> = u.iter().map(|x| -x).collect();
-        m2.entities_mut().sgd_row(b.idx(), &neg, 2.0 * lr);
+        let a = train_epoch_batched(
+            &mut self.m1,
+            &self.t1,
+            &self.s1,
+            &self.opts1,
+            self.rng.next_u64(),
+        )
+        .expect("valid train options");
+        let b = train_epoch_batched(
+            &mut self.m2,
+            &self.t2,
+            &self.s2,
+            &self.opts2,
+            self.rng.next_u64(),
+        )
+        .expect("valid train options");
+        EpochStats::merged(&[a, b])
+    }
+
+    fn after_epoch(&mut self, epoch: usize, _ctx: &RunContext<'_>) {
+        seed_step(
+            &mut self.m1,
+            &mut self.m2,
+            &mut self.map,
+            &self.seeds,
+            self.cfg,
+            true,
+        );
+
+        if (epoch + 1).is_multiple_of(self.approach.co_every) {
+            // Description view proposes (only entities with descriptions).
+            let mut new_pairs = Vec::new();
+            if let Some((d1, d2)) = &self.desc {
+                let enc_dim = self.enc.dim();
+                let desc_out = ApproachOutput::new(enc_dim, Metric::Cosine, d1.clone(), d2.clone());
+                let with_desc = |n: usize, taken: &HashSet<EntityId>, d: &[f32]| {
+                    unaligned_entities(n, taken)
+                        .into_iter()
+                        .filter(|e| {
+                            d[e.idx() * enc_dim..(e.idx() + 1) * enc_dim]
+                                .iter()
+                                .any(|&x| x != 0.0)
+                        })
+                        .collect::<Vec<EntityId>>()
+                };
+                let cand1 = with_desc(self.pair.kg1.num_entities(), &self.taken1, d1);
+                let cand2 = with_desc(self.pair.kg2.num_entities(), &self.taken2, d2);
+                new_pairs.extend(propose_alignment(
+                    &desc_out,
+                    &cand1,
+                    &cand2,
+                    self.approach.desc_threshold,
+                    true,
+                    self.cfg.threads,
+                ));
+            }
+            // Relation view proposes.
+            {
+                let rel_out =
+                    mapped_output(&self.m1, &self.m2, &self.map, self.cfg, Metric::Euclidean);
+                let cand1 = unaligned_entities(self.pair.kg1.num_entities(), &self.taken1);
+                let cand2 = unaligned_entities(self.pair.kg2.num_entities(), &self.taken2);
+                new_pairs.extend(propose_alignment(
+                    &rel_out,
+                    &cand1,
+                    &cand2,
+                    self.approach.rel_threshold,
+                    true,
+                    self.cfg.threads,
+                ));
+            }
+            for &(a, b) in &new_pairs {
+                if !self.taken1.contains(&a) && !self.taken2.contains(&b) {
+                    self.taken1.insert(a);
+                    self.taken2.insert(b);
+                    self.seeds.push((a, b));
+                    self.proposed_all.push((a, b));
+                }
+            }
+            self.augmentation
+                .push(augmentation_quality(&self.proposed_all, &self.gold));
+        }
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach.combined_output(
+            &self.m1,
+            &self.m2,
+            &self.map,
+            self.desc.as_ref(),
+            &self.enc,
+            self.cfg,
+        )
     }
 }
 
 impl KdCoe {
-    fn relation_output(
-        &self,
-        m1: &TransE,
-        m2: &TransE,
-        map: &Matrix,
-        cfg: &RunConfig,
-    ) -> ApproachOutput {
-        let mut emb1 = Vec::with_capacity(m1.num_entities() * cfg.dim);
-        let mut buf = vec![0.0f32; cfg.dim];
-        for e in 0..m1.num_entities() {
-            map.matvec_into(m1.entities().row(e), &mut buf);
-            emb1.extend_from_slice(&buf);
-        }
-        ApproachOutput {
-            dim: cfg.dim,
-            metric: Metric::Euclidean,
-            emb1,
-            emb2: m2.entities().data().to_vec(),
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
-    }
-
     fn combined_output(
         &self,
         m1: &TransE,
@@ -298,30 +291,17 @@ impl KdCoe {
         enc: &LiteralEncoder,
         cfg: &RunConfig,
     ) -> ApproachOutput {
-        let rel = self.relation_output(m1, m2, map, cfg);
+        let rel = mapped_output(m1, m2, map, cfg, Metric::Euclidean);
         match desc {
             None => rel,
             Some((d1, d2)) => {
-                let enc_dim = enc.dim();
-                let w = self.desc_weight;
-                let combine = |rel: &[f32], d: &[f32], n: usize| {
-                    let mut out = Vec::with_capacity(n * (cfg.dim + enc_dim));
-                    for i in 0..n {
-                        let mut r = rel[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
-                        vecops::normalize(&mut r);
-                        out.extend(r.iter().map(|x| x * (1.0 - w)));
-                        out.extend(d[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * w));
-                    }
-                    out
-                };
-                ApproachOutput {
-                    dim: cfg.dim + enc_dim,
-                    metric: Metric::Euclidean,
-                    emb1: combine(&rel.emb1, d1, m1.num_entities()),
-                    emb2: combine(&rel.emb2, d2, m2.num_entities()),
-                    augmentation: Vec::new(),
-                    trace: TrainTrace::default(),
-                }
+                let (enc_dim, w) = (enc.dim(), self.desc_weight);
+                ApproachOutput::new(
+                    cfg.dim + enc_dim,
+                    Metric::Euclidean,
+                    weighted_concat(&rel.emb1, cfg.dim, 1.0 - w, &[(d1, enc_dim, w)]),
+                    weighted_concat(&rel.emb2, cfg.dim, 1.0 - w, &[(d2, enc_dim, w)]),
+                )
             }
         }
     }
@@ -331,6 +311,7 @@ impl KdCoe {
 mod tests {
     use super::*;
     use openea_core::KgBuilder;
+    use openea_math::vecops;
     use openea_models::literal::WordVectors;
 
     #[test]

@@ -25,6 +25,7 @@ pub mod attre;
 pub mod boot;
 pub mod bootea;
 pub mod common;
+pub mod engine;
 pub mod gcn;
 pub mod gcnalign;
 pub mod imuse;
@@ -42,6 +43,7 @@ pub mod unsupervised;
 
 pub use common::{
     evaluate_output, Approach, ApproachOutput, Req, Requirements, RunConfig, StopReason,
-    TrainTrace, UnifiedSpace,
+    TrainError, TrainTrace, UnifiedSpace,
 };
+pub use engine::{run_driver, Budget, EpochHooks, RunContext, TelemetrySink};
 pub use registry::{all_approaches, approach_by_name, ApproachKind};

@@ -6,7 +6,8 @@
 //! replaced by any other relation model (TransH/R/D, DistMult, HolE, SimplE,
 //! RotatE, ProjE, ConvE).
 
-use crate::common::{Approach, ApproachOutput, Req, Requirements, RunConfig};
+use crate::common::{Approach, ApproachOutput, Requirements, RunConfig, TrainError};
+use crate::engine::RunContext;
 use crate::transformation::{ModelFactory, TransformationHarness};
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair};
@@ -128,16 +129,16 @@ impl Approach for MTransE {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::NotApplicable,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::NotApplicable,
-            word_embeddings: Req::NotApplicable,
-        }
+        Requirements::RELATION_BASED
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
         let factory = self.model.factory();
         let h = TransformationHarness {
             factory: &factory,
@@ -146,14 +147,16 @@ impl Approach for MTransE {
             cycle_weight: 0.0,
             orthogonal: self.orthogonal,
             update_entities: true,
+            requirements: self.requirements(),
         };
-        h.run(pair, split, cfg)
+        h.try_run(pair, split, cfg, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Req;
 
     #[test]
     fn figure11_list_contains_nine_models() {

@@ -7,18 +7,14 @@
 //! sweet spot). Cosine metric, supervised.
 
 use crate::common::{
-    entity_name_literal, literal_features, train_epoch_batched, validation_hits1, Approach,
-    ApproachOutput, Combination, EarlyStopper, EpochStats, Req, Requirements, RunConfig,
-    TraceRecorder, TrainTrace, UnifiedSpace,
+    entity_name_literal, literal_features, weighted_concat, Approach, ApproachOutput, Combination,
+    EpochStats, Req, Requirements, RunConfig, TrainError, UnifiedSpace, UnifiedTransE,
 };
+use crate::engine::{run_driver, EpochHooks, RunContext};
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
-use openea_math::negsamp::UniformSampler;
-use openea_math::vecops;
 use openea_models::literal::LiteralEncoder;
 use openea_models::{RelationModel, TransE};
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{RngCore, SeedableRng};
 
 /// MultiKE view weights.
 pub struct MultiKe {
@@ -57,28 +53,19 @@ impl Approach for MultiKe {
 
     fn requirements(&self) -> Requirements {
         Requirements {
-            rel_triples: Req::Optional,
-            attr_triples: Req::Optional,
-            pre_aligned_entities: Req::Mandatory,
             pre_aligned_properties: Req::NotApplicable,
-            word_embeddings: Req::CrossLingualOnly,
+            ..Requirements::LITERAL_AUGMENTED
         }
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
         let space = UnifiedSpace::build(pair, &split.train, Combination::Swapping);
-        let mut model = TransE::new(
-            space.num_entities,
-            space.num_relations.max(1),
-            cfg.dim,
-            cfg.margin,
-            &mut rng,
-        );
-        let sampler = UniformSampler {
-            num_entities: space.num_entities.max(1) as u32,
-        };
-
         let enc = cfg.literal_encoder();
         let views = cfg.use_attributes.then(|| {
             (
@@ -89,37 +76,39 @@ impl Approach for MultiKe {
             )
         });
 
-        let opts = cfg.train_options(space.triples.len());
-        let mut rec = TraceRecorder::new(self.name());
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
-                    .expect("valid train options")
-            } else {
-                EpochStats::default()
-            };
-            rec.end_epoch(epoch, stats);
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.combine(&space, &model, views.as_ref(), &enc, cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
-                }
-            }
-        }
-        let mut out =
-            best.unwrap_or_else(|| self.combine(&space, &model, views.as_ref(), &enc, cfg));
-        out.trace = rec.finish();
-        out
+        let mut hooks = Hooks {
+            approach: self,
+            cfg,
+            base: UnifiedTransE::new(space, cfg, ctx.driver_rng()),
+            enc,
+            views,
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
+    }
+}
+
+struct Hooks<'a> {
+    approach: &'a MultiKe,
+    cfg: &'a RunConfig,
+    base: UnifiedTransE,
+    enc: LiteralEncoder,
+    #[allow(clippy::type_complexity)]
+    views: Option<(Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>)>,
+}
+
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        self.base.train_epoch(self.cfg)
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach.combine(
+            &self.base.space,
+            &self.base.model,
+            self.views.as_ref(),
+            &self.enc,
+            self.cfg,
+        )
     }
 }
 
@@ -135,14 +124,7 @@ impl MultiKe {
     ) -> ApproachOutput {
         let (s1, s2) = space.extract(model.entities());
         let Some((n1, n2, a1, a2)) = views else {
-            return ApproachOutput {
-                dim: cfg.dim,
-                metric: Metric::Cosine,
-                emb1: s1,
-                emb2: s2,
-                augmentation: Vec::new(),
-                trace: TrainTrace::default(),
-            };
+            return ApproachOutput::new(cfg.dim, Metric::Cosine, s1, s2);
         };
         let enc_dim = enc.dim();
         let (wn, wr, wa) = if cfg.use_relations {
@@ -152,27 +134,14 @@ impl MultiKe {
             let z = self.name_weight + self.attr_weight;
             (self.name_weight / z, 0.0, self.attr_weight / z)
         };
-        let combine = |s: &[f32], nv: &[f32], av: &[f32]| {
-            let n = nv.len() / enc_dim;
-            let dim = cfg.dim + 2 * enc_dim;
-            let mut out = Vec::with_capacity(n * dim);
-            for i in 0..n {
-                let mut srow = s[i * cfg.dim..(i + 1) * cfg.dim].to_vec();
-                vecops::normalize(&mut srow);
-                out.extend(srow.iter().map(|x| x * wr));
-                out.extend(nv[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * wn));
-                out.extend(av[i * enc_dim..(i + 1) * enc_dim].iter().map(|x| x * wa));
-            }
-            out
-        };
-        ApproachOutput {
-            dim: cfg.dim + 2 * enc_dim,
-            metric: Metric::Cosine,
-            emb1: combine(&s1, n1, a1),
-            emb2: combine(&s2, n2, a2),
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        let v1 = [(&n1[..], enc_dim, wn), (&a1[..], enc_dim, wa)];
+        let v2 = [(&n2[..], enc_dim, wn), (&a2[..], enc_dim, wa)];
+        ApproachOutput::new(
+            cfg.dim + 2 * enc_dim,
+            Metric::Cosine,
+            weighted_concat(&s1, cfg.dim, wr, &v1),
+            weighted_concat(&s2, cfg.dim, wr, &v2),
+        )
     }
 }
 

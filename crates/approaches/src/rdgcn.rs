@@ -6,14 +6,12 @@
 //! metric, supervised.
 
 use crate::common::{
-    entity_name_literal, validation_hits1, Approach, ApproachOutput, EarlyStopper, Req,
-    Requirements, RunConfig,
+    entity_name_literal, Approach, ApproachOutput, Req, Requirements, RunConfig, TrainError,
 };
-use crate::gcn::GcnEncoder;
+use crate::engine::{run_driver, RunContext};
+use crate::gcn::{GcnEncoder, GnnHooks};
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
 use openea_models::literal::LiteralEncoder;
-use openea_runtime::rng::SeedableRng;
-use openea_runtime::rng::SmallRng;
 
 /// Name-literal features for the union graph (`(n1+n2) × dim`).
 pub fn name_features(pair: &KgPair, enc: &LiteralEncoder) -> Vec<f32> {
@@ -45,17 +43,19 @@ impl Approach for Rdgcn {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::Optional,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::Optional,
-            word_embeddings: Req::Mandatory,
-        }
+        use Req::*;
+        Requirements::of(Mandatory, Optional, Mandatory, Optional, Mandatory)
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
+        cfg.validate()?;
+        let mut rng = ctx.driver_rng();
         // Name features are RDGCN's key input; the Figure-6 ablation
         // (without attribute/literal information) falls back to random
         // trainable features.
@@ -96,27 +96,16 @@ impl Approach for Rdgcn {
         if !cfg.use_relations {
             // Table 8: RDGCN cannot learn embeddings without relation
             // triples (the GCN has no edges) — output the raw features.
-            return enc.output(cfg);
+            return Ok(enc.output(cfg));
         }
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            for _ in 0..8 {
-                enc.step(&split.train, cfg.margin, cfg.lr * 5.0, &mut rng);
-            }
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = enc.output(cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    break;
-                }
-            }
-        }
-        best.unwrap_or_else(|| enc.output(cfg))
+        let mut hooks = GnnHooks {
+            cfg,
+            seeds: &split.train,
+            model: enc,
+            rng,
+            finish: None,
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
     }
 }
 

@@ -6,15 +6,16 @@
 //! only on the blended hidden state). Cosine metric, supervised sharing.
 
 use crate::common::{
-    validation_hits1, Approach, ApproachOutput, Combination, EarlyStopper, Req, Requirements,
-    RunConfig, TrainTrace, UnifiedSpace,
+    Approach, ApproachOutput, Combination, EpochStats, Req, Requirements, RunConfig, TrainError,
+    UnifiedSpace,
 };
+use crate::engine::{run_driver, EpochHooks, RunContext};
 use openea_align::Metric;
 use openea_autodiff::{Graph, Tensor};
 use openea_core::{FoldSplit, KgPair};
 use openea_math::{EmbeddingTable, Initializer};
+use openea_runtime::rng::Rng;
 use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{Rng, SeedableRng};
 
 /// One training walk: entity ids and the relations between them.
 #[derive(Clone, Debug)]
@@ -104,22 +105,22 @@ impl Approach for Rsn4Ea {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::NotApplicable,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::Optional,
-            word_embeddings: Req::NotApplicable,
-        }
+        use Req::*;
+        Requirements::of(Mandatory, NotApplicable, Mandatory, Optional, NotApplicable)
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
+        let mut rng = ctx.driver_rng();
         let space = UnifiedSpace::build(pair, &split.train, Combination::Sharing);
-        let nr = space.num_relations as u32;
         // Element table: entities then 2·relations (forward + inverse).
         let num_elements = space.num_entities + 2 * space.num_relations;
-        let mut params = RsnParams {
+        let params = RsnParams {
             elements: EmbeddingTable::new(
                 num_elements.max(1),
                 cfg.dim,
@@ -133,41 +134,74 @@ impl Approach for Rsn4Ea {
         };
 
         let walks_per_epoch = ((space.num_entities as f32 * self.walks_per_entity) as usize).max(8);
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            if cfg.use_relations {
-                let walks = sample_walks(
-                    &space.triples,
-                    space.num_entities,
-                    nr,
-                    self.walk_len,
-                    walks_per_epoch,
-                    &mut rng,
-                );
-                for walk in &walks {
-                    self.train_walk(&mut params, &space, walk, cfg, &mut rng);
-                }
-                params.elements.clip_rows_to_unit_ball();
-            }
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.output(&space, &params, cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    break;
-                }
-            }
+        let mut hooks = Hooks {
+            approach: self,
+            cfg,
+            space,
+            params,
+            walks_per_epoch,
+            rng,
+        };
+        run_driver(self.name(), &mut hooks, &ctx.for_valid(&split.valid), cfg)
+    }
+}
+
+struct Hooks<'a> {
+    approach: &'a Rsn4Ea,
+    cfg: &'a RunConfig,
+    space: UnifiedSpace,
+    params: RsnParams,
+    walks_per_epoch: usize,
+    rng: SmallRng,
+}
+
+impl EpochHooks for Hooks<'_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        if !self.cfg.use_relations {
+            return EpochStats::default();
         }
-        best.unwrap_or_else(|| self.output(&space, &params, cfg))
+        let walks = sample_walks(
+            &self.space.triples,
+            self.space.num_entities,
+            self.space.num_relations as u32,
+            self.approach.walk_len,
+            self.walks_per_epoch,
+            &mut self.rng,
+        );
+        let mut loss = 0.0f64;
+        let mut pairs = 0usize;
+        for walk in &walks {
+            let l = self.approach.train_walk(
+                &mut self.params,
+                &self.space,
+                walk,
+                self.cfg,
+                &mut self.rng,
+            );
+            // Per-walk loss is the mean over its predictions; weight by
+            // prediction count so short walks don't dominate.
+            loss += l as f64 * walk.relations.len() as f64;
+            pairs += walk.relations.len();
+        }
+        self.params.elements.clip_rows_to_unit_ball();
+        EpochStats {
+            mean_loss: if pairs == 0 {
+                0.0
+            } else {
+                (loss / pairs as f64) as f32
+            },
+            pairs,
+        }
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        self.approach.output(&self.space, &self.params, self.cfg)
     }
 }
 
 impl Rsn4Ea {
-    /// Builds the recurrent tape for one walk and applies one SGD step.
+    /// Builds the recurrent tape for one walk, applies one SGD step and
+    /// returns the walk's mean prediction loss.
     fn train_walk(
         &self,
         params: &mut RsnParams,
@@ -175,7 +209,7 @@ impl Rsn4Ea {
         walk: &Walk,
         cfg: &RunConfig,
         rng: &mut SmallRng,
-    ) {
+    ) -> f32 {
         let dim = cfg.dim;
         let ne = space.num_entities as u32;
         // Local element set: walk entities/relations plus sampled candidates.
@@ -268,6 +302,7 @@ impl Rsn4Ea {
         }
         let scale = 1.0 / losses.len() as f32;
         let loss = g.scale(total, scale);
+        let loss_value = g.value(loss).item();
         g.backward(loss);
 
         // Apply gradients.
@@ -288,26 +323,21 @@ impl Rsn4Ea {
                 *p -= cfg.lr * gg;
             }
         }
+        loss_value
     }
 
     fn output(&self, space: &UnifiedSpace, params: &RsnParams, cfg: &RunConfig) -> ApproachOutput {
         let (emb1, emb2) = space.extract(&params.elements);
         // extract() reads rows 0..n from the element table; entity rows come
         // first, so the relation tail is never touched.
-        ApproachOutput {
-            dim: cfg.dim,
-            metric: Metric::Cosine,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
+        ApproachOutput::new(cfg.dim, Metric::Cosine, emb1, emb2)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openea_runtime::rng::SeedableRng;
 
     #[test]
     fn walks_follow_edges_in_both_directions() {

@@ -4,7 +4,8 @@
 //! the mechanism through which SEA exploits non-seed data and counteracts the
 //! degree-driven drift of the mapping. Cosine metric.
 
-use crate::common::{Approach, ApproachOutput, Req, Requirements, RunConfig};
+use crate::common::{Approach, ApproachOutput, Requirements, RunConfig, TrainError};
+use crate::engine::RunContext;
 use crate::mtranse::RelModelKind;
 use crate::transformation::TransformationHarness;
 use openea_align::Metric;
@@ -28,16 +29,16 @@ impl Approach for Sea {
     }
 
     fn requirements(&self) -> Requirements {
-        Requirements {
-            rel_triples: Req::Mandatory,
-            attr_triples: Req::NotApplicable,
-            pre_aligned_entities: Req::Mandatory,
-            pre_aligned_properties: Req::NotApplicable,
-            word_embeddings: Req::NotApplicable,
-        }
+        Requirements::RELATION_BASED
     }
 
-    fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
         let factory = RelModelKind::TransE.factory();
         let h = TransformationHarness {
             factory: &factory,
@@ -46,14 +47,16 @@ impl Approach for Sea {
             cycle_weight: self.cycle_weight,
             orthogonal: false,
             update_entities: true,
+            requirements: self.requirements(),
         };
-        h.run(pair, split, cfg)
+        h.try_run(pair, split, cfg, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Req;
 
     #[test]
     fn sea_uses_cosine_and_cycle() {

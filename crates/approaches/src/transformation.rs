@@ -4,16 +4,16 @@
 //! that `M·e₁ ≈ e₂` on the seed alignment.
 
 use crate::common::{
-    train_epoch_batched, validation_hits1, ApproachOutput, EarlyStopper, EpochStats, RunConfig,
-    TraceRecorder, TrainTrace,
+    train_epoch_batched, Approach, ApproachOutput, EpochStats, Requirements, RunConfig, TrainError,
+    TrainOptions,
 };
+use crate::engine::{run_driver, EpochHooks, RunContext};
 use openea_align::Metric;
 use openea_core::{AlignedPair, FoldSplit, KgPair};
 use openea_math::negsamp::{RawTriple, UniformSampler};
-use openea_math::{vecops, Matrix};
+use openea_math::Matrix;
 use openea_models::RelationModel;
-use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{Rng, RngCore, SeedableRng};
+use openea_runtime::rng::{Rng, RngCore, SmallRng};
 
 /// Builds a fresh relation model: `(num_entities, num_relations, dim, seed)`.
 pub type ModelFactory = dyn Fn(usize, usize, usize, u64) -> Box<dyn RelationModel> + Sync;
@@ -42,118 +42,208 @@ pub struct TransformationHarness<'f> {
     /// joint objective). Multiplicative models are brittle under these
     /// direct pulls; map-only training preserves their relational geometry.
     pub update_entities: bool,
+    /// Table 9 column of the approach wrapping this harness.
+    pub requirements: Requirements,
 }
 
-impl TransformationHarness<'_> {
-    pub fn run(&self, pair: &KgPair, split: &FoldSplit, cfg: &RunConfig) -> ApproachOutput {
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let mut m1 = (self.factory)(
+impl Approach for TransformationHarness<'_> {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn requirements(&self) -> Requirements {
+        self.requirements
+    }
+
+    fn try_run(
+        &self,
+        pair: &KgPair,
+        split: &FoldSplit,
+        cfg: &RunConfig,
+        ctx: &RunContext<'_>,
+    ) -> Result<ApproachOutput, TrainError> {
+        let mut rng = ctx.driver_rng();
+        let m1 = (self.factory)(
             pair.kg1.num_entities(),
             pair.kg1.num_relations().max(1),
             cfg.dim,
-            cfg.seed ^ 1,
+            ctx.model_seed(1),
         );
-        let mut m2 = (self.factory)(
+        let m2 = (self.factory)(
             pair.kg2.num_entities(),
             pair.kg2.num_relations().max(1),
             cfg.dim,
-            cfg.seed ^ 2,
+            ctx.model_seed(2),
         );
         let t1 = kg_triples(&pair.kg1);
         let t2 = kg_triples(&pair.kg2);
-        let s1 = UniformSampler {
-            num_entities: pair.kg1.num_entities().max(1) as u32,
-        };
-        let s2 = UniformSampler {
-            num_entities: pair.kg2.num_entities().max(1) as u32,
-        };
 
         // The transformation matrix, near-identity at start.
         let mut map = Matrix::identity(cfg.dim);
         for v in map.data_mut() {
             *v += rng.gen_range(-0.02f32..0.02);
         }
-        let mut back = Matrix::identity(cfg.dim);
 
         let opts1 = cfg.train_options(t1.len());
         let opts2 = cfg.train_options(t2.len());
-        let mut rec = TraceRecorder::new(self.label);
-        let mut stopper = EarlyStopper::new(cfg.patience);
-        let mut best: Option<ApproachOutput> = None;
-        for epoch in 0..cfg.max_epochs {
-            rec.begin_epoch();
-            let stats = if cfg.use_relations {
-                let a = train_epoch_batched(m1.as_mut(), &t1, &s1, &opts1, rng.next_u64())
-                    .expect("valid train options");
-                let b = train_epoch_batched(m2.as_mut(), &t2, &s2, &opts2, rng.next_u64())
-                    .expect("valid train options");
-                EpochStats::merged(&[a, b])
-            } else {
-                EpochStats::default()
-            };
-            self.seed_step(m1.as_mut(), m2.as_mut(), &mut map, &split.train, cfg);
-            if self.cycle_weight > 0.0 {
-                self.cycle_step(m1.as_mut(), &mut map, &mut back, cfg, &mut rng);
-            }
-            if self.orthogonal {
-                map = openea_math::nearest_orthogonal(&map);
-            }
-            rec.end_epoch(epoch, stats);
+        let mut hooks = Hooks {
+            harness: self,
+            cfg,
+            seeds: &split.train,
+            m1,
+            m2,
+            map,
+            back: Matrix::identity(cfg.dim),
+            s1: UniformSampler {
+                num_entities: pair.kg1.num_entities().max(1) as u32,
+            },
+            s2: UniformSampler {
+                num_entities: pair.kg2.num_entities().max(1) as u32,
+            },
+            t1,
+            t2,
+            opts1,
+            opts2,
+            rng,
+        };
+        run_driver(self.label, &mut hooks, &ctx.for_valid(&split.valid), cfg)
+    }
+}
 
-            if (epoch + 1) % cfg.check_every == 0 {
-                let out = self.output(m1.as_ref(), m2.as_ref(), &map, cfg);
-                let score = validation_hits1(&out, &split.valid, cfg.threads);
-                rec.record_validation(score);
-                let improved = score > stopper.best();
-                if improved || best.is_none() {
-                    best = Some(out);
-                }
-                if stopper.should_stop(score) {
-                    rec.early_stop(epoch);
-                    break;
-                }
-            }
+/// Engine hooks: per-KG relation-model epochs, then the joint seed step,
+/// optional cycle consistency and optional orthogonal projection.
+struct Hooks<'a, 'f> {
+    harness: &'a TransformationHarness<'f>,
+    cfg: &'a RunConfig,
+    seeds: &'a [AlignedPair],
+    m1: Box<dyn RelationModel>,
+    m2: Box<dyn RelationModel>,
+    map: Matrix,
+    back: Matrix,
+    s1: UniformSampler,
+    s2: UniformSampler,
+    t1: Vec<RawTriple>,
+    t2: Vec<RawTriple>,
+    opts1: TrainOptions,
+    opts2: TrainOptions,
+    rng: SmallRng,
+}
+
+impl EpochHooks for Hooks<'_, '_> {
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        if !self.cfg.use_relations {
+            return EpochStats::default();
         }
-        let mut out = best.unwrap_or_else(|| self.output(m1.as_ref(), m2.as_ref(), &map, cfg));
-        out.trace = rec.finish();
-        out
+        let a = train_epoch_batched(
+            self.m1.as_mut(),
+            &self.t1,
+            &self.s1,
+            &self.opts1,
+            self.rng.next_u64(),
+        )
+        .expect("valid train options");
+        let b = train_epoch_batched(
+            self.m2.as_mut(),
+            &self.t2,
+            &self.s2,
+            &self.opts2,
+            self.rng.next_u64(),
+        )
+        .expect("valid train options");
+        EpochStats::merged(&[a, b])
     }
 
-    /// Joint SGD on `‖M·e₁ − e₂‖²` for every seed pair.
-    fn seed_step(
-        &self,
-        m1: &mut dyn RelationModel,
-        m2: &mut dyn RelationModel,
-        map: &mut Matrix,
-        seeds: &[AlignedPair],
-        cfg: &RunConfig,
-    ) {
-        let dim = cfg.dim;
-        let lr = cfg.lr;
-        let mut me1 = vec![0.0f32; dim];
-        let mut mtu = vec![0.0f32; dim];
-        for &(a, b) in seeds {
-            let e1: Vec<f32> = m1.entities().row(a.idx()).to_vec();
-            map.matvec_into(&e1, &mut me1);
-            let u: Vec<f32> = {
-                let e2 = m2.entities().row(b.idx());
-                me1.iter().zip(e2).map(|(x, y)| x - y).collect()
-            };
-            // dL/dM = 2·u·e₁ᵀ ; dL/de₁ = 2·Mᵀu ; dL/de₂ = −2u.
-            map.matvec_t_into(&u, &mut mtu);
-            for i in 0..dim {
-                for j in 0..dim {
-                    map[(i, j)] -= 2.0 * lr * u[i] * e1[j];
-                }
-            }
-            if self.update_entities {
-                m1.entities_mut().sgd_row(a.idx(), &mtu, 2.0 * lr);
-                let neg_u: Vec<f32> = u.iter().map(|x| -x).collect();
-                m2.entities_mut().sgd_row(b.idx(), &neg_u, 2.0 * lr);
-            }
+    fn after_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) {
+        seed_step(
+            self.m1.as_mut(),
+            self.m2.as_mut(),
+            &mut self.map,
+            self.seeds,
+            self.cfg,
+            self.harness.update_entities,
+        );
+        if self.harness.cycle_weight > 0.0 {
+            self.harness.cycle_step(
+                self.m1.as_mut(),
+                &mut self.map,
+                &mut self.back,
+                self.cfg,
+                &mut self.rng,
+            );
+        }
+        if self.harness.orthogonal {
+            self.map = openea_math::nearest_orthogonal(&self.map);
         }
     }
 
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        mapped_output(
+            self.m1.as_ref(),
+            self.m2.as_ref(),
+            &self.map,
+            self.cfg,
+            self.harness.metric,
+        )
+    }
+}
+
+/// Joint SGD on `‖M·e₁ − e₂‖²` for every seed pair; `update_entities`
+/// selects the joint objective (map + seed embeddings) over map-only.
+/// Shared with KDCoE's relation view (its co-training loop owns concrete
+/// models, so it bypasses the harness).
+pub(crate) fn seed_step(
+    m1: &mut dyn RelationModel,
+    m2: &mut dyn RelationModel,
+    map: &mut Matrix,
+    seeds: &[AlignedPair],
+    cfg: &RunConfig,
+    update_entities: bool,
+) {
+    let dim = cfg.dim;
+    let lr = cfg.lr;
+    let mut me1 = vec![0.0f32; dim];
+    let mut mtu = vec![0.0f32; dim];
+    for &(a, b) in seeds {
+        let e1: Vec<f32> = m1.entities().row(a.idx()).to_vec();
+        map.matvec_into(&e1, &mut me1);
+        let u: Vec<f32> = {
+            let e2 = m2.entities().row(b.idx());
+            me1.iter().zip(e2).map(|(x, y)| x - y).collect()
+        };
+        // dL/dM = 2·u·e₁ᵀ ; dL/de₁ = 2·Mᵀu ; dL/de₂ = −2u.
+        map.matvec_t_into(&u, &mut mtu);
+        for i in 0..dim {
+            for j in 0..dim {
+                map[(i, j)] -= 2.0 * lr * u[i] * e1[j];
+            }
+        }
+        if update_entities {
+            m1.entities_mut().sgd_row(a.idx(), &mtu, 2.0 * lr);
+            let neg_u: Vec<f32> = u.iter().map(|x| -x).collect();
+            m2.entities_mut().sgd_row(b.idx(), &neg_u, 2.0 * lr);
+        }
+    }
+}
+
+/// `M`-mapped KG1 embeddings against raw KG2 embeddings.
+pub(crate) fn mapped_output(
+    m1: &dyn RelationModel,
+    m2: &dyn RelationModel,
+    map: &Matrix,
+    cfg: &RunConfig,
+    metric: Metric,
+) -> ApproachOutput {
+    let n1 = m1.num_entities();
+    let mut emb1 = Vec::with_capacity(n1 * cfg.dim);
+    let mut buf = vec![0.0f32; cfg.dim];
+    for e in 0..n1 {
+        map.matvec_into(m1.entities().row(e), &mut buf);
+        emb1.extend_from_slice(&buf);
+    }
+    ApproachOutput::new(cfg.dim, metric, emb1, m2.entities().data().to_vec())
+}
+
+impl TransformationHarness<'_> {
     /// Cycle consistency on random unlabeled KG1 entities:
     /// `‖M̄·(M·e₁) − e₁‖²` trains both maps.
     fn cycle_step(
@@ -189,38 +279,14 @@ impl TransformationHarness<'_> {
             }
         }
     }
-
-    fn output(
-        &self,
-        m1: &dyn RelationModel,
-        m2: &dyn RelationModel,
-        map: &Matrix,
-        cfg: &RunConfig,
-    ) -> ApproachOutput {
-        let n1 = m1.num_entities();
-        let mut emb1 = Vec::with_capacity(n1 * cfg.dim);
-        let mut buf = vec![0.0f32; cfg.dim];
-        for e in 0..n1 {
-            map.matvec_into(m1.entities().row(e), &mut buf);
-            emb1.extend_from_slice(&buf);
-        }
-        let emb2 = m2.entities().data().to_vec();
-        let _ = vecops::norm2(&buf);
-        ApproachOutput {
-            dim: cfg.dim,
-            metric: self.metric,
-            emb1,
-            emb2,
-            augmentation: Vec::new(),
-            trace: TrainTrace::default(),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openea_math::vecops;
     use openea_models::TransE;
+    use openea_runtime::rng::SeedableRng;
 
     fn transe_factory() -> Box<ModelFactory> {
         Box::new(|n, r, d, seed| {
@@ -246,6 +312,7 @@ mod tests {
             cycle_weight: 0.0,
             orthogonal: false,
             update_entities: true,
+            requirements: Requirements::default(),
         };
         let cfg = RunConfig {
             dim: 16,

@@ -10,16 +10,17 @@
 
 use crate::boot::{propose_alignment, unaligned_entities};
 use crate::common::{
-    calibrate, train_epoch_batched, ApproachOutput, Combination, RunConfig, TraceRecorder,
-    TrainTrace, UnifiedSpace,
+    calibrate, train_epoch_batched, ApproachOutput, Combination, EpochStats, RunConfig,
+    TrainOptions, UnifiedSpace,
 };
+use crate::engine::{run_driver, EpochHooks, RunContext};
 use crate::imuse::string_match_seeds;
 use openea_align::Metric;
 use openea_core::{EntityId, KgPair};
 use openea_math::negsamp::UniformSampler;
 use openea_models::{RelationModel, TransE};
+use openea_runtime::rng::RngCore;
 use openea_runtime::rng::SmallRng;
-use openea_runtime::rng::{RngCore, SeedableRng};
 use std::collections::HashSet;
 
 /// Configuration of the unsupervised pipeline.
@@ -61,11 +62,12 @@ pub fn align_unsupervised(
     ucfg: UnsupervisedConfig,
     cfg: &RunConfig,
 ) -> UnsupervisedOutcome {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let ctx = RunContext::new(cfg);
+    let mut rng = ctx.driver_rng();
     let pseudo_seeds = string_match_seeds(&pair.kg1, &pair.kg2, ucfg.string_threshold);
 
     let space = UnifiedSpace::build(pair, &pseudo_seeds, Combination::Sharing);
-    let mut model = TransE::new(
+    let model = TransE::new(
         space.num_entities,
         space.num_relations.max(1),
         cfg.dim,
@@ -76,46 +78,33 @@ pub fn align_unsupervised(
         num_entities: space.num_entities.max(1) as u32,
     };
 
-    let mut taken1: HashSet<EntityId> = pseudo_seeds.iter().map(|&(a, _)| a).collect();
-    let mut taken2: HashSet<EntityId> = pseudo_seeds.iter().map(|&(_, b)| b).collect();
-    let mut boot_pairs: Vec<(EntityId, EntityId)> = Vec::new();
-
     let opts = cfg.train_options(space.triples.len());
-    let mut rec = TraceRecorder::new("unsupervised");
-    let mut epoch = 0;
-    for round in 0..=ucfg.boot_rounds {
-        for _ in 0..ucfg.epochs_per_round {
-            rec.begin_epoch();
-            let stats =
-                train_epoch_batched(&mut model, &space.triples, &sampler, &opts, rng.next_u64())
-                    .expect("valid train options");
-            let uids: Vec<(u32, u32)> = boot_pairs
-                .iter()
-                .map(|&(a, b)| (space.uid1(a), space.uid2(b)))
-                .collect();
-            calibrate(&mut model.entities, &uids, cfg.lr);
-            rec.end_epoch(epoch, stats);
-            epoch += 1;
-        }
-        if round == ucfg.boot_rounds {
-            break;
-        }
-        let out = extract(&space, &model, cfg);
-        let cand1 = unaligned_entities(pair.kg1.num_entities(), &taken1);
-        let cand2 = unaligned_entities(pair.kg2.num_entities(), &taken2);
-        let new_pairs =
-            propose_alignment(&out, &cand1, &cand2, ucfg.boot_threshold, true, cfg.threads);
-        for &(a, b) in &new_pairs {
-            taken1.insert(a);
-            taken2.insert(b);
-        }
-        boot_pairs.extend(new_pairs);
-    }
+    let mut hooks = Hooks {
+        pair,
+        ucfg,
+        cfg,
+        space,
+        model,
+        sampler,
+        taken1: pseudo_seeds.iter().map(|&(a, _)| a).collect(),
+        taken2: pseudo_seeds.iter().map(|&(_, b)| b).collect(),
+        boot_pairs: Vec::new(),
+        opts,
+        rng,
+    };
 
-    let mut output = extract(&space, &model, cfg);
-    output.trace = rec.finish();
+    // One flat epoch sequence: `epochs_per_round` epochs per round, with a
+    // self-training proposal at every round boundary (`before_epoch`). No
+    // validation split exists, so the context carries no validation pairs
+    // and the engine never early-stops.
+    let ecfg = RunConfig {
+        max_epochs: (ucfg.boot_rounds + 1) * ucfg.epochs_per_round,
+        ..cfg.clone()
+    };
+    let output =
+        run_driver("unsupervised", &mut hooks, &ctx, &ecfg).expect("valid unsupervised run config");
     let mut predicted = pseudo_seeds.clone();
-    predicted.extend(boot_pairs);
+    predicted.extend(hooks.boot_pairs);
     UnsupervisedOutcome {
         output,
         pseudo_seeds,
@@ -123,16 +112,76 @@ pub fn align_unsupervised(
     }
 }
 
+struct Hooks<'a> {
+    pair: &'a KgPair,
+    ucfg: UnsupervisedConfig,
+    cfg: &'a RunConfig,
+    space: UnifiedSpace,
+    model: TransE,
+    sampler: UniformSampler,
+    taken1: HashSet<EntityId>,
+    taken2: HashSet<EntityId>,
+    boot_pairs: Vec<(EntityId, EntityId)>,
+    opts: TrainOptions,
+    rng: SmallRng,
+}
+
+impl EpochHooks for Hooks<'_> {
+    fn before_epoch(&mut self, epoch: usize, _ctx: &RunContext<'_>) {
+        if epoch == 0
+            || self.ucfg.epochs_per_round == 0
+            || !epoch.is_multiple_of(self.ucfg.epochs_per_round)
+        {
+            return;
+        }
+        // Round boundary: propose new pairs from the current embeddings
+        // (conflict-edited, never touching entities already aligned).
+        let out = extract(&self.space, &self.model, self.cfg);
+        let cand1 = unaligned_entities(self.pair.kg1.num_entities(), &self.taken1);
+        let cand2 = unaligned_entities(self.pair.kg2.num_entities(), &self.taken2);
+        let new_pairs = propose_alignment(
+            &out,
+            &cand1,
+            &cand2,
+            self.ucfg.boot_threshold,
+            true,
+            self.cfg.threads,
+        );
+        for &(a, b) in &new_pairs {
+            self.taken1.insert(a);
+            self.taken2.insert(b);
+        }
+        self.boot_pairs.extend(new_pairs);
+    }
+
+    fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+        train_epoch_batched(
+            &mut self.model,
+            &self.space.triples,
+            &self.sampler,
+            &self.opts,
+            self.rng.next_u64(),
+        )
+        .expect("valid train options")
+    }
+
+    fn after_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) {
+        let uids: Vec<(u32, u32)> = self
+            .boot_pairs
+            .iter()
+            .map(|&(a, b)| (self.space.uid1(a), self.space.uid2(b)))
+            .collect();
+        calibrate(&mut self.model.entities, &uids, self.cfg.lr);
+    }
+
+    fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+        extract(&self.space, &self.model, self.cfg)
+    }
+}
+
 fn extract(space: &UnifiedSpace, model: &TransE, cfg: &RunConfig) -> ApproachOutput {
     let (emb1, emb2) = space.extract(model.entities());
-    ApproachOutput {
-        dim: cfg.dim,
-        metric: Metric::Cosine,
-        emb1,
-        emb2,
-        augmentation: Vec::new(),
-        trace: TrainTrace::default(),
-    }
+    ApproachOutput::new(cfg.dim, Metric::Cosine, emb1, emb2)
 }
 
 #[cfg(test)]

@@ -1,0 +1,174 @@
+//! `openea-bench approaches` — self-validating gate for the hook-based
+//! driver engine.
+//!
+//! Every run first proves the engine contract on a tiny synthetic pair
+//! before reporting anything:
+//! (a) an engine-driven approach completes under a generous wall-clock
+//!     budget with a populated trace and a real stop reason,
+//! (b) an epoch budget smaller than `max_epochs` stops the run gracefully
+//!     with `StopReason::DeadlineExceeded` at exactly the budget boundary,
+//! (c) an already-expired wall-clock deadline yields a zero-epoch run that
+//!     still returns embeddings of the right shape.
+//! Any violation exits non-zero. `--smoke` runs the gate only (the CI
+//! entry); the full mode additionally drives every registry approach for a
+//! few epochs and records each one's stop reason in JSON.
+
+use crate::HarnessConfig;
+use openea::approaches::StopReason;
+use openea::prelude::*;
+use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::rng::{SeedableRng, SmallRng};
+use std::time::Instant;
+
+fn tiny_fixture(seed: u64) -> (KgPair, Vec<FoldSplit>) {
+    let pair = PresetConfig::new(DatasetFamily::EnFr, 120, false, seed).generate();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    (pair, folds)
+}
+
+fn gate_config(seed: u64) -> RunConfig {
+    RunConfig {
+        dim: 16,
+        max_epochs: 12,
+        check_every: 2,
+        seed,
+        threads: 2,
+        ..RunConfig::default()
+    }
+}
+
+/// Asserts the engine contract. Returns the checks passed.
+fn check_engine(seed: u64) -> Result<usize, String> {
+    let (pair, folds) = tiny_fixture(seed ^ 0x9a7e);
+    let split = &folds[0];
+    let rc = gate_config(seed);
+    let approach = approach_by_name("MTransE").expect("registry approach");
+    let mut checked = 0usize;
+
+    // (a) Generous budget: the run must complete normally.
+    let ctx = RunContext::new(&rc).with_budget(Budget::wall_secs(600.0));
+    let out = approach.run_with(&pair, split, &rc, &ctx);
+    if out.trace.epochs.is_empty() {
+        return Err("engine run recorded no epochs".into());
+    }
+    match out.trace.stop {
+        StopReason::MaxEpochs | StopReason::EarlyStopped { .. } => {}
+        other => {
+            return Err(format!(
+                "unexpected stop reason {other:?} under a 600s budget"
+            ))
+        }
+    }
+    checked += 1;
+
+    // (b) Epoch budget < max_epochs: graceful deadline stop at the boundary.
+    let budget_epochs = 3;
+    let ctx = RunContext::new(&rc).with_budget(Budget::epochs(budget_epochs));
+    let out = approach.run_with(&pair, split, &rc, &ctx);
+    if out.trace.stop
+        != (StopReason::DeadlineExceeded {
+            epoch: budget_epochs,
+        })
+    {
+        return Err(format!(
+            "epoch budget {budget_epochs}: expected DeadlineExceeded, got {:?}",
+            out.trace.stop
+        ));
+    }
+    if out.trace.epochs.len() != budget_epochs {
+        return Err(format!(
+            "epoch budget {budget_epochs}: ran {} epochs",
+            out.trace.epochs.len()
+        ));
+    }
+    checked += 1;
+
+    // (c) Already-expired wall deadline: zero epochs, shape intact.
+    let ctx = RunContext::new(&rc).with_budget(Budget::wall_secs(0.0));
+    let out = approach.run_with(&pair, split, &rc, &ctx);
+    if out.trace.stop != (StopReason::DeadlineExceeded { epoch: 0 }) {
+        return Err(format!(
+            "expired deadline: expected DeadlineExceeded at epoch 0, got {:?}",
+            out.trace.stop
+        ));
+    }
+    if !out.trace.epochs.is_empty() {
+        return Err("expired deadline still ran epochs".into());
+    }
+    if out.emb1.len() != pair.kg1.num_entities() * out.dim {
+        return Err("expired deadline returned malformed embeddings".into());
+    }
+    checked += 1;
+
+    Ok(checked)
+}
+
+pub fn approaches(cfg: &HarnessConfig, smoke: bool) {
+    print!("engine gate (seed {}): ", cfg.seed);
+    match check_engine(cfg.seed) {
+        Ok(n) => println!("{n} budget/deadline contracts hold"),
+        Err(msg) => {
+            eprintln!("FAILED — driver engine contract violated: {msg}");
+            std::process::exit(1);
+        }
+    }
+    if smoke {
+        println!("[approaches smoke OK]");
+        return;
+    }
+
+    // Full mode: drive every registry approach briefly under the harness
+    // deadline (if any) and record how each run ended.
+    let (pair, folds) = tiny_fixture(cfg.seed ^ 0x9a7e);
+    let split = &folds[0];
+    let mut rc = gate_config(cfg.seed);
+    rc.max_epochs = 8;
+    let mut ctx = RunContext::new(&rc);
+    if let Some(secs) = cfg.deadline_s {
+        ctx.budget = Budget::wall_secs(secs);
+    }
+    println!(
+        "{:>10} {:>7} {:>9} {:>22}",
+        "approach", "epochs", "wall_s", "stop"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for approach in all_approaches() {
+        let t0 = Instant::now();
+        let out = approach.run_with(&pair, split, &rc, &ctx);
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>10} {:>7} {:>9.2} {:>22}",
+            approach.name(),
+            out.trace.epochs.len(),
+            wall,
+            format!("{:?}", out.trace.stop),
+        );
+        rows.push(object([
+            ("approach", approach.name().to_json()),
+            ("epochs", out.trace.epochs.len().to_json()),
+            ("wall_s", wall.to_json()),
+            ("stop", out.trace.stop.to_json()),
+        ]));
+    }
+    let doc = object([
+        ("experiment", "approaches".to_json()),
+        ("seed", (cfg.seed as i64).to_json()),
+        (
+            "deadline_s",
+            cfg.deadline_s.map(|s| s.to_json()).unwrap_or(Json::Null),
+        ),
+        ("runs", Json::Array(rows)),
+    ]);
+    cfg.write_json("BENCH_approaches", &doc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_gate_passes_on_default_seed() {
+        assert_eq!(check_engine(7).unwrap(), 3);
+    }
+}

@@ -363,22 +363,6 @@ pub fn fig12(cfg: &HarnessConfig) {
     );
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::Scale;
-
-    #[test]
-    fn fig3_runs_quickly() {
-        let cfg = HarnessConfig {
-            out_dir: None,
-            scale: Scale::Small,
-            ..HarnessConfig::default()
-        };
-        fig3(&cfg);
-    }
-}
-
 /// Ablation studies called out in Sect. 5.2: BootEA's self-training
 /// (the paper reports a > 0.086 Hits@1 gain on V1), IPTransE's path loss
 /// and SEA's cycle regularizer.
@@ -680,4 +664,20 @@ pub fn orthogonal(cfg: &HarnessConfig) {
         rows.push((family.label(), hl, ho));
     }
     cfg.write_json("orthogonal", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn fig3_runs_quickly() {
+        let cfg = HarnessConfig {
+            out_dir: None,
+            scale: Scale::Small,
+            ..HarnessConfig::default()
+        };
+        fig3(&cfg);
+    }
 }

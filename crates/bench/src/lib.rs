@@ -10,6 +10,7 @@
 //! how families differ, where CSLS/stable-marriage help — are the
 //! reproduction target. See `EXPERIMENTS.md` at the repository root.
 
+pub mod approaches_gate;
 pub mod datasets;
 pub mod figures;
 pub mod kernels;
@@ -86,6 +87,11 @@ pub struct HarnessConfig {
     /// only.
     pub out_dir: Option<PathBuf>,
     pub threads: usize,
+    /// Per-fold wall-clock budget in seconds. When a fold exceeds it the
+    /// driver engine stops gracefully after the current epoch and the run's
+    /// trace records `StopReason::DeadlineExceeded` (visible in
+    /// `results/*.json`). `None` = unbounded.
+    pub deadline_s: Option<f64>,
 }
 
 impl Default for HarnessConfig {
@@ -95,6 +101,7 @@ impl Default for HarnessConfig {
             seed: 7,
             out_dir: Some(PathBuf::from("results")),
             threads: num_threads(),
+            deadline_s: None,
         }
     }
 }

@@ -2,17 +2,18 @@
 //!
 //! ```text
 //! openea-bench <experiment> [--scale small|medium|large] [--seed N]
-//!              [--out DIR] [--include-large] [--smoke]
+//!              [--out DIR] [--include-large] [--smoke] [--deadline SECS]
 //!
 //! experiments:
 //!   table2 table3 table4 table5 table6 table7 table8 table9
 //!   fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 ablation
 //!   kernels    (similarity-kernel micro-bench; --smoke = CI gate)
 //!   training   (mini-batch trainer micro-bench; --smoke = CI gate)
+//!   approaches (driver-engine deadline gate; --smoke = CI gate)
 //!   all        (everything; fig8 reuses table5's timings)
 //! ```
 
-use openea_bench::{figures, kernels, tables, training, HarnessConfig, Scale};
+use openea_bench::{approaches_gate, figures, kernels, tables, training, HarnessConfig, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +53,14 @@ fn main() {
             "--no-out" => cfg.out_dir = None,
             "--include-large" => include_large = true,
             "--smoke" => smoke = true,
+            "--deadline" => {
+                i += 1;
+                cfg.deadline_s = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--deadline needs seconds")),
+                );
+            }
             other => die(&format!("unknown option {other}")),
         }
         i += 1;
@@ -89,6 +98,7 @@ fn main() {
         "orthogonal" => figures::orthogonal(&cfg),
         "kernels" => kernels::kernels(&cfg, smoke),
         "training" => training::training(&cfg, smoke),
+        "approaches" => approaches_gate::approaches(&cfg, smoke),
         "all" => {
             tables::table2(&cfg, include_large);
             tables::table3(&cfg);
@@ -122,9 +132,9 @@ fn print_usage() {
     println!(
         "openea-bench — regenerate the OpenEA paper's tables and figures\n\n\
          usage: openea-bench <experiment> [--scale small|medium|large] [--seed N]\n\
-                [--out DIR | --no-out] [--include-large] [--smoke]\n\n\
+                [--out DIR | --no-out] [--include-large] [--smoke] [--deadline SECS]\n\n\
          experiments: table2 table3 table4 table5 table6 table7 table8 table9\n\
-                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels\n                      training all"
+                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels\n                      training approaches all"
     );
 }
 

@@ -65,8 +65,12 @@ pub fn run_cv(
         let mut rc = run_config(cfg, dataset);
         rc.seed = cfg.seed ^ (f as u64) << 8;
         tweak(&mut rc);
+        let mut ctx = RunContext::new(&rc);
+        if let Some(secs) = cfg.deadline_s {
+            ctx.budget = Budget::wall_secs(secs);
+        }
         let t0 = Instant::now();
-        let out = approach.run(&dataset.pair, split, &rc);
+        let out = approach.run_with(&dataset.pair, split, &rc, &ctx);
         let eval = evaluate_output(&out, &split.test, rc.threads);
         secs.push(t0.elapsed().as_secs_f64());
         hits1.push(eval.hits1);
@@ -99,7 +103,11 @@ pub fn run_fold0(
 ) -> (ApproachOutput, RunConfig) {
     let mut rc = run_config(cfg, dataset);
     tweak(&mut rc);
-    let out = approach.run(&dataset.pair, &dataset.folds[0], &rc);
+    let mut ctx = RunContext::new(&rc);
+    if let Some(secs) = cfg.deadline_s {
+        ctx.budget = Budget::wall_secs(secs);
+    }
+    let out = approach.run_with(&dataset.pair, &dataset.folds[0], &rc, &ctx);
     (out, rc)
 }
 

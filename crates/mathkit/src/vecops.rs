@@ -489,7 +489,7 @@ mod tests {
         let norms = row_norms(&tile, dim);
         let mut tile_t = Vec::new();
         transpose_tile(&tile, dim, &mut tile_t);
-        assert_eq!(tile_t[0 * 6 + 2], tile[2 * dim]); // spot-check layout
+        assert_eq!(tile_t[2], tile[2 * dim]); // spot-check layout: dim 0, row 2
         let mut out = [0.0f32; 6];
         inner_block_t(&a, &tile_t, &mut out);
         for (j, b) in tile.chunks_exact(dim).enumerate() {

@@ -243,6 +243,7 @@ mod tests {
         let eps = 1e-3;
         // Check ∂score/∂h numerically against the closed form in apply().
         let base: Vec<f32> = m.entities.row(0).to_vec();
+        #[allow(clippy::needless_range_loop)] // `i` perturbs rows of two clones, not just `base`
         for i in 0..6 {
             let mut mp = ComplEx {
                 entities: m.entities.clone(),

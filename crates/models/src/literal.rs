@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn cross_lingual_dictionary_aligns_translations() {
-        let dict = vec![("maison", "house"), ("chat", "cat")];
+        let dict = [("maison", "house"), ("chat", "cat")];
         let wv = WordVectors::cross_lingual(16, dict.iter().map(|&(a, b)| (a, b)), 0.1);
         let sim = cosine(&wv.get("maison"), &wv.get("house"));
         assert!(sim > 0.9, "translated words should align: {sim}");

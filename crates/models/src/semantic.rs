@@ -560,6 +560,7 @@ mod tests {
         let m = DistMult::new(3, 1, 6, &mut rng());
         let triple = (0u32, 0u32, 1u32);
         let base: Vec<f32> = m.entities.row(0).to_vec();
+        #[allow(clippy::needless_range_loop)] // `i` perturbs rows of two clones, not just `base`
         for i in 0..6 {
             let mut mp = DistMult {
                 entities: m.entities.clone(),

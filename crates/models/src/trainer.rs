@@ -155,6 +155,13 @@ pub enum TrainError {
     ZeroNegatives,
     /// `batch_size == 0`: the epoch could never make progress.
     ZeroBatchSize,
+    /// `check_every == 0`: the validation cadence `(epoch + 1) % check_every`
+    /// would divide by zero.
+    ZeroCheckEvery,
+    /// `dim == 0`: embeddings would carry no information.
+    ZeroDim,
+    /// `max_epochs == 0`: the run could never train.
+    ZeroMaxEpochs,
 }
 
 impl std::fmt::Display for TrainError {
@@ -164,6 +171,14 @@ impl std::fmt::Display for TrainError {
                 write!(f, "negs_per_pos must be >= 1 (0 would train on nothing)")
             }
             TrainError::ZeroBatchSize => write!(f, "batch_size must be >= 1"),
+            TrainError::ZeroCheckEvery => {
+                write!(
+                    f,
+                    "check_every must be >= 1 (the validation cadence divides by it)"
+                )
+            }
+            TrainError::ZeroDim => write!(f, "dim must be >= 1"),
+            TrainError::ZeroMaxEpochs => write!(f, "max_epochs must be >= 1"),
         }
     }
 }
@@ -331,6 +346,9 @@ pub enum StopReason {
     MaxEpochs,
     /// Validation stopped improving at this (0-based) epoch.
     EarlyStopped { epoch: usize },
+    /// A wall-clock or epoch budget expired before `epoch` (0-based, the
+    /// first epoch that did *not* run) could start.
+    DeadlineExceeded { epoch: usize },
 }
 
 impl ToJson for StopReason {
@@ -340,6 +358,10 @@ impl ToJson for StopReason {
             StopReason::MaxEpochs => object([("kind", "max_epochs".to_json())]),
             StopReason::EarlyStopped { epoch } => object([
                 ("kind", "early_stopped".to_json()),
+                ("epoch", epoch.to_json()),
+            ]),
+            StopReason::DeadlineExceeded { epoch } => object([
+                ("kind", "deadline_exceeded".to_json()),
                 ("epoch", epoch.to_json()),
             ]),
         }
@@ -464,6 +486,22 @@ impl TraceRecorder {
     /// Marks the run as early-stopped at `epoch`.
     pub fn early_stop(&mut self, epoch: usize) {
         self.trace.stop = StopReason::EarlyStopped { epoch };
+    }
+
+    /// Marks the run as cut short by a wall-clock/epoch budget before
+    /// `epoch` could start.
+    pub fn deadline_stop(&mut self, epoch: usize) {
+        self.trace.stop = StopReason::DeadlineExceeded { epoch };
+    }
+
+    /// The most recently ended epoch, if any.
+    pub fn last(&self) -> Option<&EpochTrace> {
+        self.trace.epochs.last()
+    }
+
+    /// Seconds elapsed since the recorder was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.run_start.elapsed().as_secs_f64()
     }
 
     pub fn finish(mut self) -> TrainTrace {

@@ -726,7 +726,7 @@ mod tests {
     fn self_loop_pair_keeps_parameters_finite() {
         for which in 0..4 {
             let mut rng = rng();
-            let mut run = |m: &mut dyn RelationModel| {
+            let run = |m: &mut dyn RelationModel| {
                 for _ in 0..5 {
                     m.step((0, 0, 0), (0, 0, 2), 0.1);
                 }

@@ -61,8 +61,8 @@ pub mod prelude {
         PrfScores, RankEval, SimilarityMatrix,
     };
     pub use openea_approaches::{
-        all_approaches, approach_by_name, evaluate_output, Approach, ApproachKind, ApproachOutput,
-        RunConfig,
+        all_approaches, approach_by_name, evaluate_output, run_driver, Approach, ApproachKind,
+        ApproachOutput, Budget, EpochHooks, RunConfig, RunContext, TelemetrySink,
     };
     pub use openea_conventional::{ConventionalSystem, LogMap, Paris};
     pub use openea_core::{

@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Kernel smoke gate: proves the tiled/top-k kernels bit-identical to the
 # naive reference on a fixed seed (exits non-zero on divergence), then runs
@@ -18,3 +19,9 @@ cargo run --release --offline -p openea-bench -- kernels --smoke --no-out
 # reference (batch size 1) and across thread counts {1,2,8} for every model
 # on the gradient pathway, then times one tiny grid. Budget: a few seconds.
 cargo run --release --offline -p openea-bench -- training --smoke --no-out
+
+# Driver-engine smoke gate: proves the shared hook-based engine honours its
+# budget contract (wall-clock and epoch deadlines stop gracefully with
+# StopReason::DeadlineExceeded, a zero-epoch run still yields a checkpoint)
+# on a real registry approach. Budget: a few seconds.
+cargo run --release --offline -p openea-bench -- approaches --smoke --no-out

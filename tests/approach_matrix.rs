@@ -69,6 +69,205 @@ fn run_family(family: DatasetFamily, min_hits1: f64) {
     }
 }
 
+/// Golden embedding hashes for every registry approach on the fixed fixture
+/// below, captured on the pre-engine drivers. The driver-engine migration
+/// must reproduce these bit-for-bit at every thread count: the refactor
+/// moved scaffolding, not math.
+const GOLDEN_HASHES: [(&str, u64); 12] = [
+    ("MTransE", 0xa355c7feec9e21ea),
+    ("IPTransE", 0xa56ddc7bdd0adbe9),
+    ("JAPE", 0x0fc7784767afbdd3),
+    ("KDCoE", 0x78bf8f6273bd11be),
+    ("BootEA", 0x39132b756d3e4a88),
+    ("GCNAlign", 0x5ce8852e49e845b5),
+    ("AttrE", 0x2177c8e86f840264),
+    ("IMUSE", 0xf35c1d45d91e4de0),
+    ("SEA", 0x59c7d2f0d28313ae),
+    ("RSN4EA", 0xc39968241666cf29),
+    ("MultiKE", 0x56d6e596c82df369),
+    ("RDGCN", 0x9573454193c2155c),
+];
+
+fn golden_fixture() -> (KgPair, Vec<FoldSplit>, RunConfig) {
+    let pair = PresetConfig::new(DatasetFamily::EnFr, 150, false, 303).generate();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+    let mut cfg = RunConfig {
+        dim: 16,
+        max_epochs: 20,
+        seed: 1234,
+        ..RunConfig::default()
+    };
+    let tr = Translator::new(openea::synth::Language::L2, 4000, 0.02);
+    cfg.word_vectors =
+        openea::models::literal::WordVectors::cross_lingual(cfg.dim, tr.dictionary_pairs(), 0.08);
+    (pair, folds, cfg)
+}
+
+#[test]
+fn golden_hashes_bit_identical_across_thread_counts() {
+    let (pair, folds, mut cfg) = golden_fixture();
+    let golden: std::collections::HashMap<&str, u64> = GOLDEN_HASHES.into_iter().collect();
+    let mut diverged = Vec::new();
+    for approach in all_approaches() {
+        let name = approach.name();
+        let mut hashes = Vec::new();
+        for threads in [1usize, 2, 8] {
+            cfg.threads = threads;
+            hashes.push(approach.run(&pair, &folds[0], &cfg).content_hash());
+        }
+        assert!(
+            hashes.iter().all(|&h| h == hashes[0]),
+            "{name}: embeddings must be thread-invariant, got {hashes:x?}"
+        );
+        println!("    (\"{name}\", {:#018x}),", hashes[0]);
+        if hashes[0] != golden[name] {
+            diverged.push(name);
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "embedding hashes diverged from golden for {diverged:?}"
+    );
+}
+
+mod engine {
+    //! Unit tests of the shared driver loop, using hooks with no model
+    //! behind them so every assertion is about the engine itself.
+
+    use openea::approaches::{StopReason, TrainError};
+    use openea::models::EpochStats;
+    use openea::prelude::*;
+    use openea_runtime::rng::{SeedableRng, SmallRng};
+
+    struct CountingHooks {
+        trained: usize,
+        checkpoints: usize,
+    }
+
+    impl CountingHooks {
+        fn new() -> Self {
+            Self {
+                trained: 0,
+                checkpoints: 0,
+            }
+        }
+    }
+
+    impl EpochHooks for CountingHooks {
+        fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+            self.trained += 1;
+            EpochStats {
+                mean_loss: 1.0,
+                pairs: 10,
+            }
+        }
+
+        fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+            self.checkpoints += 1;
+            ApproachOutput {
+                dim: 2,
+                metric: Metric::Euclidean,
+                emb1: vec![0.0; 4],
+                emb2: vec![0.0; 4],
+                augmentation: Vec::new(),
+                trace: Default::default(),
+            }
+        }
+    }
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            dim: 2,
+            max_epochs: 10,
+            check_every: 3,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn epoch_budget_stops_gracefully_at_the_boundary() {
+        let mut hooks = CountingHooks::new();
+        let cfg = cfg();
+        let ctx = RunContext::new(&cfg).with_budget(Budget::epochs(4));
+        let out = run_driver("test", &mut hooks, &ctx, &cfg).unwrap();
+        assert_eq!(hooks.trained, 4);
+        assert_eq!(out.trace.epochs.len(), 4);
+        assert_eq!(out.trace.stop, StopReason::DeadlineExceeded { epoch: 4 });
+    }
+
+    #[test]
+    fn expired_wall_deadline_yields_a_zero_epoch_run() {
+        let mut hooks = CountingHooks::new();
+        let cfg = cfg();
+        let ctx = RunContext::new(&cfg).with_budget(Budget::wall_secs(0.0));
+        let out = run_driver("test", &mut hooks, &ctx, &cfg).unwrap();
+        assert_eq!(hooks.trained, 0);
+        assert!(out.trace.epochs.is_empty());
+        assert_eq!(out.trace.stop, StopReason::DeadlineExceeded { epoch: 0 });
+        // The output still comes from a (final) checkpoint.
+        assert_eq!(hooks.checkpoints, 1);
+        assert_eq!(out.emb1.len(), 4);
+    }
+
+    #[test]
+    fn check_every_beyond_max_epochs_never_validates() {
+        let mut hooks = CountingHooks::new();
+        let mut cfg = cfg();
+        cfg.check_every = cfg.max_epochs + 40;
+        let valid = vec![(EntityId(0), EntityId(0))];
+        let ctx = RunContext::new(&cfg).for_valid(&valid);
+        let out = run_driver("test", &mut hooks, &ctx, &cfg).unwrap();
+        assert_eq!(out.trace.stop, StopReason::MaxEpochs);
+        assert_eq!(out.trace.epochs.len(), cfg.max_epochs);
+        assert!(out.trace.epochs.iter().all(|e| e.val_hits1.is_none()));
+        // One final checkpoint, zero validation checkpoints.
+        assert_eq!(hooks.checkpoints, 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        let base = cfg();
+        for (tweak, expect) in [
+            (
+                Box::new(|c: &mut RunConfig| c.check_every = 0) as Box<dyn Fn(&mut RunConfig)>,
+                TrainError::ZeroCheckEvery,
+            ),
+            (Box::new(|c: &mut RunConfig| c.dim = 0), TrainError::ZeroDim),
+            (
+                Box::new(|c: &mut RunConfig| c.max_epochs = 0),
+                TrainError::ZeroMaxEpochs,
+            ),
+        ] {
+            let mut cfg = base.clone();
+            tweak(&mut cfg);
+            let mut hooks = CountingHooks::new();
+            let ctx = RunContext::new(&cfg);
+            let err = run_driver("test", &mut hooks, &ctx, &cfg).unwrap_err();
+            assert_eq!(err, expect);
+            assert_eq!(hooks.trained, 0, "no training on invalid config");
+        }
+    }
+
+    #[test]
+    fn registry_approaches_panic_on_invalid_config_via_run() {
+        let pair = PresetConfig::new(DatasetFamily::EnFr, 60, false, 7).generate();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let folds = k_fold_splits(&pair.alignment, 5, &mut rng);
+        let cfg = RunConfig {
+            check_every: 0,
+            ..RunConfig::default()
+        };
+        let a = approach_by_name("MTransE").unwrap();
+        let err = a.try_run(&pair, &folds[0], &cfg, &RunContext::new(&cfg));
+        assert_eq!(err.unwrap_err(), TrainError::ZeroCheckEvery);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.run(&pair, &folds[0], &cfg)
+        }));
+        assert!(panicked.is_err(), "run() must panic on an invalid config");
+    }
+}
+
 #[test]
 fn all_approaches_beat_random_on_en_fr() {
     run_family(DatasetFamily::EnFr, 0.025);

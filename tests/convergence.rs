@@ -5,10 +5,9 @@
 //! so a training-engine regression that quietly halves an approach's quality
 //! fails here even when the result is still "better than chance".
 //!
-//! The suite also pins the telemetry contract: approaches driven by the
-//! mini-batch engine must surface a populated `TrainTrace` (per-epoch loss
-//! and throughput, validation checkpoints, a stop reason), while drivers
-//! outside the engine (the GNN family) keep the default empty trace.
+//! The suite also pins the telemetry contract: every registry approach runs
+//! on the shared driver engine and must surface a populated `TrainTrace`
+//! (per-epoch loss and throughput, validation checkpoints, a stop reason).
 
 use openea::approaches::{StopReason, TrainTrace};
 use openea::prelude::*;
@@ -30,12 +29,6 @@ const FLOORS: [(&str, f64); 12] = [
     ("RSN4EA", 0.12),
     ("MultiKE", 0.35),
     ("RDGCN", 0.19),
-];
-
-/// Approaches whose epoch loop runs on the batched training engine and must
-/// therefore emit a populated trace.
-const ENGINE_DRIVEN: [&str; 9] = [
-    "MTransE", "IPTransE", "JAPE", "KDCoE", "BootEA", "AttrE", "IMUSE", "SEA", "MultiKE",
 ];
 
 fn fixture() -> (KgPair, Vec<FoldSplit>, RunConfig) {
@@ -110,16 +103,8 @@ fn every_approach_clears_its_convergence_floor() {
             "{name}: hits@1 {:.3} fell below its convergence floor {floor:.2}",
             eval.hits1
         );
-        if ENGINE_DRIVEN.contains(&name) {
-            assert_engine_trace(name, &out.trace, &cfg);
-            assert_eq!(out.trace.label, name, "{name}: trace label");
-        } else {
-            assert_eq!(
-                out.trace,
-                TrainTrace::default(),
-                "{name}: non-engine drivers keep the default trace"
-            );
-        }
+        assert_engine_trace(name, &out.trace, &cfg);
+        assert_eq!(out.trace.label, name, "{name}: trace label");
     }
     assert!(
         floors.is_empty(),
