@@ -6,7 +6,7 @@ use openea_math::vecops;
 /// The distance metrics used across the 23 surveyed approaches (Table 1),
 /// as similarity functions, plus the raw inner product (the un-normalized
 /// score several neural approaches rank by).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
 pub enum Metric {
     /// Cosine similarity. Defined as 0 when either vector is zero (a zero
     /// embedding has no direction; returning NaN here would silently poison

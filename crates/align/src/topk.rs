@@ -225,6 +225,14 @@ impl TopKMatrix {
         &self.entries[i * self.k..(i + 1) * self.k]
     }
 
+    /// Borrowing iterator over every row's kept `(target, score)` pairs in
+    /// source order — lets callers walk the results without copying them out
+    /// (the serving layer hands these slices straight to response encoding).
+    /// Rows are empty slices when `k == 0`.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[(u32, f32)]> + '_ {
+        (0..self.rows).map(move |i| &self.entries[i * self.k..(i + 1) * self.k])
+    }
+
     /// The best target of source `i` (lowest index on ties), if any.
     pub fn best(&self, i: usize) -> Option<(usize, f32)> {
         if self.k == 0 {
@@ -405,5 +413,20 @@ mod tests {
         let t = TopKMatrix::from_matrix(&sim, 4);
         let idx: Vec<u32> = t.row(0).iter().map(|&(j, _)| j).collect();
         assert_eq!(idx, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn iter_rows_matches_row_accessor() {
+        let sim = SimilarityMatrix::from_raw(3, 4, (0..12).map(|v| v as f32).collect());
+        let t = TopKMatrix::from_matrix(&sim, 2);
+        let rows: Vec<&[(u32, f32)]> = t.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(*row, t.row(i));
+        }
+        // k == 0: every row is an empty borrowed slice, no panic.
+        let empty = TopKMatrix::from_matrix(&sim, 0);
+        assert_eq!(empty.iter_rows().len(), 3);
+        assert!(empty.iter_rows().all(|r| r.is_empty()));
     }
 }

@@ -74,6 +74,26 @@ pub trait TelemetrySink: Sync {
     fn on_stop(&self, _label: &str, _stop: &StopReason) {}
 }
 
+/// Artifact receiver for trained embeddings: the engine hands over every
+/// validation checkpoint (with its score and the trace recorded so far) and
+/// the finished run's final output. Installing one on [`RunContext`] lets
+/// *any* registry approach emit durable serving artifacts — the snapshot
+/// writer in `openea-serve` is the canonical implementation — without the
+/// driver knowing anything about persistence formats.
+///
+/// Checkpoint outputs carry the partial trace (`stop` still
+/// `NotRecorded`); the completion output carries the finished trace. Sinks
+/// run on the driver thread, so expensive work (disk writes of large
+/// embedding tables) bills to the epoch that produced the checkpoint.
+pub trait CheckpointSink: Sync {
+    /// A validation checkpoint: `out` is the extracted output with the
+    /// trace-so-far attached, `score` its validation Hits@1.
+    fn on_checkpoint(&self, _label: &str, _epoch: usize, _out: &ApproachOutput, _score: f64) {}
+
+    /// The finished run's output, final trace attached.
+    fn on_complete(&self, _label: &str, _out: &ApproachOutput) {}
+}
+
 /// Everything a driver run needs beyond the hyper-parameters: the run seed
 /// (root of every reserved RNG stream), the worker thread count, an
 /// optional wall/epoch [`Budget`], the validation pairs the engine
@@ -90,6 +110,9 @@ pub struct RunContext<'a> {
     /// supervised drivers install `split.valid` via [`RunContext::for_valid`].
     pub valid: Option<&'a [AlignedPair]>,
     pub sink: Option<&'a dyn TelemetrySink>,
+    /// Artifact receiver for checkpoint / final embeddings (the serving
+    /// layer's snapshot writer). `None` — the default — emits nothing.
+    pub artifacts: Option<&'a dyn CheckpointSink>,
 }
 
 impl<'a> RunContext<'a> {
@@ -102,6 +125,7 @@ impl<'a> RunContext<'a> {
             budget: Budget::none(),
             valid: None,
             sink: None,
+            artifacts: None,
         }
     }
 
@@ -112,6 +136,12 @@ impl<'a> RunContext<'a> {
 
     pub fn with_sink(mut self, sink: &'a dyn TelemetrySink) -> RunContext<'a> {
         self.sink = Some(sink);
+        self
+    }
+
+    /// The same context emitting checkpoint/final artifacts to `sink`.
+    pub fn with_artifacts(mut self, sink: &'a dyn CheckpointSink) -> RunContext<'a> {
+        self.artifacts = Some(sink);
         self
     }
 
@@ -193,9 +223,13 @@ pub fn run_driver<H: EpochHooks>(
         let mut stop = false;
         if let Some(valid) = ctx.valid {
             if (epoch + 1).is_multiple_of(cfg.check_every) {
-                let out = hooks.checkpoint(ctx);
+                let mut out = hooks.checkpoint(ctx);
                 let score = validation_hits1(&out, valid, ctx.threads);
                 rec.record_validation(score);
+                if let Some(artifacts) = ctx.artifacts {
+                    out.trace = rec.so_far();
+                    artifacts.on_checkpoint(label, epoch, &out, score);
+                }
                 if score > stopper.best() || best.is_none() {
                     best = Some(out);
                 }
@@ -216,6 +250,9 @@ pub fn run_driver<H: EpochHooks>(
     out.trace = rec.finish();
     if let Some(sink) = ctx.sink {
         sink.on_stop(label, &out.trace.stop);
+    }
+    if let Some(artifacts) = ctx.artifacts {
+        artifacts.on_complete(label, &out);
     }
     Ok(out)
 }

@@ -45,5 +45,5 @@ pub use common::{
     evaluate_output, Approach, ApproachOutput, Req, Requirements, RunConfig, StopReason,
     TrainError, TrainTrace, UnifiedSpace,
 };
-pub use engine::{run_driver, Budget, EpochHooks, RunContext, TelemetrySink};
+pub use engine::{run_driver, Budget, CheckpointSink, EpochHooks, RunContext, TelemetrySink};
 pub use registry::{all_approaches, approach_by_name, ApproachKind};

@@ -8,7 +8,7 @@ use crate::runner::{run_fold0, CvResult};
 use crate::tables::conventional_input;
 use crate::HarnessConfig;
 use openea::align::{
-    degree_bucket_recall, greedy_match, hubness_profile, overlap3, topk_similarity_profile,
+    degree_bucket_recall, greedy_match_topk, hubness_profile, overlap3, topk_similarity_profile,
 };
 use openea::approaches::mtranse::{MTransE, RelModelKind};
 use openea::prelude::*;
@@ -81,8 +81,7 @@ pub fn fig5(cfg: &HarnessConfig) {
         let test = &dataset.folds[0].test;
         let sources: Vec<EntityId> = test.iter().map(|&(a, _)| a).collect();
         let targets: Vec<EntityId> = test.iter().map(|&(_, b)| b).collect();
-        let sim = out.similarity(&sources, &targets, rc.threads);
-        let matching = greedy_match(&sim);
+        let matching = greedy_match_topk(&out.topk(&sources, &targets, 1, rc.threads));
         let degrees: Vec<usize> = test
             .iter()
             .map(|&p| dataset.pair.alignment_degree(p))
@@ -331,8 +330,8 @@ pub fn fig12(cfg: &HarnessConfig) {
     let (out, rc) = run_fold0(approach.as_ref(), &dataset, cfg, |_| {});
     let sources: Vec<EntityId> = dataset.pair.kg1.entity_ids().collect();
     let targets: Vec<EntityId> = dataset.pair.kg2.entity_ids().collect();
-    let sim = out.similarity(&sources, &targets, rc.threads);
-    let openea_found: HashSet<(u32, u32)> = greedy_match(&sim)
+    let matching = greedy_match_topk(&out.topk(&sources, &targets, 1, rc.threads));
+    let openea_found: HashSet<(u32, u32)> = matching
         .into_iter()
         .enumerate()
         .filter_map(|(i, j)| j.map(|j| (sources[i].0, targets[j].0)))
@@ -495,8 +494,7 @@ pub fn blocking(cfg: &HarnessConfig) {
     for &e in &targets {
         dst.extend_from_slice(out.vec2(e));
     }
-    let exact_sim = out.similarity(&sources, &targets, rc.threads);
-    let exact = greedy_match(&exact_sim);
+    let exact = greedy_match_topk(&out.topk(&sources, &targets, 1, rc.threads));
     let exact_hits: f64 = exact
         .iter()
         .enumerate()

@@ -15,6 +15,7 @@ pub mod datasets;
 pub mod figures;
 pub mod kernels;
 pub mod runner;
+pub mod serve;
 pub mod tables;
 pub mod training;
 

@@ -10,10 +10,13 @@
 //!   kernels    (similarity-kernel micro-bench; --smoke = CI gate)
 //!   training   (mini-batch trainer micro-bench; --smoke = CI gate)
 //!   approaches (driver-engine deadline gate; --smoke = CI gate)
+//!   serve      (snapshot + query-server load bench; --smoke = CI gate)
 //!   all        (everything; fig8 reuses table5's timings)
 //! ```
 
-use openea_bench::{approaches_gate, figures, kernels, tables, training, HarnessConfig, Scale};
+use openea_bench::{
+    approaches_gate, figures, kernels, serve, tables, training, HarnessConfig, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +102,7 @@ fn main() {
         "kernels" => kernels::kernels(&cfg, smoke),
         "training" => training::training(&cfg, smoke),
         "approaches" => approaches_gate::approaches(&cfg, smoke),
+        "serve" => serve::serve_bench(&cfg, smoke),
         "all" => {
             tables::table2(&cfg, include_large);
             tables::table3(&cfg);
@@ -134,7 +138,7 @@ fn print_usage() {
          usage: openea-bench <experiment> [--scale small|medium|large] [--seed N]\n\
                 [--out DIR | --no-out] [--include-large] [--smoke] [--deadline SECS]\n\n\
          experiments: table2 table3 table4 table5 table6 table7 table8 table9\n\
-                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels\n                      training approaches all"
+                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels\n                      training approaches serve all"
     );
 }
 

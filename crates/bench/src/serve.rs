@@ -1,0 +1,497 @@
+//! `openea-bench serve` — self-validating load generator for the serving
+//! layer, the first benchmark on the training → artifact → serving path.
+//!
+//! Every run walks the full production pipeline before timing anything:
+//! train a registry approach with the engine's checkpoint hook installed,
+//! load the emitted snapshot back from disk, and prove on a fixed seed that
+//! batched/cached answers through [`BatchIndex`] are **bit-identical** to
+//! the dense `compute_naive` + stable-argsort reference under the shared
+//! tie rule (descending score, lowest index wins) — across batch sizes,
+//! kernel thread counts and cache passes. Divergence exits non-zero.
+//!
+//! The load phase then replays synthetic query traces (uniform and Zipf
+//! over the power-law synth KG's entities) against the real HTTP server
+//! with keep-alive clients, reporting QPS, client-observed latency
+//! percentiles, cache hit rate and batch occupancy at client counts
+//! {1, 2, 8}. `--smoke` runs the gate plus one tiny load config with a
+//! latency sanity bound (~2 s) and writes no JSON.
+
+use crate::HarnessConfig;
+use openea::prelude::*;
+use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+use openea_runtime::timer::{MicrosHistogram, Monotonic};
+use openea_serve::{serve, AlignmentIndex, BatchIndex, ServerOptions, Snapshot, SnapshotWriter};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// k served during the load phase (Hits@10-shaped answers).
+const LOAD_K: usize = 10;
+/// Zipf exponent of the skewed trace (web-like popularity skew).
+const ZIPF_S: f64 = 1.1;
+
+/// Trains MTransE on a power-law synth pair with the snapshot writer
+/// installed on the driver engine, then loads the emitted artifact back —
+/// the exact pipeline `openea-serve` consumes.
+fn build_snapshot(cfg: &HarnessConfig, smoke: bool) -> Snapshot {
+    let (entities, epochs) = if smoke { (150, 6) } else { (600, 30) };
+    let pair = PresetConfig::new(DatasetFamily::DY, entities, false, cfg.seed).generate();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let folds = k_fold_splits(&pair.alignment, 3, &mut rng);
+    let rc = RunConfig {
+        dim: 16,
+        max_epochs: epochs,
+        threads: cfg.threads,
+        seed: cfg.seed,
+        ..RunConfig::default()
+    };
+    let dir = std::env::temp_dir().join(format!("openea-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let writer = SnapshotWriter::new(&dir, Vec::new(), Vec::new());
+    let approach = approach_by_name("MTransE").expect("registry approach");
+    let ctx = RunContext::new(&rc)
+        .for_valid(&folds[0].valid)
+        .with_artifacts(&writer);
+    let out = approach.run_with(&pair, &folds[0], &rc, &ctx);
+    if let Some(e) = writer.take_error() {
+        eprintln!("FAILED — snapshot write error: {e}");
+        std::process::exit(1);
+    }
+    let snap = match Snapshot::read_from(&writer.final_path("MTransE")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAILED — cannot load emitted snapshot: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    if snap.to_output().content_hash() != out.content_hash() {
+        eprintln!("FAILED — snapshot roundtrip changed the embeddings");
+        std::process::exit(1);
+    }
+    println!(
+        "artifact: {} checkpoint snapshot(s) + final ({} x {} entities, dim {}, metric {})",
+        writer.checkpoints_written(),
+        snap.num_queries(),
+        snap.num_targets(),
+        snap.dim,
+        snap.metric.label(),
+    );
+    snap
+}
+
+/// Dense reference: `compute_naive` row + stable argsort, truncated to `k`.
+fn dense_answers(snap: &Snapshot, ks: &[usize]) -> Vec<Vec<Vec<(u32, f32)>>> {
+    let sim = SimilarityMatrix::compute_naive(&snap.emb1, &snap.emb2, snap.dim, snap.metric, 1);
+    (0..snap.num_queries())
+        .map(|e| {
+            let row = sim.row(e);
+            let mut idx: Vec<u32> = (0..row.len() as u32).collect();
+            idx.sort_by(|&a, &b| {
+                row[b as usize]
+                    .partial_cmp(&row[a as usize])
+                    .expect("finite")
+                    .then(a.cmp(&b))
+            });
+            ks.iter()
+                .map(|&k| {
+                    idx.iter()
+                        .take(k.min(row.len()))
+                        .map(|&j| (j, row[j as usize]))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Proves batched/cached serving bit-identical to the dense reference.
+/// Returns the number of (batch, threads, pass) configurations checked.
+fn check_equivalence(snap: &Snapshot, smoke: bool) -> Result<usize, String> {
+    let ks = [1usize, 5, LOAD_K];
+    let expected = dense_answers(snap, &ks);
+    let n1 = snap.num_queries();
+    let (batches, thread_counts): (&[usize], &[usize]) = if smoke {
+        (&[1, 16], &[1, 2])
+    } else {
+        (&[1, 7, 64], &[1, 2, 8])
+    };
+    let mut checked = 0usize;
+    for &max_batch in batches {
+        for &threads in thread_counts {
+            let index = Arc::new(BatchIndex::new(
+                AlignmentIndex::new(snap.clone()),
+                threads,
+                max_batch,
+                Duration::from_micros(100),
+                n1 * ks.len(), // holds every (entity, k): pass 2 must hit
+            ));
+            // Two passes: the second mostly answers from the LRU cache, so
+            // cached answers are held to the same bit-identity bar.
+            for pass in 0..2usize {
+                let failure = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..4usize)
+                        .map(|c| {
+                            let index = Arc::clone(&index);
+                            let expected = &expected;
+                            s.spawn(move || {
+                                for e in (c..n1).step_by(4) {
+                                    for (ki, &k) in ks.iter().enumerate() {
+                                        let got = index
+                                            .query(e as u32, k)
+                                            .map_err(|err| format!("query ({e},{k}): {err}"))?;
+                                        let want = &expected[e][ki];
+                                        let same = got.len() == want.len()
+                                            && got.iter().zip(want).all(|(&(i, s), &(j, t))| {
+                                                i == j && s.to_bits() == t.to_bits()
+                                            });
+                                        if !same {
+                                            return Err(format!(
+                                                "batch {max_batch} threads {threads} pass {pass}: \
+                                                 query ({e},{k}) got {got:?}, want {want:?}"
+                                            ));
+                                        }
+                                    }
+                                }
+                                Ok(())
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .filter_map(|h| h.join().expect("no panic").err())
+                        .next()
+                });
+                if let Some(msg) = failure {
+                    return Err(msg);
+                }
+                checked += 1;
+            }
+            let stats = index.stats();
+            if stats.cache_hits == 0 {
+                return Err(format!(
+                    "batch {max_batch} threads {threads}: second pass produced no cache hits"
+                ));
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Inverse-CDF Zipf sampler over `n` ranks (rank r gets weight 1/(r+1)^s).
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u = rng.gen_range(0.0f64..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One keep-alive GET; returns true when the response status was 200. The
+/// body is drained (by Content-Length) but not parsed — the equivalence
+/// gate owns correctness, the load phase measures time.
+fn http_get(
+    conn: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    path: &str,
+) -> std::io::Result<bool> {
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())?;
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let ok = status_line.split_whitespace().nth(1) == Some("200");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ok)
+}
+
+/// Result of one (trace, clients) load configuration.
+struct LoadEntry {
+    trace: &'static str,
+    clients: usize,
+    queries: usize,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+    cache_hit_rate: f64,
+    mean_batch_occupancy: f64,
+}
+
+impl ToJson for LoadEntry {
+    fn to_json(&self) -> Json {
+        object([
+            ("trace", self.trace.to_json()),
+            ("clients", self.clients.to_json()),
+            ("queries", self.queries.to_json()),
+            ("qps", self.qps.to_json()),
+            ("latency_p50_us", (self.p50_us as i64).to_json()),
+            ("latency_p99_us", (self.p99_us as i64).to_json()),
+            ("latency_mean_us", self.mean_us.to_json()),
+            ("cache_hit_rate", self.cache_hit_rate.to_json()),
+            ("mean_batch_occupancy", self.mean_batch_occupancy.to_json()),
+        ])
+    }
+}
+
+/// Replays `total_queries` of `trace` against a fresh in-process server with
+/// `clients` concurrent keep-alive connections.
+fn run_load(
+    snap: &Snapshot,
+    trace: &'static str,
+    clients: usize,
+    total_queries: usize,
+    seed: u64,
+) -> LoadEntry {
+    let n1 = snap.num_queries();
+    let index = Arc::new(BatchIndex::new(
+        AlignmentIndex::new(snap.clone()),
+        2,
+        32,
+        Duration::from_micros(200),
+        4096,
+    ));
+    let mut handle = serve(
+        Arc::clone(&index),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerOptions {
+            workers: clients.max(2),
+            queue_cap: 64,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+    let per_client = total_queries / clients;
+    let zipf = Zipf::new(n1, ZIPF_S);
+    let clock = Monotonic::start();
+
+    let histogram = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let zipf = &zipf;
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ (c as u64) << 32);
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+                    let mut hist = MicrosHistogram::new();
+                    let local = Monotonic::start();
+                    for _ in 0..per_client {
+                        let entity = match trace {
+                            "uniform" => rng.gen_range(0..n1 as u64) as usize,
+                            _ => zipf.sample(&mut rng),
+                        };
+                        let t0 = local.micros();
+                        let ok = http_get(
+                            &mut conn,
+                            &mut reader,
+                            &format!("/align?entity={entity}&k={LOAD_K}"),
+                        )
+                        .expect("request");
+                        assert!(ok, "load queries must answer 200");
+                        hist.record(local.micros().saturating_sub(t0));
+                    }
+                    hist
+                })
+            })
+            .collect();
+        let mut merged = MicrosHistogram::new();
+        for h in handles {
+            merged.merge(&h.join().expect("client thread"));
+        }
+        merged
+    });
+    let wall_s = clock.seconds();
+    handle.stop();
+
+    let stats = index.stats();
+    LoadEntry {
+        trace,
+        clients,
+        queries: per_client * clients,
+        qps: (per_client * clients) as f64 / wall_s,
+        p50_us: histogram.percentile_us(50.0),
+        p99_us: histogram.percentile_us(99.0),
+        mean_us: histogram.mean_us(),
+        cache_hit_rate: stats.hit_rate(),
+        mean_batch_occupancy: stats.mean_batch_occupancy(),
+    }
+}
+
+pub fn serve_bench(cfg: &HarnessConfig, smoke: bool) {
+    let snap = build_snapshot(cfg, smoke);
+
+    print!("equivalence gate (seed {}): ", cfg.seed);
+    match check_equivalence(&snap, smoke) {
+        Ok(n) => println!("{n} batch/thread/pass configurations bit-identical to dense"),
+        Err(msg) => {
+            eprintln!("FAILED — served answers diverge from the dense path: {msg}");
+            std::process::exit(1);
+        }
+    }
+
+    let client_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 8] };
+    let traces: &[&'static str] = if smoke {
+        &["uniform"]
+    } else {
+        &["uniform", "zipf"]
+    };
+    let total_queries = if smoke { 600 } else { 4000 };
+
+    let mut entries: Vec<LoadEntry> = Vec::new();
+    println!("load replay: k={LOAD_K}, {total_queries} queries per configuration");
+    println!(
+        "{:>8} {:>8} {:>8} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "trace", "clients", "queries", "qps", "p50_us", "p99_us", "hit_rate", "occupancy"
+    );
+    for &trace in traces {
+        for &clients in client_counts {
+            let e = run_load(&snap, trace, clients, total_queries, cfg.seed);
+            println!(
+                "{:>8} {:>8} {:>8} {:>10.0} {:>9} {:>9} {:>10.3} {:>10.2}",
+                e.trace,
+                e.clients,
+                e.queries,
+                e.qps,
+                e.p50_us,
+                e.p99_us,
+                e.cache_hit_rate,
+                e.mean_batch_occupancy
+            );
+            entries.push(e);
+        }
+    }
+
+    if smoke {
+        // Latency sanity bound: a local in-process round trip answering from
+        // a warm index must come in far under this even on a loaded CI box.
+        let p99 = entries.iter().map(|e| e.p99_us).max().unwrap_or(0);
+        if p99 > 500_000 {
+            eprintln!("FAILED — smoke p99 latency {p99} µs exceeds the 500 ms sanity bound");
+            std::process::exit(1);
+        }
+        println!("[serve smoke OK]");
+        return;
+    }
+
+    let doc = object([
+        ("experiment", "serve".to_json()),
+        ("seed", (cfg.seed as i64).to_json()),
+        (
+            "threads_available",
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+                .to_json(),
+        ),
+        (
+            "snapshot",
+            object([
+                ("label", snap.trace.label.to_json()),
+                ("queries", snap.num_queries().to_json()),
+                ("targets", snap.num_targets().to_json()),
+                ("dim", snap.dim.to_json()),
+                ("metric", snap.metric.label().to_json()),
+            ]),
+        ),
+        (
+            "equivalence",
+            "batched+cached answers bit-identical to dense compute_naive argsort".to_json(),
+        ),
+        ("zipf_s", ZIPF_S.to_json()),
+        ("k", LOAD_K.to_json()),
+        ("entries", entries.to_json()),
+    ]);
+    cfg.write_json("BENCH_serve", &doc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(100, ZIPF_S);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0usize; 100];
+        for _ in 0..5_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates any deep rank under a power law.
+        assert!(
+            counts[0] > counts[50] * 5,
+            "head {} tail {}",
+            counts[0],
+            counts[50]
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 5_000);
+    }
+
+    #[test]
+    fn load_entry_serializes() {
+        let e = LoadEntry {
+            trace: "uniform",
+            clients: 2,
+            queries: 100,
+            qps: 5000.0,
+            p50_us: 90,
+            p99_us: 400,
+            mean_us: 120.0,
+            cache_hit_rate: 0.5,
+            mean_batch_occupancy: 3.5,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("trace").and_then(Json::as_str), Some("uniform"));
+        assert_eq!(j.get("qps").and_then(Json::as_f64), Some(5000.0));
+        assert_eq!(j.get("latency_p99_us").and_then(Json::as_f64), Some(400.0));
+    }
+
+    #[test]
+    fn equivalence_gate_passes_on_a_tiny_snapshot() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let snap = Snapshot {
+            dim: 4,
+            metric: Metric::Cosine,
+            emb1: (0..20 * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            emb2: (0..15 * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+            names1: Vec::new(),
+            names2: Vec::new(),
+            trace: Default::default(),
+        };
+        assert!(check_equivalence(&snap, true).unwrap() >= 4);
+    }
+}

@@ -6,7 +6,7 @@
 use crate::datasets::{build_dataset, main_grid, DatasetKey};
 use crate::runner::{run_cv, run_fold0, CvResult};
 use crate::HarnessConfig;
-use openea::align::{greedy_match, stable_marriage};
+use openea::align::{csls_topk, greedy_match_topk, stable_marriage_topk};
 use openea::prelude::*;
 use openea::synth::Language;
 use openea_runtime::json::{object, Json, ToJson};
@@ -205,18 +205,22 @@ pub fn table6(cfg: &HarnessConfig) {
         let test = &dataset.folds[0].test;
         let sources: Vec<EntityId> = test.iter().map(|&(a, _)| a).collect();
         let targets: Vec<EntityId> = test.iter().map(|&(_, b)| b).collect();
-        let sim = out.similarity(&sources, &targets, rc.threads);
-        let csls = sim.csls(10);
+        // Full-keep top-k lists: streamed tile by tile, yet bit-identical to
+        // the dense matrix path for greedy, stable-marriage and CSLS alike.
+        let cols = targets.len();
+        let topk = out.topk(&sources, &targets, cols, rc.threads);
+        let (src, dst) = out.gather(&sources, &targets);
+        let csls = csls_topk(&src, &dst, out.dim, out.metric, 10, cols, rc.threads);
         let hits1 = |m: &[Option<usize>]| {
             m.iter().enumerate().filter(|&(i, &x)| x == Some(i)).count() as f64
                 / m.len().max(1) as f64
         };
         let row = (
             approach.name().to_owned(),
-            hits1(&greedy_match(&sim)),
-            hits1(&greedy_match(&csls)),
-            hits1(&stable_marriage(&sim)),
-            hits1(&stable_marriage(&csls)),
+            hits1(&greedy_match_topk(&topk)),
+            hits1(&greedy_match_topk(&csls)),
+            hits1(&stable_marriage_topk(&topk)),
+            hits1(&stable_marriage_topk(&csls)),
         );
         println!(
             "{:10} {:>8.3} {:>10.3} {:>8.3} {:>10.3}",
@@ -280,8 +284,7 @@ fn embedding_predictions(
     let (out, rc) = run_fold0(approach.as_ref(), dataset, cfg, |_| {});
     let sources: Vec<EntityId> = dataset.pair.kg1.entity_ids().collect();
     let targets: Vec<EntityId> = dataset.pair.kg2.entity_ids().collect();
-    let sim = out.similarity(&sources, &targets, rc.threads);
-    let matching = greedy_match(&sim);
+    let matching = greedy_match_topk(&out.topk(&sources, &targets, 1, rc.threads));
     let predicted: Vec<AlignedPair> = matching
         .into_iter()
         .enumerate()

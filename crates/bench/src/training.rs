@@ -181,6 +181,10 @@ struct Entry {
     threads: usize,
     serial_pps: f64,
     batched_pps: f64,
+    /// Best-of-reps wall seconds for one epoch, the raw measurements the
+    /// throughputs derive from (same clock as `EpochTrace::wall_s`).
+    serial_epoch_s: f64,
+    batched_epoch_s: f64,
 }
 
 impl ToJson for Entry {
@@ -192,6 +196,8 @@ impl ToJson for Entry {
             ("threads", self.threads.to_json()),
             ("serial_pairs_per_sec", self.serial_pps.to_json()),
             ("batched_pairs_per_sec", self.batched_pps.to_json()),
+            ("serial_epoch_wall_s", self.serial_epoch_s.to_json()),
+            ("batched_epoch_wall_s", self.batched_epoch_s.to_json()),
             ("speedup", (self.batched_pps / self.serial_pps).to_json()),
         ])
     }
@@ -272,6 +278,8 @@ pub fn training(cfg: &HarnessConfig, smoke: bool) {
                 threads,
                 serial_pps,
                 batched_pps,
+                serial_epoch_s: serial_s,
+                batched_epoch_s: batched_s,
             });
         }
     }
@@ -336,10 +344,20 @@ mod tests {
             threads: 2,
             serial_pps: 50_000.0,
             batched_pps: 100_000.0,
+            serial_epoch_s: 0.2,
+            batched_epoch_s: 0.1,
         };
         let j = e.to_json();
         assert_eq!(j.get("model").and_then(Json::as_str), Some("TransE"));
         assert_eq!(j.get("speedup").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            j.get("serial_epoch_wall_s").and_then(Json::as_f64),
+            Some(0.2)
+        );
+        assert_eq!(
+            j.get("batched_epoch_wall_s").and_then(Json::as_f64),
+            Some(0.1)
+        );
     }
 
     #[test]

@@ -504,6 +504,17 @@ impl TraceRecorder {
         self.run_start.elapsed().as_secs_f64()
     }
 
+    /// A clone of the trace recorded so far, with the running wall time
+    /// filled in — the stop reason stays whatever has been recorded (usually
+    /// [`StopReason::NotRecorded`] mid-run). The driver engine attaches this
+    /// to mid-training checkpoint artifacts.
+    pub fn so_far(&self) -> TrainTrace {
+        TrainTrace {
+            total_wall_s: self.run_start.elapsed().as_secs_f64(),
+            ..self.trace.clone()
+        }
+    }
+
     pub fn finish(mut self) -> TrainTrace {
         if self.trace.stop == StopReason::NotRecorded {
             self.trace.stop = StopReason::MaxEpochs;

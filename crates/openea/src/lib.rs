@@ -62,7 +62,7 @@ pub mod prelude {
     };
     pub use openea_approaches::{
         all_approaches, approach_by_name, evaluate_output, run_driver, Approach, ApproachKind,
-        ApproachOutput, Budget, EpochHooks, RunConfig, RunContext, TelemetrySink,
+        ApproachOutput, Budget, CheckpointSink, EpochHooks, RunConfig, RunContext, TelemetrySink,
     };
     pub use openea_conventional::{ConventionalSystem, LogMap, Paris};
     pub use openea_core::{

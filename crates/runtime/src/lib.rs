@@ -19,6 +19,9 @@
 //!   checked-in `results/*.json` files.
 //! - [`testkit`] — a property-testing harness with shrinking generators and
 //!   a wall-clock micro-bench timer, replacing `proptest` and `criterion`.
+//! - [`timer`] — a monotonic microsecond clock and a fixed-footprint
+//!   power-of-two latency histogram for the serving layer's percentile
+//!   telemetry.
 //!
 //! ```
 //! use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
@@ -32,3 +35,4 @@ pub mod json;
 pub mod pool;
 pub mod rng;
 pub mod testkit;
+pub mod timer;

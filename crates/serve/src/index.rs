@@ -1,0 +1,462 @@
+//! The in-memory alignment index: batched top-k retrieval over a loaded
+//! snapshot, with an LRU answer cache in front.
+//!
+//! ## Answer semantics
+//!
+//! A query `(entity, k)` answers with the `k` most similar KG2 targets of
+//! KG1 entity `entity` under the snapshot's metric, computed by the same
+//! tiled [`TopKMatrix`] kernels the offline evaluation uses — so a served
+//! answer is **bit-identical** to a stable argsort of the dense
+//! `compute_naive` row under the shared tie rule (descending score, lowest
+//! target index wins, NaN last). Because every row's ranking is a total
+//! order, the top-`k` list is a prefix of the top-`k'` list for `k ≤ k'`:
+//! batching queries with different `k`s into one kernel sweep at the
+//! batch-max `k` and truncating per query cannot change any answer.
+//!
+//! ## Micro-batching
+//!
+//! [`BatchIndex::query`] collects concurrent queries into one kernel sweep:
+//! the first arrival becomes the *leader*, waits until either `max_batch`
+//! queries are pending or `max_wait` has elapsed, then gathers the batch's
+//! query rows and runs a single [`TopKMatrix::compute`]. Followers park on
+//! their own slot until the leader publishes their row. The leader keeps
+//! draining while queries are pending, so under load every sweep is full
+//! and the per-query kernel cost amortizes toward `1/max_batch`.
+//!
+//! ## Caching
+//!
+//! Answers are memoized in a fixed-capacity [`LruCache`] keyed by
+//! `(entity, k, metric)`. The metric lives in the key so an index reloaded
+//! with a different metric (or a cache shared across indexes in tests) can
+//! never serve a score list computed under another similarity.
+
+use crate::snapshot::Snapshot;
+use openea_align::{Metric, TopKMatrix};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One served answer: `(target entity id, similarity score)`, best first.
+pub type Answer = Vec<(u32, f32)>;
+
+/// Why a query was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query entity id is outside KG1 (`entity >= n1`).
+    EntityOutOfRange { entity: u32, n1: usize },
+    /// `k` must be at least 1.
+    ZeroK,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EntityOutOfRange { entity, n1 } => {
+                write!(f, "entity {entity} out of range (KG1 has {n1} entities)")
+            }
+            QueryError::ZeroK => write!(f, "k must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The raw (unbatched, uncached) index: a snapshot plus the kernel calls.
+pub struct AlignmentIndex {
+    snap: Snapshot,
+}
+
+impl AlignmentIndex {
+    pub fn new(snap: Snapshot) -> Self {
+        Self { snap }
+    }
+
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    pub fn metric(&self) -> Metric {
+        self.snap.metric
+    }
+
+    /// Number of KG1 (query-side) entities.
+    pub fn num_queries(&self) -> usize {
+        self.snap.num_queries()
+    }
+
+    /// Number of KG2 (target-side) entities.
+    pub fn num_targets(&self) -> usize {
+        self.snap.num_targets()
+    }
+
+    /// Name of KG2 entity `id`, when the snapshot carries a name map.
+    pub fn target_name(&self, id: u32) -> Option<&str> {
+        self.snap.names2.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Answers a batch of `(entity, k)` queries with one tiled kernel sweep
+    /// at the batch-max `k`, truncating each answer to its requested `k`.
+    /// Callers must have validated entity ranges; `k` is clamped to the
+    /// target count.
+    pub fn answer_batch(&self, queries: &[(u32, usize)], threads: usize) -> Vec<Answer> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.snap.dim;
+        let kmax = queries.iter().map(|&(_, k)| k).max().unwrap_or(1);
+        let mut rows = Vec::with_capacity(queries.len() * dim);
+        for &(e, _) in queries {
+            let e = e as usize;
+            rows.extend_from_slice(&self.snap.emb1[e * dim..(e + 1) * dim]);
+        }
+        let topk = TopKMatrix::compute(&rows, &self.snap.emb2, dim, self.metric(), kmax, threads);
+        topk.iter_rows()
+            .zip(queries)
+            .map(|(row, &(_, k))| row[..k.min(row.len())].to_vec())
+            .collect()
+    }
+}
+
+/// Cache key: the full identity of an answer. `metric` is part of the key
+/// so a cache can never hand back scores computed under another similarity.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+pub struct CacheKey {
+    pub entity: u32,
+    pub k: u32,
+    pub metric: Metric,
+}
+
+const NIL: usize = usize::MAX;
+
+struct CacheSlot {
+    key: CacheKey,
+    value: Answer,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map from [`CacheKey`] to answers: O(1) get/insert
+/// via a hash map into an intrusive doubly-linked recency list. Capacity 0
+/// disables caching entirely.
+pub struct LruCache {
+    cap: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<CacheSlot>,
+    /// Most recently used slot, `NIL` when empty.
+    head: usize,
+    /// Least recently used slot, `NIL` when empty.
+    tail: usize,
+}
+
+impl LruCache {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            map: HashMap::with_capacity(cap.min(1 << 20)),
+            slots: Vec::with_capacity(cap.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&Answer> {
+        let i = *self.map.get(key)?;
+        if i != self.head {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: CacheKey, value: Answer) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if i != self.head {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() == self.cap {
+            // Reuse the evicted LRU slot.
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.slots[lru].key = key;
+            self.slots[lru].value = value;
+            lru
+        } else {
+            self.slots.push(CacheSlot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// Counters exported through `/stats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexStats {
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Kernel sweeps executed.
+    pub batches: u64,
+    /// Queries answered by those sweeps (`batched_queries / batches` is the
+    /// mean batch occupancy).
+    pub batched_queries: u64,
+}
+
+impl IndexStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_queries as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Slot {
+    result: Mutex<Option<Answer>>,
+    ready: Condvar,
+}
+
+struct PendingQuery {
+    entity: u32,
+    k: usize,
+    slot: Arc<Slot>,
+}
+
+struct BatchState {
+    pending: Vec<PendingQuery>,
+    /// Whether a leader is currently collecting or computing.
+    leader_active: bool,
+}
+
+/// The serving facade: [`AlignmentIndex`] + micro-batching + LRU cache.
+/// Shared across server workers behind an `Arc`; every public method takes
+/// `&self`.
+pub struct BatchIndex {
+    index: AlignmentIndex,
+    threads: usize,
+    max_batch: usize,
+    max_wait: Duration,
+    cache: Mutex<LruCache>,
+    state: Mutex<BatchState>,
+    /// Wakes the collecting leader when a new query arrives.
+    arrivals: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+}
+
+impl BatchIndex {
+    /// `max_batch` queries or `max_wait`, whichever comes first, form one
+    /// kernel sweep; `cache_cap` answers are memoized (0 disables).
+    pub fn new(
+        index: AlignmentIndex,
+        threads: usize,
+        max_batch: usize,
+        max_wait: Duration,
+        cache_cap: usize,
+    ) -> Self {
+        Self {
+            index,
+            threads: threads.max(1),
+            max_batch: max_batch.max(1),
+            max_wait,
+            cache: Mutex::new(LruCache::new(cache_cap)),
+            state: Mutex::new(BatchState {
+                pending: Vec::new(),
+                leader_active: false,
+            }),
+            arrivals: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+        }
+    }
+
+    pub fn index(&self) -> &AlignmentIndex {
+        &self.index
+    }
+
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_queries: self.batched_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn validate(&self, entity: u32, k: usize) -> Result<usize, QueryError> {
+        let n1 = self.index.num_queries();
+        if (entity as usize) >= n1 {
+            return Err(QueryError::EntityOutOfRange { entity, n1 });
+        }
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        Ok(k.min(self.index.num_targets()))
+    }
+
+    /// Answers one query through the cache and the micro-batcher. Safe to
+    /// call from any number of threads; the answer is independent of which
+    /// queries it shared a sweep with.
+    pub fn query(&self, entity: u32, k: usize) -> Result<Answer, QueryError> {
+        let k = self.validate(entity, k)?;
+        let key = CacheKey {
+            entity,
+            k: k as u32,
+            metric: self.index.metric(),
+        };
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let mut st = self.state.lock().unwrap();
+        st.pending.push(PendingQuery {
+            entity,
+            k,
+            slot: Arc::clone(&slot),
+        });
+        if st.leader_active {
+            // A leader is collecting or computing: it (or its successor)
+            // will pick this query up. Wake it in case it is waiting for
+            // the batch to fill.
+            self.arrivals.notify_all();
+            drop(st);
+        } else {
+            st.leader_active = true;
+            self.lead(st);
+        }
+        let mut r = slot.result.lock().unwrap();
+        while r.is_none() {
+            r = slot.ready.wait(r).unwrap();
+        }
+        Ok(r.take().unwrap())
+    }
+
+    /// Leader duty: collect up to `max_batch` queries or until `max_wait`
+    /// after taking leadership, sweep, publish, and keep draining while
+    /// queries are pending. Consumes the state guard.
+    fn lead<'s>(&'s self, mut st: std::sync::MutexGuard<'s, BatchState>) {
+        loop {
+            let deadline = Instant::now() + self.max_wait;
+            while st.pending.len() < self.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = self.arrivals.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = st.pending.len().min(self.max_batch);
+            let batch: Vec<PendingQuery> = st.pending.drain(..take).collect();
+            drop(st);
+
+            let queries: Vec<(u32, usize)> = batch.iter().map(|p| (p.entity, p.k)).collect();
+            let answers = self.index.answer_batch(&queries, self.threads);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batched_queries
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            {
+                let mut cache = self.cache.lock().unwrap();
+                for (p, ans) in batch.iter().zip(&answers) {
+                    cache.insert(
+                        CacheKey {
+                            entity: p.entity,
+                            k: p.k as u32,
+                            metric: self.index.metric(),
+                        },
+                        ans.clone(),
+                    );
+                }
+            }
+            for (p, ans) in batch.into_iter().zip(answers) {
+                *p.slot.result.lock().unwrap() = Some(ans);
+                p.slot.ready.notify_all();
+            }
+
+            st = self.state.lock().unwrap();
+            if st.pending.is_empty() {
+                st.leader_active = false;
+                return;
+            }
+            // More queries arrived while computing: stay leader and drain
+            // them (their owners are parked on their slots).
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # openea-serve
+//!
+//! The serving layer: the first subsystem on the training → artifact →
+//! serving path. Trained alignment embeddings become durable, queryable
+//! artifacts in three stages:
+//!
+//! 1. [`snapshot`] — a versioned binary codec for
+//!    [`ApproachOutput`](openea_approaches::ApproachOutput) embeddings +
+//!    entity-name maps + metric + training trace, checksummed and
+//!    byte-stable, plus [`snapshot::SnapshotWriter`]: a
+//!    [`CheckpointSink`](openea_approaches::CheckpointSink) that lets any
+//!    registry approach emit snapshots from the driver engine's validation
+//!    checkpoints.
+//! 2. [`index`] — the in-memory alignment index over the streaming
+//!    [`TopKMatrix`](openea_align::TopKMatrix) kernels, with query
+//!    micro-batching (up to B queries or T µs per kernel sweep) and a
+//!    fixed-capacity LRU answer cache keyed by `(entity, k, metric)`.
+//!    Served answers are bit-identical to the offline dense evaluation
+//!    under the shared tie rule (descending score, lowest index wins).
+//! 3. [`server`] — a std-only threaded HTTP/1.1 server exposing
+//!    `/align?entity=&k=`, `/health` and `/stats`, with a bounded
+//!    connection queue and explicit 503 backpressure.
+//!
+//! The `openea-serve` binary glues the three together:
+//!
+//! ```text
+//! openea-serve model.snap --addr 127.0.0.1:7077 --workers 4
+//! curl 'http://127.0.0.1:7077/align?entity=42&k=5'
+//! ```
+
+pub mod index;
+pub mod server;
+pub mod snapshot;
+
+pub use index::{AlignmentIndex, Answer, BatchIndex, CacheKey, IndexStats, LruCache, QueryError};
+pub use server::{serve, ServerHandle, ServerOptions};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};

@@ -1,0 +1,134 @@
+//! `openea-serve` — load a snapshot and serve alignment queries over HTTP.
+
+use openea_serve::{serve, AlignmentIndex, BatchIndex, ServerOptions, Snapshot};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: openea-serve <snapshot.snap> [options]
+
+options:
+  --addr HOST:PORT   bind address          (default 127.0.0.1:7077)
+  --workers N        server worker threads (default 4)
+  --threads N        kernel threads per batch sweep (default 2)
+  --batch B          micro-batch size      (default 32)
+  --wait-us T        micro-batch window in microseconds (default 200)
+  --cache N          LRU answer-cache capacity (default 4096, 0 disables)
+  --queue N          bounded connection queue before 503s (default 64)
+
+routes: /align?entity=<id>&k=<k>   /health   /stats";
+
+struct Args {
+    snapshot: PathBuf,
+    addr: SocketAddr,
+    workers: usize,
+    threads: usize,
+    batch: usize,
+    wait_us: u64,
+    cache: usize,
+    queue: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut snapshot = None;
+    let mut out = Args {
+        snapshot: PathBuf::new(),
+        addr: "127.0.0.1:7077".parse().unwrap(),
+        workers: 4,
+        threads: 2,
+        batch: 32,
+        wait_us: 200,
+        cache: 4096,
+        queue: 64,
+    };
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            "--addr" => {
+                out.addr = value("--addr")?
+                    .parse()
+                    .map_err(|e| format!("--addr: {e}"))?
+            }
+            "--workers" => out.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--threads" => out.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--batch" => out.batch = parse_num(&value("--batch")?, "--batch")?,
+            "--wait-us" => out.wait_us = parse_num(&value("--wait-us")?, "--wait-us")? as u64,
+            "--cache" => out.cache = parse_num(&value("--cache")?, "--cache")?,
+            "--queue" => out.queue = parse_num(&value("--queue")?, "--queue")?,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            path if snapshot.is_none() => snapshot = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument {extra}")),
+        }
+    }
+    out.snapshot = snapshot.ok_or("missing snapshot path")?;
+    Ok(out)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{flag}: not a number: {s}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            exit(2);
+        }
+    };
+    let snap = match Snapshot::read_from(&args.snapshot) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot load {}: {e}", args.snapshot.display());
+            exit(1);
+        }
+    };
+    println!(
+        "loaded {}: '{}' — {} query entities × {} targets, dim {}, metric {}, {} trained epochs",
+        args.snapshot.display(),
+        snap.trace.label,
+        snap.num_queries(),
+        snap.num_targets(),
+        snap.dim,
+        snap.metric.label(),
+        snap.trace.epochs.len(),
+    );
+    let index = BatchIndex::new(
+        AlignmentIndex::new(snap),
+        args.threads,
+        args.batch,
+        Duration::from_micros(args.wait_us),
+        args.cache,
+    );
+    let opts = ServerOptions {
+        workers: args.workers,
+        queue_cap: args.queue,
+    };
+    let handle = match serve(Arc::new(index), args.addr, opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    println!(
+        "serving on http://{} ({} workers, batch {} / {} µs, cache {}, queue {})",
+        handle.addr(),
+        args.workers,
+        args.batch,
+        args.wait_us,
+        args.cache,
+        args.queue,
+    );
+    println!("routes: /align?entity=<id>&k=<k>  /health  /stats  (ctrl-c to stop)");
+    loop {
+        std::thread::park();
+    }
+}

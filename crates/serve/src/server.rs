@@ -1,0 +1,448 @@
+//! A std-only threaded HTTP/1.1 server over the alignment index.
+//!
+//! Deliberately minimal: `GET` only, three routes, no TLS, no chunked
+//! bodies — enough protocol for curl, browsers and the bench load
+//! generator, implemented directly on `std::net` so the zero-dependency
+//! policy holds.
+//!
+//! ## Routes
+//!
+//! * `GET /align?entity=<id>&k=<k>` — top-`k` KG2 targets of KG1 entity
+//!   `<id>`, best first, bit-identical to the offline dense evaluation.
+//! * `GET /health` — liveness probe.
+//! * `GET /stats` — cache hit rate, batch occupancy, latency percentiles,
+//!   served/rejected counters.
+//!
+//! ## Backpressure contract
+//!
+//! The acceptor thread never parks a connection in an unbounded buffer: a
+//! bounded queue of `queue_cap` accepted connections feeds the worker
+//! threads, and when it is full the acceptor answers `503 Service
+//! Unavailable` (with `Retry-After: 0`) and closes — load sheds at the
+//! door, memory stays flat, and clients get an explicit signal instead of
+//! a timeout. Workers serve keep-alive connections, so a well-behaved
+//! client pays the queue once per connection, not per request. The flip
+//! side: a worker owns its connection until the client closes, so
+//! `workers` bounds the number of concurrently-open connections — size it
+//! to the expected client count, or excess connections sit in the queue
+//! until a held connection closes.
+
+use crate::index::{BatchIndex, QueryError};
+use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::timer::{MicrosHistogram, Monotonic};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before 503s start.
+    pub queue_cap: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_cap: 64,
+        }
+    }
+}
+
+struct ConnQueue {
+    deque: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            deque: Mutex::new(VecDeque::with_capacity(cap)),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues the connection, or hands it back when the queue is full so
+    /// the caller can shed it with a 503.
+    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.deque.lock().unwrap();
+        if q.len() >= self.cap {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection or shutdown; `None` means shut down.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.deque.lock().unwrap();
+        loop {
+            if let Some(c) = q.pop_front() {
+                return Some(c);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.deque.lock().unwrap().len()
+    }
+}
+
+struct Shared {
+    index: Arc<BatchIndex>,
+    queue: ConnQueue,
+    shutdown: AtomicBool,
+    clock: Monotonic,
+    latency: Mutex<MicrosHistogram>,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A running server: bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolve port 0 here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins every thread. Idempotent; also runs on
+    /// drop.
+    pub fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue.ready.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.shared.queue.ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts the acceptor
+/// plus `opts.workers` worker threads.
+pub fn serve(
+    index: Arc<BatchIndex>,
+    addr: SocketAddr,
+    opts: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        index,
+        queue: ConnQueue::new(opts.queue_cap),
+        shutdown: AtomicBool::new(false),
+        clock: Monotonic::start(),
+        latency: Mutex::new(MicrosHistogram::new()),
+        served: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+    });
+
+    let workers = (0..opts.workers.max(1))
+        .map(|i| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let sh = Arc::clone(&shared);
+    let acceptor = std::thread::Builder::new()
+        .name("serve-acceptor".into())
+        .spawn(move || accept_loop(&listener, &sh))
+        .expect("spawn acceptor");
+
+    Ok(ServerHandle {
+        addr: bound,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, sh: &Shared) {
+    for conn in listener.incoming() {
+        if sh.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(conn) = conn else { continue };
+        if let Err(conn) = sh.queue.push(conn) {
+            shed(conn, sh);
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    while let Some(conn) = sh.queue.pop(&sh.shutdown) {
+        handle_connection(conn, sh);
+    }
+}
+
+/// Serves one keep-alive connection until the client closes, errors, asks
+/// for `Connection: close`, or the server shuts down.
+fn handle_connection(conn: TcpStream, sh: &Shared) {
+    let _ = conn.set_nodelay(true);
+    // A short read timeout so a worker parked on an idle keep-alive
+    // connection periodically rechecks the shutdown flag — without it,
+    // `ServerHandle::stop` would block forever joining a worker stuck in
+    // a blocking read on a connection the client never closes.
+    let _ = conn.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let mut reader = BufReader::new(match conn.try_clone() {
+        Ok(c) => c,
+        Err(_) => return,
+    });
+    let mut writer = conn;
+    loop {
+        let t0 = sh.clock.micros();
+        let req = match read_request(&mut reader, &sh.shutdown) {
+            Some(r) => r,
+            None => return,
+        };
+        let close = req.close;
+        let (status, body) = route(sh, &req);
+        if write_response(&mut writer, status, &body, close).is_err() {
+            return;
+        }
+        sh.served.fetch_add(1, Ordering::Relaxed);
+        sh.latency
+            .lock()
+            .unwrap()
+            .record(sh.clock.micros().saturating_sub(t0));
+        if close {
+            return;
+        }
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    /// Raw query string (after `?`), possibly empty.
+    query: String,
+    close: bool,
+}
+
+/// `read_line` that rides out read-timeout wakeups: retries on
+/// `WouldBlock`/`TimedOut` until data arrives or `shutdown` is set.
+/// Safe to resume because `BufRead::read_line` appends every consumed
+/// byte to `buf` before the next (possibly timed-out) socket read.
+fn read_line_or_shutdown(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    shutdown: &AtomicBool,
+) -> Option<usize> {
+    loop {
+        match reader.read_line(buf) {
+            Ok(n) => return Some(n),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request head (the routes carry no bodies). `None`
+/// on EOF, oversized head, a malformed request line, or shutdown.
+fn read_request(reader: &mut BufReader<TcpStream>, shutdown: &AtomicBool) -> Option<Request> {
+    let mut line = String::new();
+    if read_line_or_shutdown(reader, &mut line, shutdown)? == 0 {
+        return None;
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    // Drain headers (bounded), noting Connection: close.
+    let mut close = false;
+    for _ in 0..128 {
+        let mut h = String::new();
+        if read_line_or_shutdown(reader, &mut h, shutdown)? == 0 {
+            return None;
+        }
+        let h = h.trim();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            if k.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close") {
+                close = true;
+            }
+        }
+    }
+    Some(Request {
+        method,
+        path,
+        query,
+        close,
+    })
+}
+
+fn query_param(query: &str, name: &str) -> Option<u64> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == name)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+fn route(sh: &Shared, req: &Request) -> (u16, Json) {
+    if req.method != "GET" {
+        return (405, err_json("only GET is supported"));
+    }
+    match req.path.as_str() {
+        "/health" => (200, object([("status", "ok".to_json())])),
+        "/stats" => (200, stats_json(sh)),
+        "/align" => align(sh, &req.query),
+        _ => (404, err_json("unknown path")),
+    }
+}
+
+fn align(sh: &Shared, query: &str) -> (u16, Json) {
+    let Some(entity) = query_param(query, "entity") else {
+        return (400, err_json("missing or invalid 'entity' parameter"));
+    };
+    let k = query_param(query, "k").unwrap_or(10);
+    let entity = match u32::try_from(entity) {
+        Ok(e) => e,
+        Err(_) => return (400, err_json("'entity' does not fit u32")),
+    };
+    match sh.index.query(entity, k as usize) {
+        Ok(answer) => {
+            let results: Vec<Json> = answer
+                .iter()
+                .map(|&(target, score)| {
+                    let mut fields = vec![
+                        ("target".to_string(), target.to_json()),
+                        ("score".to_string(), (score as f64).to_json()),
+                    ];
+                    if let Some(name) = sh.index.index().target_name(target) {
+                        fields.push(("name".to_string(), name.to_json()));
+                    }
+                    Json::Object(fields)
+                })
+                .collect();
+            (
+                200,
+                object([
+                    ("entity", entity.to_json()),
+                    ("k", answer.len().to_json()),
+                    ("metric", sh.index.index().metric().label().to_json()),
+                    ("results", Json::Array(results)),
+                ]),
+            )
+        }
+        Err(e @ QueryError::EntityOutOfRange { .. }) => (404, err_json(&e.to_string())),
+        Err(e @ QueryError::ZeroK) => (400, err_json(&e.to_string())),
+    }
+}
+
+fn stats_json(sh: &Shared) -> Json {
+    let ix = sh.index.stats();
+    let lat = sh.latency.lock().unwrap().clone();
+    object([
+        (
+            "served",
+            (sh.served.load(Ordering::Relaxed) as i64).to_json(),
+        ),
+        (
+            "rejected_503",
+            (sh.rejected.load(Ordering::Relaxed) as i64).to_json(),
+        ),
+        ("queue_depth", sh.queue.depth().to_json()),
+        ("cache_hits", (ix.cache_hits as i64).to_json()),
+        ("cache_misses", (ix.cache_misses as i64).to_json()),
+        ("cache_hit_rate", ix.hit_rate().to_json()),
+        ("batches", (ix.batches as i64).to_json()),
+        ("mean_batch_occupancy", ix.mean_batch_occupancy().to_json()),
+        ("latency_p50_us", (lat.percentile_us(50.0) as i64).to_json()),
+        ("latency_p99_us", (lat.percentile_us(99.0) as i64).to_json()),
+        ("latency_mean_us", lat.mean_us().to_json()),
+        ("latency_max_us", (lat.max_us() as i64).to_json()),
+    ])
+}
+
+fn err_json(msg: &str) -> Json {
+    object([("error", msg.to_json())])
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(w: &mut TcpStream, status: u16, body: &Json, close: bool) -> std::io::Result<()> {
+    let body = body.to_string_pretty();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_text(status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Writes the backpressure response straight from the acceptor thread.
+fn shed(mut conn: TcpStream, sh: &Shared) {
+    sh.rejected.fetch_add(1, Ordering::Relaxed);
+    let body = err_json("server overloaded, retry").to_string_pretty();
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 0\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = conn.write_all(head.as_bytes());
+    let _ = conn.write_all(body.as_bytes());
+    let _ = conn.flush();
+}

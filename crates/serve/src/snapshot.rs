@@ -1,0 +1,726 @@
+//! Versioned binary snapshot codec for trained alignment embeddings.
+//!
+//! A snapshot is the durable artifact on the training → serving path: the
+//! two embedding matrices of an [`ApproachOutput`], the entity-name maps of
+//! both KGs, the similarity metric and the training trace, serialized into
+//! one self-validating file.
+//!
+//! ## On-disk layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"OPENEASN"
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      8     payload length N, u64 LE
+//! 20      N     payload (see below)
+//! 20+N    8     FNV-1a 64 checksum of the payload, u64 LE
+//! ```
+//!
+//! Payload, all integers little-endian, strings as `u32 length + UTF-8`:
+//!
+//! ```text
+//! dim u32 · metric u8 · n1 u64 · n2 u64
+//! emb1  f32 × n1·dim      (row-major, IEEE-754 bit patterns)
+//! emb2  f32 × n2·dim
+//! names1  u64 count (0 or n1) · count strings
+//! names2  u64 count (0 or n2) · count strings
+//! trace   label string · stop u8 tag (+ u64 epoch for tags 2/3)
+//!         · total_wall_s f64 · u64 epoch count
+//!         · per epoch: epoch u64 · mean_loss f32 · pairs u64
+//!                      · wall_s f64 · val flag u8 (+ f64 when 1)
+//! ```
+//!
+//! ## Guarantees
+//!
+//! * **Golden-file stability** — encoding is a pure function of the data
+//!   (no timestamps, no hash-map iteration order), so load → re-save is
+//!   byte-identical and the committed fixture in `tests/fixtures/` pins the
+//!   format across releases.
+//! * **Bit-exact embeddings** — `f32` values roundtrip by bit pattern, so a
+//!   served snapshot answers queries bit-identically to the training-time
+//!   output (`ApproachOutput::content_hash` agrees before and after).
+//! * **Typed failures** — a corrupted header, truncated file or flipped
+//!   payload bit yields a [`SnapshotError`], never a panic.
+
+use openea_align::Metric;
+use openea_approaches::common::EpochTrace;
+use openea_approaches::engine::CheckpointSink;
+use openea_approaches::{ApproachOutput, StopReason, TrainTrace};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const MAGIC: &[u8; 8] = b"OPENEASN";
+const VERSION: u32 = 1;
+/// Bytes before the payload: magic + version + payload length.
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Why a snapshot could not be read (or written). Every decode failure is a
+/// typed variant — corrupt input never panics.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The byte stream ended before a field it promised.
+    Truncated {
+        need: usize,
+        have: usize,
+    },
+    /// The payload checksum does not match — bit rot or a torn write.
+    ChecksumMismatch {
+        expected: u64,
+        actual: u64,
+    },
+    /// Structurally invalid contents (bad enum tag, bad UTF-8, inconsistent
+    /// counts, trailing bytes).
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (reader knows {VERSION})")
+            }
+            SnapshotError::Truncated { need, have } => {
+                write!(f, "truncated snapshot: need {need} bytes, have {have}")
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64 — the same algorithm `ApproachOutput::content_hash` uses, so
+/// the two integrity stories share one primitive.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn metric_tag(m: Metric) -> u8 {
+    match m {
+        Metric::Cosine => 0,
+        Metric::Inner => 1,
+        Metric::Euclidean => 2,
+        Metric::Manhattan => 3,
+    }
+}
+
+fn metric_from_tag(tag: u8) -> Result<Metric, SnapshotError> {
+    Ok(match tag {
+        0 => Metric::Cosine,
+        1 => Metric::Inner,
+        2 => Metric::Euclidean,
+        3 => Metric::Manhattan,
+        other => return Err(SnapshotError::Malformed(format!("metric tag {other}"))),
+    })
+}
+
+/// A decoded (or to-be-encoded) snapshot: everything the serving layer
+/// needs to answer alignment queries for one trained run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    pub dim: usize,
+    pub metric: Metric,
+    /// Row-major `n1 × dim` embeddings of KG1 entities (the query side).
+    pub emb1: Vec<f32>,
+    /// Row-major `n2 × dim` embeddings of KG2 entities (the target side).
+    pub emb2: Vec<f32>,
+    /// Entity names of KG1 by id — empty when the producer had no name map.
+    pub names1: Vec<String>,
+    /// Entity names of KG2 by id — empty when the producer had no name map.
+    pub names2: Vec<String>,
+    pub trace: TrainTrace,
+}
+
+impl Snapshot {
+    /// Packages a trained output (embeddings, metric, trace) with the two
+    /// entity-name maps. Either map may be empty; non-empty maps must match
+    /// the embedding row counts.
+    pub fn from_output(out: &ApproachOutput, names1: Vec<String>, names2: Vec<String>) -> Self {
+        assert!(out.dim > 0, "snapshot requires a positive dim");
+        assert_eq!(out.emb1.len() % out.dim, 0);
+        assert_eq!(out.emb2.len() % out.dim, 0);
+        assert!(
+            names1.is_empty() || names1.len() == out.emb1.len() / out.dim,
+            "names1 must be empty or cover every KG1 entity"
+        );
+        assert!(
+            names2.is_empty() || names2.len() == out.emb2.len() / out.dim,
+            "names2 must be empty or cover every KG2 entity"
+        );
+        Self {
+            dim: out.dim,
+            metric: out.metric,
+            emb1: out.emb1.clone(),
+            emb2: out.emb2.clone(),
+            names1,
+            names2,
+            trace: out.trace.clone(),
+        }
+    }
+
+    /// Rebuilds the `ApproachOutput` view of the snapshot (augmentation
+    /// history is eval-time telemetry and is not persisted).
+    pub fn to_output(&self) -> ApproachOutput {
+        let mut out =
+            ApproachOutput::new(self.dim, self.metric, self.emb1.clone(), self.emb2.clone());
+        out.trace = self.trace.clone();
+        out
+    }
+
+    /// Number of KG1 (query-side) entities.
+    pub fn num_queries(&self) -> usize {
+        self.emb1.len() / self.dim
+    }
+
+    /// Number of KG2 (target-side) entities.
+    pub fn num_targets(&self) -> usize {
+        self.emb2.len() / self.dim
+    }
+
+    /// Serializes to the version-1 byte layout. Pure function of the data:
+    /// equal snapshots encode to equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(4 * (self.emb1.len() + self.emb2.len()) + 256);
+        p.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        p.push(metric_tag(self.metric));
+        p.extend_from_slice(&(self.num_queries() as u64).to_le_bytes());
+        p.extend_from_slice(&(self.num_targets() as u64).to_le_bytes());
+        for &v in &self.emb1 {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.emb2 {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        for names in [&self.names1, &self.names2] {
+            p.extend_from_slice(&(names.len() as u64).to_le_bytes());
+            for n in names.iter() {
+                write_str(&mut p, n);
+            }
+        }
+        write_str(&mut p, &self.trace.label);
+        match self.trace.stop {
+            StopReason::NotRecorded => p.push(0),
+            StopReason::MaxEpochs => p.push(1),
+            StopReason::EarlyStopped { epoch } => {
+                p.push(2);
+                p.extend_from_slice(&(epoch as u64).to_le_bytes());
+            }
+            StopReason::DeadlineExceeded { epoch } => {
+                p.push(3);
+                p.extend_from_slice(&(epoch as u64).to_le_bytes());
+            }
+        }
+        p.extend_from_slice(&self.trace.total_wall_s.to_le_bytes());
+        p.extend_from_slice(&(self.trace.epochs.len() as u64).to_le_bytes());
+        for e in &self.trace.epochs {
+            p.extend_from_slice(&(e.epoch as u64).to_le_bytes());
+            p.extend_from_slice(&e.mean_loss.to_le_bytes());
+            p.extend_from_slice(&(e.pairs as u64).to_le_bytes());
+            p.extend_from_slice(&e.wall_s.to_le_bytes());
+            match e.val_hits1 {
+                Some(v) => {
+                    p.push(1);
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+                None => p.push(0),
+            }
+        }
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + p.len() + 8);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&p);
+        bytes.extend_from_slice(&fnv1a64(&p).to_le_bytes());
+        bytes
+    }
+
+    /// Decodes a version-1 byte stream, verifying magic, version, length
+    /// and checksum before touching the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 8 {
+            return Err(SnapshotError::Truncated {
+                need: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated {
+                need: HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let need = HEADER_LEN + payload_len + 8;
+        if bytes.len() < need {
+            return Err(SnapshotError::Truncated {
+                need,
+                have: bytes.len(),
+            });
+        }
+        if bytes.len() > need {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes after checksum",
+                bytes.len() - need
+            )));
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+        let expected = u64::from_le_bytes(bytes[need - 8..need].try_into().unwrap());
+        let actual = fnv1a64(payload);
+        if expected != actual {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+
+        let mut r = Reader::new(payload);
+        let dim = r.u32()? as usize;
+        if dim == 0 {
+            return Err(SnapshotError::Malformed("dim is zero".into()));
+        }
+        let metric = metric_from_tag(r.u8()?)?;
+        let n1 = r.u64()? as usize;
+        let n2 = r.u64()? as usize;
+        let emb1 = r.f32s(n1.checked_mul(dim).ok_or_else(overflow)?)?;
+        let emb2 = r.f32s(n2.checked_mul(dim).ok_or_else(overflow)?)?;
+        let mut names = [Vec::new(), Vec::new()];
+        for (slot, n) in names.iter_mut().zip([n1, n2]) {
+            let count = r.u64()? as usize;
+            if count != 0 && count != n {
+                return Err(SnapshotError::Malformed(format!(
+                    "name map has {count} entries for {n} entities"
+                )));
+            }
+            slot.reserve(count);
+            for _ in 0..count {
+                slot.push(r.string()?);
+            }
+        }
+        let [names1, names2] = names;
+        let label = r.string()?;
+        let stop = match r.u8()? {
+            0 => StopReason::NotRecorded,
+            1 => StopReason::MaxEpochs,
+            2 => StopReason::EarlyStopped {
+                epoch: r.u64()? as usize,
+            },
+            3 => StopReason::DeadlineExceeded {
+                epoch: r.u64()? as usize,
+            },
+            other => return Err(SnapshotError::Malformed(format!("stop tag {other}"))),
+        };
+        let total_wall_s = r.f64()?;
+        let n_epochs = r.u64()? as usize;
+        let mut epochs = Vec::with_capacity(n_epochs.min(payload_len / 29));
+        for _ in 0..n_epochs {
+            let epoch = r.u64()? as usize;
+            let mean_loss = r.f32()?;
+            let pairs = r.u64()? as usize;
+            let wall_s = r.f64()?;
+            let val_hits1 = match r.u8()? {
+                0 => None,
+                1 => Some(r.f64()?),
+                other => return Err(SnapshotError::Malformed(format!("val flag {other}"))),
+            };
+            epochs.push(EpochTrace {
+                epoch,
+                mean_loss,
+                pairs,
+                wall_s,
+                val_hits1,
+            });
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} unread payload bytes",
+                r.remaining()
+            )));
+        }
+        Ok(Self {
+            dim,
+            metric,
+            emb1,
+            emb2,
+            names1,
+            names2,
+            trace: TrainTrace {
+                label,
+                epochs,
+                stop,
+                total_wall_s,
+            },
+        })
+    }
+
+    /// Writes the snapshot atomically: encode to `<path>.tmp`, fsync,
+    /// rename over `path`. A crashed writer never leaves a half snapshot
+    /// under the final name.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and fully validates a snapshot file.
+    pub fn read_from(path: &Path) -> Result<Self, SnapshotError> {
+        Self::decode(&fs::read(path)?)
+    }
+}
+
+fn overflow() -> SnapshotError {
+    SnapshotError::Malformed("embedding size overflows usize".into())
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(overflow)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated {
+                need: end,
+                have: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, SnapshotError> {
+        let raw = self.take(n.checked_mul(4).ok_or_else(overflow)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Sanitizes an approach label into a file stem (`MTransE` → `mtranse`).
+fn file_stem(label: &str) -> String {
+    let stem: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if stem.is_empty() {
+        "run".into()
+    } else {
+        stem
+    }
+}
+
+/// A [`CheckpointSink`] that persists driver-engine artifacts as snapshots:
+/// every *improved* validation checkpoint overwrites `<label>.ckpt.snap`
+/// (crash-safe serving artifact mid-training) and the finished run writes
+/// `<label>.snap`. Install on a [`RunContext`] via `with_artifacts` — works
+/// for any registry approach, none of which know this type exists.
+///
+/// [`RunContext`]: openea_approaches::RunContext
+pub struct SnapshotWriter {
+    dir: PathBuf,
+    names1: Vec<String>,
+    names2: Vec<String>,
+    best: Mutex<f64>,
+    checkpoints: AtomicUsize,
+    completions: AtomicUsize,
+    last_error: Mutex<Option<SnapshotError>>,
+}
+
+impl SnapshotWriter {
+    /// A writer emitting snapshots into `dir` with the given entity-name
+    /// maps (pass empty vectors to persist ids only).
+    pub fn new(dir: impl Into<PathBuf>, names1: Vec<String>, names2: Vec<String>) -> Self {
+        Self {
+            dir: dir.into(),
+            names1,
+            names2,
+            best: Mutex::new(f64::NEG_INFINITY),
+            checkpoints: AtomicUsize::new(0),
+            completions: AtomicUsize::new(0),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    /// Path of the final snapshot for `label`.
+    pub fn final_path(&self, label: &str) -> PathBuf {
+        self.dir.join(format!("{}.snap", file_stem(label)))
+    }
+
+    /// Path of the rolling best-checkpoint snapshot for `label`.
+    pub fn checkpoint_path(&self, label: &str) -> PathBuf {
+        self.dir.join(format!("{}.ckpt.snap", file_stem(label)))
+    }
+
+    /// Checkpoint snapshots written so far.
+    pub fn checkpoints_written(&self) -> usize {
+        self.checkpoints.load(Ordering::SeqCst)
+    }
+
+    /// Final snapshots written so far.
+    pub fn completions_written(&self) -> usize {
+        self.completions.load(Ordering::SeqCst)
+    }
+
+    /// The most recent write error, if any (the sink interface cannot
+    /// propagate it through the engine).
+    pub fn take_error(&self) -> Option<SnapshotError> {
+        self.last_error.lock().unwrap().take()
+    }
+
+    fn write(&self, path: &Path, out: &ApproachOutput) -> bool {
+        let snap = Snapshot::from_output(out, self.names1.clone(), self.names2.clone());
+        match snap.write_to(path) {
+            Ok(()) => true,
+            Err(e) => {
+                *self.last_error.lock().unwrap() = Some(e);
+                false
+            }
+        }
+    }
+}
+
+impl CheckpointSink for SnapshotWriter {
+    fn on_checkpoint(&self, label: &str, _epoch: usize, out: &ApproachOutput, score: f64) {
+        let mut best = self.best.lock().unwrap();
+        if score >= *best {
+            *best = score;
+            if self.write(&self.checkpoint_path(label), out) {
+                self.checkpoints.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn on_complete(&self, label: &str, out: &ApproachOutput) {
+        if self.write(&self.final_path(label), out) {
+            self.completions.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_snapshot() -> Snapshot {
+        Snapshot {
+            dim: 2,
+            metric: Metric::Cosine,
+            emb1: vec![1.0, 0.0, 0.5, -0.25, 0.0, 0.0],
+            emb2: vec![0.75, 0.125, -1.0, 2.0],
+            names1: vec!["e:a".into(), "e:b".into(), "e:c".into()],
+            names2: vec!["f:x".into(), "f:y".into()],
+            trace: TrainTrace {
+                label: "Tiny".into(),
+                epochs: vec![
+                    EpochTrace {
+                        epoch: 0,
+                        mean_loss: 0.5,
+                        pairs: 10,
+                        wall_s: 0.001,
+                        val_hits1: None,
+                    },
+                    EpochTrace {
+                        epoch: 1,
+                        mean_loss: 0.25,
+                        pairs: 10,
+                        wall_s: 0.002,
+                        val_hits1: Some(0.5),
+                    },
+                ],
+                stop: StopReason::EarlyStopped { epoch: 1 },
+                total_wall_s: 0.004,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let snap = tiny_snapshot();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        // Re-encoding is byte-identical (golden-file stability in memory).
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn roundtrip_preserves_content_hash() {
+        let snap = tiny_snapshot();
+        let out = snap.to_output();
+        let back = Snapshot::decode(&snap.encode()).unwrap().to_output();
+        assert_eq!(out.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn empty_name_maps_are_allowed() {
+        let mut snap = tiny_snapshot();
+        snap.names1.clear();
+        snap.names2.clear();
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn special_floats_roundtrip_by_bit_pattern() {
+        let mut snap = tiny_snapshot();
+        snap.emb1[0] = f32::NAN;
+        snap.emb1[1] = f32::NEG_INFINITY;
+        snap.emb2[0] = -0.0;
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        for (a, b) in snap.emb1.iter().zip(&back.emb1) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in snap.emb2.iter().zip(&back.emb2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = tiny_snapshot().encode();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_typed() {
+        let mut bytes = tiny_snapshot().encode();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed_not_a_panic() {
+        let bytes = tiny_snapshot().encode();
+        for cut in 0..bytes.len() {
+            match Snapshot::decode(&bytes[..cut]) {
+                Err(SnapshotError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut bytes = tiny_snapshot().encode();
+        let mid = HEADER_LEN + 10;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = tiny_snapshot().encode();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn file_stem_sanitizes_labels() {
+        assert_eq!(file_stem("MTransE"), "mtranse");
+        assert_eq!(file_stem("GCN-Align v2"), "gcn-align-v2");
+        assert_eq!(file_stem(""), "run");
+    }
+}

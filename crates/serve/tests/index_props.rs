@@ -1,0 +1,278 @@
+//! Property suite for the serving layer's LRU answer cache and query
+//! micro-batcher, on the `props!` harness.
+//!
+//! Two contracts are pinned here:
+//!
+//! * **Cache correctness** — the LRU cache behaves exactly like a reference
+//!   model (a linear-scan LRU): a hit can only return the value most
+//!   recently inserted for that *full* key, so an answer computed for one
+//!   `(entity, k, metric)` can never surface for a different `k` or a
+//!   different metric, and occupancy never exceeds capacity.
+//! * **Batching is unobservable** — whatever batch size, thread count and
+//!   interleaving the micro-batcher picks, every query's answer is
+//!   bit-identical to the dense `compute_naive` reference under the shared
+//!   tie rule (descending score, lowest target index wins).
+
+use openea_align::{Metric, SimilarityMatrix};
+use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+use openea_runtime::testkit::prelude::*;
+use openea_serve::{AlignmentIndex, Answer, BatchIndex, CacheKey, LruCache, Snapshot};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The value an entry for `key` must carry — derived from the key itself so
+/// any stale or cross-key answer is detectable.
+fn answer_for(key: &CacheKey) -> Answer {
+    let tag = match key.metric {
+        Metric::Cosine => 0,
+        Metric::Inner => 1,
+        Metric::Euclidean => 2,
+        Metric::Manhattan => 3,
+    };
+    vec![(key.entity * 100 + key.k, (key.k * 10 + tag) as f32)]
+}
+
+/// Reference LRU: a Vec ordered most-recent-first, linear scans everywhere.
+struct ModelLru {
+    cap: usize,
+    entries: Vec<(CacheKey, Answer)>,
+}
+
+impl ModelLru {
+    fn get(&mut self, key: &CacheKey) -> Option<Answer> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        let e = self.entries.remove(i);
+        let v = e.1.clone();
+        self.entries.insert(0, e);
+        Some(v)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Answer) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        } else if self.entries.len() == self.cap {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (key, value));
+    }
+}
+
+fn key_from(entity: u32, k: u32, metric_tag: u8) -> CacheKey {
+    CacheKey {
+        entity,
+        k,
+        metric: match metric_tag {
+            0 => Metric::Cosine,
+            1 => Metric::Inner,
+            2 => Metric::Euclidean,
+            _ => Metric::Manhattan,
+        },
+    }
+}
+
+props! {
+    #![cases = 192]
+
+    /// The intrusive-list LRU agrees with the reference model on every
+    /// hit/miss decision and every returned value, across interleaved
+    /// inserts and lookups over a deliberately colliding key space
+    /// (few entities × few ks × all four metrics).
+    #[test]
+    fn lru_agrees_with_reference_model(
+        cap in 0usize..5,
+        ops in vec_of((any_bool(), 0u32..4, 1u32..4, 0u8..4), 0..48),
+    ) {
+        let mut lru = LruCache::new(cap);
+        let mut model = ModelLru { cap, entries: Vec::new() };
+        for (is_insert, entity, k, metric_tag) in ops {
+            let key = key_from(entity, k, metric_tag);
+            if is_insert {
+                lru.insert(key, answer_for(&key));
+                model.insert(key, answer_for(&key));
+            } else {
+                let got = lru.get(&key).cloned();
+                let want = model.get(&key);
+                prop_assert_eq!(&got, &want, "get({key:?}): lru {got:?} vs model {want:?}");
+                if let Some(v) = got {
+                    // A hit is never stale: the value always matches the
+                    // full key it was inserted under (k and metric included).
+                    prop_assert_eq!(v, answer_for(&key));
+                }
+            }
+            prop_assert!(lru.len() <= cap, "occupancy {} exceeds capacity {cap}", lru.len());
+            prop_assert_eq!(lru.len(), model.entries.len());
+        }
+    }
+
+    /// Keys that differ only in `k` or only in metric are distinct cache
+    /// entries — each lookup returns its own answer, never a neighbour's.
+    #[test]
+    fn lru_never_crosses_k_or_metric(
+        entity in 0u32..8,
+        k in 1u32..6,
+    ) {
+        let mut lru = LruCache::new(64);
+        let keys: Vec<CacheKey> = (0u8..4)
+            .flat_map(|m| [key_from(entity, k, m), key_from(entity, k + 1, m)])
+            .collect();
+        for key in &keys {
+            lru.insert(*key, answer_for(key));
+        }
+        for key in &keys {
+            prop_assert_eq!(
+                lru.get(key).cloned(),
+                Some(answer_for(key)),
+                "{key:?} must hit with its own answer"
+            );
+        }
+    }
+}
+
+/// Random row-major embeddings in [-1, 1].
+fn embeddings(n: usize, dim: usize, rng: &mut SmallRng) -> Vec<f32> {
+    (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Dense reference answer: `compute_naive` row + stable argsort under the
+/// shared tie rule (descending score, lowest index wins), truncated to `k`.
+fn dense_answers(snap: &Snapshot, queries: &[(u32, usize)]) -> Vec<Answer> {
+    let sim = SimilarityMatrix::compute_naive(&snap.emb1, &snap.emb2, snap.dim, snap.metric, 1);
+    queries
+        .iter()
+        .map(|&(e, k)| {
+            let row = sim.row(e as usize);
+            let mut idx: Vec<u32> = (0..row.len() as u32).collect();
+            idx.sort_by(|&a, &b| {
+                row[b as usize]
+                    .partial_cmp(&row[a as usize])
+                    .expect("finite scores")
+                    .then(a.cmp(&b))
+            });
+            idx.into_iter()
+                .take(k.min(row.len()))
+                .map(|j| (j, row[j as usize]))
+                .collect()
+        })
+        .collect()
+}
+
+fn bit_equal(a: &Answer, b: &Answer) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&(i, s), &(j, t))| i == j && s.to_bits() == t.to_bits())
+}
+
+props! {
+    #![cases = 24]
+
+    /// Per-query answers through the micro-batcher are bit-identical to the
+    /// dense reference regardless of batch size, kernel thread count, cache
+    /// capacity or which concurrent queries shared a sweep — and asking
+    /// again (a guaranteed cache hit on the second pass) changes nothing.
+    #[test]
+    fn batched_answers_equal_dense_reference(
+        seed in 0u64..10_000,
+        dim in 2usize..5,
+        n1 in 1usize..10,
+        n2 in 1usize..10,
+        raw_queries in vec_of((0u32..10, 1usize..12), 1..24),
+        metric_tag in 0u8..4,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let snap = Snapshot {
+            dim,
+            metric: match metric_tag {
+                0 => Metric::Cosine,
+                1 => Metric::Inner,
+                2 => Metric::Euclidean,
+                _ => Metric::Manhattan,
+            },
+            emb1: embeddings(n1, dim, &mut rng),
+            emb2: embeddings(n2, dim, &mut rng),
+            names1: Vec::new(),
+            names2: Vec::new(),
+            trace: Default::default(),
+        };
+        let queries: Vec<(u32, usize)> =
+            raw_queries.iter().map(|&(e, k)| (e % n1 as u32, k.min(n2))).collect();
+        let expected = dense_answers(&snap, &queries);
+
+        for &max_batch in &[1usize, 7, 64] {
+            for &threads in &[1usize, 2, 8] {
+                let index = Arc::new(BatchIndex::new(
+                    AlignmentIndex::new(snap.clone()),
+                    threads,
+                    max_batch,
+                    Duration::from_micros(100),
+                    // Exercise cache-off, tiny (evicting) and ample caches.
+                    [0, 2, 64][(seed % 3) as usize],
+                ));
+                for pass in 0..2 {
+                    let answers: Vec<Answer> = std::thread::scope(|s| {
+                        let handles: Vec<_> = queries
+                            .iter()
+                            .map(|&(e, k)| {
+                                let ix = Arc::clone(&index);
+                                s.spawn(move || ix.query(e, k).expect("validated query"))
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+                    });
+                    for (i, (got, want)) in answers.iter().zip(&expected).enumerate() {
+                        prop_assert!(
+                            bit_equal(got, want),
+                            "pass {pass} batch {max_batch} threads {threads} query {i} \
+                             {:?}: got {got:?}, want {want:?}",
+                            queries[i]
+                        );
+                    }
+                }
+                let stats = index.stats();
+                prop_assert_eq!(
+                    stats.cache_hits + stats.cache_misses,
+                    2 * queries.len() as u64,
+                    "every query passes through the cache counters"
+                );
+            }
+        }
+    }
+
+    /// Validation errors are typed and never panic: out-of-range entities
+    /// and k == 0 are rejected, in-range queries succeed with k clamped to
+    /// the target count.
+    #[test]
+    fn query_validation_is_typed(
+        n1 in 1usize..6,
+        n2 in 1usize..6,
+        entity in 0u32..12,
+        k in 0usize..9,
+    ) {
+        let snap = Snapshot {
+            dim: 2,
+            metric: Metric::Cosine,
+            emb1: vec![0.5; n1 * 2],
+            emb2: vec![0.25; n2 * 2],
+            names1: Vec::new(),
+            names2: Vec::new(),
+            trace: Default::default(),
+        };
+        let index = BatchIndex::new(
+            AlignmentIndex::new(snap),
+            1,
+            4,
+            Duration::from_micros(50),
+            8,
+        );
+        let res = index.query(entity, k);
+        if entity as usize >= n1 || k == 0 {
+            prop_assert!(res.is_err(), "expected a typed rejection, got {res:?}");
+        } else {
+            let ans = res.expect("valid query answers");
+            prop_assert_eq!(ans.len(), k.min(n2));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Golden-file pinning of the version-1 snapshot format.
+//!
+//! `fixtures/tiny.snap` is a committed artifact. These tests guarantee:
+//! (a) today's encoder still produces those exact bytes from the same
+//! logical data (format stability), (b) load → re-save is byte-identical
+//! (pure-function codec), and (c) corrupting the file in every interesting
+//! way yields a typed [`SnapshotError`], never a panic.
+//!
+//! To regenerate after an *intentional* format-version bump:
+//! `OPENEA_REGEN_FIXTURES=1 cargo test -p openea-serve --test snapshot_golden`
+
+use openea_approaches::common::EpochTrace;
+use openea_approaches::{StopReason, TrainTrace};
+use openea_serve::{Snapshot, SnapshotError};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tiny.snap")
+}
+
+/// The logical contents of the committed fixture. Literals only — no RNG,
+/// no clock — so the expectation is stable by construction.
+fn fixture_snapshot() -> Snapshot {
+    Snapshot {
+        dim: 2,
+        metric: openea_align::Metric::Cosine,
+        emb1: vec![1.0, 0.0, 0.5, -0.25, 0.0, 1.0, -0.125, 0.875],
+        emb2: vec![0.75, 0.125, -1.0, 2.0, 0.0625, -0.5],
+        names1: vec![
+            "en:alpha".into(),
+            "en:beta".into(),
+            "en:gamma".into(),
+            "en:delta".into(),
+        ],
+        names2: vec!["fr:un".into(), "fr:deux".into(), "fr:trois".into()],
+        trace: TrainTrace {
+            label: "GoldenFixture".into(),
+            epochs: vec![
+                EpochTrace {
+                    epoch: 0,
+                    mean_loss: 0.75,
+                    pairs: 24,
+                    wall_s: 0.0015,
+                    val_hits1: None,
+                },
+                EpochTrace {
+                    epoch: 1,
+                    mean_loss: 0.5,
+                    pairs: 24,
+                    wall_s: 0.0016,
+                    val_hits1: Some(0.25),
+                },
+                EpochTrace {
+                    epoch: 2,
+                    mean_loss: 0.375,
+                    pairs: 24,
+                    wall_s: 0.0014,
+                    val_hits1: Some(0.5),
+                },
+            ],
+            stop: StopReason::EarlyStopped { epoch: 2 },
+            total_wall_s: 0.005,
+        },
+    }
+}
+
+#[test]
+fn golden_fixture_matches_todays_encoder() {
+    let snap = fixture_snapshot();
+    let path = fixture_path();
+    if std::env::var_os("OPENEA_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        snap.write_to(&path).unwrap();
+    }
+    let committed = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        committed,
+        snap.encode(),
+        "the snapshot format drifted from the committed golden file; \
+         bump the version and regenerate fixtures if this was intentional"
+    );
+}
+
+#[test]
+fn golden_fixture_load_then_resave_is_byte_identical() {
+    let committed = std::fs::read(fixture_path()).unwrap();
+    let loaded = Snapshot::decode(&committed).unwrap();
+    assert_eq!(loaded.encode(), committed);
+    // And the decoded contents are the expected logical snapshot.
+    assert_eq!(loaded, fixture_snapshot());
+    // Bit-exactness of the embeddings survives the disk roundtrip.
+    assert_eq!(
+        loaded.to_output().content_hash(),
+        fixture_snapshot().to_output().content_hash()
+    );
+}
+
+#[test]
+fn corrupt_header_paths_are_typed_errors() {
+    let bytes = std::fs::read(fixture_path()).unwrap();
+
+    let mut bad_magic = bytes.clone();
+    bad_magic[3] = b'X';
+    assert!(matches!(
+        Snapshot::decode(&bad_magic),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::decode(&future),
+        Err(SnapshotError::UnsupportedVersion(2))
+    ));
+
+    let mut lying_length = bytes.clone();
+    lying_length[12..20].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(matches!(
+        Snapshot::decode(&lying_length),
+        Err(SnapshotError::Truncated { .. })
+    ));
+
+    let mut flipped = bytes.clone();
+    let mid = 20 + (bytes.len() - 28) / 2;
+    flipped[mid] ^= 0x40;
+    assert!(matches!(
+        Snapshot::decode(&flipped),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn truncating_the_fixture_anywhere_is_typed_not_a_panic() {
+    let bytes = std::fs::read(fixture_path()).unwrap();
+    for cut in 0..bytes.len() {
+        match Snapshot::decode(&bytes[..cut]) {
+            Err(SnapshotError::Truncated { .. }) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn error_display_is_informative() {
+    let e = SnapshotError::ChecksumMismatch {
+        expected: 1,
+        actual: 2,
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("checksum"), "{msg}");
+    let e = SnapshotError::Truncated { need: 10, have: 3 };
+    assert!(e.to_string().contains("10"), "{e}");
+}

@@ -25,3 +25,9 @@ cargo run --release --offline -p openea-bench -- training --smoke --no-out
 # StopReason::DeadlineExceeded, a zero-epoch run still yields a checkpoint)
 # on a real registry approach. Budget: a few seconds.
 cargo run --release --offline -p openea-bench -- approaches --smoke --no-out
+
+# Serving smoke gate: trains a small run with snapshot checkpointing, loads
+# the artifact back, and proves batched/cached query answers bit-identical
+# to the dense similarity path before a short HTTP load replay with a p99
+# latency sanity bound. Budget: ~2 seconds.
+cargo run --release --offline -p openea-bench -- serve --smoke --no-out
