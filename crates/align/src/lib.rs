@@ -13,6 +13,7 @@
 //!   (Figure 5) and the three-way overlap breakdown (Figure 12).
 
 pub mod analysis;
+pub mod ann;
 pub mod blocking;
 pub mod eval;
 pub mod infer;
@@ -25,6 +26,7 @@ pub use analysis::{
     degree_bucket_recall, hubness_profile, overlap3, topk_similarity_profile, HubnessProfile,
     OverlapBreakdown,
 };
+pub use ann::{AnnConfig, IvfIndex};
 pub use blocking::{blocked_greedy_match, BlockedMatch, LshIndex};
 pub use eval::{precision_recall_f1, rank_eval, rank_eval_streaming, MeanStd, PrfScores, RankEval};
 pub use infer::{

@@ -58,6 +58,27 @@ pub(crate) fn push_topk(acc: &mut Vec<(u32, f32)>, k: usize, idx: u32, score: f3
     acc.insert(pos, (idx, score));
 }
 
+/// [`push_topk`] for callers that feed indices in *arbitrary* order (the
+/// IVF two-stage path visits targets partition by partition): the insertion
+/// position accounts for the index on score ties, so the kept entries are
+/// always exactly the first `k` of a stable argsort (descending score,
+/// lowest index wins) of everything pushed so far.
+#[inline]
+pub(crate) fn push_topk_any(acc: &mut Vec<(u32, f32)>, k: usize, idx: u32, score: f32) {
+    let pos = acc.partition_point(|&(i, s)| match score_desc(s, score) {
+        Ordering::Less => true,
+        Ordering::Equal => i < idx,
+        Ordering::Greater => false,
+    });
+    if pos >= k {
+        return;
+    }
+    acc.insert(pos, (idx, score));
+    if acc.len() > k {
+        acc.pop();
+    }
+}
+
 /// The `k` most similar targets of every source row, most similar first.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopKMatrix {

@@ -10,6 +10,7 @@
 //! how families differ, where CSLS/stable-marriage help — are the
 //! reproduction target. See `EXPERIMENTS.md` at the repository root.
 
+pub mod ann;
 pub mod approaches_gate;
 pub mod datasets;
 pub mod figures;

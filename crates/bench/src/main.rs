@@ -11,11 +11,12 @@
 //!   training   (mini-batch trainer micro-bench; --smoke = CI gate)
 //!   approaches (driver-engine deadline gate; --smoke = CI gate)
 //!   serve      (snapshot + query-server load bench; --smoke = CI gate)
+//!   ann        (two-stage index recall/speedup curve; --smoke = CI gate)
 //!   all        (everything; fig8 reuses table5's timings)
 //! ```
 
 use openea_bench::{
-    approaches_gate, figures, kernels, serve, tables, training, HarnessConfig, Scale,
+    ann, approaches_gate, figures, kernels, serve, tables, training, HarnessConfig, Scale,
 };
 
 fn main() {
@@ -103,6 +104,7 @@ fn main() {
         "training" => training::training(&cfg, smoke),
         "approaches" => approaches_gate::approaches(&cfg, smoke),
         "serve" => serve::serve_bench(&cfg, smoke),
+        "ann" => ann::ann(&cfg, smoke),
         "all" => {
             tables::table2(&cfg, include_large);
             tables::table3(&cfg);

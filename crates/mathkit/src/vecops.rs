@@ -108,14 +108,17 @@ pub fn row_norms(data: &[f32], dim: usize) -> Vec<f32> {
 /// Four dot products of `a` against four tile rows at once. Each column's
 /// accumulator is folded in the same sequential `d` order as [`dot`] (bit
 /// identity per pair); the four independent chains exist purely to break the
-/// add-latency dependency that bounds a single serial accumulator.
+/// add-latency dependency that bounds a single serial accumulator. The
+/// accumulators seed with `-0.0` — the IEEE additive identity `f32::sum`
+/// folds from — so an all-negative-zero product chain stays `-0.0` on every
+/// path instead of flipping sign bit between kernels.
 #[inline]
 fn dot4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
     // Re-slice to a common length so the indexed loop compiles without
     // per-element bounds checks.
     let n = a.len();
     let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut s0, mut s1, mut s2, mut s3) = (-0.0f32, -0.0f32, -0.0f32, -0.0f32);
     for (d, &x) in a.iter().enumerate() {
         s0 += x * b0[d];
         s1 += x * b1[d];
@@ -207,7 +210,7 @@ pub fn neg_euclidean_block(a: &[f32], tile: &[f32], dim: usize, out: &mut [f32])
         // order matches `euclidean_sq` exactly.
         let n = a.len();
         let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut s0, mut s1, mut s2, mut s3) = (-0.0f32, -0.0f32, -0.0f32, -0.0f32);
         for (d, &x) in a.iter().enumerate() {
             s0 += (x - b0[d]) * (x - b0[d]);
             s1 += (x - b1[d]) * (x - b1[d]);
@@ -236,7 +239,7 @@ pub fn neg_manhattan_block(a: &[f32], tile: &[f32], dim: usize, out: &mut [f32])
         let (b0, b1, b2, b3) = quad_rows(quad, dim);
         let n = a.len();
         let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut s0, mut s1, mut s2, mut s3) = (-0.0f32, -0.0f32, -0.0f32, -0.0f32);
         for (d, &x) in a.iter().enumerate() {
             s0 += (x - b0[d]).abs();
             s1 += (x - b1[d]).abs();
@@ -279,12 +282,13 @@ pub fn transpose_tile(tile: &[f32], dim: usize, out: &mut Vec<f32>) {
 }
 
 /// `out[j] = dot(a, tile_j)` over a dimension-major tile: each column's
-/// accumulator folds in the same sequential `d` order as [`dot`].
+/// accumulator folds in the same sequential `d` order as [`dot`], from the
+/// same `-0.0` identity (see [`dot4`]).
 #[inline]
 pub fn inner_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
     let cols = out.len();
     debug_assert_eq!(tile_t.len(), a.len() * cols);
-    out.fill(0.0);
+    out.fill(-0.0);
     for (d, &x) in a.iter().enumerate() {
         let lane = &tile_t[d * cols..(d + 1) * cols];
         for (o, &b) in out.iter_mut().zip(lane) {
@@ -548,6 +552,32 @@ mod tests {
         let data = [3.0f32, 4.0, 0.0, 0.0];
         assert_eq!(row_norms(&data, 2), vec![5.0, 0.0]);
         assert_eq!(row_norms(&[], 2), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn inner_kernels_agree_on_negative_zero() {
+        // dot(-1, 0) = -0.0: every inner-product path must fold from the
+        // same -0.0 identity `f32::sum` uses, or the scalar / row-major /
+        // dimension-major kernels disagree in the sign bit.
+        let a = [-1.0f32];
+        let tile = [0.0f32];
+        let want = dot(&a, &tile).to_bits();
+        assert_eq!(want, (-0.0f32).to_bits());
+        let mut out = [9.0f32];
+        inner_block(&a, &tile, 1, &mut out);
+        assert_eq!(out[0].to_bits(), want, "row-major remainder path");
+        // A 5-row tile exercises both the dot4 quad path and the remainder.
+        let tile5 = [0.0f32; 5];
+        let mut out5 = [9.0f32; 5];
+        inner_block(&a, &tile5, 1, &mut out5);
+        let mut t5 = Vec::new();
+        transpose_tile(&tile5, 1, &mut t5);
+        let mut out5t = [9.0f32; 5];
+        inner_block_t(&a, &t5, &mut out5t);
+        for j in 0..5 {
+            assert_eq!(out5[j].to_bits(), want, "quad path col {j}");
+            assert_eq!(out5t[j].to_bits(), want, "transposed path col {j}");
+        }
     }
 
     props! {

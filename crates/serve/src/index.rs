@@ -23,15 +23,32 @@
 //! draining while queries are pending, so under load every sweep is full
 //! and the per-query kernel cost amortizes toward `1/max_batch`.
 //!
+//! ## Two-stage (approximate) answering
+//!
+//! An index built with [`AlignmentIndex::with_ann`] carries an
+//! [`IvfIndex`] partition over the target side and answers through the
+//! two-stage path when a query selects [`Probe::Nprobe`]: stage one scans
+//! the partition centroids and picks the `nprobe` best lists, stage two
+//! re-ranks their members *exactly* with the same block kernels as the
+//! dense sweep. [`Probe::Exact`] — and any probe on an index without a
+//! partition — falls back to the exact sweep, and `nprobe ≥ nlist` is
+//! bit-identical to it by the ANN exactness contract.
+//!
 //! ## Caching
 //!
 //! Answers are memoized in a fixed-capacity [`LruCache`] keyed by
-//! `(entity, k, metric)`. The metric lives in the key so an index reloaded
-//! with a different metric (or a cache shared across indexes in tests) can
-//! never serve a score list computed under another similarity.
+//! `(entity, k, metric, probe, generation)`. The metric lives in the key
+//! so an index reloaded with a different metric can never serve a score
+//! list computed under another similarity; the probe lives there so an
+//! approximate answer can never surface for an exact query (or vice
+//! versa, or across different probe widths); and the snapshot
+//! *generation* lives there so answers computed against one snapshot can
+//! never outlive a reload — including a budget-truncated shard load,
+//! whose generation differs from the full snapshot's by construction.
 
 use crate::snapshot::Snapshot;
-use openea_align::{Metric, TopKMatrix};
+use openea_align::{AnnConfig, IvfIndex, Metric, TopKMatrix};
+use openea_runtime::pool::{balanced_chunk_len, parallel_chunks};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,18 +80,88 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
-/// The raw (unbatched, uncached) index: a snapshot plus the kernel calls.
+/// How a query's candidate set is formed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Probe {
+    /// Dense exact sweep over every target.
+    Exact,
+    /// Two-stage: probe the `n` best partitions, re-rank exactly. Clamped
+    /// to `[1, nlist]`; on an index without a partition this falls back to
+    /// the exact sweep.
+    Nprobe(u32),
+}
+
+impl Probe {
+    /// The cache-key encoding: 0 for exact, the (≥ 1) probe width
+    /// otherwise — injective because `Nprobe(0)` is clamped to 1.
+    pub(crate) fn code(self) -> u32 {
+        match self {
+            Probe::Exact => 0,
+            Probe::Nprobe(n) => n.max(1),
+        }
+    }
+
+    pub fn label(self) -> String {
+        match self {
+            Probe::Exact => "exact".into(),
+            Probe::Nprobe(n) => format!("nprobe={}", n.max(1)),
+        }
+    }
+}
+
+/// The raw (unbatched, uncached) index: a snapshot plus the kernel calls,
+/// optionally with an IVF partition for two-stage answering.
 pub struct AlignmentIndex {
     snap: Snapshot,
+    generation: u64,
+    ann: Option<IvfIndex>,
 }
 
 impl AlignmentIndex {
+    /// An exact-only index (no partition; every probe answers exactly).
     pub fn new(snap: Snapshot) -> Self {
-        Self { snap }
+        let generation = snap.generation();
+        Self {
+            snap,
+            generation,
+            ann: None,
+        }
+    }
+
+    /// An index with an IVF partition built over the target side, enabling
+    /// the two-stage path. Build time is one k-means over `emb2`; `threads`
+    /// parallelizes it without changing the (deterministic) partition.
+    pub fn with_ann(snap: Snapshot, cfg: &AnnConfig, threads: usize) -> Self {
+        let generation = snap.generation();
+        let ann = IvfIndex::build(&snap.emb2, snap.dim, snap.metric, cfg, threads);
+        Self {
+            snap,
+            generation,
+            ann: Some(ann),
+        }
     }
 
     pub fn snapshot(&self) -> &Snapshot {
         &self.snap
+    }
+
+    /// The loaded snapshot's [`Snapshot::generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The IVF partition, when this index was built with one.
+    pub fn ann(&self) -> Option<&IvfIndex> {
+        self.ann.as_ref()
+    }
+
+    /// The probe a query gets when it does not choose one: the partition's
+    /// default width when a partition exists, otherwise the exact sweep.
+    pub fn default_probe(&self) -> Probe {
+        match &self.ann {
+            Some(ivf) => Probe::Nprobe(ivf.default_nprobe() as u32),
+            None => Probe::Exact,
+        }
     }
 
     pub fn metric(&self) -> Metric {
@@ -117,15 +204,55 @@ impl AlignmentIndex {
             .map(|(row, &(_, k))| row[..k.min(row.len())].to_vec())
             .collect()
     }
+
+    /// [`AlignmentIndex::answer_batch`] behind the probe knob: `Exact` (or
+    /// any probe on a partition-less index) runs the dense sweep;
+    /// `Nprobe(n)` answers each query through the two-stage path,
+    /// parallelized across the batch's queries. Answers are independent of
+    /// `threads` and of which queries shared the batch.
+    pub fn answer_batch_probed(
+        &self,
+        queries: &[(u32, usize)],
+        probe: Probe,
+        threads: usize,
+    ) -> Vec<Answer> {
+        let (n, ivf) = match (probe, &self.ann) {
+            (Probe::Nprobe(n), Some(ivf)) => (n.max(1) as usize, ivf),
+            _ => return self.answer_batch(queries, threads),
+        };
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.snap.dim;
+        let mut answers: Vec<Answer> = vec![Vec::new(); queries.len()];
+        let threads = threads.clamp(1, queries.len());
+        let chunk = balanced_chunk_len(queries.len(), threads, 4);
+        parallel_chunks(&mut answers, chunk, threads, |chunk_idx, out| {
+            let base = chunk_idx * chunk;
+            for (local, slot) in out.iter_mut().enumerate() {
+                let (e, k) = queries[base + local];
+                let e = e as usize;
+                *slot = ivf.search(&self.snap.emb1[e * dim..(e + 1) * dim], k, n);
+            }
+        });
+        answers
+    }
 }
 
 /// Cache key: the full identity of an answer. `metric` is part of the key
-/// so a cache can never hand back scores computed under another similarity.
+/// so a cache can never hand back scores computed under another
+/// similarity; `probe` ([`Probe::code`]: 0 = exact, else the width) so
+/// approximate and exact answers never alias; `generation` so answers
+/// never survive a snapshot reload.
 #[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
 pub struct CacheKey {
     pub entity: u32,
     pub k: u32,
     pub metric: Metric,
+    /// [`Probe::code`] of the probe that produced the answer.
+    pub probe: u32,
+    /// [`Snapshot::generation`] of the snapshot that produced the answer.
+    pub generation: u64,
 }
 
 const NIL: usize = usize::MAX;
@@ -284,6 +411,7 @@ struct Slot {
 struct PendingQuery {
     entity: u32,
     k: usize,
+    probe: Probe,
     slot: Arc<Slot>,
 }
 
@@ -298,6 +426,7 @@ struct BatchState {
 /// `&self`.
 pub struct BatchIndex {
     index: AlignmentIndex,
+    default_probe: Probe,
     threads: usize,
     max_batch: usize,
     max_wait: Duration,
@@ -321,8 +450,10 @@ impl BatchIndex {
         max_wait: Duration,
         cache_cap: usize,
     ) -> Self {
+        let default_probe = index.default_probe();
         Self {
             index,
+            default_probe,
             threads: threads.max(1),
             max_batch: max_batch.max(1),
             max_wait,
@@ -341,6 +472,18 @@ impl BatchIndex {
 
     pub fn index(&self) -> &AlignmentIndex {
         &self.index
+    }
+
+    /// The probe applied when a query does not choose one. Defaults to
+    /// [`AlignmentIndex::default_probe`].
+    pub fn default_probe(&self) -> Probe {
+        self.default_probe
+    }
+
+    /// Overrides the default probe (builder style).
+    pub fn with_default_probe(mut self, probe: Probe) -> Self {
+        self.default_probe = probe;
+        self
     }
 
     pub fn stats(&self) -> IndexStats {
@@ -363,16 +506,35 @@ impl BatchIndex {
         Ok(k.min(self.index.num_targets()))
     }
 
-    /// Answers one query through the cache and the micro-batcher. Safe to
-    /// call from any number of threads; the answer is independent of which
-    /// queries it shared a sweep with.
-    pub fn query(&self, entity: u32, k: usize) -> Result<Answer, QueryError> {
-        let k = self.validate(entity, k)?;
-        let key = CacheKey {
+    fn cache_key(&self, entity: u32, k: usize, probe: Probe) -> CacheKey {
+        CacheKey {
             entity,
             k: k as u32,
             metric: self.index.metric(),
-        };
+            probe: probe.code(),
+            generation: self.index.generation(),
+        }
+    }
+
+    /// Answers one query under the default probe, through the cache and
+    /// the micro-batcher. Safe to call from any number of threads; the
+    /// answer is independent of which queries it shared a sweep with.
+    pub fn query(&self, entity: u32, k: usize) -> Result<Answer, QueryError> {
+        self.query_probed(entity, k, None)
+    }
+
+    /// [`BatchIndex::query`] with an explicit probe (`None` applies the
+    /// default). Queries with different probes may share a micro-batch but
+    /// never a kernel sweep or a cache entry.
+    pub fn query_probed(
+        &self,
+        entity: u32,
+        k: usize,
+        probe: Option<Probe>,
+    ) -> Result<Answer, QueryError> {
+        let k = self.validate(entity, k)?;
+        let probe = probe.unwrap_or(self.default_probe);
+        let key = self.cache_key(entity, k, probe);
         if let Some(hit) = self.cache.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
@@ -387,6 +549,7 @@ impl BatchIndex {
         st.pending.push(PendingQuery {
             entity,
             k,
+            probe,
             slot: Arc::clone(&slot),
         });
         if st.leader_active {
@@ -427,26 +590,45 @@ impl BatchIndex {
             let batch: Vec<PendingQuery> = st.pending.drain(..take).collect();
             drop(st);
 
-            let queries: Vec<(u32, usize)> = batch.iter().map(|p| (p.entity, p.k)).collect();
-            let answers = self.index.answer_batch(&queries, self.threads);
-            self.batches.fetch_add(1, Ordering::Relaxed);
+            // Group the batch by probe: the batch-max-k truncation trick is
+            // only sound within one probe (answers under different probes
+            // are not prefixes of each other), so each group gets its own
+            // sweep. In the common case every query uses the default probe
+            // and there is exactly one group.
+            let mut groups: Vec<(Probe, Vec<usize>)> = Vec::new();
+            for (i, p) in batch.iter().enumerate() {
+                match groups.iter_mut().find(|(probe, _)| *probe == p.probe) {
+                    Some((_, members)) => members.push(i),
+                    None => groups.push((p.probe, vec![i])),
+                }
+            }
+            let mut answers: Vec<Option<Answer>> = batch.iter().map(|_| None).collect();
+            for (probe, members) in groups {
+                let queries: Vec<(u32, usize)> = members
+                    .iter()
+                    .map(|&i| (batch[i].entity, batch[i].k))
+                    .collect();
+                let group_answers = self
+                    .index
+                    .answer_batch_probed(&queries, probe, self.threads);
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                for (i, ans) in members.into_iter().zip(group_answers) {
+                    answers[i] = Some(ans);
+                }
+            }
             self.batched_queries
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
             {
                 let mut cache = self.cache.lock().unwrap();
                 for (p, ans) in batch.iter().zip(&answers) {
                     cache.insert(
-                        CacheKey {
-                            entity: p.entity,
-                            k: p.k as u32,
-                            metric: self.index.metric(),
-                        },
-                        ans.clone(),
+                        self.cache_key(p.entity, p.k, p.probe),
+                        ans.as_ref().expect("every group answered").clone(),
                     );
                 }
             }
             for (p, ans) in batch.into_iter().zip(answers) {
-                *p.slot.result.lock().unwrap() = Some(ans);
+                *p.slot.result.lock().unwrap() = Some(ans.expect("every group answered"));
                 p.slot.ready.notify_all();
             }
 

@@ -30,8 +30,12 @@
 
 pub mod index;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 
-pub use index::{AlignmentIndex, Answer, BatchIndex, CacheKey, IndexStats, LruCache, QueryError};
+pub use index::{
+    AlignmentIndex, Answer, BatchIndex, CacheKey, IndexStats, LruCache, Probe, QueryError,
+};
 pub use server::{serve, ServerHandle, ServerOptions};
+pub use shard::{shard_path, write_sharded, ShardManifest, ShardMeta};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};

@@ -1,13 +1,19 @@
 //! `openea-serve` — load a snapshot and serve alignment queries over HTTP.
 
-use openea_serve::{serve, AlignmentIndex, BatchIndex, ServerOptions, Snapshot};
+use openea_align::AnnConfig;
+use openea_serve::{
+    serve, AlignmentIndex, BatchIndex, Probe, ServerOptions, ShardManifest, Snapshot,
+};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "usage: openea-serve <snapshot.snap> [options]
+const USAGE: &str = "usage: openea-serve <snapshot.snap | snapshot.manifest> [options]
+
+A `.manifest` path loads a sharded snapshot (shard files resolved next to
+the manifest); any other path loads a monolithic snapshot.
 
 options:
   --addr HOST:PORT   bind address          (default 127.0.0.1:7077)
@@ -17,8 +23,12 @@ options:
   --wait-us T        micro-batch window in microseconds (default 200)
   --cache N          LRU answer-cache capacity (default 4096, 0 disables)
   --queue N          bounded connection queue before 503s (default 64)
+  --nlist N          IVF partitions for two-stage answering (default 0 = exact only)
+  --nprobe N         default probe width (default 0 = nlist/8; needs --nlist)
+  --mem-budget-mb N  load only the shard prefix fitting N MiB of target
+                     embeddings (default unlimited; manifests only)
 
-routes: /align?entity=<id>&k=<k>   /health   /stats";
+routes: /align?entity=<id>&k=<k>[&nprobe=<n>]   /health   /stats";
 
 struct Args {
     snapshot: PathBuf,
@@ -29,6 +39,9 @@ struct Args {
     wait_us: u64,
     cache: usize,
     queue: usize,
+    nlist: usize,
+    nprobe: usize,
+    mem_budget_mb: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +56,9 @@ fn parse_args() -> Result<Args, String> {
         wait_us: 200,
         cache: 4096,
         queue: 64,
+        nlist: 0,
+        nprobe: 0,
+        mem_budget_mb: 0,
     };
     while let Some(a) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
@@ -62,6 +78,11 @@ fn parse_args() -> Result<Args, String> {
             "--wait-us" => out.wait_us = parse_num(&value("--wait-us")?, "--wait-us")? as u64,
             "--cache" => out.cache = parse_num(&value("--cache")?, "--cache")?,
             "--queue" => out.queue = parse_num(&value("--queue")?, "--queue")?,
+            "--nlist" => out.nlist = parse_num(&value("--nlist")?, "--nlist")?,
+            "--nprobe" => out.nprobe = parse_num(&value("--nprobe")?, "--nprobe")?,
+            "--mem-budget-mb" => {
+                out.mem_budget_mb = parse_num(&value("--mem-budget-mb")?, "--mem-budget-mb")?
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             path if snapshot.is_none() => snapshot = Some(PathBuf::from(path)),
             extra => return Err(format!("unexpected argument {extra}")),
@@ -83,11 +104,38 @@ fn main() {
             exit(2);
         }
     };
-    let snap = match Snapshot::read_from(&args.snapshot) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot load {}: {e}", args.snapshot.display());
-            exit(1);
+    let is_manifest = args.snapshot.extension().is_some_and(|e| e == "manifest");
+    let snap = if is_manifest {
+        let budget = if args.mem_budget_mb == 0 {
+            u64::MAX
+        } else {
+            args.mem_budget_mb as u64 * (1 << 20)
+        };
+        match ShardManifest::read_from(&args.snapshot)
+            .and_then(|m| m.load_budgeted(&args.snapshot, budget))
+        {
+            Ok((s, loaded)) => {
+                println!(
+                    "assembled {loaded} shard(s): {} of {} target entities",
+                    s.num_targets(),
+                    ShardManifest::read_from(&args.snapshot)
+                        .map(|m| m.n2)
+                        .unwrap_or(0),
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("error: cannot load {}: {e}", args.snapshot.display());
+                exit(1);
+            }
+        }
+    } else {
+        match Snapshot::read_from(&args.snapshot) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot load {}: {e}", args.snapshot.display());
+                exit(1);
+            }
         }
     };
     println!(
@@ -100,13 +148,33 @@ fn main() {
         snap.metric.label(),
         snap.trace.epochs.len(),
     );
-    let index = BatchIndex::new(
-        AlignmentIndex::new(snap),
+    let raw = if args.nlist > 0 {
+        let cfg = AnnConfig {
+            nlist: args.nlist,
+            ..Default::default()
+        };
+        let ix = AlignmentIndex::with_ann(snap, &cfg, args.threads);
+        let ivf = ix.ann().expect("just built");
+        println!(
+            "two-stage index: {} partitions over {} targets, default {}",
+            ivf.nlist(),
+            ivf.len(),
+            ix.default_probe().label(),
+        );
+        ix
+    } else {
+        AlignmentIndex::new(snap)
+    };
+    let mut index = BatchIndex::new(
+        raw,
         args.threads,
         args.batch,
         Duration::from_micros(args.wait_us),
         args.cache,
     );
+    if args.nprobe > 0 {
+        index = index.with_default_probe(Probe::Nprobe(args.nprobe as u32));
+    }
     let opts = ServerOptions {
         workers: args.workers,
         queue_cap: args.queue,
@@ -127,7 +195,7 @@ fn main() {
         args.cache,
         args.queue,
     );
-    println!("routes: /align?entity=<id>&k=<k>  /health  /stats  (ctrl-c to stop)");
+    println!("routes: /align?entity=<id>&k=<k>[&nprobe=<n>]  /health  /stats  (ctrl-c to stop)");
     loop {
         std::thread::park();
     }

@@ -7,11 +7,14 @@
 //!
 //! ## Routes
 //!
-//! * `GET /align?entity=<id>&k=<k>` — top-`k` KG2 targets of KG1 entity
-//!   `<id>`, best first, bit-identical to the offline dense evaluation.
+//! * `GET /align?entity=<id>&k=<k>[&nprobe=<n>]` — top-`k` KG2 targets of
+//!   KG1 entity `<id>`, best first. Without `nprobe` the index's default
+//!   probe applies; `nprobe=0` forces the dense exact sweep (bit-identical
+//!   to the offline evaluation); `nprobe=n` probes the `n` best partitions
+//!   of the two-stage index (exact fallback when none was built).
 //! * `GET /health` — liveness probe.
 //! * `GET /stats` — cache hit rate, batch occupancy, latency percentiles,
-//!   served/rejected counters.
+//!   served/rejected counters, snapshot generation and partition shape.
 //!
 //! ## Backpressure contract
 //!
@@ -27,7 +30,7 @@
 //! to the expected client count, or excess connections sit in the queue
 //! until a held connection closes.
 
-use crate::index::{BatchIndex, QueryError};
+use crate::index::{BatchIndex, Probe, QueryError};
 use openea_runtime::json::{object, Json, ToJson};
 use openea_runtime::timer::{MicrosHistogram, Monotonic};
 use std::collections::VecDeque;
@@ -322,11 +325,17 @@ fn read_request(reader: &mut BufReader<TcpStream>, shutdown: &AtomicBool) -> Opt
 }
 
 fn query_param(query: &str, name: &str) -> Option<u64> {
+    query_param_raw(query, name).and_then(|v| v.parse().ok())
+}
+
+/// The raw value of `name`, present or not — lets callers distinguish an
+/// absent parameter (fall back to a default) from a malformed one (400).
+fn query_param_raw<'q>(query: &'q str, name: &str) -> Option<&'q str> {
     query
         .split('&')
         .filter_map(|kv| kv.split_once('='))
         .find(|(k, _)| *k == name)
-        .and_then(|(_, v)| v.parse().ok())
+        .map(|(_, v)| v)
 }
 
 fn route(sh: &Shared, req: &Request) -> (u16, Json) {
@@ -350,7 +359,17 @@ fn align(sh: &Shared, query: &str) -> (u16, Json) {
         Ok(e) => e,
         Err(_) => return (400, err_json("'entity' does not fit u32")),
     };
-    match sh.index.query(entity, k as usize) {
+    // Absent → the index's default probe; 0 → exact; n → probe n lists.
+    let probe = match query_param_raw(query, "nprobe") {
+        None => None,
+        Some(raw) => match raw.parse::<u32>() {
+            Ok(0) => Some(Probe::Exact),
+            Ok(n) => Some(Probe::Nprobe(n)),
+            Err(_) => return (400, err_json("'nprobe' is not a u32")),
+        },
+    };
+    let effective = probe.unwrap_or_else(|| sh.index.default_probe());
+    match sh.index.query_probed(entity, k as usize, probe) {
         Ok(answer) => {
             let results: Vec<Json> = answer
                 .iter()
@@ -371,6 +390,7 @@ fn align(sh: &Shared, query: &str) -> (u16, Json) {
                     ("entity", entity.to_json()),
                     ("k", answer.len().to_json()),
                     ("metric", sh.index.index().metric().label().to_json()),
+                    ("probe", effective.label().to_json()),
                     ("results", Json::Array(results)),
                 ]),
             )
@@ -383,7 +403,18 @@ fn align(sh: &Shared, query: &str) -> (u16, Json) {
 fn stats_json(sh: &Shared) -> Json {
     let ix = sh.index.stats();
     let lat = sh.latency.lock().unwrap().clone();
+    let raw = sh.index.index();
     object([
+        // Hex string: a u64 generation does not fit f64-backed JSON numbers.
+        (
+            "generation",
+            format!("{:#018x}", raw.generation()).to_json(),
+        ),
+        (
+            "ann_nlist",
+            raw.ann().map(|ivf| ivf.nlist()).unwrap_or(0).to_json(),
+        ),
+        ("default_probe", sh.index.default_probe().label().to_json()),
         (
             "served",
             (sh.served.load(Ordering::Relaxed) as i64).to_json(),

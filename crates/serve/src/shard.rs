@@ -1,0 +1,440 @@
+//! Sharded snapshots: one *manifest* plus N *shard* files, so a serve node
+//! can load a memory-budgeted slice of a million-entity snapshot instead of
+//! the whole thing.
+//!
+//! Only the target-side matrix (`emb2`) is sharded — it dominates memory at
+//! scale and is the side the two-stage index partitions. Everything else
+//! (dim, metric, `emb1`, both name maps, the training trace) lives in the
+//! manifest, together with per-shard byte ranges and checksums and the
+//! snapshot *generation* that ties every shard to exactly one logical
+//! snapshot.
+//!
+//! ## On-disk layout (version 1)
+//!
+//! Both file kinds use the crate's shared container framing
+//! (magic · version u32 · payload length u64 · payload · FNV-1a 64 of the
+//! payload), with distinct magics: `OPENEASM` for manifests, `OPENEASH`
+//! for shards.
+//!
+//! Manifest payload:
+//!
+//! ```text
+//! dim u32 · metric u8 · n1 u64 · n2 u64 · generation u64
+//! shard count u64 · per shard: start u64 · end u64 · checksum u64
+//! emb1  f32 × n1·dim
+//! names1 · names2 · trace      (same encodings as snapshot version 1)
+//! ```
+//!
+//! Shard `i` payload (rows `start..end` of `emb2`):
+//!
+//! ```text
+//! generation u64 · shard index u64 · start u64 · end u64 · dim u32
+//! f32 × (end−start)·dim
+//! ```
+//!
+//! ## Verification order on load
+//!
+//! For each shard: container framing first (magic, version, truncation,
+//! the shard's own trailer checksum — a torn write surfaces here as
+//! [`SnapshotError::ChecksumMismatch`]), then the payload header. A shard
+//! whose generation differs from the manifest's is
+//! [`SnapshotError::GenerationMismatch`] (it belongs to another snapshot);
+//! one that is internally consistent but hashes differently than the
+//! manifest recorded is [`SnapshotError::ShardChecksumMismatch`] (it was
+//! rewritten after the manifest was sealed). A file that simply is not
+//! there is [`SnapshotError::MissingShard`].
+
+use crate::snapshot::{
+    frame, metric_from_tag, metric_tag, overflow, read_names, read_trace, unframe, write_atomic,
+    write_names, write_trace, Reader, Snapshot, SnapshotError,
+};
+use openea_align::Metric;
+use openea_approaches::TrainTrace;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MANIFEST_MAGIC: &[u8; 8] = b"OPENEASM";
+const SHARD_MAGIC: &[u8; 8] = b"OPENEASH";
+const VERSION: u32 = 1;
+
+/// One shard's entry in the manifest: the target-row range it covers and
+/// the FNV-1a 64 checksum of its payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// First target row (inclusive).
+    pub start: usize,
+    /// Last target row (exclusive).
+    pub end: usize,
+    /// Checksum of the shard file's payload, as sealed by the writer.
+    pub checksum: u64,
+}
+
+impl ShardMeta {
+    pub fn rows(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// A decoded shard manifest: everything but the sharded `emb2` rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    pub dim: usize,
+    pub metric: Metric,
+    pub n1: usize,
+    /// Total target rows across all shards.
+    pub n2: usize,
+    /// [`Snapshot::generation`] of the sharded snapshot.
+    pub generation: u64,
+    pub shards: Vec<ShardMeta>,
+    pub emb1: Vec<f32>,
+    pub names1: Vec<String>,
+    pub names2: Vec<String>,
+    pub trace: TrainTrace,
+}
+
+/// Path of shard `index` next to `manifest_path`: `<stem>.shard<index:03>`.
+pub fn shard_path(manifest_path: &Path, index: usize) -> PathBuf {
+    manifest_path.with_extension(format!("shard{index:03}"))
+}
+
+/// Shards `snap` into `<manifest_path>` plus one shard file per
+/// `shard_entities` target rows (the last shard takes the remainder; a
+/// snapshot with zero targets writes zero shards). Every file is written
+/// atomically; the manifest is written *last*, so a crash mid-write never
+/// leaves a manifest naming incomplete shards. Returns the shard paths.
+pub fn write_sharded(
+    snap: &Snapshot,
+    manifest_path: &Path,
+    shard_entities: usize,
+) -> Result<Vec<PathBuf>, SnapshotError> {
+    assert!(shard_entities > 0, "shard_entities must be positive");
+    let n2 = snap.num_targets();
+    let generation = snap.generation();
+    let mut shards = Vec::new();
+    let mut paths = Vec::new();
+    let mut start = 0usize;
+    let mut index = 0usize;
+    while start < n2 {
+        let end = (start + shard_entities).min(n2);
+        let payload = shard_payload(snap, generation, index, start, end);
+        let checksum = crate::snapshot::fnv1a64(&payload);
+        let path = shard_path(manifest_path, index);
+        write_atomic(&path, &frame(SHARD_MAGIC, VERSION, &payload))?;
+        shards.push(ShardMeta {
+            start,
+            end,
+            checksum,
+        });
+        paths.push(path);
+        start = end;
+        index += 1;
+    }
+    let manifest = ShardManifest {
+        dim: snap.dim,
+        metric: snap.metric,
+        n1: snap.num_queries(),
+        n2,
+        generation,
+        shards,
+        emb1: snap.emb1.clone(),
+        names1: snap.names1.clone(),
+        names2: snap.names2.clone(),
+        trace: snap.trace.clone(),
+    };
+    write_atomic(manifest_path, &manifest.encode())?;
+    Ok(paths)
+}
+
+fn shard_payload(
+    snap: &Snapshot,
+    generation: u64,
+    index: usize,
+    start: usize,
+    end: usize,
+) -> Vec<u8> {
+    let dim = snap.dim;
+    let mut p = Vec::with_capacity(36 + (end - start) * dim * 4);
+    p.extend_from_slice(&generation.to_le_bytes());
+    p.extend_from_slice(&(index as u64).to_le_bytes());
+    p.extend_from_slice(&(start as u64).to_le_bytes());
+    p.extend_from_slice(&(end as u64).to_le_bytes());
+    p.extend_from_slice(&(dim as u32).to_le_bytes());
+    for &v in &snap.emb2[start * dim..end * dim] {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p
+}
+
+impl ShardManifest {
+    /// Serializes to the version-1 manifest layout. Pure function of the
+    /// data: equal manifests encode to equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(4 * self.emb1.len() + 24 * self.shards.len() + 256);
+        p.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        p.push(metric_tag(self.metric));
+        p.extend_from_slice(&(self.n1 as u64).to_le_bytes());
+        p.extend_from_slice(&(self.n2 as u64).to_le_bytes());
+        p.extend_from_slice(&self.generation.to_le_bytes());
+        p.extend_from_slice(&(self.shards.len() as u64).to_le_bytes());
+        for s in &self.shards {
+            p.extend_from_slice(&(s.start as u64).to_le_bytes());
+            p.extend_from_slice(&(s.end as u64).to_le_bytes());
+            p.extend_from_slice(&s.checksum.to_le_bytes());
+        }
+        for &v in &self.emb1 {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        write_names(&mut p, &self.names1);
+        write_names(&mut p, &self.names2);
+        write_trace(&mut p, &self.trace);
+        frame(MANIFEST_MAGIC, VERSION, &p)
+    }
+
+    /// Decodes and structurally validates a manifest byte stream: framing
+    /// first, then shard ranges must tile `0..n2` contiguously.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = unframe(bytes, MANIFEST_MAGIC, VERSION)?;
+        let mut r = Reader::new(payload);
+        let dim = r.u32()? as usize;
+        if dim == 0 {
+            return Err(SnapshotError::Malformed("dim is zero".into()));
+        }
+        let metric = metric_from_tag(r.u8()?)?;
+        let n1 = r.u64()? as usize;
+        let n2 = r.u64()? as usize;
+        let generation = r.u64()?;
+        let n_shards = r.u64()? as usize;
+        let mut shards = Vec::with_capacity(n_shards.min(payload.len() / 24));
+        for _ in 0..n_shards {
+            let start = r.u64()? as usize;
+            let end = r.u64()? as usize;
+            let checksum = r.u64()?;
+            shards.push(ShardMeta {
+                start,
+                end,
+                checksum,
+            });
+        }
+        let mut cursor = 0usize;
+        for (i, s) in shards.iter().enumerate() {
+            if s.start != cursor || s.end <= s.start {
+                return Err(SnapshotError::Malformed(format!(
+                    "shard {i} covers {}..{} but the previous shard ended at {cursor}",
+                    s.start, s.end
+                )));
+            }
+            cursor = s.end;
+        }
+        if cursor != n2 {
+            return Err(SnapshotError::Malformed(format!(
+                "shards cover {cursor} of {n2} target rows"
+            )));
+        }
+        let emb1 = r.f32s(n1.checked_mul(dim).ok_or_else(overflow)?)?;
+        let names1 = read_names(&mut r, n1)?;
+        let names2 = read_names(&mut r, n2)?;
+        let trace = read_trace(&mut r, payload.len())?;
+        if !r.is_empty() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} unread payload bytes",
+                r.remaining()
+            )));
+        }
+        Ok(Self {
+            dim,
+            metric,
+            n1,
+            n2,
+            generation,
+            shards,
+            emb1,
+            names1,
+            names2,
+            trace,
+        })
+    }
+
+    /// Reads and fully validates a manifest file.
+    pub fn read_from(path: &Path) -> Result<Self, SnapshotError> {
+        Self::decode(&fs::read(path)?)
+    }
+
+    /// Reads and verifies shard `index` from its conventional path next to
+    /// `manifest_path`, returning its `emb2` rows. Verification order:
+    /// existence → framing (own trailer checksum) → generation → manifest
+    /// checksum → range/dim consistency.
+    pub fn read_shard(
+        &self,
+        manifest_path: &Path,
+        index: usize,
+    ) -> Result<Vec<f32>, SnapshotError> {
+        let meta = &self.shards[index];
+        let path = shard_path(manifest_path, index);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SnapshotError::MissingShard { index, path });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let payload = unframe(&bytes, SHARD_MAGIC, VERSION)?;
+        let mut r = Reader::new(payload);
+        let generation = r.u64()?;
+        if generation != self.generation {
+            return Err(SnapshotError::GenerationMismatch {
+                index,
+                manifest: self.generation,
+                shard: generation,
+            });
+        }
+        let actual = crate::snapshot::fnv1a64(payload);
+        if actual != meta.checksum {
+            return Err(SnapshotError::ShardChecksumMismatch {
+                index,
+                manifest: meta.checksum,
+                shard: actual,
+            });
+        }
+        let own_index = r.u64()? as usize;
+        let start = r.u64()? as usize;
+        let end = r.u64()? as usize;
+        let dim = r.u32()? as usize;
+        if own_index != index || start != meta.start || end != meta.end || dim != self.dim {
+            return Err(SnapshotError::Malformed(format!(
+                "shard {index} header says shard {own_index} rows {start}..{end} dim {dim}, \
+                 manifest says rows {}..{} dim {}",
+                meta.start, meta.end, self.dim
+            )));
+        }
+        let rows = r.f32s((end - start).checked_mul(dim).ok_or_else(overflow)?)?;
+        if !r.is_empty() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} unread shard payload bytes",
+                r.remaining()
+            )));
+        }
+        Ok(rows)
+    }
+
+    /// Loads *every* shard and reassembles the full [`Snapshot`]. The
+    /// result's [`Snapshot::generation`] always equals the manifest's —
+    /// `load_budgeted` with an unlimited budget is the same operation.
+    pub fn load(&self, manifest_path: &Path) -> Result<Snapshot, SnapshotError> {
+        Ok(self.load_budgeted(manifest_path, u64::MAX)?.0)
+    }
+
+    /// Loads a *prefix* of the shards whose `emb2` bytes fit `max_bytes`
+    /// (always at least one shard, so a tiny budget still serves the first
+    /// slice), returning the assembled snapshot and the number of shards
+    /// loaded. A partial load keeps target ids stable — shard ranges start
+    /// at row 0 — but is a *different* snapshot: its generation differs
+    /// from the manifest's, so answer caches can never alias a slice with
+    /// the full corpus.
+    pub fn load_budgeted(
+        &self,
+        manifest_path: &Path,
+        max_bytes: u64,
+    ) -> Result<(Snapshot, usize), SnapshotError> {
+        let mut emb2 = Vec::new();
+        let mut loaded = 0usize;
+        let mut n2 = 0usize;
+        for (i, meta) in self.shards.iter().enumerate() {
+            let bytes = (meta.rows() * self.dim * 4) as u64;
+            if loaded > 0 && (emb2.len() * 4) as u64 + bytes > max_bytes {
+                break;
+            }
+            emb2.extend_from_slice(&self.read_shard(manifest_path, i)?);
+            n2 = meta.end;
+            loaded += 1;
+        }
+        let mut names2 = self.names2.clone();
+        if !names2.is_empty() {
+            names2.truncate(n2);
+        }
+        Ok((
+            Snapshot {
+                dim: self.dim,
+                metric: self.metric,
+                emb1: self.emb1.clone(),
+                emb2,
+                names1: self.names1.clone(),
+                names2,
+                trace: self.trace.clone(),
+            },
+            loaded,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests::tiny_snapshot;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("openea-shard-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_reassembles_the_snapshot() {
+        let snap = tiny_snapshot();
+        let dir = tmpdir("roundtrip");
+        let mpath = dir.join("tiny.manifest");
+        let paths = write_sharded(&snap, &mpath, 1).unwrap();
+        assert_eq!(paths.len(), snap.num_targets());
+        let manifest = ShardManifest::read_from(&mpath).unwrap();
+        assert_eq!(manifest.generation, snap.generation());
+        let back = manifest.load(&mpath).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.generation(), snap.generation());
+    }
+
+    #[test]
+    fn budgeted_load_takes_a_prefix_and_changes_generation() {
+        let snap = tiny_snapshot(); // 2 targets, dim 2
+        let dir = tmpdir("budget");
+        let mpath = dir.join("tiny.manifest");
+        write_sharded(&snap, &mpath, 1).unwrap();
+        let manifest = ShardManifest::read_from(&mpath).unwrap();
+        // Budget of one row's bytes → exactly the first shard.
+        let (slice, loaded) = manifest.load_budgeted(&mpath, 8).unwrap();
+        assert_eq!(loaded, 1);
+        assert_eq!(slice.num_targets(), 1);
+        assert_eq!(slice.emb2, &snap.emb2[..2]);
+        assert_eq!(slice.names2, &snap.names2[..1]);
+        assert_ne!(slice.generation(), snap.generation());
+        // Zero budget still loads the first shard.
+        let (_, loaded) = manifest.load_budgeted(&mpath, 0).unwrap();
+        assert_eq!(loaded, 1);
+    }
+
+    #[test]
+    fn missing_shard_is_typed() {
+        let snap = tiny_snapshot();
+        let dir = tmpdir("missing");
+        let mpath = dir.join("tiny.manifest");
+        let paths = write_sharded(&snap, &mpath, 1).unwrap();
+        fs::remove_file(&paths[1]).unwrap();
+        let manifest = ShardManifest::read_from(&mpath).unwrap();
+        match manifest.load(&mpath) {
+            Err(SnapshotError::MissingShard { index: 1, .. }) => {}
+            other => panic!("expected MissingShard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_targets_writes_zero_shards() {
+        let mut snap = tiny_snapshot();
+        snap.emb2.clear();
+        snap.names2.clear();
+        let dir = tmpdir("zero");
+        let mpath = dir.join("tiny.manifest");
+        let paths = write_sharded(&snap, &mpath, 4).unwrap();
+        assert!(paths.is_empty());
+        let manifest = ShardManifest::read_from(&mpath).unwrap();
+        let back = manifest.load(&mpath).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -80,6 +80,26 @@ pub enum SnapshotError {
     /// Structurally invalid contents (bad enum tag, bad UTF-8, inconsistent
     /// counts, trailing bytes).
     Malformed(String),
+    /// A shard file named by a manifest does not exist on disk.
+    MissingShard {
+        index: usize,
+        path: PathBuf,
+    },
+    /// A shard file is internally consistent but its payload does not hash
+    /// to the checksum the manifest recorded for it — the shard was
+    /// swapped or rewritten after the manifest was sealed.
+    ShardChecksumMismatch {
+        index: usize,
+        manifest: u64,
+        shard: u64,
+    },
+    /// A shard file carries a different generation than its manifest — it
+    /// belongs to another (older or newer) snapshot of the same layout.
+    GenerationMismatch {
+        index: usize,
+        manifest: u64,
+        shard: u64,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -98,6 +118,25 @@ impl fmt::Display for SnapshotError {
                 "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
             ),
             SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+            SnapshotError::MissingShard { index, path } => {
+                write!(f, "missing shard {index}: {}", path.display())
+            }
+            SnapshotError::ShardChecksumMismatch {
+                index,
+                manifest,
+                shard,
+            } => write!(
+                f,
+                "shard {index} checksum mismatch: manifest says {manifest:#018x}, shard payload hashes to {shard:#018x}"
+            ),
+            SnapshotError::GenerationMismatch {
+                index,
+                manifest,
+                shard,
+            } => write!(
+                f,
+                "shard {index} generation mismatch: manifest is {manifest:#018x}, shard is {shard:#018x}"
+            ),
         }
     }
 }
@@ -110,18 +149,112 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-/// FNV-1a 64 — the same algorithm `ApproachOutput::content_hash` uses, so
-/// the two integrity stories share one primitive.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Streaming FNV-1a 64 — the same algorithm `ApproachOutput::content_hash`
+/// uses, so the two integrity stories share one primitive.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
-fn metric_tag(m: Metric) -> u8 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Wraps `payload` in the shared container framing every artifact file of
+/// this crate uses: magic · version u32 · payload length u64 · payload ·
+/// FNV-1a 64 checksum of the payload.
+pub(crate) fn frame(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(&version.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    bytes
+}
+
+/// Validates the container framing (magic, version, length, checksum, no
+/// trailing bytes) and returns the payload slice.
+pub(crate) fn unframe<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 8],
+    version: u32,
+) -> Result<&'a [u8], SnapshotError> {
+    if bytes.len() < 8 {
+        return Err(SnapshotError::Truncated {
+            need: HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    if &bytes[..8] != magic {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            need: HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    let got = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if got != version {
+        return Err(SnapshotError::UnsupportedVersion(got));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let need = HEADER_LEN
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or_else(overflow)?;
+    if bytes.len() < need {
+        return Err(SnapshotError::Truncated {
+            need,
+            have: bytes.len(),
+        });
+    }
+    if bytes.len() > need {
+        return Err(SnapshotError::Malformed(format!(
+            "{} trailing bytes after checksum",
+            bytes.len() - need
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+    let expected = u64::from_le_bytes(bytes[need - 8..need].try_into().unwrap());
+    let actual = fnv1a64(payload);
+    if expected != actual {
+        return Err(SnapshotError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// Writes `bytes` atomically: `<path>.tmp`, fsync, rename over `path`. A
+/// crashed writer never leaves a half artifact under the final name.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+pub(crate) fn metric_tag(m: Metric) -> u8 {
     match m {
         Metric::Cosine => 0,
         Metric::Inner => 1,
@@ -130,7 +263,7 @@ fn metric_tag(m: Metric) -> u8 {
     }
 }
 
-fn metric_from_tag(tag: u8) -> Result<Metric, SnapshotError> {
+pub(crate) fn metric_from_tag(tag: u8) -> Result<Metric, SnapshotError> {
     Ok(match tag {
         0 => Metric::Cosine,
         1 => Metric::Inner,
@@ -217,93 +350,16 @@ impl Snapshot {
         for &v in &self.emb2 {
             p.extend_from_slice(&v.to_le_bytes());
         }
-        for names in [&self.names1, &self.names2] {
-            p.extend_from_slice(&(names.len() as u64).to_le_bytes());
-            for n in names.iter() {
-                write_str(&mut p, n);
-            }
-        }
-        write_str(&mut p, &self.trace.label);
-        match self.trace.stop {
-            StopReason::NotRecorded => p.push(0),
-            StopReason::MaxEpochs => p.push(1),
-            StopReason::EarlyStopped { epoch } => {
-                p.push(2);
-                p.extend_from_slice(&(epoch as u64).to_le_bytes());
-            }
-            StopReason::DeadlineExceeded { epoch } => {
-                p.push(3);
-                p.extend_from_slice(&(epoch as u64).to_le_bytes());
-            }
-        }
-        p.extend_from_slice(&self.trace.total_wall_s.to_le_bytes());
-        p.extend_from_slice(&(self.trace.epochs.len() as u64).to_le_bytes());
-        for e in &self.trace.epochs {
-            p.extend_from_slice(&(e.epoch as u64).to_le_bytes());
-            p.extend_from_slice(&e.mean_loss.to_le_bytes());
-            p.extend_from_slice(&(e.pairs as u64).to_le_bytes());
-            p.extend_from_slice(&e.wall_s.to_le_bytes());
-            match e.val_hits1 {
-                Some(v) => {
-                    p.push(1);
-                    p.extend_from_slice(&v.to_le_bytes());
-                }
-                None => p.push(0),
-            }
-        }
-
-        let mut bytes = Vec::with_capacity(HEADER_LEN + p.len() + 8);
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
-        bytes.extend_from_slice(&(p.len() as u64).to_le_bytes());
-        bytes.extend_from_slice(&p);
-        bytes.extend_from_slice(&fnv1a64(&p).to_le_bytes());
-        bytes
+        write_names(&mut p, &self.names1);
+        write_names(&mut p, &self.names2);
+        write_trace(&mut p, &self.trace);
+        frame(MAGIC, VERSION, &p)
     }
 
     /// Decodes a version-1 byte stream, verifying magic, version, length
     /// and checksum before touching the payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        if bytes.len() < 8 {
-            return Err(SnapshotError::Truncated {
-                need: HEADER_LEN,
-                have: bytes.len(),
-            });
-        }
-        if &bytes[..8] != MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        if bytes.len() < HEADER_LEN {
-            return Err(SnapshotError::Truncated {
-                need: HEADER_LEN,
-                have: bytes.len(),
-            });
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
-        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
-        let need = HEADER_LEN + payload_len + 8;
-        if bytes.len() < need {
-            return Err(SnapshotError::Truncated {
-                need,
-                have: bytes.len(),
-            });
-        }
-        if bytes.len() > need {
-            return Err(SnapshotError::Malformed(format!(
-                "{} trailing bytes after checksum",
-                bytes.len() - need
-            )));
-        }
-        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
-        let expected = u64::from_le_bytes(bytes[need - 8..need].try_into().unwrap());
-        let actual = fnv1a64(payload);
-        if expected != actual {
-            return Err(SnapshotError::ChecksumMismatch { expected, actual });
-        }
-
+        let payload = unframe(bytes, MAGIC, VERSION)?;
         let mut r = Reader::new(payload);
         let dim = r.u32()? as usize;
         if dim == 0 {
@@ -314,53 +370,9 @@ impl Snapshot {
         let n2 = r.u64()? as usize;
         let emb1 = r.f32s(n1.checked_mul(dim).ok_or_else(overflow)?)?;
         let emb2 = r.f32s(n2.checked_mul(dim).ok_or_else(overflow)?)?;
-        let mut names = [Vec::new(), Vec::new()];
-        for (slot, n) in names.iter_mut().zip([n1, n2]) {
-            let count = r.u64()? as usize;
-            if count != 0 && count != n {
-                return Err(SnapshotError::Malformed(format!(
-                    "name map has {count} entries for {n} entities"
-                )));
-            }
-            slot.reserve(count);
-            for _ in 0..count {
-                slot.push(r.string()?);
-            }
-        }
-        let [names1, names2] = names;
-        let label = r.string()?;
-        let stop = match r.u8()? {
-            0 => StopReason::NotRecorded,
-            1 => StopReason::MaxEpochs,
-            2 => StopReason::EarlyStopped {
-                epoch: r.u64()? as usize,
-            },
-            3 => StopReason::DeadlineExceeded {
-                epoch: r.u64()? as usize,
-            },
-            other => return Err(SnapshotError::Malformed(format!("stop tag {other}"))),
-        };
-        let total_wall_s = r.f64()?;
-        let n_epochs = r.u64()? as usize;
-        let mut epochs = Vec::with_capacity(n_epochs.min(payload_len / 29));
-        for _ in 0..n_epochs {
-            let epoch = r.u64()? as usize;
-            let mean_loss = r.f32()?;
-            let pairs = r.u64()? as usize;
-            let wall_s = r.f64()?;
-            let val_hits1 = match r.u8()? {
-                0 => None,
-                1 => Some(r.f64()?),
-                other => return Err(SnapshotError::Malformed(format!("val flag {other}"))),
-            };
-            epochs.push(EpochTrace {
-                epoch,
-                mean_loss,
-                pairs,
-                wall_s,
-                val_hits1,
-            });
-        }
+        let names1 = read_names(&mut r, n1)?;
+        let names2 = read_names(&mut r, n2)?;
+        let trace = read_trace(&mut r, payload.len())?;
         if !r.is_empty() {
             return Err(SnapshotError::Malformed(format!(
                 "{} unread payload bytes",
@@ -374,27 +386,36 @@ impl Snapshot {
             emb2,
             names1,
             names2,
-            trace: TrainTrace {
-                label,
-                epochs,
-                stop,
-                total_wall_s,
-            },
+            trace,
         })
+    }
+
+    /// The snapshot's *generation*: an FNV-1a 64 digest of everything that
+    /// determines query answers — dim, metric, entity counts and both
+    /// embedding matrices by bit pattern (names and trace are excluded;
+    /// they never change a score). Two snapshots answer identically iff
+    /// they share a generation, so the serving cache keys on it and the
+    /// shard manifest uses it to tie shard files to one snapshot.
+    pub fn generation(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.update(&(self.dim as u64).to_le_bytes());
+        h.update(&[metric_tag(self.metric)]);
+        h.update(&(self.num_queries() as u64).to_le_bytes());
+        h.update(&(self.num_targets() as u64).to_le_bytes());
+        for &v in &self.emb1 {
+            h.update(&v.to_le_bytes());
+        }
+        for &v in &self.emb2 {
+            h.update(&v.to_le_bytes());
+        }
+        h.finish()
     }
 
     /// Writes the snapshot atomically: encode to `<path>.tmp`, fsync,
     /// rename over `path`. A crashed writer never leaves a half snapshot
     /// under the final name.
     pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&self.encode())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, path)?;
-        Ok(())
+        write_atomic(path, &self.encode())
     }
 
     /// Reads and fully validates a snapshot file.
@@ -403,7 +424,7 @@ impl Snapshot {
     }
 }
 
-fn overflow() -> SnapshotError {
+pub(crate) fn overflow() -> SnapshotError {
     SnapshotError::Malformed("embedding size overflows usize".into())
 }
 
@@ -412,18 +433,118 @@ fn write_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Encodes a name map: `u64` count followed by the strings. Shared by the
+/// monolithic snapshot payload and the shard manifest.
+pub(crate) fn write_names(out: &mut Vec<u8>, names: &[String]) {
+    out.extend_from_slice(&(names.len() as u64).to_le_bytes());
+    for n in names {
+        write_str(out, n);
+    }
+}
+
+/// Decodes a name map for `n` entities (count must be 0 or `n`).
+pub(crate) fn read_names(r: &mut Reader, n: usize) -> Result<Vec<String>, SnapshotError> {
+    let count = r.u64()? as usize;
+    if count != 0 && count != n {
+        return Err(SnapshotError::Malformed(format!(
+            "name map has {count} entries for {n} entities"
+        )));
+    }
+    let mut names = Vec::with_capacity(count.min(r.remaining() / 4));
+    for _ in 0..count {
+        names.push(r.string()?);
+    }
+    Ok(names)
+}
+
+/// Encodes a training trace — same byte layout as snapshot version 1.
+pub(crate) fn write_trace(p: &mut Vec<u8>, trace: &TrainTrace) {
+    write_str(p, &trace.label);
+    match trace.stop {
+        StopReason::NotRecorded => p.push(0),
+        StopReason::MaxEpochs => p.push(1),
+        StopReason::EarlyStopped { epoch } => {
+            p.push(2);
+            p.extend_from_slice(&(epoch as u64).to_le_bytes());
+        }
+        StopReason::DeadlineExceeded { epoch } => {
+            p.push(3);
+            p.extend_from_slice(&(epoch as u64).to_le_bytes());
+        }
+    }
+    p.extend_from_slice(&trace.total_wall_s.to_le_bytes());
+    p.extend_from_slice(&(trace.epochs.len() as u64).to_le_bytes());
+    for e in &trace.epochs {
+        p.extend_from_slice(&(e.epoch as u64).to_le_bytes());
+        p.extend_from_slice(&e.mean_loss.to_le_bytes());
+        p.extend_from_slice(&(e.pairs as u64).to_le_bytes());
+        p.extend_from_slice(&e.wall_s.to_le_bytes());
+        match e.val_hits1 {
+            Some(v) => {
+                p.push(1);
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+            None => p.push(0),
+        }
+    }
+}
+
+/// Decodes a training trace; `payload_len` bounds the epoch preallocation
+/// against a lying count.
+pub(crate) fn read_trace(r: &mut Reader, payload_len: usize) -> Result<TrainTrace, SnapshotError> {
+    let label = r.string()?;
+    let stop = match r.u8()? {
+        0 => StopReason::NotRecorded,
+        1 => StopReason::MaxEpochs,
+        2 => StopReason::EarlyStopped {
+            epoch: r.u64()? as usize,
+        },
+        3 => StopReason::DeadlineExceeded {
+            epoch: r.u64()? as usize,
+        },
+        other => return Err(SnapshotError::Malformed(format!("stop tag {other}"))),
+    };
+    let total_wall_s = r.f64()?;
+    let n_epochs = r.u64()? as usize;
+    let mut epochs = Vec::with_capacity(n_epochs.min(payload_len / 29));
+    for _ in 0..n_epochs {
+        let epoch = r.u64()? as usize;
+        let mean_loss = r.f32()?;
+        let pairs = r.u64()? as usize;
+        let wall_s = r.f64()?;
+        let val_hits1 = match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            other => return Err(SnapshotError::Malformed(format!("val flag {other}"))),
+        };
+        epochs.push(EpochTrace {
+            epoch,
+            mean_loss,
+            pairs,
+            wall_s,
+            val_hits1,
+        });
+    }
+    Ok(TrainTrace {
+        label,
+        epochs,
+        stop,
+        total_wall_s,
+    })
+}
+
 /// Bounds-checked little-endian payload reader.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self.pos.checked_add(n).ok_or_else(overflow)?;
         if end > self.buf.len() {
             return Err(SnapshotError::Truncated {
@@ -436,27 +557,27 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f32(&mut self) -> Result<f32, SnapshotError> {
+    pub(crate) fn f32(&mut self) -> Result<f32, SnapshotError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> Result<f64, SnapshotError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, SnapshotError> {
+    pub(crate) fn f32s(&mut self, n: usize) -> Result<Vec<f32>, SnapshotError> {
         let raw = self.take(n.checked_mul(4).ok_or_else(overflow)?)?;
         Ok(raw
             .chunks_exact(4)
@@ -464,18 +585,18 @@ impl<'a> Reader<'a> {
             .collect())
     }
 
-    fn string(&mut self) -> Result<String, SnapshotError> {
+    pub(crate) fn string(&mut self) -> Result<String, SnapshotError> {
         let len = self.u32()? as usize;
         let raw = self.take(len)?;
         String::from_utf8(raw.to_vec())
             .map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.pos == self.buf.len()
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 }
@@ -588,7 +709,7 @@ impl CheckpointSink for SnapshotWriter {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     pub(crate) fn tiny_snapshot() -> Snapshot {

@@ -13,15 +13,16 @@
 //!   bit-identical to the dense `compute_naive` reference under the shared
 //!   tie rule (descending score, lowest target index wins).
 
-use openea_align::{Metric, SimilarityMatrix};
+use openea_align::{AnnConfig, Metric, SimilarityMatrix};
 use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
 use openea_runtime::testkit::prelude::*;
-use openea_serve::{AlignmentIndex, Answer, BatchIndex, CacheKey, LruCache, Snapshot};
+use openea_serve::{AlignmentIndex, Answer, BatchIndex, CacheKey, LruCache, Probe, Snapshot};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The value an entry for `key` must carry — derived from the key itself so
-/// any stale or cross-key answer is detectable.
+/// The value an entry for `key` must carry — derived from the *full* key
+/// (probe and generation included) so any stale or cross-key answer is
+/// detectable.
 fn answer_for(key: &CacheKey) -> Answer {
     let tag = match key.metric {
         Metric::Cosine => 0,
@@ -29,7 +30,10 @@ fn answer_for(key: &CacheKey) -> Answer {
         Metric::Euclidean => 2,
         Metric::Manhattan => 3,
     };
-    vec![(key.entity * 100 + key.k, (key.k * 10 + tag) as f32)]
+    vec![(
+        key.entity * 100 + key.k + key.probe * 1_000 + (key.generation as u32) * 10_000,
+        (key.k * 10 + tag) as f32,
+    )]
 }
 
 /// Reference LRU: a Vec ordered most-recent-first, linear scans everywhere.
@@ -61,6 +65,10 @@ impl ModelLru {
 }
 
 fn key_from(entity: u32, k: u32, metric_tag: u8) -> CacheKey {
+    key_full(entity, k, metric_tag, 0, 0)
+}
+
+fn key_full(entity: u32, k: u32, metric_tag: u8, probe: u32, generation: u64) -> CacheKey {
     CacheKey {
         entity,
         k,
@@ -70,6 +78,8 @@ fn key_from(entity: u32, k: u32, metric_tag: u8) -> CacheKey {
             2 => Metric::Euclidean,
             _ => Metric::Manhattan,
         },
+        probe,
+        generation,
     }
 }
 
@@ -117,6 +127,33 @@ props! {
         let mut lru = LruCache::new(64);
         let keys: Vec<CacheKey> = (0u8..4)
             .flat_map(|m| [key_from(entity, k, m), key_from(entity, k + 1, m)])
+            .collect();
+        for key in &keys {
+            lru.insert(*key, answer_for(key));
+        }
+        for key in &keys {
+            prop_assert_eq!(
+                lru.get(key).cloned(),
+                Some(answer_for(key)),
+                "{key:?} must hit with its own answer"
+            );
+        }
+    }
+
+    /// Regression for the cache-aliasing fix: keys that differ only in the
+    /// probe (exact vs any nprobe width, or two widths) or only in the
+    /// snapshot generation are distinct entries — an approximate answer can
+    /// never surface for an exact query, and no answer survives a reload.
+    #[test]
+    fn lru_never_crosses_probe_or_generation(
+        entity in 0u32..8,
+        k in 1u32..6,
+        metric_tag in 0u8..4,
+    ) {
+        let mut lru = LruCache::new(64);
+        let keys: Vec<CacheKey> = [(0u32, 1u64), (1, 1), (4, 1), (0, 2), (1, 2)]
+            .iter()
+            .map(|&(probe, generation)| key_full(entity, k, metric_tag, probe, generation))
             .collect();
         for key in &keys {
             lru.insert(*key, answer_for(key));
@@ -275,4 +312,161 @@ props! {
             prop_assert_eq!(ans.len(), k.min(n2));
         }
     }
+
+    /// Mixed-probe batches through the micro-batcher: every query's answer
+    /// equals its own single-query reference — `Exact` the dense sweep,
+    /// `Nprobe(n)` the [`IvfIndex::search`] of that width — regardless of
+    /// batch size, thread count, or which probes shared a batch. Pins the
+    /// leader's group-by-probe sweep (the batch-max-k truncation trick is
+    /// only sound within one probe group).
+    #[test]
+    fn mixed_probe_batches_answer_per_probe_references(
+        seed in 0u64..10_000,
+        n2 in 8usize..40,
+        raw_queries in vec_of((0u32..6, 1usize..12, 0u8..4), 1..16),
+        metric_tag in 0u8..4,
+    ) {
+        let dim = 4;
+        let n1 = 6;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let snap = Snapshot {
+            dim,
+            metric: match metric_tag {
+                0 => Metric::Cosine,
+                1 => Metric::Inner,
+                2 => Metric::Euclidean,
+                _ => Metric::Manhattan,
+            },
+            emb1: embeddings(n1, dim, &mut rng),
+            emb2: embeddings(n2, dim, &mut rng),
+            names1: Vec::new(),
+            names2: Vec::new(),
+            trace: Default::default(),
+        };
+        let cfg = AnnConfig { nlist: 4, ..Default::default() };
+        let queries: Vec<(u32, usize, Option<Probe>)> = raw_queries
+            .iter()
+            .map(|&(e, k, p)| {
+                let probe = match p {
+                    0 => None,
+                    1 => Some(Probe::Exact),
+                    2 => Some(Probe::Nprobe(1)),
+                    _ => Some(Probe::Nprobe(2)),
+                };
+                (e % n1 as u32, k.min(n2), probe)
+            })
+            .collect();
+
+        for &threads in &[1usize, 4] {
+            let index = Arc::new(BatchIndex::new(
+                AlignmentIndex::with_ann(snap.clone(), &cfg, threads),
+                threads,
+                8,
+                Duration::from_micros(100),
+                64,
+            ));
+            let ivf = index.index().ann().expect("built with ann");
+            let default_probe = index.default_probe();
+            let expected: Vec<Answer> = queries
+                .iter()
+                .map(|&(e, k, probe)| match probe.unwrap_or(default_probe) {
+                    Probe::Exact => dense_answers(&snap, &[(e, k)]).remove(0),
+                    Probe::Nprobe(n) => {
+                        let q = &snap.emb1[e as usize * dim..(e as usize + 1) * dim];
+                        ivf.search(q, k, n as usize)
+                    }
+                })
+                .collect();
+            for pass in 0..2 {
+                let answers: Vec<Answer> = std::thread::scope(|s| {
+                    let handles: Vec<_> = queries
+                        .iter()
+                        .map(|&(e, k, probe)| {
+                            let ix = Arc::clone(&index);
+                            s.spawn(move || ix.query_probed(e, k, probe).expect("valid"))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+                });
+                for (i, (got, want)) in answers.iter().zip(&expected).enumerate() {
+                    prop_assert!(
+                        bit_equal(got, want),
+                        "pass {pass} threads {threads} query {i} {:?}: got {got:?}, want {want:?}",
+                        queries[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Regression for the cache-aliasing fix (the LRU used to key on
+/// `(entity, k, metric)` only): an exact answer and an `nprobe`-limited
+/// answer for the same `(entity, k)` are distinct cache entries. With two
+/// well-separated target clusters, `nlist = 2` and `k = n2`, the probed
+/// answer is a strict subset of the exact one — under the old key the
+/// second query would have returned whichever answer was cached first.
+#[test]
+fn exact_and_probed_answers_never_alias_in_the_cache() {
+    let dim = 2;
+    let n2 = 8;
+    // Two tight clusters around (±1, 0); queries sit near (+1, 0).
+    let mut emb2 = Vec::new();
+    for i in 0..n2 {
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        emb2.extend_from_slice(&[sign * (1.0 + 0.01 * i as f32), 0.02 * i as f32]);
+    }
+    let snap = Snapshot {
+        dim,
+        metric: Metric::Euclidean,
+        emb1: vec![1.0, 0.0, 0.9, 0.1],
+        emb2,
+        names1: Vec::new(),
+        names2: Vec::new(),
+        trace: Default::default(),
+    };
+    let cfg = AnnConfig {
+        nlist: 2,
+        ..Default::default()
+    };
+    let index = BatchIndex::new(
+        AlignmentIndex::with_ann(snap.clone(), &cfg, 1),
+        1,
+        4,
+        Duration::from_micros(50),
+        64,
+    );
+    let exact_want = dense_answers(&snap, &[(0, n2)]).remove(0);
+    let probed_want = index
+        .index()
+        .ann()
+        .expect("built with ann")
+        .search(&snap.emb1[..dim], n2, 1);
+    // The partition must actually separate the clusters for this test to
+    // have teeth: the probed answer sees only one cluster.
+    assert_eq!(
+        probed_want.len(),
+        n2 / 2,
+        "k-means failed to split the clusters"
+    );
+
+    // Interleave both probes twice; the second pass hits the cache.
+    for pass in 0..2 {
+        let exact = index.query_probed(0, n2, Some(Probe::Exact)).unwrap();
+        let probed = index.query_probed(0, n2, Some(Probe::Nprobe(1))).unwrap();
+        assert!(
+            bit_equal(&exact, &exact_want),
+            "pass {pass}: exact answer drifted"
+        );
+        assert!(
+            bit_equal(&probed, &probed_want),
+            "pass {pass}: probed answer drifted"
+        );
+    }
+    let stats = index.stats();
+    assert_eq!(stats.cache_misses, 2, "each probe computed exactly once");
+    assert_eq!(
+        stats.cache_hits, 2,
+        "each probe hit its own entry on pass 2"
+    );
 }

@@ -218,6 +218,16 @@ fn train_snapshot_serve_roundtrip_is_bit_identical_to_dense() {
     assert_eq!(status, 400, "missing entity parameter is a 400");
     let (status, _) = http_get(&mut conn, "/align?entity=0&k=0");
     assert_eq!(status, 400, "k == 0 is a 400");
+    let (status, _) = http_get(&mut conn, "/align?entity=0&k=3&nprobe=abc");
+    assert_eq!(
+        status, 400,
+        "malformed nprobe is a 400, not the default probe"
+    );
+    let (status, _) = http_get(&mut conn, "/align?entity=0&k=3&nprobe=99999999999999999999");
+    assert_eq!(
+        status, 400,
+        "overflowing nprobe is a 400, not the default probe"
+    );
     let (status, _) = http_get(&mut conn, "/nope");
     assert_eq!(status, 404);
 

@@ -19,12 +19,14 @@
 
 pub mod presets;
 pub mod project;
+pub mod scale;
 pub mod translate;
 pub mod vocab;
 pub mod world;
 
 pub use presets::{DatasetFamily, PresetConfig};
 pub use project::{generate_pair, ProjectionConfig};
+pub use scale::{generate_embedded_pair, EmbeddedPair, ScaleConfig};
 pub use translate::{translate_kg, translate_pair, Translator};
 pub use vocab::{Language, LatentValue, Vocabulary};
 pub use world::{World, WorldConfig};

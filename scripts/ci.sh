@@ -31,3 +31,9 @@ cargo run --release --offline -p openea-bench -- approaches --smoke --no-out
 # to the dense similarity path before a short HTTP load replay with a p99
 # latency sanity bound. Budget: ~2 seconds.
 cargo run --release --offline -p openea-bench -- serve --smoke --no-out
+
+# Two-stage index smoke gate: proves IVF candidate generation + exact
+# re-rank bit-identical to the dense sweep at nprobe=nlist (all four
+# metrics), then checks a tiny recall curve recovers the exact top-10.
+# Budget: well under 5 s.
+cargo run --release --offline -p openea-bench -- ann --smoke --no-out

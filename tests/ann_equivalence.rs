@@ -1,0 +1,181 @@
+//! Two-stage index equivalence suite: with **every** partition probed, the
+//! IVF candidate-generation + exact re-rank path must be *bit-identical* to
+//! the dense streaming sweep ([`TopKMatrix`]) for all four metrics, across
+//! random shapes (including zero targets and zero queries), k ∈ {1, 10, 50},
+//! and build thread counts {1, 2, 8}. This is the contract that makes
+//! `nprobe` the *only* approximation knob in the serving path: the scoring
+//! kernels, tie rule and returned bits never change, only how many
+//! partitions are consulted.
+//!
+//! A seeded recall gate on the scale generator closes the loop: at the
+//! default probe width, the curve the bench publishes must hold up —
+//! recall@10 ≥ 0.95 against exact ground truth.
+
+use openea::align::{AnnConfig, IvfIndex, Metric, TopKMatrix};
+use openea::synth::{generate_embedded_pair, ScaleConfig};
+use openea_runtime::testkit::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const KS: [usize; 3] = [1, 10, 50];
+
+/// Asserts `ivf.search(.., nprobe = nlist)` equals the dense top-k row bit
+/// for bit (same targets, same score bits, same order).
+fn assert_full_probe_matches_dense(
+    ivf: &IvfIndex,
+    src: &[f32],
+    targets: &[f32],
+    dim: usize,
+    metric: Metric,
+    k: usize,
+    ctx: &str,
+) -> PropResult {
+    let dense = TopKMatrix::compute(src, targets, dim, metric, k, 1);
+    let queries = src.len() / dim;
+    for row in 0..queries {
+        let got = ivf.search(&src[row * dim..(row + 1) * dim], k, ivf.nlist().max(1));
+        let want = dense.row(row);
+        prop_assert_eq!(got.len(), want.len(), "{} row {}", ctx, row);
+        for (rank, (&(gi, gs), &(wi, ws))) in got.iter().zip(want).enumerate() {
+            prop_assert_eq!(gi, wi, "{} row {} rank {}", ctx, row, rank);
+            prop_assert_eq!(
+                gs.to_bits(),
+                ws.to_bits(),
+                "{} row {} rank {}",
+                ctx,
+                row,
+                rank
+            );
+        }
+    }
+    Ok(())
+}
+
+props! {
+    #![cases = 48]
+
+    /// Probing all partitions reproduces the dense sweep exactly on random
+    /// shapes — including 0 targets and 0 queries — for every metric × k ×
+    /// build-thread combination.
+    #[test]
+    fn all_partitions_probed_is_bit_identical_to_dense(
+        queries in 0usize..7,
+        cols in 0usize..33,
+        dim_m1 in 0usize..9,
+        nlist in 0usize..7,
+        values in vec_of(-2.0f32..2.0, 450)
+    ) {
+        let dim = dim_m1 + 1;
+        prop_assume!((queries + cols) * dim <= values.len());
+        let src = &values[..queries * dim];
+        let targets = &values[queries * dim..(queries + cols) * dim];
+        let cfg = AnnConfig { nlist, ..Default::default() };
+        for metric in Metric::ALL {
+            for threads in THREADS {
+                let ivf = IvfIndex::build(targets, dim, metric, &cfg, threads);
+                prop_assert_eq!(ivf.len(), cols);
+                for k in KS {
+                    let ctx = format!(
+                        "{} threads={threads} nlist={} k={k} ({queries}x{cols} dim {dim})",
+                        metric.label(),
+                        ivf.nlist()
+                    );
+                    assert_full_probe_matches_dense(
+                        &ivf, src, targets, dim, metric, k, &ctx,
+                    )?;
+                }
+            }
+        }
+    }
+
+    /// Tie stress: embeddings drawn from a 3-value alphabet produce massive
+    /// score duplication; the shared rule (descending score, lowest target
+    /// index wins) must still hold bit for bit through the gathered layout.
+    #[test]
+    fn tie_heavy_corpora_keep_the_shared_tie_rule(
+        queries in 1usize..5,
+        cols in 1usize..25,
+        dim_m1 in 0usize..4,
+        levels in vec_of(0u32..3, 160)
+    ) {
+        let dim = dim_m1 + 1;
+        prop_assume!((queries + cols) * dim <= levels.len());
+        let values: Vec<f32> = levels.iter().map(|&v| v as f32 - 1.0).collect();
+        let src = &values[..queries * dim];
+        let targets = &values[queries * dim..(queries + cols) * dim];
+        for metric in Metric::ALL {
+            let ivf = IvfIndex::build(targets, dim, metric, &AnnConfig::default(), 2);
+            for k in KS {
+                let ctx = format!("ties {} k={k} ({queries}x{cols} dim {dim})", metric.label());
+                assert_full_probe_matches_dense(&ivf, src, targets, dim, metric, k, &ctx)?;
+            }
+        }
+    }
+}
+
+/// The partition is a pure function of `(targets, dim, metric, cfg)`: build
+/// thread count must never change layout or answers.
+#[test]
+fn build_is_invariant_across_thread_counts() {
+    let cfg = ScaleConfig {
+        entities: 600,
+        dim: 8,
+        communities: 16,
+        seed: 11,
+        ..Default::default()
+    };
+    let pair = generate_embedded_pair(&cfg, 2);
+    for metric in Metric::ALL {
+        let reference = IvfIndex::build(&pair.emb2, pair.dim, metric, &AnnConfig::default(), 1);
+        for threads in [2, 8] {
+            let other =
+                IvfIndex::build(&pair.emb2, pair.dim, metric, &AnnConfig::default(), threads);
+            assert_eq!(reference.nlist(), other.nlist(), "{}", metric.label());
+            let q = &pair.emb1[..pair.dim];
+            assert_eq!(
+                reference.search(q, 10, 3),
+                other.search(q, 10, 3),
+                "{} threads={threads}",
+                metric.label()
+            );
+        }
+    }
+}
+
+/// Recall regression gate: on a seeded synth pair, the default probe width
+/// must recover at least 95% of the exact top-10 — the same bar the
+/// published bench curve ships under.
+#[test]
+fn default_nprobe_recall_at_10_stays_above_095() {
+    let cfg = ScaleConfig {
+        entities: 4_000,
+        dim: 16,
+        communities: 64,
+        seed: 7,
+        ..Default::default()
+    };
+    let pair = generate_embedded_pair(&cfg, 2);
+    let dim = pair.dim;
+    let metric = Metric::Cosine;
+    let ivf = IvfIndex::build(&pair.emb2, dim, metric, &AnnConfig::default(), 2);
+    let queries = 128usize;
+    let src = &pair.emb1[..queries * dim];
+    let exact = TopKMatrix::compute(src, &pair.emb2, dim, metric, 10, 2);
+    let nprobe = ivf.default_nprobe();
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for row in 0..queries {
+        let approx = ivf.search(&src[row * dim..(row + 1) * dim], 10, nprobe);
+        for &(want, _) in exact.row(row) {
+            total += 1;
+            hit += usize::from(approx.iter().any(|&(got, _)| got == want));
+        }
+    }
+    let recall = hit as f64 / total as f64;
+    assert!(
+        recall >= 0.95,
+        "recall@10 at default nprobe={nprobe} fell to {recall:.4} \
+         (nlist={}, {} targets)",
+        ivf.nlist(),
+        ivf.len()
+    );
+}
