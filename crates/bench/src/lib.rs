@@ -17,6 +17,7 @@ pub mod figures;
 pub mod kernels;
 pub mod runner;
 pub mod serve;
+pub mod swap;
 pub mod tables;
 pub mod training;
 

@@ -20,6 +20,7 @@ use crate::HarnessConfig;
 use openea::prelude::*;
 use openea_runtime::json::{object, Json, ToJson};
 use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+use openea_runtime::testkit::replay::Zipf;
 use openea_runtime::timer::{MicrosHistogram, Monotonic};
 use openea_serve::{serve, AlignmentIndex, BatchIndex, ServerOptions, Snapshot, SnapshotWriter};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -34,8 +35,9 @@ const ZIPF_S: f64 = 1.1;
 
 /// Trains MTransE on a power-law synth pair with the snapshot writer
 /// installed on the driver engine, then loads the emitted artifact back —
-/// the exact pipeline `openea-serve` consumes.
-fn build_snapshot(cfg: &HarnessConfig, smoke: bool) -> Snapshot {
+/// the exact pipeline `openea-serve` consumes. Shared with the `swap`
+/// bench, whose flip variants perturb this base artifact.
+pub(crate) fn build_snapshot(cfg: &HarnessConfig, smoke: bool) -> Snapshot {
     let (entities, epochs) = if smoke { (150, 6) } else { (600, 30) };
     let pair = PresetConfig::new(DatasetFamily::DY, entities, false, cfg.seed).generate();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -178,32 +180,6 @@ fn check_equivalence(snap: &Snapshot, smoke: bool) -> Result<usize, String> {
         }
     }
     Ok(checked)
-}
-
-/// Inverse-CDF Zipf sampler over `n` ranks (rank r gets weight 1/(r+1)^s).
-struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Self {
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0f64;
-        for r in 0..n {
-            acc += 1.0 / ((r + 1) as f64).powf(s);
-            cdf.push(acc);
-        }
-        let total = acc;
-        for v in &mut cdf {
-            *v /= total;
-        }
-        Self { cdf }
-    }
-
-    fn sample(&self, rng: &mut SmallRng) -> usize {
-        let u = rng.gen_range(0.0f64..1.0);
-        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
-    }
 }
 
 /// One keep-alive GET; returns true when the response status was 200. The
@@ -442,24 +418,6 @@ pub fn serve_bench(cfg: &HarnessConfig, smoke: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn zipf_is_skewed_and_in_range() {
-        let zipf = Zipf::new(100, ZIPF_S);
-        let mut rng = SmallRng::seed_from_u64(9);
-        let mut counts = [0usize; 100];
-        for _ in 0..5_000 {
-            counts[zipf.sample(&mut rng)] += 1;
-        }
-        // Rank 0 dominates any deep rank under a power law.
-        assert!(
-            counts[0] > counts[50] * 5,
-            "head {} tail {}",
-            counts[0],
-            counts[50]
-        );
-        assert_eq!(counts.iter().sum::<usize>(), 5_000);
-    }
 
     #[test]
     fn load_entry_serializes() {

@@ -22,6 +22,10 @@
 //! - [`timer`] — a monotonic microsecond clock and a fixed-footprint
 //!   power-of-two latency histogram for the serving layer's percentile
 //!   telemetry.
+//! - [`swap`] — [`swap::SwapCell`], an atomically swappable `Arc<T>`
+//!   (wait-free reads, pointer-flip publication with an RCU-style grace
+//!   period) — the std-only `arc-swap` replacement behind zero-downtime
+//!   snapshot hot-swap in the serving layer.
 //!
 //! ```
 //! use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
@@ -34,5 +38,6 @@
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod swap;
 pub mod testkit;
 pub mod timer;

@@ -1,0 +1,206 @@
+//! Fault injection for on-disk artifacts: the reusable half of the
+//! snapshot hot-swap torture suite.
+//!
+//! A durable artifact (snapshot, manifest, shard) is a checksummed byte
+//! file; every realistic way such a file goes bad reduces to a small set
+//! of byte-level faults this module can synthesize from a pristine copy:
+//!
+//! * **Truncation** — a torn write or partial copy cut the file short.
+//! * **Bit flips** — silent media corruption anywhere in the framing or
+//!   payload.
+//! * **Removal** — a shard or artifact file is simply gone.
+//! * **Slow non-atomic writes** — a producer that ignores the
+//!   tmp-then-rename protocol and dribbles bytes straight into the final
+//!   path, exposing readers to every prefix of the file.
+//!
+//! Loaders under test must turn *every* injected fault into a typed error
+//! (never a panic, never a silently wrong artifact), and a serving layer
+//! must keep answering from its current generation when a reload hits one.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One byte-level corruption of an artifact file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Keep only the first `len` bytes.
+    Truncate(usize),
+    /// XOR one bit: `offset` indexes the byte, `bit` (0..8) the bit.
+    FlipBit { offset: usize, bit: u8 },
+    /// Delete the file entirely.
+    Remove,
+}
+
+impl Fault {
+    /// Applies the fault to a pristine byte image. `None` means the file
+    /// does not exist afterwards ([`Fault::Remove`]).
+    pub fn apply(&self, pristine: &[u8]) -> Option<Vec<u8>> {
+        match *self {
+            Fault::Truncate(len) => Some(pristine[..len.min(pristine.len())].to_vec()),
+            Fault::FlipBit { offset, bit } => {
+                let mut bytes = pristine.to_vec();
+                if let Some(b) = bytes.get_mut(offset) {
+                    *b ^= 1 << (bit % 8);
+                }
+                Some(bytes)
+            }
+            Fault::Remove => None,
+        }
+    }
+
+    /// Materializes the faulted image at `path` (writing the corrupted
+    /// bytes, or removing the file for [`Fault::Remove`]).
+    pub fn inject(&self, path: &Path, pristine: &[u8]) -> std::io::Result<()> {
+        match self.apply(pristine) {
+            Some(bytes) => std::fs::write(path, bytes),
+            None => match std::fs::remove_file(path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// Every truncation length in `0..len`, stepping by `stride` (the final
+/// almost-complete cut `len - 1` is always included so the checksum
+/// trailer itself gets truncated). `stride` 1 enumerates every offset.
+pub fn truncations(len: usize, stride: usize) -> Vec<Fault> {
+    let stride = stride.max(1);
+    let mut out: Vec<Fault> = (0..len).step_by(stride).map(Fault::Truncate).collect();
+    if len > 0 && out.last() != Some(&Fault::Truncate(len - 1)) {
+        out.push(Fault::Truncate(len - 1));
+    }
+    out
+}
+
+/// One single-bit flip per sampled byte offset (stepping by `stride`),
+/// rotating through the eight bit positions so corruption is not biased
+/// toward one bit lane.
+pub fn bit_flips(len: usize, stride: usize) -> Vec<Fault> {
+    let stride = stride.max(1);
+    (0..len)
+        .step_by(stride)
+        .map(|offset| Fault::FlipBit {
+            offset,
+            bit: (offset % 8) as u8,
+        })
+        .collect()
+}
+
+/// A background writer that violates the atomic tmp-then-rename protocol
+/// on purpose: it dribbles `bytes` into `path` in `chunk`-byte pieces,
+/// flushing and sleeping `delay` between pieces, so concurrent readers
+/// observe every prefix of the file. Join it (or drop the handle) to wait
+/// for the final, complete image.
+pub struct SlowWriter {
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl SlowWriter {
+    /// Starts writing `bytes` to `path` slowly and non-atomically.
+    pub fn start(path: &Path, bytes: Vec<u8>, chunk: usize, delay: std::time::Duration) -> Self {
+        let path: PathBuf = path.to_path_buf();
+        let chunk = chunk.max(1);
+        let handle = std::thread::Builder::new()
+            .name("testkit-slow-writer".into())
+            .spawn(move || {
+                let mut f = std::fs::File::create(&path)?;
+                for piece in bytes.chunks(chunk) {
+                    f.write_all(piece)?;
+                    f.flush()?;
+                    f.sync_data()?;
+                    std::thread::sleep(delay);
+                }
+                Ok(())
+            })
+            .expect("spawn slow writer");
+        Self {
+            handle: Some(handle),
+        }
+    }
+
+    /// Waits for the write to finish and returns its I/O result.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("slow writer must not panic")
+    }
+}
+
+impl Drop for SlowWriter {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let bytes = [1u8, 2, 3, 4, 5];
+        assert_eq!(Fault::Truncate(2).apply(&bytes).unwrap(), vec![1, 2]);
+        assert_eq!(Fault::Truncate(0).apply(&bytes).unwrap(), Vec::<u8>::new());
+        assert_eq!(Fault::Truncate(99).apply(&bytes).unwrap(), bytes.to_vec());
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let bytes = [0u8; 4];
+        let out = Fault::FlipBit { offset: 2, bit: 3 }.apply(&bytes).unwrap();
+        assert_eq!(out, vec![0, 0, 8, 0]);
+        // Out-of-range offset leaves the image untouched (still a valid
+        // fault to enumerate; injecting it is a no-op corruption).
+        let same = Fault::FlipBit { offset: 9, bit: 0 }.apply(&bytes).unwrap();
+        assert_eq!(same, bytes.to_vec());
+    }
+
+    #[test]
+    fn remove_yields_none_and_tolerates_missing_file() {
+        assert_eq!(Fault::Remove.apply(&[1, 2, 3]), None);
+        let dir = std::env::temp_dir().join(format!("openea-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("never-created");
+        Fault::Remove.inject(&path, &[1, 2, 3]).unwrap();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn enumerators_cover_the_edges() {
+        let t = truncations(10, 3);
+        assert!(t.contains(&Fault::Truncate(0)));
+        assert!(t.contains(&Fault::Truncate(9)), "almost-complete cut");
+        let f = bit_flips(16, 5);
+        assert_eq!(
+            f,
+            vec![
+                Fault::FlipBit { offset: 0, bit: 0 },
+                Fault::FlipBit { offset: 5, bit: 5 },
+                Fault::FlipBit { offset: 10, bit: 2 },
+                Fault::FlipBit { offset: 15, bit: 7 },
+            ]
+        );
+    }
+
+    #[test]
+    fn slow_writer_lands_the_full_image() {
+        let dir = std::env::temp_dir().join(format!("openea-slow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow.bin");
+        let bytes: Vec<u8> = (0..=255).collect();
+        let w = SlowWriter::start(
+            &path,
+            bytes.clone(),
+            64,
+            std::time::Duration::from_millis(1),
+        );
+        w.finish().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+    }
+}

@@ -27,6 +27,8 @@
 //! prints the seed that found it).
 
 pub mod bench;
+pub mod faults;
+pub mod replay;
 
 use crate::rng::{Rng, SeedableRng, SmallRng};
 

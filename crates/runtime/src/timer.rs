@@ -38,6 +38,12 @@ impl Monotonic {
         self.origin.elapsed().as_micros() as u64
     }
 
+    /// Nanoseconds elapsed since the anchor — for intervals too short for
+    /// the microsecond reading (e.g. a hot-swap pointer flip).
+    pub fn nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
     /// Seconds elapsed since the anchor.
     pub fn seconds(&self) -> f64 {
         self.origin.elapsed().as_secs_f64()

@@ -101,6 +101,16 @@ impl Probe {
         }
     }
 
+    /// Inverse of [`Probe::code`]: reconstructs the probe an answer (or a
+    /// cache key) was computed under. Used by hot-swap warming to replay a
+    /// retiring index's hottest keys with their exact probes.
+    pub fn from_code(code: u32) -> Self {
+        match code {
+            0 => Probe::Exact,
+            n => Probe::Nprobe(n),
+        }
+    }
+
     pub fn label(self) -> String {
         match self {
             Probe::Exact => "exact".into(),
@@ -370,6 +380,18 @@ impl LruCache {
         self.map.insert(key, i);
         self.push_front(i);
     }
+
+    /// Up to `limit` keys in recency order, hottest first. Does not touch
+    /// recency — this is a read for cache warming, not a use.
+    pub fn recent_keys(&self, limit: usize) -> Vec<CacheKey> {
+        let mut out = Vec::with_capacity(limit.min(self.map.len()));
+        let mut i = self.head;
+        while i != NIL && out.len() < limit {
+            out.push(self.slots[i].key);
+            i = self.slots[i].next;
+        }
+        out
+    }
 }
 
 /// Counters exported through `/stats`.
@@ -493,6 +515,12 @@ impl BatchIndex {
             batches: self.batches.load(Ordering::Relaxed),
             batched_queries: self.batched_queries.load(Ordering::Relaxed),
         }
+    }
+
+    /// The answer cache's hottest `limit` keys, most recently used first —
+    /// what a hot-swap replays against a replacement index before flipping.
+    pub fn recent_cache_keys(&self, limit: usize) -> Vec<CacheKey> {
+        self.cache.lock().unwrap().recent_keys(limit)
     }
 
     fn validate(&self, entity: u32, k: usize) -> Result<usize, QueryError> {

@@ -18,8 +18,15 @@
 //!    Served answers are bit-identical to the offline dense evaluation
 //!    under the shared tie rule (descending score, lowest index wins).
 //! 3. [`server`] — a std-only threaded HTTP/1.1 server exposing
-//!    `/align?entity=&k=`, `/health` and `/stats`, with a bounded
-//!    connection queue and explicit 503 backpressure.
+//!    `/align?entity=&k=`, `/health`, `/stats` and `/admin/reload`, with
+//!    a bounded connection queue and explicit 503 backpressure.
+//! 4. [`swap`] — zero-downtime snapshot hot-swap: the live index sits
+//!    behind a wait-free [`SwapCell`](openea_runtime::swap::SwapCell);
+//!    `/admin/reload` (or a directory watcher) loads and validates a new
+//!    artifact off the serving path, warms its cache from the retiring
+//!    index's hottest keys, and flips with one atomic pointer swap.
+//!    Retiring generations drain; generation-keyed answer caches make
+//!    cross-generation aliasing impossible.
 //!
 //! The `openea-serve` binary glues the three together:
 //!
@@ -32,10 +39,15 @@ pub mod index;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
+pub mod swap;
 
 pub use index::{
     AlignmentIndex, Answer, BatchIndex, CacheKey, IndexStats, LruCache, Probe, QueryError,
 };
-pub use server::{serve, ServerHandle, ServerOptions};
+pub use server::{serve, serve_hot, ServerHandle, ServerOptions};
 pub use shard::{shard_path, write_sharded, ShardManifest, ShardMeta};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotWriter};
+pub use swap::{
+    load_artifact, HotSwapIndex, IndexOptions, LoadCoverage, LoadedArtifact, ReloadOutcome,
+    SwapStats, WatcherHandle,
+};

@@ -1,13 +1,10 @@
-//! `openea-serve` — load a snapshot and serve alignment queries over HTTP.
+//! `openea-serve` — load a snapshot and serve alignment queries over HTTP,
+//! with zero-downtime hot-swap of the artifact.
 
-use openea_align::AnnConfig;
-use openea_serve::{
-    serve, AlignmentIndex, BatchIndex, Probe, ServerOptions, ShardManifest, Snapshot,
-};
+use openea_serve::{serve_hot, HotSwapIndex, IndexOptions, ServerOptions};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::exit;
-use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: openea-serve <snapshot.snap | snapshot.manifest> [options]
@@ -27,38 +24,37 @@ options:
   --nprobe N         default probe width (default 0 = nlist/8; needs --nlist)
   --mem-budget-mb N  load only the shard prefix fitting N MiB of target
                      embeddings (default unlimited; manifests only)
+  --warm-keys N      hottest cache keys replayed into a reloaded index
+                     before the flip (default 256, 0 disables)
+  --watch            poll the artifact and hot-swap when it changes
+  --watch-ms T       watch poll interval in milliseconds (default 2000)
 
-routes: /align?entity=<id>&k=<k>[&nprobe=<n>]   /health   /stats";
+routes: /align?entity=<id>&k=<k>[&nprobe=<n>]   /health   /stats
+        /admin/reload[?path=<artifact>]";
 
 struct Args {
     snapshot: PathBuf,
     addr: SocketAddr,
     workers: usize,
-    threads: usize,
-    batch: usize,
-    wait_us: u64,
-    cache: usize,
     queue: usize,
-    nlist: usize,
-    nprobe: usize,
-    mem_budget_mb: usize,
+    watch: bool,
+    watch_ms: u64,
+    index: IndexOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut snapshot = None;
+    let mut warm_keys = 256usize;
+    let mut mem_budget_mb = 0usize;
     let mut out = Args {
         snapshot: PathBuf::new(),
         addr: "127.0.0.1:7077".parse().unwrap(),
         workers: 4,
-        threads: 2,
-        batch: 32,
-        wait_us: 200,
-        cache: 4096,
         queue: 64,
-        nlist: 0,
-        nprobe: 0,
-        mem_budget_mb: 0,
+        watch: false,
+        watch_ms: 2000,
+        index: IndexOptions::default(),
     };
     while let Some(a) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} expects a value"));
@@ -73,21 +69,33 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--addr: {e}"))?
             }
             "--workers" => out.workers = parse_num(&value("--workers")?, "--workers")?,
-            "--threads" => out.threads = parse_num(&value("--threads")?, "--threads")?,
-            "--batch" => out.batch = parse_num(&value("--batch")?, "--batch")?,
-            "--wait-us" => out.wait_us = parse_num(&value("--wait-us")?, "--wait-us")? as u64,
-            "--cache" => out.cache = parse_num(&value("--cache")?, "--cache")?,
-            "--queue" => out.queue = parse_num(&value("--queue")?, "--queue")?,
-            "--nlist" => out.nlist = parse_num(&value("--nlist")?, "--nlist")?,
-            "--nprobe" => out.nprobe = parse_num(&value("--nprobe")?, "--nprobe")?,
-            "--mem-budget-mb" => {
-                out.mem_budget_mb = parse_num(&value("--mem-budget-mb")?, "--mem-budget-mb")?
+            "--threads" => out.index.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--batch" => out.index.max_batch = parse_num(&value("--batch")?, "--batch")?,
+            "--wait-us" => {
+                out.index.max_wait =
+                    Duration::from_micros(parse_num(&value("--wait-us")?, "--wait-us")? as u64)
             }
+            "--cache" => out.index.cache_cap = parse_num(&value("--cache")?, "--cache")?,
+            "--queue" => out.queue = parse_num(&value("--queue")?, "--queue")?,
+            "--nlist" => out.index.nlist = parse_num(&value("--nlist")?, "--nlist")?,
+            "--nprobe" => out.index.nprobe = parse_num(&value("--nprobe")?, "--nprobe")?,
+            "--mem-budget-mb" => {
+                mem_budget_mb = parse_num(&value("--mem-budget-mb")?, "--mem-budget-mb")?
+            }
+            "--warm-keys" => warm_keys = parse_num(&value("--warm-keys")?, "--warm-keys")?,
+            "--watch" => out.watch = true,
+            "--watch-ms" => out.watch_ms = parse_num(&value("--watch-ms")?, "--watch-ms")? as u64,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             path if snapshot.is_none() => snapshot = Some(PathBuf::from(path)),
             extra => return Err(format!("unexpected argument {extra}")),
         }
     }
+    out.index.warm_keys = warm_keys;
+    out.index.mem_budget_bytes = if mem_budget_mb == 0 {
+        u64::MAX
+    } else {
+        mem_budget_mb as u64 * (1 << 20)
+    };
     out.snapshot = snapshot.ok_or("missing snapshot path")?;
     Ok(out)
 }
@@ -104,98 +112,80 @@ fn main() {
             exit(2);
         }
     };
-    let is_manifest = args.snapshot.extension().is_some_and(|e| e == "manifest");
-    let snap = if is_manifest {
-        let budget = if args.mem_budget_mb == 0 {
-            u64::MAX
-        } else {
-            args.mem_budget_mb as u64 * (1 << 20)
-        };
-        match ShardManifest::read_from(&args.snapshot)
-            .and_then(|m| m.load_budgeted(&args.snapshot, budget))
-        {
-            Ok((s, loaded)) => {
-                println!(
-                    "assembled {loaded} shard(s): {} of {} target entities",
-                    s.num_targets(),
-                    ShardManifest::read_from(&args.snapshot)
-                        .map(|m| m.n2)
-                        .unwrap_or(0),
-                );
-                s
-            }
-            Err(e) => {
-                eprintln!("error: cannot load {}: {e}", args.snapshot.display());
-                exit(1);
-            }
-        }
-    } else {
-        match Snapshot::read_from(&args.snapshot) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot load {}: {e}", args.snapshot.display());
-                exit(1);
-            }
+    let (hot, coverage) = match HotSwapIndex::open(&args.snapshot, args.index) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: cannot load {}: {e}", args.snapshot.display());
+            exit(1);
         }
     };
-    println!(
-        "loaded {}: '{}' — {} query entities × {} targets, dim {}, metric {}, {} trained epochs",
-        args.snapshot.display(),
-        snap.trace.label,
-        snap.num_queries(),
-        snap.num_targets(),
-        snap.dim,
-        snap.metric.label(),
-        snap.trace.epochs.len(),
-    );
-    let raw = if args.nlist > 0 {
-        let cfg = AnnConfig {
-            nlist: args.nlist,
-            ..Default::default()
-        };
-        let ix = AlignmentIndex::with_ann(snap, &cfg, args.threads);
-        let ivf = ix.ann().expect("just built");
+    {
+        let index = hot.current();
+        let snap = index.index().snapshot();
         println!(
-            "two-stage index: {} partitions over {} targets, default {}",
-            ivf.nlist(),
-            ivf.len(),
-            ix.default_probe().label(),
+            "loaded {}: '{}' — {} query entities × {} targets, dim {}, metric {}, {} trained epochs",
+            args.snapshot.display(),
+            snap.trace.label,
+            snap.num_queries(),
+            snap.num_targets(),
+            snap.dim,
+            snap.metric.label(),
+            snap.trace.epochs.len(),
         );
-        ix
-    } else {
-        AlignmentIndex::new(snap)
-    };
-    let mut index = BatchIndex::new(
-        raw,
-        args.threads,
-        args.batch,
-        Duration::from_micros(args.wait_us),
-        args.cache,
-    );
-    if args.nprobe > 0 {
-        index = index.with_default_probe(Probe::Nprobe(args.nprobe as u32));
+        if coverage.partial() {
+            eprintln!(
+                "warning: memory budget truncated the load to {} of {} shards \
+                 ({} of {} target entities) — answers cover only that prefix; \
+                 /stats reports loaded_entities vs total_entities",
+                coverage.shards_loaded,
+                coverage.shards_total,
+                coverage.loaded_entities,
+                coverage.total_entities,
+            );
+        }
+        if let Some(ivf) = index.index().ann() {
+            println!(
+                "two-stage index: {} partitions over {} targets, default {}",
+                ivf.nlist(),
+                ivf.len(),
+                index.default_probe().label(),
+            );
+        }
     }
     let opts = ServerOptions {
         workers: args.workers,
         queue_cap: args.queue,
     };
-    let handle = match serve(Arc::new(index), args.addr, opts) {
+    let handle = match serve_hot(hot.clone(), args.addr, opts) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", args.addr);
             exit(1);
         }
     };
+    let _watcher = if args.watch {
+        let interval = Duration::from_millis(args.watch_ms.max(1));
+        println!(
+            "watching {} every {} ms for hot-swap",
+            args.snapshot.display(),
+            interval.as_millis(),
+        );
+        Some(hot.spawn_watcher(interval))
+    } else {
+        None
+    };
     println!(
         "serving on http://{} ({} workers, batch {} / {} µs, cache {}, queue {})",
         handle.addr(),
         args.workers,
-        args.batch,
-        args.wait_us,
-        args.cache,
+        args.index.max_batch,
+        args.index.max_wait.as_micros(),
+        args.index.cache_cap,
         args.queue,
     );
-    println!("routes: /align?entity=<id>&k=<k>[&nprobe=<n>]  /health  /stats  (ctrl-c to stop)");
+    println!(
+        "routes: /align?entity=<id>&k=<k>[&nprobe=<n>]  /health  /stats  /admin/reload  (ctrl-c to stop)"
+    );
     loop {
         std::thread::park();
     }

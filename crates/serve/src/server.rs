@@ -14,7 +14,18 @@
 //!   of the two-stage index (exact fallback when none was built).
 //! * `GET /health` — liveness probe.
 //! * `GET /stats` — cache hit rate, batch occupancy, latency percentiles,
-//!   served/rejected counters, snapshot generation and partition shape.
+//!   served/rejected counters, snapshot generation, partition shape, and
+//!   the hot-swap gauges (loaded/total entities, reload counters, last
+//!   flip pause, generations still draining).
+//! * `GET /admin/reload[?path=<artifact>]` — zero-downtime hot-swap: load
+//!   and validate the artifact (the remembered one, or `path`) off the
+//!   request path, warm the replacement's cache, flip atomically. Reports
+//!   the new generation and flip pause on success; on any validation
+//!   failure the live index keeps serving and the typed error is
+//!   returned with status 409.
+//!
+//! Every `/align` answer carries the generation of the index that
+//! computed it, so clients can observe flips and verify monotonicity.
 //!
 //! ## Backpressure contract
 //!
@@ -31,6 +42,7 @@
 //! until a held connection closes.
 
 use crate::index::{BatchIndex, Probe, QueryError};
+use crate::swap::HotSwapIndex;
 use openea_runtime::json::{object, Json, ToJson};
 use openea_runtime::timer::{MicrosHistogram, Monotonic};
 use std::collections::VecDeque;
@@ -105,7 +117,7 @@ impl ConnQueue {
 }
 
 struct Shared {
-    index: Arc<BatchIndex>,
+    index: Arc<HotSwapIndex>,
     queue: ConnQueue,
     shutdown: AtomicBool,
     clock: Monotonic,
@@ -154,9 +166,21 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` (use port 0 for an ephemeral port) and starts the acceptor
-/// plus `opts.workers` worker threads.
+/// plus `opts.workers` worker threads over a fixed in-memory index
+/// (`/admin/reload` works only with an explicit `path`). For an index that
+/// reloads from its own artifact, use [`serve_hot`].
 pub fn serve(
     index: Arc<BatchIndex>,
+    addr: SocketAddr,
+    opts: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    serve_hot(HotSwapIndex::fixed(index), addr, opts)
+}
+
+/// [`serve`] over a hot-swappable index: `/admin/reload` republishes from
+/// the index's artifact path and a watcher (if spawned) follows it.
+pub fn serve_hot(
+    index: Arc<HotSwapIndex>,
     addr: SocketAddr,
     opts: ServerOptions,
 ) -> std::io::Result<ServerHandle> {
@@ -346,7 +370,37 @@ fn route(sh: &Shared, req: &Request) -> (u16, Json) {
         "/health" => (200, object([("status", "ok".to_json())])),
         "/stats" => (200, stats_json(sh)),
         "/align" => align(sh, &req.query),
+        "/admin/reload" => admin_reload(sh, &req.query),
         _ => (404, err_json("unknown path")),
+    }
+}
+
+/// Hot-swap trigger. Loading, warming and flipping all happen on the
+/// worker thread serving this request; every other worker keeps answering
+/// from the live index throughout, then picks up the new one on its next
+/// `current()`.
+fn admin_reload(sh: &Shared, query: &str) -> (u16, Json) {
+    let outcome = match query_param_raw(query, "path") {
+        Some(path) => sh.index.reload_from(std::path::Path::new(path)),
+        None => sh.index.reload(),
+    };
+    match outcome {
+        Ok(o) => (
+            200,
+            object([
+                ("generation", format!("{:#018x}", o.generation).to_json()),
+                ("loaded_entities", o.loaded_entities.to_json()),
+                ("total_entities", o.total_entities.to_json()),
+                ("shards_loaded", o.shards_loaded.to_json()),
+                ("shards_total", o.shards_total.to_json()),
+                ("partial", o.partial.to_json()),
+                ("flip_us", (o.flip_ns as f64 / 1_000.0).to_json()),
+                ("warmed", o.warmed.to_json()),
+            ]),
+        ),
+        // 409: the request was well-formed but the artifact (or the lack
+        // of one) refused it; the previous index is still serving.
+        Err(e) => (409, err_json(&e.to_string())),
     }
 }
 
@@ -368,8 +422,13 @@ fn align(sh: &Shared, query: &str) -> (u16, Json) {
             Err(_) => return (400, err_json("'nprobe' is not a u32")),
         },
     };
-    let effective = probe.unwrap_or_else(|| sh.index.default_probe());
-    match sh.index.query_probed(entity, k as usize, probe) {
+    // One `current()` per request: every read below — answer, metric,
+    // names, generation — comes from one coherent index, even if a flip
+    // lands mid-request. The held `Arc` keeps a retiring index alive
+    // until this answer is written.
+    let index = sh.index.current();
+    let effective = probe.unwrap_or_else(|| index.default_probe());
+    match index.query_probed(entity, k as usize, probe) {
         Ok(answer) => {
             let results: Vec<Json> = answer
                 .iter()
@@ -378,7 +437,7 @@ fn align(sh: &Shared, query: &str) -> (u16, Json) {
                         ("target".to_string(), target.to_json()),
                         ("score".to_string(), (score as f64).to_json()),
                     ];
-                    if let Some(name) = sh.index.index().target_name(target) {
+                    if let Some(name) = index.index().target_name(target) {
                         fields.push(("name".to_string(), name.to_json()));
                     }
                     Json::Object(fields)
@@ -389,8 +448,12 @@ fn align(sh: &Shared, query: &str) -> (u16, Json) {
                 object([
                     ("entity", entity.to_json()),
                     ("k", answer.len().to_json()),
-                    ("metric", sh.index.index().metric().label().to_json()),
+                    ("metric", index.index().metric().label().to_json()),
                     ("probe", effective.label().to_json()),
+                    (
+                        "generation",
+                        format!("{:#018x}", index.index().generation()).to_json(),
+                    ),
                     ("results", Json::Array(results)),
                 ]),
             )
@@ -401,9 +464,11 @@ fn align(sh: &Shared, query: &str) -> (u16, Json) {
 }
 
 fn stats_json(sh: &Shared) -> Json {
-    let ix = sh.index.stats();
+    let index = sh.index.current();
+    let swap = sh.index.stats();
+    let ix = index.stats();
     let lat = sh.latency.lock().unwrap().clone();
-    let raw = sh.index.index();
+    let raw = index.index();
     object([
         // Hex string: a u64 generation does not fit f64-backed JSON numbers.
         (
@@ -414,7 +479,16 @@ fn stats_json(sh: &Shared) -> Json {
             "ann_nlist",
             raw.ann().map(|ivf| ivf.nlist()).unwrap_or(0).to_json(),
         ),
-        ("default_probe", sh.index.default_probe().label().to_json()),
+        ("default_probe", index.default_probe().label().to_json()),
+        ("loaded_entities", swap.loaded_entities.to_json()),
+        ("total_entities", swap.total_entities.to_json()),
+        ("reloads", (swap.reloads as i64).to_json()),
+        ("reload_failures", (swap.reload_failures as i64).to_json()),
+        (
+            "last_flip_us",
+            (swap.last_flip_ns as f64 / 1_000.0).to_json(),
+        ),
+        ("draining_generations", swap.draining_generations.to_json()),
         (
             "served",
             (sh.served.load(Ordering::Relaxed) as i64).to_json(),

@@ -1,0 +1,652 @@
+//! Zero-downtime snapshot hot-swap: replace the serving index while
+//! queries are in flight, without dropping, blocking or mis-answering a
+//! single one.
+//!
+//! ## Flip protocol
+//!
+//! The live [`BatchIndex`] sits behind a
+//! [`SwapCell`](openea_runtime::swap::SwapCell): readers grab an `Arc` to
+//! the current index with one wait-free atomic load per request, and a
+//! reload publishes its replacement with one atomic pointer flip. The
+//! full reload sequence is:
+//!
+//! 1. **Load off-thread** — read and fully validate the new artifact
+//!    (monolithic snapshot or shard manifest, budget-truncated or not)
+//!    while the old index keeps serving. Every corruption path surfaces
+//!    as a typed [`SnapshotError`] and leaves the old index untouched.
+//! 2. **Build** — construct the [`AlignmentIndex`] (plus its IVF
+//!    partition when configured) and wrap it in a fresh [`BatchIndex`]
+//!    with an *empty* answer cache.
+//! 3. **Warm** — replay the old index's most-recently-used cache keys
+//!    against the new index, so the flip does not land a popular-query
+//!    cold-start on live traffic.
+//! 4. **Flip** — one `SwapCell::swap`. The pause this inflicts on the
+//!    writer is the grace-period wait (readers never pause at all); it is
+//!    measured with a nanosecond clock and exported as `last_flip_us`.
+//! 5. **Retire** — the old index drains: requests that loaded it before
+//!    the flip finish on it, and its memory is reclaimed when the last
+//!    one drops its `Arc`. `/stats` reports how many generations are
+//!    still draining.
+//!
+//! ## Why answers can never alias across a flip
+//!
+//! Each [`BatchIndex`] owns its cache, and the cache key carries the
+//! snapshot generation ([`CacheKey`](crate::index::CacheKey)): an answer
+//! computed under generation *g* is only ever handed to a query routed to
+//! the index of generation *g*. A budget-truncated shard load has a
+//! different generation than the full snapshot by construction, so even a
+//! partial reload of the *same* manifest cannot alias.
+
+use crate::index::{AlignmentIndex, BatchIndex, Probe};
+use crate::shard::ShardManifest;
+use crate::snapshot::{Snapshot, SnapshotError};
+use openea_align::AnnConfig;
+use openea_runtime::swap::SwapCell;
+use openea_runtime::timer::Monotonic;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A fully validated artifact load: the assembled snapshot plus how much
+/// of the manifest it covers (for `.snap` files the artifact is always
+/// complete).
+pub struct LoadedArtifact {
+    pub snapshot: Snapshot,
+    /// Shards assembled into `snapshot` (1 for a monolithic `.snap`).
+    pub shards_loaded: usize,
+    /// Shards the manifest names (1 for a monolithic `.snap`).
+    pub shards_total: usize,
+    /// Target entities the *full* artifact holds; `snapshot.num_targets()`
+    /// is what the budget actually loaded.
+    pub total_targets: usize,
+}
+
+impl LoadedArtifact {
+    /// True when a memory budget truncated the load to a shard prefix.
+    pub fn partial(&self) -> bool {
+        self.snapshot.num_targets() < self.total_targets
+    }
+
+    /// The coverage summary, detached from the snapshot payload.
+    pub fn coverage(&self) -> LoadCoverage {
+        LoadCoverage {
+            loaded_entities: self.snapshot.num_targets(),
+            total_entities: self.total_targets,
+            shards_loaded: self.shards_loaded,
+            shards_total: self.shards_total,
+        }
+    }
+}
+
+/// How much of an artifact a (possibly budgeted) load actually covered.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadCoverage {
+    pub loaded_entities: usize,
+    pub total_entities: usize,
+    pub shards_loaded: usize,
+    pub shards_total: usize,
+}
+
+impl LoadCoverage {
+    /// True when a memory budget truncated the load to a shard prefix.
+    pub fn partial(&self) -> bool {
+        self.loaded_entities < self.total_entities
+    }
+}
+
+/// Loads `path` as a shard manifest (`.manifest` extension) or a
+/// monolithic snapshot (anything else), applying `budget_bytes` to the
+/// target-side matrix on manifest loads (`u64::MAX` = unlimited).
+pub fn load_artifact(path: &Path, budget_bytes: u64) -> Result<LoadedArtifact, SnapshotError> {
+    if path.extension().is_some_and(|e| e == "manifest") {
+        let manifest = ShardManifest::read_from(path)?;
+        let (snapshot, shards_loaded) = manifest.load_budgeted(path, budget_bytes)?;
+        Ok(LoadedArtifact {
+            snapshot,
+            shards_loaded,
+            shards_total: manifest.shards.len(),
+            total_targets: manifest.n2,
+        })
+    } else {
+        let snapshot = Snapshot::read_from(path)?;
+        let total_targets = snapshot.num_targets();
+        Ok(LoadedArtifact {
+            snapshot,
+            shards_loaded: 1,
+            shards_total: 1,
+            total_targets,
+        })
+    }
+}
+
+/// How a reload builds its [`BatchIndex`] — the same knobs the CLI
+/// exposes, captured once so every subsequent reload (admin-triggered or
+/// watcher-triggered) constructs an equivalently configured index.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexOptions {
+    /// Kernel threads per batch sweep.
+    pub threads: usize,
+    /// Micro-batch size.
+    pub max_batch: usize,
+    /// Micro-batch collection window.
+    pub max_wait: Duration,
+    /// LRU answer-cache capacity (0 disables).
+    pub cache_cap: usize,
+    /// IVF partitions (0 = exact-only index).
+    pub nlist: usize,
+    /// Default probe width override (0 = the index's own default).
+    pub nprobe: usize,
+    /// Byte budget for the target-side matrix on manifest loads.
+    pub mem_budget_bytes: u64,
+    /// How many recently-used cache keys to replay against the new index
+    /// before flipping (0 disables warming).
+    pub warm_keys: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            cache_cap: 4096,
+            nlist: 0,
+            nprobe: 0,
+            mem_budget_bytes: u64::MAX,
+            warm_keys: 256,
+        }
+    }
+}
+
+impl IndexOptions {
+    /// Builds a serving index over `snap` under these options.
+    pub fn build(&self, snap: Snapshot) -> Arc<BatchIndex> {
+        let raw = if self.nlist > 0 {
+            let cfg = AnnConfig {
+                nlist: self.nlist,
+                ..Default::default()
+            };
+            AlignmentIndex::with_ann(snap, &cfg, self.threads)
+        } else {
+            AlignmentIndex::new(snap)
+        };
+        let mut index = BatchIndex::new(
+            raw,
+            self.threads,
+            self.max_batch,
+            self.max_wait,
+            self.cache_cap,
+        );
+        if self.nprobe > 0 {
+            index = index.with_default_probe(Probe::Nprobe(self.nprobe as u32));
+        }
+        Arc::new(index)
+    }
+}
+
+/// The result of one successful reload, as reported by `/admin/reload`.
+#[derive(Clone, Debug)]
+pub struct ReloadOutcome {
+    /// Generation of the index now serving.
+    pub generation: u64,
+    /// Target entities the new index serves.
+    pub loaded_entities: usize,
+    /// Target entities the full artifact holds.
+    pub total_entities: usize,
+    pub shards_loaded: usize,
+    pub shards_total: usize,
+    /// True when a memory budget truncated the load.
+    pub partial: bool,
+    /// Writer-side pause of the pointer flip (grace-period wait included);
+    /// readers never pause.
+    pub flip_ns: u64,
+    /// Cache keys replayed against the new index before the flip.
+    pub warmed: usize,
+}
+
+/// Swap-related counters exported through `/stats`.
+#[derive(Clone, Debug, Default)]
+pub struct SwapStats {
+    pub reloads: u64,
+    pub reload_failures: u64,
+    /// Writer-side pause of the most recent flip, nanoseconds.
+    pub last_flip_ns: u64,
+    /// Retired indices still draining in-flight holders.
+    pub draining_generations: usize,
+    /// Target entities the live index serves.
+    pub loaded_entities: usize,
+    /// Target entities the full artifact holds (== `loaded_entities`
+    /// unless a budget truncated the load).
+    pub total_entities: usize,
+    pub last_error: Option<String>,
+}
+
+/// On-disk identity of the artifact the watcher polls: (mtime, length,
+/// trailing checksum bytes) of the manifest/snapshot file. The trailer is
+/// the container framing's FNV-1a of the payload, so it changes with the
+/// content even when the length does not and the filesystem's mtime
+/// granularity is too coarse to tell two writes apart. Shard files are
+/// written *before* the manifest
+/// ([`write_sharded`](crate::shard::write_sharded)), and both writers
+/// rename atomically, so a changed manifest fingerprint is the commit
+/// point of a complete new artifact.
+type Fingerprint = (std::time::SystemTime, u64, u64);
+
+fn fingerprint(path: &Path) -> Option<Fingerprint> {
+    use std::io::{Read, Seek, SeekFrom};
+    let meta = std::fs::metadata(path).ok()?;
+    let len = meta.len();
+    let mut tail = [0u8; 8];
+    if len >= 8 {
+        let mut f = std::fs::File::open(path).ok()?;
+        f.seek(SeekFrom::End(-8)).ok()?;
+        f.read_exact(&mut tail).ok()?;
+    }
+    Some((meta.modified().ok()?, len, u64::from_le_bytes(tail)))
+}
+
+struct SwapState {
+    /// Retired indices kept until every in-flight holder drops its `Arc`.
+    retired: Vec<Arc<BatchIndex>>,
+    reloads: u64,
+    failures: u64,
+    last_flip_ns: u64,
+    loaded_entities: usize,
+    total_entities: usize,
+    last_error: Option<String>,
+    /// Fingerprint of the artifact the live index was built from; the
+    /// watcher skips reloads while it is unchanged.
+    loaded_fingerprint: Option<Fingerprint>,
+}
+
+/// The hot-swappable serving index: what the HTTP server actually holds.
+/// `current()` is the per-request entry point; `reload*` republishes.
+pub struct HotSwapIndex {
+    cell: SwapCell<BatchIndex>,
+    opts: IndexOptions,
+    /// Artifact the index was loaded from; `None` for in-memory indices
+    /// ([`HotSwapIndex::fixed`]), which cannot reload without an explicit
+    /// path.
+    artifact: Mutex<Option<PathBuf>>,
+    /// Serializes reloads end to end (load → build → warm → flip) without
+    /// ever blocking readers.
+    reload_lock: Mutex<()>,
+    state: Mutex<SwapState>,
+    clock: Monotonic,
+}
+
+impl HotSwapIndex {
+    /// Wraps an already-built index with no backing artifact: serving and
+    /// `swap_in` work, path-less `reload()` reports an error. This is how
+    /// tests and benches drive the server from in-memory snapshots.
+    pub fn fixed(index: Arc<BatchIndex>) -> Arc<Self> {
+        Self::fixed_with(index, IndexOptions::default())
+    }
+
+    /// [`HotSwapIndex::fixed`] with explicit options, so later `swap_in`
+    /// calls build their replacement indices the same way the wrapped one
+    /// was built (same partition shape, cache size, threading).
+    pub fn fixed_with(index: Arc<BatchIndex>, opts: IndexOptions) -> Arc<Self> {
+        let loaded = index.index().num_targets();
+        Arc::new(Self {
+            cell: SwapCell::new(index),
+            opts,
+            artifact: Mutex::new(None),
+            reload_lock: Mutex::new(()),
+            state: Mutex::new(SwapState {
+                retired: Vec::new(),
+                reloads: 0,
+                failures: 0,
+                last_flip_ns: 0,
+                loaded_entities: loaded,
+                total_entities: loaded,
+                last_error: None,
+                loaded_fingerprint: None,
+            }),
+            clock: Monotonic::start(),
+        })
+    }
+
+    /// Loads `path` under `opts` and returns the serving handle plus the
+    /// initial load's coverage (so the caller can warn on a partial load).
+    pub fn open(
+        path: &Path,
+        opts: IndexOptions,
+    ) -> Result<(Arc<Self>, LoadCoverage), SnapshotError> {
+        let fp = fingerprint(path);
+        let art = load_artifact(path, opts.mem_budget_bytes)?;
+        let info = art.coverage();
+        let loaded_entities = art.snapshot.num_targets();
+        let total_entities = art.total_targets;
+        let index = opts.build(art.snapshot);
+        let this = Arc::new(Self {
+            cell: SwapCell::new(index),
+            opts,
+            artifact: Mutex::new(Some(path.to_path_buf())),
+            reload_lock: Mutex::new(()),
+            state: Mutex::new(SwapState {
+                retired: Vec::new(),
+                reloads: 0,
+                failures: 0,
+                last_flip_ns: 0,
+                loaded_entities,
+                total_entities,
+                last_error: None,
+                loaded_fingerprint: fp,
+            }),
+            clock: Monotonic::start(),
+        });
+        Ok((this, info))
+    }
+
+    /// The index serving right now: one wait-free atomic load. Hold the
+    /// returned `Arc` for the duration of one request so every read in it
+    /// sees one coherent generation.
+    pub fn current(&self) -> Arc<BatchIndex> {
+        self.cell.load()
+    }
+
+    /// The options every reload builds its index with.
+    pub fn options(&self) -> IndexOptions {
+        self.opts
+    }
+
+    /// Reloads from the remembered artifact path.
+    pub fn reload(&self) -> Result<ReloadOutcome, SnapshotError> {
+        let Some(path) = self.artifact.lock().unwrap().clone() else {
+            let e = SnapshotError::Malformed(
+                "no artifact path to reload from (in-memory index)".into(),
+            );
+            let mut st = self.state.lock().unwrap();
+            st.failures += 1;
+            st.last_error = Some(e.to_string());
+            return Err(e);
+        };
+        self.reload_from(&path)
+    }
+
+    /// Reloads from an explicit path, which becomes the remembered path on
+    /// success (so the watcher follows the newest artifact).
+    pub fn reload_from(&self, path: &Path) -> Result<ReloadOutcome, SnapshotError> {
+        let _serialize = self.reload_lock.lock().unwrap();
+        let fp = fingerprint(path);
+        let art = match load_artifact(path, self.opts.mem_budget_bytes) {
+            Ok(a) => a,
+            Err(e) => {
+                let mut st = self.state.lock().unwrap();
+                st.failures += 1;
+                st.last_error = Some(e.to_string());
+                return Err(e);
+            }
+        };
+        let outcome = self.swap_in_loaded(art, fp);
+        *self.artifact.lock().unwrap() = Some(path.to_path_buf());
+        Ok(outcome)
+    }
+
+    /// Publishes an already-assembled snapshot (no disk involved): the
+    /// build → warm → flip → retire tail of a reload. Benches use this to
+    /// flip between in-memory generations.
+    pub fn swap_in(&self, snapshot: Snapshot) -> ReloadOutcome {
+        let _serialize = self.reload_lock.lock().unwrap();
+        let total = snapshot.num_targets();
+        self.swap_in_loaded(
+            LoadedArtifact {
+                snapshot,
+                shards_loaded: 1,
+                shards_total: 1,
+                total_targets: total,
+            },
+            None,
+        )
+    }
+
+    /// Build → warm → flip → retire. Caller holds `reload_lock`.
+    fn swap_in_loaded(&self, art: LoadedArtifact, fp: Option<Fingerprint>) -> ReloadOutcome {
+        let loaded_entities = art.snapshot.num_targets();
+        let total_entities = art.total_targets;
+        let shards_loaded = art.shards_loaded;
+        let shards_total = art.shards_total;
+        let partial = art.partial();
+        let new = self.opts.build(art.snapshot);
+        let old = self.cell.load();
+
+        // Warm the new index's cache with the old one's hottest keys, so
+        // popular queries do not all miss at once after the flip. Probe
+        // and k are replayed exactly; entities past the new index's range
+        // (a smaller partial load) are skipped.
+        let mut warmed = 0usize;
+        if self.opts.warm_keys > 0 {
+            for key in old.recent_cache_keys(self.opts.warm_keys) {
+                if (key.entity as usize) < new.index().num_queries()
+                    && new
+                        .query_probed(
+                            key.entity,
+                            key.k as usize,
+                            Some(Probe::from_code(key.probe)),
+                        )
+                        .is_ok()
+                {
+                    warmed += 1;
+                }
+            }
+        }
+
+        let t0 = self.clock.nanos();
+        let retired = self.cell.swap(Arc::clone(&new));
+        let flip_ns = self.clock.nanos().saturating_sub(t0);
+        drop(old);
+
+        let generation = new.index().generation();
+        let mut st = self.state.lock().unwrap();
+        st.retired.push(retired);
+        // An index only we still hold has fully drained; reclaim it.
+        st.retired.retain(|ix| Arc::strong_count(ix) > 1);
+        st.reloads += 1;
+        st.last_flip_ns = flip_ns;
+        st.loaded_entities = loaded_entities;
+        st.total_entities = total_entities;
+        st.last_error = None;
+        st.loaded_fingerprint = fp;
+        ReloadOutcome {
+            generation,
+            loaded_entities,
+            total_entities,
+            shards_loaded,
+            shards_total,
+            partial,
+            flip_ns,
+            warmed,
+        }
+    }
+
+    /// Swap counters for `/stats`; also prunes fully-drained generations.
+    pub fn stats(&self) -> SwapStats {
+        let mut st = self.state.lock().unwrap();
+        st.retired.retain(|ix| Arc::strong_count(ix) > 1);
+        SwapStats {
+            reloads: st.reloads,
+            reload_failures: st.failures,
+            last_flip_ns: st.last_flip_ns,
+            draining_generations: st.retired.len(),
+            loaded_entities: st.loaded_entities,
+            total_entities: st.total_entities,
+            last_error: st.last_error.clone(),
+        }
+    }
+
+    /// Starts a polling watcher: every `interval` it fingerprints the
+    /// artifact path and reloads once the fingerprint both *changed* and
+    /// *held still* for one further tick (debounce against writers caught
+    /// mid-publish; the atomic-rename protocol makes one tick enough for
+    /// well-behaved writers). Reload failures are recorded in
+    /// [`SwapStats`] and serving continues on the live index.
+    pub fn spawn_watcher(self: &Arc<Self>, interval: Duration) -> WatcherHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let me = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("serve-snapshot-watcher".into())
+            .spawn(move || {
+                let mut pending: Option<Fingerprint> = None;
+                while !flag.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    let Some(path) = me.artifact.lock().unwrap().clone() else {
+                        continue;
+                    };
+                    let Some(fp) = fingerprint(&path) else {
+                        continue;
+                    };
+                    if me.state.lock().unwrap().loaded_fingerprint == Some(fp) {
+                        pending = None;
+                        continue;
+                    }
+                    if pending != Some(fp) {
+                        // Changed but not yet stable: wait one more tick.
+                        pending = Some(fp);
+                        continue;
+                    }
+                    pending = None;
+                    let _ = me.reload_from(&path);
+                }
+            })
+            .expect("spawn snapshot watcher");
+        WatcherHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops its watcher thread on [`WatcherHandle::stop`] or drop.
+pub struct WatcherHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WatcherHandle {
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WatcherHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests::tiny_snapshot;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("openea-swap-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn fixed_index_serves_and_reports_no_artifact() {
+        let snap = tiny_snapshot();
+        let hot = HotSwapIndex::fixed(IndexOptions::default().build(snap));
+        assert!(hot.current().query(0, 1).is_ok());
+        let err = hot.reload().unwrap_err();
+        assert!(err.to_string().contains("no artifact path"), "{err}");
+        let st = hot.stats();
+        assert_eq!(st.reload_failures, 1);
+        assert!(st.last_error.is_some());
+    }
+
+    #[test]
+    fn swap_in_flips_generation_and_answers_diverge() {
+        let snap = tiny_snapshot();
+        let gen_a = snap.generation();
+        let mut snap_b = tiny_snapshot();
+        for v in &mut snap_b.emb2 {
+            *v = -*v;
+        }
+        let gen_b = snap_b.generation();
+        assert_ne!(gen_a, gen_b);
+
+        let hot = HotSwapIndex::fixed(IndexOptions::default().build(snap));
+        let before = hot.current();
+        let ans_a = before.query(0, 2).unwrap();
+        let outcome = hot.swap_in(snap_b);
+        assert_eq!(outcome.generation, gen_b);
+        let after = hot.current();
+        assert_eq!(after.index().generation(), gen_b);
+        // The pre-flip handle still answers from its own generation.
+        assert_eq!(before.index().generation(), gen_a);
+        assert_eq!(before.query(0, 2).unwrap(), ans_a);
+        assert_eq!(hot.stats().reloads, 1);
+    }
+
+    #[test]
+    fn open_and_reload_from_disk() {
+        let dir = tmpdir("reload");
+        let path = dir.join("live.snap");
+        let snap = tiny_snapshot();
+        snap.write_to(&path).unwrap();
+        let (hot, info) = HotSwapIndex::open(&path, IndexOptions::default()).unwrap();
+        assert!(!info.partial());
+        assert_eq!(hot.current().index().generation(), snap.generation());
+
+        let mut snap_b = tiny_snapshot();
+        snap_b.emb1[0] += 1.0;
+        snap_b.write_to(&path).unwrap();
+        let outcome = hot.reload().unwrap();
+        assert_eq!(outcome.generation, snap_b.generation());
+        assert_eq!(hot.current().index().generation(), snap_b.generation());
+    }
+
+    #[test]
+    fn failed_reload_keeps_serving_and_types_the_error() {
+        let dir = tmpdir("failkeep");
+        let path = dir.join("live.snap");
+        let snap = tiny_snapshot();
+        snap.write_to(&path).unwrap();
+        let (hot, _) = HotSwapIndex::open(&path, IndexOptions::default()).unwrap();
+        let ans = hot.current().query(0, 2).unwrap();
+
+        // Corrupt the artifact: reload must fail typed, serving unchanged.
+        let pristine = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+        match hot.reload() {
+            Err(SnapshotError::Truncated { .. }) | Err(SnapshotError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected a typed corruption error, got {other:?}"),
+        }
+        assert_eq!(hot.current().index().generation(), snap.generation());
+        assert_eq!(hot.current().query(0, 2).unwrap(), ans);
+        let st = hot.stats();
+        assert_eq!(st.reload_failures, 1);
+        assert_eq!(st.reloads, 0);
+        assert!(st.last_error.is_some());
+    }
+
+    #[test]
+    fn warming_replays_recent_keys_into_the_new_cache() {
+        let snap = tiny_snapshot();
+        let hot = HotSwapIndex::fixed(IndexOptions::default().build(snap));
+        hot.current().query(0, 2).unwrap();
+        hot.current().query(1, 1).unwrap();
+        let outcome = hot.swap_in({
+            let mut s = tiny_snapshot();
+            s.emb2[0] += 0.5;
+            s
+        });
+        assert_eq!(outcome.warmed, 2);
+        // Warmed answers are cache hits on the new index.
+        let new = hot.current();
+        let before = new.stats();
+        new.query(0, 2).unwrap();
+        new.query(1, 1).unwrap();
+        let after = new.stats();
+        assert_eq!(after.cache_hits - before.cache_hits, 2);
+    }
+}

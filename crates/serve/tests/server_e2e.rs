@@ -8,7 +8,10 @@ use openea_approaches::{approach_by_name, RunConfig, RunContext};
 use openea_core::k_fold_splits;
 use openea_runtime::json::{self, Json};
 use openea_runtime::rng::{SeedableRng, SmallRng};
-use openea_serve::{serve, AlignmentIndex, BatchIndex, ServerOptions, Snapshot, SnapshotWriter};
+use openea_serve::{
+    serve, serve_hot, AlignmentIndex, BatchIndex, HotSwapIndex, IndexOptions, ServerOptions,
+    Snapshot, SnapshotWriter,
+};
 use openea_synth::{DatasetFamily, PresetConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -230,6 +233,170 @@ fn train_snapshot_serve_roundtrip_is_bit_identical_to_dense() {
     );
     let (status, _) = http_get(&mut conn, "/nope");
     assert_eq!(status, 404);
+
+    handle.stop();
+}
+
+/// Deterministic synthetic snapshot for the hot-swap test: same shape per
+/// seed, different weights — two "deployments" of one model.
+fn synth_snapshot(seed: u64) -> Snapshot {
+    use openea_runtime::rng::Rng;
+    let (n1, n2, dim) = (24usize, 30usize, 6usize);
+    let mut rng = SmallRng::seed_from_u64(0xE2E ^ seed);
+    let mut emb =
+        |n: usize| -> Vec<f32> { (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect() };
+    Snapshot {
+        dim,
+        metric: openea_align::Metric::Cosine,
+        emb1: emb(n1),
+        emb2: emb(n2),
+        names1: Vec::new(),
+        names2: Vec::new(),
+        trace: openea_approaches::TrainTrace {
+            label: format!("e2e-gen-{seed}"),
+            epochs: Vec::new(),
+            stop: openea_approaches::StopReason::default(),
+            total_wall_s: 0.0,
+        },
+    }
+}
+
+/// A keep-alive client connection spans `/admin/reload`: answers before
+/// the flip come from the old generation, answers after from the new one,
+/// the generation a connection observes never moves backwards, `/stats`
+/// reflects the swap, and a corrupt artifact yields 409 with serving
+/// intact.
+#[test]
+fn hot_swap_mid_connection_is_monotone_and_bit_correct() {
+    let dir = TempDir::new("hotswap");
+    let live = dir.0.join("live.snap");
+    let snap_a = synth_snapshot(1);
+    let snap_b = synth_snapshot(2);
+    let hex = |g: u64| format!("{g:#018x}");
+    let (gen_a, gen_b) = (snap_a.generation(), snap_b.generation());
+    snap_a.write_to(&live).unwrap();
+
+    let opts = IndexOptions {
+        threads: 2,
+        cache_cap: 64,
+        warm_keys: 8,
+        ..IndexOptions::default()
+    };
+    let (hot, coverage) = HotSwapIndex::open(&live, opts).unwrap();
+    assert!(!coverage.partial());
+    let mut handle = serve_hot(
+        hot,
+        "127.0.0.1:0".parse().unwrap(),
+        ServerOptions {
+            workers: 4,
+            queue_cap: 32,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Local references with identical options: served answers must match
+    // bit for bit under whichever generation the server reports.
+    let ref_a = opts.build(synth_snapshot(1));
+    let ref_b = opts.build(synth_snapshot(2));
+    let expect = |reference: &BatchIndex, entity: u32, k: usize| -> Vec<(u32, f64)> {
+        reference
+            .query(entity, k)
+            .unwrap()
+            .into_iter()
+            .map(|(t, s)| (t, s as f64))
+            .collect()
+    };
+    let check = |body: &Json, want: &[(u32, f64)]| {
+        let results = body
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("results");
+        assert_eq!(results.len(), want.len());
+        for (r, &(target, score)) in results.iter().zip(want) {
+            assert_eq!(r.get("target").and_then(Json::as_f64), Some(target as f64));
+            let got = r.get("score").and_then(Json::as_f64).expect("score");
+            assert_eq!(got.to_bits(), score.to_bits());
+        }
+    };
+
+    // One keep-alive connection across the whole scenario.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    for entity in 0..6u32 {
+        let (status, body) = http_get(&mut conn, &format!("/align?entity={entity}&k=4"));
+        assert_eq!(status, 200);
+        assert_eq!(
+            body.get("generation").and_then(Json::as_str),
+            Some(hex(gen_a).as_str()),
+            "pre-swap answers carry the old generation"
+        );
+        check(&body, &expect(&ref_a, entity, 4));
+    }
+    let (status, stats) = http_get(&mut conn, "/stats");
+    assert_eq!(status, 200);
+    assert_eq!(
+        stats.get("generation").and_then(Json::as_str),
+        Some(hex(gen_a).as_str())
+    );
+    assert_eq!(stats.get("reloads").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(
+        stats.get("loaded_entities").and_then(Json::as_f64),
+        Some(30.0)
+    );
+
+    // Corrupt artifact first: reload must 409 and not disturb serving.
+    let pristine = std::fs::read(&live).unwrap();
+    std::fs::write(&live, &pristine[..pristine.len() / 2]).unwrap();
+    let (status, err) = http_get(&mut conn, "/admin/reload");
+    assert_eq!(status, 409, "corrupt artifact refuses the swap");
+    assert!(err.get("error").and_then(Json::as_str).is_some());
+    let (status, body) = http_get(&mut conn, "/align?entity=0&k=4");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body.get("generation").and_then(Json::as_str),
+        Some(hex(gen_a).as_str()),
+        "failed reload leaves the old generation serving"
+    );
+    check(&body, &expect(&ref_a, 0, 4));
+
+    // Publish B atomically and hot-swap over the same connection.
+    snap_b.write_to(&live).unwrap();
+    let (status, outcome) = http_get(&mut conn, "/admin/reload");
+    assert_eq!(status, 200);
+    assert_eq!(
+        outcome.get("generation").and_then(Json::as_str),
+        Some(hex(gen_b).as_str())
+    );
+    assert_eq!(outcome.get("partial"), Some(&Json::Bool(false)));
+    assert!(outcome.get("flip_us").and_then(Json::as_f64).is_some());
+
+    // Same connection, post-swap: new generation, new bits, monotone.
+    for entity in 0..6u32 {
+        let (status, body) = http_get(&mut conn, &format!("/align?entity={entity}&k=4"));
+        assert_eq!(status, 200);
+        assert_eq!(
+            body.get("generation").and_then(Json::as_str),
+            Some(hex(gen_b).as_str()),
+            "post-swap answers carry the new generation"
+        );
+        check(&body, &expect(&ref_b, entity, 4));
+    }
+    let (status, stats) = http_get(&mut conn, "/stats");
+    assert_eq!(status, 200);
+    assert_eq!(
+        stats.get("generation").and_then(Json::as_str),
+        Some(hex(gen_b).as_str())
+    );
+    assert_eq!(stats.get("reloads").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(
+        stats.get("reload_failures").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert!(stats.get("last_flip_us").and_then(Json::as_f64).is_some());
+    assert!(stats
+        .get("draining_generations")
+        .and_then(Json::as_f64)
+        .is_some());
 
     handle.stop();
 }

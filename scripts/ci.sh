@@ -37,3 +37,9 @@ cargo run --release --offline -p openea-bench -- serve --smoke --no-out
 # metrics), then checks a tiny recall curve recovers the exact top-10.
 # Budget: well under 5 s.
 cargo run --release --offline -p openea-bench -- ann --smoke --no-out
+
+# Hot-swap smoke gate: Zipf replay over HTTP while /admin/reload walks a
+# chain of >= 3 artifact flips; gates zero dropped, zero stale-generation
+# and zero bit-divergent answers across every flip, and that /stats agrees
+# on the reload count and final generation. Budget: well under 5 s.
+cargo run --release --offline -p openea-bench -- swap --smoke --no-out
