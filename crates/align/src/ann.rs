@@ -62,25 +62,35 @@ impl Default for AnnConfig {
 }
 
 /// An inverted-file index over one side's embeddings: `nlist` centroids,
-/// CSR member lists (ids ascending within each list) and a list-contiguous
-/// copy of the member rows so re-ranking sweeps dense memory.
+/// CSR member lists (ids ascending within each list) and a list-contiguous,
+/// tile-transposed copy of the member rows so re-ranking sweeps dense
+/// dimension-major memory with the register microkernels — no per-query
+/// transpose.
 #[derive(Clone, Debug)]
 pub struct IvfIndex {
     dim: usize,
     metric: Metric,
     nlist: usize,
-    /// `nlist × dim`, row-major.
-    centroids: Vec<f32>,
+    /// The `nlist × dim` centroids as one dimension-major tile
+    /// ([`vecops::transpose_tile`] layout) so probe ordering runs the
+    /// transposed register kernels directly.
+    centroids_t: Vec<f32>,
     /// Norms of `centroids` under `metric` (empty unless the metric needs
     /// them) — probe ordering scores centroids with the *index* metric.
     centroid_norms: Vec<f32>,
-    /// CSR offsets into `ids`/`gathered`, length `nlist + 1`.
+    /// CSR offsets into `ids`/`gathered_t`, length `nlist + 1`.
     offsets: Vec<usize>,
     /// Target indices, ascending within each list.
     ids: Vec<u32>,
-    /// The target rows gathered list-contiguously (`ids.len() × dim`).
-    gathered: Vec<f32>,
-    /// Norms of `gathered` under `metric` (empty unless needed).
+    /// The member rows gathered list-contiguously and pre-transposed at
+    /// build time into the exact [`DEFAULT_TILE`]-wide dimension-major
+    /// blocks the re-rank sweep consumes: within each list, rows
+    /// `[g, g1)` (stepping `DEFAULT_TILE` from the list's start) occupy
+    /// `gathered_t[g*dim..g1*dim]` in [`vecops::transpose_tile`] layout.
+    /// Queries then skip the per-tile transpose entirely.
+    gathered_t: Vec<f32>,
+    /// Norms of the gathered rows under `metric` (empty unless needed),
+    /// indexed by gathered position `g`.
     gathered_norms: Vec<f32>,
 }
 
@@ -123,11 +133,11 @@ impl IvfIndex {
                 dim,
                 metric,
                 nlist: 0,
-                centroids: Vec::new(),
+                centroids_t: Vec::new(),
                 centroid_norms: Vec::new(),
                 offsets: vec![0],
                 ids: Vec::new(),
-                gathered: Vec::new(),
+                gathered_t: Vec::new(),
                 gathered_norms: Vec::new(),
             };
         }
@@ -204,15 +214,34 @@ impl IvfIndex {
         }
         let centroid_norms = metric.row_norms(&centroids, dim);
         let gathered_norms = metric.row_norms(&gathered, dim);
+
+        // Pre-transpose every re-rank tile once at build time. Blocks step
+        // `DEFAULT_TILE` from each *list's* start (not the global origin) so
+        // the query sweep can slice `gathered_t` with the same `[g, g1)`
+        // bounds it probes with.
+        let mut gathered_t = vec![0.0f32; gathered.len()];
+        let mut scratch = Vec::new();
+        for c in 0..nlist {
+            let (lo, hi) = (offsets[c], offsets[c + 1]);
+            let mut g = lo;
+            while g < hi {
+                let g1 = (g + DEFAULT_TILE).min(hi);
+                vecops::transpose_tile(&gathered[g * dim..g1 * dim], dim, &mut scratch);
+                gathered_t[g * dim..g1 * dim].copy_from_slice(&scratch);
+                g = g1;
+            }
+        }
+        let mut centroids_t = Vec::new();
+        vecops::transpose_tile(&centroids, dim, &mut centroids_t);
         Self {
             dim,
             metric,
             nlist,
-            centroids,
+            centroids_t,
             centroid_norms,
             offsets,
             ids,
-            gathered,
+            gathered_t,
             gathered_norms,
         }
     }
@@ -265,12 +294,11 @@ impl IvfIndex {
             0.0
         };
         let mut scores = vec![0.0f32; self.nlist];
-        self.metric.similarity_block(
+        self.metric.similarity_block_t(
             query,
             q_norm,
-            &self.centroids,
+            &self.centroids_t,
             &self.centroid_norms,
-            self.dim,
             &mut scores,
         );
         let mut order: Vec<u32> = (0..self.nlist as u32).collect();
@@ -314,7 +342,7 @@ impl IvfIndex {
             let mut g = lo;
             while g < hi {
                 let g1 = (g + DEFAULT_TILE).min(hi);
-                let tile = &self.gathered[g * self.dim..g1 * self.dim];
+                let tile_t = &self.gathered_t[g * self.dim..g1 * self.dim];
                 let tn: &[f32] = if self.gathered_norms.is_empty() {
                     &[]
                 } else {
@@ -322,7 +350,7 @@ impl IvfIndex {
                 };
                 let block = &mut scores[..g1 - g];
                 self.metric
-                    .similarity_block(query, q_norm, tile, tn, self.dim, block);
+                    .similarity_block_t(query, q_norm, tile_t, tn, block);
                 for (off, &s) in block.iter().enumerate() {
                     push_topk_any(&mut acc, k, self.ids[g + off], s);
                 }
@@ -390,7 +418,7 @@ mod tests {
         let b = IvfIndex::build(&dst, 5, Metric::Euclidean, &AnnConfig::default(), 8);
         assert_eq!(a.offsets, b.offsets);
         assert_eq!(a.ids, b.ids);
-        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.centroids_t, b.centroids_t);
     }
 
     #[test]

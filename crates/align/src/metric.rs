@@ -103,6 +103,29 @@ impl Metric {
         }
     }
 
+    /// [`Metric::similarity_block_t`] for [`vecops::PANEL`] source rows at
+    /// once (`a` is row-major `PANEL × dim`): the register-panel microkernel
+    /// amortizes each tile lane load over the four rows. Every output row is
+    /// bit-identical to the single-row `_t` dispatch, so callers can mix
+    /// panel and single-row sweeps freely.
+    #[inline]
+    pub fn similarity_panel_t(
+        self,
+        a: &[f32],
+        dim: usize,
+        a_norms: [f32; vecops::PANEL],
+        tile_t: &[f32],
+        tile_norms: &[f32],
+        out: [&mut [f32]; vecops::PANEL],
+    ) {
+        match self {
+            Metric::Cosine => vecops::cosine_panel_t(a, dim, a_norms, tile_t, tile_norms, out),
+            Metric::Inner => vecops::inner_panel_t(a, dim, tile_t, out),
+            Metric::Euclidean => vecops::neg_euclidean_panel_t(a, dim, tile_t, out),
+            Metric::Manhattan => vecops::neg_manhattan_panel_t(a, dim, tile_t, out),
+        }
+    }
+
     pub fn label(self) -> &'static str {
         match self {
             Metric::Cosine => "cosine",

@@ -97,12 +97,42 @@ impl SimilarityMatrix {
                     } else {
                         &dst_norms[j0..j1]
                     };
-                    for local in 0..chunk_len {
+                    // Register panels: PANEL source rows share each tile
+                    // lane load; the remainder rows take the single-row
+                    // kernel (bit-identical, so the split is unobservable).
+                    const P: usize = vecops::PANEL;
+                    let mut local = 0;
+                    while local + P <= chunk_len {
+                        let i = row0 + local;
+                        let a = &src[i * dim..(i + P) * dim];
+                        let a_norms: [f32; P] =
+                            std::array::from_fn(|r| src_norms.get(i + r).copied().unwrap_or(0.0));
+                        let quad = &mut out_chunk[local * cols..(local + P) * cols];
+                        let (r0, rest) = quad.split_at_mut(cols);
+                        let (r1, rest) = rest.split_at_mut(cols);
+                        let (r2, r3) = rest.split_at_mut(cols);
+                        metric.similarity_panel_t(
+                            a,
+                            dim,
+                            a_norms,
+                            &tile_t,
+                            tn,
+                            [
+                                &mut r0[j0..j1],
+                                &mut r1[j0..j1],
+                                &mut r2[j0..j1],
+                                &mut r3[j0..j1],
+                            ],
+                        );
+                        local += P;
+                    }
+                    while local < chunk_len {
                         let i = row0 + local;
                         let a = &src[i * dim..(i + 1) * dim];
                         let a_norm = src_norms.get(i).copied().unwrap_or(0.0);
                         let out = &mut out_chunk[local * cols + j0..local * cols + j1];
                         metric.similarity_block_t(a, a_norm, &tile_t, tn, out);
+                        local += 1;
                     }
                     j0 = j1;
                 }

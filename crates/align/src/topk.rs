@@ -140,7 +140,8 @@ impl TopKMatrix {
         parallel_chunks(&mut entries, chunk_rows * k, threads, |chunk_idx, out| {
             let row0 = chunk_idx * chunk_rows;
             let chunk_len = out.len() / k;
-            let mut scores = vec![0.0f32; tile.min(cols)];
+            const P: usize = vecops::PANEL;
+            let mut scores = vec![0.0f32; P * tile.min(cols)];
             let mut tile_t = Vec::new();
             // Tile-outer / row-inner so the transpose is amortized over the
             // chunk's rows. Each row's accumulator still sees target indices
@@ -156,15 +157,45 @@ impl TopKMatrix {
                 } else {
                     &dst_norms[j0..j1]
                 };
-                for (local, acc) in accs.iter_mut().enumerate() {
+                let bw = j1 - j0;
+                // Register panels over quads of chunk rows (scores are
+                // bit-identical to the single-row kernel, so the split is
+                // unobservable in the kept entries), remainder rows single.
+                let mut local = 0;
+                while local + P <= chunk_len {
+                    let i = row0 + local;
+                    let a = &src[i * dim..(i + P) * dim];
+                    let a_norms: [f32; P] =
+                        std::array::from_fn(|r| src_norms.get(i + r).copied().unwrap_or(0.0));
+                    let (s0, rest) = scores[..P * bw].split_at_mut(bw);
+                    let (s1, rest) = rest.split_at_mut(bw);
+                    let (s2, s3) = rest.split_at_mut(bw);
+                    metric.similarity_panel_t(
+                        a,
+                        dim,
+                        a_norms,
+                        &tile_t,
+                        tn,
+                        [&mut *s0, &mut *s1, &mut *s2, &mut *s3],
+                    );
+                    for (r, block) in [s0, s1, s2, s3].into_iter().enumerate() {
+                        let acc = &mut accs[local + r];
+                        for (off, &s) in block.iter().enumerate() {
+                            push_topk(acc, k, (j0 + off) as u32, s);
+                        }
+                    }
+                    local += P;
+                }
+                while local < chunk_len {
                     let i = row0 + local;
                     let a = &src[i * dim..(i + 1) * dim];
                     let a_norm = src_norms.get(i).copied().unwrap_or(0.0);
-                    let block = &mut scores[..j1 - j0];
+                    let block = &mut scores[..bw];
                     metric.similarity_block_t(a, a_norm, &tile_t, tn, block);
                     for (off, &s) in block.iter().enumerate() {
-                        push_topk(acc, k, (j0 + off) as u32, s);
+                        push_topk(&mut accs[local], k, (j0 + off) as u32, s);
                     }
+                    local += 1;
                 }
                 j0 = j1;
             }

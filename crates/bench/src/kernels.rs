@@ -10,7 +10,8 @@
 //! budget: well under 30 s) and writes no JSON.
 
 use crate::HarnessConfig;
-use openea::align::{Metric, SimilarityMatrix, TopKMatrix};
+use openea::align::{Metric, SimilarityMatrix, TopKMatrix, DEFAULT_TILE};
+use openea::math::{kernel, vecops};
 use openea_runtime::json::{object, Json, ToJson};
 use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
 use std::time::Instant;
@@ -43,9 +44,11 @@ fn time_ms(mut f: impl FnMut()) -> f64 {
 }
 
 /// Asserts the determinism contract on a fixed seed: tiled output is
-/// bit-identical to naive for every metric × tile × thread combination, and
-/// streaming top-k equals the full-matrix stable argsort prefix. Returns the
-/// number of (metric, tile, threads, shape) combinations checked.
+/// bit-identical to naive for every ISA backend × metric × tile × thread
+/// combination, and streaming top-k equals the full-matrix stable argsort
+/// prefix. The backend sweep (`force_backend` over everything the host
+/// supports) is what lets a single CI box certify scalar, SSE2 and AVX2 at
+/// once. Returns the number of combinations checked.
 fn check_equivalence(seed: u64) -> Result<usize, String> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut checked = 0usize;
@@ -54,48 +57,62 @@ fn check_equivalence(seed: u64) -> Result<usize, String> {
         let dst = embeddings(cols, dim, &mut rng);
         for metric in Metric::ALL {
             let naive = SimilarityMatrix::compute_naive(&src, &dst, dim, metric, 1);
-            for &tile in &[1usize, 7, 64] {
-                for &threads in &[1usize, 2, 8] {
-                    let tiled =
-                        SimilarityMatrix::compute_tiled(&src, &dst, dim, metric, threads, tile);
-                    for i in 0..rows {
-                        for j in 0..cols {
-                            let (a, b) = (naive.get(i, j), tiled.get(i, j));
-                            if a.to_bits() != b.to_bits() {
-                                return Err(format!(
-                                    "{} tile={tile} threads={threads} ({rows}x{cols}): \
-                                     tiled[{i},{j}]={b} != naive {a}",
-                                    metric.label()
-                                ));
+            for backend in kernel::supported_backends() {
+                kernel::force_backend(Some(backend));
+                for &tile in &[1usize, 7, 64] {
+                    for &threads in &[1usize, 2, 8] {
+                        let tiled =
+                            SimilarityMatrix::compute_tiled(&src, &dst, dim, metric, threads, tile);
+                        for i in 0..rows {
+                            for j in 0..cols {
+                                let (a, b) = (naive.get(i, j), tiled.get(i, j));
+                                if a.to_bits() != b.to_bits() {
+                                    kernel::force_backend(None);
+                                    return Err(format!(
+                                        "{} backend={} tile={tile} threads={threads} \
+                                         ({rows}x{cols}): tiled[{i},{j}]={b} != naive {a}",
+                                        metric.label(),
+                                        backend.label()
+                                    ));
+                                }
                             }
                         }
-                    }
-                    let topk = TopKMatrix::compute_tiled(&src, &dst, dim, metric, K, threads, tile);
-                    for i in 0..rows {
-                        for (rank, &(j, s)) in topk.row(i).iter().enumerate() {
-                            let (ej, es) = naive.topk_row(i, K)[rank];
-                            if j as usize != ej || s.to_bits() != es.to_bits() {
-                                return Err(format!(
-                                    "{} tile={tile} threads={threads}: topk[{i}][{rank}] = \
-                                     ({j},{s}) != argsort ({ej},{es})",
-                                    metric.label()
-                                ));
+                        let topk =
+                            TopKMatrix::compute_tiled(&src, &dst, dim, metric, K, threads, tile);
+                        for i in 0..rows {
+                            for (rank, &(j, s)) in topk.row(i).iter().enumerate() {
+                                let (ej, es) = naive.topk_row(i, K)[rank];
+                                if j as usize != ej || s.to_bits() != es.to_bits() {
+                                    kernel::force_backend(None);
+                                    return Err(format!(
+                                        "{} backend={} tile={tile} threads={threads}: \
+                                         topk[{i}][{rank}] = ({j},{s}) != argsort ({ej},{es})",
+                                        metric.label(),
+                                        backend.label()
+                                    ));
+                                }
                             }
                         }
+                        checked += 1;
                     }
-                    checked += 1;
                 }
             }
         }
     }
+    kernel::force_backend(None);
     Ok(checked)
 }
 
-/// One timing config of the grid.
+/// One timing config of the grid. Each entry records the kernel backend the
+/// dispatcher resolved plus the tile/panel register geometry, so a JSON
+/// number is never read without knowing which microkernel produced it.
 struct Entry {
     n: usize,
     dim: usize,
     threads: usize,
+    backend: &'static str,
+    tile: usize,
+    panel_rows: usize,
     naive_ms: f64,
     tiled_ms: f64,
     topk_ms: f64,
@@ -107,6 +124,9 @@ impl ToJson for Entry {
             ("entities", self.n.to_json()),
             ("dim", self.dim.to_json()),
             ("threads", self.threads.to_json()),
+            ("kernel_backend", self.backend.to_json()),
+            ("tile", self.tile.to_json()),
+            ("panel_rows", self.panel_rows.to_json()),
             ("naive_ms", self.naive_ms.to_json()),
             ("tiled_ms", self.tiled_ms.to_json()),
             ("tiled_topk_ms", self.topk_ms.to_json()),
@@ -134,7 +154,12 @@ pub fn kernels(cfg: &HarnessConfig, smoke: bool) {
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x6b65726e);
     let mut entries: Vec<Entry> = Vec::new();
-    println!("metric=cosine k={K} (times are best-of-reps, ms)");
+    println!(
+        "metric=cosine k={K} backend={} tile={DEFAULT_TILE} panel_rows={} \
+         (times are best-of-reps, ms)",
+        kernel::active_backend().label(),
+        vecops::PANEL
+    );
     println!(
         "{:>8} {:>5} {:>8} {:>12} {:>12} {:>12} {:>8}",
         "entities", "dim", "threads", "naive_ms", "tiled_ms", "topk_ms", "speedup"
@@ -180,6 +205,9 @@ pub fn kernels(cfg: &HarnessConfig, smoke: bool) {
                     n,
                     dim,
                     threads,
+                    backend: kernel::active_backend().label(),
+                    tile: DEFAULT_TILE,
+                    panel_rows: vecops::PANEL,
                     naive_ms,
                     tiled_ms,
                     topk_ms,
@@ -200,8 +228,11 @@ pub fn kernels(cfg: &HarnessConfig, smoke: bool) {
         ("seed", (cfg.seed as i64).to_json()),
         (
             "equivalence",
-            "tiled bit-identical to naive; topk equals stable argsort prefix".to_json(),
+            "tiled bit-identical to naive on every supported ISA backend; \
+             topk equals stable argsort prefix"
+                .to_json(),
         ),
+        ("kernel_backend", kernel::active_backend().label().to_json()),
         ("entries", entries.to_json()),
     ]);
     cfg.write_json("BENCH_kernels", &doc);
@@ -230,11 +261,14 @@ mod tests {
     }
 
     #[test]
-    fn entry_serializes_speedups() {
+    fn entry_serializes_speedups_and_geometry() {
         let e = Entry {
             n: 600,
             dim: 32,
             threads: 2,
+            backend: "avx2",
+            tile: DEFAULT_TILE,
+            panel_rows: vecops::PANEL,
             naive_ms: 9.0,
             tiled_ms: 3.0,
             topk_ms: 4.5,
@@ -243,5 +277,14 @@ mod tests {
         assert_eq!(j.get("entities").and_then(Json::as_f64), Some(600.0));
         assert_eq!(j.get("speedup_tiled").and_then(Json::as_f64), Some(3.0));
         assert_eq!(j.get("speedup_topk").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("kernel_backend").and_then(Json::as_str), Some("avx2"));
+        assert_eq!(
+            j.get("tile").and_then(Json::as_f64),
+            Some(DEFAULT_TILE as f64)
+        );
+        assert_eq!(
+            j.get("panel_rows").and_then(Json::as_f64),
+            Some(vecops::PANEL as f64)
+        );
     }
 }

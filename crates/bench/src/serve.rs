@@ -17,6 +17,8 @@
 //! latency sanity bound (~2 s) and writes no JSON.
 
 use crate::HarnessConfig;
+use openea::align::DEFAULT_TILE;
+use openea::math::{kernel, vecops};
 use openea::prelude::*;
 use openea_runtime::json::{object, Json, ToJson};
 use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
@@ -386,6 +388,9 @@ pub fn serve_bench(cfg: &HarnessConfig, smoke: bool) {
 
     let doc = object([
         ("experiment", "serve".to_json()),
+        ("kernel_backend", kernel::active_backend().label().to_json()),
+        ("tile", DEFAULT_TILE.to_json()),
+        ("panel_rows", vecops::PANEL.to_json()),
         ("seed", (cfg.seed as i64).to_json()),
         (
             "threads_available",

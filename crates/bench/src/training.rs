@@ -10,13 +10,17 @@
 //! parameters.
 //!
 //! The timing grid reports training pairs/sec of the serial reference vs
-//! the batched engine per thread count. Thread scaling only materializes on
-//! multi-core hosts; the JSON records `threads_available` so a ~1x result
-//! on a single-core CI container is readable as a hardware limit, not an
-//! engine regression. `--smoke` runs the gate plus one tiny grid and writes
-//! no JSON.
+//! the batched engine per thread count, and then enforces a throughput
+//! ratchet: batched TransE at **one thread** must reach at least 1.0x the
+//! serial reference (the flat-arena engine's floor; per-pair slot arenas
+//! historically sat at ~0.54x), exiting non-zero below it. Thread scaling
+//! only materializes on multi-core hosts; the JSON records
+//! `threads_available` so a ~1x result on a single-core CI container is
+//! readable as a hardware limit, not an engine regression. `--smoke` runs
+//! the gate, one tiny grid and the ratchet, and writes no JSON.
 
 use crate::HarnessConfig;
+use openea::math::kernel;
 use openea::math::negsamp::{RawTriple, UniformSampler};
 use openea::models::{
     train_epoch_batched, train_epoch_serial, DistMult, HolE, RelationModel, RotatE, TraceRecorder,
@@ -173,12 +177,17 @@ fn time_s(mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// One timing config of the grid.
+/// One timing config of the grid. `kernel_backend` records the microkernel
+/// ISA the dispatcher resolved for the run (gradient training itself is not
+/// block-kernelized, but the backend identifies the host class the numbers
+/// came from), together with the gradient-chunk balancing geometry.
 struct Entry {
     model: &'static str,
     triples: usize,
     dim: usize,
     threads: usize,
+    backend: &'static str,
+    batch_size: usize,
     serial_pps: f64,
     batched_pps: f64,
     /// Best-of-reps wall seconds for one epoch, the raw measurements the
@@ -194,6 +203,8 @@ impl ToJson for Entry {
             ("triples", self.triples.to_json()),
             ("dim", self.dim.to_json()),
             ("threads", self.threads.to_json()),
+            ("kernel_backend", self.backend.to_json()),
+            ("batch_size", self.batch_size.to_json()),
             ("serial_pairs_per_sec", self.serial_pps.to_json()),
             ("batched_pairs_per_sec", self.batched_pps.to_json()),
             ("serial_epoch_wall_s", self.serial_epoch_s.to_json()),
@@ -276,6 +287,8 @@ pub fn training(cfg: &HarnessConfig, smoke: bool) {
                 triples: n_triples,
                 dim,
                 threads,
+                backend: kernel::active_backend().label(),
+                batch_size: opts.batch_size,
                 serial_pps,
                 batched_pps,
                 serial_epoch_s: serial_s,
@@ -283,6 +296,26 @@ pub fn training(cfg: &HarnessConfig, smoke: bool) {
             });
         }
     }
+
+    // Throughput ratchet: the flat-arena batched engine must not be slower
+    // than the serial reference even at one thread — per-pair slot arenas
+    // historically cost ~2x here (0.54x ratio), and this gate keeps that
+    // regression from coming back. Single-thread is the honest comparison
+    // on any host: no parallelism to hide per-batch overhead behind.
+    let gate = entries
+        .iter()
+        .find(|e| e.model == "TransE" && e.threads == 1)
+        .expect("grid always times TransE at 1 thread");
+    let ratio = gate.batched_pps / gate.serial_pps;
+    if ratio < 1.0 {
+        eprintln!(
+            "FAILED — batched TransE at 1 thread is slower than serial: \
+             {:.0} vs {:.0} pairs/sec ({ratio:.2}x, gate requires >= 1.0x)",
+            gate.batched_pps, gate.serial_pps
+        );
+        std::process::exit(1);
+    }
+    println!("throughput ratchet: batched/serial TransE at 1 thread = {ratio:.2}x (>= 1.0x)");
 
     if smoke {
         println!("[training smoke OK]");
@@ -320,6 +353,7 @@ pub fn training(cfg: &HarnessConfig, smoke: bool) {
             "equivalence",
             "batched bs=1 bit-identical to serial; threads {1,2,8} bit-identical".to_json(),
         ),
+        ("kernel_backend", kernel::active_backend().label().to_json()),
         ("entries", entries.to_json()),
         ("example_trace", trace.to_json()),
     ]);
@@ -342,6 +376,8 @@ mod tests {
             triples: 2_000,
             dim: 32,
             threads: 2,
+            backend: "sse2",
+            batch_size: 4096,
             serial_pps: 50_000.0,
             batched_pps: 100_000.0,
             serial_epoch_s: 0.2,
@@ -350,6 +386,8 @@ mod tests {
         let j = e.to_json();
         assert_eq!(j.get("model").and_then(Json::as_str), Some("TransE"));
         assert_eq!(j.get("speedup").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("kernel_backend").and_then(Json::as_str), Some("sse2"));
+        assert_eq!(j.get("batch_size").and_then(Json::as_f64), Some(4096.0));
         assert_eq!(
             j.get("serial_epoch_wall_s").and_then(Json::as_f64),
             Some(0.2)

@@ -12,6 +12,7 @@
 
 pub mod embedding;
 pub mod init;
+pub mod kernel;
 pub mod loss;
 pub mod matrix;
 pub mod negsamp;

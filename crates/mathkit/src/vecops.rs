@@ -266,6 +266,16 @@ pub fn neg_manhattan_block(a: &[f32], tile: &[f32], dim: usize, out: &mut [f32])
 // inner sweep updates independent per-column accumulators from contiguous
 // memory — straight-line SIMD with no reassociation. The caller transposes
 // each tile once and amortizes it over every source row in its chunk.
+//
+// The accumulation loops live in [`crate::kernel`]: register-blocked
+// scalar/SSE2/AVX2 microkernels behind one runtime-dispatched entry point,
+// all bit-identical to each other (see that module's float-order contract).
+// This layer adds the metric-specific finish (cosine normalization, sqrt /
+// negation post-passes) and the `PANEL`-row variants that amortize each
+// tile load over four source rows.
+
+/// Source rows per register panel of the `*_panel_t` kernels.
+pub const PANEL: usize = crate::kernel::PANEL_ROWS;
 
 /// Transposes a row-major `rows × dim` tile into `out` (dimension-major:
 /// `out[d * rows + j] = tile[j * dim + d]`), reusing `out`'s allocation.
@@ -286,15 +296,7 @@ pub fn transpose_tile(tile: &[f32], dim: usize, out: &mut Vec<f32>) {
 /// same `-0.0` identity (see [`dot4`]).
 #[inline]
 pub fn inner_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
-    let cols = out.len();
-    debug_assert_eq!(tile_t.len(), a.len() * cols);
-    out.fill(-0.0);
-    for (d, &x) in a.iter().enumerate() {
-        let lane = &tile_t[d * cols..(d + 1) * cols];
-        for (o, &b) in out.iter_mut().zip(lane) {
-            *o += x * b;
-        }
-    }
+    crate::kernel::row_dot(a, tile_t, out);
 }
 
 /// `out[j] = cosine(a, tile_j)` over a dimension-major tile with precomputed
@@ -316,19 +318,12 @@ pub fn cosine_block_t(a: &[f32], na: f32, tile_t: &[f32], tile_norms: &[f32], ou
     }
 }
 
-/// `out[j] = -euclidean(a, tile_j)` over a dimension-major tile.
+/// `out[j] = -euclidean(a, tile_j)` over a dimension-major tile. The
+/// squared-distance fold is the SIMD microkernel; `sqrt` is IEEE
+/// correctly-rounded, so the scalar post-pass preserves bit identity.
 #[inline]
 pub fn neg_euclidean_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
-    let cols = out.len();
-    debug_assert_eq!(tile_t.len(), a.len() * cols);
-    out.fill(0.0);
-    for (d, &x) in a.iter().enumerate() {
-        let lane = &tile_t[d * cols..(d + 1) * cols];
-        for (o, &b) in out.iter_mut().zip(lane) {
-            let t = x - b;
-            *o += t * t;
-        }
-    }
+    crate::kernel::row_sqdist(a, tile_t, out);
     for o in out.iter_mut() {
         *o = -o.sqrt();
     }
@@ -337,17 +332,76 @@ pub fn neg_euclidean_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
 /// `out[j] = -manhattan(a, tile_j)` over a dimension-major tile.
 #[inline]
 pub fn neg_manhattan_block_t(a: &[f32], tile_t: &[f32], out: &mut [f32]) {
-    let cols = out.len();
-    debug_assert_eq!(tile_t.len(), a.len() * cols);
-    out.fill(0.0);
-    for (d, &x) in a.iter().enumerate() {
-        let lane = &tile_t[d * cols..(d + 1) * cols];
-        for (o, &b) in out.iter_mut().zip(lane) {
-            *o += (x - b).abs();
-        }
-    }
+    crate::kernel::row_absdist(a, tile_t, out);
     for o in out.iter_mut() {
         *o = -*o;
+    }
+}
+
+// ------------------------------------------------- register-panel kernels
+//
+// `PANEL` source rows against one dimension-major tile per call. Each
+// output row is bit-identical to the corresponding single-row `_t` kernel
+// (the microkernel contract), so callers may mix panel and single-row
+// sweeps freely — `SimilarityMatrix` / `TopKMatrix` use panels for the
+// quotient rows of a chunk and the single-row kernels for the remainder.
+
+/// `out[r][j] = dot(a_r, tile_j)` for the `PANEL` rows of `a`.
+#[inline]
+pub fn inner_panel_t(a: &[f32], dim: usize, tile_t: &[f32], out: [&mut [f32]; PANEL]) {
+    crate::kernel::panel_dot(a, dim, tile_t, out);
+}
+
+/// `out[r][j] = cosine(a_r, tile_j)` with precomputed norms; rows or
+/// columns with zero norm yield 0 exactly like [`cosine`].
+#[inline]
+pub fn cosine_panel_t(
+    a: &[f32],
+    dim: usize,
+    na: [f32; PANEL],
+    tile_t: &[f32],
+    tile_norms: &[f32],
+    out: [&mut [f32]; PANEL],
+) {
+    let [o0, o1, o2, o3] = out;
+    crate::kernel::panel_dot(a, dim, tile_t, [&mut *o0, &mut *o1, &mut *o2, &mut *o3]);
+    for (r, o) in [o0, o1, o2, o3].into_iter().enumerate() {
+        debug_assert_eq!(tile_norms.len(), o.len());
+        if na[r] == 0.0 {
+            o.fill(0.0);
+            continue;
+        }
+        for (v, &nb) in o.iter_mut().zip(tile_norms) {
+            *v = if nb == 0.0 {
+                0.0
+            } else {
+                (*v / (na[r] * nb)).clamp(-1.0, 1.0)
+            };
+        }
+    }
+}
+
+/// `out[r][j] = -euclidean(a_r, tile_j)` for the `PANEL` rows of `a`.
+#[inline]
+pub fn neg_euclidean_panel_t(a: &[f32], dim: usize, tile_t: &[f32], out: [&mut [f32]; PANEL]) {
+    let [o0, o1, o2, o3] = out;
+    crate::kernel::panel_sqdist(a, dim, tile_t, [&mut *o0, &mut *o1, &mut *o2, &mut *o3]);
+    for o in [o0, o1, o2, o3] {
+        for v in o.iter_mut() {
+            *v = -v.sqrt();
+        }
+    }
+}
+
+/// `out[r][j] = -manhattan(a_r, tile_j)` for the `PANEL` rows of `a`.
+#[inline]
+pub fn neg_manhattan_panel_t(a: &[f32], dim: usize, tile_t: &[f32], out: [&mut [f32]; PANEL]) {
+    let [o0, o1, o2, o3] = out;
+    crate::kernel::panel_absdist(a, dim, tile_t, [&mut *o0, &mut *o1, &mut *o2, &mut *o3]);
+    for o in [o0, o1, o2, o3] {
+        for v in o.iter_mut() {
+            *v = -*v;
+        }
     }
 }
 
@@ -510,6 +564,56 @@ mod tests {
         neg_manhattan_block_t(&a, &tile_t, &mut out);
         for (j, b) in tile.chunks_exact(dim).enumerate() {
             assert_eq!(out[j], -manhattan(&a, b));
+        }
+    }
+
+    #[test]
+    fn panel_kernels_match_single_row_kernels() {
+        // PANEL source rows (one of them all-zero to hit the cosine
+        // zero-norm row path) against 11 tile rows: vector blocks plus a
+        // scalar tail on every backend.
+        let dim = 5;
+        let cols = 11;
+        let mut a: Vec<f32> = (0..PANEL * dim).map(|x| (x as f32 * 0.7).cos()).collect();
+        a[2 * dim..3 * dim].fill(0.0);
+        let tile: Vec<f32> = (0..cols * dim).map(|x| (x as f32).sin()).collect();
+        let norms = row_norms(&tile, dim);
+        let mut tile_t = Vec::new();
+        transpose_tile(&tile, dim, &mut tile_t);
+        let na: [f32; PANEL] = std::array::from_fn(|r| norm2(&a[r * dim..(r + 1) * dim]));
+
+        let mut p = vec![0.0f32; PANEL * cols];
+        let run = |which: usize, p: &mut [f32]| {
+            let (o0, rest) = p.split_at_mut(cols);
+            let (o1, rest) = rest.split_at_mut(cols);
+            let (o2, o3) = rest.split_at_mut(cols);
+            let out = [o0, o1, o2, o3];
+            match which {
+                0 => inner_panel_t(&a, dim, &tile_t, out),
+                1 => cosine_panel_t(&a, dim, na, &tile_t, &norms, out),
+                2 => neg_euclidean_panel_t(&a, dim, &tile_t, out),
+                _ => neg_manhattan_panel_t(&a, dim, &tile_t, out),
+            }
+        };
+        let mut single = vec![0.0f32; cols];
+        for which in 0..4 {
+            run(which, &mut p);
+            for r in 0..PANEL {
+                let ar = &a[r * dim..(r + 1) * dim];
+                match which {
+                    0 => inner_block_t(ar, &tile_t, &mut single),
+                    1 => cosine_block_t(ar, na[r], &tile_t, &norms, &mut single),
+                    2 => neg_euclidean_block_t(ar, &tile_t, &mut single),
+                    _ => neg_manhattan_block_t(ar, &tile_t, &mut single),
+                }
+                for j in 0..cols {
+                    assert_eq!(
+                        p[r * cols + j].to_bits(),
+                        single[j].to_bits(),
+                        "kernel {which} row {r} col {j}"
+                    );
+                }
+            }
         }
     }
 

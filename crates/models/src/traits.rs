@@ -12,7 +12,7 @@
 //!   derived default; unmigrated models keep their `step` override and the
 //!   batched trainer (see [`crate::trainer`]) falls back to it.
 
-use crate::trainer::Gradients;
+use crate::trainer::{Gradients, PairScratch};
 use openea_math::negsamp::{NegSampler, RawTriple};
 use openea_math::EmbeddingTable;
 use openea_runtime::rng::Rng;
@@ -89,6 +89,144 @@ pub trait RelationModel: Send + Sync {
     /// trainer checks this once per epoch to pick the parallel path.
     fn supports_gradients(&self) -> bool {
         false
+    }
+
+    /// Fused compute-and-apply for one pair: equivalent to
+    /// `pair_gradients` into `scratch.grads` followed by `apply_gradients`,
+    /// and **bit-identical** to that sequence — overrides may skip the arena
+    /// (applying rank-1 updates straight onto the parameter rows) but must
+    /// preserve the exact per-location arithmetic and write order of the
+    /// recorded path. Returns `None` for models without the gradient
+    /// pathway.
+    ///
+    /// This is the fast path of the serial reference and of single-pair
+    /// batches, where "deltas against batch-start parameters" and "deltas
+    /// against current parameters" coincide, so skipping the arena cannot be
+    /// observed in the trained bits.
+    fn apply_pair(
+        &mut self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        scratch: &mut PairScratch,
+    ) -> Option<f32> {
+        scratch.grads.clear();
+        let loss = self.pair_gradients(pos, neg, lr, &mut scratch.grads)?;
+        self.apply_gradients(&scratch.grads);
+        Some(loss)
+    }
+
+    /// Length (in `f32`s) of one pair's pass-1 state on the *compact*
+    /// batched pathway, or `None` (the default) to train through the
+    /// general [`Gradients`] arena.
+    ///
+    /// The compact pathway is a specialisation for models whose per-pair
+    /// update is a rank-1 function of a small read-only state vector (e.g.
+    /// TransE's two difference vectors, `2·dim` floats instead of `6·dim`
+    /// recorded deltas): pass 1 ([`RelationModel::pair_compact`]) records
+    /// that state in parallel against the batch-start parameters, pass 2
+    /// ([`RelationModel::apply_compact`]) replays the rank-1 row updates
+    /// serially in pair order. Implementations must keep both passes
+    /// bit-identical to the recorded `pair_gradients` → `apply_gradients`
+    /// sequence — same per-location arithmetic, same write order — so the
+    /// batched trainer may substitute one pathway for the other without the
+    /// trained bits (or the cross-thread determinism argument) changing.
+    fn compact_state_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Pass 1 of the compact pathway: reading only the *current* parameters,
+    /// appends exactly [`RelationModel::compact_state_len`] floats of
+    /// per-pair state to `out` and returns the pair's `(loss, g_pos, g_neg)`
+    /// loss terms. State is appended even for inactive (`loss <= 0`) pairs
+    /// so pair `i` of a chunk always lives at `i · compact_state_len()`.
+    fn pair_compact(
+        &self,
+        _pos: RawTriple,
+        _neg: RawTriple,
+        _out: &mut Vec<f32>,
+    ) -> (f32, f32, f32) {
+        panic!(
+            "{}: `pair_compact` called but the compact pathway is not implemented",
+            self.name()
+        );
+    }
+
+    /// Pass 2 of the compact pathway: replays one pair's parameter update
+    /// from the state recorded by [`RelationModel::pair_compact`] and the
+    /// returned loss `terms`, mutating the rows in exactly the order (and
+    /// with exactly the per-location arithmetic) the recorded
+    /// `apply_gradients` replay would have used. Inactive pairs
+    /// (`loss <= 0`) must write nothing — the recorded path emits no
+    /// entries for them, and adding even a `±0.0` delta is not bitwise
+    /// neutral.
+    fn apply_compact(
+        &mut self,
+        _pos: RawTriple,
+        _neg: RawTriple,
+        _terms: (f32, f32, f32),
+        _state: &[f32],
+        _lr: f32,
+        _scratch: &mut PairScratch,
+    ) {
+        panic!(
+            "{}: `apply_compact` called but the compact pathway is not implemented",
+            self.name()
+        );
+    }
+
+    /// Prepares the *fused* single-thread variant of the compact pathway
+    /// for one batch: copies every piece of parameter state that
+    /// [`RelationModel::apply_compact_pair`] reads into the trainer-owned
+    /// snapshot buffers (`scratch.snap_a` / `scratch.snap_b`), reusing
+    /// their allocations. Required whenever `compact_state_len()` is
+    /// `Some`.
+    fn begin_compact_batch(&self, _scratch: &mut PairScratch) {
+        panic!(
+            "{}: `begin_compact_batch` called but the compact pathway is not implemented",
+            self.name()
+        );
+    }
+
+    /// Computes one *positive* triple's shared pass state from the
+    /// batch-start snapshot (e.g. TransE's difference vector, into
+    /// `scratch.a`) and returns its energy. On the fused path every one of
+    /// a positive's `negs_per_pos` pairs reads the same frozen parameters,
+    /// so this runs **once per positive** and
+    /// [`RelationModel::apply_compact_pair`] reuses it — a reuse the
+    /// serial reference cannot perform (its parameters legitimately drift
+    /// between a positive's pairs) and which is bitwise-free here: the
+    /// recomputed vector would be identical.
+    fn compact_positive(&self, _pos: RawTriple, _scratch: &mut PairScratch) -> f32 {
+        panic!(
+            "{}: `compact_positive` called but the compact pathway is not implemented",
+            self.name()
+        );
+    }
+
+    /// Fused deferred update for one pair: computes the negative's state
+    /// and the loss terms *from the batch-start snapshot* taken by
+    /// [`RelationModel::begin_compact_batch`] (the positive's state and
+    /// energy come from [`RelationModel::compact_positive`]), applies the
+    /// rank-1 updates to the live rows, and returns the pair loss. Because
+    /// every read comes from the frozen snapshot, this is bit-identical to
+    /// recording the whole batch first and replaying it in pair order —
+    /// the two-pass pathway and the arena pathway — while skipping all
+    /// per-pair state traffic. The trainer only takes this route at one
+    /// effective worker thread, where there is no parallel recording pass
+    /// to preserve.
+    fn apply_compact_pair(
+        &mut self,
+        _pos: RawTriple,
+        _neg: RawTriple,
+        _pos_energy: f32,
+        _lr: f32,
+        _scratch: &mut PairScratch,
+    ) -> f32 {
+        panic!(
+            "{}: `apply_compact_pair` called but the compact pathway is not implemented",
+            self.name()
+        );
     }
 
     /// Per-epoch maintenance (norm constraints etc.). Default: none.

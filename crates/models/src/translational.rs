@@ -10,7 +10,7 @@
 //! for the positive pair, and both pairs now read consistent pre-update
 //! state.
 
-use crate::trainer::{add_delta, Gradients};
+use crate::trainer::{add_delta, Gradients, PairScratch};
 use crate::traits::RelationModel;
 use openea_math::loss::margin_ranking_loss;
 use openea_math::negsamp::RawTriple;
@@ -37,6 +37,12 @@ pub enum LossKind {
         lambda_neg: f32,
         mu: f32,
     },
+}
+
+/// One row of a flat snapshot table (the compact pathway's frozen
+/// batch-start copies live in plain `Vec<f32>`s, not `EmbeddingTable`s).
+fn snap_row(table: &[f32], i: u32, dim: usize) -> &[f32] {
+    &table[i as usize * dim..(i as usize + 1) * dim]
 }
 
 /// TransE: `φ(h, r, t) = ‖h + r − t‖`.
@@ -77,6 +83,32 @@ impl TransE {
         }
     }
 
+    /// The energy `‖h + r − t‖`, streamed with no difference buffer. The
+    /// fold replicates `vecops::norm1`/`norm2_sq` over a materialized
+    /// difference vector exactly (`f32` iterator sums seed from `-0.0` and
+    /// accumulate sequentially), so the result is bit-identical to the
+    /// historical allocate-then-norm path.
+    fn phi(&self, (h, r, t): RawTriple) -> f32 {
+        let he = self.entities.row(h as usize);
+        let re = self.relations.row(r as usize);
+        let te = self.entities.row(t as usize);
+        let mut acc = -0.0f32;
+        match self.norm {
+            Norm::L1 => {
+                for i in 0..he.len() {
+                    acc += (he[i] + re[i] - te[i]).abs();
+                }
+            }
+            Norm::L2Sq => {
+                for i in 0..he.len() {
+                    let d = he[i] + re[i] - te[i];
+                    acc += d * d;
+                }
+            }
+        }
+        acc
+    }
+
     /// Gradient of the energy w.r.t. the difference vector `d`.
     fn denergy(&self, d: &[f32], out: &mut [f32]) {
         match self.norm {
@@ -93,22 +125,157 @@ impl TransE {
         }
     }
 
+    fn norm_of(&self, d: &[f32]) -> f32 {
+        match self.norm {
+            Norm::L1 => vecops::norm1(d),
+            Norm::L2Sq => vecops::norm2_sq(d),
+        }
+    }
+
+    fn loss_terms(&self, np: f32, nn: f32) -> (f32, f32, f32) {
+        match self.loss {
+            LossKind::Margin => margin_ranking_loss(np, nn, self.margin),
+            LossKind::Limit {
+                lambda_pos,
+                lambda_neg,
+                mu,
+            } => openea_math::loss::limit_based_loss(np, nn, lambda_pos, lambda_neg, mu),
+        }
+    }
+
     /// Records one triple's deltas: `h -= g`, `r -= g`, `t += g` with
     /// `g = coeff·∂φ/∂d·lr`, in that entry order (head entry before tail so
-    /// self-loops replay the historical per-location sequence).
-    fn emit(&self, (h, r, t): RawTriple, coeff: f32, grad_d: &[f32], lr: f32, out: &mut Gradients) {
+    /// self-loops replay the historical per-location sequence). The
+    /// difference vector `d = h + r − t` is recomputed on the fly per
+    /// location — `pair_gradients` is read-only, so the recomputed values
+    /// (and hence the recorded bits) match a materialized buffer exactly,
+    /// and the pathway allocates nothing beyond the arena itself.
+    fn emit(&self, (h, r, t): RawTriple, coeff: f32, lr: f32, out: &mut Gradients) {
         let dim = self.entities.dim();
+        let he = self.entities.row(h as usize);
+        let re = self.relations.row(r as usize);
+        let te = self.entities.row(t as usize);
+        let g = |i: usize| {
+            let d = he[i] + re[i] - te[i];
+            match self.norm {
+                Norm::L1 => d.signum(),
+                Norm::L2Sq => 2.0 * d,
+            }
+        };
         let gh = out.push(Self::ENT, h as usize, dim);
-        for (o, &g) in gh.iter_mut().zip(grad_d) {
-            *o = -(coeff * g * lr);
+        for (i, o) in gh.iter_mut().enumerate() {
+            *o = -(coeff * g(i) * lr);
         }
         let gr = out.push(Self::REL, r as usize, dim);
-        for (o, &g) in gr.iter_mut().zip(grad_d) {
-            *o = -(coeff * g * lr);
+        for (i, o) in gr.iter_mut().enumerate() {
+            *o = -(coeff * g(i) * lr);
         }
         let gt = out.push(Self::ENT, t as usize, dim);
-        for (o, &g) in gt.iter_mut().zip(grad_d) {
-            *o = coeff * g * lr;
+        for (i, o) in gt.iter_mut().enumerate() {
+            *o = coeff * g(i) * lr;
+        }
+    }
+
+    /// Fused difference-and-energy pass: writes `d = h + r − t` into `out`
+    /// while folding the norm in the same per-location sequence
+    /// [`TransE::phi`] uses (accumulator seeded from `-0.0`, one add per
+    /// location, in order) — the returned energy is bit-identical to
+    /// [`TransE::norm_of`] over the materialized vector, in one pass
+    /// instead of two.
+    fn diff_phi(&self, (h, r, t): RawTriple, out: &mut [f32]) -> f32 {
+        self.diff_phi_rows(
+            self.entities.row(h as usize),
+            self.relations.row(r as usize),
+            self.entities.row(t as usize),
+            out,
+        )
+    }
+
+    /// [`TransE::diff_phi`] over caller-supplied rows — the same fold, so
+    /// the fused snapshot path (reading frozen batch-start copies) produces
+    /// the exact bits of the live-table path.
+    fn diff_phi_rows(&self, he: &[f32], re: &[f32], te: &[f32], out: &mut [f32]) -> f32 {
+        // Equal-length reslices let the element loops drop their bounds
+        // checks; the arithmetic per location is untouched.
+        let n = out.len();
+        let (he, re, te) = (&he[..n], &re[..n], &te[..n]);
+        let mut acc = -0.0f32;
+        match self.norm {
+            Norm::L1 => {
+                for i in 0..n {
+                    let d = he[i] + re[i] - te[i];
+                    out[i] = d;
+                    acc += d.abs();
+                }
+            }
+            Norm::L2Sq => {
+                for i in 0..n {
+                    let d = he[i] + re[i] - te[i];
+                    out[i] = d;
+                    acc += d * d;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Pass 2 of the compact pathway for one triple: materializes
+    /// `v[i] = -(coeff·g(i)·lr)` once into `v` — the exact expression
+    /// [`TransE::emit`] records for the head entry — then replays the
+    /// arena's row updates as `h += v`, `r += v`, `t += −v`. Negation is an
+    /// exact sign flip, so `−v[i]` carries the bit pattern of the recorded
+    /// tail delta `coeff·g(i)·lr`; every written bit matches the
+    /// `emit` + `apply_gradients` sequence at a third of the multiplies.
+    fn apply_compact_triple(
+        &mut self,
+        (h, r, t): RawTriple,
+        coeff: f32,
+        d: &[f32],
+        v: &mut [f32],
+        lr: f32,
+    ) {
+        // The head pass materializes v and applies it in one sweep; the
+        // relation and tail rows then replay `+v` / `+(−v)`. Every write is
+        // the recorded path's expression: `-(coeff·g·lr)` for head and
+        // relation, and `-v` is an exact sign flip, so the tail's
+        // `+(coeff·g·lr)` bits are reproduced, not re-derived.
+        match self.norm {
+            Norm::L1 => {
+                for ((o, &x), row) in v.iter_mut().zip(d).zip(self.entities.row_mut(h as usize)) {
+                    let g = -(coeff * x.signum() * lr);
+                    *o = g;
+                    *row += g;
+                }
+            }
+            Norm::L2Sq => {
+                for ((o, &x), row) in v.iter_mut().zip(d).zip(self.entities.row_mut(h as usize)) {
+                    let g = -(coeff * (2.0 * x) * lr);
+                    *o = g;
+                    *row += g;
+                }
+            }
+        }
+        for (o, &x) in self.relations.row_mut(r as usize).iter_mut().zip(&*v) {
+            *o += x;
+        }
+        for (o, &x) in self.entities.row_mut(t as usize).iter_mut().zip(&*v) {
+            *o += -x;
+        }
+    }
+
+    /// [`TransE::emit`] applied straight onto the parameter rows: the same
+    /// expressions, in the same per-location order (`h`, `r`, `t`) the
+    /// recorded arena would have replayed — `row += -(coeff·g·lr)` is the
+    /// exact bit pattern of zero-init + `emit` + `add_delta`.
+    fn apply_rank1(&mut self, (h, r, t): RawTriple, coeff: f32, grad_d: &[f32], lr: f32) {
+        for (o, &g) in self.entities.row_mut(h as usize).iter_mut().zip(grad_d) {
+            *o += -(coeff * g * lr);
+        }
+        for (o, &g) in self.relations.row_mut(r as usize).iter_mut().zip(grad_d) {
+            *o += -(coeff * g * lr);
+        }
+        for (o, &g) in self.entities.row_mut(t as usize).iter_mut().zip(grad_d) {
+            *o += coeff * g * lr;
         }
     }
 }
@@ -119,18 +286,17 @@ impl RelationModel for TransE {
     }
 
     fn energy(&self, triple: RawTriple) -> f32 {
-        let mut d = vec![0.0; self.entities.dim()];
-        self.diff(triple, &mut d);
-        match self.norm {
-            Norm::L1 => vecops::norm1(&d),
-            Norm::L2Sq => vecops::norm2_sq(&d),
-        }
+        self.phi(triple)
     }
 
     fn supports_gradients(&self) -> bool {
         true
     }
 
+    /// Allocation-free: losses stream through [`TransE::phi`] and the
+    /// deltas recompute the difference vectors inside [`TransE::emit`] —
+    /// the historical three scratch `Vec`s per pair are gone, the recorded
+    /// bits are unchanged.
     fn pair_gradients(
         &self,
         pos: RawTriple,
@@ -138,35 +304,38 @@ impl RelationModel for TransE {
         lr: f32,
         out: &mut Gradients,
     ) -> Option<f32> {
-        let dim = self.entities.dim();
-        let mut dp = vec![0.0; dim];
-        let mut dn = vec![0.0; dim];
-        self.diff(pos, &mut dp);
-        self.diff(neg, &mut dn);
-        let norm_of = |d: &[f32]| match self.norm {
-            Norm::L1 => vecops::norm1(d),
-            Norm::L2Sq => vecops::norm2_sq(d),
-        };
-        let (loss, gp, gn) = match self.loss {
-            LossKind::Margin => margin_ranking_loss(norm_of(&dp), norm_of(&dn), self.margin),
-            LossKind::Limit {
-                lambda_pos,
-                lambda_neg,
-                mu,
-            } => openea_math::loss::limit_based_loss(
-                norm_of(&dp),
-                norm_of(&dn),
-                lambda_pos,
-                lambda_neg,
-                mu,
-            ),
-        };
+        let (loss, gp, gn) = self.loss_terms(self.phi(pos), self.phi(neg));
         if loss > 0.0 {
-            let mut grad = vec![0.0; dim];
-            self.denergy(&dp, &mut grad);
-            self.emit(pos, gp, &grad, lr, out);
-            self.denergy(&dn, &mut grad);
-            self.emit(neg, gn, &grad, lr, out);
+            self.emit(pos, gp, lr, out);
+            self.emit(neg, gn, lr, out);
+        }
+        Some(loss)
+    }
+
+    /// The arena-skipping rank-1 fast path: difference vectors and gradients
+    /// land in the trainer's reusable scratch, deltas go straight onto the
+    /// rows via [`TransE::apply_rank1`]. Bit-identical to the recorded
+    /// default — both gradient vectors derive from pre-update parameters and
+    /// the write order matches `emit`'s entry order exactly.
+    fn apply_pair(
+        &mut self,
+        pos: RawTriple,
+        neg: RawTriple,
+        lr: f32,
+        scratch: &mut PairScratch,
+    ) -> Option<f32> {
+        let dim = self.entities.dim();
+        scratch.a.resize(dim, 0.0);
+        scratch.b.resize(dim, 0.0);
+        scratch.c.resize(dim, 0.0);
+        self.diff(pos, &mut scratch.a);
+        self.diff(neg, &mut scratch.b);
+        let (loss, gp, gn) = self.loss_terms(self.norm_of(&scratch.a), self.norm_of(&scratch.b));
+        if loss > 0.0 {
+            self.denergy(&scratch.a, &mut scratch.c);
+            self.apply_rank1(pos, gp, &scratch.c, lr);
+            self.denergy(&scratch.b, &mut scratch.c);
+            self.apply_rank1(neg, gn, &scratch.c, lr);
         }
         Some(loss)
     }
@@ -180,6 +349,112 @@ impl RelationModel for TransE {
             };
             add_delta(dst, delta);
         }
+    }
+
+    /// The compact pathway's per-pair state: the two difference vectors
+    /// (`2·dim` floats), the only batch-start-dependent inputs of TransE's
+    /// update — a third of the `6·dim` deltas the arena records per pair.
+    fn compact_state_len(&self) -> Option<usize> {
+        Some(2 * self.entities.dim())
+    }
+
+    /// Pass 1: appends `d_pos` then `d_neg` while folding each energy in
+    /// the same pass ([`TransE::diff_phi`]). Read-only, so worker chunks
+    /// record concurrently against batch-start parameters; the returned
+    /// loss terms reproduce [`TransE::pair_gradients`]' bits exactly.
+    fn pair_compact(&self, pos: RawTriple, neg: RawTriple, out: &mut Vec<f32>) -> (f32, f32, f32) {
+        let dim = self.entities.dim();
+        let base = out.len();
+        out.resize(base + 2 * dim, 0.0);
+        let (dp, dn) = out[base..].split_at_mut(dim);
+        let np = self.diff_phi(pos, dp);
+        let nn = self.diff_phi(neg, dn);
+        self.loss_terms(np, nn)
+    }
+
+    /// Pass 2: replays both triples' rank-1 updates from the recorded
+    /// difference vectors ([`TransE::apply_compact_triple`]). Inactive
+    /// pairs write nothing, mirroring `pair_gradients`' `loss > 0` guard —
+    /// the recorded path emits no entries for them.
+    fn apply_compact(
+        &mut self,
+        pos: RawTriple,
+        neg: RawTriple,
+        terms: (f32, f32, f32),
+        state: &[f32],
+        lr: f32,
+        scratch: &mut PairScratch,
+    ) {
+        let (loss, gp, gn) = terms;
+        if loss <= 0.0 {
+            return;
+        }
+        let dim = self.entities.dim();
+        scratch.c.resize(dim, 0.0);
+        let (dp, dn) = state.split_at(dim);
+        self.apply_compact_triple(pos, gp, dp, &mut scratch.c, lr);
+        self.apply_compact_triple(neg, gn, dn, &mut scratch.c, lr);
+    }
+
+    /// Freezes the batch-start parameters for the fused path: both tables,
+    /// since [`TransE::apply_compact_pair`] reads entity and relation rows.
+    fn begin_compact_batch(&self, scratch: &mut PairScratch) {
+        scratch.snap_a.clear();
+        scratch.snap_a.extend_from_slice(self.entities.data());
+        scratch.snap_b.clear();
+        scratch.snap_b.extend_from_slice(self.relations.data());
+    }
+
+    /// The positive's difference vector and energy, from the frozen
+    /// snapshot into `scratch.a` — computed once per positive and reused
+    /// across its `negs_per_pos` pairs (identical bits to recomputing:
+    /// every pair of the positive reads the same batch-start parameters).
+    fn compact_positive(&self, pos: RawTriple, scratch: &mut PairScratch) -> f32 {
+        let dim = self.entities.dim();
+        scratch.a.resize(dim, 0.0);
+        self.diff_phi_rows(
+            snap_row(&scratch.snap_a, pos.0, dim),
+            snap_row(&scratch.snap_b, pos.1, dim),
+            snap_row(&scratch.snap_a, pos.2, dim),
+            &mut scratch.a,
+        )
+    }
+
+    /// The fused single-thread compact update: difference vectors and loss
+    /// terms come from the frozen snapshot (exact batch-start bits), the
+    /// rank-1 replay goes onto the live rows — the same arithmetic, in the
+    /// same order, as recording the batch and replaying it pair by pair.
+    fn apply_compact_pair(
+        &mut self,
+        pos: RawTriple,
+        neg: RawTriple,
+        pos_energy: f32,
+        lr: f32,
+        scratch: &mut PairScratch,
+    ) -> f32 {
+        let dim = self.entities.dim();
+        let PairScratch {
+            a,
+            b,
+            c,
+            snap_a,
+            snap_b,
+            ..
+        } = scratch;
+        b.resize(dim, 0.0);
+        c.resize(dim, 0.0);
+        let nn = self.diff_phi_rows(
+            snap_row(snap_a, neg.0, dim),
+            snap_row(snap_b, neg.1, dim),
+            snap_row(snap_a, neg.2, dim),
+            b,
+        );
+        let (loss, gp, gn) = self.loss_terms(pos_energy, nn);
+        if loss > 0.0 {
+            self.apply_compact_triple(pos, gp, a, c, lr);
+            self.apply_compact_triple(neg, gn, b, c, lr);
+        }
+        loss
     }
 
     fn epoch_hook(&mut self) {
@@ -715,6 +990,50 @@ mod tests {
                 _ => run(&mut TransD::new(3, 1, 8, 2.0, &mut rng)),
             }
             assert!(after < before, "model {which}: {before} -> {after}");
+        }
+    }
+
+    /// TransE's rank-1 `apply_pair` override skips the gradient arena but
+    /// must reproduce the recorded path's bits exactly — per location, in
+    /// the same write order. Checked over repeated pairs (so parameters
+    /// drift), both norms, and self-loop triples where head == tail aliases
+    /// the same row within one pair.
+    #[test]
+    fn transe_apply_pair_matches_recorded_path_bitwise() {
+        for norm in [Norm::L2Sq, Norm::L1] {
+            let mut recorded = TransE::new(6, 2, 8, 1.5, &mut rng());
+            recorded.norm = norm;
+            let mut fast = TransE::new(6, 2, 8, 1.5, &mut rng());
+            fast.norm = norm;
+            let mut grads = Gradients::new();
+            let mut scratch = PairScratch::default();
+            let pairs: [(RawTriple, RawTriple); 4] = [
+                ((0, 0, 1), (0, 0, 2)),
+                ((3, 1, 3), (3, 1, 4)), // self-loop positive
+                ((1, 0, 2), (5, 0, 5)), // self-loop negative
+                ((0, 0, 1), (0, 0, 2)), // repeat after drift
+            ];
+            for &(pos, neg) in &pairs {
+                grads.clear();
+                let l0 = recorded
+                    .pair_gradients(pos, neg, 0.07, &mut grads)
+                    .expect("gradient pathway");
+                recorded.apply_gradients(&grads);
+                let l1 = fast
+                    .apply_pair(pos, neg, 0.07, &mut scratch)
+                    .expect("gradient pathway");
+                assert_eq!(l0.to_bits(), l1.to_bits(), "loss bits ({norm:?})");
+                assert_eq!(
+                    recorded.entities.data(),
+                    fast.entities.data(),
+                    "entity bits diverged ({norm:?})"
+                );
+                assert_eq!(
+                    recorded.relations.data(),
+                    fast.relations.data(),
+                    "relation bits diverged ({norm:?})"
+                );
+            }
         }
     }
 

@@ -70,9 +70,14 @@ fn run_family(family: DatasetFamily, min_hits1: f64) {
 }
 
 /// Golden embedding hashes for every registry approach on the fixed fixture
-/// below, captured on the pre-engine drivers. The driver-engine migration
-/// must reproduce these bit-for-bit at every thread count: the refactor
-/// moved scaffolding, not math.
+/// below. Any change to the training arithmetic must land as an explicit,
+/// reviewed update of this table (the test prints the replacement constants
+/// on divergence); thread-count invariance is asserted unconditionally.
+///
+/// These constants pre-date the flat-arena trainer overhaul and survived it
+/// unchanged: the chunked gradient arenas, fused in-batch negative sampling
+/// and single-pair `apply_pair` fast path were all engineered to replay the
+/// historical per-pair arithmetic bit-for-bit, and this table is the proof.
 const GOLDEN_HASHES: [(&str, u64); 12] = [
     ("MTransE", 0xa355c7feec9e21ea),
     ("IPTransE", 0xa56ddc7bdd0adbe9),
@@ -129,6 +134,124 @@ fn golden_hashes_bit_identical_across_thread_counts() {
         diverged.is_empty(),
         "embedding hashes diverged from golden for {diverged:?}"
     );
+}
+
+mod trainer_golden {
+    //! Golden FNV-1a hashes of the raw batched-trainer output, one per
+    //! gradient-pathway model — a tighter net than the approach-level table
+    //! above: it pins the *engine arithmetic* itself, with no driver,
+    //! alignment module or literal machinery in the loop. A trainer change
+    //! either proves itself bit-preserving against these or lands an
+    //! explicit reviewed update of the constants (the test prints the
+    //! replacement table on divergence).
+
+    use openea::math::negsamp::{RawTriple, UniformSampler};
+    use openea::models::{
+        train_epoch_batched, DistMult, HolE, RelationModel, RotatE, SimplE, TrainOptions, TransD,
+        TransE, TransH, TransR,
+    };
+    use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+
+    const SEED: u64 = 29;
+    const ENTITIES: u32 = 50;
+    const RELATIONS: u32 = 4;
+    const DIM: usize = 8;
+
+    /// Captured on the flat chunk-arena engine: gradients for each batch are
+    /// recorded against batch-start parameters into per-chunk arenas and
+    /// applied in ascending chunk order, so the concatenated entry sequence
+    /// equals pair order — the exact arithmetic of the historical per-pair
+    /// slot engine, independent of thread count and chunk geometry.
+    const GOLDEN: [(&str, u64); 8] = [
+        ("TransE", 0x0d480ae3ccdd1de9),
+        ("TransH", 0x41bb246175357ff5),
+        ("TransR", 0xf0bf6a88e5d4bc91),
+        ("TransD", 0x8279cbc5277703ce),
+        ("DistMult", 0xad7f7f215bebcce5),
+        ("HolE", 0xfd3af46dbb0b9b82),
+        ("SimplE", 0x0fe856a0b7d52559),
+        ("RotatE", 0xe48025675704a481),
+    ];
+
+    /// FNV-1a 64 over little-endian `f32` bit patterns — the repo's standard
+    /// content-hash primitive, reimplemented locally so the pinned constants
+    /// do not depend on any library hasher.
+    fn fnv1a64(values: impl Iterator<Item = f32>) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in values {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    fn model(name: &str) -> Box<dyn RelationModel> {
+        let mut rng = SmallRng::seed_from_u64(SEED ^ 0x6d6f64);
+        let (n, r, d) = (ENTITIES as usize, RELATIONS as usize, DIM);
+        match name {
+            "TransE" => Box::new(TransE::new(n, r, d, 1.0, &mut rng)),
+            "TransH" => Box::new(TransH::new(n, r, d, 1.0, &mut rng)),
+            "TransR" => Box::new(TransR::new(n, r, d, 1.0, &mut rng)),
+            "TransD" => Box::new(TransD::new(n, r, d, 1.0, &mut rng)),
+            "DistMult" => Box::new(DistMult::new(n, r, d, &mut rng)),
+            "HolE" => Box::new(HolE::new(n, r, d, &mut rng)),
+            "SimplE" => Box::new(SimplE::new(n, r, d, &mut rng)),
+            _ => Box::new(RotatE::new(n, r, d, 1.0, &mut rng)),
+        }
+    }
+
+    #[test]
+    fn batched_trainer_output_is_pinned_per_model() {
+        let mut rng = SmallRng::seed_from_u64(SEED);
+        let triples: Vec<RawTriple> = (0..100)
+            .map(|_| {
+                (
+                    rng.gen_range(0..ENTITIES),
+                    rng.gen_range(0..RELATIONS),
+                    rng.gen_range(0..ENTITIES),
+                )
+            })
+            .collect();
+        let probes = &triples[..10];
+        let sampler = UniformSampler {
+            num_entities: ENTITIES,
+        };
+        let opts = TrainOptions {
+            lr: 0.05,
+            negs_per_pos: 2,
+            batch_size: 7,
+            threads: 2,
+            min_pairs_per_thread: 1,
+        };
+        let mut diverged = Vec::new();
+        for (name, want) in GOLDEN {
+            let mut m = model(name);
+            for epoch in 0..3u64 {
+                train_epoch_batched(m.as_mut(), &triples, &sampler, &opts, SEED + epoch)
+                    .expect("valid trainer config");
+            }
+            // Entity table bits plus probe energies: the energies fold the
+            // relation-side parameters (hyperplanes, maps, phases) into the
+            // digest, so no table can drift unobserved.
+            let got = fnv1a64(
+                m.entities()
+                    .data()
+                    .iter()
+                    .copied()
+                    .chain(probes.iter().map(|&t| m.energy(t))),
+            );
+            println!("        (\"{name}\", {got:#018x}),");
+            if got != want {
+                diverged.push(name);
+            }
+        }
+        assert!(
+            diverged.is_empty(),
+            "trainer output hashes diverged from golden for {diverged:?}"
+        );
+    }
 }
 
 mod engine {

@@ -115,6 +115,58 @@ props! {
         }
     }
 
+    /// Edge-value stress: embeddings drawn from a palette of ±0.0,
+    /// subnormals (smallest and mid-range, both signs) and magnitudes whose
+    /// squares overflow `f32` must still be bit-identical between the tiled
+    /// kernels and the naive reference for all four metrics — infinities
+    /// and NaNs included, which is why the comparison is on bit patterns.
+    /// Inputs are palette *indices*, so shrinking stays inside the edge set.
+    #[test]
+    fn tiled_matches_naive_on_denormal_and_overflow_palettes(
+        rows in 1usize..7,
+        cols in 1usize..9,
+        dim_m1 in 0usize..7,
+        levels in vec_of(0u8..10, 120)
+    ) {
+        const PALETTE: [f32; 10] = [
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,       // smallest normal
+            -f32::MIN_POSITIVE,
+            1.0e-45,                 // smallest subnormal
+            -6.0e-39,                // mid-range subnormal
+            2.0e19,                  // squares past f32::MAX → ±inf
+            -2.0e19,
+            1.0,
+            -0.75,
+        ];
+        let dim = dim_m1 + 1;
+        prop_assume!((rows + cols) * dim <= levels.len());
+        let values: Vec<f32> = levels.iter().map(|&v| PALETTE[v as usize]).collect();
+        let src = &values[..rows * dim];
+        let dst = &values[rows * dim..(rows + cols) * dim];
+        for metric in Metric::ALL {
+            let naive = SimilarityMatrix::compute_naive(src, dst, dim, metric, 1);
+            for tile in TILES {
+                for threads in THREADS {
+                    let tiled =
+                        SimilarityMatrix::compute_tiled(src, dst, dim, metric, threads, tile);
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            prop_assert_eq!(
+                                naive.get(i, j).to_bits(),
+                                tiled.get(i, j).to_bits(),
+                                "{} tile={} threads={} ({},{}): {} vs {}",
+                                metric.label(), tile, threads, i, j,
+                                naive.get(i, j), tiled.get(i, j)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Tie stress: scores drawn from three discrete values force massive
     /// ties; selection must stay the stable lowest-index-wins argsort.
     #[test]
