@@ -17,7 +17,7 @@ pub use openea_models::trainer::{
 };
 use openea_runtime::rng::{RngCore, SmallRng};
 
-use crate::engine::RunContext;
+use crate::engine::{Lineage, RunContext, WarmStart};
 pub use openea_models::traits::EpochStats;
 use std::collections::{HashMap, HashSet};
 
@@ -207,6 +207,11 @@ pub struct ApproachOutput {
     /// Default (empty) for approaches that do not train through the batched
     /// engine.
     pub trace: TrainTrace,
+    /// Provenance when the run warm-started from a snapshot: parent
+    /// generation and cumulative epoch count, stamped by the engine.
+    /// `None` for cold runs, keeping their artifacts byte-identical to the
+    /// pre-lineage format.
+    pub lineage: Option<Lineage>,
 }
 
 impl ApproachOutput {
@@ -220,6 +225,7 @@ impl ApproachOutput {
             emb2,
             augmentation: Vec::new(),
             trace: TrainTrace::default(),
+            lineage: None,
         }
     }
 
@@ -577,6 +583,24 @@ pub fn augmentation_quality(
     precision_recall_f1(&pred, &gold_raw)
 }
 
+/// Reserved RNG stream tag for warm-start seeding: new entities are seeded
+/// from `stream(seed ^ WARM_SEED_STREAM, key)` where `key` identifies the
+/// entity, so the seeded bits depend only on `(run seed, entity)` — not on
+/// how many other entities exist in the generation.
+pub const WARM_SEED_STREAM: u64 = 0x5741_524d_5345_4544; // "WARMSEED"
+
+/// Fills one new entity's row from its reserved warm-start stream: a
+/// symmetric uniform draw L2-normalized, the same row distribution the
+/// `Unit` initializer produces for cold models.
+pub fn warm_seed_row(seed: u64, key: u64, row: &mut [f32]) {
+    use openea_runtime::rng::Rng;
+    let mut rng = SmallRng::stream(seed ^ WARM_SEED_STREAM, key);
+    for x in row.iter_mut() {
+        *x = rng.gen_range(-1.0f32..=1.0);
+    }
+    vecops::normalize(row);
+}
+
 /// Shared driver state for approaches whose epoch is one batched TransE
 /// pass over a unified space (JAPE, IMUSE, IPTransE, AttrE, MultiKE): the
 /// space, the model initialized from the driver RNG, the uniform negative
@@ -609,6 +633,32 @@ impl UnifiedTransE {
             opts,
             rng,
         }
+    }
+
+    /// Absorbs previous-generation parameters into the unified table:
+    /// rows of entities the parent snapshot knew are copied from it (on
+    /// seed-shared unified rows the KG2 copy wins, a fixed write order),
+    /// new entities are seeded from the reserved warm stream keyed by
+    /// unified id. Returns `false` — leaving the cold init untouched —
+    /// when the snapshot dimension differs from the model's.
+    pub fn warm_start(&mut self, warm: &WarmStart<'_>, ctx: &RunContext<'_>) -> bool {
+        use openea_models::traits::RelationModel;
+        let (rows1, rows2) = (warm.rows1(), warm.rows2());
+        let mut prev = Vec::with_capacity(warm.emb1.len() + warm.emb2.len());
+        prev.extend_from_slice(warm.emb1);
+        prev.extend_from_slice(warm.emb2);
+        let mut src: Vec<Option<usize>> = vec![None; self.space.num_entities];
+        for (e, &u) in self.space.map1.iter().enumerate().take(rows1) {
+            src[u as usize] = Some(e);
+        }
+        for (e, &u) in self.space.map2.iter().enumerate().take(rows2) {
+            src[u as usize] = Some(rows1 + e);
+        }
+        let seed = ctx.seed;
+        self.model
+            .init_from(warm.dim, &prev, &|u| src[u], &mut |u, row| {
+                warm_seed_row(seed, u as u64, row)
+            })
     }
 
     /// One guarded batched epoch; a no-op under `use_relations == false`.

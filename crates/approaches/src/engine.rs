@@ -94,6 +94,66 @@ pub trait CheckpointSink: Sync {
     fn on_complete(&self, _label: &str, _out: &ApproachOutput) {}
 }
 
+/// Previous-generation parameters for resuming training, in the layout the
+/// serving snapshot stores them: KG1 rows then KG2 rows, `dim` floats each.
+/// Row `i` of `emb1`/`emb2` is entity `i` of the respective KG — entity ids
+/// are stable across generations (evolution traces only append), so a
+/// driver warm-starts by copying row-for-row and seeding the tail.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmStart<'a> {
+    /// Width of each stored row. Drivers whose entity dimension differs
+    /// (RotatE interleaves, SimplE halves) refuse the warm start and fall
+    /// back to cold init.
+    pub dim: usize,
+    pub emb1: &'a [f32],
+    pub emb2: &'a [f32],
+    /// [`Snapshot::generation`] of the snapshot these parameters came from;
+    /// stamped into the output's [`Lineage`].
+    pub parent_generation: u64,
+    /// Cumulative epochs already spent producing these parameters.
+    pub trained_epochs: u64,
+}
+
+impl WarmStart<'_> {
+    /// KG1 entities present in the warm parameters.
+    pub fn rows1(&self) -> usize {
+        self.emb1.len() / self.dim.max(1)
+    }
+
+    /// KG2 entities present in the warm parameters.
+    pub fn rows2(&self) -> usize {
+        self.emb2.len() / self.dim.max(1)
+    }
+}
+
+/// What is new in this run's inputs relative to the warm snapshot. Entity
+/// ids are stable and delta steps strictly extend, so "new" is a suffix:
+/// KG1 entities `>= known1` (and KG2 `>= known2`) did not exist in the
+/// parent generation. Carried for telemetry and delta bookkeeping; the
+/// engine itself only threads it through.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaPlan {
+    /// KG1 entities already present in the warm snapshot.
+    pub known1: usize,
+    /// KG2 entities already present in the warm snapshot.
+    pub known2: usize,
+    /// Relation triples (both KGs) new since the warm snapshot.
+    pub new_triples: usize,
+}
+
+/// Provenance of a trained output: which snapshot generation it resumed
+/// from and the cumulative epoch count across the whole lineage chain.
+/// Stamped by the engine on every checkpoint of a warm-started run and
+/// persisted in the version-2 snapshot header; cold runs carry `None` so
+/// their artifacts stay byte-identical to the pre-lineage format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lineage {
+    /// Generation fingerprint of the parent snapshot.
+    pub parent_generation: u64,
+    /// Epochs spent across all generations up to and including this output.
+    pub trained_epochs: u64,
+}
+
 /// Everything a driver run needs beyond the hyper-parameters: the run seed
 /// (root of every reserved RNG stream), the worker thread count, an
 /// optional wall/epoch [`Budget`], the validation pairs the engine
@@ -113,6 +173,11 @@ pub struct RunContext<'a> {
     /// Artifact receiver for checkpoint / final embeddings (the serving
     /// layer's snapshot writer). `None` — the default — emits nothing.
     pub artifacts: Option<&'a dyn CheckpointSink>,
+    /// Previous-generation parameters to resume from. `None` — the default
+    /// — trains cold, bit-identical to the pre-warm-start engine.
+    pub warm: Option<&'a WarmStart<'a>>,
+    /// What is new relative to `warm`; `None` when unknown or cold.
+    pub delta: Option<DeltaPlan>,
 }
 
 impl<'a> RunContext<'a> {
@@ -126,6 +191,8 @@ impl<'a> RunContext<'a> {
             valid: None,
             sink: None,
             artifacts: None,
+            warm: None,
+            delta: None,
         }
     }
 
@@ -148,6 +215,21 @@ impl<'a> RunContext<'a> {
     /// The same context with validation checkpoints driven by `valid`.
     pub fn for_valid(mut self, valid: &'a [AlignedPair]) -> RunContext<'a> {
         self.valid = Some(valid);
+        self
+    }
+
+    /// The same context resuming from a previous generation's parameters.
+    /// Drivers that cannot absorb them (see [`EpochHooks::warm_start`])
+    /// train cold; the run still succeeds.
+    pub fn resume_from(mut self, warm: &'a WarmStart<'a>) -> RunContext<'a> {
+        self.warm = Some(warm);
+        self
+    }
+
+    /// The same context annotated with what is new relative to the warm
+    /// snapshot.
+    pub fn with_delta(mut self, plan: DeltaPlan) -> RunContext<'a> {
+        self.delta = Some(plan);
         self
     }
 
@@ -190,6 +272,22 @@ pub trait EpochHooks {
     /// checkpoints and once more for the final result when no checkpoint
     /// was retained.
     fn checkpoint(&mut self, ctx: &RunContext<'_>) -> ApproachOutput;
+
+    /// Absorbs previous-generation parameters before epoch 0 when the
+    /// context carries a [`WarmStart`]. Returns `true` when the parameters
+    /// were absorbed (the engine then stamps [`Lineage`] on every
+    /// checkpoint); the default returns `false` — the driver trains cold
+    /// and the run proceeds exactly as without a warm start, so every
+    /// driver accepts a resume request without per-driver changes.
+    ///
+    /// Implementations live in the shared components (the unified-space
+    /// trainer, the transformation harness), not in individual drivers:
+    /// copy warm rows for entities the parent generation knew, seed new
+    /// entities from a reserved per-entity RNG stream, and refuse (return
+    /// `false`) on any dimension mismatch.
+    fn warm_start(&mut self, _warm: &WarmStart<'_>, _ctx: &RunContext<'_>) -> bool {
+        false
+    }
 }
 
 /// Runs the shared driver loop: epoch iteration under the context's budget,
@@ -206,9 +304,26 @@ pub fn run_driver<H: EpochHooks>(
 ) -> Result<ApproachOutput, TrainError> {
     cfg.validate()?;
     let start = Instant::now();
+    // Warm-start absorption happens once, before epoch 0. When the hooks
+    // decline (default), the run trains cold and no lineage is stamped —
+    // the cold path through the rest of the loop is bit-identical to the
+    // pre-warm-start engine.
+    let lineage = match ctx.warm {
+        Some(w) if hooks.warm_start(w, ctx) => Some(*w),
+        _ => None,
+    };
+    let stamp = |out: &mut ApproachOutput, epochs_done: u64| {
+        if let Some(w) = &lineage {
+            out.lineage = Some(Lineage {
+                parent_generation: w.parent_generation,
+                trained_epochs: w.trained_epochs + epochs_done,
+            });
+        }
+    };
     let mut rec = TraceRecorder::new(label);
     let mut stopper = EarlyStopper::new(cfg.patience);
     let mut best: Option<ApproachOutput> = None;
+    let mut epochs_done = 0u64;
     for epoch in 0..cfg.max_epochs {
         if ctx.budget.exhausted(start.elapsed(), epoch) {
             rec.deadline_stop(epoch);
@@ -219,11 +334,13 @@ pub fn run_driver<H: EpochHooks>(
         let stats = hooks.train_epoch(epoch, ctx);
         hooks.after_epoch(epoch, ctx);
         rec.end_epoch(epoch, stats);
+        epochs_done += 1;
 
         let mut stop = false;
         if let Some(valid) = ctx.valid {
             if (epoch + 1).is_multiple_of(cfg.check_every) {
                 let mut out = hooks.checkpoint(ctx);
+                stamp(&mut out, epochs_done);
                 let score = validation_hits1(&out, valid, ctx.threads);
                 rec.record_validation(score);
                 if let Some(artifacts) = ctx.artifacts {
@@ -246,7 +363,11 @@ pub fn run_driver<H: EpochHooks>(
             break;
         }
     }
-    let mut out = best.unwrap_or_else(|| hooks.checkpoint(ctx));
+    let mut out = best.unwrap_or_else(|| {
+        let mut o = hooks.checkpoint(ctx);
+        stamp(&mut o, epochs_done);
+        o
+    });
     out.trace = rec.finish();
     if let Some(sink) = ctx.sink {
         sink.on_stop(label, &out.trace.stop);

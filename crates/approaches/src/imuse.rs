@@ -9,7 +9,7 @@ use crate::common::{
     weighted_concat, Approach, ApproachOutput, Combination, EpochStats, Requirements, RunConfig,
     TrainError, UnifiedSpace, UnifiedTransE,
 };
-use crate::engine::{run_driver, EpochHooks, RunContext};
+use crate::engine::{run_driver, EpochHooks, RunContext, WarmStart};
 use openea_align::{greedy_collective, Metric, SimilarityMatrix};
 use openea_core::{AlignedPair, EntityId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_models::{RelationModel, TransE};
@@ -139,6 +139,10 @@ struct Hooks<'a> {
 }
 
 impl EpochHooks for Hooks<'_> {
+    fn warm_start(&mut self, warm: &WarmStart<'_>, ctx: &RunContext<'_>) -> bool {
+        self.base.warm_start(warm, ctx)
+    }
+
     fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
         // Attribute-only mode still needs *some* embedding: entities keep
         // their initialization; only the combination matters.

@@ -13,7 +13,7 @@ use crate::common::{
     augmentation_quality, calibrate, Approach, ApproachOutput, Combination, EpochStats,
     Requirements, RunConfig, TrainError, UnifiedSpace, UnifiedTransE,
 };
-use crate::engine::{run_driver, EpochHooks, RunContext};
+use crate::engine::{run_driver, EpochHooks, RunContext, WarmStart};
 use openea_align::{Metric, PrfScores};
 use openea_core::{EntityId, FoldSplit, KgPair};
 use openea_models::TransE;
@@ -168,6 +168,10 @@ struct Hooks<'a> {
 }
 
 impl EpochHooks for Hooks<'_> {
+    fn warm_start(&mut self, warm: &WarmStart<'_>, ctx: &RunContext<'_>) -> bool {
+        self.base.warm_start(warm, ctx)
+    }
+
     fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
         let stats = self.base.train_epoch(self.cfg);
         if self.cfg.use_relations {

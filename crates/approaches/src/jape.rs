@@ -12,7 +12,7 @@ use crate::common::{
     weighted_concat, Approach, ApproachOutput, Combination, EpochStats, Req, Requirements,
     RunConfig, TrainError, UnifiedSpace, UnifiedTransE,
 };
-use crate::engine::{run_driver, EpochHooks, RunContext};
+use crate::engine::{run_driver, EpochHooks, RunContext, WarmStart};
 use openea_align::Metric;
 use openea_core::{AttributeId, FoldSplit, KgPair, KnowledgeGraph};
 use openea_models::{AttrCorrelationModel, TransE};
@@ -130,6 +130,10 @@ struct Hooks<'a> {
 }
 
 impl EpochHooks for Hooks<'_> {
+    fn warm_start(&mut self, warm: &WarmStart<'_>, ctx: &RunContext<'_>) -> bool {
+        self.base.warm_start(warm, ctx)
+    }
+
     fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
         self.base.train_epoch(self.cfg)
     }

@@ -45,5 +45,8 @@ pub use common::{
     evaluate_output, Approach, ApproachOutput, Req, Requirements, RunConfig, StopReason,
     TrainError, TrainTrace, UnifiedSpace,
 };
-pub use engine::{run_driver, Budget, CheckpointSink, EpochHooks, RunContext, TelemetrySink};
+pub use engine::{
+    run_driver, Budget, CheckpointSink, DeltaPlan, EpochHooks, Lineage, RunContext, TelemetrySink,
+    WarmStart,
+};
 pub use registry::{all_approaches, approach_by_name, ApproachKind};

@@ -10,7 +10,7 @@ use crate::common::{
     entity_name_literal, literal_features, weighted_concat, Approach, ApproachOutput, Combination,
     EpochStats, Req, Requirements, RunConfig, TrainError, UnifiedSpace, UnifiedTransE,
 };
-use crate::engine::{run_driver, EpochHooks, RunContext};
+use crate::engine::{run_driver, EpochHooks, RunContext, WarmStart};
 use openea_align::Metric;
 use openea_core::{FoldSplit, KgPair, KnowledgeGraph};
 use openea_models::literal::LiteralEncoder;
@@ -97,6 +97,10 @@ struct Hooks<'a> {
 }
 
 impl EpochHooks for Hooks<'_> {
+    fn warm_start(&mut self, warm: &WarmStart<'_>, ctx: &RunContext<'_>) -> bool {
+        self.base.warm_start(warm, ctx)
+    }
+
     fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
         self.base.train_epoch(self.cfg)
     }

@@ -7,7 +7,7 @@ use crate::common::{
     train_epoch_batched, Approach, ApproachOutput, EpochStats, Requirements, RunConfig, TrainError,
     TrainOptions,
 };
-use crate::engine::{run_driver, EpochHooks, RunContext};
+use crate::engine::{run_driver, EpochHooks, RunContext, WarmStart};
 use openea_align::Metric;
 use openea_core::{AlignedPair, FoldSplit, KgPair};
 use openea_math::negsamp::{RawTriple, UniformSampler};
@@ -184,6 +184,38 @@ impl EpochHooks for Hooks<'_, '_> {
             self.cfg,
             self.harness.metric,
         )
+    }
+
+    fn warm_start(&mut self, warm: &WarmStart<'_>, ctx: &RunContext<'_>) -> bool {
+        // The snapshot stores the *mapped* KG1 output (M·e₁) against raw
+        // KG2 rows, so absorption folds the parent's map into e₁: load the
+        // mapped rows directly and reset `M` (and the cycle back-map) to
+        // the exact identity. A zero-epoch checkpoint then reproduces the
+        // parent's bits. New entities seed from the reserved warm stream,
+        // KG2 keys offset into a disjoint range.
+        let seed = ctx.seed;
+        let (rows1, rows2) = (warm.rows1(), warm.rows2());
+        if !self.m1.init_from(
+            warm.dim,
+            warm.emb1,
+            &|i| (i < rows1).then_some(i),
+            &mut |i, row| crate::common::warm_seed_row(seed, i as u64, row),
+        ) {
+            return false;
+        }
+        // Same factory and cfg.dim as m1, so this cannot refuse once m1
+        // absorbed — the guard is belt and braces.
+        if !self.m2.init_from(
+            warm.dim,
+            warm.emb2,
+            &|i| (i < rows2).then_some(i),
+            &mut |i, row| crate::common::warm_seed_row(seed, (1u64 << 32) | i as u64, row),
+        ) {
+            return false;
+        }
+        self.map = Matrix::identity(self.cfg.dim);
+        self.back = Matrix::identity(self.cfg.dim);
+        true
     }
 }
 

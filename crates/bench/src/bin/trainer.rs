@@ -1,0 +1,183 @@
+//! `openea-trainer` — drive the live alignment pipeline from the command
+//! line: train a base generation on an evolution trace, then fine-tune
+//! one generation per delta step, publishing each artifact over the live
+//! snapshot path. Point a watching server at that path
+//! (`openea-serve <dir>/live.snap --watch`) and every generation flips in
+//! with zero downtime.
+//!
+//! ```text
+//! openea-trainer --out DIR [--seed N] [--entities N] [--steps N]
+//!                [--epochs N] [--threads N] [--delta] [--emit-generations]
+//!
+//!   --delta             warm-start each step from the previous generation
+//!                       (<= 25% of the full epoch budget); default is a
+//!                       full cold retrain per step
+//!   --emit-generations  additionally keep every generation as
+//!                       DIR/gen-<k>.snap next to the live artifact
+//! ```
+
+use openea::approaches::DeltaPlan;
+use openea::prelude::*;
+use openea::synth::EvolutionConfig;
+use openea_bench::live::{publish, train_generation};
+use openea_serve::Snapshot;
+use std::path::PathBuf;
+
+struct Args {
+    out: PathBuf,
+    seed: u64,
+    entities: usize,
+    steps: usize,
+    epochs: usize,
+    threads: usize,
+    delta: bool,
+    emit_generations: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\nrun openea-trainer --help for usage");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("live-out"),
+        seed: 7,
+        entities: 300,
+        steps: 3,
+        epochs: 20,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16),
+        delta: false,
+        emit_generations: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        let mut value = |name: &str| -> String {
+            i += 1;
+            argv.get(i)
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed"))
+            }
+            "--entities" => {
+                args.entities = value("--entities")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --entities"))
+            }
+            "--steps" => {
+                args.steps = value("--steps")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --steps"))
+            }
+            "--epochs" => {
+                args.epochs = value("--epochs")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --epochs"))
+            }
+            "--threads" => {
+                args.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --threads"))
+            }
+            "--delta" => args.delta = true,
+            "--emit-generations" => args.emit_generations = true,
+            "--help" | "-h" => {
+                println!(
+                    "openea-trainer — warm-start delta-training over an evolution trace\n\n\
+                     usage: openea-trainer --out DIR [--seed N] [--entities N] [--steps N]\n\
+                            [--epochs N] [--threads N] [--delta] [--emit-generations]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    if args.epochs == 0 || args.steps == 0 {
+        die("--epochs and --steps must be positive");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let delta_cap = (args.epochs / 4).max(1);
+    std::fs::create_dir_all(&args.out).unwrap_or_else(|e| die(&format!("cannot create out: {e}")));
+    let live = args.out.join("live.snap");
+    let train_dir = args.out.join(".train");
+
+    println!(
+        "trace: {} final entities/KG, {} delta steps; mode: {}",
+        args.entities,
+        args.steps,
+        if args.delta {
+            "delta (warm-start fine-tune)"
+        } else {
+            "full retrain per step"
+        }
+    );
+    let trace = EvolutionConfig::new(DatasetFamily::DY, args.entities, args.steps, args.seed)
+        .with_base_fraction(0.6)
+        .with_threads(args.threads)
+        .generate();
+
+    for (k, step) in trace.steps.iter().enumerate() {
+        let parent = if k > 0 && args.delta {
+            let snap = Snapshot::read_from(&live)
+                .unwrap_or_else(|e| die(&format!("cannot read parent artifact: {e}")));
+            Some(snap.into_model_params())
+        } else {
+            None
+        };
+        let plan = DeltaPlan {
+            known1: step.known1(),
+            known2: step.known2(),
+            new_triples: step.new_rel_triples,
+        };
+        let gen = train_generation(
+            &step.pair,
+            args.seed,
+            args.threads,
+            args.epochs,
+            parent.as_ref().map(|p| (p, plan)),
+            delta_cap,
+            &train_dir,
+        );
+        publish(&gen.snap, &live, k);
+        if args.emit_generations {
+            let keep = args.out.join(format!("gen-{k}.snap"));
+            gen.snap
+                .write_to(&keep)
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", keep.display())));
+        }
+        let lineage = match gen.snap.lineage {
+            Some(l) => format!(
+                "parent {:#018x}, {} cumulative epochs",
+                l.parent_generation, l.trained_epochs
+            ),
+            None => "cold".into(),
+        };
+        println!(
+            "gen {k}: {:#018x} ({} entities, {} epochs, Hits@1 {:.3}, {:.1}s) — {}",
+            gen.snap.generation(),
+            step.pair.kg1.num_entities(),
+            gen.epochs,
+            gen.hits1,
+            gen.train_s,
+            lineage
+        );
+    }
+    let _ = std::fs::remove_dir_all(&train_dir);
+    println!("live artifact: {}", live.display());
+}

@@ -15,6 +15,7 @@ pub mod approaches_gate;
 pub mod datasets;
 pub mod figures;
 pub mod kernels;
+pub mod live;
 pub mod runner;
 pub mod serve;
 pub mod swap;

@@ -1,0 +1,448 @@
+//! `openea-bench live` — the live alignment pipeline end to end.
+//!
+//! An evolution trace (base KG pair + N deterministic delta steps, from
+//! `openea_synth::evolve`) drives the full warm-start chain: each step
+//! fine-tunes the previous generation's snapshot (engine warm start,
+//! ≤ 25 % of the full-retrain epoch budget), writes a lineage-stamped
+//! version-2 artifact over the live path, and the PR-7 snapshot watcher
+//! flips it into the running server with zero downtime. Three things are
+//! measured and gated per step:
+//!
+//! 1. **convergence** — delta-training Hits@1 must land within 2 points
+//!    of a full retrain of the same step (same split, same seed);
+//! 2. **freshness** — the train-to-serve lag: training finished → the new
+//!    generation first observable over HTTP (artifact write + watcher
+//!    debounce + load/build/warm + atomic flip);
+//! 3. **correctness** — replay clients hammer the server across every
+//!    flip with the torture-kit classifier: zero dropped, zero
+//!    stale-generation, zero bit-divergent answers, and the lineage chain
+//!    (`parent_generation` → previous generation, cumulative
+//!    `trained_epochs`) must be intact both in the artifacts and in the
+//!    server's `/stats` freshness gauges.
+//!
+//! The full run writes `results/BENCH_live.json`; `--smoke` is the CI
+//! gate (tiny trace, 2 delta steps, seconds).
+
+use crate::swap::{client_issuer, fail, http_get_json, parse_generation, PhaseTotals, References};
+use crate::HarnessConfig;
+use openea::approaches::{DeltaPlan, WarmStart};
+use openea::prelude::*;
+use openea::synth::EvolutionConfig;
+use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::rng::{SeedableRng, SmallRng};
+use openea_runtime::testkit::replay::ReplayOptions;
+use openea_runtime::timer::Monotonic;
+use openea_serve::{
+    serve_hot, HotSwapIndex, IndexOptions, ModelParams, ServerOptions, Snapshot, SnapshotWriter,
+};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// The registry approach the pipeline trains. Its snapshot dimension
+/// equals `RunConfig::dim`, so the warm-start dimension guard accepts.
+const APPROACH: &str = "MTransE";
+const ZIPF_S: f64 = 1.1;
+
+/// One trained generation: the reloaded artifact (the exact bytes the
+/// server will flip in) plus its training cost and test quality.
+pub struct TrainedGen {
+    pub snap: Snapshot,
+    /// Epochs actually trained this generation (early stopping included).
+    pub epochs: usize,
+    /// Hits@1 on the step's test split.
+    pub hits1: f64,
+    pub train_s: f64,
+}
+
+/// Trains one generation on `pair` — cold when `parent` is `None`,
+/// warm-started delta-training capped at `delta_cap` epochs otherwise —
+/// through the real engine → snapshot-writer → reload path.
+pub fn train_generation(
+    pair: &KgPair,
+    seed: u64,
+    threads: usize,
+    full_epochs: usize,
+    parent: Option<(&ModelParams, DeltaPlan)>,
+    delta_cap: usize,
+    work_dir: &Path,
+) -> TrainedGen {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let folds = k_fold_splits(&pair.alignment, 3, &mut rng);
+    let rc = RunConfig {
+        dim: 16,
+        max_epochs: full_epochs,
+        threads,
+        seed,
+        ..RunConfig::default()
+    };
+    std::fs::create_dir_all(work_dir).expect("create train dir");
+    let writer = SnapshotWriter::new(work_dir, Vec::new(), Vec::new());
+    let approach = approach_by_name(APPROACH).expect("registry approach");
+    let warm: Option<WarmStart<'_>> = parent.map(|(p, _)| p.warm_start());
+    let mut ctx = RunContext::new(&rc)
+        .for_valid(&folds[0].valid)
+        .with_artifacts(&writer);
+    if let (Some(w), Some((_, plan))) = (warm.as_ref(), parent) {
+        ctx = ctx
+            .resume_from(w)
+            .with_delta(plan)
+            .with_budget(Budget::epochs(delta_cap));
+    }
+    let clock = Monotonic::start();
+    let out = approach.run_with(pair, &folds[0], &rc, &ctx);
+    let train_s = clock.seconds();
+    if let Some(e) = writer.take_error() {
+        fail(&format!("snapshot write error: {e}"));
+    }
+    let snap = match Snapshot::read_from(&writer.final_path(APPROACH)) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot reload emitted snapshot: {e}")),
+    };
+    if snap.to_output().content_hash() != out.content_hash() {
+        fail("snapshot roundtrip changed the embeddings");
+    }
+    if snap.lineage != out.lineage {
+        fail("snapshot roundtrip changed the lineage");
+    }
+    TrainedGen {
+        snap,
+        epochs: out.trace.epochs.len(),
+        hits1: evaluate_output(&out, &folds[0].test, threads).hits1,
+        train_s,
+    }
+}
+
+/// Atomically replaces the live artifact (write-then-rename, same dir).
+pub fn publish(snap: &Snapshot, live: &Path, step: usize) {
+    let tmp = live.with_extension(format!("incoming-{step}"));
+    if let Err(e) = snap.write_to(&tmp) {
+        fail(&format!("cannot write generation artifact: {e}"));
+    }
+    if let Err(e) = std::fs::rename(&tmp, live) {
+        fail(&format!("cannot publish generation artifact: {e}"));
+    }
+}
+
+pub fn live_bench(cfg: &HarnessConfig, smoke: bool) {
+    let (entities, steps, full_epochs) = if smoke { (150, 2, 8) } else { (400, 3, 30) };
+    let delta_cap = (full_epochs / 4).max(1);
+    let watch_interval = Duration::from_millis(if smoke { 8 } else { 15 });
+    let clients = 2usize;
+    let round_per_client = if smoke { 60usize } else { 200 };
+
+    println!(
+        "evolution trace: {} final entities/KG, {steps} delta steps, \
+         full retrain {full_epochs} epochs vs delta {delta_cap} (<= 25%)",
+        entities
+    );
+    let trace = EvolutionConfig::new(DatasetFamily::DY, entities, steps, cfg.seed)
+        .with_base_fraction(0.6)
+        .with_threads(cfg.threads)
+        .generate();
+
+    let dir = std::env::temp_dir().join(format!("openea-bench-live-{}", std::process::id()));
+    let train_dir = dir.join("train");
+    std::fs::create_dir_all(&dir).expect("create live dir");
+    let live = dir.join("live.snap");
+
+    // Generation 0: cold-train the base step and open the server on it.
+    let base = train_generation(
+        &trace.steps[0].pair,
+        cfg.seed,
+        cfg.threads,
+        full_epochs,
+        None,
+        delta_cap,
+        &train_dir,
+    );
+    if base.snap.lineage.is_some() {
+        fail("cold base run must not carry lineage");
+    }
+    publish(&base.snap, &live, 0);
+    println!(
+        "gen 0 (cold): {} epochs, Hits@1 {:.3}, {} x dim {}",
+        base.epochs,
+        base.hits1,
+        base.snap.num_queries(),
+        base.snap.dim
+    );
+
+    let opts = IndexOptions {
+        threads: 2,
+        cache_cap: 4096,
+        warm_keys: 64,
+        ..IndexOptions::default()
+    };
+    let (hot, _coverage) = match HotSwapIndex::open(&live, opts) {
+        Ok(pair) => pair,
+        Err(e) => fail(&format!("cannot open live artifact: {e}")),
+    };
+    let _watcher = hot.spawn_watcher(watch_interval);
+    let mut handle = match serve_hot(
+        hot,
+        "127.0.0.1:0".parse().unwrap(),
+        ServerOptions {
+            workers: clients + 2,
+            queue_cap: 64,
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => fail(&format!("cannot bind ephemeral port: {e}")),
+    };
+    let addr = handle.addr();
+
+    // Replay queries target the base generation's entities — present in
+    // every later generation at the same row (ids only ever append).
+    let n_query = base.snap.num_queries();
+    let mut chain: Vec<Snapshot> = vec![base.snap.clone()];
+    let mut live_phase = PhaseTotals::default();
+    let mut step_docs: Vec<Json> = Vec::new();
+    let mut freshness_ms: Vec<f64> = Vec::new();
+    let phase_clock = Monotonic::start();
+
+    for k in 1..=steps {
+        let step = &trace.steps[k];
+        let parent_snap = match Snapshot::read_from(&live) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("cannot read parent artifact: {e}")),
+        };
+        let parent_gen = parent_snap.generation();
+        let params = parent_snap.into_model_params();
+        let plan = DeltaPlan {
+            known1: step.known1(),
+            known2: step.known2(),
+            new_triples: step.new_rel_triples,
+        };
+
+        // The convergence reference: a cold full retrain of the same step.
+        let full = train_generation(
+            &step.pair,
+            cfg.seed,
+            cfg.threads,
+            full_epochs,
+            None,
+            delta_cap,
+            &train_dir,
+        );
+        // The live path: warm-started delta training, <= 25% of the budget.
+        let delta = train_generation(
+            &step.pair,
+            cfg.seed,
+            cfg.threads,
+            full_epochs,
+            Some((&params, plan)),
+            delta_cap,
+            &train_dir,
+        );
+
+        // Gates on the trained generation before it goes anywhere near
+        // the server.
+        let Some(lineage) = delta.snap.lineage else {
+            fail(&format!("step {k}: delta artifact carries no lineage"));
+        };
+        if lineage.parent_generation != parent_gen {
+            fail(&format!(
+                "step {k}: lineage parent {:#018x} != served parent {parent_gen:#018x}",
+                lineage.parent_generation
+            ));
+        }
+        if lineage.trained_epochs != params.trained_epochs + delta.epochs as u64 {
+            fail(&format!("step {k}: cumulative epoch count is wrong"));
+        }
+        if delta.epochs > delta_cap {
+            fail(&format!(
+                "step {k}: delta trained {} epochs, cap {delta_cap}",
+                delta.epochs
+            ));
+        }
+        if delta.hits1 + 0.02 < full.hits1 {
+            fail(&format!(
+                "step {k}: delta Hits@1 {:.4} not within 2 points of full retrain {:.4}",
+                delta.hits1, full.hits1
+            ));
+        }
+
+        // Publish and measure train-to-serve freshness: training is done,
+        // clock starts; it stops when the new generation is first
+        // observable over HTTP. Replay clients hammer the server across
+        // the whole window — every answer classified by the torture-kit
+        // contract against whichever generation it claims.
+        chain.push(delta.snap.clone());
+        let refs = References::new(&chain, &opts);
+        let target_gen = delta.snap.generation();
+        let flip_clock = Monotonic::start();
+        publish(&delta.snap, &live, k);
+        let done = AtomicBool::new(false);
+        let mut lag_ms = 0.0f64;
+        std::thread::scope(|s| {
+            let done = &done;
+            let poller = s.spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect freshness poller");
+                let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+                loop {
+                    match http_get_json(&mut conn, &mut reader, "/stats") {
+                        Ok((200, j)) if parse_generation(&j) == Some(target_gen) => {
+                            let lag = flip_clock.seconds() * 1e3;
+                            done.store(true, Ordering::SeqCst);
+                            return (lag, j);
+                        }
+                        Ok(_) => {}
+                        Err(e) => panic!("freshness poller: {e}"),
+                    }
+                    if flip_clock.seconds() > 30.0 {
+                        panic!("watcher never flipped generation {target_gen:#018x}");
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+            let mut round = 0u64;
+            while !done.load(Ordering::SeqCst) {
+                live_phase.absorb(&openea_runtime::testkit::replay::replay(
+                    n_query,
+                    &ReplayOptions {
+                        clients,
+                        queries_per_client: round_per_client,
+                        zipf_s: ZIPF_S,
+                        seed: cfg.seed ^ ((k as u64) << 24) ^ round,
+                    },
+                    |_| client_issuer(addr, &refs),
+                ));
+                round += 1;
+            }
+            let (lag, stats) = poller.join().expect("freshness poller panicked");
+            lag_ms = lag;
+            // The server's own freshness gauges must agree with the
+            // artifact's lineage the instant the flip is visible.
+            let stats_parent = stats.get("parent_generation").and_then(Json::as_str);
+            if stats_parent != Some(&format!("{parent_gen:#018x}")) {
+                fail(&format!(
+                    "step {k}: /stats parent_generation {stats_parent:?} != {parent_gen:#018x}"
+                ));
+            }
+            if stats.get("trained_epochs").and_then(Json::as_f64)
+                != Some(lineage.trained_epochs as f64)
+            {
+                fail(&format!("step {k}: /stats trained_epochs gauge is wrong"));
+            }
+            let age = stats.get("snapshot_age_ms").and_then(Json::as_f64);
+            if !age.is_some_and(|a| a >= 0.0) {
+                fail(&format!("step {k}: /stats snapshot_age_ms gauge missing"));
+            }
+        });
+        // One settle round per step: the new generation answers.
+        live_phase.absorb(&openea_runtime::testkit::replay::replay(
+            n_query,
+            &ReplayOptions {
+                clients,
+                queries_per_client: round_per_client,
+                zipf_s: ZIPF_S,
+                seed: cfg.seed ^ 0x005E_771E ^ k as u64,
+            },
+            |_| client_issuer(addr, &refs),
+        ));
+        freshness_ms.push(lag_ms);
+        println!(
+            "gen {k} (delta): +{} / +{} entities, {} epochs (full {}), \
+             Hits@1 {:.3} vs full {:.3}, train-to-serve {:.1} ms",
+            step.new_entities1,
+            step.new_entities2,
+            delta.epochs,
+            full.epochs,
+            delta.hits1,
+            full.hits1,
+            lag_ms
+        );
+        step_docs.push(object([
+            ("step", k.to_json()),
+            ("new_entities1", step.new_entities1.to_json()),
+            ("new_entities2", step.new_entities2.to_json()),
+            ("new_rel_triples", step.new_rel_triples.to_json()),
+            ("epochs_full", full.epochs.to_json()),
+            ("epochs_delta", delta.epochs.to_json()),
+            ("hits1_full", full.hits1.to_json()),
+            ("hits1_delta", delta.hits1.to_json()),
+            ("train_full_s", full.train_s.to_json()),
+            ("train_delta_s", delta.train_s.to_json()),
+            ("parent_generation", format!("{parent_gen:#018x}").to_json()),
+            ("generation", format!("{target_gen:#018x}").to_json()),
+            (
+                "trained_epochs_cumulative",
+                (lineage.trained_epochs as i64).to_json(),
+            ),
+            ("train_to_serve_ms", lag_ms.to_json()),
+        ]));
+    }
+    live_phase.wall_s = phase_clock.seconds();
+
+    // Closing /stats probe + replay-contract gate.
+    let mut conn = TcpStream::connect(addr).expect("connect stats probe");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+    let stats = match http_get_json(&mut conn, &mut reader, "/stats") {
+        Ok((200, j)) => j,
+        Ok((status, _)) => fail(&format!("/stats answered {status}")),
+        Err(e) => fail(&format!("/stats: {e}")),
+    };
+    drop(reader);
+    drop(conn);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if parse_generation(&stats) != Some(chain.last().unwrap().generation()) {
+        fail("server did not end on the final generation");
+    }
+    if stats.get("reloads").and_then(Json::as_f64) != Some(steps as f64) {
+        fail("server /stats disagrees on the flip count");
+    }
+    if !live_phase.clean() {
+        fail(&format!(
+            "replay not clean: {} dropped, {} stale, {} incorrect; first failures: {:?}",
+            live_phase.dropped, live_phase.stale, live_phase.incorrect, live_phase.failures
+        ));
+    }
+    println!(
+        "{:>12} {:>8} {:>10} {:>9} {:>9} {:>8} {:>6} {:>10}",
+        "phase", "queries", "qps", "p50_us", "p99_us", "dropped", "stale", "incorrect"
+    );
+    println!("{}", live_phase.row("live"));
+    let lag_max = freshness_ms.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "gate OK: {} answers across {} live flips — zero dropped / stale / bit-divergent; \
+         train-to-serve lag max {:.1} ms",
+        live_phase.queries, steps, lag_max
+    );
+
+    if smoke {
+        println!("[live smoke OK]");
+        return;
+    }
+
+    let doc = object([
+        ("experiment", "live".to_json()),
+        ("approach", APPROACH.to_json()),
+        ("seed", (cfg.seed as i64).to_json()),
+        ("entities_final", entities.to_json()),
+        ("delta_steps", steps.to_json()),
+        ("full_epochs", full_epochs.to_json()),
+        ("delta_epoch_cap", delta_cap.to_json()),
+        (
+            "watch_interval_ms",
+            (watch_interval.as_millis() as i64).to_json(),
+        ),
+        ("base_epochs", base.epochs.to_json()),
+        ("base_hits1", base.hits1.to_json()),
+        ("steps", Json::Array(step_docs)),
+        ("train_to_serve_ms", freshness_ms.to_json()),
+        ("train_to_serve_max_ms", lag_max.to_json()),
+        (
+            "gate",
+            "delta Hits@1 within 2 points of full retrain at <= 25% epochs; \
+             zero dropped / stale / bit-divergent answers across live flips"
+                .to_json(),
+        ),
+        ("replay", live_phase.to_json("live")),
+    ]);
+    cfg.write_json("BENCH_live", &doc);
+}

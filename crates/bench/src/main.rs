@@ -13,11 +13,13 @@
 //!   serve      (snapshot + query-server load bench; --smoke = CI gate)
 //!   ann        (two-stage index recall/speedup curve; --smoke = CI gate)
 //!   swap       (hot-swap flip latency + correctness gate; --smoke = CI gate)
+//!   live       (warm-start delta-training -> live flip pipeline; --smoke = CI gate)
 //!   all        (everything; fig8 reuses table5's timings)
 //! ```
 
 use openea_bench::{
-    ann, approaches_gate, figures, kernels, serve, swap, tables, training, HarnessConfig, Scale,
+    ann, approaches_gate, figures, kernels, live, serve, swap, tables, training, HarnessConfig,
+    Scale,
 };
 
 fn main() {
@@ -107,6 +109,7 @@ fn main() {
         "serve" => serve::serve_bench(&cfg, smoke),
         "ann" => ann::ann(&cfg, smoke),
         "swap" => swap::swap_bench(&cfg, smoke),
+        "live" => live::live_bench(&cfg, smoke),
         "all" => {
             tables::table2(&cfg, include_large);
             tables::table3(&cfg);
@@ -142,7 +145,7 @@ fn print_usage() {
          usage: openea-bench <experiment> [--scale small|medium|large] [--seed N]\n\
                 [--out DIR | --no-out] [--include-large] [--smoke] [--deadline SECS]\n\n\
          experiments: table2 table3 table4 table5 table6 table7 table8 table9\n\
-                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels\n                      training approaches serve swap all"
+                      fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12\n                      ablation unsupervised blocking alinet seeds orthogonal kernels\n                      training approaches serve swap live all"
     );
 }
 

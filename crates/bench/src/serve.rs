@@ -454,6 +454,7 @@ mod tests {
             names1: Vec::new(),
             names2: Vec::new(),
             trace: Default::default(),
+            lineage: None,
         };
         assert!(check_equivalence(&snap, true).unwrap() >= 4);
     }

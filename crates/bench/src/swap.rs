@@ -61,7 +61,7 @@ fn perturbed(base: &Snapshot, round: u64) -> Snapshot {
 }
 
 /// One keep-alive GET returning `(status, parsed body)`.
-fn http_get_json(
+pub(crate) fn http_get_json(
     conn: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     path: &str,
@@ -107,7 +107,7 @@ fn http_get_json(
 }
 
 /// Parses the `"0x…"` generation hex string the server reports.
-fn parse_generation(j: &Json) -> Option<u64> {
+pub(crate) fn parse_generation(j: &Json) -> Option<u64> {
     let s = j.get("generation").and_then(Json::as_str)?;
     u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
 }
@@ -115,12 +115,12 @@ fn parse_generation(j: &Json) -> Option<u64> {
 /// Per-generation reference: its publish order (for the monotonicity
 /// check) and a locally built index answering with the exact bits the
 /// server must reproduce.
-struct References {
+pub(crate) struct References {
     by_generation: HashMap<u64, (usize, Arc<BatchIndex>)>,
 }
 
 impl References {
-    fn new(snaps: &[Snapshot], opts: &IndexOptions) -> Self {
+    pub(crate) fn new(snaps: &[Snapshot], opts: &IndexOptions) -> Self {
         let by_generation = snaps
             .iter()
             .enumerate()
@@ -133,7 +133,10 @@ impl References {
 /// The issuer closure one replay client runs: owns a keep-alive
 /// connection and the last observed publish index, classifies each
 /// answer per the hot-swap contract.
-fn client_issuer(addr: SocketAddr, refs: &References) -> impl FnMut(usize) -> ReplayOutcome + '_ {
+pub(crate) fn client_issuer(
+    addr: SocketAddr,
+    refs: &References,
+) -> impl FnMut(usize) -> ReplayOutcome + '_ {
     let mut conn = TcpStream::connect(addr).expect("connect replay client");
     conn.set_nodelay(true).expect("nodelay");
     let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
@@ -194,18 +197,18 @@ fn client_issuer(addr: SocketAddr, refs: &References) -> impl FnMut(usize) -> Re
 /// Merged counters + latency of one phase (possibly several replay
 /// rounds).
 #[derive(Default)]
-struct PhaseTotals {
-    queries: usize,
-    dropped: usize,
-    stale: usize,
-    incorrect: usize,
-    latency: MicrosHistogram,
-    failures: Vec<String>,
-    wall_s: f64,
+pub(crate) struct PhaseTotals {
+    pub(crate) queries: usize,
+    pub(crate) dropped: usize,
+    pub(crate) stale: usize,
+    pub(crate) incorrect: usize,
+    pub(crate) latency: MicrosHistogram,
+    pub(crate) failures: Vec<String>,
+    pub(crate) wall_s: f64,
 }
 
 impl PhaseTotals {
-    fn absorb(&mut self, r: &ReplayReport) {
+    pub(crate) fn absorb(&mut self, r: &ReplayReport) {
         self.queries += r.total;
         self.dropped += r.dropped;
         self.stale += r.stale;
@@ -218,11 +221,11 @@ impl PhaseTotals {
         }
     }
 
-    fn clean(&self) -> bool {
+    pub(crate) fn clean(&self) -> bool {
         self.dropped == 0 && self.stale == 0 && self.incorrect == 0
     }
 
-    fn qps(&self) -> f64 {
+    pub(crate) fn qps(&self) -> f64 {
         if self.wall_s > 0.0 {
             self.queries as f64 / self.wall_s
         } else {
@@ -230,7 +233,7 @@ impl PhaseTotals {
         }
     }
 
-    fn row(&self, phase: &str) -> String {
+    pub(crate) fn row(&self, phase: &str) -> String {
         format!(
             "{:>12} {:>8} {:>10.0} {:>9} {:>9} {:>8} {:>6} {:>10}",
             phase,
@@ -244,7 +247,7 @@ impl PhaseTotals {
         )
     }
 
-    fn to_json(&self, phase: &str) -> Json {
+    pub(crate) fn to_json(&self, phase: &str) -> Json {
         object([
             ("phase", phase.to_json()),
             ("queries", self.queries.to_json()),
@@ -265,7 +268,7 @@ impl PhaseTotals {
     }
 }
 
-fn fail(msg: &str) -> ! {
+pub(crate) fn fail(msg: &str) -> ! {
     eprintln!("FAILED — {msg}");
     std::process::exit(1);
 }

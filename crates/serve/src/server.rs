@@ -489,6 +489,32 @@ fn stats_json(sh: &Shared) -> Json {
             (swap.last_flip_ns as f64 / 1_000.0).to_json(),
         ),
         ("draining_generations", swap.draining_generations.to_json()),
+        // Freshness gauges for the live alignment pipeline: how stale the
+        // served snapshot is and which lineage it extends. A cold (v1)
+        // snapshot reports parent_generation "0x0" and its trace length.
+        (
+            "snapshot_age_ms",
+            (swap.snapshot_age_ns as f64 / 1_000_000.0).to_json(),
+        ),
+        (
+            "parent_generation",
+            format!(
+                "{:#018x}",
+                raw.snapshot()
+                    .lineage
+                    .map(|l| l.parent_generation)
+                    .unwrap_or(0)
+            )
+            .to_json(),
+        ),
+        (
+            "trained_epochs",
+            (raw.snapshot()
+                .lineage
+                .map(|l| l.trained_epochs)
+                .unwrap_or(raw.snapshot().trace.epochs.len() as u64) as i64)
+                .to_json(),
+        ),
         (
             "served",
             (sh.served.load(Ordering::Relaxed) as i64).to_json(),

@@ -360,6 +360,9 @@ impl ShardManifest {
                 names1: self.names1.clone(),
                 names2,
                 trace: self.trace.clone(),
+                // The shard manifest predates the lineage extension and
+                // stays byte-pinned; sharded artifacts reload lineage-less.
+                lineage: None,
             },
             loaded,
         ))

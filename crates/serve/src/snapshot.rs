@@ -5,12 +5,12 @@
 //! both KGs, the similarity metric and the training trace, serialized into
 //! one self-validating file.
 //!
-//! ## On-disk layout (version 1)
+//! ## On-disk layout (versions 1 and 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"OPENEASN"
-//! 8       4     format version, u32 LE (currently 1)
+//! 8       4     format version, u32 LE (1 or 2)
 //! 12      8     payload length N, u64 LE
 //! 20      N     payload (see below)
 //! 20+N    8     FNV-1a 64 checksum of the payload, u64 LE
@@ -28,7 +28,12 @@
 //!         · total_wall_s f64 · u64 epoch count
 //!         · per epoch: epoch u64 · mean_loss f32 · pairs u64
 //!                      · wall_s f64 · val flag u8 (+ f64 when 1)
+//! lineage (version 2 only) parent_generation u64 · trained_epochs u64
 //! ```
+//!
+//! A snapshot without lineage (a cold run) always encodes as version 1, so
+//! pre-lineage artifacts and fixtures stay byte-pinned; warm-started runs
+//! carry their provenance in the version-2 extension. Readers accept both.
 //!
 //! ## Guarantees
 //!
@@ -44,7 +49,7 @@
 
 use openea_align::Metric;
 use openea_approaches::common::EpochTrace;
-use openea_approaches::engine::CheckpointSink;
+use openea_approaches::engine::{CheckpointSink, Lineage, WarmStart};
 use openea_approaches::{ApproachOutput, StopReason, TrainTrace};
 use std::fmt;
 use std::fs;
@@ -55,6 +60,8 @@ use std::sync::Mutex;
 
 const MAGIC: &[u8; 8] = b"OPENEASN";
 const VERSION: u32 = 1;
+/// Version-2 extension: the payload ends with a 16-byte lineage record.
+const VERSION_LINEAGE: u32 = 2;
 /// Bytes before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;
 
@@ -108,7 +115,10 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
             SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (reader knows {VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (reader knows {VERSION}..={VERSION_LINEAGE})"
+                )
             }
             SnapshotError::Truncated { need, have } => {
                 write!(f, "truncated snapshot: need {need} bytes, have {have}")
@@ -190,12 +200,25 @@ pub(crate) fn frame(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Validates the container framing (magic, version, length, checksum, no
-/// trailing bytes) and returns the payload slice.
+/// trailing bytes) and returns the payload slice. Single-version wrapper
+/// over [`unframe_range`] for artifacts without format extensions.
 pub(crate) fn unframe<'a>(
     bytes: &'a [u8],
     magic: &[u8; 8],
     version: u32,
 ) -> Result<&'a [u8], SnapshotError> {
+    unframe_range(bytes, magic, version, version).map(|(_, payload)| payload)
+}
+
+/// Like [`unframe`] but accepting any format version in `[min, max]`,
+/// returning the decoded version alongside the payload so the caller can
+/// pick the payload schema.
+pub(crate) fn unframe_range<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 8],
+    min_version: u32,
+    max_version: u32,
+) -> Result<(u32, &'a [u8]), SnapshotError> {
     if bytes.len() < 8 {
         return Err(SnapshotError::Truncated {
             need: HEADER_LEN,
@@ -212,7 +235,7 @@ pub(crate) fn unframe<'a>(
         });
     }
     let got = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if got != version {
+    if got < min_version || got > max_version {
         return Err(SnapshotError::UnsupportedVersion(got));
     }
     let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
@@ -238,7 +261,7 @@ pub(crate) fn unframe<'a>(
     if expected != actual {
         return Err(SnapshotError::ChecksumMismatch { expected, actual });
     }
-    Ok(payload)
+    Ok((got, payload))
 }
 
 /// Writes `bytes` atomically: `<path>.tmp`, fsync, rename over `path`. A
@@ -288,6 +311,10 @@ pub struct Snapshot {
     /// Entity names of KG2 by id — empty when the producer had no name map.
     pub names2: Vec<String>,
     pub trace: TrainTrace,
+    /// Provenance of a warm-started run (version-2 extension): the parent
+    /// snapshot's generation and the cumulative epoch count. `None` for
+    /// cold runs, which encode as version 1 byte-for-byte.
+    pub lineage: Option<Lineage>,
 }
 
 impl Snapshot {
@@ -314,6 +341,7 @@ impl Snapshot {
             names1,
             names2,
             trace: out.trace.clone(),
+            lineage: out.lineage,
         }
     }
 
@@ -323,7 +351,30 @@ impl Snapshot {
         let mut out =
             ApproachOutput::new(self.dim, self.metric, self.emb1.clone(), self.emb2.clone());
         out.trace = self.trace.clone();
+        out.lineage = self.lineage;
         out
+    }
+
+    /// Consumes the snapshot into the parameter set a trainer resumes
+    /// from, avoiding a copy of the embedding matrices. The returned
+    /// [`ModelParams`] cites *this* snapshot's generation as the parent and
+    /// carries the cumulative epoch count (from the lineage record when
+    /// present, else this run's trace length) — exactly what
+    /// [`ModelParams::warm_start`] feeds back into the engine.
+    pub fn into_model_params(self) -> ModelParams {
+        let parent_generation = self.generation();
+        let trained_epochs = match self.lineage {
+            Some(l) => l.trained_epochs,
+            None => self.trace.epochs.len() as u64,
+        };
+        ModelParams {
+            dim: self.dim,
+            metric: self.metric,
+            emb1: self.emb1,
+            emb2: self.emb2,
+            parent_generation,
+            trained_epochs,
+        }
     }
 
     /// Number of KG1 (query-side) entities.
@@ -336,8 +387,10 @@ impl Snapshot {
         self.emb2.len() / self.dim
     }
 
-    /// Serializes to the version-1 byte layout. Pure function of the data:
-    /// equal snapshots encode to equal bytes.
+    /// Serializes to the byte layout: version 1 when the snapshot has no
+    /// lineage (bit-for-bit the pre-lineage format), version 2 with the
+    /// 16-byte lineage record appended otherwise. Pure function of the
+    /// data: equal snapshots encode to equal bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut p = Vec::with_capacity(4 * (self.emb1.len() + self.emb2.len()) + 256);
         p.extend_from_slice(&(self.dim as u32).to_le_bytes());
@@ -353,13 +406,20 @@ impl Snapshot {
         write_names(&mut p, &self.names1);
         write_names(&mut p, &self.names2);
         write_trace(&mut p, &self.trace);
-        frame(MAGIC, VERSION, &p)
+        match self.lineage {
+            None => frame(MAGIC, VERSION, &p),
+            Some(l) => {
+                p.extend_from_slice(&l.parent_generation.to_le_bytes());
+                p.extend_from_slice(&l.trained_epochs.to_le_bytes());
+                frame(MAGIC, VERSION_LINEAGE, &p)
+            }
+        }
     }
 
-    /// Decodes a version-1 byte stream, verifying magic, version, length
-    /// and checksum before touching the payload.
+    /// Decodes a version-1 or version-2 byte stream, verifying magic,
+    /// version, length and checksum before touching the payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        let payload = unframe(bytes, MAGIC, VERSION)?;
+        let (version, payload) = unframe_range(bytes, MAGIC, VERSION, VERSION_LINEAGE)?;
         let mut r = Reader::new(payload);
         let dim = r.u32()? as usize;
         if dim == 0 {
@@ -373,6 +433,14 @@ impl Snapshot {
         let names1 = read_names(&mut r, n1)?;
         let names2 = read_names(&mut r, n2)?;
         let trace = read_trace(&mut r, payload.len())?;
+        let lineage = if version >= VERSION_LINEAGE {
+            Some(Lineage {
+                parent_generation: r.u64()?,
+                trained_epochs: r.u64()?,
+            })
+        } else {
+            None
+        };
         if !r.is_empty() {
             return Err(SnapshotError::Malformed(format!(
                 "{} unread payload bytes",
@@ -387,13 +455,14 @@ impl Snapshot {
             names1,
             names2,
             trace,
+            lineage,
         })
     }
 
     /// The snapshot's *generation*: an FNV-1a 64 digest of everything that
     /// determines query answers — dim, metric, entity counts and both
-    /// embedding matrices by bit pattern (names and trace are excluded;
-    /// they never change a score). Two snapshots answer identically iff
+    /// embedding matrices by bit pattern (names, trace and lineage are
+    /// excluded; they never change a score). Two snapshots answer identically iff
     /// they share a generation, so the serving cache keys on it and the
     /// shard manifest uses it to tie shard files to one snapshot.
     pub fn generation(&self) -> u64 {
@@ -421,6 +490,41 @@ impl Snapshot {
     /// Reads and fully validates a snapshot file.
     pub fn read_from(path: &Path) -> Result<Self, SnapshotError> {
         Self::decode(&fs::read(path)?)
+    }
+}
+
+/// The parameter set a trainer warm-starts from: both embedding matrices
+/// (bit-exact as the snapshot stored them), the metric, and the lineage
+/// coordinates of the generation being extended. Obtained with
+/// [`Snapshot::into_model_params`]; borrow a [`WarmStart`] view with
+/// [`ModelParams::warm_start`] and install it on a `RunContext` via
+/// `resume_from`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelParams {
+    pub dim: usize,
+    pub metric: Metric,
+    /// Row-major `n1 × dim` KG1 embeddings, bit-exact from the snapshot.
+    pub emb1: Vec<f32>,
+    /// Row-major `n2 × dim` KG2 embeddings, bit-exact from the snapshot.
+    pub emb2: Vec<f32>,
+    /// Generation of the snapshot these parameters came from — the value a
+    /// child run stamps as its `parent_generation`.
+    pub parent_generation: u64,
+    /// Cumulative epochs across the lineage chain up to this snapshot.
+    pub trained_epochs: u64,
+}
+
+impl ModelParams {
+    /// The borrowed view [`openea_approaches::RunContext::resume_from`]
+    /// takes.
+    pub fn warm_start(&self) -> WarmStart<'_> {
+        WarmStart {
+            dim: self.dim,
+            emb1: &self.emb1,
+            emb2: &self.emb2,
+            parent_generation: self.parent_generation,
+            trained_epochs: self.trained_epochs,
+        }
     }
 }
 
@@ -741,6 +845,18 @@ pub(crate) mod tests {
                 stop: StopReason::EarlyStopped { epoch: 1 },
                 total_wall_s: 0.004,
             },
+            lineage: None,
+        }
+    }
+
+    /// The tiny snapshot as a warm-started child generation (version 2).
+    pub(crate) fn tiny_lineage_snapshot() -> Snapshot {
+        Snapshot {
+            lineage: Some(Lineage {
+                parent_generation: 0x1234_5678_9abc_def0,
+                trained_epochs: 42,
+            }),
+            ..tiny_snapshot()
         }
     }
 
@@ -752,6 +868,51 @@ pub(crate) mod tests {
         assert_eq!(back, snap);
         // Re-encoding is byte-identical (golden-file stability in memory).
         assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn lineage_roundtrips_as_version_2() {
+        let snap = tiny_lineage_snapshot();
+        let bytes = snap.encode();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.encode(), bytes);
+        // Lineage never moves the generation: answers are identical.
+        assert_eq!(snap.generation(), tiny_snapshot().generation());
+    }
+
+    #[test]
+    fn cold_snapshots_still_encode_as_version_1() {
+        let bytes = tiny_snapshot().encode();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn every_v2_truncation_point_is_typed_not_a_panic() {
+        let bytes = tiny_lineage_snapshot().encode();
+        for cut in 0..bytes.len() {
+            match Snapshot::decode(&bytes[..cut]) {
+                Err(SnapshotError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn into_model_params_is_bit_exact_and_cites_self_as_parent() {
+        let snap = tiny_lineage_snapshot();
+        let generation = snap.generation();
+        let params = snap.clone().into_model_params();
+        assert_eq!(params.emb1, snap.emb1);
+        assert_eq!(params.emb2, snap.emb2);
+        assert_eq!(params.parent_generation, generation);
+        assert_eq!(params.trained_epochs, 42);
+        let warm = params.warm_start();
+        assert_eq!(warm.rows1(), 3);
+        assert_eq!(warm.rows2(), 2);
+        // A cold snapshot falls back to its trace length for the epoch count.
+        assert_eq!(tiny_snapshot().into_model_params().trained_epochs, 2);
     }
 
     #[test]

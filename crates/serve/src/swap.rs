@@ -214,6 +214,10 @@ pub struct SwapStats {
     pub last_flip_ns: u64,
     /// Retired indices still draining in-flight holders.
     pub draining_generations: usize,
+    /// Nanoseconds since the live snapshot was flipped in (or since the
+    /// index was opened, before the first flip) — the serving side of the
+    /// train-to-serve freshness story, exported as `snapshot_age_ms`.
+    pub snapshot_age_ns: u64,
     /// Target entities the live index serves.
     pub loaded_entities: usize,
     /// Target entities the full artifact holds (== `loaded_entities`
@@ -252,6 +256,9 @@ struct SwapState {
     reloads: u64,
     failures: u64,
     last_flip_ns: u64,
+    /// Monotonic-clock timestamp of the last flip (0 = construction, the
+    /// clock's epoch), from which `snapshot_age_ns` is derived.
+    flipped_at_ns: u64,
     loaded_entities: usize,
     total_entities: usize,
     last_error: Option<String>,
@@ -299,6 +306,7 @@ impl HotSwapIndex {
                 reloads: 0,
                 failures: 0,
                 last_flip_ns: 0,
+                flipped_at_ns: 0,
                 loaded_entities: loaded,
                 total_entities: loaded,
                 last_error: None,
@@ -330,6 +338,7 @@ impl HotSwapIndex {
                 reloads: 0,
                 failures: 0,
                 last_flip_ns: 0,
+                flipped_at_ns: 0,
                 loaded_entities,
                 total_entities,
                 last_error: None,
@@ -445,6 +454,7 @@ impl HotSwapIndex {
         st.retired.retain(|ix| Arc::strong_count(ix) > 1);
         st.reloads += 1;
         st.last_flip_ns = flip_ns;
+        st.flipped_at_ns = self.clock.nanos();
         st.loaded_entities = loaded_entities;
         st.total_entities = total_entities;
         st.last_error = None;
@@ -470,6 +480,7 @@ impl HotSwapIndex {
             reload_failures: st.failures,
             last_flip_ns: st.last_flip_ns,
             draining_generations: st.retired.len(),
+            snapshot_age_ns: self.clock.nanos().saturating_sub(st.flipped_at_ns),
             loaded_entities: st.loaded_entities,
             total_entities: st.total_entities,
             last_error: st.last_error.clone(),

@@ -233,6 +233,7 @@ props! {
             names1: Vec::new(),
             names2: Vec::new(),
             trace: Default::default(),
+            lineage: None,
         };
         let queries: Vec<(u32, usize)> =
             raw_queries.iter().map(|&(e, k)| (e % n1 as u32, k.min(n2))).collect();
@@ -296,6 +297,7 @@ props! {
             names1: Vec::new(),
             names2: Vec::new(),
             trace: Default::default(),
+            lineage: None,
         };
         let index = BatchIndex::new(
             AlignmentIndex::new(snap),
@@ -342,6 +344,7 @@ props! {
             names1: Vec::new(),
             names2: Vec::new(),
             trace: Default::default(),
+            lineage: None,
         };
         let cfg = AnnConfig { nlist: 4, ..Default::default() };
         let queries: Vec<(u32, usize, Option<Probe>)> = raw_queries
@@ -424,6 +427,7 @@ fn exact_and_probed_answers_never_alias_in_the_cache() {
         names1: Vec::new(),
         names2: Vec::new(),
         trace: Default::default(),
+        lineage: None,
     };
     let cfg = AnnConfig {
         nlist: 2,

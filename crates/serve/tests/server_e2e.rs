@@ -214,6 +214,14 @@ fn train_snapshot_serve_roundtrip_is_bit_identical_to_dense() {
     assert!(stats.get("cache_hit_rate").is_some());
     assert!(stats.get("latency_p99_us").is_some());
     assert!(stats.get("mean_batch_occupancy").is_some());
+    // Freshness gauges: a cold snapshot has no parent and reports its
+    // trace length as the cumulative epoch count.
+    assert!(stats.get("snapshot_age_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+    assert_eq!(
+        stats.get("parent_generation").and_then(Json::as_str),
+        Some("0x0000000000000000")
+    );
+    assert!(stats.get("trained_epochs").and_then(Json::as_f64).unwrap() >= 1.0);
 
     let (status, _) = http_get(&mut conn, &format!("/align?entity={}&k=3", n1 + 5));
     assert_eq!(status, 404, "out-of-range entity is a typed 404");
@@ -258,6 +266,7 @@ fn synth_snapshot(seed: u64) -> Snapshot {
             stop: openea_approaches::StopReason::default(),
             total_wall_s: 0.0,
         },
+        lineage: None,
     }
 }
 
@@ -271,9 +280,16 @@ fn hot_swap_mid_connection_is_monotone_and_bit_correct() {
     let dir = TempDir::new("hotswap");
     let live = dir.0.join("live.snap");
     let snap_a = synth_snapshot(1);
-    let snap_b = synth_snapshot(2);
+    let mut snap_b = synth_snapshot(2);
     let hex = |g: u64| format!("{g:#018x}");
     let (gen_a, gen_b) = (snap_a.generation(), snap_b.generation());
+    // B is a warm-started child of A: lineage is provenance only and must
+    // not move the generation, while /stats surfaces it after the flip.
+    snap_b.lineage = Some(openea_approaches::Lineage {
+        parent_generation: gen_a,
+        trained_epochs: 7,
+    });
+    assert_eq!(snap_b.generation(), gen_b);
     snap_a.write_to(&live).unwrap();
 
     let opts = IndexOptions {
@@ -397,6 +413,17 @@ fn hot_swap_mid_connection_is_monotone_and_bit_correct() {
         .get("draining_generations")
         .and_then(Json::as_f64)
         .is_some());
+    // The flipped-in generation's lineage is now live on /stats.
+    assert_eq!(
+        stats.get("parent_generation").and_then(Json::as_str),
+        Some(hex(gen_a).as_str()),
+        "post-swap /stats cites the parent generation"
+    );
+    assert_eq!(
+        stats.get("trained_epochs").and_then(Json::as_f64),
+        Some(7.0)
+    );
+    assert!(stats.get("snapshot_age_ms").and_then(Json::as_f64).unwrap() >= 0.0);
 
     handle.stop();
 }

@@ -68,6 +68,7 @@ fn fixture_snapshot() -> Snapshot {
             stop: StopReason::EarlyStopped { epoch: 2 },
             total_wall_s: 0.005,
         },
+        lineage: None,
     }
 }
 

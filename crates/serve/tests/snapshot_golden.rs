@@ -1,21 +1,27 @@
-//! Golden-file pinning of the version-1 snapshot format.
+//! Golden-file pinning of the snapshot formats.
 //!
-//! `fixtures/tiny.snap` is a committed artifact. These tests guarantee:
-//! (a) today's encoder still produces those exact bytes from the same
-//! logical data (format stability), (b) load → re-save is byte-identical
-//! (pure-function codec), and (c) corrupting the file in every interesting
-//! way yields a typed [`SnapshotError`], never a panic.
+//! `fixtures/tiny.snap` (version 1, cold) and `fixtures/tiny-lineage.snap`
+//! (version 2, warm-started) are committed artifacts. These tests
+//! guarantee: (a) today's encoder still produces those exact bytes from the
+//! same logical data (format stability — in particular, cold snapshots must
+//! keep encoding as version 1 bit-for-bit), (b) load → re-save is
+//! byte-identical (pure-function codec), and (c) corrupting the file in
+//! every interesting way yields a typed [`SnapshotError`], never a panic.
 //!
 //! To regenerate after an *intentional* format-version bump:
 //! `OPENEA_REGEN_FIXTURES=1 cargo test -p openea-serve --test snapshot_golden`
 
 use openea_approaches::common::EpochTrace;
-use openea_approaches::{StopReason, TrainTrace};
+use openea_approaches::{Lineage, StopReason, TrainTrace};
 use openea_serve::{Snapshot, SnapshotError};
 use std::path::PathBuf;
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tiny.snap")
+}
+
+fn lineage_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tiny-lineage.snap")
 }
 
 /// The logical contents of the committed fixture. Literals only — no RNG,
@@ -61,6 +67,19 @@ fn fixture_snapshot() -> Snapshot {
             stop: StopReason::EarlyStopped { epoch: 2 },
             total_wall_s: 0.005,
         },
+        lineage: None,
+    }
+}
+
+/// The committed version-2 fixture: the same logical snapshot as a
+/// warm-started child generation carrying lineage.
+fn lineage_fixture_snapshot() -> Snapshot {
+    Snapshot {
+        lineage: Some(Lineage {
+            parent_generation: 0xfeed_f00d_dead_beef,
+            trained_epochs: 27,
+        }),
+        ..fixture_snapshot()
     }
 }
 
@@ -97,6 +116,43 @@ fn golden_fixture_load_then_resave_is_byte_identical() {
 }
 
 #[test]
+fn lineage_golden_fixture_matches_todays_encoder() {
+    let snap = lineage_fixture_snapshot();
+    let path = lineage_fixture_path();
+    if std::env::var_os("OPENEA_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        snap.write_to(&path).unwrap();
+    }
+    let committed = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        committed,
+        snap.encode(),
+        "the version-2 snapshot format drifted from the committed golden file"
+    );
+    assert_eq!(
+        u32::from_le_bytes(committed[8..12].try_into().unwrap()),
+        2,
+        "lineage fixture must be a version-2 artifact"
+    );
+}
+
+#[test]
+fn lineage_golden_fixture_load_then_resave_is_byte_identical() {
+    let committed = std::fs::read(lineage_fixture_path()).unwrap();
+    let loaded = Snapshot::decode(&committed).unwrap();
+    assert_eq!(loaded.encode(), committed);
+    assert_eq!(loaded, lineage_fixture_snapshot());
+    // Lineage is provenance only: the generation (what answers key on)
+    // matches the cold fixture's exactly.
+    assert_eq!(
+        loaded.generation(),
+        fixture_snapshot().generation(),
+        "lineage must not perturb the generation fingerprint"
+    );
+}
+
+#[test]
 fn corrupt_header_paths_are_typed_errors() {
     let bytes = std::fs::read(fixture_path()).unwrap();
 
@@ -107,11 +163,13 @@ fn corrupt_header_paths_are_typed_errors() {
         Err(SnapshotError::BadMagic)
     ));
 
+    // Version 2 is the lineage extension and is readable now, so the
+    // future-version probe moved to 3.
     let mut future = bytes.clone();
-    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    future[8..12].copy_from_slice(&3u32.to_le_bytes());
     assert!(matches!(
         Snapshot::decode(&future),
-        Err(SnapshotError::UnsupportedVersion(2))
+        Err(SnapshotError::UnsupportedVersion(3))
     ));
 
     let mut lying_length = bytes.clone();

@@ -17,6 +17,7 @@
 //! approaches, literal evidence for conventional and attribute-based
 //! approaches, and controllable heterogeneity between the two.
 
+pub mod evolve;
 pub mod presets;
 pub mod project;
 pub mod scale;
@@ -24,6 +25,7 @@ pub mod translate;
 pub mod vocab;
 pub mod world;
 
+pub use evolve::{EvolutionConfig, EvolutionStep, EvolutionTrace};
 pub use presets::{DatasetFamily, PresetConfig};
 pub use project::{generate_pair, ProjectionConfig};
 pub use scale::{generate_embedded_pair, EmbeddedPair, ScaleConfig};

@@ -47,3 +47,11 @@ cargo run --release --offline -p openea-bench -- ann --smoke --no-out
 # and zero bit-divergent answers across every flip, and that /stats agrees
 # on the reload count and final generation. Budget: well under 5 s.
 cargo run --release --offline -p openea-bench -- swap --smoke --no-out
+
+# Live-pipeline smoke gate: a tiny evolution trace (2 delta steps) drives
+# warm-start delta-training end to end — each generation's lineage-stamped
+# artifact is flipped in live by the snapshot watcher while replay clients
+# verify zero dropped / stale / bit-divergent answers, delta Hits@1 lands
+# within 2 points of a full retrain at <= 25% of its epochs, and the
+# /stats freshness gauges match the artifact lineage. Budget: ~1 s.
+cargo run --release --offline -p openea-bench -- live --smoke --no-out

@@ -295,6 +295,7 @@ mod engine {
                 emb2: vec![0.0; 4],
                 augmentation: Vec::new(),
                 trace: Default::default(),
+                lineage: None,
             }
         }
     }
@@ -388,6 +389,174 @@ mod engine {
             a.run(&pair, &folds[0], &cfg)
         }));
         assert!(panicked.is_err(), "run() must panic on an invalid config");
+    }
+}
+
+mod warm_start {
+    //! The warm-start refactor's bit-identity and lineage contract.
+    //!
+    //! Cold-path proof: `golden_hashes_bit_identical_across_thread_counts`
+    //! above pins all 12 approaches — the engine refactor landed without
+    //! touching a single golden constant. The tests here cover the other
+    //! side: a *declined* resume must also stay on those exact bits, and
+    //! an *accepted* one must stamp cumulative lineage and reproduce the
+    //! parent generation bit-for-bit at zero extra epochs.
+
+    use super::{golden_fixture, GOLDEN_HASHES};
+    use openea::approaches::{Budget, Lineage, WarmStart};
+    use openea::models::EpochStats;
+    use openea::prelude::*;
+
+    struct ProbeHooks {
+        accept: bool,
+        warm_calls: usize,
+        trained: usize,
+    }
+
+    impl ProbeHooks {
+        fn new(accept: bool) -> Self {
+            Self {
+                accept,
+                warm_calls: 0,
+                trained: 0,
+            }
+        }
+    }
+
+    impl EpochHooks for ProbeHooks {
+        fn train_epoch(&mut self, _epoch: usize, _ctx: &RunContext<'_>) -> EpochStats {
+            self.trained += 1;
+            EpochStats {
+                mean_loss: 1.0,
+                pairs: 10,
+            }
+        }
+
+        fn checkpoint(&mut self, _ctx: &RunContext<'_>) -> ApproachOutput {
+            ApproachOutput::new(2, Metric::Euclidean, vec![0.0; 4], vec![0.0; 4])
+        }
+
+        fn warm_start(&mut self, _warm: &WarmStart<'_>, _ctx: &RunContext<'_>) -> bool {
+            self.warm_calls += 1;
+            self.accept
+        }
+    }
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            dim: 2,
+            max_epochs: 10,
+            check_every: 3,
+            ..RunConfig::default()
+        }
+    }
+
+    const PARENT: WarmStart<'static> = WarmStart {
+        dim: 2,
+        emb1: &[0.5, 0.5, -0.5, 0.5],
+        emb2: &[0.5, -0.5, -0.5, -0.5],
+        parent_generation: 0xABCD,
+        trained_epochs: 10,
+    };
+
+    #[test]
+    fn cold_context_never_invokes_warm_start_and_stamps_no_lineage() {
+        let cfg = cfg();
+        let mut hooks = ProbeHooks::new(true);
+        let out = run_driver("test", &mut hooks, &RunContext::new(&cfg), &cfg).unwrap();
+        assert_eq!(hooks.warm_calls, 0);
+        assert_eq!(out.lineage, None);
+    }
+
+    #[test]
+    fn declined_resume_trains_cold_with_no_lineage() {
+        let cfg = cfg();
+        let mut hooks = ProbeHooks::new(false);
+        let ctx = RunContext::new(&cfg).resume_from(&PARENT);
+        let out = run_driver("test", &mut hooks, &ctx, &cfg).unwrap();
+        assert_eq!(hooks.warm_calls, 1);
+        assert_eq!(out.lineage, None, "declined resume must not stamp lineage");
+        assert_eq!(hooks.trained, cfg.max_epochs);
+    }
+
+    #[test]
+    fn accepted_resume_stamps_cumulative_lineage() {
+        let cfg = cfg();
+        let mut hooks = ProbeHooks::new(true);
+        let ctx = RunContext::new(&cfg)
+            .resume_from(&PARENT)
+            .with_budget(Budget::epochs(4));
+        let out = run_driver("test", &mut hooks, &ctx, &cfg).unwrap();
+        assert_eq!(hooks.warm_calls, 1);
+        assert_eq!(
+            out.lineage,
+            Some(Lineage {
+                parent_generation: 0xABCD,
+                trained_epochs: 14,
+            }),
+            "lineage must accumulate epochs across generations"
+        );
+    }
+
+    /// A resume the driver cannot absorb (snapshot dimension differs)
+    /// falls back to cold training on the exact golden bits — the same
+    /// constant the cold-path matrix pins.
+    #[test]
+    fn dimension_mismatch_falls_back_to_golden_cold_bits() {
+        let (pair, folds, mut cfg) = golden_fixture();
+        cfg.threads = 2;
+        let narrow = vec![0.25f32; pair.kg1.num_entities().max(pair.kg2.num_entities()) * 8];
+        let warm = WarmStart {
+            dim: 8, // cfg.dim is 16 — the absorber must refuse
+            emb1: &narrow[..pair.kg1.num_entities() * 8],
+            emb2: &narrow[..pair.kg2.num_entities() * 8],
+            parent_generation: 0xBEEF,
+            trained_epochs: 5,
+        };
+        let a = approach_by_name("MTransE").unwrap();
+        let ctx = RunContext::new(&cfg).resume_from(&warm);
+        let out = a.run_with(&pair, &folds[0], &cfg, &ctx);
+        assert_eq!(out.lineage, None);
+        let golden: std::collections::HashMap<&str, u64> = GOLDEN_HASHES.into_iter().collect();
+        assert_eq!(
+            out.content_hash(),
+            golden["MTransE"],
+            "declined warm start must reproduce the golden cold-path bits"
+        );
+    }
+
+    /// Resume-identity: warm-starting from a parent's output and training
+    /// zero extra epochs reproduces the parent bit-for-bit, with lineage
+    /// citing the parent and no extra epochs accumulated.
+    #[test]
+    fn zero_epoch_resume_reproduces_parent_bits() {
+        let (pair, folds, mut cfg) = golden_fixture();
+        cfg.threads = 2;
+        let a = approach_by_name("MTransE").unwrap();
+        let parent = a.run(&pair, &folds[0], &cfg);
+        let warm = WarmStart {
+            dim: parent.dim,
+            emb1: &parent.emb1,
+            emb2: &parent.emb2,
+            parent_generation: 0x1234,
+            trained_epochs: parent.trace.epochs.len() as u64,
+        };
+        let ctx = RunContext::new(&cfg)
+            .resume_from(&warm)
+            .with_budget(Budget::epochs(0));
+        let child = a.run_with(&pair, &folds[0], &cfg, &ctx);
+        assert_eq!(
+            child.content_hash(),
+            parent.content_hash(),
+            "zero-epoch warm resume must reproduce the parent generation"
+        );
+        assert_eq!(
+            child.lineage,
+            Some(Lineage {
+                parent_generation: 0x1234,
+                trained_epochs: parent.trace.epochs.len() as u64,
+            })
+        );
     }
 }
 

@@ -77,6 +77,7 @@ fn synth_snapshot(seed: u64) -> Snapshot {
             stop: StopReason::default(),
             total_wall_s: 0.0,
         },
+        lineage: None,
     }
 }
 
