@@ -187,6 +187,7 @@ pub fn live_bench(cfg: &HarnessConfig, smoke: bool) {
         ServerOptions {
             workers: clients + 2,
             queue_cap: 64,
+            ..Default::default()
         },
     ) {
         Ok(h) => h,

@@ -9,22 +9,40 @@
 //! tie rule (descending score, lowest index wins) — across batch sizes,
 //! kernel thread counts and cache passes. Divergence exits non-zero.
 //!
-//! The load phase then replays synthetic query traces (uniform and Zipf
-//! over the power-law synth KG's entities) against the real HTTP server
-//! with keep-alive clients, reporting QPS, client-observed latency
-//! percentiles, cache hit rate and batch occupancy at client counts
-//! {1, 2, 8}. `--smoke` runs the gate plus one tiny load config with a
-//! latency sanity bound (~2 s) and writes no JSON.
+//! The load phase then measures two regimes:
+//!
+//! 1. **Closed-loop replay** — keep-alive clients at counts {1, 2, 8}
+//!    issue-and-wait over uniform and Zipf traces, reporting QPS,
+//!    client-observed latency percentiles, cache hit rate and batch
+//!    occupancy (the historical table, now over the epoll reactor).
+//! 2. **Latency under load** — an *open-loop* generator multiplexes
+//!    hundreds-to-thousands of keep-alive connections on its own
+//!    [`Poller`](openea_runtime::os::Poller) and sends on a fixed
+//!    schedule regardless of completions (no coordinated omission:
+//!    latency is charged from the scheduled send time). The same offered
+//!    rate is driven at each connection count against both server modes;
+//!    the blocking thread-per-connection baseline starves or sheds once
+//!    connections exceed its worker count, while the reactor holds a
+//!    flat p50 — that contrast is the committed curve.
+//!
+//! `--smoke` runs the equivalence gate, one tiny closed-loop config with
+//! a latency sanity bound, and a reactor-vs-blocking concurrency gate
+//! (the reactor must sustain at least the blocking server's delivered
+//! QPS with clean answers). Smoke writes no JSON.
 
 use crate::HarnessConfig;
 use openea::align::DEFAULT_TILE;
 use openea::math::{kernel, vecops};
 use openea::prelude::*;
 use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::os::{Interest, PollEvent, Poller};
 use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
 use openea_runtime::testkit::replay::Zipf;
 use openea_runtime::timer::{MicrosHistogram, Monotonic};
-use openea_serve::{serve, AlignmentIndex, BatchIndex, ServerOptions, Snapshot, SnapshotWriter};
+use openea_serve::{
+    serve, AlignmentIndex, BatchIndex, ServerMode, ServerOptions, Snapshot, SnapshotWriter,
+};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -217,8 +235,16 @@ fn http_get(
     Ok(ok)
 }
 
+fn mode_label(mode: ServerMode) -> &'static str {
+    match mode {
+        ServerMode::Reactor => "reactor",
+        ServerMode::Blocking => "blocking",
+    }
+}
+
 /// Result of one (trace, clients) load configuration.
 struct LoadEntry {
+    mode: &'static str,
     trace: &'static str,
     clients: usize,
     queries: usize,
@@ -233,6 +259,7 @@ struct LoadEntry {
 impl ToJson for LoadEntry {
     fn to_json(&self) -> Json {
         object([
+            ("mode", self.mode.to_json()),
             ("trace", self.trace.to_json()),
             ("clients", self.clients.to_json()),
             ("queries", self.queries.to_json()),
@@ -250,6 +277,7 @@ impl ToJson for LoadEntry {
 /// `clients` concurrent keep-alive connections.
 fn run_load(
     snap: &Snapshot,
+    mode: ServerMode,
     trace: &'static str,
     clients: usize,
     total_queries: usize,
@@ -269,6 +297,8 @@ fn run_load(
         ServerOptions {
             workers: clients.max(2),
             queue_cap: 64,
+            mode,
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port");
@@ -318,6 +348,7 @@ fn run_load(
 
     let stats = index.stats();
     LoadEntry {
+        mode: mode_label(mode),
         trace,
         clients,
         queries: per_client * clients,
@@ -327,6 +358,358 @@ fn run_load(
         mean_us: histogram.mean_us(),
         cache_hit_rate: stats.hit_rate(),
         mean_batch_occupancy: stats.mean_batch_occupancy(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop latency-under-load curve.
+
+/// Result of one open-loop (mode, conns) configuration.
+struct CurveEntry {
+    mode: &'static str,
+    conns: usize,
+    offered_qps: f64,
+    achieved_qps: f64,
+    completed: usize,
+    shed_503: usize,
+    errors: usize,
+    unanswered: usize,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+}
+
+impl ToJson for CurveEntry {
+    fn to_json(&self) -> Json {
+        object([
+            ("mode", self.mode.to_json()),
+            ("conns", self.conns.to_json()),
+            ("offered_qps", self.offered_qps.to_json()),
+            ("achieved_qps", self.achieved_qps.to_json()),
+            ("completed", self.completed.to_json()),
+            ("shed_503", self.shed_503.to_json()),
+            ("errors", self.errors.to_json()),
+            ("unanswered", self.unanswered.to_json()),
+            ("latency_p50_us", (self.p50_us as i64).to_json()),
+            ("latency_p95_us", (self.p95_us as i64).to_json()),
+            ("latency_p99_us", (self.p99_us as i64).to_json()),
+            ("latency_mean_us", self.mean_us.to_json()),
+        ])
+    }
+}
+
+/// One multiplexed load-generator connection.
+struct GenConn {
+    stream: TcpStream,
+    /// Poller registration token (slot index; connections never move).
+    token: u64,
+    /// Unparsed response bytes.
+    inbuf: Vec<u8>,
+    /// Request bytes the kernel has not yet accepted.
+    out: Vec<u8>,
+    written: usize,
+    /// Scheduled send stamps (µs) of requests written, FIFO — responses
+    /// come back in order on a keep-alive connection.
+    sent_at: VecDeque<u64>,
+    next_due_us: u64,
+    dead: bool,
+    reg_write: bool,
+}
+
+/// Drives `conns` keep-alive connections at an aggregate `offered_qps`
+/// for `duration`, **open-loop**: sends follow the schedule whether or
+/// not earlier responses arrived, and each latency is charged from the
+/// *scheduled* send time, so server-side queueing and stalls appear in
+/// the percentiles instead of silently throttling the generator
+/// (coordinated omission). The generator itself multiplexes on a
+/// [`Poller`], so thousands of connections cost one thread.
+fn run_open_loop(
+    snap: &Snapshot,
+    mode: ServerMode,
+    conns: usize,
+    offered_qps: f64,
+    duration: Duration,
+    seed: u64,
+) -> CurveEntry {
+    let n1 = snap.num_queries();
+    let index = Arc::new(BatchIndex::new(
+        AlignmentIndex::new(snap.clone()),
+        2,
+        32,
+        Duration::from_micros(200),
+        4096,
+    ));
+    // Both modes get the same worker budget and queue: the contrast under
+    // load comes from what a worker *is* — a connection owner (blocking)
+    // vs a compute thread behind the reactor.
+    let mut handle = serve(
+        Arc::clone(&index),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerOptions {
+            workers: 8,
+            queue_cap: 64,
+            mode,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let zipf = Zipf::new(n1, ZIPF_S);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6f70_656e_6c6f_6f70);
+    let clock = Monotonic::start();
+    let interval_us = (conns as f64 / offered_qps * 1e6).max(1.0) as u64;
+
+    let mut poller = Poller::new().expect("poller");
+    let mut gens: Vec<GenConn> = (0..conns)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nonblocking(true).expect("nonblocking");
+            let _ = stream.set_nodelay(true);
+            poller
+                .register(&stream, i as u64, Interest::READ)
+                .expect("register");
+            GenConn {
+                stream,
+                token: i as u64,
+                inbuf: Vec::new(),
+                out: Vec::new(),
+                written: 0,
+                sent_at: VecDeque::new(),
+                next_due_us: 0,
+                dead: false,
+                reg_write: false,
+            }
+        })
+        .collect();
+    // Schedules start only after every connection is up, staggered so the
+    // aggregate rate is smooth — stamping during the (sequential) connect
+    // phase would open the run with a catch-up burst on early connections.
+    let t_start = clock.micros();
+    for (i, gen) in gens.iter_mut().enumerate() {
+        gen.next_due_us = t_start + (i as u64 * interval_us) / conns.max(1) as u64;
+    }
+
+    let end_us = t_start + duration.as_micros() as u64;
+    let grace_us = end_us + 1_000_000;
+    let mut hist = MicrosHistogram::new();
+    let mut completed = 0usize;
+    let mut shed_503 = 0usize;
+    let mut errors = 0usize;
+    let mut unanswered = 0usize;
+    let mut events: Vec<PollEvent> = Vec::new();
+
+    loop {
+        let now = clock.micros();
+        let sending = now < end_us;
+        // Fire every due send (open loop: no waiting on completions).
+        let mut next_wake = if sending { end_us } else { grace_us };
+        for gen in gens.iter_mut() {
+            if gen.dead {
+                continue;
+            }
+            if sending {
+                while gen.next_due_us <= now {
+                    let entity = zipf.sample(&mut rng);
+                    gen.out.extend_from_slice(
+                        format!(
+                            "GET /align?entity={entity}&k={LOAD_K} HTTP/1.1\r\nHost: b\r\n\r\n"
+                        )
+                        .as_bytes(),
+                    );
+                    gen.sent_at.push_back(gen.next_due_us);
+                    gen.next_due_us += interval_us;
+                }
+                next_wake = next_wake.min(gen.next_due_us);
+            }
+            if flush_gen(gen) {
+                unanswered += gen.sent_at.len();
+                kill_gen(&poller, gen, &mut errors);
+            } else {
+                arm_write(&poller, gen);
+            }
+        }
+        let outstanding: usize = gens.iter().map(|g| g.sent_at.len()).sum();
+        if !sending && (outstanding == 0 || now >= grace_us) {
+            unanswered += outstanding;
+            break;
+        }
+        let timeout = Duration::from_micros(next_wake.saturating_sub(now).clamp(200, 50_000));
+        let _ = poller.wait(&mut events, Some(timeout));
+        for ev in &events {
+            let gen = &mut gens[ev.token as usize];
+            if gen.dead {
+                continue;
+            }
+            if ev.readable {
+                let now = clock.micros();
+                match read_gen(gen, now, &mut hist, &mut completed, &mut shed_503) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => {
+                        // EOF (server closed, e.g. a shed-at-accept 503
+                        // already counted) or socket error: requests still
+                        // outstanding on this connection die with it.
+                        unanswered += gen.sent_at.len();
+                        kill_gen(&poller, gen, &mut errors);
+                        continue;
+                    }
+                }
+            }
+            if ev.writable && flush_gen(gen) {
+                unanswered += gen.sent_at.len();
+                kill_gen(&poller, gen, &mut errors);
+            } else {
+                arm_write(&poller, gen);
+            }
+        }
+    }
+    let wall_s = (clock.micros().min(grace_us) as f64) / 1e6;
+    drop(gens);
+    handle.stop();
+
+    CurveEntry {
+        mode: mode_label(mode),
+        conns,
+        offered_qps,
+        achieved_qps: completed as f64 / wall_s.max(duration.as_secs_f64()),
+        completed,
+        shed_503,
+        errors,
+        unanswered,
+        p50_us: hist.percentile_us(50.0),
+        p95_us: hist.percentile_us(95.0),
+        p99_us: hist.percentile_us(99.0),
+        mean_us: hist.mean_us(),
+    }
+}
+
+/// Nonblocking write pump; true on a broken socket.
+fn flush_gen(gen: &mut GenConn) -> bool {
+    while gen.written < gen.out.len() {
+        match gen.stream.write(&gen.out[gen.written..]) {
+            Ok(0) => return true,
+            Ok(n) => gen.written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    gen.out.clear();
+    gen.written = 0;
+    false
+}
+
+/// Keeps write interest armed exactly while bytes are pending.
+fn arm_write(poller: &Poller, gen: &mut GenConn) {
+    let want = gen.written < gen.out.len();
+    if want != gen.reg_write && !gen.dead {
+        let interest = if want {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if poller.modify(&gen.stream, gen.token, interest).is_ok() {
+            gen.reg_write = want;
+        }
+    }
+}
+
+/// Reads everything available and consumes complete responses.
+/// `Ok(false)` = clean EOF; `Err` = socket error.
+fn read_gen(
+    gen: &mut GenConn,
+    now: u64,
+    hist: &mut MicrosHistogram,
+    completed: &mut usize,
+    shed_503: &mut usize,
+) -> std::io::Result<bool> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match gen.stream.read(&mut chunk) {
+            Ok(0) => {
+                consume_responses(gen, now, hist, completed, shed_503);
+                return Ok(false);
+            }
+            Ok(n) => gen.inbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    consume_responses(gen, now, hist, completed, shed_503);
+    Ok(true)
+}
+
+/// Pops every complete `head + Content-Length body` response from the
+/// connection's input buffer and accounts it.
+fn consume_responses(
+    gen: &mut GenConn,
+    now: u64,
+    hist: &mut MicrosHistogram,
+    completed: &mut usize,
+    shed_503: &mut usize,
+) {
+    loop {
+        let Some(head_end) = find_double_crlf(&gen.inbuf) else {
+            return;
+        };
+        let head = &gen.inbuf[..head_end];
+        let status = parse_status(head);
+        let body_len = parse_content_length(head);
+        let total = head_end + 4 + body_len;
+        if gen.inbuf.len() < total {
+            return;
+        }
+        gen.inbuf.drain(..total);
+        let t0 = gen.sent_at.pop_front().unwrap_or(now);
+        match status {
+            200 => {
+                hist.record(now.saturating_sub(t0));
+                *completed += 1;
+            }
+            503 => *shed_503 += 1,
+            _ => {
+                // Load traffic is all-valid; anything else is a bug the
+                // equivalence gate would have caught — still count it so
+                // the curve cannot silently hide it.
+                *shed_503 += 1;
+            }
+        }
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_status(head: &[u8]) -> u16 {
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    std::str::from_utf8(line)
+        .ok()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn parse_content_length(head: &[u8]) -> usize {
+    for line in head.split(|&b| b == b'\n') {
+        let line = std::str::from_utf8(line).unwrap_or("").trim();
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                return v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    0
+}
+
+fn kill_gen(poller: &Poller, gen: &mut GenConn, errors: &mut usize) {
+    if !gen.dead {
+        let _ = poller.deregister(&gen.stream);
+        gen.dead = true;
+        gen.sent_at.clear();
+        *errors += 1;
     }
 }
 
@@ -351,14 +734,21 @@ pub fn serve_bench(cfg: &HarnessConfig, smoke: bool) {
     let total_queries = if smoke { 600 } else { 4000 };
 
     let mut entries: Vec<LoadEntry> = Vec::new();
-    println!("load replay: k={LOAD_K}, {total_queries} queries per configuration");
+    println!("load replay (reactor): k={LOAD_K}, {total_queries} queries per configuration");
     println!(
         "{:>8} {:>8} {:>8} {:>10} {:>9} {:>9} {:>10} {:>10}",
         "trace", "clients", "queries", "qps", "p50_us", "p99_us", "hit_rate", "occupancy"
     );
     for &trace in traces {
         for &clients in client_counts {
-            let e = run_load(&snap, trace, clients, total_queries, cfg.seed);
+            let e = run_load(
+                &snap,
+                ServerMode::Reactor,
+                trace,
+                clients,
+                total_queries,
+                cfg.seed,
+            );
             println!(
                 "{:>8} {:>8} {:>8} {:>10.0} {:>9} {:>9} {:>10.3} {:>10.2}",
                 e.trace,
@@ -374,6 +764,51 @@ pub fn serve_bench(cfg: &HarnessConfig, smoke: bool) {
         }
     }
 
+    // Open-loop latency-under-load curve, both server modes at each
+    // connection count. The smoke variant doubles as the CI concurrency
+    // gate: one point per mode at a conn count well past the blocking
+    // server's worker pool.
+    let (curve_conns, offered, dur): (&[usize], f64, Duration) = if smoke {
+        (&[32], 1500.0, Duration::from_secs(1))
+    } else {
+        (&[8, 64, 256, 1024], 3000.0, Duration::from_secs(3))
+    };
+    println!(
+        "latency under load: open-loop, offered {offered:.0} qps aggregate, {} s per point",
+        dur.as_secs()
+    );
+    println!(
+        "{:>9} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>11}",
+        "mode",
+        "conns",
+        "offered",
+        "achieved",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "shed_503",
+        "unanswered"
+    );
+    let mut curve: Vec<CurveEntry> = Vec::new();
+    for &conns in curve_conns {
+        for mode in [ServerMode::Blocking, ServerMode::Reactor] {
+            let e = run_open_loop(&snap, mode, conns, offered, dur, cfg.seed);
+            println!(
+                "{:>9} {:>6} {:>9.0} {:>9.0} {:>8} {:>8} {:>8} {:>9} {:>11}",
+                e.mode,
+                e.conns,
+                e.offered_qps,
+                e.achieved_qps,
+                e.p50_us,
+                e.p95_us,
+                e.p99_us,
+                e.shed_503,
+                e.unanswered
+            );
+            curve.push(e);
+        }
+    }
+
     if smoke {
         // Latency sanity bound: a local in-process round trip answering from
         // a warm index must come in far under this even on a loaded CI box.
@@ -382,7 +817,29 @@ pub fn serve_bench(cfg: &HarnessConfig, smoke: bool) {
             eprintln!("FAILED — smoke p99 latency {p99} µs exceeds the 500 ms sanity bound");
             std::process::exit(1);
         }
-        println!("[serve smoke OK]");
+        // Concurrency gate: with conns well past the worker pool, the
+        // reactor must answer cleanly and deliver at least what the
+        // thread-per-connection baseline manages.
+        let blocking = curve.iter().find(|e| e.mode == "blocking").expect("entry");
+        let reactor = curve.iter().find(|e| e.mode == "reactor").expect("entry");
+        if reactor.errors > 0 {
+            eprintln!(
+                "FAILED — reactor dropped {} connection(s) under the smoke load",
+                reactor.errors
+            );
+            std::process::exit(1);
+        }
+        if reactor.completed == 0 || reactor.achieved_qps < blocking.achieved_qps {
+            eprintln!(
+                "FAILED — reactor {:.0} qps under blocking baseline {:.0} qps at {} conns",
+                reactor.achieved_qps, blocking.achieved_qps, reactor.conns
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[serve smoke OK] reactor {:.0} qps >= blocking {:.0} qps at {} conns",
+            reactor.achieved_qps, blocking.achieved_qps, reactor.conns
+        );
         return;
     }
 
@@ -416,6 +873,15 @@ pub fn serve_bench(cfg: &HarnessConfig, smoke: bool) {
         ("zipf_s", ZIPF_S.to_json()),
         ("k", LOAD_K.to_json()),
         ("entries", entries.to_json()),
+        (
+            "latency_under_load",
+            object([
+                ("offered_qps", offered.to_json()),
+                ("duration_s", dur.as_secs_f64().to_json()),
+                ("server_workers", 8usize.to_json()),
+                ("entries", curve.to_json()),
+            ]),
+        ),
     ]);
     cfg.write_json("BENCH_serve", &doc);
 }
@@ -427,6 +893,7 @@ mod tests {
     #[test]
     fn load_entry_serializes() {
         let e = LoadEntry {
+            mode: "reactor",
             trace: "uniform",
             clients: 2,
             queries: 100,
@@ -438,9 +905,75 @@ mod tests {
             mean_batch_occupancy: 3.5,
         };
         let j = e.to_json();
+        assert_eq!(j.get("mode").and_then(Json::as_str), Some("reactor"));
         assert_eq!(j.get("trace").and_then(Json::as_str), Some("uniform"));
         assert_eq!(j.get("qps").and_then(Json::as_f64), Some(5000.0));
         assert_eq!(j.get("latency_p99_us").and_then(Json::as_f64), Some(400.0));
+    }
+
+    #[test]
+    fn curve_entry_serializes() {
+        let e = CurveEntry {
+            mode: "blocking",
+            conns: 1024,
+            offered_qps: 3000.0,
+            achieved_qps: 212.0,
+            completed: 636,
+            shed_503: 40,
+            errors: 40,
+            unanswered: 8200,
+            p50_us: 950_000,
+            p95_us: 2_900_000,
+            p99_us: 2_990_000,
+            mean_us: 1.1e6,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("mode").and_then(Json::as_str), Some("blocking"));
+        assert_eq!(j.get("conns").and_then(Json::as_f64), Some(1024.0));
+        assert_eq!(j.get("unanswered").and_then(Json::as_f64), Some(8200.0));
+        assert_eq!(
+            j.get("latency_p95_us").and_then(Json::as_f64),
+            Some(2_900_000.0)
+        );
+    }
+
+    #[test]
+    fn response_parser_pops_pipelined_responses_in_order() {
+        let mut gen = GenConn {
+            stream: TcpStream::connect(
+                std::net::TcpListener::bind("127.0.0.1:0")
+                    .unwrap()
+                    .local_addr()
+                    .unwrap(),
+            )
+            .unwrap(),
+            token: 0,
+            inbuf: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            sent_at: VecDeque::from([100, 200, 300]),
+            next_due_us: 0,
+            dead: false,
+            reg_write: false,
+        };
+        gen.inbuf.extend_from_slice(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok\
+              HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 4\r\n\r\nshed",
+        );
+        // Third response arrives torn: head only, body later.
+        gen.inbuf
+            .extend_from_slice(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n");
+        let mut hist = MicrosHistogram::new();
+        let (mut completed, mut shed) = (0usize, 0usize);
+        consume_responses(&mut gen, 1_000, &mut hist, &mut completed, &mut shed);
+        assert_eq!((completed, shed), (1, 1));
+        assert_eq!(gen.sent_at.len(), 1, "torn response keeps its stamp");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max_us(), 900); // charged from the scheduled stamp
+        gen.inbuf.extend_from_slice(b"ok");
+        consume_responses(&mut gen, 2_000, &mut hist, &mut completed, &mut shed);
+        assert_eq!((completed, shed), (2, 1));
+        assert!(gen.sent_at.is_empty());
     }
 
     #[test]

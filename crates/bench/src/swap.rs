@@ -325,6 +325,7 @@ pub fn swap_bench(cfg: &HarnessConfig, smoke: bool) {
         ServerOptions {
             workers: clients + 2,
             queue_cap: 64,
+            ..Default::default()
         },
     ) {
         Ok(h) => h,

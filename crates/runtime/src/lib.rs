@@ -26,6 +26,9 @@
 //!   (wait-free reads, pointer-flip publication with an RCU-style grace
 //!   period) — the std-only `arc-swap` replacement behind zero-downtime
 //!   snapshot hot-swap in the serving layer.
+//! - [`os`] — the one sanctioned raw-OS-call site: a safe, level-triggered
+//!   epoll [`os::Poller`] plus a self-pipe [`os::Waker`], the readiness
+//!   primitive under the event-driven serving core (Linux only).
 //!
 //! ```
 //! use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod json;
+pub mod os;
 pub mod pool;
 pub mod rng;
 pub mod swap;

@@ -1,0 +1,441 @@
+//! The one sanctioned raw-OS-call site: a thin, safe epoll shim.
+//!
+//! Everything else in the workspace reaches the operating system through
+//! `std`. The event-driven serving core needs one primitive `std` does not
+//! expose — readiness multiplexing over thousands of sockets — so this
+//! module wraps the three epoll syscalls (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`) behind the safe [`Poller`] type and nothing more. The
+//! symbols are resolved from the C library `std` already links on Linux;
+//! no crate dependency is added and no other raw call exists in the tree.
+//!
+//! ## Safety argument
+//!
+//! The `unsafe` surface is three FFI calls, each with fully owned inputs:
+//!
+//! * `epoll_create1` takes a flag constant and returns a fresh descriptor,
+//!   which is immediately wrapped in an [`OwnedFd`] so it cannot leak and
+//!   is closed exactly once (by drop).
+//! * `epoll_ctl` passes a pointer to a stack-allocated, `#[repr(C)]`
+//!   (packed on x86-64, matching the kernel ABI) event record that the
+//!   kernel reads before the call returns — no retained aliasing.
+//! * `epoll_wait` writes into a caller-owned buffer whose length is passed
+//!   alongside it; the kernel writes at most that many records, and only
+//!   the records the return value vouches for are read back.
+//!
+//! Registering a file descriptor does **not** transfer ownership: the
+//! caller keeps its socket alive for as long as it stays registered (the
+//! [`Poller`] API takes `&impl AsRawFd`, so a registered-then-dropped
+//! socket is a caller bug that surfaces as a harmless `ENOENT` on
+//! deregister, never as memory unsafety — the kernel holds its own
+//! reference to the underlying file for the epoll interest list).
+//!
+//! Readiness is **level-triggered**: a call to [`Poller::wait`] reports a
+//! descriptor as long as it *remains* ready, so a consumer that does not
+//! fully drain a socket is re-notified instead of deadlocking — the
+//! forgiving default for a reactor that batches work.
+//!
+//! [`Waker`] is the self-pipe trick built entirely on `std`: a nonblocking
+//! `UnixStream` pair whose read end is registered with the poller; any
+//! thread can make `wait` return by writing one byte.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+// Kernel ABI constants (include/uapi/linux/eventpoll.h). EPOLL_CLOEXEC
+// equals O_CLOEXEC (0o2000000 on every Linux arch this workspace targets).
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel declares it
+/// packed (4-byte aligned u64 payload); other architectures use natural
+/// alignment. Getting this wrong corrupts the token, not memory — but we
+/// match the ABI exactly.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    // Resolved from the C library std already links; these set errno on
+    // failure, which `io::Error::last_os_error()` reads back.
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut RawEvent, maxevents: i32, timeout_ms: i32) -> i32;
+}
+
+/// Which readiness a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        // RDHUP rides along on reads so a peer's half-close surfaces as an
+        // event even when no payload bytes are pending.
+        let mut m = 0;
+        if self.readable {
+            m |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct PollEvent {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hung up (full or write-half close).
+    pub hangup: bool,
+    /// Error condition on the descriptor (always also treated as readable
+    /// by consumers so the error is observed by the next I/O call).
+    pub error: bool,
+}
+
+/// A safe, level-triggered epoll instance.
+pub struct Poller {
+    epfd: OwnedFd,
+    /// Reused kernel-facing event buffer for [`Poller::wait`].
+    buf: Vec<RawEvent>,
+}
+
+impl Poller {
+    /// Creates an epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; a failed call returns -1 with
+        // errno set and we surface it without touching the fd.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created, owned descriptor that nothing
+        // else closes; OwnedFd now closes it exactly once.
+        let epfd = unsafe { OwnedFd::from_raw_fd(fd) };
+        Ok(Self {
+            epfd,
+            buf: vec![RawEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, mut ev: RawEvent) -> io::Result<()> {
+        // SAFETY: `ev` lives on this stack frame for the whole call; the
+        // kernel copies it before returning and keeps no pointer to it.
+        // For EPOLL_CTL_DEL the kernel ignores the event argument.
+        let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token`. The caller keeps ownership of the
+    /// descriptor and must deregister (or close) it before reusing the
+    /// token.
+    pub fn register(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd.as_raw_fd(),
+            RawEvent {
+                events: interest.mask(),
+                data: token,
+            },
+        )
+    }
+
+    /// Changes the interest set (and token) of an already-registered fd.
+    pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd.as_raw_fd(),
+            RawEvent {
+                events: interest.mask(),
+                data: token,
+            },
+        )
+    }
+
+    /// Removes `fd` from the interest list. Closing a descriptor also
+    /// removes it, so this failing with `ENOENT` is benign.
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_DEL,
+            fd.as_raw_fd(),
+            RawEvent { events: 0, data: 0 },
+        )
+    }
+
+    /// Blocks until at least one registered descriptor is ready, the
+    /// timeout elapses (`None` = wait forever), or a signal interrupts the
+    /// wait (reported as zero events, like a timeout). Ready descriptors
+    /// are appended to `out`, which is cleared first. Returns the number
+    /// of events delivered.
+    pub fn wait(
+        &mut self,
+        out: &mut Vec<PollEvent>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        out.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a sub-millisecond timeout still sleeps instead
+            // of spinning; saturate far-future deadlines.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        // SAFETY: `buf` is a live, uniquely borrowed allocation of
+        // `buf.len()` records; the kernel writes at most `maxevents` of
+        // them and we read back only the `n` it reports.
+        let n = unsafe {
+            epoll_wait(
+                self.epfd.as_raw_fd(),
+                self.buf.as_mut_ptr(),
+                self.buf.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for raw in &self.buf[..n as usize] {
+            // Copy out of the (possibly packed) record before field reads.
+            let (events, data) = (raw.events, raw.data);
+            out.push(PollEvent {
+                token: data,
+                readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                writable: events & EPOLLOUT != 0,
+                hangup: events & (EPOLLHUP | EPOLLRDHUP) != 0,
+                error: events & EPOLLERR != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`]: the self-pipe trick on a
+/// nonblocking `UnixStream` pair. Register [`Waker::reader`] with the
+/// poller; any thread holding the `Waker` can then force `wait` to return.
+pub struct Waker {
+    reader: UnixStream,
+    writer: UnixStream,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Self> {
+        let (reader, writer) = UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        Ok(Self { reader, writer })
+    }
+
+    /// The end to register with the poller (read interest).
+    pub fn reader(&self) -> &UnixStream {
+        &self.reader
+    }
+
+    /// Makes the poller's next (or current) `wait` return. Idempotent
+    /// while unconsumed: once the pipe holds a byte, further wakes are
+    /// no-ops (`WouldBlock` when the buffer is full is success — the
+    /// reader is already guaranteed to wake).
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.writer).write(&[1u8]);
+    }
+
+    /// Consumes all pending wakeups; call after `wait` reports the reader
+    /// ready, before re-entering `wait`.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.reader).read(&mut buf) {
+            if n == 0 {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register(waker.reader(), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing pending: a short wait times out with zero events.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        waker.wake();
+        waker.wake(); // coalesces
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+
+        // Drained: back to timing out.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn socket_readiness_is_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.register(&server, 42, Interest::READ).unwrap();
+        let mut events = Vec::new();
+
+        client.write_all(b"hi").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+
+        // Level-triggered: unconsumed data keeps reporting ready.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events[0].readable);
+
+        let mut buf = [0u8; 8];
+        let got = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..got], b"hi");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0, "drained socket stops reporting readable");
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.register(&server, 1, Interest::READ).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].hangup, "peer close surfaces as hangup");
+        assert!(events[0].readable, "hangup also reads as readable (EOF)");
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        // A fresh connected socket is writable but has nothing to read.
+        poller.register(&server, 5, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        poller.modify(&server, 9, Interest::READ_WRITE).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 9, "modify rebinds the token");
+        assert!(events[0].writable);
+
+        poller.deregister(&server).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fd reports nothing");
+    }
+
+    #[test]
+    fn accept_readiness_on_a_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.register(&listener, 3, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        let _client = TcpStream::connect(addr).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 3);
+        assert!(events[0].readable, "pending accept is read-readiness");
+        assert!(listener.accept().is_ok());
+    }
+}

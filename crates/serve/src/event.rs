@@ -1,0 +1,787 @@
+//! The event-driven serving core: an epoll reactor over the alignment
+//! index.
+//!
+//! ## Architecture
+//!
+//! One reactor thread owns every socket and multiplexes them through the
+//! level-triggered [`Poller`](openea_runtime::os::Poller): it accepts,
+//! reads into the incremental parser ([`crate::conn`]), answers cheap
+//! routes (`/health`, `/stats`, parameter errors) inline, and dispatches
+//! `/align` and `/admin/reload` work to a small pool of compute workers
+//! over a bounded job queue. Workers never touch sockets: they compute,
+//! encode the response bytes, push a completion record, and wake the
+//! reactor through its self-pipe [`Waker`](openea_runtime::os::Waker).
+//! Each open connection costs one fd, one parser buffer and one slab
+//! slot — no thread, no stack — which is what lifts the concurrency
+//! ceiling from `workers` (the blocking baseline) to `max_conns`.
+//!
+//! ## Pipelining → micro-batching
+//!
+//! A client that pipelines N `/align` requests lands them in one socket
+//! read; the reactor collects the maximal contiguous run into a single
+//! job, and the worker resolves the whole run through
+//! [`BatchIndex::query_batch`] — one state-lock pass, at most one kernel
+//! sweep for every cache miss in the run. Responses are encoded in
+//! request order, so pipelining is invisible to the client except in
+//! throughput ([`Telemetry::pipelined_batches`] counts the multi-request
+//! jobs).
+//!
+//! At most one job per connection is in flight at a time; further parsed
+//! requests queue on the connection (bounded by
+//! [`MAX_PIPELINE`](crate::conn::MAX_PIPELINE), after which the reactor
+//! simply stops reading that socket — level triggering re-reports the
+//! unread bytes once the pipeline drains).
+//!
+//! ## Admission control
+//!
+//! The reactor tracks `/align` arrival-to-completion latency in two
+//! rotating histogram windows. When the windowed p99 exceeds
+//! `p99_budget_us`, a proportional fraction of incoming align requests —
+//! `clamp((p99 − budget) / budget, 0, 1)`, tracked by a deterministic
+//! fractional accumulator, no RNG — is answered `503` + `Retry-After`
+//! instead of being queued. Shedding at admission keeps the queue short,
+//! so compliant clients see bounded latency instead of collapse; the
+//! shed decisions are visible as `shed_total.latency` in `/stats`. A full
+//! job queue likewise sheds (`shed_total.queue`), as does the
+//! `max_conns` ceiling at accept time (`shed_total.conn_limit`).
+//!
+//! ## Shutdown
+//!
+//! `stop()` flips the flag and wakes the reactor — no sentinel
+//! connections. The reactor closes the listener, performs a final read
+//! sweep (requests that raced shutdown are still parsed), then drains:
+//! idle keep-alive connections close immediately, connections owing
+//! responses stay until their bytes are flushed (bounded by a grace
+//! deadline). Only then does the job queue close and the workers join —
+//! an accepted request that reached the parser is never dropped
+//! unanswered.
+
+use crate::conn::{Conn, ConnEvent};
+use crate::index::Probe;
+use crate::server::{
+    align_response, classify, err_json, reload_response, response_bytes, shed_bytes, stats_json,
+    AlignQuery, RouteAction, ServerMode, ServerOptions, Telemetry, EP_ALIGN, EP_RELOAD,
+};
+use crate::swap::HotSwapIndex;
+use openea_runtime::os::{Interest, PollEvent, Poller, Waker};
+use openea_runtime::timer::MicrosHistogram;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Poller token of the waker's read end.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+/// How long shutdown waits for owed responses before force-closing.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+/// Minimum windowed sample count before latency shedding may engage.
+const ADMISSION_MIN_SAMPLES: u64 = 16;
+
+/// One unit of compute-worker work.
+enum Job {
+    /// A contiguous run of `/align` requests from one connection.
+    Aligns {
+        slot: usize,
+        epoch: u64,
+        items: Vec<AlignItem>,
+    },
+    /// One `/admin/reload` (artifact loads are far too slow for the
+    /// event loop).
+    Reload {
+        slot: usize,
+        epoch: u64,
+        path: Option<String>,
+        close: bool,
+        t0: u64,
+    },
+}
+
+struct AlignItem {
+    q: AlignQuery,
+    close: bool,
+    /// Arrival stamp (head fully parsed), µs on the shared clock.
+    t0: u64,
+    /// Admission control already decided to shed this one; the worker
+    /// emits the 503 in sequence position so responses stay ordered.
+    shed: bool,
+}
+
+/// A worker's finished job: encoded bytes ready for the out-buffer.
+struct Completion {
+    slot: usize,
+    /// Must match the connection's epoch or the bytes are dropped (the
+    /// slot was closed and possibly reused while the job was in flight).
+    epoch: u64,
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+/// Bounded MPMC job queue (reactor produces, workers consume).
+struct JobQueue {
+    q: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    closed: AtomicBool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.q.lock().unwrap().push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed **and** drained, so
+    /// every dispatched job is completed even during shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(j) = q.pop_front() {
+                return Some(j);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.q.lock().unwrap().len()
+    }
+}
+
+/// The rotating observation windows behind latency-aware admission.
+struct AdmissionWindow {
+    cur: MicrosHistogram,
+    prev: MicrosHistogram,
+    rotated_at_us: u64,
+}
+
+/// State shared between the reactor thread, the workers, and the handle.
+struct ReactorShared {
+    index: Arc<HotSwapIndex>,
+    tel: Telemetry,
+    jobs: JobQueue,
+    completions: Mutex<Vec<Completion>>,
+    shutdown: AtomicBool,
+    waker: Waker,
+    admission: Mutex<AdmissionWindow>,
+    opts: ServerOptions,
+}
+
+/// A running reactor: join handles plus the shutdown signal.
+pub(crate) struct ReactorHandle {
+    shared: Arc<ReactorShared>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Graceful shutdown: signal, wake, drain, join. Idempotent.
+    pub(crate) fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.waker.wake();
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+        // The reactor has drained: every dispatched job's completion was
+        // either delivered or its connection force-closed. Now the queue
+        // (already empty) closes and the workers exit.
+        self.shared.jobs.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts the reactor thread and its compute workers over an
+/// already-bound listener.
+pub(crate) fn spawn_reactor(
+    index: Arc<HotSwapIndex>,
+    listener: TcpListener,
+    opts: ServerOptions,
+) -> std::io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(ReactorShared {
+        index,
+        tel: Telemetry::new(),
+        jobs: JobQueue::new(),
+        completions: Mutex::new(Vec::new()),
+        shutdown: AtomicBool::new(false),
+        waker: Waker::new()?,
+        admission: Mutex::new(AdmissionWindow {
+            cur: MicrosHistogram::new(),
+            prev: MicrosHistogram::new(),
+            rotated_at_us: 0,
+        }),
+        opts,
+    });
+
+    let poller = Poller::new()?;
+    poller.register(&listener, TOKEN_LISTENER, Interest::READ)?;
+    poller.register(shared.waker.reader(), TOKEN_WAKER, Interest::READ)?;
+
+    let workers = (0..opts.workers.max(1))
+        .map(|i| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("reactor-worker-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .expect("spawn reactor worker")
+        })
+        .collect();
+
+    let sh = Arc::clone(&shared);
+    let reactor = std::thread::Builder::new()
+        .name("reactor".into())
+        .spawn(move || {
+            Reactor {
+                shared: sh,
+                poller,
+                listener: Some(listener),
+                conns: Vec::new(),
+                free: Vec::new(),
+                open: 0,
+                next_epoch: 1,
+                shed_acc: 0.0,
+                draining: false,
+                drain_deadline_us: 0,
+                scratch: Vec::new(),
+            }
+            .run()
+        })
+        .expect("spawn reactor");
+
+    Ok(ReactorHandle {
+        shared,
+        reactor: Some(reactor),
+        workers,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Compute workers.
+
+fn worker_loop(sh: &ReactorShared) {
+    while let Some(job) = sh.jobs.pop() {
+        let (slot, epoch, bytes, close) = match job {
+            Job::Aligns { slot, epoch, items } => {
+                let (bytes, close) = run_aligns(sh, &items);
+                (slot, epoch, bytes, close)
+            }
+            Job::Reload {
+                slot,
+                epoch,
+                path,
+                close,
+                t0,
+            } => {
+                let (status, body) = reload_response(&sh.index, path.as_deref());
+                let bytes = response_bytes(status, &body, close, None);
+                sh.tel
+                    .record(EP_RELOAD, sh.tel.clock.micros().saturating_sub(t0));
+                (slot, epoch, bytes, close)
+            }
+        };
+        sh.completions.lock().unwrap().push(Completion {
+            slot,
+            epoch,
+            bytes,
+            close,
+        });
+        sh.waker.wake();
+    }
+}
+
+/// Resolves one run of align requests through the micro-batching path
+/// and encodes the responses in request order.
+fn run_aligns(sh: &ReactorShared, items: &[AlignItem]) -> (Vec<u8>, bool) {
+    // One `current()` per job: answers, metric, names and generation all
+    // come from one coherent index even if a flip lands mid-job.
+    let index = sh.index.current();
+    let live: Vec<(u32, usize, Option<Probe>)> = items
+        .iter()
+        .filter(|i| !i.shed)
+        .map(|i| (i.q.entity, i.q.k, i.q.probe))
+        .collect();
+    if live.len() > 1 {
+        sh.tel.pipelined_batches.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut results = index.query_batch(&live).into_iter();
+    let retry_s = retry_after_s(&sh.opts);
+    let mut bytes = Vec::new();
+    let mut close = false;
+    for item in items {
+        if item.shed {
+            bytes.extend_from_slice(&shed_bytes("latency", retry_s, item.close));
+        } else {
+            let result = results.next().expect("one result per live query");
+            let (status, body) = align_response(&index, &item.q, result);
+            bytes.extend_from_slice(&response_bytes(status, &body, item.close, None));
+            let us = sh.tel.clock.micros().saturating_sub(item.t0);
+            sh.tel.record(EP_ALIGN, us);
+            sh.admission.lock().unwrap().cur.record(us);
+        }
+        close |= item.close;
+    }
+    (bytes, close)
+}
+
+/// `Retry-After` seconds hint: one admission window, at least 1s.
+fn retry_after_s(opts: &ServerOptions) -> u32 {
+    (opts.budget_window.as_secs() as u32).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// The reactor thread.
+
+struct Reactor {
+    shared: Arc<ReactorShared>,
+    poller: Poller,
+    /// Dropped (closing the socket) when draining starts.
+    listener: Option<TcpListener>,
+    /// Connection slab; token == slot index.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    open: usize,
+    next_epoch: u64,
+    /// Fractional-accumulator state for deterministic latency shedding.
+    shed_acc: f64,
+    draining: bool,
+    drain_deadline_us: u64,
+    scratch: Vec<PollEvent>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        loop {
+            let timeout = if self.draining {
+                Some(Duration::from_millis(25))
+            } else {
+                None
+            };
+            let mut events = std::mem::take(&mut self.scratch);
+            let _ = self.poller.wait(&mut events, timeout);
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token as usize),
+                }
+            }
+            self.scratch = events;
+            self.drain_completions();
+            if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if self.draining
+                && (self.open == 0 || self.shared.tel.clock.micros() >= self.drain_deadline_us)
+            {
+                break;
+            }
+        }
+        // Grace expired (or everything drained): force-close stragglers.
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    // -- accept path --------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        // Drain every pending accept; level triggering re-reports any we
+        // miss between waits.
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared
+                        .tel
+                        .accepted_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    let cap = self.shared.opts.max_conns;
+                    if cap != 0 && self.open >= cap {
+                        self.shed_at_accept(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    let epoch = self.next_epoch;
+                    self.next_epoch += 1;
+                    if self
+                        .poller
+                        .register(&stream, slot as u64, Interest::READ)
+                        .is_err()
+                    {
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.conns[slot] = Some(Conn::new(stream, epoch));
+                    self.open += 1;
+                    self.shared.tel.open_conns.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Over the connection ceiling: answer 503 from the accept path and
+    /// close. Best-effort nonblocking write — a canned response this small
+    /// fits a fresh socket's send buffer.
+    fn shed_at_accept(&self, stream: TcpStream) {
+        self.shared
+            .tel
+            .shed_conn_limit
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nonblocking(true);
+        let mut s = stream;
+        let _ = s.write(&shed_bytes("conn_limit", 1, true));
+    }
+
+    // -- per-connection I/O --------------------------------------------------
+
+    fn conn_ready(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return; // stale event for a slot closed earlier this sweep
+        };
+        if !conn.read_closed && !conn.close_after_flush {
+            if conn.fill() == ConnEvent::Broken {
+                self.close_conn(slot);
+                return;
+            }
+            self.pump_parse(slot);
+        }
+        self.pump_dispatch(slot);
+        self.flush_and_settle(slot);
+    }
+
+    /// Pulls every complete request out of the parser and stamps arrival.
+    fn pump_parse(&mut self, slot: usize) {
+        let now = self.shared.tel.clock.micros();
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        loop {
+            match conn.parser.next_request() {
+                Ok(Some(mut req)) => {
+                    req.parsed_us = now;
+                    conn.pending.push_back(req);
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    // Terminal: the stream is desynced. Stop reading; the
+                    // typed error response is queued by `pump_dispatch`
+                    // once everything already accepted is answered.
+                    conn.read_closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Answers cheap routes inline and dispatches at most one compute job.
+    fn pump_dispatch(&mut self, slot: usize) {
+        loop {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            if conn.inflight || conn.close_after_flush {
+                return;
+            }
+            let Some(head) = conn.pending.front() else {
+                // Fully drained: if the parser failed earlier, now is the
+                // ordered place for its terminal response.
+                if let Err(e) = conn.parser.next_request() {
+                    let body = err_json(&e.to_string());
+                    let bytes = response_bytes(e.status(), &body, true, None);
+                    conn.push_out(&bytes);
+                    conn.close_after_flush = true;
+                }
+                return;
+            };
+            match classify(&head.method, &head.path, &head.query) {
+                RouteAction::Align(_) => {
+                    self.dispatch_aligns(slot);
+                    return;
+                }
+                RouteAction::Reload(path) => {
+                    let req = conn.pending.pop_front().expect("head exists");
+                    let t0 = req.parsed_us;
+                    if req.close {
+                        conn.pending.clear();
+                        conn.read_closed = true;
+                    }
+                    conn.inflight = true;
+                    let epoch = conn.epoch;
+                    self.shared.jobs.push(Job::Reload {
+                        slot,
+                        epoch,
+                        path,
+                        close: req.close,
+                        t0,
+                    });
+                    return;
+                }
+                RouteAction::Stats => {
+                    let req = conn.pending.pop_front().expect("head exists");
+                    let body = stats_json(
+                        &self.shared.index,
+                        &self.shared.tel,
+                        ServerMode::Reactor,
+                        self.shared.jobs.depth(),
+                        self.shared.opts.p99_budget_us,
+                    );
+                    self.finish_inline(slot, &req, 200, &body);
+                }
+                RouteAction::Inline(status, body) => {
+                    let req = conn.pending.pop_front().expect("head exists");
+                    self.finish_inline(slot, &req, status, &body);
+                }
+            }
+        }
+    }
+
+    fn finish_inline(
+        &mut self,
+        slot: usize,
+        req: &crate::conn::HttpRequest,
+        status: u16,
+        body: &openea_runtime::json::Json,
+    ) {
+        let now = self.shared.tel.clock.micros();
+        let ep = Telemetry::endpoint(&req.path);
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        conn.push_out(&response_bytes(status, body, req.close, None));
+        if req.close {
+            conn.pending.clear();
+            conn.close_after_flush = true;
+        }
+        self.shared
+            .tel
+            .record(ep, now.saturating_sub(req.parsed_us));
+    }
+
+    /// Collects the maximal contiguous run of `/align` requests at the
+    /// head of the pending queue into one job, applying admission control
+    /// per request.
+    fn dispatch_aligns(&mut self, slot: usize) {
+        let queue_full = self.shared.jobs.depth() >= self.shared.opts.queue_cap.max(1);
+        let frac = self.admission_frac();
+        let retry_s = retry_after_s(&self.shared.opts);
+        let mut items: Vec<AlignItem> = Vec::new();
+        let mut saw_close = false;
+        loop {
+            let conn = self.conns[slot].as_mut().expect("live slot");
+            let Some(head) = conn.pending.front() else {
+                break;
+            };
+            let RouteAction::Align(q) = classify(&head.method, &head.path, &head.query) else {
+                break;
+            };
+            let req = conn.pending.pop_front().expect("head exists");
+            if queue_full {
+                // No job outstanding for this connection (dispatch only
+                // runs when idle), so inline 503s stay in request order.
+                self.shared.tel.shed_queue.fetch_add(1, Ordering::Relaxed);
+                let conn = self.conns[slot].as_mut().expect("live slot");
+                conn.push_out(&shed_bytes("queue", retry_s, req.close));
+                if req.close {
+                    conn.pending.clear();
+                    conn.close_after_flush = true;
+                    return;
+                }
+                continue;
+            }
+            let shed = if frac > 0.0 {
+                self.shed_acc += frac;
+                if self.shed_acc >= 1.0 {
+                    self.shed_acc -= 1.0;
+                    self.shared.tel.shed_latency.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            items.push(AlignItem {
+                q,
+                close: req.close,
+                t0: req.parsed_us,
+                shed,
+            });
+            if req.close {
+                saw_close = true;
+                break;
+            }
+        }
+        if items.is_empty() {
+            return;
+        }
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        if saw_close {
+            // The client asked to close; anything pipelined after the
+            // close-flagged request is dead on arrival.
+            conn.pending.clear();
+            conn.read_closed = true;
+        }
+        conn.inflight = true;
+        let epoch = conn.epoch;
+        self.shared.jobs.push(Job::Aligns { slot, epoch, items });
+    }
+
+    /// Current shed fraction from the windowed p99 vs the budget;
+    /// rotates the observation windows when one has elapsed.
+    fn admission_frac(&mut self) -> f64 {
+        let budget = self.shared.opts.p99_budget_us;
+        if budget == 0 {
+            return 0.0;
+        }
+        let now = self.shared.tel.clock.micros();
+        let window_us = (self.shared.opts.budget_window.as_micros() as u64).max(1000);
+        let (count, p99) = {
+            let mut w = self.shared.admission.lock().unwrap();
+            if now.saturating_sub(w.rotated_at_us) >= window_us {
+                w.prev = std::mem::replace(&mut w.cur, MicrosHistogram::new());
+                w.rotated_at_us = now;
+            }
+            let mut merged = MicrosHistogram::new();
+            merged.merge(&w.prev);
+            merged.merge(&w.cur);
+            (merged.count(), merged.percentile_us(99.0))
+        };
+        let frac = if count >= ADMISSION_MIN_SAMPLES && p99 > budget {
+            (((p99 - budget) as f64) / (budget as f64)).min(1.0)
+        } else {
+            0.0
+        };
+        self.shared.tel.window_p99_us.store(p99, Ordering::Relaxed);
+        self.shared
+            .tel
+            .shed_frac_milli
+            .store((frac * 1000.0) as u64, Ordering::Relaxed);
+        frac
+    }
+
+    // -- completions, flushing, teardown ------------------------------------
+
+    fn drain_completions(&mut self) {
+        let batch = std::mem::take(&mut *self.shared.completions.lock().unwrap());
+        for c in batch {
+            let Some(conn) = self.conns.get_mut(c.slot).and_then(Option::as_mut) else {
+                continue; // connection closed while the job was in flight
+            };
+            if conn.epoch != c.epoch {
+                continue; // slot was reused; these bytes belong to the dead conn
+            }
+            conn.inflight = false;
+            conn.push_out(&c.bytes);
+            if c.close {
+                conn.pending.clear();
+                conn.close_after_flush = true;
+            }
+            self.pump_dispatch(c.slot);
+            self.flush_and_settle(c.slot);
+        }
+    }
+
+    /// Flushes what the socket will take, then closes or re-arms interest.
+    fn flush_and_settle(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.flush_out() == ConnEvent::Broken {
+            self.close_conn(slot);
+            return;
+        }
+        let conn = self.conns[slot].as_mut().expect("live slot");
+        let flushed = conn.out_pending() == 0;
+        if flushed && conn.close_after_flush {
+            self.close_conn(slot);
+            return;
+        }
+        if conn.read_closed && conn.pending.is_empty() && !conn.inflight && conn.out_pending() == 0
+        {
+            // Peer EOF and nothing owed in either direction. A request
+            // head torn by the disconnect can never complete, so it does
+            // not count as owed work (unlike `idle()`, which would keep
+            // the carcass alive for its unfinishable parse).
+            self.close_conn(slot);
+            return;
+        }
+        if self.draining && conn.idle() {
+            // Graceful shutdown closes idle keep-alive connections; any
+            // connection owing bytes or a completion stays for the grace
+            // period.
+            self.close_conn(slot);
+            return;
+        }
+        // Stop reading while throttled or done reading; level triggering
+        // re-reports buffered bytes when read interest returns. (A peer
+        // that full-closes mid-job still raises HUP regardless of the
+        // interest mask; the resulting no-op wakeups last only until its
+        // completion arrives.)
+        let want = Interest {
+            readable: !(conn.read_closed || conn.close_after_flush || conn.throttled()),
+            writable: !flushed,
+        };
+        if (want.readable != conn.reg_read || want.writable != conn.reg_write)
+            && self.poller.modify(&conn.stream, slot as u64, want).is_ok()
+        {
+            conn.reg_read = want.readable;
+            conn.reg_write = want.writable;
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.deregister(&conn.stream);
+            self.open -= 1;
+            self.shared.tel.open_conns.fetch_sub(1, Ordering::Relaxed);
+            self.free.push(slot);
+        }
+    }
+
+    /// Shutdown observed: stop accepting, final read sweep, close idle.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline_us = self.shared.tel.clock.micros() + DRAIN_GRACE.as_micros() as u64;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(&listener);
+            // Dropped here: pending SYNs get RST instead of silence.
+        }
+        // Final sweep: bytes that raced the shutdown signal are still
+        // parsed and answered; idle connections close immediately.
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.conn_ready(slot);
+            }
+        }
+    }
+}

@@ -568,33 +568,99 @@ impl BatchIndex {
             return Ok(hit.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-
-        let slot = Arc::new(Slot {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-        });
-        let mut st = self.state.lock().unwrap();
-        st.pending.push(PendingQuery {
-            entity,
-            k,
-            probe,
-            slot: Arc::clone(&slot),
-        });
-        if st.leader_active {
-            // A leader is collecting or computing: it (or its successor)
-            // will pick this query up. Wake it in case it is waiting for
-            // the batch to fill.
-            self.arrivals.notify_all();
-            drop(st);
-        } else {
-            st.leader_active = true;
-            self.lead(st);
-        }
+        let slot = self.enqueue(&[(entity, k, probe)]).pop().expect("one slot");
         let mut r = slot.result.lock().unwrap();
         while r.is_none() {
             r = slot.ready.wait(r).unwrap();
         }
         Ok(r.take().unwrap())
+    }
+
+    /// Answers a group of queries submitted together — a pipelined burst
+    /// from one connection. All cache misses of the group enter the
+    /// pending set under **one** state lock, so a burst that fits
+    /// `max_batch` lands in a single kernel sweep instead of `n` separate
+    /// leader hand-offs; answers are the same bits [`BatchIndex::query_probed`]
+    /// would produce one at a time (micro-batching is unobservable).
+    /// Per-query validation errors are returned in place without
+    /// disturbing the rest of the group.
+    pub fn query_batch(
+        &self,
+        queries: &[(u32, usize, Option<Probe>)],
+    ) -> Vec<Result<Answer, QueryError>> {
+        let mut results: Vec<Option<Result<Answer, QueryError>>> = vec![None; queries.len()];
+        // Resolve validation failures and cache hits first.
+        let mut misses: Vec<(usize, (u32, usize, Probe))> = Vec::new();
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (i, &(entity, k, probe)) in queries.iter().enumerate() {
+                match self.validate(entity, k) {
+                    Err(e) => results[i] = Some(Err(e)),
+                    Ok(k) => {
+                        let probe = probe.unwrap_or(self.default_probe);
+                        match cache.get(&self.cache_key(entity, k, probe)) {
+                            Some(hit) => {
+                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                results[i] = Some(Ok(hit.clone()));
+                            }
+                            None => {
+                                self.misses.fetch_add(1, Ordering::Relaxed);
+                                misses.push((i, (entity, k, probe)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let group: Vec<(u32, usize, Probe)> = misses.iter().map(|&(_, q)| q).collect();
+            let slots = self.enqueue(&group);
+            for ((i, _), slot) in misses.into_iter().zip(slots) {
+                let mut r = slot.result.lock().unwrap();
+                while r.is_none() {
+                    r = slot.ready.wait(r).unwrap();
+                }
+                results[i] = Some(Ok(r.take().unwrap()));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query resolved"))
+            .collect()
+    }
+
+    /// Pushes validated cache misses into the pending set under one state
+    /// lock and takes leadership if nobody holds it. Returns the slots to
+    /// wait on, in input order.
+    fn enqueue(&self, queries: &[(u32, usize, Probe)]) -> Vec<Arc<Slot>> {
+        let slots: Vec<Arc<Slot>> = queries
+            .iter()
+            .map(|_| {
+                Arc::new(Slot {
+                    result: Mutex::new(None),
+                    ready: Condvar::new(),
+                })
+            })
+            .collect();
+        let mut st = self.state.lock().unwrap();
+        for (&(entity, k, probe), slot) in queries.iter().zip(&slots) {
+            st.pending.push(PendingQuery {
+                entity,
+                k,
+                probe,
+                slot: Arc::clone(slot),
+            });
+        }
+        if st.leader_active {
+            // A leader is collecting or computing: it (or its successor)
+            // will pick these queries up. Wake it in case it is waiting
+            // for the batch to fill.
+            self.arrivals.notify_all();
+        } else {
+            st.leader_active = true;
+            self.lead(st);
+        }
+        slots
     }
 
     /// Leader duty: collect up to `max_batch` queries or until `max_wait`

@@ -35,6 +35,8 @@
 //! curl 'http://127.0.0.1:7077/align?entity=42&k=5'
 //! ```
 
+pub mod conn;
+pub mod event;
 pub mod index;
 pub mod server;
 pub mod shard;
@@ -44,7 +46,7 @@ pub mod swap;
 pub use index::{
     AlignmentIndex, Answer, BatchIndex, CacheKey, IndexStats, LruCache, Probe, QueryError,
 };
-pub use server::{serve, serve_hot, ServerHandle, ServerOptions};
+pub use server::{serve, serve_hot, ServerHandle, ServerMode, ServerOptions};
 pub use shard::{shard_path, write_sharded, ShardManifest, ShardMeta};
 pub use snapshot::{ModelParams, Snapshot, SnapshotError, SnapshotWriter};
 pub use swap::{

@@ -1,7 +1,8 @@
-//! A std-only threaded HTTP/1.1 server over the alignment index.
+//! The HTTP serving front end: shared routing/telemetry plus two server
+//! implementations over the alignment index.
 //!
-//! Deliberately minimal: `GET` only, three routes, no TLS, no chunked
-//! bodies — enough protocol for curl, browsers and the bench load
+//! Deliberately minimal protocol: `GET` only, four routes, no TLS, no
+//! chunked bodies — enough for curl, browsers and the bench load
 //! generator, implemented directly on `std::net` so the zero-dependency
 //! policy holds.
 //!
@@ -13,37 +14,49 @@
 //!   to the offline evaluation); `nprobe=n` probes the `n` best partitions
 //!   of the two-stage index (exact fallback when none was built).
 //! * `GET /health` — liveness probe.
-//! * `GET /stats` — cache hit rate, batch occupancy, latency percentiles,
-//!   served/rejected counters, snapshot generation, partition shape, and
-//!   the hot-swap gauges (loaded/total entities, reload counters, last
-//!   flip pause, generations still draining).
+//! * `GET /stats` — cache hit rate, batch occupancy, per-endpoint latency
+//!   percentiles, served/shed counters, connection gauges, snapshot
+//!   generation, partition shape, admission-control state, and the
+//!   hot-swap gauges.
 //! * `GET /admin/reload[?path=<artifact>]` — zero-downtime hot-swap: load
 //!   and validate the artifact (the remembered one, or `path`) off the
-//!   request path, warm the replacement's cache, flip atomically. Reports
-//!   the new generation and flip pause on success; on any validation
-//!   failure the live index keeps serving and the typed error is
-//!   returned with status 409.
+//!   request path, warm the replacement's cache, flip atomically. On any
+//!   validation failure the live index keeps serving and the typed error
+//!   is returned with status 409.
 //!
 //! Every `/align` answer carries the generation of the index that
 //! computed it, so clients can observe flips and verify monotonicity.
 //!
-//! ## Backpressure contract
+//! ## Two server modes
 //!
-//! The acceptor thread never parks a connection in an unbounded buffer: a
-//! bounded queue of `queue_cap` accepted connections feeds the worker
-//! threads, and when it is full the acceptor answers `503 Service
-//! Unavailable` (with `Retry-After: 0`) and closes — load sheds at the
-//! door, memory stays flat, and clients get an explicit signal instead of
-//! a timeout. Workers serve keep-alive connections, so a well-behaved
-//! client pays the queue once per connection, not per request. The flip
-//! side: a worker owns its connection until the client closes, so
-//! `workers` bounds the number of concurrently-open connections — size it
-//! to the expected client count, or excess connections sit in the queue
-//! until a held connection closes.
+//! [`ServerMode::Reactor`] (the default) is the event-driven core in
+//! [`crate::event`]: one epoll reactor thread multiplexes every
+//! connection through nonblocking reads and the incremental parser in
+//! [`crate::conn`], pipelined `/align` bursts are batched into the
+//! [`BatchIndex`] leader/follower path by a small compute-worker pool,
+//! and latency-aware admission control sheds load (503 + `Retry-After`)
+//! when a windowed p99 exceeds its budget. Thousands of concurrent
+//! keep-alive connections cost one fd and a few KiB each — no thread per
+//! connection.
+//!
+//! [`ServerMode::Blocking`] is the original thread-per-connection server,
+//! kept as the measured baseline: a bounded queue of accepted connections
+//! feeds `workers` threads, each owning one keep-alive connection at a
+//! time, and the only overload response is a 503 when the queue fills.
+//! `workers` bounds concurrently-served connections, which is exactly the
+//! ceiling the reactor removes. Its acceptor waits on the same
+//! [`Poller`](openea_runtime::os::Poller) as the reactor (listener +
+//! self-pipe waker), so shutdown is a wakeup, not the historical
+//! throwaway self-connection.
+//!
+//! Both modes answer through the same routing functions below, so their
+//! JSON responses are byte-identical for the same index state — proven by
+//! the differential test in `tests/reactor_e2e.rs`.
 
-use crate::index::{BatchIndex, Probe, QueryError};
+use crate::index::{Answer, BatchIndex, Probe, QueryError};
 use crate::swap::HotSwapIndex;
 use openea_runtime::json::{object, Json, ToJson};
+use openea_runtime::os::{Interest, Poller, Waker};
 use openea_runtime::timer::{MicrosHistogram, Monotonic};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -51,14 +64,40 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Which serving core answers connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Event-driven epoll reactor (default): one event loop multiplexes
+    /// all connections; `workers` compute threads run the kernel sweeps.
+    Reactor,
+    /// Thread-per-connection baseline: `workers` threads each own one
+    /// keep-alive connection at a time behind a bounded accept queue.
+    Blocking,
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerOptions {
-    /// Worker threads serving connections.
+    /// Reactor: compute worker threads running index sweeps and reloads.
+    /// Blocking: connection-serving threads (bounds open connections).
     pub workers: usize,
-    /// Accepted connections waiting for a worker before 503s start.
+    /// Reactor: pending compute jobs before queue-depth shedding starts.
+    /// Blocking: accepted connections waiting for a worker before 503s.
     pub queue_cap: usize,
+    /// Which serving core to run.
+    pub mode: ServerMode,
+    /// Reactor only: open-connection ceiling; further accepts are shed
+    /// with 503 (`shed_total.conn_limit`). 0 means unlimited.
+    pub max_conns: usize,
+    /// Reactor only: latency budget in µs for the windowed `/align` p99.
+    /// While the observed p99 exceeds it, a matching fraction of incoming
+    /// align requests is shed with 503 + `Retry-After`
+    /// (`shed_total.latency`). 0 disables latency-aware admission.
+    pub p99_budget_us: u64,
+    /// Width of the admission-control observation window.
+    pub budget_window: Duration,
 }
 
 impl Default for ServerOptions {
@@ -66,9 +105,545 @@ impl Default for ServerOptions {
         Self {
             workers: 4,
             queue_cap: 64,
+            mode: ServerMode::Reactor,
+            max_conns: 8192,
+            p99_budget_us: 0,
+            budget_window: Duration::from_millis(1000),
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry shared by both server modes.
+
+/// Endpoint slots for per-endpoint latency histograms.
+pub(crate) const EP_ALIGN: usize = 0;
+pub(crate) const EP_HEALTH: usize = 1;
+pub(crate) const EP_STATS: usize = 2;
+pub(crate) const EP_RELOAD: usize = 3;
+pub(crate) const EP_OTHER: usize = 4;
+pub(crate) const N_ENDPOINTS: usize = 5;
+
+const ENDPOINT_NAMES: [&str; N_ENDPOINTS] = ["align", "health", "stats", "reload", "other"];
+
+/// Counters and histograms exported through `/stats`, fed by whichever
+/// server mode is running.
+pub(crate) struct Telemetry {
+    pub clock: Monotonic,
+    /// Responses written (any status), across all endpoints.
+    pub served: AtomicU64,
+    /// Connections accepted since startup (shed ones included).
+    pub accepted_total: AtomicU64,
+    /// Currently open connections.
+    pub open_conns: AtomicU64,
+    /// 503s by reason: bounded queue full.
+    pub shed_queue: AtomicU64,
+    /// 503s by reason: windowed p99 over its latency budget.
+    pub shed_latency: AtomicU64,
+    /// 503s by reason: open-connection ceiling reached.
+    pub shed_conn_limit: AtomicU64,
+    /// Compute jobs that carried more than one pipelined `/align` request.
+    pub pipelined_batches: AtomicU64,
+    /// Per-endpoint service latency (µs), parse-complete → response queued.
+    pub latency: Mutex<[MicrosHistogram; N_ENDPOINTS]>,
+    /// Admission-control snapshot for `/stats` (written by the reactor).
+    pub window_p99_us: AtomicU64,
+    /// Current shed fraction in milli-units (0..=1000).
+    pub shed_frac_milli: AtomicU64,
+}
+
+impl Telemetry {
+    pub(crate) fn new() -> Self {
+        Self {
+            clock: Monotonic::start(),
+            served: AtomicU64::new(0),
+            accepted_total: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            shed_latency: AtomicU64::new(0),
+            shed_conn_limit: AtomicU64::new(0),
+            pipelined_batches: AtomicU64::new(0),
+            latency: Mutex::new(std::array::from_fn(|_| MicrosHistogram::new())),
+            window_p99_us: AtomicU64::new(0),
+            shed_frac_milli: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn endpoint(path: &str) -> usize {
+        match path {
+            "/align" => EP_ALIGN,
+            "/health" => EP_HEALTH,
+            "/stats" => EP_STATS,
+            "/admin/reload" => EP_RELOAD,
+            _ => EP_OTHER,
+        }
+    }
+
+    /// Records one answered request on `endpoint` with service latency `us`.
+    pub(crate) fn record(&self, endpoint: usize, us: u64) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().unwrap()[endpoint].record(us);
+    }
+
+    pub(crate) fn shed_total(&self) -> u64 {
+        self.shed_queue.load(Ordering::Relaxed)
+            + self.shed_latency.load(Ordering::Relaxed)
+            + self.shed_conn_limit.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing shared by both server modes. Keeping every JSON answer built by
+// exactly one function is what makes the reactor provably bit-identical
+// to the blocking baseline.
+
+/// A validated `/align` request.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AlignQuery {
+    pub entity: u32,
+    pub k: usize,
+    pub probe: Option<Probe>,
+}
+
+/// What a parsed request needs from the serving core.
+pub(crate) enum RouteAction {
+    /// Fully answerable without touching the compute path.
+    Inline(u16, Json),
+    /// Telemetry snapshot; cheap, but each mode supplies its own gauges.
+    Stats,
+    /// Needs an index sweep (dispatched to compute workers by the reactor).
+    Align(AlignQuery),
+    /// Needs an artifact load (slow; never run on the event loop).
+    Reload(Option<String>),
+}
+
+/// Classifies a request; all parameter validation errors happen here so
+/// both server modes emit identical error responses.
+pub(crate) fn classify(method: &str, path: &str, query: &str) -> RouteAction {
+    if method != "GET" {
+        return RouteAction::Inline(405, err_json("only GET is supported"));
+    }
+    match path {
+        "/health" => RouteAction::Inline(200, object([("status", "ok".to_json())])),
+        "/stats" => RouteAction::Stats,
+        "/align" => classify_align(query),
+        "/admin/reload" => RouteAction::Reload(query_param_raw(query, "path").map(str::to_string)),
+        _ => RouteAction::Inline(404, err_json("unknown path")),
+    }
+}
+
+fn classify_align(query: &str) -> RouteAction {
+    let Some(entity) = query_param(query, "entity") else {
+        return RouteAction::Inline(400, err_json("missing or invalid 'entity' parameter"));
+    };
+    let k = query_param(query, "k").unwrap_or(10);
+    let entity = match u32::try_from(entity) {
+        Ok(e) => e,
+        Err(_) => return RouteAction::Inline(400, err_json("'entity' does not fit u32")),
+    };
+    // Absent → the index's default probe; 0 → exact; n → probe n lists.
+    let probe = match query_param_raw(query, "nprobe") {
+        None => None,
+        Some(raw) => match raw.parse::<u32>() {
+            Ok(0) => Some(Probe::Exact),
+            Ok(n) => Some(Probe::Nprobe(n)),
+            Err(_) => return RouteAction::Inline(400, err_json("'nprobe' is not a u32")),
+        },
+    };
+    RouteAction::Align(AlignQuery {
+        entity,
+        k: k as usize,
+        probe,
+    })
+}
+
+/// Builds the `/align` response from an already-computed answer. `index`
+/// must be the [`BatchIndex`] the answer was computed on, so the metric,
+/// names and generation all describe one coherent snapshot.
+pub(crate) fn align_response(
+    index: &BatchIndex,
+    q: &AlignQuery,
+    result: Result<Answer, QueryError>,
+) -> (u16, Json) {
+    let effective = q.probe.unwrap_or_else(|| index.default_probe());
+    match result {
+        Ok(answer) => {
+            let results: Vec<Json> = answer
+                .iter()
+                .map(|&(target, score)| {
+                    let mut fields = vec![
+                        ("target".to_string(), target.to_json()),
+                        ("score".to_string(), (score as f64).to_json()),
+                    ];
+                    if let Some(name) = index.index().target_name(target) {
+                        fields.push(("name".to_string(), name.to_json()));
+                    }
+                    Json::Object(fields)
+                })
+                .collect();
+            (
+                200,
+                object([
+                    ("entity", q.entity.to_json()),
+                    ("k", answer.len().to_json()),
+                    ("metric", index.index().metric().label().to_json()),
+                    ("probe", effective.label().to_json()),
+                    (
+                        "generation",
+                        format!("{:#018x}", index.index().generation()).to_json(),
+                    ),
+                    ("results", Json::Array(results)),
+                ]),
+            )
+        }
+        Err(e @ QueryError::EntityOutOfRange { .. }) => (404, err_json(&e.to_string())),
+        Err(e @ QueryError::ZeroK) => (400, err_json(&e.to_string())),
+    }
+}
+
+/// Hot-swap trigger. Loading, warming and flipping all happen on the
+/// calling (worker) thread; every other worker keeps answering from the
+/// live index throughout, then picks up the new one on its next
+/// `current()`.
+pub(crate) fn reload_response(hot: &HotSwapIndex, path: Option<&str>) -> (u16, Json) {
+    let outcome = match path {
+        Some(path) => hot.reload_from(std::path::Path::new(path)),
+        None => hot.reload(),
+    };
+    match outcome {
+        Ok(o) => (
+            200,
+            object([
+                ("generation", format!("{:#018x}", o.generation).to_json()),
+                ("loaded_entities", o.loaded_entities.to_json()),
+                ("total_entities", o.total_entities.to_json()),
+                ("shards_loaded", o.shards_loaded.to_json()),
+                ("shards_total", o.shards_total.to_json()),
+                ("partial", o.partial.to_json()),
+                ("flip_us", (o.flip_ns as f64 / 1_000.0).to_json()),
+                ("warmed", o.warmed.to_json()),
+            ]),
+        ),
+        // 409: the request was well-formed but the artifact (or the lack
+        // of one) refused it; the previous index is still serving.
+        Err(e) => (409, err_json(&e.to_string())),
+    }
+}
+
+pub(crate) fn stats_json(
+    hot: &HotSwapIndex,
+    tel: &Telemetry,
+    mode: ServerMode,
+    queue_depth: usize,
+    p99_budget_us: u64,
+) -> Json {
+    let index = hot.current();
+    let swap = hot.stats();
+    let ix = index.stats();
+    let raw = index.index();
+    let (merged, endpoints) = {
+        let lat = tel.latency.lock().unwrap();
+        let mut merged = MicrosHistogram::new();
+        let mut endpoints = Vec::with_capacity(N_ENDPOINTS);
+        for (name, h) in ENDPOINT_NAMES.iter().zip(lat.iter()) {
+            merged.merge(h);
+            endpoints.push((
+                name.to_string(),
+                object([
+                    ("count", (h.count() as i64).to_json()),
+                    ("p50_us", (h.percentile_us(50.0) as i64).to_json()),
+                    ("p99_us", (h.percentile_us(99.0) as i64).to_json()),
+                    ("mean_us", h.mean_us().to_json()),
+                ]),
+            ));
+        }
+        (merged, endpoints)
+    };
+    object([
+        // Hex string: a u64 generation does not fit f64-backed JSON numbers.
+        (
+            "generation",
+            format!("{:#018x}", raw.generation()).to_json(),
+        ),
+        (
+            "server_mode",
+            match mode {
+                ServerMode::Reactor => "reactor",
+                ServerMode::Blocking => "blocking",
+            }
+            .to_json(),
+        ),
+        (
+            "ann_nlist",
+            raw.ann().map(|ivf| ivf.nlist()).unwrap_or(0).to_json(),
+        ),
+        ("default_probe", index.default_probe().label().to_json()),
+        ("loaded_entities", swap.loaded_entities.to_json()),
+        ("total_entities", swap.total_entities.to_json()),
+        ("reloads", (swap.reloads as i64).to_json()),
+        ("reload_failures", (swap.reload_failures as i64).to_json()),
+        (
+            "last_flip_us",
+            (swap.last_flip_ns as f64 / 1_000.0).to_json(),
+        ),
+        ("draining_generations", swap.draining_generations.to_json()),
+        // Freshness gauges for the live alignment pipeline: how stale the
+        // served snapshot is and which lineage it extends. A cold (v1)
+        // snapshot reports parent_generation "0x0" and its trace length.
+        (
+            "snapshot_age_ms",
+            (swap.snapshot_age_ns as f64 / 1_000_000.0).to_json(),
+        ),
+        (
+            "parent_generation",
+            format!(
+                "{:#018x}",
+                raw.snapshot()
+                    .lineage
+                    .map(|l| l.parent_generation)
+                    .unwrap_or(0)
+            )
+            .to_json(),
+        ),
+        (
+            "trained_epochs",
+            (raw.snapshot()
+                .lineage
+                .map(|l| l.trained_epochs)
+                .unwrap_or(raw.snapshot().trace.epochs.len() as u64) as i64)
+                .to_json(),
+        ),
+        (
+            "served",
+            (tel.served.load(Ordering::Relaxed) as i64).to_json(),
+        ),
+        ("rejected_503", (tel.shed_total() as i64).to_json()),
+        (
+            "accepted_total",
+            (tel.accepted_total.load(Ordering::Relaxed) as i64).to_json(),
+        ),
+        (
+            "open_conns",
+            (tel.open_conns.load(Ordering::Relaxed) as i64).to_json(),
+        ),
+        (
+            "pipelined_batches",
+            (tel.pipelined_batches.load(Ordering::Relaxed) as i64).to_json(),
+        ),
+        (
+            "shed_total",
+            object([
+                (
+                    "queue",
+                    (tel.shed_queue.load(Ordering::Relaxed) as i64).to_json(),
+                ),
+                (
+                    "latency",
+                    (tel.shed_latency.load(Ordering::Relaxed) as i64).to_json(),
+                ),
+                (
+                    "conn_limit",
+                    (tel.shed_conn_limit.load(Ordering::Relaxed) as i64).to_json(),
+                ),
+                ("total", (tel.shed_total() as i64).to_json()),
+            ]),
+        ),
+        (
+            "admission",
+            object([
+                ("p99_budget_us", (p99_budget_us as i64).to_json()),
+                (
+                    "window_p99_us",
+                    (tel.window_p99_us.load(Ordering::Relaxed) as i64).to_json(),
+                ),
+                (
+                    "shed_frac",
+                    (tel.shed_frac_milli.load(Ordering::Relaxed) as f64 / 1000.0).to_json(),
+                ),
+            ]),
+        ),
+        ("queue_depth", queue_depth.to_json()),
+        ("cache_hits", (ix.cache_hits as i64).to_json()),
+        ("cache_misses", (ix.cache_misses as i64).to_json()),
+        ("cache_hit_rate", ix.hit_rate().to_json()),
+        ("batches", (ix.batches as i64).to_json()),
+        ("mean_batch_occupancy", ix.mean_batch_occupancy().to_json()),
+        (
+            "latency_p50_us",
+            (merged.percentile_us(50.0) as i64).to_json(),
+        ),
+        (
+            "latency_p99_us",
+            (merged.percentile_us(99.0) as i64).to_json(),
+        ),
+        ("latency_mean_us", merged.mean_us().to_json()),
+        ("latency_max_us", (merged.max_us() as i64).to_json()),
+        ("endpoints", Json::Object(endpoints)),
+    ])
+}
+
+pub(crate) fn err_json(msg: &str) -> Json {
+    object([("error", msg.to_json())])
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Encodes one complete response. `retry_after` adds the backpressure
+/// header on 503s so clients get an explicit signal, not a timeout.
+pub(crate) fn response_bytes(
+    status: u16,
+    body: &Json,
+    close: bool,
+    retry_after_s: Option<u32>,
+) -> Vec<u8> {
+    let body = body.to_string_pretty();
+    let retry = match retry_after_s {
+        Some(s) => format!("Retry-After: {s}\r\n"),
+        None => String::new(),
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
+        status,
+        status_text(status),
+        body.len(),
+        retry,
+        if close { "close" } else { "keep-alive" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// The canned load-shedding response.
+pub(crate) fn shed_bytes(reason: &str, retry_after_s: u32, close: bool) -> Vec<u8> {
+    response_bytes(
+        503,
+        &object([
+            ("error", "server overloaded, retry".to_json()),
+            ("reason", reason.to_json()),
+        ]),
+        close,
+        Some(retry_after_s),
+    )
+}
+
+fn query_param(query: &str, name: &str) -> Option<u64> {
+    query_param_raw(query, name).and_then(|v| v.parse().ok())
+}
+
+/// The raw value of `name`, present or not — lets callers distinguish an
+/// absent parameter (fall back to a default) from a malformed one (400).
+fn query_param_raw<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Server handle (both modes).
+
+/// A running server: bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    Blocking {
+        shared: Arc<BlockingShared>,
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    Reactor(crate::event::ReactorHandle),
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolve port 0 here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown, drains gracefully and joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        match &mut self.inner {
+            HandleInner::Blocking {
+                shared,
+                acceptor,
+                workers,
+            } => {
+                if shared.shutdown.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                // Wake the acceptor off its poller; no self-connection.
+                shared.waker.wake();
+                shared.queue.ready.notify_all();
+                if let Some(h) = acceptor.take() {
+                    let _ = h.join();
+                }
+                shared.queue.ready.notify_all();
+                for h in workers.drain(..) {
+                    let _ = h.join();
+                }
+            }
+            HandleInner::Reactor(r) => r.stop(),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts the
+/// configured serving core over a fixed in-memory index (`/admin/reload`
+/// works only with an explicit `path`). For an index that reloads from
+/// its own artifact, use [`serve_hot`].
+pub fn serve(
+    index: Arc<BatchIndex>,
+    addr: SocketAddr,
+    opts: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    serve_hot(HotSwapIndex::fixed(index), addr, opts)
+}
+
+/// [`serve`] over a hot-swappable index: `/admin/reload` republishes from
+/// the index's artifact path and a watcher (if spawned) follows it.
+pub fn serve_hot(
+    index: Arc<HotSwapIndex>,
+    addr: SocketAddr,
+    opts: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let inner = match opts.mode {
+        ServerMode::Reactor => {
+            HandleInner::Reactor(crate::event::spawn_reactor(index, listener, opts)?)
+        }
+        ServerMode::Blocking => spawn_blocking(index, listener, opts)?,
+    };
+    Ok(ServerHandle { addr: bound, inner })
+}
+
+// ---------------------------------------------------------------------------
+// Blocking (thread-per-connection) baseline.
 
 struct ConnQueue {
     deque: Mutex<VecDeque<TcpStream>>,
@@ -116,85 +691,32 @@ impl ConnQueue {
     }
 }
 
-struct Shared {
+struct BlockingShared {
     index: Arc<HotSwapIndex>,
     queue: ConnQueue,
     shutdown: AtomicBool,
-    clock: Monotonic,
-    latency: Mutex<MicrosHistogram>,
-    served: AtomicU64,
-    rejected: AtomicU64,
+    tel: Telemetry,
+    waker: Waker,
+    p99_budget_us: u64,
 }
 
-/// A running server: bound address plus the handles needed to stop it.
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl ServerHandle {
-    /// The actually-bound address (resolve port 0 here).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Signals shutdown and joins every thread. Idempotent; also runs on
-    /// drop.
-    pub fn stop(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the acceptor with a throwaway connection to ourselves.
-        let _ = TcpStream::connect(self.addr);
-        self.shared.queue.ready.notify_all();
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        self.shared.queue.ready.notify_all();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        self.stop();
-    }
-}
-
-/// Binds `addr` (use port 0 for an ephemeral port) and starts the acceptor
-/// plus `opts.workers` worker threads over a fixed in-memory index
-/// (`/admin/reload` works only with an explicit `path`). For an index that
-/// reloads from its own artifact, use [`serve_hot`].
-pub fn serve(
-    index: Arc<BatchIndex>,
-    addr: SocketAddr,
-    opts: ServerOptions,
-) -> std::io::Result<ServerHandle> {
-    serve_hot(HotSwapIndex::fixed(index), addr, opts)
-}
-
-/// [`serve`] over a hot-swappable index: `/admin/reload` republishes from
-/// the index's artifact path and a watcher (if spawned) follows it.
-pub fn serve_hot(
+fn spawn_blocking(
     index: Arc<HotSwapIndex>,
-    addr: SocketAddr,
+    listener: TcpListener,
     opts: ServerOptions,
-) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let bound = listener.local_addr()?;
-    let shared = Arc::new(Shared {
+) -> std::io::Result<HandleInner> {
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(BlockingShared {
         index,
         queue: ConnQueue::new(opts.queue_cap),
         shutdown: AtomicBool::new(false),
-        clock: Monotonic::start(),
-        latency: Mutex::new(MicrosHistogram::new()),
-        served: AtomicU64::new(0),
-        rejected: AtomicU64::new(0),
+        tel: Telemetry::new(),
+        waker: Waker::new()?,
+        p99_budget_us: opts.p99_budget_us,
     });
+    let mut poller = Poller::new()?;
+    poller.register(&listener, 0, Interest::READ)?;
+    poller.register(shared.waker.reader(), 1, Interest::READ)?;
 
     let workers = (0..opts.workers.max(1))
         .map(|i| {
@@ -209,30 +731,51 @@ pub fn serve_hot(
     let sh = Arc::clone(&shared);
     let acceptor = std::thread::Builder::new()
         .name("serve-acceptor".into())
-        .spawn(move || accept_loop(&listener, &sh))
+        .spawn(move || accept_loop(&listener, &sh, &mut poller))
         .expect("spawn acceptor");
 
-    Ok(ServerHandle {
-        addr: bound,
+    Ok(HandleInner::Blocking {
         shared,
         acceptor: Some(acceptor),
         workers,
     })
 }
 
-fn accept_loop(listener: &TcpListener, sh: &Shared) {
-    for conn in listener.incoming() {
-        if sh.shutdown.load(Ordering::SeqCst) {
+/// Waits on the poller (listener + waker) and feeds the bounded queue.
+/// Shutdown is a waker byte, not a throwaway self-connection.
+fn accept_loop(listener: &TcpListener, sh: &BlockingShared, poller: &mut Poller) {
+    let mut events = Vec::new();
+    while !sh.shutdown.load(Ordering::SeqCst) {
+        if poller.wait(&mut events, None).is_err() {
             break;
         }
-        let Ok(conn) = conn else { continue };
-        if let Err(conn) = sh.queue.push(conn) {
-            shed(conn, sh);
+        for ev in &events {
+            if ev.token == 1 {
+                sh.waker.drain();
+                continue;
+            }
+            // Drain every pending accept; level triggering re-reports any
+            // we miss between waits.
+            loop {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        sh.tel.accepted_total.fetch_add(1, Ordering::Relaxed);
+                        if let Err(conn) = sh.queue.push(conn) {
+                            shed(conn, sh);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        if sh.shutdown.load(Ordering::SeqCst) {
+            break;
         }
     }
 }
 
-fn worker_loop(sh: &Shared) {
+fn worker_loop(sh: &BlockingShared) {
     while let Some(conn) = sh.queue.pop(&sh.shutdown) {
         handle_connection(conn, sh);
     }
@@ -240,38 +783,63 @@ fn worker_loop(sh: &Shared) {
 
 /// Serves one keep-alive connection until the client closes, errors, asks
 /// for `Connection: close`, or the server shuts down.
-fn handle_connection(conn: TcpStream, sh: &Shared) {
+fn handle_connection(conn: TcpStream, sh: &BlockingShared) {
     let _ = conn.set_nodelay(true);
     // A short read timeout so a worker parked on an idle keep-alive
     // connection periodically rechecks the shutdown flag — without it,
     // `ServerHandle::stop` would block forever joining a worker stuck in
     // a blocking read on a connection the client never closes.
-    let _ = conn.set_read_timeout(Some(std::time::Duration::from_millis(50)));
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+    sh.tel.open_conns.fetch_add(1, Ordering::Relaxed);
     let mut reader = BufReader::new(match conn.try_clone() {
         Ok(c) => c,
-        Err(_) => return,
+        Err(_) => {
+            sh.tel.open_conns.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
     });
     let mut writer = conn;
-    loop {
-        let t0 = sh.clock.micros();
-        let req = match read_request(&mut reader, &sh.shutdown) {
-            Some(r) => r,
-            None => return,
+    while let Some(req) = read_request(&mut reader, &sh.shutdown) {
+        let t0 = sh.tel.clock.micros();
+        let endpoint = Telemetry::endpoint(&req.path);
+        let (status, body) = match classify(&req.method, &req.path, &req.query) {
+            RouteAction::Inline(s, j) => (s, j),
+            RouteAction::Align(q) => {
+                // One `current()` per request: every read below — answer,
+                // metric, names, generation — comes from one coherent
+                // index, even if a flip lands mid-request. The held `Arc`
+                // keeps a retiring index alive until the answer is written.
+                let index = sh.index.current();
+                let result = index.query_probed(q.entity, q.k, q.probe);
+                align_response(&index, &q, result)
+            }
+            RouteAction::Stats => (
+                200,
+                stats_json(
+                    &sh.index,
+                    &sh.tel,
+                    ServerMode::Blocking,
+                    sh.queue.depth(),
+                    sh.p99_budget_us,
+                ),
+            ),
+            RouteAction::Reload(path) => reload_response(&sh.index, path.as_deref()),
         };
-        let close = req.close;
-        let (status, body) = route(sh, &req);
-        if write_response(&mut writer, status, &body, close).is_err() {
-            return;
+        let bytes = response_bytes(status, &body, req.close, None);
+        if writer
+            .write_all(&bytes)
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
         }
-        sh.served.fetch_add(1, Ordering::Relaxed);
-        sh.latency
-            .lock()
-            .unwrap()
-            .record(sh.clock.micros().saturating_sub(t0));
-        if close {
-            return;
+        sh.tel
+            .record(endpoint, sh.tel.clock.micros().saturating_sub(t0));
+        if req.close {
+            break;
         }
     }
+    sh.tel.open_conns.fetch_sub(1, Ordering::Relaxed);
 }
 
 struct Request {
@@ -348,232 +916,9 @@ fn read_request(reader: &mut BufReader<TcpStream>, shutdown: &AtomicBool) -> Opt
     })
 }
 
-fn query_param(query: &str, name: &str) -> Option<u64> {
-    query_param_raw(query, name).and_then(|v| v.parse().ok())
-}
-
-/// The raw value of `name`, present or not — lets callers distinguish an
-/// absent parameter (fall back to a default) from a malformed one (400).
-fn query_param_raw<'q>(query: &'q str, name: &str) -> Option<&'q str> {
-    query
-        .split('&')
-        .filter_map(|kv| kv.split_once('='))
-        .find(|(k, _)| *k == name)
-        .map(|(_, v)| v)
-}
-
-fn route(sh: &Shared, req: &Request) -> (u16, Json) {
-    if req.method != "GET" {
-        return (405, err_json("only GET is supported"));
-    }
-    match req.path.as_str() {
-        "/health" => (200, object([("status", "ok".to_json())])),
-        "/stats" => (200, stats_json(sh)),
-        "/align" => align(sh, &req.query),
-        "/admin/reload" => admin_reload(sh, &req.query),
-        _ => (404, err_json("unknown path")),
-    }
-}
-
-/// Hot-swap trigger. Loading, warming and flipping all happen on the
-/// worker thread serving this request; every other worker keeps answering
-/// from the live index throughout, then picks up the new one on its next
-/// `current()`.
-fn admin_reload(sh: &Shared, query: &str) -> (u16, Json) {
-    let outcome = match query_param_raw(query, "path") {
-        Some(path) => sh.index.reload_from(std::path::Path::new(path)),
-        None => sh.index.reload(),
-    };
-    match outcome {
-        Ok(o) => (
-            200,
-            object([
-                ("generation", format!("{:#018x}", o.generation).to_json()),
-                ("loaded_entities", o.loaded_entities.to_json()),
-                ("total_entities", o.total_entities.to_json()),
-                ("shards_loaded", o.shards_loaded.to_json()),
-                ("shards_total", o.shards_total.to_json()),
-                ("partial", o.partial.to_json()),
-                ("flip_us", (o.flip_ns as f64 / 1_000.0).to_json()),
-                ("warmed", o.warmed.to_json()),
-            ]),
-        ),
-        // 409: the request was well-formed but the artifact (or the lack
-        // of one) refused it; the previous index is still serving.
-        Err(e) => (409, err_json(&e.to_string())),
-    }
-}
-
-fn align(sh: &Shared, query: &str) -> (u16, Json) {
-    let Some(entity) = query_param(query, "entity") else {
-        return (400, err_json("missing or invalid 'entity' parameter"));
-    };
-    let k = query_param(query, "k").unwrap_or(10);
-    let entity = match u32::try_from(entity) {
-        Ok(e) => e,
-        Err(_) => return (400, err_json("'entity' does not fit u32")),
-    };
-    // Absent → the index's default probe; 0 → exact; n → probe n lists.
-    let probe = match query_param_raw(query, "nprobe") {
-        None => None,
-        Some(raw) => match raw.parse::<u32>() {
-            Ok(0) => Some(Probe::Exact),
-            Ok(n) => Some(Probe::Nprobe(n)),
-            Err(_) => return (400, err_json("'nprobe' is not a u32")),
-        },
-    };
-    // One `current()` per request: every read below — answer, metric,
-    // names, generation — comes from one coherent index, even if a flip
-    // lands mid-request. The held `Arc` keeps a retiring index alive
-    // until this answer is written.
-    let index = sh.index.current();
-    let effective = probe.unwrap_or_else(|| index.default_probe());
-    match index.query_probed(entity, k as usize, probe) {
-        Ok(answer) => {
-            let results: Vec<Json> = answer
-                .iter()
-                .map(|&(target, score)| {
-                    let mut fields = vec![
-                        ("target".to_string(), target.to_json()),
-                        ("score".to_string(), (score as f64).to_json()),
-                    ];
-                    if let Some(name) = index.index().target_name(target) {
-                        fields.push(("name".to_string(), name.to_json()));
-                    }
-                    Json::Object(fields)
-                })
-                .collect();
-            (
-                200,
-                object([
-                    ("entity", entity.to_json()),
-                    ("k", answer.len().to_json()),
-                    ("metric", index.index().metric().label().to_json()),
-                    ("probe", effective.label().to_json()),
-                    (
-                        "generation",
-                        format!("{:#018x}", index.index().generation()).to_json(),
-                    ),
-                    ("results", Json::Array(results)),
-                ]),
-            )
-        }
-        Err(e @ QueryError::EntityOutOfRange { .. }) => (404, err_json(&e.to_string())),
-        Err(e @ QueryError::ZeroK) => (400, err_json(&e.to_string())),
-    }
-}
-
-fn stats_json(sh: &Shared) -> Json {
-    let index = sh.index.current();
-    let swap = sh.index.stats();
-    let ix = index.stats();
-    let lat = sh.latency.lock().unwrap().clone();
-    let raw = index.index();
-    object([
-        // Hex string: a u64 generation does not fit f64-backed JSON numbers.
-        (
-            "generation",
-            format!("{:#018x}", raw.generation()).to_json(),
-        ),
-        (
-            "ann_nlist",
-            raw.ann().map(|ivf| ivf.nlist()).unwrap_or(0).to_json(),
-        ),
-        ("default_probe", index.default_probe().label().to_json()),
-        ("loaded_entities", swap.loaded_entities.to_json()),
-        ("total_entities", swap.total_entities.to_json()),
-        ("reloads", (swap.reloads as i64).to_json()),
-        ("reload_failures", (swap.reload_failures as i64).to_json()),
-        (
-            "last_flip_us",
-            (swap.last_flip_ns as f64 / 1_000.0).to_json(),
-        ),
-        ("draining_generations", swap.draining_generations.to_json()),
-        // Freshness gauges for the live alignment pipeline: how stale the
-        // served snapshot is and which lineage it extends. A cold (v1)
-        // snapshot reports parent_generation "0x0" and its trace length.
-        (
-            "snapshot_age_ms",
-            (swap.snapshot_age_ns as f64 / 1_000_000.0).to_json(),
-        ),
-        (
-            "parent_generation",
-            format!(
-                "{:#018x}",
-                raw.snapshot()
-                    .lineage
-                    .map(|l| l.parent_generation)
-                    .unwrap_or(0)
-            )
-            .to_json(),
-        ),
-        (
-            "trained_epochs",
-            (raw.snapshot()
-                .lineage
-                .map(|l| l.trained_epochs)
-                .unwrap_or(raw.snapshot().trace.epochs.len() as u64) as i64)
-                .to_json(),
-        ),
-        (
-            "served",
-            (sh.served.load(Ordering::Relaxed) as i64).to_json(),
-        ),
-        (
-            "rejected_503",
-            (sh.rejected.load(Ordering::Relaxed) as i64).to_json(),
-        ),
-        ("queue_depth", sh.queue.depth().to_json()),
-        ("cache_hits", (ix.cache_hits as i64).to_json()),
-        ("cache_misses", (ix.cache_misses as i64).to_json()),
-        ("cache_hit_rate", ix.hit_rate().to_json()),
-        ("batches", (ix.batches as i64).to_json()),
-        ("mean_batch_occupancy", ix.mean_batch_occupancy().to_json()),
-        ("latency_p50_us", (lat.percentile_us(50.0) as i64).to_json()),
-        ("latency_p99_us", (lat.percentile_us(99.0) as i64).to_json()),
-        ("latency_mean_us", lat.mean_us().to_json()),
-        ("latency_max_us", (lat.max_us() as i64).to_json()),
-    ])
-}
-
-fn err_json(msg: &str) -> Json {
-    object([("error", msg.to_json())])
-}
-
-fn status_text(code: u16) -> &'static str {
-    match code {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        503 => "Service Unavailable",
-        _ => "Internal Server Error",
-    }
-}
-
-fn write_response(w: &mut TcpStream, status: u16, body: &Json, close: bool) -> std::io::Result<()> {
-    let body = body.to_string_pretty();
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        status,
-        status_text(status),
-        body.len(),
-        if close { "close" } else { "keep-alive" },
-    );
-    w.write_all(head.as_bytes())?;
-    w.write_all(body.as_bytes())?;
-    w.flush()
-}
-
 /// Writes the backpressure response straight from the acceptor thread.
-fn shed(mut conn: TcpStream, sh: &Shared) {
-    sh.rejected.fetch_add(1, Ordering::Relaxed);
-    let body = err_json("server overloaded, retry").to_string_pretty();
-    let head = format!(
-        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 0\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = conn.write_all(head.as_bytes());
-    let _ = conn.write_all(body.as_bytes());
+fn shed(mut conn: TcpStream, sh: &BlockingShared) {
+    sh.tel.shed_queue.fetch_add(1, Ordering::Relaxed);
+    let _ = conn.write_all(&shed_bytes("queue", 0, true));
     let _ = conn.flush();
 }

@@ -1,0 +1,502 @@
+//! The event-driven serving core, end to end: differential bit-identity
+//! against the blocking baseline, adversarial clients against the
+//! incremental parser, graceful shutdown, admission control, and the
+//! `/stats` connection gauges.
+
+use openea_align::Metric;
+use openea_approaches::ApproachOutput;
+use openea_runtime::json::{self, Json};
+use openea_runtime::rng::{Rng, SeedableRng, SmallRng};
+use openea_serve::{
+    serve, AlignmentIndex, BatchIndex, ServerHandle, ServerMode, ServerOptions, Snapshot,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deterministic synthetic snapshot — no training, instant startup.
+fn tiny_snapshot(n1: usize, n2: usize, dim: usize, seed: u64) -> Snapshot {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut emb = |n: usize| -> Vec<f32> {
+        (0..n * dim)
+            .map(|_| (rng.gen_range(0..2000) as f32 - 1000.0) / 250.0)
+            .collect()
+    };
+    let e1 = emb(n1);
+    let e2 = emb(n2);
+    let names2 = (0..n2).map(|i| format!("kg2/e{i}")).collect();
+    Snapshot::from_output(
+        &ApproachOutput::new(dim, Metric::Cosine, e1, e2),
+        Vec::new(),
+        names2,
+    )
+}
+
+fn tiny_index(seed: u64) -> Arc<BatchIndex> {
+    Arc::new(BatchIndex::new(
+        AlignmentIndex::new(tiny_snapshot(40, 50, 8, seed)),
+        2,
+        8,
+        Duration::from_micros(200),
+        128,
+    ))
+}
+
+fn start(index: Arc<BatchIndex>, opts: ServerOptions) -> ServerHandle {
+    serve(index, "127.0.0.1:0".parse().unwrap(), opts).expect("bind ephemeral port")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn
+}
+
+/// Reads one complete HTTP response; returns (status, headers, body, raw).
+fn read_response(
+    reader: &mut BufReader<TcpStream>,
+) -> (u16, Vec<(String, String)>, String, Vec<u8>) {
+    let mut raw = Vec::new();
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    assert!(!status_line.is_empty(), "unexpected EOF before status line");
+    raw.extend_from_slice(status_line.as_bytes());
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        raw.extend_from_slice(line.as_bytes());
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("length");
+            }
+            headers.push((k.trim().to_lowercase(), v.trim().to_string()));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    raw.extend_from_slice(&body);
+    (status, headers, String::from_utf8(body).unwrap(), raw)
+}
+
+/// One keep-alive GET; returns (status, parsed JSON).
+fn http_get(conn: &mut TcpStream, path: &str) -> (u16, Json) {
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let (status, _, body, _) = read_response(&mut reader);
+    (status, json::parse(&body).expect("json body"))
+}
+
+fn get_i64(obj: &Json, key: &str) -> i64 {
+    match obj.get(key).and_then(Json::as_f64) {
+        Some(n) => n as i64,
+        None => panic!("stats field {key} missing or non-numeric: {obj:?}"),
+    }
+}
+
+/// Polls `/stats` until `pred` holds or the deadline passes.
+fn wait_for_stats(addr: SocketAddr, pred: impl Fn(&Json) -> bool, what: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut conn = connect(addr);
+        let (status, stats) = http_get(&mut conn, "/stats");
+        assert_eq!(status, 200);
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The core contract of the refactor: the reactor and the blocking
+/// baseline answer every request — valid, erroneous, or probing — with
+/// byte-identical responses over the same index.
+#[test]
+fn reactor_answers_are_bit_identical_to_blocking() {
+    let index = tiny_index(7);
+    let mut blocking = start(
+        Arc::clone(&index),
+        ServerOptions {
+            mode: ServerMode::Blocking,
+            ..Default::default()
+        },
+    );
+    let mut reactor = start(
+        Arc::clone(&index),
+        ServerOptions {
+            mode: ServerMode::Reactor,
+            ..Default::default()
+        },
+    );
+
+    let paths = [
+        "/align?entity=0&k=5",
+        "/align?entity=17&k=3&nprobe=0",
+        "/align?entity=39&k=64",          // k past n2: clamped identically
+        "/align?entity=99&k=5",           // out of range: 404
+        "/align?k=5",                     // missing entity: 400
+        "/align?entity=3&k=0",            // zero k: 400
+        "/align?entity=3&k=2&nprobe=zzz", // malformed probe: 400
+        "/health",
+        "/nope",
+    ];
+    for path in paths {
+        let mut answers = Vec::new();
+        for addr in [blocking.addr(), reactor.addr()] {
+            let mut conn = connect(addr);
+            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let (_, _, _, raw) = read_response(&mut reader);
+            answers.push(raw);
+        }
+        assert_eq!(
+            String::from_utf8_lossy(&answers[0]),
+            String::from_utf8_lossy(&answers[1]),
+            "divergent response for {path}"
+        );
+    }
+    blocking.stop();
+    reactor.stop();
+}
+
+/// A pipelined burst on one connection comes back complete, in request
+/// order, and lands in the micro-batching path (`pipelined_batches`).
+#[test]
+fn pipelined_burst_is_ordered_and_batched() {
+    let index = tiny_index(11);
+    let mut server = start(index, ServerOptions::default());
+    let addr = server.addr();
+
+    let mut conn = connect(addr);
+    let mut burst = Vec::new();
+    for i in 0..20 {
+        burst.extend_from_slice(
+            format!("GET /align?entity={i}&k=3 HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+        );
+    }
+    conn.write_all(&burst).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    for i in 0..20 {
+        let (status, _, body, _) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        let obj = json::parse(&body).unwrap();
+        assert_eq!(
+            get_i64(&obj, "entity"),
+            i,
+            "responses must keep request order"
+        );
+    }
+
+    let stats = wait_for_stats(
+        addr,
+        |s| get_i64(s, "pipelined_batches") >= 1,
+        "a multi-request align job",
+    );
+    let endpoints = stats.get("endpoints").expect("endpoints object");
+    let align = endpoints.get("align").expect("align endpoint");
+    assert!(
+        get_i64(align, "count") >= 20,
+        "per-endpoint histogram counts aligns"
+    );
+    server.stop();
+}
+
+/// A slowloris client dribbling one byte at a time neither wedges the
+/// reactor (a concurrent client stays served) nor corrupts its own
+/// request.
+#[test]
+fn slowloris_does_not_stall_other_clients() {
+    let index = tiny_index(13);
+    let mut server = start(index, ServerOptions::default());
+    let addr = server.addr();
+
+    let mut slow = connect(addr);
+    let raw = b"GET /align?entity=5&k=2 HTTP/1.1\r\nHost: t\r\n\r\n";
+    let mut fast = connect(addr);
+    for (i, &b) in raw.iter().enumerate() {
+        slow.write_all(&[b]).unwrap();
+        // Interleave: the fast client gets answered while the slow one
+        // is still mid-request-line.
+        if i % 16 == 0 {
+            let (status, _) = http_get(&mut fast, "/health");
+            assert_eq!(status, 200);
+        }
+    }
+    let mut reader = BufReader::new(slow.try_clone().unwrap());
+    let (status, _, body, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(get_i64(&json::parse(&body).unwrap(), "entity"), 5);
+    server.stop();
+}
+
+/// Oversized header lines and malformed request lines get their typed
+/// status and a clean close — never a hang or a desynced answer.
+#[test]
+fn abusive_requests_get_typed_errors_and_close() {
+    let index = tiny_index(17);
+    let mut server = start(index, ServerOptions::default());
+    let addr = server.addr();
+
+    // Header line past MAX_LINE → 431, then EOF.
+    let mut conn = connect(addr);
+    conn.write_all(b"GET /health HTTP/1.1\r\nX-Big: ").unwrap();
+    conn.write_all(&vec![b'x'; 9 * 1024]).unwrap();
+    conn.write_all(b"\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let (status, _, _, _) = read_response(&mut reader);
+    assert_eq!(status, 431);
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("clean close");
+    assert!(
+        rest.is_empty(),
+        "connection closes after the error response"
+    );
+
+    // Garbage request line → 400, then EOF.
+    let mut conn = connect(addr);
+    conn.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let (status, _, _, _) = read_response(&mut reader);
+    assert_eq!(status, 400);
+
+    // Pipelined valid requests *before* the poison are still answered, in
+    // order, before the terminal error.
+    let mut conn = connect(addr);
+    conn.write_all(b"GET /health HTTP/1.1\r\n\r\nGET /health HTTP/1.1\r\n\r\nGARBAGE\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    for _ in 0..2 {
+        let (status, _, _, _) = read_response(&mut reader);
+        assert_eq!(status, 200);
+    }
+    let (status, _, _, _) = read_response(&mut reader);
+    assert_eq!(status, 400);
+
+    // The server is still healthy afterwards.
+    let mut conn = connect(addr);
+    assert_eq!(http_get(&mut conn, "/health").0, 200);
+    server.stop();
+}
+
+/// Clients that vanish mid-request leak nothing: the reactor reaps the
+/// connection and keeps serving.
+#[test]
+fn mid_request_disconnects_are_reaped() {
+    let index = tiny_index(19);
+    let mut server = start(index, ServerOptions::default());
+    let addr = server.addr();
+
+    for i in 0..20 {
+        let mut conn = connect(addr);
+        // Torn at a different offset every iteration.
+        let raw = b"GET /align?entity=1&k=2 HTTP/1.1\r\nHost: t\r\n\r\n";
+        let cut = 1 + (i * 2) % (raw.len() - 1);
+        conn.write_all(&raw[..cut]).unwrap();
+        drop(conn);
+    }
+    // All aborted connections are eventually closed; the poller's own
+    // stats connection is the only one left.
+    let stats = wait_for_stats(
+        addr,
+        |s| get_i64(s, "open_conns") <= 1,
+        "aborted connections to be reaped",
+    );
+    assert!(get_i64(&stats, "accepted_total") >= 20);
+    let mut conn = connect(addr);
+    assert_eq!(http_get(&mut conn, "/align?entity=2&k=2").0, 200);
+    server.stop();
+}
+
+/// The graceful-shutdown contract: a request the server accepted and
+/// parsed is answered even when `stop()` lands immediately after it was
+/// written — never dropped on the floor.
+#[test]
+fn shutdown_never_drops_an_accepted_request() {
+    for round in 0..5 {
+        let index = tiny_index(23 + round);
+        let mut server = start(index, ServerOptions::default());
+        let addr = server.addr();
+
+        // Park several keep-alive connections with one request in flight
+        // each, then stop the server before reading any response.
+        let conns: Vec<TcpStream> = (0..4)
+            .map(|i| {
+                let mut c = connect(addr);
+                c.write_all(
+                    format!("GET /align?entity={i}&k=3 HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+                )
+                .unwrap();
+                c.flush().unwrap();
+                c
+            })
+            .collect();
+        server.stop();
+        for (i, conn) in conns.into_iter().enumerate() {
+            let mut reader = BufReader::new(conn);
+            let (status, _, body, _) = read_response(&mut reader);
+            assert_eq!(status, 200, "round {round}: in-flight request dropped");
+            assert_eq!(get_i64(&json::parse(&body).unwrap(), "entity"), i as i64);
+        }
+    }
+}
+
+/// Latency-aware admission control: with an absurdly tight budget the
+/// windowed p99 is always over it, so align traffic sheds with 503 +
+/// `Retry-After` and the decisions are visible in `/stats`.
+#[test]
+fn admission_control_sheds_over_budget() {
+    let index = tiny_index(29);
+    let mut server = start(
+        index,
+        ServerOptions {
+            p99_budget_us: 1,
+            budget_window: Duration::from_millis(100),
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    let mut conn = connect(addr);
+    let mut shed = 0;
+    let mut served = 0;
+    let mut saw_retry_after = false;
+    for i in 0..200 {
+        conn.write_all(
+            format!(
+                "GET /align?entity={}&k=3 HTTP/1.1\r\nHost: t\r\n\r\n",
+                i % 40
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let (status, headers, body, _) = read_response(&mut reader);
+        match status {
+            200 => served += 1,
+            503 => {
+                shed += 1;
+                let obj = json::parse(&body).unwrap();
+                assert_eq!(
+                    obj.get("reason").and_then(Json::as_str),
+                    Some("latency"),
+                    "shed reason is typed"
+                );
+                saw_retry_after |= headers.iter().any(|(k, _)| k == "retry-after");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(served >= 16, "warmup requests are served (got {served})");
+    assert!(shed > 0, "a 1µs budget must shed under load");
+    assert!(saw_retry_after, "503s carry Retry-After");
+
+    let stats = wait_for_stats(addr, |_| true, "stats");
+    let shed_total = stats.get("shed_total").expect("shed_total object");
+    assert!(get_i64(shed_total, "latency") as usize >= shed);
+    let admission = stats.get("admission").expect("admission object");
+    assert_eq!(get_i64(admission, "p99_budget_us"), 1);
+    server.stop();
+}
+
+/// The open-connection ceiling sheds at accept time with its own reason.
+#[test]
+fn conn_limit_sheds_at_accept() {
+    let index = tiny_index(31);
+    let mut server = start(
+        index,
+        ServerOptions {
+            max_conns: 2,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Two connections hold the ceiling...
+    let mut held: Vec<TcpStream> = (0..2).map(|_| connect(addr)).collect();
+    for c in held.iter_mut() {
+        assert_eq!(http_get(c, "/health").0, 200);
+    }
+    // ...so the third is answered 503 and closed.
+    let extra = connect(addr);
+    let mut reader = BufReader::new(extra);
+    let (status, _, body, _) = read_response(&mut reader);
+    assert_eq!(status, 503);
+    assert_eq!(
+        json::parse(&body)
+            .unwrap()
+            .get("reason")
+            .and_then(Json::as_str),
+        Some("conn_limit")
+    );
+
+    // Releasing one held connection frees a slot (checked through the
+    // stats route, which itself needs that free slot to connect).
+    drop(held.pop());
+    let stats = wait_for_stats(
+        addr,
+        |s| get_i64(s.get("shed_total").unwrap(), "conn_limit") >= 1,
+        "conn_limit shed counter",
+    );
+    assert!(get_i64(&stats, "open_conns") <= 2);
+    server.stop();
+}
+
+/// Connection gauges move with real connections, per-endpoint histograms
+/// fill, and `server_mode` reports the active core.
+#[test]
+fn stats_gauges_track_connections() {
+    let index = tiny_index(37);
+    let mut server = start(index, ServerOptions::default());
+    let addr = server.addr();
+
+    let mut held: Vec<TcpStream> = (0..3).map(|_| connect(addr)).collect();
+    for (i, c) in held.iter_mut().enumerate() {
+        assert_eq!(http_get(c, &format!("/align?entity={i}&k=2")).0, 200);
+    }
+    let stats = wait_for_stats(
+        addr,
+        // The stats-endpoint count lags its own response by one request,
+        // so poll until a prior /stats has been recorded too.
+        |s| {
+            get_i64(s, "open_conns") >= 3
+                && get_i64(s.get("endpoints").unwrap().get("stats").unwrap(), "count") >= 1
+        },
+        "held connections in the gauge",
+    );
+    assert_eq!(
+        stats.get("server_mode").and_then(Json::as_str),
+        Some("reactor")
+    );
+    assert!(
+        get_i64(&stats, "accepted_total") >= 4,
+        "3 held + stats probes"
+    );
+    let endpoints = stats.get("endpoints").expect("endpoints");
+    assert!(get_i64(endpoints.get("align").unwrap(), "count") >= 3);
+    assert!(get_i64(endpoints.get("stats").unwrap(), "count") >= 1);
+
+    drop(held);
+    wait_for_stats(addr, |s| get_i64(s, "open_conns") <= 1, "gauge to fall");
+    server.stop();
+}

@@ -161,6 +161,7 @@ fn train_snapshot_serve_roundtrip_is_bit_identical_to_dense() {
         ServerOptions {
             workers: 4,
             queue_cap: 32,
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port");
@@ -306,6 +307,7 @@ fn hot_swap_mid_connection_is_monotone_and_bit_correct() {
         ServerOptions {
             workers: 4,
             queue_cap: 32,
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port");
